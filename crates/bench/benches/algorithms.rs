@@ -1,0 +1,37 @@
+//! End-to-end algorithm benchmarks at quick scale: real host time for one
+//! full simulated run of each §4 strategy (the figure harness measures
+//! virtual time; this measures the simulator itself).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use streamline_bench::experiments::{case_config, dataset_for, SweepScale, Workload};
+use streamline_core::{run_simulated_with_store, Algorithm};
+use streamline_field::dataset::Seeding;
+use streamline_iosim::{BlockStore, MemoryStore};
+
+fn algorithms(c: &mut Criterion) {
+    let workload = Workload::Thermal;
+    let seeding = Seeding::Sparse;
+    let dataset = dataset_for(workload, SweepScale::Quick);
+    let seeds = dataset.seeds_with_count(seeding, 200);
+    let store: Arc<dyn BlockStore> = Arc::new(MemoryStore::build(&dataset));
+    let mut g = c.benchmark_group("full_run_quick");
+    for algo in Algorithm::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |b, &algo| {
+            let cfg = case_config(workload, seeding, algo, 8);
+            b.iter(|| {
+                let r = run_simulated_with_store(&dataset, &seeds, &cfg, Arc::clone(&store));
+                assert!(r.outcome.completed());
+                black_box(r.wall)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = algorithms
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Block construction benchmarks: direct node sampling vs the paper's
+//! face→cell→node pipeline, and the on-disk format round trip.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use streamline_bench::experiments::{dataset_for, SweepScale, Workload};
+use streamline_field::sample::{sample_block_face_pipeline, sample_block_nodes};
+use streamline_field::BlockId;
+use streamline_iosim::format;
+
+fn sampling(c: &mut Criterion) {
+    let ds = dataset_for(Workload::Astro, SweepScale::Quick);
+    let mut g = c.benchmark_group("block_sampling");
+    g.bench_function("direct_nodes", |b| {
+        b.iter(|| black_box(sample_block_nodes(ds.field.as_ref(), &ds.decomp, BlockId(7))))
+    });
+    g.bench_function("face_cell_node_pipeline", |b| {
+        b.iter(|| black_box(sample_block_face_pipeline(ds.field.as_ref(), &ds.decomp, BlockId(7))))
+    });
+    g.finish();
+}
+
+fn disk_format(c: &mut Criterion) {
+    let ds = dataset_for(Workload::Thermal, SweepScale::Quick);
+    let block = ds.build_block(BlockId(3));
+    let bytes = format::encode(&block);
+    let mut g = c.benchmark_group("disk_format");
+    g.bench_function("encode", |b| b.iter(|| black_box(format::encode(&block))));
+    g.bench_function("decode", |b| b.iter(|| black_box(format::decode(&bytes).unwrap())));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = sampling, disk_format
+}
+criterion_main!(benches);

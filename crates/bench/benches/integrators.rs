@@ -1,0 +1,56 @@
+//! Microbenchmarks of the ODE steppers (§2.1): cost per step and cost of a
+//! full block-local advection, per scheme.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use streamline_bench::experiments::{dataset_for, SweepScale, Workload};
+use streamline_field::BlockId;
+use streamline_integrate::tracer::{advect, StepLimits};
+use streamline_integrate::{Dopri5, Stepper, Streamline, StreamlineId, Tolerances};
+use streamline_integrate::{euler::Euler, rk4::Rk4};
+use streamline_math::Vec3;
+
+fn single_step(c: &mut Criterion) {
+    let f = |p: Vec3| Some(Vec3::new(-p.y, p.x, 0.1 * (p.x * 3.0).sin()));
+    let y = Vec3::new(1.0, 0.2, -0.3);
+    let tol = Tolerances::default();
+    let mut g = c.benchmark_group("single_step");
+    g.bench_function("euler", |b| {
+        b.iter(|| Euler.step(&f, black_box(y), black_box(0.01), &tol).unwrap())
+    });
+    g.bench_function("rk4", |b| {
+        b.iter(|| Rk4.step(&f, black_box(y), black_box(0.01), &tol).unwrap())
+    });
+    g.bench_function("dopri5", |b| {
+        b.iter(|| Dopri5.step(&f, black_box(y), black_box(0.01), &tol).unwrap())
+    });
+    g.finish();
+}
+
+fn block_advection(c: &mut Criterion) {
+    // Advect through real sampled block data (the hot path of every run).
+    let ds = dataset_for(Workload::Fusion, SweepScale::Quick);
+    let block = ds.build_block(BlockId(21));
+    let seed = block.bounds.center();
+    let limits = StepLimits { h0: 1e-2, h_max: 0.05, max_steps: 100_000, ..Default::default() };
+    c.bench_function("advect_through_block", |b| {
+        b.iter(|| {
+            let mut sl = Streamline::new_lean(StreamlineId(0), black_box(seed), limits.h0);
+            let bounds = block.bounds;
+            let r = advect(
+                &mut sl,
+                &|p| block.sample(p),
+                &move |p| bounds.contains(p),
+                &limits,
+                &Dopri5,
+            );
+            black_box(r.steps)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = single_step, block_advection
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Trilinear interpolation microbenchmark — the innermost operation of the
+//! whole system (seven evaluations per Dormand–Prince step).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::Rng;
+use streamline_bench::experiments::{dataset_for, SweepScale, Workload};
+use streamline_field::BlockId;
+use streamline_math::rng;
+
+fn interpolation(c: &mut Criterion) {
+    let ds = dataset_for(Workload::Astro, SweepScale::Quick);
+    let block = ds.build_block(BlockId(13));
+    let mut r = rng::stream(3, "bench-interp");
+    let points: Vec<_> = (0..1024)
+        .map(|_| {
+            let b = block.bounds;
+            streamline_math::Vec3::new(
+                r.gen_range(b.min.x..b.max.x),
+                r.gen_range(b.min.y..b.max.y),
+                r.gen_range(b.min.z..b.max.z),
+            )
+        })
+        .collect();
+    c.bench_function("trilinear_1024_samples", |b| {
+        b.iter(|| {
+            let mut acc = streamline_math::Vec3::ZERO;
+            for &p in &points {
+                acc += block.sample(black_box(p)).unwrap();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = interpolation
+}
+criterion_main!(benches);

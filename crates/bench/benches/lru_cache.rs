@@ -1,0 +1,63 @@
+//! LRU block-cache microbenchmarks: hit path, miss+evict path, and a
+//! realistic mixed workload.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::Rng;
+use std::sync::Arc;
+use streamline_field::block::{Block, BlockId};
+use streamline_iosim::LruCache;
+use streamline_math::{rng, Aabb, Vec3};
+
+fn tiny_block(id: u32) -> Arc<Block> {
+    Arc::new(Block::zeroed(BlockId(id), Aabb::unit(), 0, [2, 2, 2], Vec3::splat(1.0)))
+}
+
+fn lru(c: &mut Criterion) {
+    let blocks: Vec<_> = (0..512).map(tiny_block).collect();
+    let mut g = c.benchmark_group("lru");
+
+    g.bench_function("hit", |b| {
+        let mut cache = LruCache::new(64);
+        for blk in blocks.iter().take(64) {
+            cache.insert(Arc::clone(blk));
+        }
+        b.iter(|| black_box(cache.get(BlockId(31)).is_some()))
+    });
+
+    g.bench_function("miss_insert_evict", |b| {
+        let mut cache = LruCache::new(64);
+        for blk in blocks.iter().take(64) {
+            cache.insert(Arc::clone(blk));
+        }
+        let mut i = 64u32;
+        b.iter(|| {
+            if cache.get(BlockId(i % 512)).is_none() {
+                cache.insert(Arc::clone(&blocks[(i % 512) as usize]));
+            }
+            i = i.wrapping_add(97); // co-prime stride: constant misses
+            black_box(cache.len())
+        })
+    });
+
+    g.bench_function("mixed_zipf_ish", |b| {
+        let mut cache = LruCache::new(64);
+        let mut r = rng::stream(5, "bench-lru");
+        b.iter(|| {
+            // Mostly-local accesses with occasional far jumps, like a
+            // streamline working set.
+            let id = if r.gen_bool(0.9) { r.gen_range(0..80u32) } else { r.gen_range(0..512u32) };
+            if cache.get(BlockId(id)).is_none() {
+                cache.insert(Arc::clone(&blocks[id as usize]));
+            }
+            black_box(cache.stats().hits)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = lru
+}
+criterion_main!(benches);

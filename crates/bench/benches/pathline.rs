@@ -1,0 +1,64 @@
+//! Pathline benchmarks: non-autonomous stepping and the two §8 I/O
+//! strategies at smoke scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use streamline_field::decomp::BlockDecomposition;
+use streamline_field::timedecomp::TimeBlockDecomposition;
+use streamline_field::unsteady::{UnsteadyDoubleGyre, UnsteadyField};
+use streamline_integrate::unsteady::dopri5_step_t;
+use streamline_integrate::{StepLimits, Tolerances};
+use streamline_math::{Aabb, Vec3};
+use streamline_pathline::{run_on_demand, run_time_sweep, PathlineConfig, SpaceTimeStore};
+
+fn stepping(c: &mut Criterion) {
+    let g = UnsteadyDoubleGyre::standard();
+    let f = |p: Vec3, t: f64| Some(g.eval(p, t));
+    c.bench_function("dopri5_step_unsteady", |b| {
+        b.iter(|| {
+            dopri5_step_t(
+                &f,
+                black_box(Vec3::new(1.1, 0.4, 0.0)),
+                black_box(3.7),
+                0.05,
+                &Tolerances::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn strategies(c: &mut Criterion) {
+    let field = UnsteadyDoubleGyre::standard();
+    let space = BlockDecomposition::new(
+        Aabb::new(Vec3::ZERO, Vec3::new(2.0, 1.0, 0.25)),
+        [2, 2, 1],
+        [6, 6, 4],
+        1,
+    );
+    let decomp = TimeBlockDecomposition::new(space, 6, 0.0, field.duration);
+    let store = SpaceTimeStore::new(decomp, Arc::new(field));
+    let seeds: Vec<Vec3> = (0..32)
+        .map(|i| Vec3::new(0.1 + 1.8 * (i as f64 / 32.0), 0.5, 0.12))
+        .collect();
+    let cfg = PathlineConfig {
+        limits: StepLimits { h0: 1e-2, h_max: 0.1, max_steps: 50_000, ..Default::default() },
+        cache_blocks: 4,
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("pathline_strategies");
+    g.bench_function("on_demand", |b| {
+        b.iter(|| black_box(run_on_demand(&store, &seeds, &cfg).reads.loads))
+    });
+    g.bench_function("time_sweep", |b| {
+        b.iter(|| black_box(run_time_sweep(&store, &seeds, &cfg).reads.loads))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = stepping, strategies
+}
+criterion_main!(benches);

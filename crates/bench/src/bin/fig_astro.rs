@@ -1,0 +1,10 @@
+//! Regenerates Figures 5–8: the astrophysics (supernova) scaling study.
+
+use streamline_bench::experiments::Workload;
+use streamline_bench::harness::{emit, parse_args, run_workload};
+
+fn main() {
+    let args = parse_args();
+    let md = run_workload(Workload::Astro, &args);
+    emit(&md, &args);
+}

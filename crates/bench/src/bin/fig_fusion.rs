@@ -1,0 +1,10 @@
+//! Regenerates Figures 9–12: the magnetically-confined-fusion scaling study.
+
+use streamline_bench::experiments::Workload;
+use streamline_bench::harness::{emit, parse_args, run_workload};
+
+fn main() {
+    let args = parse_args();
+    let md = run_workload(Workload::Fusion, &args);
+    emit(&md, &args);
+}

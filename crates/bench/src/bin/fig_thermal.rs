@@ -1,0 +1,11 @@
+//! Regenerates Figures 13–16: the thermal-hydraulics scaling study
+//! (including the Static Allocation out-of-memory failure on dense seeds).
+
+use streamline_bench::experiments::Workload;
+use streamline_bench::harness::{emit, parse_args, run_workload};
+
+fn main() {
+    let args = parse_args();
+    let md = run_workload(Workload::Thermal, &args);
+    emit(&md, &args);
+}

@@ -1,0 +1,58 @@
+//! Utilization timelines: an ASCII (rank × virtual-time) heat map per
+//! algorithm, making load imbalance and §8's "processor starvation"
+//! directly visible.
+//!
+//! ```sh
+//! cargo run --release -p streamline-bench --bin timeline [-- --quick]
+//! ```
+
+use std::sync::Arc;
+use streamline_bench::experiments::{case_config, dataset_for, SweepScale, Workload};
+use streamline_core::{build_procs, Algorithm};
+use streamline_desim::Simulation;
+use streamline_field::dataset::Seeding;
+use streamline_iosim::{BlockStore, MemoryStore};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (scale, procs, n_seeds) =
+        if quick { (SweepScale::Quick, 8, 300) } else { (SweepScale::Full, 32, 4_000) };
+    let workload = Workload::Astro;
+    let seeding = Seeding::Sparse;
+    let dataset = dataset_for(workload, scale);
+    let seeds = dataset.seeds_with_count(seeding, n_seeds);
+    let store: Arc<dyn BlockStore> = Arc::new(MemoryStore::build(&dataset));
+
+    println!(
+        "# Utilization timelines — {} {}, {} seeds, {procs} ranks",
+        workload.label(),
+        seeding.label(),
+        seeds.len()
+    );
+    println!("(rows = ranks, columns = virtual time; '#' busy, ' ' idle)\n");
+    for algo in Algorithm::ALL {
+        let cfg = case_config(workload, seeding, algo, procs);
+        let ranks = build_procs(&dataset, &seeds, &cfg, Arc::clone(&store));
+        let (report, _, timeline) =
+            Simulation::new(cfg.cost.net, ranks).run_traced(report_bucket(&cfg));
+        println!(
+            "## {} — wall {:.3}s, idle fraction {:.1}%",
+            algo.label(),
+            report.wall,
+            100.0 * timeline.idle_fraction()
+        );
+        print!("{}", timeline.render(100));
+        println!();
+    }
+    println!(
+        "Reading: Static Allocation shows flow-dependent hot rows (the ranks \
+         owning popular blocks); Load On Demand is dense but long; the Hybrid \
+         keeps most rows shaded until the coordinated wind-down."
+    );
+}
+
+/// ~200 columns worth of buckets before merging.
+fn report_bucket(cfg: &streamline_core::RunConfig) -> f64 {
+    let _ = cfg;
+    0.005
+}

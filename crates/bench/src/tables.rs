@@ -1,0 +1,153 @@
+//! Render sweep results as the per-figure tables the paper plots.
+
+use crate::experiments::CaseResult;
+use streamline_core::{Algorithm, RunOutcome};
+
+/// One metric extracted from a report, or the OOM marker.
+fn metric(r: &CaseResult, which: &str) -> String {
+    if let RunOutcome::OutOfMemory { .. } = r.report.outcome {
+        return "OOM".to_string();
+    }
+    let v = match which {
+        "wall" => r.report.wall,
+        "io" => r.report.io_time,
+        "comm" => r.report.comm_time,
+        "eff" => r.report.block_efficiency(),
+        _ => panic!("unknown metric {which}"),
+    };
+    if which == "eff" {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Render one figure's table: rows = processor counts, columns = algorithms,
+/// for the given metric over one (workload, seeding) slice.
+pub fn figure_block(title: &str, results: &[CaseResult], which: &str) -> String {
+    let mut procs: Vec<usize> = results.iter().map(|r| r.report.n_procs).collect();
+    procs.sort();
+    procs.dedup();
+    let mut out = String::new();
+    out.push_str(&format!("### {title}\n\n"));
+    out.push_str("| procs | static | load-on-demand | hybrid |\n");
+    out.push_str("|------:|-------:|---------------:|-------:|\n");
+    for p in procs {
+        let cell = |algo: Algorithm| {
+            results
+                .iter()
+                .find(|r| r.report.n_procs == p && r.report.algorithm == algo)
+                .map(|r| metric(r, which))
+                .unwrap_or_else(|| "—".to_string())
+        };
+        out.push_str(&format!(
+            "| {p} | {} | {} | {} |\n",
+            cell(Algorithm::StaticAllocation),
+            cell(Algorithm::LoadOnDemand),
+            cell(Algorithm::HybridMasterSlave),
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+/// Render the full set of four metric tables for one (workload, seeding)
+/// sweep — the paper's wall/I-O/communication/efficiency quartet.
+pub fn render_markdown(
+    heading: &str,
+    results: &[CaseResult],
+    figure_numbers: [&str; 4],
+) -> String {
+    let mut out = format!("## {heading}\n\n");
+    out.push_str(&figure_block(
+        &format!("{} — wall-clock time (s)", figure_numbers[0]),
+        results,
+        "wall",
+    ));
+    out.push_str(&figure_block(
+        &format!("{} — total I/O time (s)", figure_numbers[1]),
+        results,
+        "io",
+    ));
+    out.push_str(&figure_block(
+        &format!("{} — total communication time (s)", figure_numbers[2]),
+        results,
+        "comm",
+    ));
+    out.push_str(&figure_block(
+        &format!("{} — block efficiency E", figure_numbers[3]),
+        results,
+        "eff",
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Workload;
+    use streamline_core::{RunConfig, RunReport};
+
+    fn fake_result(algo: Algorithm, procs: usize, wall: f64) -> CaseResult {
+        let cfg = RunConfig::new(algo, procs);
+        CaseResult {
+            workload: Workload::Astro,
+            seeding: "sparse".into(),
+            report: RunReport {
+                algorithm: cfg.algorithm,
+                n_procs: procs,
+                dataset: "astro".into(),
+                seeding: "sparse".into(),
+                n_seeds: 10,
+                outcome: RunOutcome::Completed,
+                wall,
+                io_time: 1.0,
+                comm_time: 0.5,
+                compute_time: 2.0,
+                idle_time: 0.0,
+                blocks_loaded: 10,
+                blocks_purged: 0,
+                msgs: 0,
+                bytes_sent: 0,
+                terminated: 10,
+                total_steps: 100,
+                events: 1,
+                per_rank: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn table_contains_all_cells() {
+        let results = vec![
+            fake_result(Algorithm::StaticAllocation, 64, 1.0),
+            fake_result(Algorithm::LoadOnDemand, 64, 2.0),
+            fake_result(Algorithm::HybridMasterSlave, 64, 0.5),
+        ];
+        let t = figure_block("Fig 5", &results, "wall");
+        assert!(t.contains("| 64 | 1.0000 | 2.0000 | 0.5000 |"), "{t}");
+    }
+
+    #[test]
+    fn oom_rendered() {
+        let mut r = fake_result(Algorithm::StaticAllocation, 64, 1.0);
+        r.report.outcome = RunOutcome::OutOfMemory { rank: 3 };
+        let t = figure_block("Fig 13", &[r], "wall");
+        assert!(t.contains("OOM"), "{t}");
+    }
+
+    #[test]
+    fn missing_cell_is_dash() {
+        let results = vec![fake_result(Algorithm::StaticAllocation, 64, 1.0)];
+        let t = figure_block("x", &results, "io");
+        assert!(t.contains("| — | — |"), "{t}");
+    }
+
+    #[test]
+    fn render_markdown_has_four_tables() {
+        let results = vec![fake_result(Algorithm::StaticAllocation, 64, 1.0)];
+        let md = render_markdown("Astro sparse+dense", &results, ["Fig 5", "Fig 6", "Fig 7", "Fig 8"]);
+        assert_eq!(md.matches("###").count(), 4);
+        assert!(md.contains("block efficiency"));
+    }
+}

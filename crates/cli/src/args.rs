@@ -1,0 +1,287 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+
+use std::collections::BTreeMap;
+use streamline_core::Algorithm;
+use streamline_field::dataset::Seeding;
+
+/// Which dataset a command targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    Astro,
+    Fusion,
+    Thermal,
+}
+
+impl DatasetKind {
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "astro" | "astrophysics" | "supernova" => Ok(DatasetKind::Astro),
+            "fusion" | "tokamak" => Ok(DatasetKind::Fusion),
+            "thermal" | "thermal-hydraulics" => Ok(DatasetKind::Thermal),
+            other => Err(format!("unknown dataset '{other}' (astro|fusion|thermal)")),
+        }
+    }
+}
+
+/// Algorithm selection, including advisor-driven `auto`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoChoice {
+    Fixed(Algorithm),
+    Auto,
+}
+
+impl AlgoChoice {
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "static" => Ok(AlgoChoice::Fixed(Algorithm::StaticAllocation)),
+            "lod" | "load-on-demand" => Ok(AlgoChoice::Fixed(Algorithm::LoadOnDemand)),
+            "hybrid" => Ok(AlgoChoice::Fixed(Algorithm::HybridMasterSlave)),
+            "auto" => Ok(AlgoChoice::Auto),
+            other => Err(format!("unknown algorithm '{other}' (static|lod|hybrid|auto)")),
+        }
+    }
+}
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    Run {
+        dataset: DatasetKind,
+        seeding: Seeding,
+        algorithm: AlgoChoice,
+        procs: usize,
+        seeds: Option<usize>,
+        cache: usize,
+        json: Option<String>,
+    },
+    Classify {
+        dataset: DatasetKind,
+        seeding: Seeding,
+        seeds: Option<usize>,
+    },
+    Trace {
+        dataset: DatasetKind,
+        seeds: usize,
+        out: String,
+        formats: Vec<String>,
+    },
+    Ftle {
+        out: String,
+        nx: usize,
+        ny: usize,
+        horizon: f64,
+    },
+    Info,
+    Help,
+}
+
+/// Full parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    pub command: Command,
+}
+
+fn parse_seeding(s: &str) -> Result<Seeding, String> {
+    match s {
+        "sparse" => Ok(Seeding::Sparse),
+        "dense" => Ok(Seeding::Dense),
+        other => Err(format!("unknown seeding '{other}' (sparse|dense)")),
+    }
+}
+
+/// Split `--key value` pairs; rejects unknown keys against `allowed`.
+fn options(
+    args: &[String],
+    allowed: &[&str],
+) -> Result<BTreeMap<String, String>, String> {
+    let mut out = BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("expected --option, got '{a}'"));
+        };
+        if !allowed.contains(&key) {
+            return Err(format!("unknown option --{key} (allowed: {})", allowed.join(", ")));
+        }
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        out.insert(key.to_string(), value.clone());
+    }
+    Ok(out)
+}
+
+fn get_parse<T: std::str::FromStr>(
+    opts: &BTreeMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+    }
+}
+
+/// Parse an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Cli, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(Cli { command: Command::Help });
+    };
+    let rest = &args[1..];
+    let command = match cmd.as_str() {
+        "run" => {
+            let o = options(
+                rest,
+                &["dataset", "seeding", "algorithm", "procs", "seeds", "cache", "json"],
+            )?;
+            Command::Run {
+                dataset: DatasetKind::parse(o.get("dataset").map(|s| s.as_str()).unwrap_or("thermal"))?,
+                seeding: parse_seeding(o.get("seeding").map(|s| s.as_str()).unwrap_or("sparse"))?,
+                algorithm: AlgoChoice::parse(
+                    o.get("algorithm").map(|s| s.as_str()).unwrap_or("auto"),
+                )?,
+                procs: get_parse(&o, "procs", 64)?,
+                seeds: o.get("seeds").map(|v| v.parse().map_err(|_| "--seeds: bad integer".to_string())).transpose()?,
+                cache: get_parse(&o, "cache", 64)?,
+                json: o.get("json").cloned(),
+            }
+        }
+        "classify" => {
+            let o = options(rest, &["dataset", "seeding", "seeds"])?;
+            Command::Classify {
+                dataset: DatasetKind::parse(o.get("dataset").map(|s| s.as_str()).unwrap_or("thermal"))?,
+                seeding: parse_seeding(o.get("seeding").map(|s| s.as_str()).unwrap_or("sparse"))?,
+                seeds: o.get("seeds").map(|v| v.parse().map_err(|_| "--seeds: bad integer".to_string())).transpose()?,
+            }
+        }
+        "trace" => {
+            let o = options(rest, &["dataset", "seeds", "out", "formats"])?;
+            Command::Trace {
+                dataset: DatasetKind::parse(o.get("dataset").map(|s| s.as_str()).unwrap_or("thermal"))?,
+                seeds: get_parse(&o, "seeds", 100)?,
+                out: o.get("out").cloned().unwrap_or_else(|| "streamline-out".into()),
+                formats: o
+                    .get("formats")
+                    .map(|s| s.split(',').map(|f| f.trim().to_string()).collect())
+                    .unwrap_or_else(|| vec!["vtk".into(), "ppm".into()]),
+            }
+        }
+        "ftle" => {
+            let o = options(rest, &["out", "nx", "ny", "horizon"])?;
+            Command::Ftle {
+                out: o.get("out").cloned().unwrap_or_else(|| "ftle.ppm".into()),
+                nx: get_parse(&o, "nx", 240)?,
+                ny: get_parse(&o, "ny", 120)?,
+                horizon: get_parse(&o, "horizon", 10.0)?,
+            }
+        }
+        "info" => Command::Info,
+        "help" | "--help" | "-h" => Command::Help,
+        other => return Err(format!("unknown command '{other}' (run|classify|trace|ftle|info|help)")),
+    };
+    Ok(Cli { command })
+}
+
+pub const USAGE: &str = "\
+slrepro — parallel streamline computation (Pugmire et al., SC 2009)
+
+USAGE:
+  slrepro run      [--dataset astro|fusion|thermal] [--seeding sparse|dense]
+                   [--algorithm static|lod|hybrid|auto] [--procs N] [--seeds N]
+                   [--cache BLOCKS] [--json FILE]
+  slrepro classify [--dataset ...] [--seeding ...] [--seeds N]
+  slrepro trace    [--dataset ...] [--seeds N] [--out DIR] [--formats vtk,obj,csv,ppm]
+  slrepro ftle     [--out FILE.ppm] [--nx N] [--ny N] [--horizon T]
+  slrepro info
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn run_defaults() {
+        let cli = parse(&argv("run")).unwrap();
+        match cli.command {
+            Command::Run { dataset, seeding, algorithm, procs, seeds, cache, json } => {
+                assert_eq!(dataset, DatasetKind::Thermal);
+                assert_eq!(seeding, Seeding::Sparse);
+                assert_eq!(algorithm, AlgoChoice::Auto);
+                assert_eq!(procs, 64);
+                assert_eq!(seeds, None);
+                assert_eq!(cache, 64);
+                assert_eq!(json, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_full_options() {
+        let cli = parse(&argv(
+            "run --dataset astro --seeding dense --algorithm hybrid --procs 128 --seeds 5000 --cache 32 --json r.json",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Run { dataset, seeding, algorithm, procs, seeds, cache, json } => {
+                assert_eq!(dataset, DatasetKind::Astro);
+                assert_eq!(seeding, Seeding::Dense);
+                assert_eq!(algorithm, AlgoChoice::Fixed(Algorithm::HybridMasterSlave));
+                assert_eq!(procs, 128);
+                assert_eq!(seeds, Some(5000));
+                assert_eq!(cache, 32);
+                assert_eq!(json.as_deref(), Some("r.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        let e = parse(&argv("run --bogus 3")).unwrap_err();
+        assert!(e.contains("unknown option --bogus"), "{e}");
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let e = parse(&argv("run --procs")).unwrap_err();
+        assert!(e.contains("needs a value"), "{e}");
+    }
+
+    #[test]
+    fn bad_integer_rejected() {
+        let e = parse(&argv("run --procs many")).unwrap_err();
+        assert!(e.contains("cannot parse"), "{e}");
+    }
+
+    #[test]
+    fn trace_formats_split() {
+        let cli = parse(&argv("trace --formats vtk,obj,csv")).unwrap();
+        match cli.command {
+            Command::Trace { formats, .. } => {
+                assert_eq!(formats, vec!["vtk", "obj", "csv"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dataset_aliases() {
+        assert_eq!(DatasetKind::parse("supernova").unwrap(), DatasetKind::Astro);
+        assert_eq!(DatasetKind::parse("tokamak").unwrap(), DatasetKind::Fusion);
+        assert!(DatasetKind::parse("xyz").is_err());
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap().command, Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        assert!(parse(&argv("frobnicate")).is_err());
+    }
+}

@@ -1,0 +1,287 @@
+//! Command implementations behind the `slrepro` binary.
+
+use crate::args::{AlgoChoice, Command, DatasetKind};
+use streamline_core::{
+    classify, recommend, run_simulated_detailed, summarize, Algorithm, FlowKnowledge, RunConfig,
+};
+use streamline_field::dataset::{Dataset, DatasetConfig, Seeding};
+use streamline_field::unsteady::UnsteadyDoubleGyre;
+use streamline_integrate::{advect, Dopri5, StepLimits, Streamline, StreamlineId};
+use streamline_math::Vec3;
+use streamline_output::{csv, obj, ppm, vtk};
+use streamline_pathline::ftle::ftle_grid;
+
+fn build_dataset(kind: DatasetKind) -> Dataset {
+    // CLI default: the paper's 512-block topology at laptop cell counts.
+    let cfg = DatasetConfig::default();
+    match kind {
+        DatasetKind::Astro => Dataset::astrophysics(cfg),
+        DatasetKind::Fusion => Dataset::fusion(cfg),
+        DatasetKind::Thermal => Dataset::thermal_hydraulics(cfg),
+    }
+}
+
+fn limits_for(kind: DatasetKind, seeding: Seeding) -> StepLimits {
+    let mut l = StepLimits::default();
+    match kind {
+        DatasetKind::Astro => {
+            l.h0 = 1e-3;
+            l.h_max = 0.02;
+            l.max_steps = 2_500;
+            l.min_speed = 1e-4;
+        }
+        DatasetKind::Fusion => {
+            l.h0 = 1e-2;
+            l.h_max = 0.08;
+            l.max_steps = 1_500;
+        }
+        DatasetKind::Thermal => {
+            l.h0 = 1e-3;
+            l.h_max = 0.01;
+            l.max_steps = if seeding == Seeding::Dense { 2_500 } else { 1_000 };
+            l.max_arc_length = if seeding == Seeding::Dense { 3.0 } else { 10.0 };
+        }
+    }
+    l
+}
+
+/// Execute a parsed command; returns the process exit code.
+pub fn execute(cmd: Command) -> i32 {
+    match cmd {
+        Command::Help => {
+            println!("{}", crate::args::USAGE);
+            0
+        }
+        Command::Info => {
+            println!("datasets (512 blocks each at default config):");
+            for kind in [DatasetKind::Astro, DatasetKind::Fusion, DatasetKind::Thermal] {
+                let ds = build_dataset(kind);
+                println!(
+                    "  {:<20} blocks {:?}x{:?} cells, domain {:?} -> {:?}, paper seeds {} sparse / {} dense",
+                    ds.name,
+                    ds.decomp.blocks_per_axis,
+                    ds.decomp.cells_per_block,
+                    ds.decomp.domain.min.to_array(),
+                    ds.decomp.domain.max.to_array(),
+                    ds.paper_seed_count(Seeding::Sparse),
+                    ds.paper_seed_count(Seeding::Dense),
+                );
+            }
+            println!("\nalgorithms: static (§4.1), lod (§4.2), hybrid (§4.3), auto (§6 advisor)");
+            0
+        }
+        Command::Classify { dataset, seeding, seeds } => {
+            let ds = build_dataset(dataset);
+            let n = seeds.unwrap_or_else(|| ds.paper_seed_count(seeding));
+            let set = ds.seeds_with_count(seeding, n);
+            let cfg = RunConfig::new(Algorithm::HybridMasterSlave, 64);
+            let profile = classify(&ds, &set, &cfg);
+            println!(
+                "problem: {} / {} / {} seeds\n  data: {:.1} GB ({} blocks)\n  fits in one rank's cache: {}\n  seed set small: {}\n  seed extent fraction: {:.3} (dense: {})\n  seeded block fraction: {:.3}",
+                ds.name,
+                seeding.label(),
+                n,
+                profile.data_bytes / 1e9,
+                ds.decomp.num_blocks(),
+                profile.fits_in_memory,
+                profile.seed_set_small,
+                profile.seed_extent_fraction,
+                profile.seeds_dense,
+                profile.seeded_block_fraction,
+            );
+            let rec = recommend(&profile, FlowKnowledge::Unknown);
+            println!("\nadvisor (§6, flow unknown): {} — {}", rec.algorithm.label(), rec.rationale);
+            0
+        }
+        Command::Run { dataset, seeding, algorithm, procs, seeds, cache, json } => {
+            let ds = build_dataset(dataset);
+            let n = seeds.unwrap_or_else(|| ds.paper_seed_count(seeding));
+            let set = ds.seeds_with_count(seeding, n);
+            let mut cfg = RunConfig::new(Algorithm::HybridMasterSlave, procs);
+            cfg.limits = limits_for(dataset, seeding);
+            cfg.cache_blocks = cache;
+            cfg.algorithm = match algorithm {
+                AlgoChoice::Fixed(a) => a,
+                AlgoChoice::Auto => {
+                    let rec = recommend(&classify(&ds, &set, &cfg), FlowKnowledge::Unknown);
+                    eprintln!("advisor picked {}: {}", rec.algorithm.label(), rec.rationale);
+                    rec.algorithm
+                }
+            };
+            eprintln!(
+                "running {} on {} / {} ({} seeds, {} ranks) ...",
+                cfg.algorithm.label(),
+                ds.name,
+                seeding.label(),
+                n,
+                procs
+            );
+            let (report, finished) = run_simulated_detailed(&ds, &set, &cfg);
+            println!("{}", report.summary());
+            if report.outcome.completed() {
+                print!("{}", summarize(&finished));
+            }
+            println!(
+                "  compute {:.3}s  idle {:.3}s  imbalance {:.2}  steps {}  events {}",
+                report.compute_time,
+                report.idle_time,
+                report.load_imbalance(),
+                report.total_steps,
+                report.events,
+            );
+            if let Some(path) = json {
+                match serde_json::to_string_pretty(&report) {
+                    Ok(s) => {
+                        if let Err(e) = std::fs::write(&path, s) {
+                            eprintln!("error writing {path}: {e}");
+                            return 1;
+                        }
+                        eprintln!("wrote {path}");
+                    }
+                    Err(e) => {
+                        eprintln!("serialization error: {e}");
+                        return 1;
+                    }
+                }
+            }
+            if report.outcome.completed() {
+                0
+            } else {
+                2
+            }
+        }
+        Command::Trace { dataset, seeds, out, formats } => {
+            let ds = build_dataset(dataset);
+            let set = ds.seeds_with_count(Seeding::Sparse, seeds);
+            let limits = limits_for(dataset, Seeding::Sparse);
+            let field = &ds.field;
+            let domain = ds.decomp.domain;
+            let sample = |p: Vec3| Some(field.eval(p));
+            let region = move |p: Vec3| domain.contains(p);
+            let streams: Vec<Streamline> = set
+                .points
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    let mut sl = Streamline::new(StreamlineId(i as u32), p, limits.h0);
+                    advect(&mut sl, &sample, &region, &limits, &Dopri5);
+                    sl
+                })
+                .collect();
+            let dir = std::path::Path::new(&out);
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {out}: {e}");
+                return 1;
+            }
+            for fmt in &formats {
+                let path = dir.join(format!("{}.{fmt}", ds.name));
+                let res = match fmt.as_str() {
+                    "vtk" => vtk::write_polylines_file(&path, &streams),
+                    "obj" => obj::write_lines_file(&path, &streams),
+                    "csv" => csv::write_summary_file(&path, &streams),
+                    "ppm" => {
+                        let d = ds.decomp.domain;
+                        let mut canvas = ppm::Canvas::new(
+                            800,
+                            (800.0 * d.size().y / d.size().x).round().max(64.0) as usize,
+                            (d.min.x, d.min.y),
+                            (d.max.x, d.max.y),
+                            ppm::Projection::DropZ,
+                        );
+                        for (i, s) in streams.iter().enumerate() {
+                            canvas.draw_streamline(s, ppm::palette(i));
+                        }
+                        canvas.write_ppm_file(&path)
+                    }
+                    other => {
+                        eprintln!("unknown format '{other}' (vtk|obj|csv|ppm)");
+                        return 1;
+                    }
+                };
+                match res {
+                    Ok(()) => eprintln!("wrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("error writing {}: {e}", path.display());
+                        return 1;
+                    }
+                }
+            }
+            0
+        }
+        Command::Ftle { out, nx, ny, horizon } => {
+            let field = UnsteadyDoubleGyre::standard();
+            let limits =
+                StepLimits { h0: 1e-2, h_max: 0.1, max_steps: 100_000, ..Default::default() };
+            eprintln!("computing {nx}x{ny} FTLE of the unsteady double gyre ...");
+            let f = ftle_grid(&field, [0.0, 0.0], [2.0, 1.0], 0.0, nx, ny, 0.0, horizon, &limits);
+            // Grayscale render.
+            let mut canvas = ppm::Canvas::new(nx, ny, (0.0, 0.0), (2.0, 1.0), ppm::Projection::DropZ);
+            let max = f.max_value().max(1e-9);
+            for j in 0..ny {
+                for i in 0..nx {
+                    let v = f.get(i, j);
+                    if v.is_finite() {
+                        let g = ((v.max(0.0) / max) * 255.0) as u8;
+                        let p = Vec3::new(
+                            i as f64 / (nx - 1) as f64 * 2.0,
+                            j as f64 / (ny - 1) as f64,
+                            0.0,
+                        );
+                        canvas.plot(p, [g, g, g]);
+                    }
+                }
+            }
+            match canvas.write_ppm_file(std::path::Path::new(&out)) {
+                Ok(()) => {
+                    eprintln!("wrote {out} (max FTLE {:.3})", max);
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error writing {out}: {e}");
+                    1
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits_vary_by_dataset() {
+        let a = limits_for(DatasetKind::Astro, Seeding::Sparse);
+        let t = limits_for(DatasetKind::Thermal, Seeding::Dense);
+        assert!(a.h_max > t.h_max);
+        assert!(t.max_arc_length < f64::INFINITY);
+    }
+
+    #[test]
+    fn datasets_build() {
+        for kind in [DatasetKind::Astro, DatasetKind::Fusion, DatasetKind::Thermal] {
+            let ds = build_dataset(kind);
+            assert_eq!(ds.decomp.num_blocks(), 512);
+        }
+    }
+
+    #[test]
+    fn help_and_info_succeed() {
+        assert_eq!(execute(Command::Help), 0);
+        assert_eq!(execute(Command::Info), 0);
+    }
+
+    #[test]
+    fn run_small_completes() {
+        let code = execute(Command::Run {
+            dataset: DatasetKind::Thermal,
+            seeding: Seeding::Sparse,
+            algorithm: AlgoChoice::Fixed(Algorithm::LoadOnDemand),
+            procs: 4,
+            seeds: Some(32),
+            cache: 16,
+            json: None,
+        });
+        assert_eq!(code, 0);
+    }
+}

@@ -1,0 +1,15 @@
+//! The `slrepro` command-line interface, as a library so the argument
+//! parsing and command plumbing are unit-testable.
+//!
+//! ```text
+//! slrepro run      --dataset thermal --seeding dense --algorithm auto --procs 64
+//! slrepro classify --dataset astro --seeding sparse
+//! slrepro trace    --dataset fusion --seeds 200 --out out/ --formats vtk,ppm
+//! slrepro ftle     --out gyre.ppm --nx 240 --ny 120
+//! slrepro info
+//! ```
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Cli, Command};

@@ -1,0 +1,13 @@
+//! `slrepro` — parallel streamline computation from the command line.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match streamline_cli::parse(&args) {
+        Ok(cli) => std::process::exit(streamline_cli::commands::execute(cli.command)),
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", streamline_cli::args::USAGE);
+            std::process::exit(64);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The §6 heuristic decision guidelines, as an executable advisor.
+//!
+//! "Load On Demand ... is well suited to datasets that can fit largely in
+//! memory or that exhibit flow that is free of vortex-type features larger
+//! than the block size. ... Static Allocation ... is well suited to datasets
+//! were I/O is expensive and seed point sets and flow that distributes
+//! streamline computation uniformly throughout the dataset. ... Hybrid
+//! Master/Slave ... is best suited for a wide variety of situations and is
+//! the recommended algorithm ... particularly ... when the flow field is not
+//! well understood. Once the nature of the flow is well understood, the
+//! Static Allocation or Load On Demand algorithms are suggested, if they are
+//! able to optimize their strengths."
+
+use crate::classify::ProblemProfile;
+use crate::config::Algorithm;
+use serde::{Deserialize, Serialize};
+
+/// What the user knows about the flow a priori (§6: the advisor's pivot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowKnowledge {
+    /// Nothing is known — the common case.
+    Unknown,
+    /// The flow distributes streamlines roughly uniformly over the data
+    /// (e.g. the toroidal circulation of the fusion dataset).
+    Uniform,
+    /// The flow localizes streamlines (sources/sinks/attractors) or the
+    /// workload stays near the seeds.
+    Localized,
+}
+
+/// A recommendation with its §6 rationale.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Recommendation {
+    pub algorithm: Algorithm,
+    pub rationale: &'static str,
+}
+
+/// Apply the §6 guidelines.
+pub fn recommend(profile: &ProblemProfile, knowledge: FlowKnowledge) -> Recommendation {
+    // Data that fits in memory removes Load On Demand's only weakness
+    // (redundant I/O) while keeping its zero communication.
+    if profile.fits_in_memory {
+        return Recommendation {
+            algorithm: Algorithm::LoadOnDemand,
+            rationale: "dataset fits in memory: parallelize over streamlines with no \
+                        communication and no redundant I/O",
+        };
+    }
+    match knowledge {
+        FlowKnowledge::Unknown => Recommendation {
+            algorithm: Algorithm::HybridMasterSlave,
+            rationale: "flow not well understood: the hybrid scheme adapts to the flow \
+                        at runtime (the paper's general recommendation)",
+        },
+        FlowKnowledge::Uniform => {
+            if profile.seeds_dense {
+                // Uniform flow but concentrated seeding still floods the
+                // block owners initially — keep the adaptive scheme.
+                Recommendation {
+                    algorithm: Algorithm::HybridMasterSlave,
+                    rationale: "dense seeding concentrates initial work on a few block \
+                                owners; dynamic balancing is required",
+                }
+            } else {
+                Recommendation {
+                    algorithm: Algorithm::StaticAllocation,
+                    rationale: "uniform streamline distribution with expensive I/O: \
+                                static allocation loads every block exactly once",
+                }
+            }
+        }
+        FlowKnowledge::Localized => {
+            if profile.seeds_dense {
+                Recommendation {
+                    algorithm: Algorithm::LoadOnDemand,
+                    rationale: "localized flow and dense seeds: the working set of \
+                                blocks is small, so redundant I/O is negligible and \
+                                communication-free parallelism over streamlines wins \
+                                (the thermal-hydraulics dense case)",
+                }
+            } else {
+                Recommendation {
+                    algorithm: Algorithm::HybridMasterSlave,
+                    rationale: "localized flow with scattered seeds causes load \
+                                imbalance that only dynamic assignment absorbs",
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(fits: bool, dense: bool) -> ProblemProfile {
+        ProblemProfile {
+            data_bytes: 6e9,
+            fits_in_memory: fits,
+            seed_count: 10_000,
+            seed_set_small: false,
+            seed_extent_fraction: if dense { 0.1 } else { 0.9 },
+            seeds_dense: dense,
+            seeded_block_fraction: if dense { 0.02 } else { 0.8 },
+        }
+    }
+
+    #[test]
+    fn in_memory_data_prefers_lod() {
+        let r = recommend(&profile(true, false), FlowKnowledge::Unknown);
+        assert_eq!(r.algorithm, Algorithm::LoadOnDemand);
+    }
+
+    #[test]
+    fn unknown_flow_prefers_hybrid() {
+        let r = recommend(&profile(false, false), FlowKnowledge::Unknown);
+        assert_eq!(r.algorithm, Algorithm::HybridMasterSlave);
+    }
+
+    #[test]
+    fn uniform_flow_sparse_seeds_prefers_static() {
+        let r = recommend(&profile(false, false), FlowKnowledge::Uniform);
+        assert_eq!(r.algorithm, Algorithm::StaticAllocation);
+    }
+
+    #[test]
+    fn dense_localized_prefers_lod() {
+        // The thermal-hydraulics dense configuration of §5.3.
+        let r = recommend(&profile(false, true), FlowKnowledge::Localized);
+        assert_eq!(r.algorithm, Algorithm::LoadOnDemand);
+    }
+
+    #[test]
+    fn dense_uniform_keeps_hybrid() {
+        let r = recommend(&profile(false, true), FlowKnowledge::Uniform);
+        assert_eq!(r.algorithm, Algorithm::HybridMasterSlave);
+    }
+
+    #[test]
+    fn rationales_are_nonempty() {
+        for fits in [true, false] {
+            for dense in [true, false] {
+                for k in [FlowKnowledge::Unknown, FlowKnowledge::Uniform, FlowKnowledge::Localized]
+                {
+                    assert!(!recommend(&profile(fits, dense), k).rationale.is_empty());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Problem classification along the four axes of §3.1: data set size, seed
+//! set size, seed set distribution, and vector field complexity.
+
+use crate::config::RunConfig;
+use serde::{Deserialize, Serialize};
+use streamline_field::dataset::Dataset;
+use streamline_field::seeds::SeedSet;
+
+/// Quantified §3.1 characteristics of one problem instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProblemProfile {
+    /// Total dataset size at paper scale, bytes.
+    pub data_bytes: f64,
+    /// Whether one rank's cache could hold the entire dataset
+    /// ("small in the sense that it fits into main memory in its entirety").
+    pub fits_in_memory: bool,
+    pub seed_count: usize,
+    /// "a few tens to a hundred streamlines" — interactive-exploration scale.
+    pub seed_set_small: bool,
+    /// Largest extent of the seed bounding box relative to the domain.
+    pub seed_extent_fraction: f64,
+    /// Dense: seeds concentrated in a small part of the domain.
+    pub seeds_dense: bool,
+    /// Fraction of blocks containing at least one seed.
+    pub seeded_block_fraction: f64,
+}
+
+/// Seed-extent threshold below which a seed set counts as dense.
+pub const DENSE_EXTENT_THRESHOLD: f64 = 0.25;
+
+/// Classify a problem instance under a run configuration's memory model.
+pub fn classify(dataset: &Dataset, seeds: &SeedSet, cfg: &RunConfig) -> ProblemProfile {
+    let n_blocks = dataset.decomp.num_blocks();
+    let data_bytes = n_blocks as f64 * cfg.cost.disk.logical_block_bytes;
+    let cache_bytes = cfg.cache_blocks as f64 * cfg.cost.disk.logical_block_bytes;
+    let fits_in_memory = data_bytes <= cache_bytes;
+
+    let domain_extent = dataset.decomp.domain.size().max_abs_component();
+    let seed_extent_fraction = seeds
+        .bounds()
+        .map(|b| b.size().max_abs_component() / domain_extent)
+        .unwrap_or(0.0);
+
+    let mut seeded = std::collections::HashSet::new();
+    for &p in &seeds.points {
+        if let Some(b) = dataset.decomp.locate(p) {
+            seeded.insert(b);
+        }
+    }
+
+    ProblemProfile {
+        data_bytes,
+        fits_in_memory,
+        seed_count: seeds.len(),
+        seed_set_small: seeds.len() <= 100,
+        seed_extent_fraction,
+        seeds_dense: seed_extent_fraction < DENSE_EXTENT_THRESHOLD,
+        seeded_block_fraction: seeded.len() as f64 / n_blocks as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Algorithm, RunConfig};
+    use streamline_field::dataset::{DatasetConfig, Seeding};
+
+    fn cfg() -> RunConfig {
+        RunConfig::new(Algorithm::HybridMasterSlave, 8)
+    }
+
+    #[test]
+    fn dense_vs_sparse_detected() {
+        let ds = Dataset::thermal_hydraulics(DatasetConfig::tiny());
+        let dense = classify(&ds, &ds.seeds_with_count(Seeding::Dense, 500), &cfg());
+        let sparse = classify(&ds, &ds.seeds_with_count(Seeding::Sparse, 512), &cfg());
+        assert!(dense.seeds_dense);
+        assert!(!sparse.seeds_dense);
+        assert!(dense.seeded_block_fraction < sparse.seeded_block_fraction);
+    }
+
+    #[test]
+    fn small_seed_set_flag() {
+        let ds = Dataset::thermal_hydraulics(DatasetConfig::tiny());
+        assert!(classify(&ds, &ds.seeds_with_count(Seeding::Sparse, 50), &cfg()).seed_set_small);
+        assert!(!classify(&ds, &ds.seeds_with_count(Seeding::Sparse, 5000), &cfg()).seed_set_small);
+    }
+
+    #[test]
+    fn fits_in_memory_depends_on_cache() {
+        let ds = Dataset::thermal_hydraulics(DatasetConfig::tiny()); // 64 blocks
+        let mut c = cfg();
+        c.cache_blocks = 8;
+        assert!(!classify(&ds, &ds.seeds_with_count(Seeding::Sparse, 10), &c).fits_in_memory);
+        c.cache_blocks = 64;
+        assert!(classify(&ds, &ds.seeds_with_count(Seeding::Sparse, 10), &c).fits_in_memory);
+    }
+}

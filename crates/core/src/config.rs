@@ -1,0 +1,196 @@
+//! Run configuration: which algorithm, how many processors, and every cost
+//! and tuning knob of §4.
+
+use serde::{Deserialize, Serialize};
+use streamline_desim::NetModel;
+use streamline_integrate::StepLimits;
+use streamline_iosim::DiskModel;
+
+/// The three parallelization strategies of §4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// §4.1 — parallelize over blocks, communicate streamlines.
+    StaticAllocation,
+    /// §4.2 — parallelize over streamlines, load blocks on demand.
+    LoadOnDemand,
+    /// §4.3 — the paper's contribution: masters dynamically assign both.
+    HybridMasterSlave,
+}
+
+impl Algorithm {
+    pub const ALL: [Algorithm; 3] =
+        [Algorithm::StaticAllocation, Algorithm::LoadOnDemand, Algorithm::HybridMasterSlave];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::StaticAllocation => "static",
+            Algorithm::LoadOnDemand => "load-on-demand",
+            Algorithm::HybridMasterSlave => "hybrid",
+        }
+    }
+}
+
+/// Tuning parameters of the Hybrid Master/Slave algorithm, with the paper's
+/// §4.3 values as defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HybridParams {
+    /// `N` — seeds per assignment ("Initially, each slave is assigned
+    /// N = 10 streamlines").
+    pub n_assign: usize,
+    /// `N_O = overload_factor × N` — a slave's workload is not raised above
+    /// this by reassignment ("we typically choose as N_O = 20 × N").
+    pub overload_factor: usize,
+    /// `N_L` — a slave with at least this many streamlines parked in one
+    /// unloaded block loads the block itself rather than migrating them
+    /// ("we have obtained good results with N_L = 40").
+    pub n_load: usize,
+    /// `W` — slaves per master ("We typically use one master per W = 32
+    /// slaves").
+    pub slaves_per_master: usize,
+}
+
+impl Default for HybridParams {
+    fn default() -> Self {
+        HybridParams { n_assign: 10, overload_factor: 20, n_load: 40, slaves_per_master: 32 }
+    }
+}
+
+impl HybridParams {
+    /// The overload limit `N_O`.
+    pub fn overload_limit(&self) -> usize {
+        self.overload_factor * self.n_assign
+    }
+
+    /// Number of master ranks for `n_procs` total ranks: one per `W` slaves,
+    /// at least one, and always at least one slave.
+    pub fn n_masters(&self, n_procs: usize) -> usize {
+        assert!(n_procs >= 2, "hybrid needs at least one master and one slave");
+        let m = n_procs.div_ceil(self.slaves_per_master + 1);
+        m.min(n_procs - 1).max(1)
+    }
+}
+
+/// Per-rank memory budget (logical bytes: resident blocks at paper scale
+/// plus streamline geometry). `None` disables the check.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryBudget {
+    pub bytes: Option<f64>,
+    /// Logical bytes per stored curve vertex. A visualization pipeline keeps
+    /// more than the bare position per vertex (time, scalar attributes,
+    /// cell bookkeeping), which is what makes geometry the memory hazard the
+    /// paper hits in §5.3.
+    pub vertex_bytes: f64,
+    /// Logical bytes per resident streamline *object* — solver workspace,
+    /// attribute buffers, pipeline bookkeeping. This fixed overhead is what
+    /// makes "all 22,000 seed points being processed on a single processor"
+    /// (§5.3) fatal for Static Allocation regardless of how far each curve
+    /// is integrated.
+    pub stream_bytes: f64,
+}
+
+impl MemoryBudget {
+    /// The default models one JaguarPF core's share of node memory.
+    pub fn paper_scale() -> Self {
+        MemoryBudget { bytes: Some(1.2e9), vertex_bytes: 64.0, stream_bytes: 64.0 * 1024.0 }
+    }
+
+    pub fn unlimited() -> Self {
+        MemoryBudget { bytes: None, vertex_bytes: 64.0, stream_bytes: 64.0 * 1024.0 }
+    }
+
+    pub fn exceeded(&self, used: f64) -> bool {
+        self.bytes.is_some_and(|b| used > b)
+    }
+}
+
+/// Cost model tying the scaled-down in-memory run back to paper scale.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Charged seconds per accepted integration step (per-step cost of
+    /// RK4(5) stages + interpolation on a 1M-cell block).
+    pub sec_per_step: f64,
+    pub disk: DiskModel,
+    pub net: NetModel,
+}
+
+impl CostModel {
+    pub fn paper_scale() -> Self {
+        CostModel { sec_per_step: 5e-6, disk: DiskModel::paper_scale(), net: NetModel::paper_scale() }
+    }
+}
+
+/// Everything a run needs besides the dataset and seeds.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RunConfig {
+    pub algorithm: Algorithm,
+    pub n_procs: usize,
+    #[serde(skip, default)]
+    pub limits: StepLimits,
+    pub cost: CostModel,
+    /// LRU capacity in blocks for Load On Demand and Hybrid slaves.
+    pub cache_blocks: usize,
+    pub memory: MemoryBudget,
+    pub hybrid: HybridParams,
+    /// Communicate full streamline geometry (the measured configuration;
+    /// §8 discusses the compact solver-state alternative).
+    pub comm_geometry: bool,
+    /// Block-to-rank mapping for Static Allocation (§4.1 uses contiguous).
+    pub static_partition: crate::static_alloc::StaticPartition,
+}
+
+impl RunConfig {
+    pub fn new(algorithm: Algorithm, n_procs: usize) -> Self {
+        RunConfig {
+            algorithm,
+            n_procs,
+            limits: StepLimits::default(),
+            cost: CostModel::paper_scale(),
+            cache_blocks: 32,
+            memory: MemoryBudget::paper_scale(),
+            hybrid: HybridParams::default(),
+            comm_geometry: true,
+            static_partition: crate::static_alloc::StaticPartition::Contiguous,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let h = HybridParams::default();
+        assert_eq!(h.n_assign, 10);
+        assert_eq!(h.overload_limit(), 200);
+        assert_eq!(h.n_load, 40);
+        assert_eq!(h.slaves_per_master, 32);
+    }
+
+    #[test]
+    fn master_counts() {
+        let h = HybridParams::default();
+        // 33 ranks = 1 master + 32 slaves.
+        assert_eq!(h.n_masters(33), 1);
+        assert_eq!(h.n_masters(2), 1);
+        assert_eq!(h.n_masters(64), 2);
+        assert_eq!(h.n_masters(512), 16);
+        // Degenerate: more masters would leave no slaves.
+        assert_eq!(h.n_masters(3), 1);
+    }
+
+    #[test]
+    fn memory_budget() {
+        let b = MemoryBudget { bytes: Some(100.0), vertex_bytes: 64.0, stream_bytes: 65536.0 };
+        assert!(b.exceeded(101.0));
+        assert!(!b.exceeded(100.0));
+        assert!(!MemoryBudget::unlimited().exceeded(f64::MAX));
+    }
+
+    #[test]
+    fn algorithm_labels_unique() {
+        let labels: std::collections::HashSet<_> =
+            Algorithm::ALL.iter().map(|a| a.label()).collect();
+        assert_eq!(labels.len(), 3);
+    }
+}

@@ -1,0 +1,473 @@
+//! The run driver: build ranks for an algorithm, execute on the simulated
+//! cluster (or real threads), and collect a [`RunReport`].
+
+use crate::config::{Algorithm, RunConfig};
+use crate::hybrid::{HybridLayout, MasterProc, SlaveProc};
+use crate::load_on_demand::LodProc;
+use crate::msg::Msg;
+use crate::report::{RunOutcome, RunReport};
+use crate::static_alloc::StaticProc;
+use crate::workspace::Workspace;
+use std::sync::Arc;
+use streamline_desim::{Context, Event, Process, Simulation, ThreadRuntime};
+use streamline_field::dataset::Dataset;
+use streamline_field::seeds::SeedSet;
+use streamline_integrate::StreamlineId;
+use streamline_iosim::{BlockStore, CacheStats, FieldStore};
+use streamline_math::Vec3;
+
+/// A rank of any of the three algorithms (the simulation is monomorphic in
+/// its process type).
+pub enum AnyProc {
+    Static(StaticProc),
+    Lod(LodProc),
+    Master(MasterProc),
+    Slave(SlaveProc),
+}
+
+impl Process<Msg> for AnyProc {
+    fn on_event(&mut self, ev: Event<Msg>, ctx: &mut dyn Context<Msg>) {
+        match self {
+            AnyProc::Static(p) => p.on_event(ev, ctx),
+            AnyProc::Lod(p) => p.on_event(ev, ctx),
+            AnyProc::Master(p) => p.on_event(ev, ctx),
+            AnyProc::Slave(p) => p.on_event(ev, ctx),
+        }
+    }
+}
+
+impl AnyProc {
+    fn cache_stats(&self) -> Option<CacheStats> {
+        match self {
+            AnyProc::Static(p) => Some(p.workspace().cache_stats()),
+            AnyProc::Lod(p) => Some(p.workspace().cache_stats()),
+            AnyProc::Slave(p) => Some(p.workspace().cache_stats()),
+            AnyProc::Master(_) => None,
+        }
+    }
+
+    fn terminated(&self) -> u64 {
+        match self {
+            AnyProc::Static(p) => p.workspace().terminated,
+            AnyProc::Lod(p) => p.workspace().terminated,
+            AnyProc::Slave(p) => p.workspace().terminated,
+            AnyProc::Master(_) => 0,
+        }
+    }
+
+    fn total_steps(&self) -> u64 {
+        match self {
+            AnyProc::Static(p) => p.workspace().total_steps,
+            AnyProc::Lod(p) => p.workspace().total_steps,
+            AnyProc::Slave(p) => p.workspace().total_steps,
+            AnyProc::Master(_) => 0,
+        }
+    }
+
+    fn failed_oom(&self) -> bool {
+        match self {
+            AnyProc::Static(p) => p.failed_oom,
+            AnyProc::Lod(p) => p.failed_oom,
+            AnyProc::Slave(p) => p.failed_oom,
+            AnyProc::Master(_) => false,
+        }
+    }
+
+    /// Thread-runtime retirement: only Load On Demand ranks finish on their
+    /// own; the other algorithms end via `stop_all`.
+    fn retired(&self) -> bool {
+        match self {
+            AnyProc::Lod(p) => p.done,
+            _ => false,
+        }
+    }
+
+    /// Drain the finished streamlines this rank holds.
+    pub fn take_finished(&mut self) -> Vec<streamline_integrate::Streamline> {
+        match self {
+            AnyProc::Static(p) => std::mem::take(&mut p.finished),
+            AnyProc::Lod(p) => std::mem::take(&mut p.finished),
+            AnyProc::Slave(p) => std::mem::take(&mut p.finished),
+            AnyProc::Master(_) => Vec::new(),
+        }
+    }
+}
+
+fn make_workspace(
+    dataset: &Dataset,
+    store: &Arc<dyn BlockStore>,
+    cfg: &RunConfig,
+    cache_blocks: usize,
+) -> Workspace {
+    let mut ws = Workspace::new(
+        dataset.decomp,
+        Arc::clone(store),
+        cache_blocks,
+        cfg.cost.disk,
+        cfg.limits,
+        cfg.cost.sec_per_step,
+    );
+    ws.set_vertex_bytes(cfg.memory.vertex_bytes);
+    ws.set_stream_bytes(cfg.memory.stream_bytes);
+    ws
+}
+
+/// Seeds sorted by (owning block, id) — the "grouped by block to enhance
+/// data locality" order of §4.2 — then split into `n` near-equal chunks.
+fn chunk_seeds_by_block(
+    dataset: &Dataset,
+    seeds: &SeedSet,
+    n: usize,
+) -> Vec<Vec<(StreamlineId, Vec3)>> {
+    let mut tagged: Vec<(u32, StreamlineId, Vec3)> = seeds
+        .points
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let block = dataset.decomp.locate(p).map(|b| b.0).unwrap_or(u32::MAX);
+            (block, StreamlineId(i as u32), p)
+        })
+        .collect();
+    tagged.sort_by_key(|&(b, id, _)| (b, id));
+    let total = tagged.len();
+    let mut out: Vec<Vec<(StreamlineId, Vec3)>> = Vec::with_capacity(n);
+    let mut iter = tagged.into_iter().map(|(_, id, p)| (id, p));
+    for r in 0..n {
+        let count = total / n + usize::from(r < total % n);
+        out.push(iter.by_ref().take(count).collect());
+    }
+    out
+}
+
+/// Build the rank processes for one run.
+pub fn build_procs(
+    dataset: &Dataset,
+    seeds: &SeedSet,
+    cfg: &RunConfig,
+    store: Arc<dyn BlockStore>,
+) -> Vec<AnyProc> {
+    let n = cfg.n_procs;
+    assert!(n >= 1, "need at least one rank");
+    let n_blocks = dataset.decomp.num_blocks();
+    let h0 = cfg.limits.h0;
+    match cfg.algorithm {
+        Algorithm::StaticAllocation => {
+            // Seeds go to the rank owning their block; out-of-domain seeds
+            // to rank 0 (they terminate immediately).
+            let mut per_rank: Vec<Vec<(StreamlineId, Vec3)>> = vec![Vec::new(); n];
+            for (i, &p) in seeds.points.iter().enumerate() {
+                let rank = dataset
+                    .decomp
+                    .locate(p)
+                    .map(|b| cfg.static_partition.owner_of(b, n_blocks, n))
+                    .unwrap_or(0);
+                per_rank[rank].push((StreamlineId(i as u32), p));
+            }
+            (0..n)
+                .map(|rank| {
+                    // A static rank caches every block it owns — capacity is
+                    // its ownership-range size (loads lazily, never purges).
+                    let owned = (0..n_blocks)
+                        .filter(|&b| {
+                            cfg.static_partition.owner_of(
+                                streamline_field::BlockId(b as u32),
+                                n_blocks,
+                                n,
+                            ) == rank
+                        })
+                        .count();
+                    let ws = make_workspace(dataset, &store, cfg, owned.max(1));
+                    AnyProc::Static(StaticProc::new(
+                        rank,
+                        n,
+                        ws,
+                        std::mem::take(&mut per_rank[rank]),
+                        cfg.memory,
+                        cfg.comm_geometry,
+                        h0,
+                        seeds.len() as u64,
+                        cfg.static_partition,
+                    ))
+                })
+                .collect()
+        }
+        Algorithm::LoadOnDemand => {
+            let mut chunks = chunk_seeds_by_block(dataset, seeds, n);
+            (0..n)
+                .map(|rank| {
+                    let ws = make_workspace(dataset, &store, cfg, cfg.cache_blocks);
+                    AnyProc::Lod(LodProc::new(
+                        ws,
+                        std::mem::take(&mut chunks[rank]),
+                        cfg.memory,
+                        h0,
+                    ))
+                })
+                .collect()
+        }
+        Algorithm::HybridMasterSlave => {
+            let layout = HybridLayout::new(n, cfg.hybrid.n_masters(n));
+            let mut chunks = chunk_seeds_by_block(dataset, seeds, layout.n_masters);
+            (0..n)
+                .map(|rank| {
+                    if layout.is_master(rank) {
+                        AnyProc::Master(MasterProc::new(
+                            rank,
+                            dataset.decomp,
+                            cfg.hybrid,
+                            cfg.comm_geometry,
+                            layout.slaves_of(rank),
+                            layout.master_ranks(),
+                            std::mem::take(&mut chunks[rank]),
+                            0xC0FFEE ^ rank as u64,
+                        ))
+                    } else {
+                        let ws = make_workspace(dataset, &store, cfg, cfg.cache_blocks);
+                        AnyProc::Slave(SlaveProc::new(
+                            rank,
+                            layout.master_of(rank),
+                            ws,
+                            cfg.memory,
+                            cfg.comm_geometry,
+                            h0,
+                        ))
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+fn collect_report(
+    dataset: &Dataset,
+    seeds: &SeedSet,
+    cfg: &RunConfig,
+    report: streamline_desim::SimReport,
+    procs: &[AnyProc],
+) -> RunReport {
+    let mut cache = CacheStats::default();
+    let mut terminated = 0;
+    let mut steps = 0;
+    let mut outcome = RunOutcome::Completed;
+    for (rank, p) in procs.iter().enumerate() {
+        if let Some(s) = p.cache_stats() {
+            cache.merge(&s);
+        }
+        terminated += p.terminated();
+        steps += p.total_steps();
+        if p.failed_oom() && outcome == RunOutcome::Completed {
+            outcome = RunOutcome::OutOfMemory { rank };
+        }
+    }
+    let (io, comm, compute) = report.totals();
+    RunReport {
+        algorithm: cfg.algorithm,
+        n_procs: cfg.n_procs,
+        dataset: dataset.name.to_string(),
+        seeding: seeds.label.clone(),
+        n_seeds: seeds.len(),
+        outcome,
+        wall: report.wall,
+        io_time: io,
+        comm_time: comm,
+        compute_time: compute,
+        idle_time: report.total(|m| m.idle),
+        blocks_loaded: cache.loaded,
+        blocks_purged: cache.purged,
+        msgs: report.ranks.iter().map(|m| m.msgs_sent).sum(),
+        bytes_sent: report.ranks.iter().map(|m| m.bytes_sent).sum(),
+        terminated,
+        total_steps: steps,
+        events: report.events,
+        per_rank: report.ranks,
+    }
+}
+
+/// Run one configuration on the deterministic simulated cluster.
+pub fn run_simulated(dataset: &Dataset, seeds: &SeedSet, cfg: &RunConfig) -> RunReport {
+    let store: Arc<dyn BlockStore> = Arc::new(FieldStore::new(dataset.clone()));
+    run_simulated_with_store(dataset, seeds, cfg, store)
+}
+
+/// Like [`run_simulated`] but also returns every finished streamline,
+/// sorted by id — for result-equivalence checks and post-processing.
+pub fn run_simulated_detailed(
+    dataset: &Dataset,
+    seeds: &SeedSet,
+    cfg: &RunConfig,
+) -> (RunReport, Vec<streamline_integrate::Streamline>) {
+    let store: Arc<dyn BlockStore> = Arc::new(FieldStore::new(dataset.clone()));
+    let procs = build_procs(dataset, seeds, cfg, store);
+    let sim = Simulation::new(cfg.cost.net, procs);
+    let (report, mut procs) = sim.run();
+    let run_report = collect_report(dataset, seeds, cfg, report, &procs);
+    let mut finished: Vec<streamline_integrate::Streamline> =
+        procs.iter_mut().flat_map(|p| p.take_finished()).collect();
+    finished.sort_by_key(|s| s.id);
+    (run_report, finished)
+}
+
+/// [`run_simulated`] with an explicit store (e.g. a pre-built
+/// [`streamline_iosim::MemoryStore`] shared across a parameter sweep).
+pub fn run_simulated_with_store(
+    dataset: &Dataset,
+    seeds: &SeedSet,
+    cfg: &RunConfig,
+    store: Arc<dyn BlockStore>,
+) -> RunReport {
+    let procs = build_procs(dataset, seeds, cfg, store);
+    let sim = Simulation::new(cfg.cost.net, procs);
+    let (report, procs) = sim.run();
+    collect_report(dataset, seeds, cfg, report, &procs)
+}
+
+/// Run one configuration on real OS threads (wall time is measured, not
+/// simulated; `charge_*` amounts still populate the metric buckets).
+pub fn run_threaded(
+    dataset: &Dataset,
+    seeds: &SeedSet,
+    cfg: &RunConfig,
+    store: Arc<dyn BlockStore>,
+    timeout: std::time::Duration,
+) -> RunReport {
+    let procs = build_procs(dataset, seeds, cfg, store);
+    let rt = ThreadRuntime::new(cfg.cost.net, procs);
+    let (report, procs) = rt.run_until_finished(timeout, |p: &AnyProc| p.retired());
+    collect_report(dataset, seeds, cfg, report, &procs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemoryBudget;
+    use streamline_field::dataset::{DatasetConfig, Seeding};
+
+    fn tiny_run(algorithm: Algorithm, n_procs: usize, n_seeds: usize) -> RunReport {
+        let mut dcfg = DatasetConfig::tiny();
+        dcfg.blocks_per_axis = [2, 2, 2];
+        dcfg.cells_per_block = [6, 6, 6];
+        let ds = Dataset::thermal_hydraulics(dcfg);
+        let seeds = ds.seeds_with_count(Seeding::Sparse, n_seeds);
+        let mut cfg = RunConfig::new(algorithm, n_procs);
+        cfg.limits.max_steps = 300;
+        cfg.memory = MemoryBudget::unlimited();
+        run_simulated(&ds, &seeds, &cfg)
+    }
+
+    #[test]
+    fn all_algorithms_terminate_every_streamline() {
+        for algo in Algorithm::ALL {
+            let r = tiny_run(algo, 4, 27);
+            assert!(r.outcome.completed(), "{algo:?}");
+            assert_eq!(r.terminated, 27, "{algo:?} lost streamlines: {r:?}");
+            assert!(r.wall > 0.0);
+            assert!(r.total_steps > 0);
+        }
+    }
+
+    #[test]
+    fn load_on_demand_never_communicates() {
+        let r = tiny_run(Algorithm::LoadOnDemand, 4, 27);
+        assert_eq!(r.msgs, 0);
+        assert_eq!(r.comm_time, 0.0);
+    }
+
+    #[test]
+    fn static_never_purges_blocks() {
+        let r = tiny_run(Algorithm::StaticAllocation, 4, 27);
+        assert_eq!(r.blocks_purged, 0);
+        assert_eq!(r.block_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn static_communicates_streamlines() {
+        let r = tiny_run(Algorithm::StaticAllocation, 4, 27);
+        assert!(r.msgs > 0, "block crossings must produce hand-offs");
+        assert!(r.comm_time > 0.0);
+    }
+
+    #[test]
+    fn chunking_is_even_and_complete() {
+        let mut dcfg = DatasetConfig::tiny();
+        dcfg.blocks_per_axis = [2, 2, 2];
+        let ds = Dataset::thermal_hydraulics(dcfg);
+        let seeds = ds.seeds_with_count(Seeding::Sparse, 10);
+        let chunks = chunk_seeds_by_block(&ds, &seeds, 3);
+        let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4), "{sizes:?}");
+        // Every id present exactly once.
+        let mut ids: Vec<u32> = chunks.iter().flatten().map(|(id, _)| id.0).collect();
+        ids.sort();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_simulated_runs() {
+        for algo in Algorithm::ALL {
+            let a = tiny_run(algo, 4, 27);
+            let b = tiny_run(algo, 4, 27);
+            assert_eq!(a.wall, b.wall, "{algo:?}");
+            assert_eq!(a.msgs, b.msgs, "{algo:?}");
+            assert_eq!(a.total_steps, b.total_steps, "{algo:?}");
+            assert_eq!(a.blocks_loaded, b.blocks_loaded, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn single_rank_runs_work() {
+        // Degenerate but legal for static and LOD.
+        for algo in [Algorithm::StaticAllocation, Algorithm::LoadOnDemand] {
+            let r = tiny_run(algo, 1, 8);
+            assert_eq!(r.terminated, 8, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn hybrid_two_ranks_is_master_plus_slave() {
+        let r = tiny_run(Algorithm::HybridMasterSlave, 2, 8);
+        assert!(r.outcome.completed());
+        assert_eq!(r.terminated, 8);
+    }
+
+    #[test]
+    fn hybrid_multi_master_with_work_stealing() {
+        // 70 ranks at W = 32 gives 3 masters; seeds are split across master
+        // pools and drained through stealing as groups finish unevenly.
+        let mut dcfg = DatasetConfig::tiny();
+        dcfg.blocks_per_axis = [2, 2, 2];
+        dcfg.cells_per_block = [6, 6, 6];
+        let ds = Dataset::thermal_hydraulics(dcfg);
+        let seeds = ds.seeds_with_count(Seeding::Dense, 300);
+        let mut cfg = RunConfig::new(Algorithm::HybridMasterSlave, 70);
+        cfg.limits.max_steps = 200;
+        cfg.limits.max_arc_length = 1.0;
+        cfg.memory = MemoryBudget::unlimited();
+        assert_eq!(cfg.hybrid.n_masters(70), 3);
+        let r = run_simulated(&ds, &seeds, &cfg);
+        assert!(r.outcome.completed(), "{}", r.summary());
+        assert_eq!(r.terminated, 300);
+    }
+
+    #[test]
+    fn round_robin_partition_also_conserves_streamlines() {
+        let mut dcfg = DatasetConfig::tiny();
+        dcfg.blocks_per_axis = [2, 2, 2];
+        dcfg.cells_per_block = [6, 6, 6];
+        let ds = Dataset::thermal_hydraulics(dcfg);
+        let seeds = ds.seeds_with_count(Seeding::Sparse, 64);
+        let mut cfg = RunConfig::new(Algorithm::StaticAllocation, 5);
+        cfg.limits.max_steps = 300;
+        cfg.memory = MemoryBudget::unlimited();
+        cfg.static_partition = crate::static_alloc::StaticPartition::RoundRobin;
+        let r = run_simulated(&ds, &seeds, &cfg);
+        assert!(r.outcome.completed());
+        assert_eq!(r.terminated, 64);
+        // Round-robin spreads blocks, so crossings produce more hand-offs
+        // than the contiguous default.
+        let mut contiguous = cfg;
+        contiguous.static_partition = crate::static_alloc::StaticPartition::Contiguous;
+        let rc = run_simulated(&ds, &seeds, &contiguous);
+        assert!(r.msgs >= rc.msgs, "round-robin {} vs contiguous {}", r.msgs, rc.msgs);
+    }
+}

@@ -1,0 +1,879 @@
+//! The Hybrid master process (§4.3).
+//!
+//! The master keeps a record per slave (streamlines owned, blocks they
+//! intersect, blocks loaded, active count) and, whenever status updates
+//! arrive, applies the five rules — Assign-loaded, Assign-unloaded,
+//! Send-force, Send-hint, Load — in the paper's 7-step order to every slave
+//! with no work. Multiple masters each manage `W` slaves, exchange work when
+//! a pool drains, and master 0 maintains the global remaining count.
+
+use crate::config::HybridParams;
+use crate::msg::{Command, Msg, SlaveStatus};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+use streamline_desim::{Context, Event, Process};
+use streamline_field::block::BlockId;
+use streamline_field::decomp::BlockDecomposition;
+use streamline_integrate::StreamlineId;
+use streamline_math::{rng, Vec3};
+
+/// Master 0 coordinates global termination.
+pub const ROOT_MASTER: usize = 0;
+
+/// The master's model of one slave (§4.3: "The master algorithm maintains a
+/// set of slave records, one record for each slave process").
+#[derive(Debug, Clone, Default)]
+struct SlaveRecord {
+    /// Streamlines currently advanceable on the slave (estimated between
+    /// statuses as the master hands out work).
+    active: u64,
+    /// Blocks resident on the slave.
+    loaded: Vec<BlockId>,
+    /// Streamlines parked per block.
+    queued: BTreeMap<BlockId, u32>,
+    /// Cumulative terminated count.
+    terminated: u64,
+    /// The slave said it cannot advance anything.
+    out_of_work: bool,
+    /// Work was sent since its last status; skip it until it reports again
+    /// ("not considered for additional work assignments until the slave ...
+    /// sends a new update status").
+    pending: bool,
+    /// Commands sent to this slave so far; statuses acknowledging fewer are
+    /// stale (they crossed a command in flight) and must not drive
+    /// decisions.
+    cmds_sent: u64,
+}
+
+/// One Hybrid master rank.
+pub struct MasterProc {
+    rank: usize,
+    decomp: BlockDecomposition,
+    params: HybridParams,
+    comm_geometry: bool,
+    /// Ranks of the slaves this master manages.
+    slaves: Vec<usize>,
+    /// All master ranks (for work stealing / termination), sorted.
+    masters: Vec<usize>,
+    /// Unassigned seed points, grouped by owning block.
+    pool: BTreeMap<BlockId, Vec<(StreamlineId, Vec3)>>,
+    records: BTreeMap<usize, SlaveRecord>,
+    /// Seeds this master is responsible for (adjusted by work transfers).
+    group_total: u64,
+    /// Immediately-terminated seeds (outside the domain).
+    group_pre_terminated: u64,
+    last_reported_remaining: Option<u64>,
+    rng: ChaCha8Rng,
+    steal_outstanding: bool,
+    next_steal: usize,
+    /// Statuses processed (drives the hint throttle).
+    status_counter: u64,
+    /// Per-slave earliest status count at which another hint may be issued
+    /// on its behalf (prevents hint storms for starving slaves).
+    hint_after: BTreeMap<usize, u64>,
+    // Root master only:
+    reported: BTreeMap<usize, u64>,
+    pub done: bool,
+    /// Diagnostics: commands issued, indexed as
+    /// [assign, send-force, send-hint, load, terminate].
+    pub cmd_counts: [u64; 5],
+}
+
+impl MasterProc {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rank: usize,
+        decomp: BlockDecomposition,
+        params: HybridParams,
+        comm_geometry: bool,
+        slaves: Vec<usize>,
+        masters: Vec<usize>,
+        seeds: Vec<(StreamlineId, Vec3)>,
+        seed: u64,
+    ) -> Self {
+        let mut pool: BTreeMap<BlockId, Vec<(StreamlineId, Vec3)>> = BTreeMap::new();
+        let mut pre_terminated = 0u64;
+        let group_total = seeds.len() as u64;
+        for (id, p) in seeds {
+            match decomp.locate(p) {
+                Some(b) => pool.entry(b).or_default().push((id, p)),
+                None => pre_terminated += 1,
+            }
+        }
+        let records = slaves.iter().map(|&r| (r, SlaveRecord::default())).collect();
+        MasterProc {
+            rank,
+            decomp,
+            params,
+            comm_geometry,
+            slaves,
+            masters,
+            pool,
+            records,
+            group_total,
+            group_pre_terminated: pre_terminated,
+            last_reported_remaining: None,
+            rng: rng::stream(seed, "hybrid-master"),
+            steal_outstanding: false,
+            next_steal: 0,
+            status_counter: 0,
+            hint_after: BTreeMap::new(),
+            reported: BTreeMap::new(),
+            done: false,
+            cmd_counts: [0; 5],
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn send_cmd(&mut self, to: usize, cmd: Command, ctx: &mut dyn Context<Msg>) {
+        if let Some(rec) = self.records.get_mut(&to) {
+            rec.cmds_sent += 1;
+        }
+        self.cmd_counts[match &cmd {
+            Command::AssignSeeds { .. } => 0,
+            Command::SendForce { .. } => 1,
+            Command::SendHint { .. } => 2,
+            Command::Load { .. } => 3,
+            Command::Terminate => 4,
+        }] += 1;
+        let m = Msg::Command(cmd);
+        let bytes = m.wire_bytes(self.comm_geometry);
+        ctx.send(to, m, bytes);
+    }
+
+    /// This master's unfinished streamline count.
+    fn remaining(&self) -> u64 {
+        let terminated: u64 =
+            self.records.values().map(|r| r.terminated).sum::<u64>() + self.group_pre_terminated;
+        self.group_total.saturating_sub(terminated)
+    }
+
+    /// Report remaining to the root (or record it locally if we are root).
+    fn report_remaining(&mut self, ctx: &mut dyn Context<Msg>) {
+        let remaining = self.remaining();
+        if self.last_reported_remaining == Some(remaining) {
+            return;
+        }
+        self.last_reported_remaining = Some(remaining);
+        if self.rank == ROOT_MASTER {
+            self.reported.insert(self.rank, remaining);
+            self.check_done(ctx);
+        } else {
+            let m = Msg::GroupRemaining { remaining };
+            let bytes = m.wire_bytes(self.comm_geometry);
+            ctx.send(ROOT_MASTER, m, bytes);
+        }
+    }
+
+    fn check_done(&mut self, ctx: &mut dyn Context<Msg>) {
+        debug_assert_eq!(self.rank, ROOT_MASTER);
+        let all_reported = self.masters.iter().all(|m| self.reported.contains_key(m));
+        if all_reported && self.reported.values().sum::<u64>() == 0 {
+            self.done = true;
+            // Tell every slave to wind down, then stop the world.
+            let slaves: Vec<usize> = self.records.keys().copied().collect();
+            for s in slaves {
+                self.send_cmd(s, Command::Terminate, ctx);
+            }
+            ctx.stop_all();
+        }
+    }
+
+    /// Take up to `n` seeds from the pool block with the most seeds.
+    fn take_seeds(&mut self, n: usize, prefer: Option<BlockId>) -> Option<(BlockId, Vec<(StreamlineId, Vec3)>)> {
+        let block = match prefer {
+            Some(b) if self.pool.contains_key(&b) => b,
+            _ => *self
+                .pool
+                .iter()
+                .max_by_key(|(id, v)| (v.len(), std::cmp::Reverse(id.0)))?
+                .0,
+        };
+        let list = self.pool.get_mut(&block).expect("chosen block exists");
+        let take = n.min(list.len());
+        let seeds: Vec<_> = list.drain(list.len() - take..).collect();
+        if list.is_empty() {
+            self.pool.remove(&block);
+        }
+        Some((block, seeds))
+    }
+
+    /// Choose a Send-force destination among slaves with `b` loaded and
+    /// headroom under `N_O`. Preference goes to the slave holding the most
+    /// of `b`'s neighbour blocks: migrated streamlines then tend to stay on
+    /// that slave as they cross block faces, so geometry is communicated
+    /// once per region instead of once per block (this is the coherency
+    /// exploitation the paper's abstract advertises).
+    fn pick_force_target(&self, from: usize, b: BlockId, c: u32, overload: u64) -> Option<usize> {
+        let neighbors = self.decomp.neighbors(b);
+        self.records
+            .iter()
+            .filter(|(&t, rec)| {
+                t != from && rec.loaded.contains(&b) && rec.active + c as u64 <= overload
+            })
+            .max_by_key(|(&t, rec)| {
+                let affinity = neighbors.iter().filter(|n| rec.loaded.contains(n)).count();
+                (affinity, std::cmp::Reverse(rec.active), std::cmp::Reverse(t))
+            })
+            .map(|(&t, _)| t)
+    }
+
+    /// §4.3 step 1 (and 3): Send-force streamlines in unloaded blocks from
+    /// `from` to slaves that have those blocks loaded, respecting `N_O`.
+    fn force_offload(&mut self, from: usize, ctx: &mut dyn Context<Msg>) {
+        let overload = self.params.overload_limit() as u64;
+        let source = self.records.get(&from).expect("known slave");
+        let candidates: Vec<(BlockId, u32)> = source
+            .queued
+            .iter()
+            .filter(|(b, _)| !source.loaded.contains(b))
+            .map(|(&b, &c)| (b, c))
+            .collect();
+        for (b, c) in candidates {
+            let target = self.pick_force_target(from, b, c, overload);
+            if let Some(t) = target {
+                self.send_cmd(from, Command::SendForce { block: b, to: t }, ctx);
+                self.records.get_mut(&from).expect("known").queued.remove(&b);
+                let tr = self.records.get_mut(&t).expect("known");
+                tr.active += c as u64;
+                tr.out_of_work = false;
+            }
+        }
+    }
+
+    /// Step 3's other direction: after `loader` loads `block`, other slaves
+    /// can force their parked streamlines in `block` toward it.
+    fn force_toward(&mut self, loader: usize, block: BlockId, ctx: &mut dyn Context<Msg>) {
+        let overload = self.params.overload_limit() as u64;
+        let others: Vec<(usize, u32)> = self
+            .records
+            .iter()
+            .filter(|(&u, rec)| {
+                u != loader && !rec.loaded.contains(&block) && rec.queued.contains_key(&block)
+            })
+            .map(|(&u, rec)| (u, rec.queued[&block]))
+            .collect();
+        for (u, c) in others {
+            let loader_active = self.records[&loader].active;
+            if loader_active + c as u64 > overload {
+                continue;
+            }
+            self.send_cmd(u, Command::SendForce { block, to: loader }, ctx);
+            self.records.get_mut(&u).expect("known").queued.remove(&block);
+            self.records.get_mut(&loader).expect("known").active += c as u64;
+        }
+    }
+
+    /// Try to give slave `s` work following the 7-step sequence of §4.3.
+    /// Returns true when work was assigned to `s`.
+    fn try_assign(&mut self, s: usize, ctx: &mut dyn Context<Msg>) -> bool {
+        // 1. Offload s's streamlines stuck in unloaded blocks to slaves that
+        //    have those blocks loaded.
+        self.force_offload(s, ctx);
+
+        // 2. If s has more than N_L streamlines in an unloaded block, load it.
+        let n_load = self.params.n_load as u32;
+        let rec = &self.records[&s];
+        let heavy = rec
+            .queued
+            .iter()
+            .filter(|(b, &c)| !rec.loaded.contains(b) && c >= n_load)
+            .max_by_key(|(b, &c)| (c, std::cmp::Reverse(b.0)))
+            .map(|(&b, &c)| (b, c));
+        if let Some((b, c)) = heavy {
+            self.send_cmd(s, Command::Load { block: b }, ctx);
+            let rec = self.records.get_mut(&s).expect("known");
+            rec.loaded.push(b);
+            rec.queued.remove(&b);
+            rec.active += c as u64;
+            rec.pending = true;
+            rec.out_of_work = false;
+            // 3. The loaded-set changed: let others force toward s.
+            self.force_toward(s, b, ctx);
+            return true;
+        }
+
+        // 4. Assign-loaded: seeds in a block s already has.
+        let loaded_with_seeds = {
+            let rec = &self.records[&s];
+            let mut blocks: Vec<BlockId> =
+                rec.loaded.iter().copied().filter(|b| self.pool.contains_key(b)).collect();
+            blocks.sort();
+            blocks.first().copied()
+        };
+        if let Some(b) = loaded_with_seeds {
+            let (block, seeds) =
+                self.take_seeds(self.params.n_assign, Some(b)).expect("pool has b");
+            let n = seeds.len() as u64;
+            self.send_cmd(s, Command::AssignSeeds { block, seeds }, ctx);
+            let rec = self.records.get_mut(&s).expect("known");
+            rec.active += n;
+            rec.pending = true;
+            rec.out_of_work = false;
+            return true;
+        }
+
+        // 5. Assign-unloaded: any seeds at all; the slave loads the block.
+        if let Some((block, seeds)) = self.take_seeds(self.params.n_assign, None) {
+            let n = seeds.len() as u64;
+            self.send_cmd(s, Command::AssignSeeds { block, seeds }, ctx);
+            let rec = self.records.get_mut(&s).expect("known");
+            if !rec.loaded.contains(&block) {
+                rec.loaded.push(block);
+            }
+            rec.active += n;
+            rec.pending = true;
+            rec.out_of_work = false;
+            return true;
+        }
+
+        // 6. Load the block with the most parked streamlines, even below N_L.
+        let best = {
+            let rec = &self.records[&s];
+            rec.queued
+                .iter()
+                .filter(|(b, _)| !rec.loaded.contains(b))
+                .max_by_key(|(b, &c)| (c, std::cmp::Reverse(b.0)))
+                .map(|(&b, &c)| (b, c))
+        };
+        if let Some((b, c)) = best {
+            self.send_cmd(s, Command::Load { block: b }, ctx);
+            let rec = self.records.get_mut(&s).expect("known");
+            rec.loaded.push(b);
+            rec.queued.remove(&b);
+            rec.active += c as u64;
+            rec.pending = true;
+            rec.out_of_work = false;
+            self.force_toward(s, b, ctx);
+            return true;
+        }
+
+        // 7. Send-hint: ask the busiest slave to consider offloading to s.
+        // Throttled: a starving slave triggers at most one hint per
+        // half-group of status arrivals, or idle groups would spam hints.
+        if self.hint_after.get(&s).copied().unwrap_or(0) > self.status_counter {
+            return false;
+        }
+        let busiest: Vec<usize> = {
+            let max_active =
+                self.records.iter().filter(|(&t, _)| t != s).map(|(_, r)| r.active).max();
+            match max_active {
+                Some(m) if m > 0 => self
+                    .records
+                    .iter()
+                    .filter(|(&t, r)| t != s && r.active == m)
+                    .map(|(&t, _)| t)
+                    .collect(),
+                _ => Vec::new(),
+            }
+        };
+        if !busiest.is_empty() {
+            let pick = busiest[self.rng.gen_range(0..busiest.len())];
+            let blocks: Vec<BlockId> = {
+                let rec = &self.records[&pick];
+                rec.queued.keys().copied().filter(|b| !rec.loaded.contains(b)).collect()
+            };
+            if !blocks.is_empty() {
+                self.send_cmd(pick, Command::SendHint { blocks, to: s }, ctx);
+                self.hint_after
+                    .insert(s, self.status_counter + (self.slaves.len() as u64 / 2).max(4));
+            }
+            return false;
+        }
+
+        // Nothing local: try to steal seeds from a peer master.
+        if !self.steal_outstanding && self.masters.len() > 1 && self.pool.is_empty() {
+            let peers: Vec<usize> =
+                self.masters.iter().copied().filter(|&m| m != self.rank).collect();
+            let target = peers[self.next_steal % peers.len()];
+            self.next_steal += 1;
+            self.steal_outstanding = true;
+            let m = Msg::WorkRequest;
+            let bytes = m.wire_bytes(self.comm_geometry);
+            ctx.send(target, m, bytes);
+        }
+        false
+    }
+
+    /// Apply the rules to every idle, non-pending slave.
+    fn assign_idle(&mut self, ctx: &mut dyn Context<Msg>) {
+        let idle: Vec<usize> = self
+            .records
+            .iter()
+            .filter(|(_, r)| r.out_of_work && !r.pending)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in idle {
+            // Records change as earlier slaves get work; re-check.
+            if self.records[&s].out_of_work && !self.records[&s].pending {
+                self.try_assign(s, ctx);
+            }
+        }
+    }
+
+    fn on_status(&mut self, from: usize, st: SlaveStatus, ctx: &mut dyn Context<Msg>) {
+        self.status_counter += 1;
+        let rec = self.records.get_mut(&from).expect("status from unknown slave");
+        if st.acked_cmds < rec.cmds_sent {
+            // Stale: sent before a command we issued reached the slave.
+            // Folding it into the record would revert our predictions and
+            // make us re-issue the same command. Only monotone counters are
+            // safe to take.
+            rec.terminated = rec.terminated.max(st.terminated_total);
+            self.report_remaining(ctx);
+            return;
+        }
+        rec.active = st.active as u64;
+        rec.loaded = st.loaded;
+        rec.queued = st.queued_by_block.into_iter().collect();
+        rec.terminated = rec.terminated.max(st.terminated_total);
+        rec.out_of_work = st.out_of_work;
+        rec.pending = false;
+        self.report_remaining(ctx);
+        self.assign_idle(ctx);
+    }
+}
+
+impl Process<Msg> for MasterProc {
+    fn on_event(&mut self, ev: Event<Msg>, ctx: &mut dyn Context<Msg>) {
+        match ev {
+            Event::Start => {
+                // Initial allocation: every slave gets N seeds through
+                // Assign-unloaded ("all slaves receive their initial
+                // allocation of work through the Assign-unloaded rule").
+                let slaves = self.slaves.clone();
+                for s in slaves {
+                    if let Some((block, seeds)) = self.take_seeds(self.params.n_assign, None) {
+                        let n = seeds.len() as u64;
+                        self.send_cmd(s, Command::AssignSeeds { block, seeds }, ctx);
+                        let rec = self.records.get_mut(&s).expect("known");
+                        rec.loaded.push(block);
+                        rec.active += n;
+                        rec.pending = true;
+                    }
+                }
+                self.report_remaining(ctx);
+            }
+            Event::Message { from, msg } => match msg {
+                Msg::Status(st) => self.on_status(from, st, ctx),
+                Msg::GroupRemaining { remaining } => {
+                    debug_assert_eq!(self.rank, ROOT_MASTER);
+                    self.reported.insert(from, remaining);
+                    self.check_done(ctx);
+                }
+                Msg::WorkRequest => {
+                    // Grant up to W·N seeds.
+                    let mut granted: Vec<(StreamlineId, Vec3)> = Vec::new();
+                    let cap = self.params.slaves_per_master * self.params.n_assign;
+                    while granted.len() < cap {
+                        match self.take_seeds(cap - granted.len(), None) {
+                            Some((_, mut seeds)) => granted.append(&mut seeds),
+                            None => break,
+                        }
+                    }
+                    self.group_total -= granted.len() as u64;
+                    let m = Msg::WorkGrant { seeds: granted };
+                    let bytes = m.wire_bytes(self.comm_geometry);
+                    ctx.send(from, m, bytes);
+                    self.report_remaining(ctx);
+                }
+                Msg::WorkGrant { seeds } => {
+                    self.steal_outstanding = false;
+                    self.group_total += seeds.len() as u64;
+                    for (id, p) in seeds {
+                        match self.decomp.locate(p) {
+                            Some(b) => self.pool.entry(b).or_default().push((id, p)),
+                            None => self.group_pre_terminated += 1,
+                        }
+                    }
+                    self.report_remaining(ctx);
+                    self.assign_idle(ctx);
+                }
+                Msg::OutOfMemory { .. } => {}
+                _ => {}
+            },
+            Event::Wake(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{uniform_x_dataset, NullCtx};
+
+    fn master_with_seeds(n_seeds: usize, n_slaves: usize) -> MasterProc {
+        let ds = uniform_x_dataset();
+        let seeds = (0..n_seeds)
+            .map(|i| {
+                (
+                    StreamlineId(i as u32),
+                    Vec3::new(
+                        0.05 + 0.9 * (i as f64 / n_seeds.max(1) as f64),
+                        0.3,
+                        0.3,
+                    ),
+                )
+            })
+            .collect();
+        MasterProc::new(
+            0,
+            ds.decomp,
+            HybridParams::default(),
+            true,
+            (1..=n_slaves).collect(),
+            vec![0],
+            seeds,
+            7,
+        )
+    }
+
+    fn commands_to(ctx: &NullCtx, rank: usize) -> Vec<&Command> {
+        ctx.sent
+            .iter()
+            .filter_map(|(to, m, _)| match m {
+                Msg::Command(c) if *to == rank => Some(c),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn start_assigns_n_seeds_per_slave() {
+        let mut m = master_with_seeds(100, 3);
+        let mut ctx = NullCtx::default();
+        m.on_event(Event::Start, &mut ctx);
+        for s in 1..=3 {
+            let cmds = commands_to(&ctx, s);
+            assert_eq!(cmds.len(), 1, "slave {s}");
+            match cmds[0] {
+                Command::AssignSeeds { seeds, .. } => assert_eq!(seeds.len(), 10),
+                other => panic!("expected AssignSeeds, got {other:?}"),
+            }
+        }
+        // 30 of 100 seeds handed out.
+        let pooled: usize = m.pool.values().map(|v| v.len()).sum();
+        assert_eq!(pooled, 70);
+    }
+
+    #[test]
+    fn idle_slave_with_heavy_unloaded_block_gets_load_command() {
+        let mut m = master_with_seeds(0, 2);
+        let mut ctx = NullCtx::default();
+        // Slave 1 idles with 50 streamlines parked in unloaded block 3.
+        m.on_status(
+            1,
+            SlaveStatus {
+                queued_by_block: vec![(BlockId(3), 50)],
+                loaded: vec![BlockId(0)],
+                active: 0,
+                terminated_total: 0,
+                out_of_work: true,
+                acked_cmds: u64::MAX,
+            },
+            &mut ctx,
+        );
+        let cmds = commands_to(&ctx, 1);
+        assert!(
+            cmds.iter().any(|c| matches!(c, Command::Load { block } if *block == BlockId(3))),
+            "expected Load(B3), got {cmds:?}"
+        );
+    }
+
+    #[test]
+    fn idle_slave_with_light_parked_block_gets_send_force() {
+        let mut m = master_with_seeds(0, 2);
+        let mut ctx = NullCtx::default();
+        // Slave 2 has block 3 loaded and capacity.
+        m.on_status(
+            2,
+            SlaveStatus {
+                queued_by_block: vec![],
+                loaded: vec![BlockId(3)],
+                active: 5,
+                terminated_total: 0,
+                out_of_work: false,
+                acked_cmds: u64::MAX,
+            },
+            &mut ctx,
+        );
+        // Slave 1 idles with 5 streamlines parked in block 3 (below N_L).
+        m.on_status(
+            1,
+            SlaveStatus {
+                queued_by_block: vec![(BlockId(3), 5)],
+                loaded: vec![BlockId(0)],
+                active: 0,
+                terminated_total: 0,
+                out_of_work: true,
+                acked_cmds: u64::MAX,
+            },
+            &mut ctx,
+        );
+        let cmds = commands_to(&ctx, 1);
+        assert!(
+            cmds.iter().any(
+                |c| matches!(c, Command::SendForce { block, to } if *block == BlockId(3) && *to == 2)
+            ),
+            "expected SendForce(B3 → 2), got {cmds:?}"
+        );
+    }
+
+    #[test]
+    fn send_force_respects_overload_limit() {
+        let mut m = master_with_seeds(0, 2);
+        let mut ctx = NullCtx::default();
+        // Slave 2 has block 3 loaded but is at the overload limit (200).
+        m.on_status(
+            2,
+            SlaveStatus {
+                queued_by_block: vec![],
+                loaded: vec![BlockId(3)],
+                active: 200,
+                terminated_total: 0,
+                out_of_work: false,
+                acked_cmds: u64::MAX,
+            },
+            &mut ctx,
+        );
+        m.on_status(
+            1,
+            SlaveStatus {
+                queued_by_block: vec![(BlockId(3), 5)],
+                loaded: vec![],
+                active: 0,
+                terminated_total: 0,
+                out_of_work: true,
+                acked_cmds: u64::MAX,
+            },
+            &mut ctx,
+        );
+        let cmds = commands_to(&ctx, 1);
+        assert!(
+            !cmds.iter().any(|c| matches!(c, Command::SendForce { .. })),
+            "must not overload slave 2: {cmds:?}"
+        );
+        // Falls through to rule 6: load its own block.
+        assert!(cmds.iter().any(|c| matches!(c, Command::Load { .. })));
+    }
+
+    #[test]
+    fn starving_slave_triggers_hint_to_busiest() {
+        let mut m = master_with_seeds(0, 3);
+        let mut ctx = NullCtx::default();
+        // Slave 2 is busy with parked work in unloaded block 5.
+        m.on_status(
+            2,
+            SlaveStatus {
+                queued_by_block: vec![(BlockId(5), 30)],
+                loaded: vec![BlockId(1)],
+                active: 40,
+                terminated_total: 0,
+                out_of_work: false,
+                acked_cmds: u64::MAX,
+            },
+            &mut ctx,
+        );
+        // Slave 1 idles with nothing at all.
+        m.on_status(
+            1,
+            SlaveStatus {
+                queued_by_block: vec![],
+                loaded: vec![],
+                active: 0,
+                terminated_total: 0,
+                out_of_work: true,
+                acked_cmds: u64::MAX,
+            },
+            &mut ctx,
+        );
+        let hints = commands_to(&ctx, 2);
+        assert!(
+            hints
+                .iter()
+                .any(|c| matches!(c, Command::SendHint { to, .. } if *to == 1)),
+            "expected hint to slave 2 on behalf of 1, got {hints:?}"
+        );
+    }
+
+    #[test]
+    fn termination_when_all_groups_report_zero() {
+        let mut m = master_with_seeds(10, 1);
+        let mut ctx = NullCtx::default();
+        m.on_event(Event::Start, &mut ctx);
+        assert!(!ctx.stopped);
+        // The slave terminates everything it was given (10 seeds).
+        m.on_status(
+            1,
+            SlaveStatus {
+                queued_by_block: vec![],
+                loaded: vec![BlockId(0)],
+                active: 0,
+                terminated_total: 10,
+                out_of_work: true,
+                acked_cmds: u64::MAX,
+            },
+            &mut ctx,
+        );
+        assert!(ctx.stopped, "root master must stop the run at zero remaining");
+        assert!(m.done);
+        // A Terminate command was sent to the slave.
+        assert!(commands_to(&ctx, 1).iter().any(|c| matches!(c, Command::Terminate)));
+    }
+
+    #[test]
+    fn work_request_grants_seeds_and_adjusts_totals() {
+        let mut m = master_with_seeds(100, 1);
+        let mut ctx = NullCtx::default();
+        let before = m.group_total;
+        m.on_event(Event::Message { from: 9, msg: Msg::WorkRequest }, &mut ctx);
+        let grant = ctx
+            .sent
+            .iter()
+            .find_map(|(to, msg, _)| match msg {
+                Msg::WorkGrant { seeds } if *to == 9 => Some(seeds.len()),
+                _ => None,
+            })
+            .expect("grant sent");
+        assert!(grant > 0);
+        assert_eq!(m.group_total, before - grant as u64);
+    }
+
+    #[test]
+    fn stale_status_does_not_revert_decisions() {
+        // Regression for the command/status race: after the master issues
+        // Load(B3), a status that was already in flight (acking fewer
+        // commands) must NOT make it re-issue Load(B3).
+        let mut m = master_with_seeds(0, 1);
+        let mut ctx = NullCtx::default();
+        // Fresh status: slave 1 idle with 50 parked in unloaded B3.
+        m.on_status(
+            1,
+            SlaveStatus {
+                queued_by_block: vec![(BlockId(3), 50)],
+                loaded: vec![],
+                active: 0,
+                terminated_total: 0,
+                out_of_work: true,
+                acked_cmds: 0,
+            },
+            &mut ctx,
+        );
+        let loads_before = m.cmd_counts[3];
+        assert_eq!(loads_before, 1, "first status triggers the Load");
+        // A stale duplicate (acked_cmds still 0 < cmds_sent 1) arrives.
+        m.on_status(
+            1,
+            SlaveStatus {
+                queued_by_block: vec![(BlockId(3), 50)],
+                loaded: vec![],
+                active: 0,
+                terminated_total: 0,
+                out_of_work: true,
+                acked_cmds: 0,
+            },
+            &mut ctx,
+        );
+        assert_eq!(m.cmd_counts[3], loads_before, "stale status re-issued a Load");
+        // The acknowledging status unblocks further assignment. (This
+        // zero-seed master also sent a Terminate on its first status —
+        // remaining hit zero immediately — so two commands are in flight.)
+        m.on_status(
+            1,
+            SlaveStatus {
+                queued_by_block: vec![(BlockId(5), 50)],
+                loaded: vec![BlockId(3)],
+                active: 0,
+                terminated_total: 30,
+                out_of_work: true,
+                acked_cmds: m.records[&1].cmds_sent,
+            },
+            &mut ctx,
+        );
+        assert_eq!(m.cmd_counts[3], loads_before + 1, "fresh status resumes work");
+    }
+
+    #[test]
+    fn stale_status_still_counts_terminations() {
+        // Terminated counts are monotone and must be folded in even from
+        // stale statuses, or the global count would stall.
+        let mut m = master_with_seeds(10, 1);
+        let mut ctx = NullCtx::default();
+        m.on_event(Event::Start, &mut ctx); // sends AssignSeeds (1 command)
+        m.on_status(
+            1,
+            SlaveStatus {
+                queued_by_block: vec![],
+                loaded: vec![],
+                active: 0,
+                terminated_total: 10,
+                out_of_work: true,
+                acked_cmds: 0, // stale!
+            },
+            &mut ctx,
+        );
+        assert_eq!(m.remaining(), 0, "stale status must still deliver terminations");
+        assert!(ctx.stopped, "root master stops at zero remaining");
+    }
+
+    #[test]
+    fn hint_is_throttled() {
+        let mut m = master_with_seeds(0, 3);
+        let mut ctx = NullCtx::default();
+        // Slave 2 busy with parked work in an unloaded block (hint target).
+        m.on_status(
+            2,
+            SlaveStatus {
+                queued_by_block: vec![(BlockId(5), 30)],
+                loaded: vec![BlockId(1)],
+                active: 40,
+                terminated_total: 0,
+                out_of_work: false,
+                acked_cmds: u64::MAX,
+            },
+            &mut ctx,
+        );
+        // Slave 1 idles repeatedly; only the first idle status may hint.
+        for _ in 0..5 {
+            m.on_status(
+                1,
+                SlaveStatus {
+                    queued_by_block: vec![],
+                    loaded: vec![],
+                    active: 0,
+                    terminated_total: 0,
+                    out_of_work: true,
+                    acked_cmds: u64::MAX,
+                },
+                &mut ctx,
+            );
+        }
+        // The throttle admits at most one hint per half-group of statuses:
+        // far fewer than the five idle reports.
+        assert!(m.cmd_counts[2] <= 2, "hints must be throttled, got {}", m.cmd_counts[2]);
+    }
+
+    #[test]
+    fn work_grant_replenishes_pool() {
+        let ds = uniform_x_dataset();
+        let mut m = MasterProc::new(
+            0,
+            ds.decomp,
+            HybridParams::default(),
+            true,
+            vec![1],
+            vec![0, 9],
+            vec![],
+            7,
+        );
+        let mut ctx = NullCtx::default();
+        let seeds = vec![(StreamlineId(0), Vec3::splat(0.2)), (StreamlineId(1), Vec3::splat(0.7))];
+        m.on_event(Event::Message { from: 9, msg: Msg::WorkGrant { seeds } }, &mut ctx);
+        assert_eq!(m.group_total, 2);
+        assert_eq!(m.pool.values().map(|v| v.len()).sum::<usize>(), 2);
+    }
+}

@@ -1,0 +1,97 @@
+//! The Hybrid Master/Slave algorithm (§4.3) — the paper's contribution.
+//!
+//! Ranks are split into masters and slaves: with the paper's `W = 32`, one
+//! master coordinates each group of 32 slaves ("For scalable performance, we
+//! introduce the concept of multiple masters"). Masters dynamically assign
+//! both streamlines and blocks using five rules, balancing I/O against
+//! communication; slaves integrate and report status.
+
+pub mod master;
+pub mod slave;
+
+pub use master::{MasterProc, ROOT_MASTER};
+pub use slave::SlaveProc;
+
+/// Rank layout for a hybrid run: the first `n_masters` ranks are masters,
+/// the rest are slaves assigned to masters round-robin-contiguously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HybridLayout {
+    pub n_procs: usize,
+    pub n_masters: usize,
+}
+
+impl HybridLayout {
+    pub fn new(n_procs: usize, n_masters: usize) -> Self {
+        assert!(n_masters >= 1 && n_masters < n_procs, "need >= 1 master and >= 1 slave");
+        HybridLayout { n_procs, n_masters }
+    }
+
+    pub fn is_master(&self, rank: usize) -> bool {
+        rank < self.n_masters
+    }
+
+    pub fn master_ranks(&self) -> Vec<usize> {
+        (0..self.n_masters).collect()
+    }
+
+    pub fn n_slaves(&self) -> usize {
+        self.n_procs - self.n_masters
+    }
+
+    /// The master that manages slave `rank`.
+    pub fn master_of(&self, slave_rank: usize) -> usize {
+        debug_assert!(!self.is_master(slave_rank));
+        let slave_idx = slave_rank - self.n_masters;
+        // Contiguous groups of ceil(n_slaves / n_masters).
+        let group = self.n_slaves().div_ceil(self.n_masters);
+        (slave_idx / group).min(self.n_masters - 1)
+    }
+
+    /// Slave ranks managed by `master_rank`.
+    pub fn slaves_of(&self, master_rank: usize) -> Vec<usize> {
+        debug_assert!(self.is_master(master_rank));
+        (self.n_masters..self.n_procs)
+            .filter(|&s| self.master_of(s) == master_rank)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_partitions_slaves() {
+        let l = HybridLayout::new(10, 3);
+        assert_eq!(l.n_slaves(), 7);
+        let mut all: Vec<usize> = Vec::new();
+        for m in l.master_ranks() {
+            let s = l.slaves_of(m);
+            for &x in &s {
+                assert_eq!(l.master_of(x), m);
+            }
+            all.extend(s);
+        }
+        all.sort();
+        assert_eq!(all, (3..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_master_gets_slaves_when_possible() {
+        let l = HybridLayout::new(66, 2);
+        assert_eq!(l.slaves_of(0).len(), 32);
+        assert_eq!(l.slaves_of(1).len(), 32);
+    }
+
+    #[test]
+    fn single_master_owns_everyone() {
+        let l = HybridLayout::new(5, 1);
+        assert_eq!(l.slaves_of(0), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need >= 1 master")]
+    fn no_slaves_rejected() {
+        HybridLayout::new(3, 3);
+    }
+}

@@ -1,0 +1,503 @@
+//! The Hybrid slave process (§4.3, Algorithm 1).
+//!
+//! "Each slave continuously advances streamlines that reside in blocks that
+//! are loaded. ... blocks are cached to the extent permitted by main memory.
+//! When the slave can advance no more streamlines or is out of work, it
+//! sends a status message to the master and waits for further instruction."
+//! Blocks are loaded only on the master's say-so (Load / Assign-unloaded) —
+//! the slave's own autonomy is limited to honouring Send-hints.
+
+use crate::config::MemoryBudget;
+use crate::msg::{Command, Msg, SlaveStatus};
+use crate::workspace::{BlockExit, Workspace};
+use std::collections::BTreeMap;
+use streamline_desim::{Context, Event, Process};
+use streamline_field::block::BlockId;
+use streamline_integrate::{Streamline, Termination};
+
+/// One Hybrid slave rank.
+pub struct SlaveProc {
+    rank: usize,
+    master: usize,
+    ws: Workspace,
+    /// Streamlines waiting per block (resident blocks' entries are
+    /// advanceable; others are parked until a Load/Send decision).
+    parked: BTreeMap<BlockId, Vec<Streamline>>,
+    pub finished: Vec<Streamline>,
+    memory: MemoryBudget,
+    comm_geometry: bool,
+    h0: f64,
+    /// Terminated count included in the last status we sent (to avoid
+    /// spamming identical statuses).
+    last_status_terminated: u64,
+    sent_idle_status: bool,
+    pub failed_oom: bool,
+    pub terminated_cmd_seen: bool,
+    /// Diagnostics: streamline migrations sent / statuses sent.
+    pub sent_handoffs: u64,
+    pub sent_statuses: u64,
+    /// Diagnostics: Load commands that were already resident vs not.
+    pub load_cmd_hits: u64,
+    pub load_cmd_misses: u64,
+    /// Commands processed so far (acknowledged in every status).
+    cmds_processed: u64,
+}
+
+impl SlaveProc {
+    pub fn new(
+        rank: usize,
+        master: usize,
+        ws: Workspace,
+        memory: MemoryBudget,
+        comm_geometry: bool,
+        h0: f64,
+    ) -> Self {
+        SlaveProc {
+            rank,
+            master,
+            ws,
+            parked: BTreeMap::new(),
+            finished: Vec::new(),
+            memory,
+            comm_geometry,
+            h0,
+            last_status_terminated: 0,
+            sent_idle_status: false,
+            failed_oom: false,
+            terminated_cmd_seen: false,
+            sent_handoffs: 0,
+            sent_statuses: 0,
+            load_cmd_hits: 0,
+            load_cmd_misses: 0,
+            cmds_processed: 0,
+        }
+    }
+
+    pub fn workspace(&self) -> &Workspace {
+        &self.ws
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn check_memory(&mut self, ctx: &mut dyn Context<Msg>) -> bool {
+        if self.memory.exceeded(self.ws.memory_bytes()) {
+            self.failed_oom = true;
+            ctx.stop_all();
+            return true;
+        }
+        false
+    }
+
+    fn advanceable(&self) -> usize {
+        self.parked
+            .iter()
+            .filter(|(b, _)| self.ws.is_resident(**b))
+            .map(|(_, v)| v.len())
+            .sum()
+    }
+
+    fn send_status(&mut self, ctx: &mut dyn Context<Msg>, out_of_work: bool) {
+        let status = SlaveStatus {
+            queued_by_block: self.parked.iter().map(|(b, v)| (*b, v.len() as u32)).collect(),
+            loaded: {
+                let mut l = self.ws.resident_blocks();
+                l.sort();
+                l
+            },
+            active: self.advanceable() as u32,
+            terminated_total: self.ws.terminated,
+            out_of_work,
+            acked_cmds: self.cmds_processed,
+        };
+        self.last_status_terminated = self.ws.terminated;
+        self.sent_idle_status = out_of_work;
+        self.sent_statuses += 1;
+        let m = Msg::Status(status);
+        let bytes = m.wire_bytes(self.comm_geometry);
+        ctx.send(self.master, m, bytes);
+    }
+
+    /// Advance everything possible, then report to the master.
+    fn pump(&mut self, ctx: &mut dyn Context<Msg>) {
+        while let Some(block) =
+            self.parked.keys().copied().find(|&b| self.ws.is_resident(b))
+        {
+            let mut list = self.parked.remove(&block).expect("key just found");
+            while let Some(mut sl) = list.pop() {
+                let mut cur = block;
+                loop {
+                    match self.ws.advance_in(&mut sl, cur, ctx) {
+                        BlockExit::MovedTo(next) => {
+                            if self.ws.is_resident(next) {
+                                cur = next;
+                            } else {
+                                self.parked.entry(next).or_default().push(sl);
+                                break;
+                            }
+                        }
+                        BlockExit::Done(_) => {
+                            self.finished.push(sl);
+                            break;
+                        }
+                    }
+                }
+                if self.check_memory(ctx) {
+                    return;
+                }
+            }
+        }
+        // Report: always when out of work (once), otherwise when progress
+        // happened since the last report.
+        let out_of_work = self.advanceable() == 0;
+        if out_of_work {
+            if !self.sent_idle_status {
+                self.send_status(ctx, true);
+            }
+        } else if self.ws.terminated != self.last_status_terminated {
+            self.send_status(ctx, false);
+        }
+    }
+
+    /// Move parked streamlines in `block` to slave `to` (Send-force, and the
+    /// accepted half of Send-hint).
+    fn offload(&mut self, block: BlockId, to: usize, ctx: &mut dyn Context<Msg>) -> usize {
+        let Some(list) = self.parked.remove(&block) else { return 0 };
+        let n = list.len();
+        self.sent_handoffs += n as u64;
+        for sl in list {
+            self.ws.release(&sl);
+            let m = Msg::Handoff { sl: Box::new(sl) };
+            let bytes = m.wire_bytes(self.comm_geometry);
+            ctx.send(to, m, bytes);
+        }
+        n
+    }
+
+    fn handle_command(&mut self, cmd: Command, ctx: &mut dyn Context<Msg>) {
+        self.cmds_processed += 1;
+        // Every command must eventually be followed by an acknowledging
+        // status, or the master would consider this slave pending forever.
+        self.sent_idle_status = false;
+        match cmd {
+            Command::AssignSeeds { block, seeds } => {
+                // "Slave loads block B" when it is not already resident.
+                if !self.ws.is_resident(block) {
+                    self.ws.acquire(block, ctx);
+                    if self.check_memory(ctx) {
+                        return;
+                    }
+                }
+                for (id, seed) in seeds {
+                    let sl = Streamline::new_lean(id, seed, self.h0);
+                    self.ws.admit(&sl);
+                    // Seeds are grouped by block by the master; trust but
+                    // re-locate to stay robust.
+                    match self.ws.locate(seed) {
+                        Some(b) => self.parked.entry(b).or_default().push(sl),
+                        None => {
+                            let mut sl = sl;
+                            sl.terminate(Termination::ExitedDomain);
+                            // Count it so the global count converges.
+                            let ws = &mut self.ws;
+                            ws.terminated += 1;
+                            ws.retire_object();
+                            self.finished.push(sl);
+                        }
+                    }
+                }
+                self.pump(ctx);
+            }
+            Command::SendForce { block, to } => {
+                self.offload(block, to, ctx);
+                self.pump(ctx);
+            }
+            Command::SendHint { blocks, to } => {
+                // Honour the hint only for blocks we have not loaded — those
+                // streamlines are otherwise stuck; ignore the rest ("If S1
+                // does not have any appropriate streamlines to send, it
+                // ignores the hint").
+                for b in blocks {
+                    if !self.ws.is_resident(b) {
+                        self.offload(b, to, ctx);
+                    }
+                }
+                // Acknowledge even an ignored hint.
+                self.send_status(ctx, self.advanceable() == 0);
+            }
+            Command::Load { block } => {
+                if self.ws.is_resident(block) {
+                    self.load_cmd_hits += 1;
+                } else {
+                    self.load_cmd_misses += 1;
+                }
+                self.ws.acquire(block, ctx);
+                if self.check_memory(ctx) {
+                    return;
+                }
+                self.pump(ctx);
+            }
+            Command::Terminate => {
+                self.terminated_cmd_seen = true;
+            }
+        }
+    }
+}
+
+impl Process<Msg> for SlaveProc {
+    fn on_event(&mut self, ev: Event<Msg>, ctx: &mut dyn Context<Msg>) {
+        match ev {
+            Event::Start => {
+                // Work arrives from the master; announce readiness.
+                self.send_status(ctx, true);
+            }
+            Event::Message { msg: Msg::Command(cmd), .. } => self.handle_command(cmd, ctx),
+            Event::Message { msg: Msg::Handoff { sl }, .. } => {
+                self.sent_idle_status = false;
+                self.ws.admit(&sl);
+                match self.ws.locate(sl.state.position) {
+                    Some(b) => self.parked.entry(b).or_default().push(*sl),
+                    None => {
+                        let mut sl = *sl;
+                        sl.terminate(Termination::ExitedDomain);
+                        self.ws.terminated += 1;
+                        self.ws.retire_object();
+                        self.finished.push(sl);
+                    }
+                }
+                self.pump(ctx);
+            }
+            Event::Message { .. } | Event::Wake(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{uniform_x_dataset, NullCtx};
+    use std::sync::Arc;
+    use streamline_integrate::{StepLimits, StreamlineId};
+    use streamline_iosim::{DiskModel, MemoryStore};
+    use streamline_math::Vec3;
+
+    fn slave(cache_blocks: usize) -> SlaveProc {
+        let ds = uniform_x_dataset();
+        let store = Arc::new(MemoryStore::build(&ds));
+        let ws = Workspace::new(
+            ds.decomp,
+            store,
+            cache_blocks,
+            DiskModel::paper_scale(),
+            StepLimits::default(),
+            1e-6,
+        );
+        SlaveProc::new(1, 0, ws, MemoryBudget::unlimited(), true, 1e-2)
+    }
+
+    fn status_msgs(ctx: &NullCtx) -> Vec<&SlaveStatus> {
+        ctx.sent
+            .iter()
+            .filter_map(|(_, m, _)| match m {
+                Msg::Status(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn start_announces_idle() {
+        let mut s = slave(4);
+        let mut ctx = NullCtx::default();
+        s.on_event(Event::Start, &mut ctx);
+        let st = status_msgs(&ctx);
+        assert_eq!(st.len(), 1);
+        assert!(st[0].out_of_work);
+        assert_eq!(st[0].active, 0);
+    }
+
+    #[test]
+    fn assign_seeds_loads_block_and_integrates() {
+        let mut s = slave(8);
+        let mut ctx = NullCtx::default();
+        let seeds = vec![
+            (StreamlineId(0), Vec3::new(0.1, 0.2, 0.2)),
+            (StreamlineId(1), Vec3::new(0.2, 0.3, 0.3)),
+        ];
+        s.handle_command(
+            Command::AssignSeeds { block: BlockId(0), seeds },
+            &mut ctx,
+        );
+        // Uniform +x with an 8-block cache: streamlines park at the next
+        // (unloaded) block boundary or terminate — block (1,0,0) is NOT
+        // resident so they park there.
+        assert!(ctx.io > 0.0, "block load charged");
+        let st = status_msgs(&ctx);
+        assert!(!st.is_empty());
+        let last = st.last().unwrap();
+        assert!(last.out_of_work);
+        assert_eq!(last.queued_by_block.iter().map(|(_, c)| c).sum::<u32>(), 2);
+    }
+
+    #[test]
+    fn load_command_unblocks_parked() {
+        let mut s = slave(8);
+        let mut ctx = NullCtx::default();
+        s.handle_command(
+            Command::AssignSeeds {
+                block: BlockId(0),
+                seeds: vec![(StreamlineId(0), Vec3::new(0.1, 0.2, 0.2))],
+            },
+            &mut ctx,
+        );
+        // Parked at block 1; instruct load.
+        let parked_block = *s.parked.keys().next().expect("parked somewhere");
+        s.handle_command(Command::Load { block: parked_block }, &mut ctx);
+        assert_eq!(s.finished.len(), 1, "streamline should exit the domain");
+        assert_eq!(s.ws.terminated, 1);
+    }
+
+    #[test]
+    fn send_force_moves_streamlines() {
+        let mut s = slave(8);
+        let mut ctx = NullCtx::default();
+        s.handle_command(
+            Command::AssignSeeds {
+                block: BlockId(0),
+                seeds: vec![(StreamlineId(0), Vec3::new(0.1, 0.2, 0.2))],
+            },
+            &mut ctx,
+        );
+        let parked_block = *s.parked.keys().next().unwrap();
+        let before = ctx.sent.len();
+        s.handle_command(Command::SendForce { block: parked_block, to: 7 }, &mut ctx);
+        let handoffs: Vec<_> = ctx.sent[before..]
+            .iter()
+            .filter(|(to, m, _)| matches!(m, Msg::Handoff { .. }) && *to == 7)
+            .collect();
+        assert_eq!(handoffs.len(), 1);
+        assert!(s.parked.is_empty());
+    }
+
+    #[test]
+    fn hint_ignored_for_resident_blocks() {
+        let mut s = slave(8);
+        let mut ctx = NullCtx::default();
+        s.handle_command(
+            Command::AssignSeeds {
+                block: BlockId(0),
+                seeds: vec![(StreamlineId(0), Vec3::new(0.1, 0.2, 0.2))],
+            },
+            &mut ctx,
+        );
+        let parked_block = *s.parked.keys().next().unwrap();
+        let before = ctx.sent.len();
+        // Hint for a resident block moves nothing — only the acknowledging
+        // status goes out.
+        s.handle_command(Command::SendHint { blocks: vec![BlockId(0)], to: 5 }, &mut ctx);
+        assert!(ctx.sent[before..].iter().all(|(_, m, _)| matches!(m, Msg::Status(_))));
+        assert!(!ctx.sent[before..].iter().any(|(_, m, _)| matches!(m, Msg::Handoff { .. })));
+        // Hint for the parked (unloaded) block triggers offload.
+        s.handle_command(Command::SendHint { blocks: vec![parked_block], to: 5 }, &mut ctx);
+        assert!(ctx.sent[before..]
+            .iter()
+            .any(|(to, m, _)| *to == 5 && matches!(m, Msg::Handoff { .. })));
+    }
+
+    #[test]
+    fn handoff_received_is_integrated_or_parked() {
+        let mut s = slave(8);
+        let mut ctx = NullCtx::default();
+        // Pre-load the destination block so the streamline can run.
+        s.ws.acquire(BlockId(1), &mut ctx);
+        let sl = Streamline::new_lean(StreamlineId(9), Vec3::new(0.6, 0.2, 0.2), 1e-2);
+        s.on_event(Event::Message { from: 3, msg: Msg::Handoff { sl: Box::new(sl) } }, &mut ctx);
+        assert_eq!(s.finished.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod invariant_tests {
+    use super::*;
+    use crate::testutil::{custom_dataset, NullCtx};
+    use std::sync::Arc;
+    use streamline_integrate::{StepLimits, StreamlineId};
+    use streamline_iosim::{DiskModel, MemoryStore};
+    use streamline_math::Vec3;
+
+    /// After any pump, no parked entry refers to a resident block — the
+    /// invariant the master's Send-force rule relies on ("streamlines the
+    /// slave reports as queued are ones it cannot advance").
+    #[test]
+    fn parked_is_disjoint_from_resident_after_any_command_sequence() {
+        let ds = custom_dataset(
+            streamline_field::analytic::AbcFlow::classic(),
+            [2, 2, 2],
+            [4, 4, 4],
+        );
+        let store = Arc::new(MemoryStore::build(&ds));
+        let mut limits = StepLimits::default();
+        limits.max_steps = 50;
+        let ws = Workspace::new(ds.decomp, store, 3, DiskModel::paper_scale(), limits, 1e-6);
+        let mut s = SlaveProc::new(1, 0, ws, crate::config::MemoryBudget::unlimited(), true, 1e-2);
+        let mut ctx = NullCtx::default();
+
+        // A deterministic pseudo-random command storm.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut id = 0u32;
+        for round in 0..40 {
+            match next() % 4 {
+                0 => {
+                    let block = BlockId((next() % 8) as u32);
+                    let seeds: Vec<_> = (0..(next() % 5 + 1))
+                        .map(|_| {
+                            id += 1;
+                            let u = Vec3::new(
+                                (next() % 1000) as f64 / 1000.0,
+                                (next() % 1000) as f64 / 1000.0,
+                                (next() % 1000) as f64 / 1000.0,
+                            );
+                            (StreamlineId(id), ds.decomp.domain.expanded(-1e-3).from_unit(u))
+                        })
+                        .collect();
+                    s.handle_command(Command::AssignSeeds { block, seeds }, &mut ctx);
+                }
+                1 => {
+                    s.handle_command(Command::Load { block: BlockId((next() % 8) as u32) }, &mut ctx)
+                }
+                2 => {
+                    if let Some(&b) = s.parked.keys().next() {
+                        s.handle_command(Command::SendForce { block: b, to: 5 }, &mut ctx);
+                    }
+                }
+                _ => s.handle_command(
+                    Command::SendHint { blocks: vec![BlockId((next() % 8) as u32)], to: 6 },
+                    &mut ctx,
+                ),
+            }
+            // Invariant check after every command.
+            for b in s.parked.keys() {
+                assert!(
+                    !s.ws.is_resident(*b),
+                    "round {round}: parked block {b} is resident"
+                );
+            }
+            // Accounting: every admitted streamline is parked, finished, or
+            // was handed off.
+            let parked: usize = s.parked.values().map(|v| v.len()).sum();
+            let handed = s.sent_handoffs as usize;
+            assert_eq!(
+                parked + s.finished.len() + handed,
+                id as usize,
+                "round {round}: streamline accounting broken"
+            );
+        }
+    }
+}

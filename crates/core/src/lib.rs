@@ -1,0 +1,58 @@
+//! Parallel streamline computation — a faithful implementation of
+//! Pugmire, Childs, Garth, Ahern & Weber, *Scalable Computation of
+//! Streamlines on Very Large Datasets* (SC 2009).
+//!
+//! Three parallelization strategies over block-decomposed vector fields:
+//!
+//! * [`static_alloc`] — **Static Allocation** (§4.1): parallelize over
+//!   blocks; streamlines are communicated to block owners; minimal I/O.
+//! * [`load_on_demand`] — **Load On Demand** (§4.2): parallelize over
+//!   streamlines; blocks are LRU-cached per rank; zero communication.
+//! * [`hybrid`] — **Hybrid Master/Slave** (§4.3, the paper's contribution):
+//!   masters dynamically assign both streamlines and blocks through five
+//!   rules, balancing computation, I/O and communication.
+//!
+//! [`driver`] runs any of them on the deterministic simulated cluster (or
+//! real threads) and produces a [`report::RunReport`] carrying the paper's
+//! metrics; [`classify`] and [`advisor`] implement the §3.1 problem
+//! classification and the §6 selection heuristics.
+//!
+//! ```
+//! use streamline_core::{Algorithm, RunConfig, run_simulated};
+//! use streamline_field::dataset::{Dataset, DatasetConfig, Seeding};
+//!
+//! let mut dcfg = DatasetConfig::tiny();
+//! dcfg.blocks_per_axis = [2, 2, 2];
+//! let dataset = Dataset::thermal_hydraulics(dcfg);
+//! let seeds = dataset.seeds_with_count(Seeding::Sparse, 64);
+//! let mut cfg = RunConfig::new(Algorithm::HybridMasterSlave, 4);
+//! cfg.limits.max_steps = 200;
+//! let report = run_simulated(&dataset, &seeds, &cfg);
+//! assert_eq!(report.terminated, 64);
+//! ```
+
+pub mod advisor;
+pub mod classify;
+pub mod config;
+pub mod driver;
+pub mod hybrid;
+pub mod load_on_demand;
+pub mod msg;
+pub mod report;
+pub mod runstats;
+pub mod static_alloc;
+mod testutil;
+pub mod workspace;
+
+pub use advisor::{recommend, FlowKnowledge, Recommendation};
+pub use classify::{classify, ProblemProfile};
+pub use config::{Algorithm, CostModel, HybridParams, MemoryBudget, RunConfig};
+pub use driver::{
+    build_procs, run_simulated, run_simulated_detailed, run_simulated_with_store, run_threaded,
+    AnyProc,
+};
+pub use msg::{Command, Msg, SlaveStatus};
+pub use report::{RunOutcome, RunReport};
+pub use runstats::{summarize, StreamlineStats};
+pub use static_alloc::StaticPartition;
+pub use workspace::{BlockExit, Workspace};

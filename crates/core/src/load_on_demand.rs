@@ -1,0 +1,244 @@
+//! Load On Demand (§4.2): parallelize across streamlines.
+//!
+//! "We split up the initial seed points evenly among the processors ...
+//! grouped by block to enhance data locality. Each processor integrates the
+//! streamlines assigned to it until streamline termination. As streamlines
+//! move between blocks, each processor loads the appropriate block into
+//! memory into an LRU cache. In order to minimize I/O, each processor
+//! integrates all streamlines to the edge of the loaded blocks, loading a
+//! block from disk only when there is no more work to be done on the
+//! in-memory blocks. ... Each processor terminates independently when all of
+//! its streamlines have terminated." No communication at all.
+
+use crate::config::MemoryBudget;
+use crate::msg::Msg;
+use crate::workspace::{BlockExit, Workspace};
+use std::collections::BTreeMap;
+use streamline_desim::{Context, Event, Process};
+use streamline_field::block::BlockId;
+use streamline_integrate::{Streamline, StreamlineId, Termination};
+use streamline_math::Vec3;
+
+/// One Load On Demand rank.
+pub struct LodProc {
+    ws: Workspace,
+    seeds: Vec<(StreamlineId, Vec3)>,
+    pub finished: Vec<Streamline>,
+    memory: MemoryBudget,
+    h0: f64,
+    pub done: bool,
+    pub failed_oom: bool,
+}
+
+impl LodProc {
+    pub fn new(
+        ws: Workspace,
+        seeds: Vec<(StreamlineId, Vec3)>,
+        memory: MemoryBudget,
+        h0: f64,
+    ) -> Self {
+        LodProc { ws, seeds, finished: Vec::new(), memory, h0, done: false, failed_oom: false }
+    }
+
+    pub fn workspace(&self) -> &Workspace {
+        &self.ws
+    }
+
+    fn check_memory(&mut self, ctx: &mut dyn Context<Msg>) -> bool {
+        if self.memory.exceeded(self.ws.memory_bytes()) {
+            self.failed_oom = true;
+            ctx.stop_all();
+            return true;
+        }
+        false
+    }
+
+    fn run_to_completion(&mut self, ctx: &mut dyn Context<Msg>) {
+        // Streamlines waiting for their block, keyed by block for
+        // deterministic iteration.
+        let mut parked: BTreeMap<BlockId, Vec<Streamline>> = BTreeMap::new();
+        for (id, seed) in std::mem::take(&mut self.seeds) {
+            let mut sl = Streamline::new_lean(id, seed, self.h0);
+            self.ws.admit(&sl);
+            match self.ws.locate(seed) {
+                Some(b) => parked.entry(b).or_default().push(sl),
+                None => {
+                    sl.terminate(Termination::ExitedDomain);
+                    self.ws.terminated += 1;
+                    self.ws.retire_object();
+                    self.finished.push(sl);
+                }
+            }
+        }
+
+        while !parked.is_empty() {
+            // Advance everything whose block is resident ("integrate all
+            // streamlines to the edge of the loaded blocks").
+            while let Some(block) =
+                parked.keys().copied().find(|&b| self.ws.is_resident(b))
+            {
+                let mut list = parked.remove(&block).expect("key just found");
+                while let Some(mut sl) = list.pop() {
+                    let mut cur = block;
+                    loop {
+                        match self.ws.advance_in(&mut sl, cur, ctx) {
+                            BlockExit::MovedTo(next) => {
+                                if self.ws.is_resident(next) {
+                                    cur = next;
+                                } else {
+                                    parked.entry(next).or_default().push(sl);
+                                    break;
+                                }
+                            }
+                            BlockExit::Done(_) => {
+                                self.finished.push(sl);
+                                break;
+                            }
+                        }
+                    }
+                    if self.check_memory(ctx) {
+                        return;
+                    }
+                }
+            }
+            // Nothing advanceable: load the block with the most waiting
+            // streamlines (ties to the lowest id — deterministic).
+            let Some((&target, _)) = parked.iter().max_by_key(|(id, v)| (v.len(), std::cmp::Reverse(id.0)))
+            else {
+                break;
+            };
+            self.ws.acquire(target, ctx);
+            if self.check_memory(ctx) {
+                return;
+            }
+        }
+        self.done = true;
+    }
+}
+
+impl Process<Msg> for LodProc {
+    fn on_event(&mut self, ev: Event<Msg>, ctx: &mut dyn Context<Msg>) {
+        if matches!(ev, Event::Start) {
+            self.run_to_completion(ctx);
+        }
+        // Load On Demand exchanges no messages.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{uniform_x_dataset, NullCtx};
+    use std::sync::Arc;
+    use streamline_integrate::StepLimits;
+    use streamline_iosim::{DiskModel, MemoryStore};
+
+    fn proc_with(seeds: Vec<(StreamlineId, Vec3)>, cache_blocks: usize) -> LodProc {
+        let ds = uniform_x_dataset();
+        let store = Arc::new(MemoryStore::build(&ds));
+        let ws = Workspace::new(
+            ds.decomp,
+            store,
+            cache_blocks,
+            DiskModel::paper_scale(),
+            StepLimits::default(),
+            1e-6,
+        );
+        LodProc::new(ws, seeds, MemoryBudget::unlimited(), 1e-2)
+    }
+
+    #[test]
+    fn all_streamlines_terminate() {
+        let seeds = (0..10)
+            .map(|i| (StreamlineId(i), Vec3::new(0.1, 0.05 + 0.09 * i as f64, 0.3)))
+            .collect();
+        let mut p = proc_with(seeds, 8);
+        let mut ctx = NullCtx::default();
+        p.on_event(Event::Start, &mut ctx);
+        assert!(p.done);
+        assert_eq!(p.finished.len(), 10);
+        assert!(p
+            .finished
+            .iter()
+            .all(|s| s.status
+                == streamline_integrate::StreamlineStatus::Terminated(Termination::ExitedDomain)));
+        // Uniform +x from x=0.1 crosses 2 blocks per streamline; with a
+        // roomy cache each of the blocks touched loads exactly once.
+        let stats = p.workspace().cache_stats();
+        assert_eq!(stats.purged, 0);
+        assert!(ctx.io > 0.0);
+        assert!(ctx.sent.is_empty(), "LOD must not communicate");
+    }
+
+    #[test]
+    fn tiny_cache_forces_reloads() {
+        // Seeds in all 8 blocks with a 1-block cache: blocks must be loaded,
+        // purged and reloaded — low block efficiency (Figure 7's LOD bars).
+        let mut seeds = Vec::new();
+        let mut i = 0;
+        for x in [0.2, 0.7] {
+            for y in [0.2, 0.7] {
+                for z in [0.2, 0.7] {
+                    seeds.push((StreamlineId(i), Vec3::new(x, y, z)));
+                    i += 1;
+                }
+            }
+        }
+        let mut p = proc_with(seeds, 1);
+        let mut ctx = NullCtx::default();
+        p.on_event(Event::Start, &mut ctx);
+        assert!(p.done);
+        assert_eq!(p.finished.len(), 8);
+        let stats = p.workspace().cache_stats();
+        assert!(stats.purged > 0);
+        assert!(stats.efficiency() < 0.5, "E = {}", stats.efficiency());
+    }
+
+    #[test]
+    fn groups_by_block_before_loading() {
+        // Two seeds in the same block: the block is loaded once, both are
+        // integrated through it before any other load.
+        let seeds = vec![
+            (StreamlineId(0), Vec3::new(0.1, 0.2, 0.2)),
+            (StreamlineId(1), Vec3::new(0.15, 0.3, 0.3)),
+        ];
+        let mut p = proc_with(seeds, 1);
+        let mut ctx = NullCtx::default();
+        p.on_event(Event::Start, &mut ctx);
+        // Blocks on the +x path: (0,0,0) then (1,0,0) — exactly 2 loads even
+        // with a single-slot cache.
+        assert_eq!(p.workspace().cache_stats().loaded, 2);
+    }
+
+    #[test]
+    fn oom_aborts_run() {
+        let seeds = vec![(StreamlineId(0), Vec3::new(0.1, 0.2, 0.2))];
+        let ds = uniform_x_dataset();
+        let store = Arc::new(MemoryStore::build(&ds));
+        let ws = Workspace::new(
+            ds.decomp,
+            store,
+            8,
+            DiskModel::paper_scale(),
+            StepLimits::default(),
+            1e-6,
+        );
+        // Budget below one block.
+        let mut p = LodProc::new(ws, seeds, MemoryBudget { bytes: Some(1.0), vertex_bytes: 64.0, stream_bytes: 65536.0 }, 1e-2);
+        let mut ctx = NullCtx::default();
+        p.on_event(Event::Start, &mut ctx);
+        assert!(p.failed_oom);
+        assert!(ctx.stopped);
+    }
+
+    #[test]
+    fn seed_outside_domain_terminates_immediately() {
+        let seeds = vec![(StreamlineId(0), Vec3::splat(5.0))];
+        let mut p = proc_with(seeds, 2);
+        let mut ctx = NullCtx::default();
+        p.on_event(Event::Start, &mut ctx);
+        assert!(p.done);
+        assert_eq!(p.finished.len(), 1);
+        assert_eq!(p.workspace().cache_stats().loaded, 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! The message protocol shared by the three algorithms.
+//!
+//! Wire sizes are modelled explicitly because the paper's communication
+//! measurements hinge on them — in particular, a streamline hand-off carries
+//! its accumulated geometry (§8: "Communicating streamline geometry accounts
+//! for a large proportion of communication cost").
+
+use serde::{Deserialize, Serialize};
+use streamline_field::block::BlockId;
+use streamline_integrate::{Streamline, StreamlineId};
+use streamline_math::Vec3;
+
+/// A slave's self-description, sent to its master when it runs out of work
+/// (and opportunistically as its state changes). §4.3: "This status message
+/// includes the set of streamlines owned by each slave, which blocks those
+/// streamlines currently intersect, which blocks are currently loaded into
+/// memory on that slave, and how many streamlines are currently being
+/// integrated."
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlaveStatus {
+    /// Streamlines currently advanceable or parked, per block.
+    pub queued_by_block: Vec<(BlockId, u32)>,
+    /// Blocks resident in the slave's cache.
+    pub loaded: Vec<BlockId>,
+    /// Streamlines currently being integrated (active on this slave).
+    pub active: u32,
+    /// Cumulative count of streamlines this slave has terminated.
+    pub terminated_total: u64,
+    /// The slave can do no more work without instruction.
+    pub out_of_work: bool,
+    /// Cumulative count of master commands this slave has processed. The
+    /// master uses it to discard statuses that predate in-flight commands —
+    /// without it, a crossed-in-flight status makes the master forget what
+    /// it just ordered and re-issue the same command indefinitely.
+    pub acked_cmds: u64,
+}
+
+impl SlaveStatus {
+    pub fn wire_bytes(&self) -> usize {
+        32 + self.queued_by_block.len() * 8 + self.loaded.len() * 4
+    }
+}
+
+/// A master's instruction to a slave (the five rules of §4.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Command {
+    /// Assign-loaded / Assign-unloaded: N seed points in one block. The
+    /// slave loads the block if it is not resident.
+    AssignSeeds { block: BlockId, seeds: Vec<(StreamlineId, Vec3)> },
+    /// Send-force: send your streamlines parked in `block` to slave rank
+    /// `to`.
+    SendForce { block: BlockId, to: usize },
+    /// Send-hint: when appropriate, offload streamlines parked in `blocks`
+    /// to slave rank `to`; ignore if nothing applies.
+    SendHint { blocks: Vec<BlockId>, to: usize },
+    /// Load `block` into the cache.
+    Load { block: BlockId },
+    /// All streamlines everywhere have terminated.
+    Terminate,
+}
+
+impl Command {
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Command::AssignSeeds { seeds, .. } => 16 + seeds.len() * 28,
+            Command::SendForce { .. } => 16,
+            Command::SendHint { blocks, .. } => 16 + blocks.len() * 4,
+            Command::Load { .. } => 12,
+            Command::Terminate => 8,
+        }
+    }
+}
+
+/// Every message any algorithm sends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Msg {
+    /// A streamline moving between ranks (Static Allocation hand-off and
+    /// Hybrid Send-force/Send-hint migration).
+    Handoff { sl: Box<Streamline> },
+    /// Static Allocation: `count` more streamlines terminated (sent to the
+    /// count rank, which maintains the "globally communicated streamline
+    /// count" of §4.1).
+    CountDelta { count: u32 },
+    /// Hybrid: slave → master status.
+    Status(SlaveStatus),
+    /// Hybrid: master → slave instruction.
+    Command(Command),
+    /// Hybrid: master → master, this master's group has `remaining`
+    /// unfinished streamlines.
+    GroupRemaining { remaining: u64 },
+    /// Hybrid: master → master work stealing request.
+    WorkRequest,
+    /// Hybrid: master → master granted seeds (empty = nothing to give).
+    WorkGrant { seeds: Vec<(StreamlineId, Vec3)> },
+    /// A rank exceeded its memory budget; the run is aborted.
+    OutOfMemory { rank: usize },
+}
+
+impl Msg {
+    /// Modelled wire size. `comm_geometry` selects whether hand-offs carry
+    /// full geometry (the paper's measured configuration) or solver state
+    /// only (§8's proposed optimization).
+    pub fn wire_bytes(&self, comm_geometry: bool) -> usize {
+        match self {
+            Msg::Handoff { sl } => {
+                if comm_geometry {
+                    sl.comm_bytes_full()
+                } else {
+                    Streamline::COMM_BYTES_STATE
+                }
+            }
+            Msg::CountDelta { .. } => 12,
+            Msg::Status(s) => s.wire_bytes(),
+            Msg::Command(c) => c.wire_bytes(),
+            Msg::GroupRemaining { .. } => 16,
+            Msg::WorkRequest => 8,
+            Msg::WorkGrant { seeds } => 8 + seeds.len() * 28,
+            Msg::OutOfMemory { .. } => 12,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handoff_size_depends_on_geometry_flag() {
+        let mut sl = Streamline::new(StreamlineId(1), Vec3::ZERO, 0.01);
+        for i in 0..100 {
+            sl.push_step(Vec3::splat(i as f64), 0.01);
+        }
+        let m = Msg::Handoff { sl: Box::new(sl) };
+        let full = m.wire_bytes(true);
+        let lean = m.wire_bytes(false);
+        assert!(full > lean + 100 * 24 - 1);
+        assert_eq!(lean, Streamline::COMM_BYTES_STATE);
+    }
+
+    #[test]
+    fn status_size_scales_with_contents() {
+        let small = SlaveStatus {
+            queued_by_block: vec![],
+            loaded: vec![],
+            active: 0,
+            terminated_total: 0,
+            out_of_work: true,
+            acked_cmds: 0,
+        };
+        let big = SlaveStatus {
+            queued_by_block: (0..10).map(|i| (BlockId(i), 5)).collect(),
+            loaded: (0..8).map(BlockId).collect(),
+            active: 3,
+            terminated_total: 9,
+            out_of_work: false,
+            acked_cmds: 0,
+        };
+        assert!(big.wire_bytes() > small.wire_bytes());
+    }
+
+    #[test]
+    fn command_sizes() {
+        let assign = Command::AssignSeeds {
+            block: BlockId(0),
+            seeds: (0..10).map(|i| (StreamlineId(i), Vec3::ZERO)).collect(),
+        };
+        assert_eq!(assign.wire_bytes(), 16 + 280);
+        assert!(Command::Terminate.wire_bytes() < assign.wire_bytes());
+    }
+}

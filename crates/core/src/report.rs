@@ -1,0 +1,162 @@
+//! Per-run results — exactly the quantities the paper's figures plot:
+//! wall-clock time, total I/O time, total communication time (§5's metrics)
+//! and block efficiency `E = (B_L − B_P)/B_L` (Eq. 2).
+
+use crate::config::Algorithm;
+use serde::{Deserialize, Serialize};
+use streamline_desim::ProcMetrics;
+
+/// Whether the run completed or died (Figure 13: "the Static Allocation
+/// algorithm ran out of memory and was unable to run").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    Completed,
+    OutOfMemory { rank: usize },
+}
+
+impl RunOutcome {
+    pub fn completed(&self) -> bool {
+        matches!(self, RunOutcome::Completed)
+    }
+}
+
+/// Everything measured in one run of one algorithm on one problem.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    pub algorithm: Algorithm,
+    pub n_procs: usize,
+    pub dataset: String,
+    pub seeding: String,
+    pub n_seeds: usize,
+    pub outcome: RunOutcome,
+    /// Wall clock (virtual seconds on the simulation).
+    pub wall: f64,
+    /// Total time spent reading blocks, summed over ranks (Figures 6/10/14).
+    pub io_time: f64,
+    /// Total communication time, summed over ranks (Figures 8/11/15).
+    pub comm_time: f64,
+    /// Total integration time, summed over ranks.
+    pub compute_time: f64,
+    /// Total idle time, summed over ranks (starvation indicator, §8).
+    pub idle_time: f64,
+    /// Blocks loaded, B_L.
+    pub blocks_loaded: u64,
+    /// Blocks purged, B_P.
+    pub blocks_purged: u64,
+    pub msgs: u64,
+    pub bytes_sent: u64,
+    /// Streamlines terminated (must equal `n_seeds` on completed runs).
+    pub terminated: u64,
+    /// Accepted integration steps over all ranks.
+    pub total_steps: u64,
+    /// Runtime events processed.
+    pub events: u64,
+    pub per_rank: Vec<ProcMetrics>,
+}
+
+impl RunReport {
+    /// Block efficiency `E = (B_L − B_P)/B_L` (Eq. 2); 1.0 when no loads.
+    pub fn block_efficiency(&self) -> f64 {
+        if self.blocks_loaded == 0 {
+            1.0
+        } else {
+            (self.blocks_loaded - self.blocks_purged) as f64 / self.blocks_loaded as f64
+        }
+    }
+
+    /// Max-over-mean busy time across ranks (1.0 = perfectly balanced).
+    pub fn load_imbalance(&self) -> f64 {
+        let busy: Vec<f64> = self.per_rank.iter().map(|m| m.busy()).collect();
+        let mean = busy.iter().sum::<f64>() / busy.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            busy.iter().cloned().fold(0.0, f64::max) / mean
+        }
+    }
+
+    /// One-line summary for harness output.
+    pub fn summary(&self) -> String {
+        match self.outcome {
+            RunOutcome::Completed => format!(
+                "{:<16} p={:<4} wall={:>9.3}s io={:>9.3}s comm={:>9.4}s E={:>5.3} msgs={}",
+                self.algorithm.label(),
+                self.n_procs,
+                self.wall,
+                self.io_time,
+                self.comm_time,
+                self.block_efficiency(),
+                self.msgs,
+            ),
+            RunOutcome::OutOfMemory { rank } => format!(
+                "{:<16} p={:<4} OUT OF MEMORY (rank {rank})",
+                self.algorithm.label(),
+                self.n_procs,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            algorithm: Algorithm::HybridMasterSlave,
+            n_procs: 4,
+            dataset: "test".into(),
+            seeding: "sparse".into(),
+            n_seeds: 10,
+            outcome: RunOutcome::Completed,
+            wall: 1.0,
+            io_time: 0.5,
+            comm_time: 0.1,
+            compute_time: 2.0,
+            idle_time: 0.2,
+            blocks_loaded: 10,
+            blocks_purged: 4,
+            msgs: 7,
+            bytes_sent: 1000,
+            terminated: 10,
+            total_steps: 100,
+            events: 12,
+            per_rank: vec![
+                ProcMetrics { compute: 1.0, ..Default::default() },
+                ProcMetrics { compute: 3.0, ..Default::default() },
+            ],
+        }
+    }
+
+    #[test]
+    fn efficiency_eq2() {
+        let r = report();
+        assert!((r.block_efficiency() - 0.6).abs() < 1e-12);
+        let mut r2 = r;
+        r2.blocks_loaded = 0;
+        r2.blocks_purged = 0;
+        assert_eq!(r2.block_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn imbalance_max_over_mean() {
+        let r = report();
+        assert!((r.load_imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mentions_oom() {
+        let mut r = report();
+        r.outcome = RunOutcome::OutOfMemory { rank: 2 };
+        assert!(r.summary().contains("OUT OF MEMORY"));
+    }
+
+    #[test]
+    fn report_serializes() {
+        let r = report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_procs, 4);
+        assert!(back.outcome.completed());
+    }
+}

@@ -1,0 +1,139 @@
+//! Post-run streamline statistics — the §3.1 "statistical analysis of
+//! integral curves" consumer, and the quickest way to sanity-check a run.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use streamline_integrate::{Streamline, StreamlineStatus};
+use streamline_math::stats::{Histogram, Summary};
+
+/// Distributional summary of a set of finished streamlines.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamlineStats {
+    pub count: usize,
+    /// Termination reason → count.
+    pub terminated_by: BTreeMap<String, usize>,
+    pub steps: Option<Summary>,
+    pub arc_length: Option<Summary>,
+    /// 16-bin histogram of steps per streamline.
+    pub steps_hist: Option<Histogram>,
+}
+
+/// Summarize finished streamlines.
+pub fn summarize(finished: &[Streamline]) -> StreamlineStats {
+    let mut terminated_by: BTreeMap<String, usize> = BTreeMap::new();
+    let mut steps = Vec::with_capacity(finished.len());
+    let mut arcs = Vec::with_capacity(finished.len());
+    for s in finished {
+        let label = match s.status {
+            StreamlineStatus::Active => "Active".to_string(),
+            StreamlineStatus::Terminated(t) => format!("{t:?}"),
+        };
+        *terminated_by.entry(label).or_insert(0) += 1;
+        steps.push(s.state.steps as f64);
+        arcs.push(s.state.arc_length);
+    }
+    let steps_hist = (!steps.is_empty()).then(|| {
+        let max = steps.iter().cloned().fold(0.0f64, f64::max);
+        let mut h = Histogram::new(0.0, max.max(1.0) * 1.0001, 16);
+        for &v in &steps {
+            h.push(v);
+        }
+        h
+    });
+    StreamlineStats {
+        count: finished.len(),
+        terminated_by,
+        steps: Summary::of(&steps),
+        arc_length: Summary::of(&arcs),
+        steps_hist,
+    }
+}
+
+impl std::fmt::Display for StreamlineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} streamlines", self.count)?;
+        for (reason, n) in &self.terminated_by {
+            writeln!(f, "  {reason:<16} {n}")?;
+        }
+        if let Some(s) = &self.steps {
+            writeln!(
+                f,
+                "  steps: mean {:.0}, p50 {:.0}, p95 {:.0}, max {:.0}",
+                s.mean, s.p50, s.p95, s.max
+            )?;
+        }
+        if let Some(s) = &self.arc_length {
+            writeln!(
+                f,
+                "  arc length: mean {:.3}, p50 {:.3}, p95 {:.3}, max {:.3}",
+                s.mean, s.p50, s.p95, s.max
+            )?;
+        }
+        if let Some(h) = &self.steps_hist {
+            writeln!(f, "  steps distribution: {}", h.sparkline())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamline_integrate::{StreamlineId, Termination};
+    use streamline_math::Vec3;
+
+    fn finished(n: usize) -> Vec<Streamline> {
+        (0..n)
+            .map(|i| {
+                let mut s =
+                    Streamline::new_lean(StreamlineId(i as u32), Vec3::ZERO, 0.01);
+                for k in 0..=i {
+                    s.push_step(Vec3::splat(k as f64 * 0.1), 0.1);
+                }
+                s.terminate(if i % 2 == 0 {
+                    Termination::ExitedDomain
+                } else {
+                    Termination::MaxSteps
+                });
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn counts_by_reason() {
+        let stats = summarize(&finished(10));
+        assert_eq!(stats.count, 10);
+        assert_eq!(stats.terminated_by["ExitedDomain"], 5);
+        assert_eq!(stats.terminated_by["MaxSteps"], 5);
+    }
+
+    #[test]
+    fn summaries_cover_ranges() {
+        let stats = summarize(&finished(10));
+        let steps = stats.steps.unwrap();
+        assert_eq!(steps.min, 1.0);
+        assert_eq!(steps.max, 10.0);
+        let hist = stats.steps_hist.unwrap();
+        assert_eq!(hist.total, 10);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let stats = summarize(&[]);
+        assert_eq!(stats.count, 0);
+        assert!(stats.steps.is_none());
+        assert!(stats.steps_hist.is_none());
+        // Display must not panic.
+        let _ = stats.to_string();
+    }
+
+    #[test]
+    fn display_mentions_everything() {
+        let s = summarize(&finished(6)).to_string();
+        assert!(s.contains("6 streamlines"));
+        assert!(s.contains("ExitedDomain"));
+        assert!(s.contains("steps:"));
+        assert!(s.contains("arc length:"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Static Allocation (§4.1): parallelize across blocks.
+//!
+//! "We statically allocate blocks to processors such that the first of n
+//! processors is assigned the first 1/n of the blocks ... Each streamline is
+//! integrated until it leaves the blocks owned by the processor. As each
+//! streamline moves between blocks, it is communicated to the processor that
+//! owns the block in which it currently resides. A globally communicated
+//! streamline count is maintained ... Once the count goes to zero, all
+//! processors terminate."
+//!
+//! Blocks are loaded lazily on first touch and never purged (each rank's
+//! cache holds its whole ownership range), which is why this algorithm's
+//! block efficiency is the paper's ideal of 1.0.
+
+use crate::config::MemoryBudget;
+use crate::msg::Msg;
+use crate::workspace::{BlockExit, Workspace};
+use streamline_desim::{Context, Event, Process};
+use streamline_field::block::BlockId;
+use streamline_integrate::{Streamline, StreamlineId};
+use streamline_math::Vec3;
+
+/// Rank that maintains the global active-streamline count.
+pub const COUNT_RANK: usize = 0;
+
+/// How blocks map to ranks. The paper's scheme is [`Self::Contiguous`]
+/// ("the first of n processors is assigned the first 1/n of the blocks");
+/// [`Self::RoundRobin`] is the classic alternative, ablated by
+/// `partition_ablation`: it spreads dense seed sets across ranks at the
+/// price of every block crossing being a hand-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum StaticPartition {
+    Contiguous,
+    RoundRobin,
+}
+
+impl StaticPartition {
+    pub fn owner_of(self, block: BlockId, n_blocks: usize, n_procs: usize) -> usize {
+        debug_assert!(block.index() < n_blocks);
+        match self {
+            StaticPartition::Contiguous => block.index() * n_procs / n_blocks,
+            StaticPartition::RoundRobin => block.index() % n_procs,
+        }
+    }
+}
+
+/// Contiguous block ownership: block `b` of `n_blocks` belongs to this rank
+/// of `n_procs` (the paper's §4.1 scheme).
+pub fn owner_of(block: BlockId, n_blocks: usize, n_procs: usize) -> usize {
+    StaticPartition::Contiguous.owner_of(block, n_blocks, n_procs)
+}
+
+/// One Static Allocation rank.
+pub struct StaticProc {
+    rank: usize,
+    n_procs: usize,
+    ws: Workspace,
+    /// Seeds assigned to this rank (they lie in its owned blocks).
+    seeds: Vec<(StreamlineId, Vec3)>,
+    /// Finished streamlines kept for inspection (geometry stays resident,
+    /// which is what the memory model charges).
+    pub finished: Vec<Streamline>,
+    memory: MemoryBudget,
+    comm_geometry: bool,
+    h0: f64,
+    partition: StaticPartition,
+    /// Remaining global count — only meaningful on [`COUNT_RANK`].
+    remaining: u64,
+    /// Set when this rank exceeded its memory budget.
+    pub failed_oom: bool,
+}
+
+impl StaticProc {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rank: usize,
+        n_procs: usize,
+        ws: Workspace,
+        seeds: Vec<(StreamlineId, Vec3)>,
+        memory: MemoryBudget,
+        comm_geometry: bool,
+        h0: f64,
+        total_streamlines: u64,
+        partition: StaticPartition,
+    ) -> Self {
+        StaticProc {
+            rank,
+            n_procs,
+            ws,
+            seeds,
+            finished: Vec::new(),
+            memory,
+            comm_geometry,
+            h0,
+            partition,
+            remaining: if rank == COUNT_RANK { total_streamlines } else { 0 },
+            failed_oom: false,
+        }
+    }
+
+    pub fn workspace(&self) -> &Workspace {
+        &self.ws
+    }
+
+    fn owns(&self, block: BlockId) -> bool {
+        self.partition.owner_of(block, self.ws.decomp.num_blocks(), self.n_procs) == self.rank
+    }
+
+    fn check_memory(&mut self, ctx: &mut dyn Context<Msg>) -> bool {
+        if self.memory.exceeded(self.ws.memory_bytes()) {
+            self.failed_oom = true;
+            if self.rank != COUNT_RANK {
+                let m = Msg::OutOfMemory { rank: self.rank };
+                let bytes = m.wire_bytes(self.comm_geometry);
+                ctx.send(COUNT_RANK, m, bytes);
+            }
+            ctx.stop_all();
+            return true;
+        }
+        false
+    }
+
+    /// Integrate `sl` through this rank's blocks; hand off or finish.
+    /// Returns the number of streamlines that terminated here (0 or 1).
+    fn process(&mut self, mut sl: Streamline, ctx: &mut dyn Context<Msg>) -> u64 {
+        let mut cur = match self.ws.locate(sl.state.position) {
+            Some(b) => b,
+            None => {
+                // Seeded outside the domain: terminates immediately.
+                sl.terminate(streamline_integrate::Termination::ExitedDomain);
+                self.ws.terminated += 1;
+                self.ws.retire_object();
+                self.finished.push(sl);
+                return 1;
+            }
+        };
+        loop {
+            if !self.owns(cur) {
+                self.ws.release(&sl);
+                let m = Msg::Handoff { sl: Box::new(sl) };
+                let bytes = m.wire_bytes(self.comm_geometry);
+                let to =
+                    self.partition.owner_of(cur, self.ws.decomp.num_blocks(), self.n_procs);
+                ctx.send(to, m, bytes);
+                return 0;
+            }
+            self.ws.acquire(cur, ctx);
+            match self.ws.advance_in(&mut sl, cur, ctx) {
+                BlockExit::MovedTo(next) => cur = next,
+                BlockExit::Done(_) => {
+                    self.finished.push(sl);
+                    return 1;
+                }
+            }
+            if self.check_memory(ctx) {
+                return 0;
+            }
+        }
+    }
+
+    /// Report `count` local terminations toward the global count.
+    fn flush_terminations(&mut self, count: u64, ctx: &mut dyn Context<Msg>) {
+        if count == 0 {
+            return;
+        }
+        if self.rank == COUNT_RANK {
+            self.apply_count(count, ctx);
+        } else {
+            let m = Msg::CountDelta { count: count as u32 };
+            let bytes = m.wire_bytes(self.comm_geometry);
+            ctx.send(COUNT_RANK, m, bytes);
+        }
+    }
+
+    fn apply_count(&mut self, count: u64, ctx: &mut dyn Context<Msg>) {
+        debug_assert_eq!(self.rank, COUNT_RANK);
+        debug_assert!(self.remaining >= count, "count underflow");
+        self.remaining = self.remaining.saturating_sub(count);
+        if self.remaining == 0 {
+            ctx.stop_all();
+        }
+    }
+}
+
+impl Process<Msg> for StaticProc {
+    fn on_event(&mut self, ev: Event<Msg>, ctx: &mut dyn Context<Msg>) {
+        match ev {
+            Event::Start => {
+                // Instantiate the entire local seed set before integrating —
+                // the initialization pattern that makes dense seeding fatal
+                // in §5.3 ("all 22,000 seed points were being processed on a
+                // single processor").
+                let seeds = std::mem::take(&mut self.seeds);
+                let mut created: Vec<Streamline> = Vec::with_capacity(seeds.len());
+                for (id, seed) in seeds {
+                    let sl = Streamline::new_lean(id, seed, self.h0);
+                    self.ws.admit(&sl);
+                    created.push(sl);
+                }
+                if self.check_memory(ctx) {
+                    return;
+                }
+                let mut done = 0;
+                for sl in created {
+                    done += self.process(sl, ctx);
+                    if self.failed_oom {
+                        return;
+                    }
+                }
+                self.flush_terminations(done, ctx);
+            }
+            Event::Message { msg: Msg::Handoff { sl }, .. } => {
+                self.ws.admit(&sl);
+                let done = self.process(*sl, ctx);
+                if self.failed_oom {
+                    return;
+                }
+                self.flush_terminations(done, ctx);
+            }
+            Event::Message { msg: Msg::CountDelta { count }, .. } => {
+                self.apply_count(count as u64, ctx);
+            }
+            Event::Message { msg: Msg::OutOfMemory { .. }, .. } => {
+                // Another rank died; the world is already stopping.
+            }
+            Event::Message { .. } | Event::Wake(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_is_contiguous_and_balanced() {
+        let n_blocks = 512;
+        let n_procs = 64;
+        let mut counts = vec![0usize; n_procs];
+        let mut last_owner = 0;
+        for b in 0..n_blocks {
+            let o = owner_of(BlockId(b as u32), n_blocks, n_procs);
+            assert!(o >= last_owner, "ownership must be monotone");
+            last_owner = o;
+            counts[o] += 1;
+        }
+        // 512 / 64 = 8 blocks each.
+        assert!(counts.iter().all(|&c| c == 8));
+    }
+
+    #[test]
+    fn ownership_handles_non_divisible() {
+        let n_blocks = 10;
+        let n_procs = 3;
+        let counts = (0..n_blocks).fold(vec![0usize; n_procs], |mut acc, b| {
+            acc[owner_of(BlockId(b as u32), n_blocks, n_procs)] += 1;
+            acc
+        });
+        assert_eq!(counts.iter().sum::<usize>(), n_blocks);
+        assert!(counts.iter().all(|&c| c >= 3 && c <= 4), "{counts:?}");
+    }
+
+    #[test]
+    fn first_processor_gets_first_blocks() {
+        // §4.1: "the first of n processors is assigned the first 1/n of the
+        // blocks".
+        assert_eq!(owner_of(BlockId(0), 512, 4), 0);
+        assert_eq!(owner_of(BlockId(127), 512, 4), 0);
+        assert_eq!(owner_of(BlockId(128), 512, 4), 1);
+        assert_eq!(owner_of(BlockId(511), 512, 4), 3);
+    }
+}

@@ -1,0 +1,68 @@
+//! Shared helpers for unit tests inside this crate.
+
+#![cfg(test)]
+
+use crate::msg::Msg;
+use std::sync::Arc;
+use streamline_desim::Context;
+use streamline_field::analytic::Uniform;
+use streamline_field::dataset::{Dataset, DatasetConfig};
+use streamline_field::decomp::BlockDecomposition;
+use streamline_field::sample::SamplingMode;
+use streamline_math::{Aabb, Vec3};
+
+/// A dataset whose field is uniform +x over the unit cube, 2×2×2 blocks.
+/// Streamlines are straight lines — every hand-off is predictable.
+pub fn uniform_x_dataset() -> Dataset {
+    custom_dataset(Uniform(Vec3::X), [2, 2, 2], [4, 4, 4])
+}
+
+/// Wrap any analytic field into a unit-cube dataset for tests.
+pub fn custom_dataset(
+    field: impl streamline_field::VectorField + 'static,
+    blocks: [usize; 3],
+    cells: [usize; 3],
+) -> Dataset {
+    let cfg = DatasetConfig { blocks_per_axis: blocks, cells_per_block: cells, ghost: 1, seed: 1 };
+    Dataset::custom(
+        "test-field",
+        BlockDecomposition::new(Aabb::unit(), cfg.blocks_per_axis, cfg.cells_per_block, cfg.ghost),
+        Arc::new(field),
+        SamplingMode::Direct,
+        cfg,
+    )
+}
+
+/// A context that records charges and sends without any runtime behind it.
+#[derive(Default)]
+pub struct NullCtx {
+    pub compute: f64,
+    pub io: f64,
+    pub sent: Vec<(usize, Msg, usize)>,
+    pub stopped: bool,
+}
+
+impl Context<Msg> for NullCtx {
+    fn rank(&self) -> usize {
+        0
+    }
+    fn n_ranks(&self) -> usize {
+        1
+    }
+    fn now(&self) -> f64 {
+        self.compute + self.io
+    }
+    fn charge_compute(&mut self, secs: f64) {
+        self.compute += secs;
+    }
+    fn charge_io(&mut self, secs: f64) {
+        self.io += secs;
+    }
+    fn send(&mut self, to: usize, msg: Msg, bytes: usize) {
+        self.sent.push((to, msg, bytes));
+    }
+    fn wake_after(&mut self, _delay: f64, _token: u64) {}
+    fn stop_all(&mut self) {
+        self.stopped = true;
+    }
+}

@@ -1,0 +1,304 @@
+//! Per-rank machinery shared by all three algorithms: the block cache, the
+//! advection loop, and logical memory accounting.
+
+use crate::msg::Msg;
+use std::sync::Arc;
+use streamline_desim::Context;
+use streamline_field::block::{Block, BlockId};
+use streamline_field::decomp::BlockDecomposition;
+use streamline_integrate::tracer::{advect, AdvectOutcome};
+use streamline_integrate::{Dopri5, StepLimits, Streamline, Termination};
+use streamline_iosim::{BlockStore, CacheStats, DiskModel, LruCache};
+
+/// Where a streamline went after being advanced inside one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockExit {
+    /// Still active, now inside this other block.
+    MovedTo(BlockId),
+    /// Terminated (status already set on the streamline).
+    Done(Termination),
+}
+
+/// One rank's cache, tracer and accounting.
+pub struct Workspace {
+    pub decomp: BlockDecomposition,
+    store: Arc<dyn BlockStore>,
+    cache: LruCache,
+    disk: DiskModel,
+    limits: StepLimits,
+    sec_per_step: f64,
+    stepper: Dopri5,
+    /// Logical bytes charged per resident curve vertex (see
+    /// [`crate::config::MemoryBudget::vertex_bytes`]).
+    vertex_bytes: f64,
+    /// Logical bytes charged per resident streamline object (see
+    /// [`crate::config::MemoryBudget::stream_bytes`]).
+    stream_bytes: f64,
+    /// Curve vertices resident on this rank (active + locally terminated).
+    geom_vertices: u64,
+    /// Streamline objects resident on this rank.
+    resident_streams: u64,
+    /// Streamlines this rank has terminated (cumulative).
+    pub terminated: u64,
+    /// Accepted integration steps performed by this rank.
+    pub total_steps: u64,
+}
+
+impl Workspace {
+    pub fn new(
+        decomp: BlockDecomposition,
+        store: Arc<dyn BlockStore>,
+        cache_blocks: usize,
+        disk: DiskModel,
+        limits: StepLimits,
+        sec_per_step: f64,
+    ) -> Self {
+        Workspace {
+            decomp,
+            store,
+            cache: LruCache::new(cache_blocks),
+            disk,
+            limits,
+            sec_per_step,
+            stepper: Dopri5,
+            vertex_bytes: 24.0,
+            stream_bytes: 0.0,
+            geom_vertices: 0,
+            resident_streams: 0,
+            terminated: 0,
+            total_steps: 0,
+        }
+    }
+
+    /// Override the logical per-vertex geometry cost (default 24 B — bare
+    /// positions).
+    pub fn set_vertex_bytes(&mut self, bytes: f64) {
+        self.vertex_bytes = bytes;
+    }
+
+    /// Override the logical per-streamline-object cost (default 0).
+    pub fn set_stream_bytes(&mut self, bytes: f64) {
+        self.stream_bytes = bytes;
+    }
+
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    pub fn resident_blocks(&self) -> Vec<BlockId> {
+        self.cache.resident()
+    }
+
+    pub fn is_resident(&self, id: BlockId) -> bool {
+        self.cache.contains(id)
+    }
+
+    /// Get a resident block or load it, charging the disk model's load time.
+    pub fn acquire(&mut self, id: BlockId, ctx: &mut dyn Context<Msg>) -> Arc<Block> {
+        if let Some(b) = self.cache.get(id) {
+            return b;
+        }
+        let b = self.store.load(id);
+        ctx.charge_io(self.disk.block_load_time());
+        self.cache.insert(Arc::clone(&b));
+        b
+    }
+
+    /// Account a streamline becoming resident on this rank (seeded here or
+    /// received by hand-off).
+    pub fn admit(&mut self, sl: &Streamline) {
+        self.geom_vertices += sl.vertex_count();
+        self.resident_streams += 1;
+    }
+
+    /// Account a streamline leaving this rank (handed off elsewhere).
+    pub fn release(&mut self, sl: &Streamline) {
+        debug_assert!(self.geom_vertices >= sl.vertex_count());
+        self.geom_vertices = self.geom_vertices.saturating_sub(sl.vertex_count());
+        self.resident_streams = self.resident_streams.saturating_sub(1);
+    }
+
+    /// Account a streamline terminating here: the solver object is freed,
+    /// the geometry stays resident (it is the visualization product).
+    pub fn retire_object(&mut self) {
+        self.resident_streams = self.resident_streams.saturating_sub(1);
+    }
+
+    /// Advance `sl` inside resident block `id` until it exits the block or
+    /// terminates. Charges compute time; updates geometry accounting.
+    pub fn advance_in(
+        &mut self,
+        sl: &mut Streamline,
+        id: BlockId,
+        ctx: &mut dyn Context<Msg>,
+    ) -> BlockExit {
+        let block = self.cache.get(id).expect("advance_in requires a resident block");
+        let bounds = block.bounds;
+        let sample = |p| block.sample(p);
+        let region = move |p| bounds.contains(p);
+        let r = advect(sl, &sample, &region, &self.limits, &self.stepper);
+        ctx.charge_compute(r.steps as f64 * self.sec_per_step);
+        self.geom_vertices += r.steps;
+        self.total_steps += r.steps;
+        match r.outcome {
+            AdvectOutcome::Terminated(t) => {
+                self.terminated += 1;
+                self.resident_streams = self.resident_streams.saturating_sub(1);
+                BlockExit::Done(t)
+            }
+            AdvectOutcome::LeftRegion => {
+                let pos = sl.state.position;
+                match self.decomp.locate(pos) {
+                    Some(next) if next != id => BlockExit::MovedTo(next),
+                    Some(_) => {
+                        // Numerically on the shared face: nudge along the
+                        // local velocity so ownership is unambiguous.
+                        let scale = self.decomp.domain.size().max_abs_component();
+                        if let Some(dir) = block.sample(pos).and_then(|v| v.normalized()) {
+                            sl.state.position = pos + dir * (1e-9 * scale);
+                        }
+                        match self.decomp.locate(sl.state.position) {
+                            Some(next) if next != id => BlockExit::MovedTo(next),
+                            Some(_) => {
+                                sl.terminate(Termination::StepUnderflow);
+                                self.terminated += 1;
+                                self.resident_streams =
+                                    self.resident_streams.saturating_sub(1);
+                                BlockExit::Done(Termination::StepUnderflow)
+                            }
+                            None => {
+                                sl.terminate(Termination::ExitedDomain);
+                                self.terminated += 1;
+                                self.resident_streams =
+                                    self.resident_streams.saturating_sub(1);
+                                BlockExit::Done(Termination::ExitedDomain)
+                            }
+                        }
+                    }
+                    None => {
+                        sl.terminate(Termination::ExitedDomain);
+                        self.terminated += 1;
+                        self.resident_streams = self.resident_streams.saturating_sub(1);
+                        BlockExit::Done(Termination::ExitedDomain)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Logical bytes resident on this rank: cached blocks at paper scale
+    /// plus streamline geometry (per-curve overhead is folded into the
+    /// per-vertex cost).
+    pub fn memory_bytes(&self) -> f64 {
+        self.cache.len() as f64 * self.disk.logical_block_bytes
+            + self.geom_vertices as f64 * self.vertex_bytes
+            + self.resident_streams as f64 * self.stream_bytes
+    }
+
+    /// Which block owns a seed; `None` if outside the domain.
+    pub fn locate(&self, p: streamline_math::Vec3) -> Option<BlockId> {
+        self.decomp.locate(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{uniform_x_dataset, NullCtx};
+    use streamline_integrate::{StreamlineId, StreamlineStatus};
+    use streamline_iosim::MemoryStore;
+    use streamline_math::Vec3;
+
+    fn workspace(cache_blocks: usize) -> Workspace {
+        let ds = uniform_x_dataset();
+        let store = Arc::new(MemoryStore::build(&ds));
+        Workspace::new(
+            ds.decomp,
+            store,
+            cache_blocks,
+            DiskModel::paper_scale(),
+            StepLimits::default(),
+            1e-6,
+        )
+    }
+
+    #[test]
+    fn acquire_charges_io_once_then_hits() {
+        let mut ws = workspace(4);
+        let mut ctx = NullCtx::default();
+        ws.acquire(BlockId(0), &mut ctx);
+        ws.acquire(BlockId(0), &mut ctx);
+        assert!((ctx.io - DiskModel::paper_scale().block_load_time()).abs() < 1e-12);
+        let stats = ws.cache_stats();
+        assert_eq!(stats.loaded, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn advance_crosses_into_next_block() {
+        // uniform +x field over [0,1]^3 decomposed 2x2x2: a streamline in
+        // block (0,*,*) must exit into block (1,*,*).
+        let mut ws = workspace(8);
+        let mut ctx = NullCtx::default();
+        let seed = Vec3::new(0.25, 0.25, 0.25);
+        let start = ws.locate(seed).unwrap();
+        ws.acquire(start, &mut ctx);
+        let mut sl = Streamline::new(StreamlineId(0), seed, 1e-2);
+        ws.admit(&sl);
+        match ws.advance_in(&mut sl, start, &mut ctx) {
+            BlockExit::MovedTo(next) => {
+                assert_ne!(next, start);
+                assert!(ws.decomp.block_bounds(next).contains_eps(sl.state.position, 1e-9));
+            }
+            other => panic!("expected block crossing, got {other:?}"),
+        }
+        assert!(ctx.compute > 0.0);
+        assert!(ws.total_steps > 0);
+    }
+
+    #[test]
+    fn advance_terminates_at_domain_exit() {
+        let mut ws = workspace(8);
+        let mut ctx = NullCtx::default();
+        let seed = Vec3::new(0.75, 0.25, 0.25);
+        let start = ws.locate(seed).unwrap();
+        ws.acquire(start, &mut ctx);
+        let mut sl = Streamline::new(StreamlineId(0), seed, 1e-2);
+        ws.admit(&sl);
+        let exit = ws.advance_in(&mut sl, start, &mut ctx);
+        assert_eq!(exit, BlockExit::Done(Termination::ExitedDomain));
+        assert_eq!(sl.status, StreamlineStatus::Terminated(Termination::ExitedDomain));
+        assert_eq!(ws.terminated, 1);
+    }
+
+    #[test]
+    fn memory_accounting_tracks_admit_release() {
+        let mut ws = workspace(2);
+        let mut ctx = NullCtx::default();
+        let base = ws.memory_bytes();
+        assert_eq!(base, 0.0);
+        ws.acquire(BlockId(0), &mut ctx);
+        let with_block = ws.memory_bytes();
+        assert!((with_block - DiskModel::paper_scale().logical_block_bytes).abs() < 1.0);
+        let mut sl = Streamline::new(StreamlineId(0), Vec3::splat(0.25), 1e-2);
+        for i in 0..10 {
+            sl.push_step(Vec3::splat(0.25 + i as f64 * 1e-3), 1e-3);
+        }
+        ws.admit(&sl);
+        assert!((ws.memory_bytes() - with_block - 11.0 * 24.0).abs() < 1.0);
+        ws.release(&sl);
+        assert!((ws.memory_bytes() - with_block).abs() < 1.0);
+    }
+
+    #[test]
+    fn lru_eviction_applies_under_pressure() {
+        let mut ws = workspace(1);
+        let mut ctx = NullCtx::default();
+        ws.acquire(BlockId(0), &mut ctx);
+        ws.acquire(BlockId(1), &mut ctx);
+        let stats = ws.cache_stats();
+        assert_eq!(stats.loaded, 2);
+        assert_eq!(stats.purged, 1);
+        assert!(!ws.is_resident(BlockId(0)));
+    }
+}

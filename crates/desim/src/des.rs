@@ -1,0 +1,477 @@
+//! The deterministic discrete-event simulation.
+//!
+//! Each rank has a local virtual clock. Events are executed globally in
+//! (time, sequence) order; an event arriving at a rank whose clock is ahead
+//! executes at the rank's clock (the rank was busy — messages queue).
+//! Handlers advance their rank's clock by the compute/I-O/communication time
+//! they charge. Ties are broken by a monotone sequence number, so the whole
+//! schedule is a pure function of the inputs.
+
+use crate::event::Event;
+use crate::metrics::{ProcMetrics, SimReport};
+use crate::net::NetModel;
+use crate::process::{Context, Process};
+use crate::trace::{ChargeKind, Timeline};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Scheduled<M> {
+    time: f64,
+    seq: u64,
+    to: usize,
+    /// Receive-side cost to charge before the handler runs (message events).
+    recv_cost: f64,
+    recv_bytes: u64,
+    ev: Event<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Context handed to handlers during simulation.
+struct DesCtx<'a, M> {
+    rank: usize,
+    n_ranks: usize,
+    /// Virtual time the handler started executing.
+    exec_time: f64,
+    /// Time charged so far inside this handler.
+    elapsed: f64,
+    metrics: &'a mut ProcMetrics,
+    net: NetModel,
+    /// (delivery_time, to, bytes, msg) accumulated sends.
+    outbox: Vec<(f64, usize, usize, M)>,
+    /// (absolute_time, token) accumulated self-wakes.
+    wakes: Vec<(f64, u64)>,
+    stop: &'a mut bool,
+    trace: Option<&'a mut Timeline>,
+}
+
+impl<M> Context<M> for DesCtx<'_, M> {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    fn now(&self) -> f64 {
+        self.exec_time + self.elapsed
+    }
+
+    fn charge_compute(&mut self, secs: f64) {
+        debug_assert!(secs >= 0.0 && secs.is_finite());
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.add(self.rank, ChargeKind::Compute, self.exec_time + self.elapsed, secs);
+        }
+        self.elapsed += secs;
+        self.metrics.compute += secs;
+    }
+
+    fn charge_io(&mut self, secs: f64) {
+        debug_assert!(secs >= 0.0 && secs.is_finite());
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.add(self.rank, ChargeKind::Io, self.exec_time + self.elapsed, secs);
+        }
+        self.elapsed += secs;
+        self.metrics.io += secs;
+    }
+
+    fn send(&mut self, to: usize, msg: M, bytes: usize) {
+        debug_assert!(to < self.n_ranks, "send to unknown rank {to}");
+        let cost = self.net.send_cost(bytes);
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.add(self.rank, ChargeKind::Comm, self.exec_time + self.elapsed, cost);
+        }
+        self.elapsed += cost;
+        self.metrics.comm += cost;
+        self.metrics.msgs_sent += 1;
+        self.metrics.bytes_sent += bytes as u64;
+        let delivery = self.now() + self.net.transit(bytes);
+        self.outbox.push((delivery, to, bytes, msg));
+    }
+
+    fn wake_after(&mut self, delay: f64, token: u64) {
+        debug_assert!(delay >= 0.0 && delay.is_finite());
+        self.wakes.push((self.now() + delay, token));
+    }
+
+    fn stop_all(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// The discrete-event simulation over `n` ranks running processes of type
+/// `P` exchanging messages of type `M`.
+///
+/// ```
+/// use streamline_desim::{Context, Event, NetModel, Process, Simulation};
+///
+/// struct Echo;
+/// impl Process<u32> for Echo {
+///     fn on_event(&mut self, ev: Event<u32>, ctx: &mut dyn Context<u32>) {
+///         match ev {
+///             Event::Start if ctx.rank() == 0 => ctx.send(1, 41, 8),
+///             Event::Message { msg, .. } => {
+///                 ctx.charge_compute(1e-3);
+///                 assert_eq!(msg, 41);
+///                 ctx.stop_all();
+///             }
+///             _ => {}
+///         }
+///     }
+/// }
+///
+/// let (report, _) = Simulation::new(NetModel::paper_scale(), vec![Echo, Echo]).run();
+/// assert!(report.wall >= 1e-3); // the receiver's compute is on the critical path
+/// ```
+pub struct Simulation<M, P> {
+    net: NetModel,
+    procs: Vec<P>,
+    _marker: std::marker::PhantomData<M>,
+}
+
+/// Default safety valve on total events (livelock guard).
+pub const DEFAULT_MAX_EVENTS: u64 = 50_000_000;
+
+impl<M, P: Process<M>> Simulation<M, P> {
+    pub fn new(net: NetModel, procs: Vec<P>) -> Self {
+        assert!(!procs.is_empty(), "simulation needs at least one rank");
+        Simulation { net, procs, _marker: std::marker::PhantomData }
+    }
+
+    /// Run to completion (event queue empty or a process called
+    /// `stop_all`). Returns the report and the final process states.
+    pub fn run(self) -> (SimReport, Vec<P>) {
+        self.run_bounded(DEFAULT_MAX_EVENTS)
+    }
+
+    /// Run with a utilization [`Timeline`] recorded at `bucket_width`
+    /// virtual-second resolution.
+    pub fn run_traced(self, bucket_width: f64) -> (SimReport, Vec<P>, Timeline) {
+        let n = self.procs.len();
+        let mut timeline = Timeline::new(n, bucket_width);
+        let (report, procs) = self.run_inner(DEFAULT_MAX_EVENTS, Some(&mut timeline));
+        (report, procs, timeline)
+    }
+
+    /// [`Self::run`] with an explicit event budget; panics when exceeded
+    /// (indicates a livelocked algorithm, never a legitimate run).
+    pub fn run_bounded(self, max_events: u64) -> (SimReport, Vec<P>) {
+        self.run_inner(max_events, None)
+    }
+
+    fn run_inner(
+        mut self,
+        max_events: u64,
+        mut trace: Option<&mut Timeline>,
+    ) -> (SimReport, Vec<P>) {
+        let n = self.procs.len();
+        let mut clocks = vec![0.0f64; n];
+        let mut metrics = vec![ProcMetrics::default(); n];
+        let mut queue: BinaryHeap<Scheduled<M>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut stop = false;
+        let mut events = 0u64;
+
+        for rank in 0..n {
+            queue.push(Scheduled {
+                time: 0.0,
+                seq,
+                to: rank,
+                recv_cost: 0.0,
+                recv_bytes: 0,
+                ev: Event::Start,
+            });
+            seq += 1;
+        }
+
+        while let Some(sch) = queue.pop() {
+            if stop {
+                break;
+            }
+            events += 1;
+            assert!(
+                events <= max_events,
+                "event budget {max_events} exhausted — livelocked algorithm?"
+            );
+            let rank = sch.to;
+            // The rank may be busy past the event's arrival: execute when
+            // free. If it is free earlier, the gap was idle time.
+            let exec_time = if clocks[rank] >= sch.time {
+                clocks[rank]
+            } else {
+                metrics[rank].idle += sch.time - clocks[rank];
+                sch.time
+            };
+            let m = &mut metrics[rank];
+            m.events += 1;
+            let mut ctx = DesCtx {
+                rank,
+                n_ranks: n,
+                exec_time,
+                elapsed: 0.0,
+                metrics: m,
+                net: self.net,
+                outbox: Vec::new(),
+                wakes: Vec::new(),
+                stop: &mut stop,
+                trace: trace.as_deref_mut(),
+            };
+            // Charge the receive-side cost before handling.
+            if sch.recv_cost > 0.0 {
+                if let Some(t) = ctx.trace.as_deref_mut() {
+                    t.add(rank, ChargeKind::Comm, exec_time, sch.recv_cost);
+                }
+                ctx.elapsed += sch.recv_cost;
+                ctx.metrics.comm += sch.recv_cost;
+            }
+            if matches!(sch.ev, Event::Message { .. }) {
+                ctx.metrics.msgs_recv += 1;
+                ctx.metrics.bytes_recv += sch.recv_bytes;
+            }
+            self.procs[rank].on_event(sch.ev, &mut ctx);
+            let elapsed = ctx.elapsed;
+            let outbox = std::mem::take(&mut ctx.outbox);
+            let wakes = std::mem::take(&mut ctx.wakes);
+            clocks[rank] = exec_time + elapsed;
+            for (delivery, to, bytes, msg) in outbox {
+                queue.push(Scheduled {
+                    time: delivery,
+                    seq,
+                    to,
+                    recv_cost: self.net.recv_cost(bytes),
+                    recv_bytes: bytes as u64,
+                    ev: Event::Message { from: rank, msg },
+                });
+                seq += 1;
+            }
+            for (time, token) in wakes {
+                queue.push(Scheduled {
+                    time,
+                    seq,
+                    to: rank,
+                    recv_cost: 0.0,
+                    recv_bytes: 0,
+                    ev: Event::Wake(token),
+                });
+                seq += 1;
+            }
+        }
+
+        let wall = clocks.iter().copied().fold(0.0f64, f64::max);
+        (SimReport { wall, events, ranks: metrics }, self.procs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ping-pong: rank 0 sends a counter to rank 1 and back N times, then
+    /// stops the world.
+    struct PingPong {
+        rounds: u32,
+        log: Vec<(usize, u32)>,
+    }
+
+    impl Process<u32> for PingPong {
+        fn on_event(&mut self, ev: Event<u32>, ctx: &mut dyn Context<u32>) {
+            match ev {
+                Event::Start => {
+                    if ctx.rank() == 0 {
+                        ctx.charge_compute(1e-3);
+                        ctx.send(1, 0, 64);
+                    }
+                }
+                Event::Message { from, msg } => {
+                    self.log.push((ctx.rank(), msg));
+                    if msg + 1 >= self.rounds {
+                        ctx.stop_all();
+                    } else {
+                        ctx.charge_compute(1e-3);
+                        ctx.send(from, msg + 1, 64);
+                    }
+                }
+                Event::Wake(_) => {}
+            }
+        }
+    }
+
+    fn run_pingpong(rounds: u32) -> (SimReport, Vec<PingPong>) {
+        let procs = (0..2).map(|_| PingPong { rounds, log: Vec::new() }).collect();
+        Simulation::new(NetModel::paper_scale(), procs).run()
+    }
+
+    #[test]
+    fn pingpong_alternates_and_time_advances() {
+        let (report, procs) = run_pingpong(6);
+        // Messages 0,2,4 land on rank 1; 1,3,5 on rank 0.
+        assert_eq!(procs[1].log, vec![(1, 0), (1, 2), (1, 4)]);
+        assert_eq!(procs[0].log, vec![(0, 1), (0, 3), (0, 5)]);
+        // Six 1 ms compute charges plus messaging.
+        assert!(report.wall > 5e-3, "wall = {}", report.wall);
+        assert!(report.total(|m| m.comm) > 0.0);
+        assert_eq!(report.ranks[0].msgs_sent + report.ranks[1].msgs_sent, 6);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let (a, _) = run_pingpong(10);
+        let (b, _) = run_pingpong(10);
+        assert_eq!(a.wall, b.wall);
+        assert_eq!(a.events, b.events);
+        for (x, y) in a.ranks.iter().zip(b.ranks.iter()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    /// A process that charges known amounts lets us verify the accounting.
+    struct Charger;
+    impl Process<()> for Charger {
+        fn on_event(&mut self, ev: Event<()>, ctx: &mut dyn Context<()>) {
+            if matches!(ev, Event::Start) {
+                ctx.charge_compute(2.0);
+                ctx.charge_io(1.0);
+                assert!((ctx.now() - 3.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn charging_advances_clock_and_wall() {
+        let (report, _) = Simulation::new(NetModel::free(), vec![Charger, Charger]).run();
+        assert!((report.wall - 3.0).abs() < 1e-12);
+        assert_eq!(report.ranks[0].compute, 2.0);
+        assert_eq!(report.ranks[0].io, 1.0);
+    }
+
+    /// Wake-after fires at the requested virtual time.
+    struct Waker {
+        woke_at: f64,
+    }
+    impl Process<()> for Waker {
+        fn on_event(&mut self, ev: Event<()>, ctx: &mut dyn Context<()>) {
+            match ev {
+                Event::Start => ctx.wake_after(5.0, 42),
+                Event::Wake(t) => {
+                    assert_eq!(t, 42);
+                    self.woke_at = ctx.now();
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn wake_after_fires_on_time() {
+        let (report, procs) =
+            Simulation::new(NetModel::free(), vec![Waker { woke_at: -1.0 }]).run();
+        assert!((procs[0].woke_at - 5.0).abs() < 1e-12);
+        // Idle while waiting.
+        assert!((report.ranks[0].idle - 5.0).abs() < 1e-12);
+    }
+
+    /// Causality: a message executes no earlier than its send completion +
+    /// transit, and a busy receiver queues it.
+    struct BusyReceiver {
+        got_at: f64,
+    }
+    impl Process<u8> for BusyReceiver {
+        fn on_event(&mut self, ev: Event<u8>, ctx: &mut dyn Context<u8>) {
+            match ev {
+                Event::Start => {
+                    if ctx.rank() == 0 {
+                        ctx.send(1, 1, 0);
+                    } else {
+                        // Rank 1 is busy for 10 s from t = 0.
+                        ctx.charge_compute(10.0);
+                    }
+                }
+                Event::Message { .. } => {
+                    self.got_at = ctx.now();
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn busy_receiver_defers_message() {
+        let procs = vec![BusyReceiver { got_at: -1.0 }, BusyReceiver { got_at: -1.0 }];
+        let (_, procs) = Simulation::new(NetModel::free(), procs).run();
+        // Message would arrive at ~0 but rank 1 is busy until t = 10.
+        assert!(procs[1].got_at >= 10.0, "got at {}", procs[1].got_at);
+    }
+
+    /// Stop halts the world even with events pending.
+    struct Flooder;
+    impl Process<u8> for Flooder {
+        fn on_event(&mut self, ev: Event<u8>, ctx: &mut dyn Context<u8>) {
+            match ev {
+                Event::Start => ctx.send(ctx.rank(), 0, 0),
+                Event::Message { msg, .. } => {
+                    if msg > 10 {
+                        ctx.stop_all();
+                    } else {
+                        ctx.send(ctx.rank(), msg.wrapping_add(1), 0);
+                        ctx.send(ctx.rank(), msg.wrapping_add(1), 0);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn stop_all_halts_flood() {
+        let (report, _) = Simulation::new(NetModel::free(), vec![Flooder]).run_bounded(1_000_000);
+        assert!(report.events < 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "event budget")]
+    fn livelock_guard_panics() {
+        struct Forever;
+        impl Process<u8> for Forever {
+            fn on_event(&mut self, _ev: Event<u8>, ctx: &mut dyn Context<u8>) {
+                ctx.send(ctx.rank(), 0, 0);
+            }
+        }
+        let _ = Simulation::new(NetModel::free(), vec![Forever]).run_bounded(1000);
+    }
+
+    #[test]
+    fn sim_with_512_ranks_runs() {
+        struct Noop;
+        impl Process<u8> for Noop {
+            fn on_event(&mut self, ev: Event<u8>, ctx: &mut dyn Context<u8>) {
+                if matches!(ev, Event::Start) {
+                    ctx.charge_compute(1e-6 * (ctx.rank() as f64 + 1.0));
+                }
+            }
+        }
+        let procs = (0..512).map(|_| Noop).collect::<Vec<_>>();
+        let (report, _) = Simulation::new(NetModel::paper_scale(), procs).run();
+        assert_eq!(report.ranks.len(), 512);
+        assert!((report.wall - 512e-6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,36 @@
+//! Events delivered to processes.
+
+/// What a process can be invoked with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event<M> {
+    /// Delivered once to every rank at time 0.
+    Start,
+    /// A message from another rank (or itself).
+    Message { from: usize, msg: M },
+    /// A self-scheduled wake-up; the token is whatever the process passed to
+    /// `wake_after`.
+    Wake(u64),
+}
+
+impl<M> Event<M> {
+    /// The message payload, if this is a message event.
+    pub fn message(self) -> Option<(usize, M)> {
+        match self {
+            Event::Message { from, msg } => Some((from, msg)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_extraction() {
+        let e: Event<u32> = Event::Message { from: 3, msg: 17 };
+        assert_eq!(e.message(), Some((3, 17)));
+        assert_eq!(Event::<u32>::Start.message(), None);
+        assert_eq!(Event::<u32>::Wake(9).message(), None);
+    }
+}

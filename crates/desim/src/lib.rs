@@ -1,0 +1,35 @@
+//! The execution substrate: a deterministic discrete-event simulated
+//! cluster, plus a real-thread runtime that drives the *same* process code.
+//!
+//! The paper ran on JaguarPF (Cray XT5, MPI, up to 512 physical processors).
+//! What its evaluation compares is the relative I/O / communication /
+//! load-balance behaviour of three scheduling policies — properties of the
+//! algorithms, not the machine. This crate therefore provides:
+//!
+//! * [`des::Simulation`] — virtual ranks with per-rank virtual clocks,
+//!   causally ordered message delivery under a [`net::NetModel`] cost model,
+//!   and explicit charging of compute and I/O time. Deterministic: the same
+//!   inputs produce bit-identical schedules, at any virtual rank count, on
+//!   one host thread.
+//! * [`threads::ThreadRuntime`] — the same [`process::Process`] code on real
+//!   OS threads with crossbeam channels, used to validate that the
+//!   algorithms are correct under genuine concurrency and to run real-time
+//!   benchmarks at laptop scale.
+//!
+//! Algorithms are written once against [`process::Context`] and run on both.
+
+pub mod des;
+pub mod event;
+pub mod metrics;
+pub mod net;
+pub mod process;
+pub mod threads;
+pub mod trace;
+
+pub use des::Simulation;
+pub use event::Event;
+pub use metrics::{ProcMetrics, SimReport};
+pub use net::NetModel;
+pub use process::{Context, Process};
+pub use threads::ThreadRuntime;
+pub use trace::{ChargeKind, Timeline};

@@ -1,0 +1,104 @@
+//! Per-rank metrics and the run report — the raw material for every figure
+//! in §5 (wall clock, I/O time, communication time; block counters are kept
+//! by the algorithms and merged into their own reports).
+
+use serde::{Deserialize, Serialize};
+
+/// Time and traffic accounting for one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProcMetrics {
+    /// Seconds spent integrating (charged by the algorithm per step batch).
+    pub compute: f64,
+    /// Seconds spent loading blocks.
+    pub io: f64,
+    /// Seconds spent posting sends / processing receives.
+    pub comm: f64,
+    /// Seconds this rank sat with nothing to do (DES only: gap between its
+    /// clock and the next event it executed).
+    pub idle: f64,
+    pub msgs_sent: u64,
+    pub bytes_sent: u64,
+    pub msgs_recv: u64,
+    pub bytes_recv: u64,
+    /// Handler invocations.
+    pub events: u64,
+}
+
+impl ProcMetrics {
+    /// Total accounted time on this rank.
+    pub fn busy(&self) -> f64 {
+        self.compute + self.io + self.comm
+    }
+
+    pub fn merge(&mut self, other: &ProcMetrics) {
+        self.compute += other.compute;
+        self.io += other.io;
+        self.comm += other.comm;
+        self.idle += other.idle;
+        self.msgs_sent += other.msgs_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.msgs_recv += other.msgs_recv;
+        self.bytes_recv += other.bytes_recv;
+        self.events += other.events;
+    }
+}
+
+/// Result of one run on either runtime.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Wall-clock time: virtual (DES) or measured (threads), seconds.
+    pub wall: f64,
+    /// Total events processed.
+    pub events: u64,
+    /// Per-rank metrics, indexed by rank.
+    pub ranks: Vec<ProcMetrics>,
+}
+
+impl SimReport {
+    /// Sum of a per-rank field over all ranks.
+    pub fn total(&self, f: impl Fn(&ProcMetrics) -> f64) -> f64 {
+        self.ranks.iter().map(f).sum()
+    }
+
+    /// Totals for the headline §5 metrics: (io, comm, compute).
+    pub fn totals(&self) -> (f64, f64, f64) {
+        (
+            self.total(|m| m.io),
+            self.total(|m| m.comm),
+            self.total(|m| m.compute),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_is_sum_of_buckets() {
+        let m = ProcMetrics { compute: 1.0, io: 2.0, comm: 0.5, ..Default::default() };
+        assert_eq!(m.busy(), 3.5);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ProcMetrics { compute: 1.0, msgs_sent: 2, ..Default::default() };
+        a.merge(&ProcMetrics { compute: 0.5, msgs_sent: 3, bytes_recv: 7, ..Default::default() });
+        assert_eq!(a.compute, 1.5);
+        assert_eq!(a.msgs_sent, 5);
+        assert_eq!(a.bytes_recv, 7);
+    }
+
+    #[test]
+    fn report_totals() {
+        let r = SimReport {
+            wall: 10.0,
+            events: 4,
+            ranks: vec![
+                ProcMetrics { io: 1.0, comm: 0.25, compute: 3.0, ..Default::default() },
+                ProcMetrics { io: 2.0, comm: 0.75, compute: 1.0, ..Default::default() },
+            ],
+        };
+        assert_eq!(r.totals(), (3.0, 1.0, 4.0));
+    }
+}

@@ -1,0 +1,73 @@
+//! Network cost model for the simulated cluster.
+//!
+//! A LogP-flavoured model: posting a send (or processing a receive) costs
+//! CPU time proportional to the message size plus a fixed overhead — this is
+//! what the paper measures as communication time ("the time required to post
+//! send and receive operations and associated communication management",
+//! §5) — while delivery additionally waits out the wire latency.
+
+use serde::{Deserialize, Serialize};
+
+/// Interconnect cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetModel {
+    /// One-way wire latency in seconds.
+    pub latency: f64,
+    /// Per-link bandwidth in bytes/second (applies to the CPU-side copy).
+    pub bandwidth: f64,
+    /// Fixed CPU overhead to post a send, seconds.
+    pub send_overhead: f64,
+    /// Fixed CPU overhead to process a receive, seconds.
+    pub recv_overhead: f64,
+}
+
+impl NetModel {
+    /// Cray-XT5-flavoured defaults: 20 µs latency, 2 GB/s, a few µs per
+    /// message of posting overhead.
+    pub fn paper_scale() -> Self {
+        NetModel { latency: 20e-6, bandwidth: 2e9, send_overhead: 4e-6, recv_overhead: 4e-6 }
+    }
+
+    /// Zero-cost network for experiments that disable the communication axis.
+    pub fn free() -> Self {
+        NetModel { latency: 0.0, bandwidth: f64::INFINITY, send_overhead: 0.0, recv_overhead: 0.0 }
+    }
+
+    /// CPU seconds the sender spends posting a message of `bytes`.
+    pub fn send_cost(&self, bytes: usize) -> f64 {
+        self.send_overhead + bytes as f64 / self.bandwidth
+    }
+
+    /// CPU seconds the receiver spends accepting a message of `bytes`.
+    pub fn recv_cost(&self, bytes: usize) -> f64 {
+        self.recv_overhead + bytes as f64 / self.bandwidth
+    }
+
+    /// Wire time between send completion and delivery.
+    pub fn transit(&self, _bytes: usize) -> f64 {
+        self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_scale_with_bytes() {
+        let n = NetModel::paper_scale();
+        assert!(n.send_cost(1_000_000) > n.send_cost(100));
+        assert!(n.recv_cost(1_000_000) > n.recv_cost(100));
+        // A 2 MB message at 2 GB/s costs about 1 ms of copy time.
+        let t = n.send_cost(2_000_000);
+        assert!(t > 0.9e-3 && t < 1.2e-3, "{t}");
+    }
+
+    #[test]
+    fn free_network_is_free() {
+        let n = NetModel::free();
+        assert_eq!(n.send_cost(1 << 30), 0.0);
+        assert_eq!(n.recv_cost(1 << 30), 0.0);
+        assert_eq!(n.transit(1 << 30), 0.0);
+    }
+}

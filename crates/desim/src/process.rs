@@ -1,0 +1,46 @@
+//! The process abstraction algorithms are written against.
+//!
+//! A [`Process`] is one rank's event handler; a [`Context`] is the rank's
+//! window onto the runtime (clock, charging, messaging). The same process
+//! code runs on the discrete-event simulation and the thread runtime.
+
+use crate::event::Event;
+
+/// The runtime services available to a process while handling an event.
+pub trait Context<M> {
+    /// This rank's index.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the run.
+    fn n_ranks(&self) -> usize;
+
+    /// Current time in seconds: virtual on the simulation (including time
+    /// charged so far in this handler), elapsed-real on the thread runtime.
+    fn now(&self) -> f64;
+
+    /// Account `secs` of integration work. On the simulation this advances
+    /// the rank's virtual clock; on threads it only updates metrics (the
+    /// work itself already took real time).
+    fn charge_compute(&mut self, secs: f64);
+
+    /// Account `secs` of block-loading time (same semantics as
+    /// [`Self::charge_compute`]).
+    fn charge_io(&mut self, secs: f64);
+
+    /// Send `msg` (`bytes` long on the wire) to rank `to`. Charges the send
+    /// cost and delivers after transit. Self-sends are allowed.
+    fn send(&mut self, to: usize, msg: M, bytes: usize);
+
+    /// Deliver `Event::Wake(token)` to this rank after `delay` seconds.
+    fn wake_after(&mut self, delay: f64, token: u64);
+
+    /// Request global termination: remaining events are discarded and the
+    /// run ends once in-flight handlers return.
+    fn stop_all(&mut self);
+}
+
+/// One rank's behaviour. Handlers must return promptly relative to the
+/// charges they make — all blocking is expressed through events.
+pub trait Process<M>: Send {
+    fn on_event(&mut self, ev: Event<M>, ctx: &mut dyn Context<M>);
+}

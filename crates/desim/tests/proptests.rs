@@ -1,0 +1,116 @@
+//! Property-based tests for the discrete-event simulation: determinism,
+//! causality and conservation under randomized workloads.
+
+use proptest::prelude::*;
+use streamline_desim::{Context, Event, NetModel, Process, SimReport, Simulation};
+
+/// A randomized token-passing process: each rank forwards a hop-counted
+/// token along a random (but fixed) route, charging random compute.
+#[derive(Clone)]
+struct Router {
+    route: Vec<usize>,
+    costs: Vec<f64>,
+    seen: Vec<(usize, f64)>, // (hop, arrival virtual time)
+}
+
+impl Process<u32> for Router {
+    fn on_event(&mut self, ev: Event<u32>, ctx: &mut dyn Context<u32>) {
+        match ev {
+            Event::Start => {
+                if ctx.rank() == 0 && !self.route.is_empty() {
+                    ctx.send(self.route[0], 0, 64);
+                }
+            }
+            Event::Message { msg: hop, .. } => {
+                self.seen.push((hop as usize, ctx.now()));
+                let cost = self.costs[(hop as usize) % self.costs.len()];
+                ctx.charge_compute(cost);
+                let next = hop as usize + 1;
+                if next < self.route.len() {
+                    ctx.send(self.route[next], next as u32, 64 + next * 8);
+                } else {
+                    ctx.stop_all();
+                }
+            }
+            Event::Wake(_) => {}
+        }
+    }
+}
+
+fn run_route(n_ranks: usize, route: &[usize], costs: &[f64]) -> (SimReport, Vec<Router>) {
+    let procs = (0..n_ranks)
+        .map(|_| Router { route: route.to_vec(), costs: costs.to_vec(), seen: Vec::new() })
+        .collect();
+    Simulation::new(NetModel::paper_scale(), procs).run()
+}
+
+proptest! {
+    /// The simulation is a pure function: identical inputs, identical
+    /// reports and identical per-rank observation logs.
+    #[test]
+    fn deterministic_under_random_routes(
+        n_ranks in 2usize..9,
+        raw_route in prop::collection::vec(0usize..8, 1..30),
+        costs in prop::collection::vec(1e-6f64..1e-3, 1..5),
+    ) {
+        let route: Vec<usize> = raw_route.iter().map(|r| r % n_ranks).collect();
+        let (r1, p1) = run_route(n_ranks, &route, &costs);
+        let (r2, p2) = run_route(n_ranks, &route, &costs);
+        prop_assert_eq!(r1.wall, r2.wall);
+        prop_assert_eq!(r1.events, r2.events);
+        for (a, b) in p1.iter().zip(p2.iter()) {
+            prop_assert_eq!(&a.seen, &b.seen);
+        }
+    }
+
+    /// Causality: along the token's route, arrival times are strictly
+    /// increasing (each hop adds latency + compute).
+    #[test]
+    fn token_arrivals_monotone(
+        n_ranks in 2usize..9,
+        raw_route in prop::collection::vec(0usize..8, 2..30),
+    ) {
+        let route: Vec<usize> = raw_route.iter().map(|r| r % n_ranks).collect();
+        let (_, procs) = run_route(n_ranks, &route, &[1e-5]);
+        let mut arrivals: Vec<(usize, f64)> =
+            procs.iter().flat_map(|p| p.seen.iter().copied()).collect();
+        arrivals.sort_by_key(|&(hop, _)| hop);
+        // Every hop was observed exactly once.
+        prop_assert_eq!(arrivals.len(), route.len());
+        for w in arrivals.windows(2) {
+            prop_assert!(w[1].1 > w[0].1, "hop {} at {} not after hop {} at {}",
+                w[1].0, w[1].1, w[0].0, w[0].1);
+        }
+    }
+
+    /// Message conservation: sends equal receives when the run drains.
+    #[test]
+    fn sends_equal_receives(
+        n_ranks in 2usize..9,
+        raw_route in prop::collection::vec(0usize..8, 1..30),
+    ) {
+        let route: Vec<usize> = raw_route.iter().map(|r| r % n_ranks).collect();
+        let (report, _) = run_route(n_ranks, &route, &[1e-5]);
+        let sent: u64 = report.ranks.iter().map(|m| m.msgs_sent).sum();
+        let recv: u64 = report.ranks.iter().map(|m| m.msgs_recv).sum();
+        prop_assert_eq!(sent, recv);
+        let bytes_sent: u64 = report.ranks.iter().map(|m| m.bytes_sent).sum();
+        let bytes_recv: u64 = report.ranks.iter().map(|m| m.bytes_recv).sum();
+        prop_assert_eq!(bytes_sent, bytes_recv);
+    }
+
+    /// Wall clock equals the maximum across ranks of (busy + idle) time
+    /// observed by any rank that did work last.
+    #[test]
+    fn wall_at_least_any_rank_busy_time(
+        n_ranks in 2usize..9,
+        raw_route in prop::collection::vec(0usize..8, 1..30),
+        costs in prop::collection::vec(1e-6f64..1e-3, 1..5),
+    ) {
+        let route: Vec<usize> = raw_route.iter().map(|r| r % n_ranks).collect();
+        let (report, _) = run_route(n_ranks, &route, &costs);
+        for m in &report.ranks {
+            prop_assert!(report.wall + 1e-12 >= m.busy(), "wall {} < busy {}", report.wall, m.busy());
+        }
+    }
+}

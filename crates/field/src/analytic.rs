@@ -1,0 +1,234 @@
+//! The [`VectorField`] trait and analytic reference fields.
+//!
+//! The application fields (supernova, tokamak, thermal hydraulics) live in
+//! their own modules; the simple fields here have closed-form streamlines and
+//! anchor the integrator's convergence and correctness tests.
+
+use streamline_math::Vec3;
+
+/// A stationary vector field `v(x)` (Eq. 1 of the paper integrates
+/// `S'(t) = v(S(t))`).
+///
+/// Implementations must be cheap to evaluate and thread-safe: every rank of
+/// the simulated cluster evaluates the field concurrently when sampling
+/// blocks.
+pub trait VectorField: Send + Sync {
+    /// Field value at `p`. Must return finite components for finite `p`.
+    fn eval(&self, p: Vec3) -> Vec3;
+
+    /// Short identifier used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Constant field — streamlines are straight lines.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform(pub Vec3);
+
+impl VectorField for Uniform {
+    fn eval(&self, _p: Vec3) -> Vec3 {
+        self.0
+    }
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+/// Rigid rotation about the z-axis with angular velocity `omega`:
+/// `v = ω ẑ × r`. Streamlines are circles of constant radius — ideal for
+/// testing energy (radius) conservation of integrators.
+#[derive(Debug, Clone, Copy)]
+pub struct RigidRotation {
+    pub omega: f64,
+}
+
+impl VectorField for RigidRotation {
+    fn eval(&self, p: Vec3) -> Vec3 {
+        Vec3::new(-self.omega * p.y, self.omega * p.x, 0.0)
+    }
+    fn name(&self) -> &'static str {
+        "rigid-rotation"
+    }
+}
+
+/// Linear saddle `v = (λx, −λy, 0)`: exponential solutions
+/// `x(t) = x0 e^{λt}`, `y(t) = y0 e^{−λt}` for convergence-order tests.
+#[derive(Debug, Clone, Copy)]
+pub struct Saddle {
+    pub lambda: f64,
+}
+
+impl VectorField for Saddle {
+    fn eval(&self, p: Vec3) -> Vec3 {
+        Vec3::new(self.lambda * p.x, -self.lambda * p.y, 0.0)
+    }
+    fn name(&self) -> &'static str {
+        "saddle"
+    }
+}
+
+/// Arnold–Beltrami–Childress flow, the standard chaotic incompressible test
+/// field. With the classic coefficients it mixes trajectories through the
+/// whole periodic box, a miniature of the paper's "nearly uniform vector
+/// field requires integral curves to pass through large parts of the data".
+#[derive(Debug, Clone, Copy)]
+pub struct AbcFlow {
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+}
+
+impl AbcFlow {
+    /// The classic A=√3, B=√2, C=1 parameters.
+    pub fn classic() -> Self {
+        AbcFlow { a: 3f64.sqrt(), b: 2f64.sqrt(), c: 1.0 }
+    }
+}
+
+impl VectorField for AbcFlow {
+    fn eval(&self, p: Vec3) -> Vec3 {
+        Vec3::new(
+            self.a * p.z.sin() + self.c * p.y.cos(),
+            self.b * p.x.sin() + self.a * p.z.cos(),
+            self.c * p.y.sin() + self.b * p.x.cos(),
+        )
+    }
+    fn name(&self) -> &'static str {
+        "abc-flow"
+    }
+}
+
+/// Steady double-gyre in the unit box `[0,2]×[0,1]`, extruded in z.
+/// Two counter-rotating rolls — a compact stand-in for recirculation zones.
+#[derive(Debug, Clone, Copy)]
+pub struct DoubleGyre {
+    pub amplitude: f64,
+}
+
+impl VectorField for DoubleGyre {
+    fn eval(&self, p: Vec3) -> Vec3 {
+        use std::f64::consts::PI;
+        let a = self.amplitude;
+        Vec3::new(
+            -PI * a * (PI * p.x).sin() * (PI * p.y).cos(),
+            PI * a * (PI * p.x).cos() * (PI * p.y).sin(),
+            0.0,
+        )
+    }
+    fn name(&self) -> &'static str {
+        "double-gyre"
+    }
+}
+
+/// A point sink at `center`: `v = −k (p − center)`. Streamlines converge —
+/// the pathological case for Static Allocation described in §6 ("a flow with
+/// sources and sinks").
+#[derive(Debug, Clone, Copy)]
+pub struct PointSink {
+    pub center: Vec3,
+    pub strength: f64,
+}
+
+impl VectorField for PointSink {
+    fn eval(&self, p: Vec3) -> Vec3 {
+        (self.center - p) * self.strength
+    }
+    fn name(&self) -> &'static str {
+        "point-sink"
+    }
+}
+
+/// Scale an inner field by a constant factor.
+pub struct Scaled<F> {
+    pub inner: F,
+    pub factor: f64,
+}
+
+impl<F: VectorField> VectorField for Scaled<F> {
+    fn eval(&self, p: Vec3) -> Vec3 {
+        self.inner.eval(p) * self.factor
+    }
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamline_math::float::approx_eq;
+
+    #[test]
+    fn uniform_is_constant() {
+        let f = Uniform(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(f.eval(Vec3::ZERO), f.eval(Vec3::splat(100.0)));
+    }
+
+    #[test]
+    fn rotation_is_tangential() {
+        let f = RigidRotation { omega: 2.0 };
+        let p = Vec3::new(3.0, 4.0, 1.0);
+        let v = f.eval(p);
+        // Velocity is perpendicular to the radius vector in the xy-plane.
+        assert!(approx_eq(v.x * p.x + v.y * p.y, 0.0, 1e-12));
+        // Speed = omega * radius.
+        assert!(approx_eq(v.norm(), 2.0 * 5.0, 1e-12));
+    }
+
+    #[test]
+    fn saddle_axes() {
+        let f = Saddle { lambda: 1.5 };
+        assert_eq!(f.eval(Vec3::new(2.0, 0.0, 0.0)), Vec3::new(3.0, 0.0, 0.0));
+        assert_eq!(f.eval(Vec3::new(0.0, 2.0, 0.0)), Vec3::new(0.0, -3.0, 0.0));
+    }
+
+    #[test]
+    fn abc_is_periodic() {
+        use std::f64::consts::TAU;
+        let f = AbcFlow::classic();
+        let p = Vec3::new(0.3, 1.1, 2.7);
+        let q = p + Vec3::new(TAU, TAU, TAU);
+        let (a, b) = (f.eval(p), f.eval(q));
+        assert!(a.distance(b) < 1e-9);
+    }
+
+    #[test]
+    fn abc_divergence_free() {
+        // Central-difference divergence should vanish everywhere.
+        let f = AbcFlow::classic();
+        let h = 1e-5;
+        for p in [Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0), Vec3::new(-0.5, 0.1, 4.0)] {
+            let div = (f.eval(p + Vec3::X * h).x - f.eval(p - Vec3::X * h).x
+                + f.eval(p + Vec3::Y * h).y
+                - f.eval(p - Vec3::Y * h).y
+                + f.eval(p + Vec3::Z * h).z
+                - f.eval(p - Vec3::Z * h).z)
+                / (2.0 * h);
+            assert!(div.abs() < 1e-6, "div = {div}");
+        }
+    }
+
+    #[test]
+    fn double_gyre_walls_are_impermeable() {
+        let f = DoubleGyre { amplitude: 0.1 };
+        // No normal flow through x = 0, 1, 2 and y = 0, 1.
+        assert!(approx_eq(f.eval(Vec3::new(0.0, 0.5, 0.0)).x, 0.0, 1e-12));
+        assert!(approx_eq(f.eval(Vec3::new(1.0, 0.5, 0.0)).x, 0.0, 1e-12));
+        assert!(approx_eq(f.eval(Vec3::new(0.5, 0.0, 0.0)).y, 0.0, 1e-12));
+        assert!(approx_eq(f.eval(Vec3::new(0.5, 1.0, 0.0)).y, 0.0, 1e-12));
+    }
+
+    #[test]
+    fn sink_points_inward() {
+        let f = PointSink { center: Vec3::splat(1.0), strength: 2.0 };
+        let p = Vec3::ZERO;
+        let v = f.eval(p);
+        assert!(v.dot(f.center - p) > 0.0);
+        assert_eq!(f.eval(f.center), Vec3::ZERO);
+    }
+
+    #[test]
+    fn scaled_multiplies() {
+        let f = Scaled { inner: Uniform(Vec3::X), factor: 4.0 };
+        assert_eq!(f.eval(Vec3::ZERO), Vec3::new(4.0, 0.0, 0.0));
+    }
+}

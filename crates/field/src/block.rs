@@ -1,0 +1,170 @@
+//! A resident data block: node-centered vector samples over one tile of the
+//! decomposed mesh, plus ghost layers.
+//!
+//! Blocks are the unit of I/O, caching and ownership in all three algorithms.
+//! The in-memory payload is `f32` (matching typical simulation output); all
+//! arithmetic on sampled values is done in `f64`.
+
+use crate::interp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use streamline_math::{Aabb, Vec3};
+
+/// Identifier of a block within a [`crate::BlockDecomposition`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+impl BlockId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Node-centered vector samples over one block (including ghost nodes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    pub id: BlockId,
+    /// Core spatial bounds (excludes the ghost margin).
+    pub bounds: Aabb,
+    /// Ghost layers on every face, in cells.
+    pub ghost: usize,
+    /// Node counts per axis, including ghost nodes.
+    pub nodes: [usize; 3],
+    /// Cell spacing.
+    pub spacing: Vec3,
+    /// Position of node (0,0,0) — `bounds.min − ghost·spacing`.
+    pub origin: Vec3,
+    /// Row-major (x fastest) `[vx, vy, vz]` per node.
+    pub data: Vec<[f32; 3]>,
+}
+
+impl Block {
+    /// Allocate a zero-filled block. `nodes` includes ghost nodes.
+    pub fn zeroed(id: BlockId, bounds: Aabb, ghost: usize, nodes: [usize; 3], spacing: Vec3) -> Self {
+        let origin = bounds.min - spacing * ghost as f64;
+        Block {
+            id,
+            bounds,
+            ghost,
+            nodes,
+            spacing,
+            origin,
+            data: vec![[0.0; 3]; nodes[0] * nodes[1] * nodes[2]],
+        }
+    }
+
+    /// Linear index of node `(i, j, k)` in ghost-inclusive coordinates.
+    #[inline]
+    pub fn node_index(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.nodes[0] && j < self.nodes[1] && k < self.nodes[2]);
+        (k * self.nodes[1] + j) * self.nodes[0] + i
+    }
+
+    /// Position of node `(i, j, k)` in ghost-inclusive coordinates.
+    #[inline]
+    pub fn node_pos(&self, i: usize, j: usize, k: usize) -> Vec3 {
+        self.origin
+            + Vec3::new(
+                i as f64 * self.spacing.x,
+                j as f64 * self.spacing.y,
+                k as f64 * self.spacing.z,
+            )
+    }
+
+    /// Set the sample at node `(i, j, k)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, v: Vec3) {
+        let idx = self.node_index(i, j, k);
+        self.data[idx] = v.to_f32_array();
+    }
+
+    /// Sample at node `(i, j, k)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> Vec3 {
+        Vec3::from_f32_array(self.data[self.node_index(i, j, k)])
+    }
+
+    /// Region where trilinear interpolation is defined (the ghost-extended
+    /// node lattice extent).
+    pub fn interp_bounds(&self) -> Aabb {
+        let hi = self.node_pos(self.nodes[0] - 1, self.nodes[1] - 1, self.nodes[2] - 1);
+        Aabb::new(self.origin, hi)
+    }
+
+    /// True when `p` lies in the block's core region.
+    #[inline]
+    pub fn contains_core(&self, p: Vec3) -> bool {
+        self.bounds.contains(p)
+    }
+
+    /// Trilinear interpolation of the field at `p`. Valid anywhere in
+    /// [`Self::interp_bounds`] (core plus ghost margin); `None` outside.
+    #[inline]
+    pub fn sample(&self, p: Vec3) -> Option<Vec3> {
+        interp::trilinear(self, p)
+    }
+
+    /// In-memory payload size in bytes (node data only).
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len() * 12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> Block {
+        // 2x2x2 cells + 1 ghost layer => 5 nodes per axis over core [0,2]^3.
+        Block::zeroed(
+            BlockId(3),
+            Aabb::new(Vec3::ZERO, Vec3::splat(2.0)),
+            1,
+            [5, 5, 5],
+            Vec3::splat(1.0),
+        )
+    }
+
+    #[test]
+    fn origin_offset_by_ghost() {
+        let b = block();
+        assert_eq!(b.origin, Vec3::splat(-1.0));
+        assert_eq!(b.node_pos(0, 0, 0), Vec3::splat(-1.0));
+        assert_eq!(b.node_pos(4, 4, 4), Vec3::splat(3.0));
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = block();
+        b.set(1, 2, 3, Vec3::new(0.5, -1.5, 2.5));
+        assert_eq!(b.get(1, 2, 3), Vec3::new(0.5, -1.5, 2.5));
+        assert_eq!(b.get(0, 0, 0), Vec3::ZERO);
+    }
+
+    #[test]
+    fn interp_bounds_cover_core_plus_ghost() {
+        let b = block();
+        let ib = b.interp_bounds();
+        assert_eq!(ib.min, Vec3::splat(-1.0));
+        assert_eq!(ib.max, Vec3::splat(3.0));
+        assert!(ib.contains(b.bounds.min) && ib.contains(b.bounds.max));
+    }
+
+    #[test]
+    fn payload_bytes_counts_all_nodes() {
+        assert_eq!(block().payload_bytes(), 125 * 12);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(BlockId(17).to_string(), "B17");
+    }
+}

@@ -1,0 +1,271 @@
+//! Spatial block decomposition of the problem mesh.
+//!
+//! §4 of the paper: "In all algorithms, the problem mesh is decomposed into a
+//! number of spatially disjoint blocks. Each block may or may not have ghost
+//! cells for connectivity purposes." The decomposition is the shared contract
+//! between the algorithms (which reason about block ownership) and the I/O
+//! substrate (which loads block payloads).
+
+use crate::block::BlockId;
+use crate::grid::RegularGrid;
+use serde::{Deserialize, Serialize};
+use streamline_math::{Aabb, Vec3};
+
+/// A regular decomposition of `domain` into `blocks_per_axis` disjoint
+/// blocks, each holding `cells_per_block` cells, each block carrying `ghost`
+/// extra cell layers on every face for connectivity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockDecomposition {
+    pub domain: Aabb,
+    pub blocks_per_axis: [usize; 3],
+    pub cells_per_block: [usize; 3],
+    pub ghost: usize,
+}
+
+impl BlockDecomposition {
+    pub fn new(
+        domain: Aabb,
+        blocks_per_axis: [usize; 3],
+        cells_per_block: [usize; 3],
+        ghost: usize,
+    ) -> Self {
+        assert!(blocks_per_axis.iter().all(|&b| b >= 1), "need >= 1 block per axis");
+        assert!(cells_per_block.iter().all(|&c| c >= 1), "need >= 1 cell per axis per block");
+        assert!(
+            ghost <= cells_per_block[0].min(cells_per_block[1]).min(cells_per_block[2]),
+            "ghost layer thicker than a block"
+        );
+        BlockDecomposition { domain, blocks_per_axis, cells_per_block, ghost }
+    }
+
+    /// The paper's canonical layout: 8×8×8 = 512 blocks over the domain.
+    pub fn paper_512(domain: Aabb, cells_per_block: [usize; 3]) -> Self {
+        BlockDecomposition::new(domain, [8, 8, 8], cells_per_block, 1)
+    }
+
+    pub fn num_blocks(&self) -> usize {
+        self.blocks_per_axis[0] * self.blocks_per_axis[1] * self.blocks_per_axis[2]
+    }
+
+    /// The full mesh as one grid.
+    pub fn global_grid(&self) -> RegularGrid {
+        RegularGrid::new(
+            self.domain,
+            [
+                self.blocks_per_axis[0] * self.cells_per_block[0],
+                self.blocks_per_axis[1] * self.cells_per_block[1],
+                self.blocks_per_axis[2] * self.cells_per_block[2],
+            ],
+        )
+    }
+
+    /// Total cell count over all blocks (ghosts not counted — they duplicate
+    /// neighbours' cells).
+    pub fn total_cells(&self) -> usize {
+        self.num_blocks()
+            * self.cells_per_block[0]
+            * self.cells_per_block[1]
+            * self.cells_per_block[2]
+    }
+
+    /// Linear id of the block at lattice coordinates `(bi, bj, bk)`.
+    pub fn id_of(&self, bi: usize, bj: usize, bk: usize) -> BlockId {
+        debug_assert!(
+            bi < self.blocks_per_axis[0]
+                && bj < self.blocks_per_axis[1]
+                && bk < self.blocks_per_axis[2]
+        );
+        BlockId(((bk * self.blocks_per_axis[1] + bj) * self.blocks_per_axis[0] + bi) as u32)
+    }
+
+    /// Lattice coordinates of block `id`.
+    pub fn coords_of(&self, id: BlockId) -> [usize; 3] {
+        let i = id.0 as usize;
+        debug_assert!(i < self.num_blocks());
+        let nx = self.blocks_per_axis[0];
+        let ny = self.blocks_per_axis[1];
+        [i % nx, (i / nx) % ny, i / (nx * ny)]
+    }
+
+    /// Extent of one block on each axis.
+    pub fn block_size(&self) -> Vec3 {
+        let s = self.domain.size();
+        Vec3::new(
+            s.x / self.blocks_per_axis[0] as f64,
+            s.y / self.blocks_per_axis[1] as f64,
+            s.z / self.blocks_per_axis[2] as f64,
+        )
+    }
+
+    /// Spatial bounds of block `id` (core region, excluding ghost layers).
+    pub fn block_bounds(&self, id: BlockId) -> Aabb {
+        let [bi, bj, bk] = self.coords_of(id);
+        let s = self.block_size();
+        let min = self.domain.min + Vec3::new(bi as f64 * s.x, bj as f64 * s.y, bk as f64 * s.z);
+        Aabb::new(min, min + s)
+    }
+
+    /// Cell spacing (same for every block and the global grid).
+    pub fn spacing(&self) -> Vec3 {
+        self.global_grid().spacing()
+    }
+
+    /// Which block owns point `p`. Points exactly on an interior block face
+    /// belong to the higher-indexed block (consistent tie-break); points on
+    /// the domain's upper faces belong to the last block. `None` outside the
+    /// domain.
+    pub fn locate(&self, p: Vec3) -> Option<BlockId> {
+        let tol = 1e-12 * self.domain.size().max_abs_component();
+        if !self.domain.contains_eps(p, tol) {
+            return None;
+        }
+        let s = self.block_size();
+        let u = p - self.domain.min;
+        let clamp_axis = |v: f64, n: usize| -> usize {
+            let i = (v).floor() as isize;
+            i.clamp(0, n as isize - 1) as usize
+        };
+        Some(self.id_of(
+            clamp_axis(u.x / s.x, self.blocks_per_axis[0]),
+            clamp_axis(u.y / s.y, self.blocks_per_axis[1]),
+            clamp_axis(u.z / s.z, self.blocks_per_axis[2]),
+        ))
+    }
+
+    /// Face/edge/corner-adjacent neighbour block ids (up to 26).
+    pub fn neighbors(&self, id: BlockId) -> Vec<BlockId> {
+        let [bi, bj, bk] = self.coords_of(id);
+        let [nx, ny, nz] = self.blocks_per_axis;
+        let mut out = Vec::with_capacity(26);
+        for dk in -1i64..=1 {
+            for dj in -1i64..=1 {
+                for di in -1i64..=1 {
+                    if di == 0 && dj == 0 && dk == 0 {
+                        continue;
+                    }
+                    let (i, j, k) = (bi as i64 + di, bj as i64 + dj, bk as i64 + dk);
+                    if i >= 0
+                        && j >= 0
+                        && k >= 0
+                        && (i as usize) < nx
+                        && (j as usize) < ny
+                        && (k as usize) < nz
+                    {
+                        out.push(self.id_of(i as usize, j as usize, k as usize));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All block ids in order.
+    pub fn all_blocks(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.num_blocks() as u32).map(BlockId)
+    }
+
+    /// Number of bytes of node data one block holds in memory (including
+    /// ghost nodes, 3 × f32 per node).
+    pub fn block_payload_bytes(&self) -> usize {
+        let n = self.block_nodes();
+        n[0] * n[1] * n[2] * 12
+    }
+
+    /// Node counts per axis for a block's lattice including ghost layers.
+    pub fn block_nodes(&self) -> [usize; 3] {
+        [
+            self.cells_per_block[0] + 1 + 2 * self.ghost,
+            self.cells_per_block[1] + 1 + 2 * self.ghost,
+            self.cells_per_block[2] + 1 + 2 * self.ghost,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decomp() -> BlockDecomposition {
+        BlockDecomposition::new(Aabb::new(Vec3::ZERO, Vec3::splat(8.0)), [4, 2, 2], [4, 4, 4], 1)
+    }
+
+    #[test]
+    fn counts() {
+        let d = decomp();
+        assert_eq!(d.num_blocks(), 16);
+        assert_eq!(d.total_cells(), 16 * 64);
+        assert_eq!(d.global_grid().cells, [16, 8, 8]);
+    }
+
+    #[test]
+    fn paper_layout_is_512_blocks() {
+        let d = BlockDecomposition::paper_512(Aabb::unit(), [16, 16, 16]);
+        assert_eq!(d.num_blocks(), 512);
+    }
+
+    #[test]
+    fn id_coord_roundtrip() {
+        let d = decomp();
+        for id in d.all_blocks() {
+            let [i, j, k] = d.coords_of(id);
+            assert_eq!(d.id_of(i, j, k), id);
+        }
+    }
+
+    #[test]
+    fn block_bounds_tile_domain() {
+        let d = decomp();
+        let total: f64 = d.all_blocks().map(|b| d.block_bounds(b).volume()).sum();
+        assert!((total - d.domain.volume()).abs() < 1e-9);
+        // Every block is inside the domain.
+        for id in d.all_blocks() {
+            let b = d.block_bounds(id);
+            assert!(d.domain.contains(b.min) && d.domain.contains(b.max));
+        }
+    }
+
+    #[test]
+    fn locate_agrees_with_bounds() {
+        let d = decomp();
+        for id in d.all_blocks() {
+            let c = d.block_bounds(id).center();
+            assert_eq!(d.locate(c), Some(id));
+        }
+        assert_eq!(d.locate(Vec3::splat(-1.0)), None);
+        assert_eq!(d.locate(Vec3::splat(9.0)), None);
+    }
+
+    #[test]
+    fn locate_upper_domain_face_is_last_block() {
+        let d = decomp();
+        assert_eq!(d.locate(d.domain.max), Some(d.id_of(3, 1, 1)));
+    }
+
+    #[test]
+    fn neighbors_interior_corner_edge() {
+        let d = decomp();
+        // Interior block of a 4x2x2 lattice: (1,0,0) has 2*2*3 - 1 = 11 neighbors.
+        assert_eq!(d.neighbors(d.id_of(1, 0, 0)).len(), 11);
+        // Corner block (0,0,0): 2*2*2 - 1 = 7.
+        assert_eq!(d.neighbors(d.id_of(0, 0, 0)).len(), 7);
+        // Neighborhood is symmetric.
+        let a = d.id_of(1, 1, 1);
+        for n in d.neighbors(a) {
+            assert!(d.neighbors(n).contains(&a));
+        }
+    }
+
+    #[test]
+    fn payload_bytes_includes_ghosts() {
+        let d = decomp();
+        // 4 cells + 1 node + 2 ghost nodes = 7 nodes per axis.
+        assert_eq!(d.block_nodes(), [7, 7, 7]);
+        assert_eq!(d.block_payload_bytes(), 7 * 7 * 7 * 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ghost layer")]
+    fn oversized_ghost_rejected() {
+        BlockDecomposition::new(Aabb::unit(), [2, 2, 2], [2, 2, 2], 3);
+    }
+}

@@ -1,0 +1,164 @@
+//! Regular (uniform rectilinear) grids.
+//!
+//! The paper's scaling studies resample every dataset "onto 512 blocks with 1
+//! million cells per block" on regular grids (§3.2, footnote 1). A
+//! [`RegularGrid`] describes one such structured lattice: an axis-aligned
+//! domain divided into `cells` cells per axis, with node-centered samples at
+//! the `cells + 1` lattice points per axis.
+
+use serde::{Deserialize, Serialize};
+use streamline_math::{Aabb, Vec3};
+
+/// A uniform structured grid over an axis-aligned domain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegularGrid {
+    /// Spatial extent covered by the grid.
+    pub bounds: Aabb,
+    /// Cell counts per axis (nodes per axis = cells + 1).
+    pub cells: [usize; 3],
+}
+
+impl RegularGrid {
+    pub fn new(bounds: Aabb, cells: [usize; 3]) -> Self {
+        assert!(
+            cells.iter().all(|&c| c >= 1),
+            "grid needs at least one cell per axis, got {cells:?}"
+        );
+        RegularGrid { bounds, cells }
+    }
+
+    /// Edge length of one cell on each axis.
+    pub fn spacing(&self) -> Vec3 {
+        let s = self.bounds.size();
+        Vec3::new(
+            s.x / self.cells[0] as f64,
+            s.y / self.cells[1] as f64,
+            s.z / self.cells[2] as f64,
+        )
+    }
+
+    /// Nodes per axis.
+    pub fn nodes(&self) -> [usize; 3] {
+        [self.cells[0] + 1, self.cells[1] + 1, self.cells[2] + 1]
+    }
+
+    pub fn total_cells(&self) -> usize {
+        self.cells[0] * self.cells[1] * self.cells[2]
+    }
+
+    pub fn total_nodes(&self) -> usize {
+        let n = self.nodes();
+        n[0] * n[1] * n[2]
+    }
+
+    /// Position of node `(i, j, k)` (zero-based, node-centered lattice).
+    pub fn node_pos(&self, i: usize, j: usize, k: usize) -> Vec3 {
+        let h = self.spacing();
+        self.bounds.min + Vec3::new(i as f64 * h.x, j as f64 * h.y, k as f64 * h.z)
+    }
+
+    /// Center of cell `(i, j, k)`.
+    pub fn cell_center(&self, i: usize, j: usize, k: usize) -> Vec3 {
+        let h = self.spacing();
+        self.bounds.min
+            + Vec3::new(
+                (i as f64 + 0.5) * h.x,
+                (j as f64 + 0.5) * h.y,
+                (k as f64 + 0.5) * h.z,
+            )
+    }
+
+    /// Row-major (x fastest) linear index of node `(i, j, k)`.
+    #[inline]
+    pub fn node_index(&self, i: usize, j: usize, k: usize) -> usize {
+        let n = self.nodes();
+        debug_assert!(i < n[0] && j < n[1] && k < n[2]);
+        (k * n[1] + j) * n[0] + i
+    }
+
+    /// Cell containing point `p`, clamped to valid cells; `None` when `p` is
+    /// outside the grid bounds (beyond a tiny tolerance).
+    pub fn locate_cell(&self, p: Vec3) -> Option<[usize; 3]> {
+        if !self.bounds.contains_eps(p, 1e-12 * self.bounds.size().max_abs_component()) {
+            return None;
+        }
+        let h = self.spacing();
+        let u = p - self.bounds.min;
+        let clamp_axis = |v: f64, cells: usize| -> usize {
+            let i = (v).floor() as isize;
+            i.clamp(0, cells as isize - 1) as usize
+        };
+        Some([
+            clamp_axis(u.x / h.x, self.cells[0]),
+            clamp_axis(u.y / h.y, self.cells[1]),
+            clamp_axis(u.z / h.z, self.cells[2]),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> RegularGrid {
+        RegularGrid::new(Aabb::new(Vec3::ZERO, Vec3::new(2.0, 4.0, 8.0)), [2, 4, 8])
+    }
+
+    #[test]
+    fn spacing_uniform() {
+        assert_eq!(grid().spacing(), Vec3::splat(1.0));
+    }
+
+    #[test]
+    fn counts() {
+        let g = grid();
+        assert_eq!(g.total_cells(), 64);
+        assert_eq!(g.nodes(), [3, 5, 9]);
+        assert_eq!(g.total_nodes(), 135);
+    }
+
+    #[test]
+    fn node_positions_cover_bounds() {
+        let g = grid();
+        assert_eq!(g.node_pos(0, 0, 0), g.bounds.min);
+        assert_eq!(g.node_pos(2, 4, 8), g.bounds.max);
+    }
+
+    #[test]
+    fn cell_center_is_offset_half() {
+        let g = grid();
+        assert_eq!(g.cell_center(0, 0, 0), Vec3::splat(0.5));
+    }
+
+    #[test]
+    fn node_index_unique_and_in_range() {
+        let g = grid();
+        let n = g.nodes();
+        let mut seen = vec![false; g.total_nodes()];
+        for k in 0..n[2] {
+            for j in 0..n[1] {
+                for i in 0..n[0] {
+                    let idx = g.node_index(i, j, k);
+                    assert!(!seen[idx]);
+                    seen[idx] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn locate_cell_interior_and_boundary() {
+        let g = grid();
+        assert_eq!(g.locate_cell(Vec3::new(0.5, 0.5, 0.5)), Some([0, 0, 0]));
+        // Upper corner belongs to the last cell.
+        assert_eq!(g.locate_cell(g.bounds.max), Some([1, 3, 7]));
+        assert_eq!(g.locate_cell(Vec3::new(-1.0, 0.0, 0.0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_rejected() {
+        RegularGrid::new(Aabb::unit(), [0, 1, 1]);
+    }
+}

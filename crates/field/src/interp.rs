@@ -1,0 +1,152 @@
+//! Trilinear interpolation on a block's node lattice.
+//!
+//! This is the hottest function in the whole system — every Runge–Kutta stage
+//! of every integration step of every streamline calls it. It is kept free of
+//! heap allocation and uses a single bounds check on the lattice cell.
+
+use crate::block::Block;
+use streamline_math::Vec3;
+
+/// Trilinear interpolation of block data at `p`.
+///
+/// Returns `None` when `p` falls outside the block's ghost-extended node
+/// lattice (the caller then hands the streamline to whichever block owns `p`).
+#[inline]
+pub fn trilinear(block: &Block, p: Vec3) -> Option<Vec3> {
+    let [nx, ny, nz] = block.nodes;
+    // Fractional lattice coordinates.
+    let fx = (p.x - block.origin.x) / block.spacing.x;
+    let fy = (p.y - block.origin.y) / block.spacing.y;
+    let fz = (p.z - block.origin.z) / block.spacing.z;
+    // A small tolerance keeps points on the outer lattice faces valid.
+    const EDGE_TOL: f64 = 1e-9;
+    if fx < -EDGE_TOL
+        || fy < -EDGE_TOL
+        || fz < -EDGE_TOL
+        || fx > (nx - 1) as f64 + EDGE_TOL
+        || fy > (ny - 1) as f64 + EDGE_TOL
+        || fz > (nz - 1) as f64 + EDGE_TOL
+    {
+        return None;
+    }
+    // Lower cell corner, clamped so the +1 stencil stays in range on the
+    // upper faces.
+    let i = (fx.floor() as usize).min(nx - 2);
+    let j = (fy.floor() as usize).min(ny - 2);
+    let k = (fz.floor() as usize).min(nz - 2);
+    let tx = (fx - i as f64).clamp(0.0, 1.0);
+    let ty = (fy - j as f64).clamp(0.0, 1.0);
+    let tz = (fz - k as f64).clamp(0.0, 1.0);
+
+    let idx = |i: usize, j: usize, k: usize| (k * ny + j) * nx + i;
+    let d = &block.data;
+    let c000 = d[idx(i, j, k)];
+    let c100 = d[idx(i + 1, j, k)];
+    let c010 = d[idx(i, j + 1, k)];
+    let c110 = d[idx(i + 1, j + 1, k)];
+    let c001 = d[idx(i, j, k + 1)];
+    let c101 = d[idx(i + 1, j, k + 1)];
+    let c011 = d[idx(i, j + 1, k + 1)];
+    let c111 = d[idx(i + 1, j + 1, k + 1)];
+
+    let mut out = [0.0f64; 3];
+    for (c, o) in out.iter_mut().enumerate() {
+        let x00 = c000[c] as f64 * (1.0 - tx) + c100[c] as f64 * tx;
+        let x10 = c010[c] as f64 * (1.0 - tx) + c110[c] as f64 * tx;
+        let x01 = c001[c] as f64 * (1.0 - tx) + c101[c] as f64 * tx;
+        let x11 = c011[c] as f64 * (1.0 - tx) + c111[c] as f64 * tx;
+        let y0 = x00 * (1.0 - ty) + x10 * ty;
+        let y1 = x01 * (1.0 - ty) + x11 * ty;
+        *o = y0 * (1.0 - tz) + y1 * tz;
+    }
+    Some(Vec3::new(out[0], out[1], out[2]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockId;
+    use streamline_math::Aabb;
+
+    /// Block over [0,2]^3 with 2 cells/axis, no ghosts, filled from `f`.
+    fn filled_block(f: impl Fn(Vec3) -> Vec3) -> Block {
+        let mut b = Block::zeroed(
+            BlockId(0),
+            Aabb::new(Vec3::ZERO, Vec3::splat(2.0)),
+            0,
+            [3, 3, 3],
+            Vec3::splat(1.0),
+        );
+        for k in 0..3 {
+            for j in 0..3 {
+                for i in 0..3 {
+                    let p = b.node_pos(i, j, k);
+                    b.set(i, j, k, f(p));
+                }
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn reproduces_node_values() {
+        let b = filled_block(|p| Vec3::new(p.x, 2.0 * p.y, -p.z));
+        for k in 0..3 {
+            for j in 0..3 {
+                for i in 0..3 {
+                    let p = b.node_pos(i, j, k);
+                    let v = trilinear(&b, p).unwrap();
+                    assert!(v.distance(Vec3::new(p.x, 2.0 * p.y, -p.z)) < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_for_trilinear_functions() {
+        // Trilinear interpolation reproduces any function of the form
+        // a + bx + cy + dz + exy + ... + hxyz exactly (up to f32 storage).
+        let f = |p: Vec3| {
+            Vec3::new(
+                1.0 + 2.0 * p.x - p.y + 0.5 * p.x * p.y * p.z,
+                p.x * p.y,
+                3.0 - p.z + p.y * p.z,
+            )
+        };
+        let b = filled_block(f);
+        for p in [
+            Vec3::new(0.25, 0.75, 1.3),
+            Vec3::new(1.9, 0.1, 0.6),
+            Vec3::new(1.0, 1.0, 1.0),
+        ] {
+            let v = trilinear(&b, p).unwrap();
+            assert!(v.distance(f(p)) < 1e-5, "at {p:?}: {v:?} vs {:?}", f(p));
+        }
+    }
+
+    #[test]
+    fn outside_lattice_is_none() {
+        let b = filled_block(|_| Vec3::X);
+        assert!(trilinear(&b, Vec3::splat(-0.5)).is_none());
+        assert!(trilinear(&b, Vec3::new(2.5, 1.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn boundary_faces_are_valid() {
+        let b = filled_block(|_| Vec3::X);
+        assert!(trilinear(&b, Vec3::ZERO).is_some());
+        assert!(trilinear(&b, Vec3::splat(2.0)).is_some());
+        assert!(trilinear(&b, Vec3::new(2.0, 0.0, 1.0)).is_some());
+    }
+
+    #[test]
+    fn continuous_across_cell_faces() {
+        let f = |p: Vec3| Vec3::new((p.x * 1.7).sin(), p.y, p.z * p.x);
+        let b = filled_block(f);
+        // Approach an interior cell face (x = 1) from both sides.
+        let eps = 1e-9;
+        let left = trilinear(&b, Vec3::new(1.0 - eps, 0.5, 0.5)).unwrap();
+        let right = trilinear(&b, Vec3::new(1.0 + eps, 0.5, 0.5)).unwrap();
+        assert!(left.distance(right) < 1e-6);
+    }
+}

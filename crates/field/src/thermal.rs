@@ -1,0 +1,199 @@
+//! Synthetic analog of the Nek5000 thermal-hydraulics mixing-box flow
+//! (§3.2, Figures 3–4).
+//!
+//! "Twin inlets pump water into a box ... eventually the water exits through
+//! an outlet" with "long-lived recirculation zones". The §5.3 behaviour the
+//! algorithms must see:
+//!
+//! * dense seeding puts 22,000 seeds in a small region by one inlet where the
+//!   jet is strong and turbulent — those streamlines stay in few blocks
+//!   (little I/O, advection-dominated ⇒ Load On Demand wins, Static OOMs),
+//! * sparse volume seeding samples jets, recirculation rolls and stagnation
+//!   regions across the whole box.
+//!
+//! The field is a superposition of two Gaussian-profile jets entering at
+//! `x = 0`, large counter-rotating recirculation rolls filling the box, a
+//! sink at the outlet in the upper corner, and small-scale swirl near the
+//! inlets for local turbulence.
+
+use crate::analytic::VectorField;
+use streamline_math::{Aabb, Vec3};
+
+/// Mixing-box flow over the unit cube `[0,1]^3`.
+#[derive(Debug, Clone, Copy)]
+pub struct ThermalHydraulicsField {
+    /// Peak inlet jet speed.
+    pub jet_speed: f64,
+    /// Jet Gaussian radius.
+    pub jet_radius: f64,
+    /// Recirculation roll strength.
+    pub roll_strength: f64,
+    /// Outlet sink strength.
+    pub sink_strength: f64,
+    /// Small-scale swirl amplitude near the inlets.
+    pub swirl: f64,
+}
+
+impl ThermalHydraulicsField {
+    /// The two inlet centres on the `x = 0` face.
+    pub const INLET_WARM: Vec3 = Vec3 { x: 0.0, y: 0.30, z: 0.18 };
+    pub const INLET_COLD: Vec3 = Vec3 { x: 0.0, y: 0.70, z: 0.18 };
+    /// Outlet centre ("in the upper right").
+    pub const OUTLET: Vec3 = Vec3 { x: 1.0, y: 0.85, z: 0.9 };
+
+    pub fn standard() -> Self {
+        ThermalHydraulicsField {
+            jet_speed: 2.0,
+            jet_radius: 0.07,
+            roll_strength: 0.15,
+            sink_strength: 0.9,
+            swirl: 0.8,
+        }
+    }
+
+    /// The domain this field is designed for.
+    pub fn domain() -> Aabb {
+        Aabb::unit()
+    }
+
+    fn jet(&self, p: Vec3, inlet: Vec3) -> Vec3 {
+        // Jet enters in +x, spreads and decays with distance from the inlet
+        // axis; Gaussian cross-section.
+        let dy = p.y - inlet.y;
+        let dz = p.z - inlet.z;
+        let r2 = dy * dy + dz * dz;
+        let spread = self.jet_radius * (1.0 + 2.0 * p.x);
+        let profile = (-r2 / (spread * spread)).exp();
+        let decay = (-p.x / 0.5).exp();
+        let axial = self.jet_speed * profile * decay;
+        // Entrainment: mild inflow toward the jet axis.
+        let pull = -0.4 * axial;
+        Vec3::new(axial, pull * dy, pull * dz)
+    }
+
+    fn rolls(&self, p: Vec3) -> Vec3 {
+        use std::f64::consts::PI;
+        // A pair of counter-rotating rolls in (x, z), modulated across y —
+        // stream-function form, so the walls are impermeable.
+        let s = self.roll_strength;
+        let vx = -PI * s * (PI * p.x).sin() * (2.0 * PI * p.z).cos() * (PI * p.y).sin();
+        let vz = 2.0 * PI * s * (PI * p.x).cos() * (2.0 * PI * p.z).sin() * (PI * p.y).sin();
+        // Slow cross-flow mixing the two halves in y.
+        let vy = 0.3 * s * (2.0 * PI * p.y).sin() * (PI * p.x).sin();
+        Vec3::new(vx, vy, vz)
+    }
+
+    fn sink(&self, p: Vec3) -> Vec3 {
+        let d = Self::OUTLET - p;
+        let r2 = d.norm_sq().max(1e-4);
+        // Inverse-square pull toward the outlet, windowed to the outlet side
+        // of the box.
+        let window = ((p.x - 0.3) / 0.7).clamp(0.0, 1.0);
+        d * (self.sink_strength * window / (r2 * r2.sqrt() * 20.0 + 1.0))
+    }
+
+    fn inlet_swirl(&self, p: Vec3, inlet: Vec3, sign: f64) -> Vec3 {
+        // Small-scale rotation around each jet axis — the "strong turbulence
+        // in flow leaving an inlet" of Figure 4.
+        let dy = p.y - inlet.y;
+        let dz = p.z - inlet.z;
+        let r2 = dy * dy + dz * dz;
+        let w = (-r2 / (4.0 * self.jet_radius * self.jet_radius)).exp()
+            * (-p.x / 0.25).exp();
+        Vec3::new(0.0, -dz, dy) * (sign * self.swirl * w)
+    }
+}
+
+impl VectorField for ThermalHydraulicsField {
+    fn eval(&self, p: Vec3) -> Vec3 {
+        self.jet(p, Self::INLET_WARM)
+            + self.jet(p, Self::INLET_COLD)
+            + self.rolls(p)
+            + self.sink(p)
+            + self.inlet_swirl(p, Self::INLET_WARM, 1.0)
+            + self.inlet_swirl(p, Self::INLET_COLD, -1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "thermal-hydraulics"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> ThermalHydraulicsField {
+        ThermalHydraulicsField::standard()
+    }
+
+    #[test]
+    fn jets_enter_in_positive_x() {
+        let f = field();
+        for inlet in [ThermalHydraulicsField::INLET_WARM, ThermalHydraulicsField::INLET_COLD] {
+            let p = inlet + Vec3::new(0.02, 0.0, 0.0);
+            let v = f.eval(p);
+            assert!(v.x > 0.5, "jet at {p:?} should flow inward, vx = {}", v.x);
+        }
+    }
+
+    #[test]
+    fn jet_decays_away_from_axis() {
+        let f = field();
+        let near = f.eval(ThermalHydraulicsField::INLET_WARM + Vec3::new(0.05, 0.0, 0.0));
+        let far = f.eval(ThermalHydraulicsField::INLET_WARM + Vec3::new(0.05, 0.25, 0.0));
+        assert!(near.norm() > 2.0 * far.norm());
+    }
+
+    #[test]
+    fn flow_near_outlet_points_at_outlet() {
+        let f = field();
+        let p = ThermalHydraulicsField::OUTLET - Vec3::new(0.08, 0.05, 0.05);
+        let v = f.eval(p);
+        assert!(v.dot(ThermalHydraulicsField::OUTLET - p) > 0.0);
+    }
+
+    #[test]
+    fn finite_everywhere() {
+        let f = field();
+        for i in 0..=5 {
+            for j in 0..=5 {
+                for k in 0..=5 {
+                    let p = Vec3::new(i as f64, j as f64, k as f64) * 0.2;
+                    assert!(f.eval(p).is_finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swirl_counter_rotates_between_inlets() {
+        let f = field();
+        let off = Vec3::new(0.03, 0.0, 0.02);
+        let a = f.inlet_swirl(
+            ThermalHydraulicsField::INLET_WARM + off,
+            ThermalHydraulicsField::INLET_WARM,
+            1.0,
+        );
+        let b = f.inlet_swirl(
+            ThermalHydraulicsField::INLET_COLD + off,
+            ThermalHydraulicsField::INLET_COLD,
+            -1.0,
+        );
+        // Same offset from each inlet axis → opposite rotation sense.
+        assert!(a.dot(b) < 0.0);
+    }
+
+    #[test]
+    fn recirculation_exists_midbox() {
+        // Verify the roll component circulates: sample the curl sign at the
+        // roll center plane.
+        let f = field();
+        let p = Vec3::new(0.5, 0.5, 0.25);
+        let h = 1e-5;
+        // d(vz)/dx - d(vx)/dz (y-component of curl) should be nonzero.
+        let curl_y = (f.eval(p + Vec3::X * h).z - f.eval(p - Vec3::X * h).z) / (2.0 * h)
+            - (f.eval(p + Vec3::Z * h).x - f.eval(p - Vec3::Z * h).x) / (2.0 * h);
+        assert!(curl_y.abs() > 0.1, "no recirculation, curl_y = {curl_y}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Space-time block decomposition for pathlines.
+//!
+//! §4: "Each block has a time step associated with it, thus two blocks that
+//! occupy the same space at different times are considered independent."
+//! A pathline crossing time `t` between snapshots `k` and `k+1` needs the
+//! spatial block at *both* snapshots resident to interpolate in time — which
+//! is why §8 observes that "computing pathlines leads to many small reads
+//! that can often overwhelm the file system".
+
+use crate::block::BlockId;
+use crate::decomp::BlockDecomposition;
+use serde::{Deserialize, Serialize};
+use streamline_math::Vec3;
+
+/// A spatial block at one snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SpaceTimeBlockId {
+    pub space: BlockId,
+    /// Snapshot index.
+    pub step: u32,
+}
+
+impl std::fmt::Display for SpaceTimeBlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@t{}", self.space, self.step)
+    }
+}
+
+/// The spatial decomposition crossed with uniformly indexed snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeBlockDecomposition {
+    pub space: BlockDecomposition,
+    /// Number of snapshots (>= 2).
+    pub n_snapshots: usize,
+    pub t_start: f64,
+    pub t_end: f64,
+}
+
+impl TimeBlockDecomposition {
+    pub fn new(space: BlockDecomposition, n_snapshots: usize, t_start: f64, t_end: f64) -> Self {
+        assert!(n_snapshots >= 2, "pathlines need at least two snapshots");
+        assert!(t_end > t_start, "empty time range");
+        TimeBlockDecomposition { space, n_snapshots, t_start, t_end }
+    }
+
+    /// Total space-time blocks (the dataset a pathline run may touch).
+    pub fn num_blocks(&self) -> usize {
+        self.space.num_blocks() * self.n_snapshots
+    }
+
+    /// Number of time *intervals* (snapshot pairs).
+    pub fn n_intervals(&self) -> usize {
+        self.n_snapshots - 1
+    }
+
+    /// Snapshot time of index `step`.
+    pub fn time_of(&self, step: u32) -> f64 {
+        debug_assert!((step as usize) < self.n_snapshots);
+        self.t_start
+            + (self.t_end - self.t_start) * step as f64 / (self.n_snapshots - 1) as f64
+    }
+
+    /// Interval index `k` with `time_of(k) <= t <= time_of(k+1)`, clamped.
+    pub fn interval_of(&self, t: f64) -> u32 {
+        let dt = (self.t_end - self.t_start) / (self.n_snapshots - 1) as f64;
+        let k = ((t - self.t_start) / dt).floor();
+        (k.max(0.0) as u32).min(self.n_intervals() as u32 - 1)
+    }
+
+    /// The two space-time blocks a particle at `(p, t)` needs resident.
+    pub fn blocks_needed(&self, p: Vec3, t: f64) -> Option<[SpaceTimeBlockId; 2]> {
+        let space = self.space.locate(p)?;
+        let k = self.interval_of(t);
+        Some([
+            SpaceTimeBlockId { space, step: k },
+            SpaceTimeBlockId { space, step: k + 1 },
+        ])
+    }
+
+    /// Linear index of a space-time block (for stores keyed by flat ids).
+    pub fn flat_index(&self, id: SpaceTimeBlockId) -> usize {
+        id.step as usize * self.space.num_blocks() + id.space.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamline_math::Aabb;
+
+    fn decomp() -> TimeBlockDecomposition {
+        let space = BlockDecomposition::new(Aabb::unit(), [2, 2, 2], [4, 4, 4], 1);
+        TimeBlockDecomposition::new(space, 11, 0.0, 20.0)
+    }
+
+    #[test]
+    fn counts_and_times() {
+        let d = decomp();
+        assert_eq!(d.num_blocks(), 8 * 11);
+        assert_eq!(d.n_intervals(), 10);
+        assert_eq!(d.time_of(0), 0.0);
+        assert_eq!(d.time_of(10), 20.0);
+        assert_eq!(d.time_of(5), 10.0);
+    }
+
+    #[test]
+    fn interval_lookup() {
+        let d = decomp();
+        assert_eq!(d.interval_of(-1.0), 0);
+        assert_eq!(d.interval_of(0.0), 0);
+        assert_eq!(d.interval_of(1.9), 0);
+        assert_eq!(d.interval_of(2.0), 1);
+        assert_eq!(d.interval_of(19.99), 9);
+        assert_eq!(d.interval_of(20.0), 9);
+        assert_eq!(d.interval_of(25.0), 9);
+    }
+
+    #[test]
+    fn blocks_needed_bracket_time() {
+        let d = decomp();
+        let p = Vec3::splat(0.3);
+        let [a, b] = d.blocks_needed(p, 3.5).unwrap();
+        assert_eq!(a.space, b.space);
+        assert_eq!(a.step, 1);
+        assert_eq!(b.step, 2);
+        assert!(d.blocks_needed(Vec3::splat(5.0), 3.5).is_none());
+    }
+
+    #[test]
+    fn flat_index_bijective() {
+        let d = decomp();
+        let mut seen = std::collections::HashSet::new();
+        for step in 0..11u32 {
+            for s in d.space.all_blocks() {
+                let idx = d.flat_index(SpaceTimeBlockId { space: s, step });
+                assert!(idx < d.num_blocks());
+                assert!(seen.insert(idx));
+            }
+        }
+        assert_eq!(seen.len(), d.num_blocks());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SpaceTimeBlockId { space: BlockId(4), step: 2 }.to_string(), "B4@t2");
+    }
+}

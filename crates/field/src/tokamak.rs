@@ -1,0 +1,183 @@
+//! Synthetic analog of the NIMROD tokamak magnetic field (§3.2, Figure 2).
+//!
+//! The property §5.2 of the paper leans on: "most streamlines are
+//! approximately closed and traverse the torus-shaped vector field domain
+//! repeatedly", while some "exhibit chaotic behavior and traverse the entire
+//! domain". A guiding-center tokamak field reproduces exactly that:
+//!
+//! * toroidal component `B_φ = B0 R0 / R` (dominant, drives circulation
+//!   around the torus — streamlines revisit the same ring of blocks),
+//! * poloidal component from a safety-factor profile `q(r)` (field lines wind
+//!   on nested flux surfaces),
+//! * a resonant magnetic perturbation that destroys the outer surfaces and
+//!   makes those field lines wander chaotically (§3.1 "highly localized
+//!   streamlines can diverge strongly over time").
+
+use crate::analytic::VectorField;
+use streamline_math::Vec3;
+
+/// Analytic tokamak field in Cartesian coordinates. The torus axis is `z`;
+/// the magnetic axis is the circle of radius `r_major` in the `z = 0` plane.
+#[derive(Debug, Clone, Copy)]
+pub struct TokamakField {
+    /// Major radius `R0` of the magnetic axis.
+    pub r_major: f64,
+    /// Minor radius `a` of the plasma edge.
+    pub r_minor: f64,
+    /// On-axis field strength `B0`.
+    pub b0: f64,
+    /// Safety factor on axis, `q(0)`.
+    pub q0: f64,
+    /// Edge safety factor, `q(a)`.
+    pub q_edge: f64,
+    /// Amplitude of the resonant perturbation (0 = integrable field).
+    pub perturbation: f64,
+    /// Poloidal mode number of the perturbation.
+    pub m_mode: i32,
+    /// Toroidal mode number of the perturbation.
+    pub n_mode: i32,
+}
+
+impl TokamakField {
+    /// Standard configuration for the scaling studies: a moderately shaped
+    /// q-profile with a resonant `m/n = 3/2` island chain.
+    pub fn standard(r_major: f64, r_minor: f64) -> Self {
+        TokamakField {
+            r_major,
+            r_minor,
+            b0: 1.0,
+            q0: 1.1,
+            q_edge: 3.2,
+            perturbation: 0.015,
+            m_mode: 3,
+            n_mode: 2,
+        }
+    }
+
+    /// Safety factor profile `q(r) = q0 + (q_edge − q0)(r/a)^2`.
+    pub fn q(&self, r: f64) -> f64 {
+        let x = (r / self.r_minor).min(1.5);
+        self.q0 + (self.q_edge - self.q0) * x * x
+    }
+}
+
+impl VectorField for TokamakField {
+    fn eval(&self, p: Vec3) -> Vec3 {
+        // Cylindrical coordinates about the torus axis.
+        let rho = (p.x * p.x + p.y * p.y).sqrt();
+        if rho < 1e-9 {
+            // On the torus axis the toroidal direction is undefined; return a
+            // small axial field so the integrator can leave gracefully.
+            return Vec3::new(0.0, 0.0, self.b0 * 0.01);
+        }
+        let phi_hat = Vec3::new(-p.y / rho, p.x / rho, 0.0);
+        let rho_hat = Vec3::new(p.x / rho, p.y / rho, 0.0);
+
+        // Minor-radius coordinates around the magnetic axis.
+        let dr = rho - self.r_major; // in-plane offset from axis circle
+        let dz = p.z;
+        let r = (dr * dr + dz * dz).sqrt(); // minor radius
+        let theta = dz.atan2(dr); // poloidal angle
+        let phi = p.y.atan2(p.x); // toroidal angle
+
+        // Toroidal field ~ 1/R.
+        let b_tor = self.b0 * self.r_major / rho;
+
+        // Poloidal field from q(r): |B_pol| = r B_tor / (q R).
+        let b_pol_mag = if r > 1e-9 { r * b_tor / (self.q(r) * rho) } else { 0.0 };
+        // Poloidal unit vector: direction of increasing theta.
+        let theta_hat = rho_hat * (-theta.sin()) + Vec3::Z * theta.cos();
+
+        let mut b = phi_hat * b_tor + theta_hat * b_pol_mag;
+
+        // Resonant perturbation: radial component ~ sin(mθ − nφ), growing
+        // toward the edge so core surfaces stay intact and edge lines go
+        // chaotic.
+        if self.perturbation != 0.0 && r > 1e-9 {
+            let r_hat_minor = rho_hat * theta.cos() + Vec3::Z * theta.sin();
+            let envelope = (r / self.r_minor).powi(2);
+            let amp = self.perturbation * self.b0 * envelope;
+            b += r_hat_minor
+                * (amp * (self.m_mode as f64 * theta - self.n_mode as f64 * phi).sin());
+        }
+        b
+    }
+
+    fn name(&self) -> &'static str {
+        "tokamak"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamline_math::float::approx_eq;
+
+    fn field() -> TokamakField {
+        TokamakField::standard(3.0, 1.0)
+    }
+
+    #[test]
+    fn toroidal_component_scales_inverse_r() {
+        let mut f = field();
+        f.perturbation = 0.0;
+        // On the midplane at the magnetic axis the field is purely toroidal.
+        let p = Vec3::new(3.0, 0.0, 0.0);
+        let b = f.eval(p);
+        // At x = R0, toroidal direction is +y.
+        assert!(approx_eq(b.x, 0.0, 1e-12));
+        assert!(approx_eq(b.y, f.b0, 1e-12));
+        // Further out the field is weaker.
+        let b_out = f.eval(Vec3::new(4.0, 0.0, 0.0));
+        assert!(b_out.norm() < b.norm());
+        assert!(approx_eq(b_out.y, f.b0 * 3.0 / 4.0, 1e-6));
+    }
+
+    #[test]
+    fn q_profile_monotone() {
+        let f = field();
+        assert!(approx_eq(f.q(0.0), f.q0, 1e-12));
+        assert!(approx_eq(f.q(f.r_minor), f.q_edge, 1e-12));
+        assert!(f.q(0.5) > f.q(0.2));
+    }
+
+    #[test]
+    fn axisymmetric_without_perturbation() {
+        let mut f = field();
+        f.perturbation = 0.0;
+        // |B| must be identical at two toroidal angles, same (r, theta).
+        let p1 = Vec3::new(3.5, 0.0, 0.2);
+        let ang: f64 = 1.1;
+        let p2 = Vec3::new(3.5 * ang.cos(), 3.5 * ang.sin(), 0.2);
+        assert!(approx_eq(f.eval(p1).norm(), f.eval(p2).norm(), 1e-12));
+    }
+
+    #[test]
+    fn perturbation_breaks_axisymmetry() {
+        let f = field();
+        let p1 = Vec3::new(3.5, 0.0, 0.2);
+        let ang: f64 = 1.1;
+        let p2 = Vec3::new(3.5 * ang.cos(), 3.5 * ang.sin(), 0.2);
+        assert!((f.eval(p1).norm() - f.eval(p2).norm()).abs() > 1e-9);
+    }
+
+    #[test]
+    fn finite_on_torus_axis() {
+        let f = field();
+        assert!(f.eval(Vec3::ZERO).is_finite());
+        assert!(f.eval(Vec3::new(0.0, 0.0, 1.0)).is_finite());
+    }
+
+    #[test]
+    fn field_circulates_toroidally() {
+        let f = field();
+        // At several toroidal angles, B·φ̂ should always be positive
+        // (consistent circulation around the torus).
+        for i in 0..8 {
+            let ang = i as f64 * std::f64::consts::TAU / 8.0;
+            let p = Vec3::new(3.2 * ang.cos(), 3.2 * ang.sin(), 0.1);
+            let phi_hat = Vec3::new(-ang.sin(), ang.cos(), 0.0);
+            assert!(f.eval(p).dot(phi_hat) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Time-varying vector fields — the substrate for pathlines (§8).
+//!
+//! "The same considerations also apply to pathlines, which depend on
+//! considerably larger amounts of data since it becomes necessary to
+//! advance through multiple time steps of a simulation as well as space."
+//!
+//! An [`UnsteadyField`] is the analytic ground truth; simulations deliver it
+//! as a sequence of sampled time steps, which [`TimeSeriesField`] models by
+//! linear interpolation between snapshots — exactly what a pathline code
+//! sees when it loads two consecutive time steps of a block.
+
+use crate::analytic::VectorField;
+use std::sync::Arc;
+use streamline_math::Vec3;
+
+/// A vector field `v(x, t)` defined over a closed time interval.
+pub trait UnsteadyField: Send + Sync {
+    fn eval(&self, p: Vec3, t: f64) -> Vec3;
+
+    /// The `[t_start, t_end]` interval where the field is defined.
+    fn time_range(&self) -> (f64, f64);
+
+    fn name(&self) -> &'static str;
+}
+
+/// Any steady field viewed as an unsteady one over `[0, duration]`.
+pub struct Steady<F> {
+    pub inner: F,
+    pub duration: f64,
+}
+
+impl<F: VectorField> UnsteadyField for Steady<F> {
+    fn eval(&self, p: Vec3, _t: f64) -> Vec3 {
+        self.inner.eval(p)
+    }
+
+    fn time_range(&self) -> (f64, f64) {
+        (0.0, self.duration)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+/// The classic time-dependent double gyre (Shadden et al., the standard
+/// pathline / FTLE benchmark): two rolls over `[0,2]×[0,1]` whose dividing
+/// line oscillates with amplitude `eps` and angular frequency `omega`.
+#[derive(Debug, Clone, Copy)]
+pub struct UnsteadyDoubleGyre {
+    pub amplitude: f64,
+    pub eps: f64,
+    pub omega: f64,
+    pub duration: f64,
+}
+
+impl UnsteadyDoubleGyre {
+    /// The parameters used throughout the LCS literature.
+    pub fn standard() -> Self {
+        UnsteadyDoubleGyre {
+            amplitude: 0.1,
+            eps: 0.25,
+            omega: std::f64::consts::TAU / 10.0,
+            duration: 20.0,
+        }
+    }
+}
+
+impl UnsteadyField for UnsteadyDoubleGyre {
+    fn eval(&self, p: Vec3, t: f64) -> Vec3 {
+        use std::f64::consts::PI;
+        let a_t = self.eps * (self.omega * t).sin();
+        let b_t = 1.0 - 2.0 * a_t;
+        let f = a_t * p.x * p.x + b_t * p.x;
+        let dfdx = 2.0 * a_t * p.x + b_t;
+        Vec3::new(
+            -PI * self.amplitude * (PI * f).sin() * (PI * p.y).cos(),
+            PI * self.amplitude * (PI * f).cos() * (PI * p.y).sin() * dfdx,
+            0.0,
+        )
+    }
+
+    fn time_range(&self) -> (f64, f64) {
+        (0.0, self.duration)
+    }
+
+    fn name(&self) -> &'static str {
+        "unsteady-double-gyre"
+    }
+}
+
+/// A field reconstructed from snapshots at fixed times — what a pathline
+/// integrator actually works with. Linear interpolation between the two
+/// bracketing snapshots; clamped at the ends.
+pub struct TimeSeriesField {
+    /// Snapshot times, strictly increasing, at least two.
+    times: Vec<f64>,
+    snapshots: Vec<Arc<dyn VectorField>>,
+    label: &'static str,
+}
+
+impl TimeSeriesField {
+    pub fn new(
+        times: Vec<f64>,
+        snapshots: Vec<Arc<dyn VectorField>>,
+        label: &'static str,
+    ) -> Self {
+        assert!(times.len() >= 2, "need at least two snapshots");
+        assert_eq!(times.len(), snapshots.len());
+        assert!(times.windows(2).all(|w| w[1] > w[0]), "times must increase");
+        TimeSeriesField { times, snapshots, label }
+    }
+
+    /// Sample an analytic unsteady field at `n_steps + 1` uniform times —
+    /// the "output from a simulation" path for tests and experiments.
+    pub fn discretize<U: UnsteadyField + Clone + 'static>(field: &U, n_steps: usize) -> Self {
+        assert!(n_steps >= 1);
+        let (t0, t1) = field.time_range();
+        let times: Vec<f64> = (0..=n_steps)
+            .map(|i| t0 + (t1 - t0) * i as f64 / n_steps as f64)
+            .collect();
+        let snapshots = times
+            .iter()
+            .map(|&t| {
+                Arc::new(FrozenSlice { field: field.clone(), t }) as Arc<dyn VectorField>
+            })
+            .collect();
+        TimeSeriesField::new(times, snapshots, "discretized")
+    }
+
+    pub fn n_snapshots(&self) -> usize {
+        self.times.len()
+    }
+
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Index `k` such that `times[k] <= t <= times[k+1]` (clamped).
+    pub fn bracket(&self, t: f64) -> usize {
+        if t <= self.times[0] {
+            return 0;
+        }
+        let last = self.times.len() - 2;
+        match self.times.binary_search_by(|x| x.partial_cmp(&t).expect("finite time")) {
+            Ok(i) => i.min(last),
+            Err(i) => (i.saturating_sub(1)).min(last),
+        }
+    }
+
+    pub fn snapshot(&self, k: usize) -> &Arc<dyn VectorField> {
+        &self.snapshots[k]
+    }
+}
+
+impl UnsteadyField for TimeSeriesField {
+    fn eval(&self, p: Vec3, t: f64) -> Vec3 {
+        let k = self.bracket(t);
+        let (ta, tb) = (self.times[k], self.times[k + 1]);
+        let w = ((t - ta) / (tb - ta)).clamp(0.0, 1.0);
+        self.snapshots[k].eval(p).lerp(self.snapshots[k + 1].eval(p), w)
+    }
+
+    fn time_range(&self) -> (f64, f64) {
+        (self.times[0], *self.times.last().expect("nonempty"))
+    }
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+/// One time slice of an unsteady field, viewed as a steady field.
+#[derive(Clone)]
+pub struct FrozenSlice<U> {
+    pub field: U,
+    pub t: f64,
+}
+
+impl<U: UnsteadyField> VectorField for FrozenSlice<U> {
+    fn eval(&self, p: Vec3) -> Vec3 {
+        self.field.eval(p, self.t)
+    }
+
+    fn name(&self) -> &'static str {
+        "frozen-slice"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::Uniform;
+
+    #[test]
+    fn steady_wrapper_is_time_independent() {
+        let f = Steady { inner: Uniform(Vec3::X), duration: 5.0 };
+        assert_eq!(f.eval(Vec3::ZERO, 0.0), f.eval(Vec3::ZERO, 4.9));
+        assert_eq!(f.time_range(), (0.0, 5.0));
+    }
+
+    #[test]
+    fn double_gyre_reduces_to_steady_at_eps_zero() {
+        let mut g = UnsteadyDoubleGyre::standard();
+        g.eps = 0.0;
+        let p = Vec3::new(0.7, 0.3, 0.0);
+        assert!(g.eval(p, 0.0).distance(g.eval(p, 7.3)) < 1e-14);
+    }
+
+    #[test]
+    fn double_gyre_oscillates() {
+        let g = UnsteadyDoubleGyre::standard();
+        let p = Vec3::new(0.7, 0.3, 0.0);
+        // A quarter period shifts the gyre boundary; the velocity changes.
+        assert!(g.eval(p, 0.0).distance(g.eval(p, 2.5)) > 1e-3);
+        // Full period returns.
+        assert!(g.eval(p, 0.0).distance(g.eval(p, 10.0)) < 1e-12);
+    }
+
+    #[test]
+    fn double_gyre_walls_impermeable_at_all_times() {
+        let g = UnsteadyDoubleGyre::standard();
+        for t in [0.0, 1.3, 4.7, 9.9] {
+            assert!(g.eval(Vec3::new(0.0, 0.5, 0.0), t).x.abs() < 1e-12);
+            assert!(g.eval(Vec3::new(2.0, 0.5, 0.0), t).x.abs() < 1e-12);
+            assert!(g.eval(Vec3::new(0.5, 0.0, 0.0), t).y.abs() < 1e-12);
+            assert!(g.eval(Vec3::new(0.5, 1.0, 0.0), t).y.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn discretized_matches_analytic_at_snapshots_and_interpolates() {
+        let g = UnsteadyDoubleGyre::standard();
+        let ts = TimeSeriesField::discretize(&g, 40);
+        let p = Vec3::new(1.2, 0.6, 0.0);
+        // Exact at snapshot times.
+        for &t in ts.times().iter().step_by(7) {
+            assert!(ts.eval(p, t).distance(g.eval(p, t)) < 1e-12);
+        }
+        // Close in between (dt = 0.5, smooth field).
+        let mid = 3.25;
+        assert!(ts.eval(p, mid).distance(g.eval(p, mid)) < 5e-3);
+        // Clamped outside.
+        assert_eq!(ts.eval(p, -1.0), ts.eval(p, 0.0));
+    }
+
+    #[test]
+    fn bracket_indices() {
+        let g = UnsteadyDoubleGyre::standard();
+        let ts = TimeSeriesField::discretize(&g, 10); // times 0, 2, 4, ..
+        assert_eq!(ts.bracket(-0.5), 0);
+        assert_eq!(ts.bracket(0.0), 0);
+        assert_eq!(ts.bracket(1.0), 0);
+        assert_eq!(ts.bracket(2.0), 1);
+        assert_eq!(ts.bracket(19.9), 9);
+        assert_eq!(ts.bracket(25.0), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_snapshot_rejected() {
+        TimeSeriesField::new(vec![0.0], vec![Arc::new(Uniform(Vec3::X))], "x");
+    }
+}

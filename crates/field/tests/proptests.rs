@@ -1,0 +1,128 @@
+//! Property-based tests for the decomposition and interpolation substrate.
+
+use proptest::prelude::*;
+use streamline_field::analytic::VectorField;
+use streamline_field::block::BlockId;
+use streamline_field::decomp::BlockDecomposition;
+use streamline_field::sample::sample_block_nodes;
+use streamline_math::{Aabb, Vec3};
+
+fn decomp_strategy() -> impl Strategy<Value = BlockDecomposition> {
+    (1usize..5, 1usize..5, 1usize..5, 2usize..6).prop_map(|(bx, by, bz, c)| {
+        BlockDecomposition::new(
+            Aabb::new(Vec3::new(-1.0, 0.0, 2.0), Vec3::new(3.0, 5.0, 4.0)),
+            [bx, by, bz],
+            [c, c, c],
+            1,
+        )
+    })
+}
+
+proptest! {
+    /// Every in-domain point is owned by exactly the block whose bounds
+    /// contain it (up to face ties, which go to the higher block).
+    #[test]
+    fn locate_is_consistent_with_bounds(
+        d in decomp_strategy(),
+        u in 0f64..1.0, v in 0f64..1.0, w in 0f64..1.0,
+    ) {
+        let p = d.domain.from_unit(Vec3::new(u, v, w));
+        let id = d.locate(p).expect("in-domain point must be owned");
+        let b = d.block_bounds(id);
+        prop_assert!(b.contains_eps(p, 1e-9 * d.domain.size().max_abs_component()));
+        // And no *other* block strictly contains it in its interior.
+        for other in d.all_blocks() {
+            if other != id {
+                let ob = d.block_bounds(other).expanded(-1e-9);
+                prop_assert!(!ob.contains(p), "{p:?} also strictly inside {other}");
+            }
+        }
+    }
+
+    /// Points outside the domain are never located.
+    #[test]
+    fn locate_rejects_outside(
+        d in decomp_strategy(),
+        axis in 0usize..3,
+        sign in prop::bool::ANY,
+        dist in 0.01f64..10.0,
+    ) {
+        let mut p = d.domain.center();
+        let offset = d.domain.size()[axis] * 0.5 + dist;
+        match (axis, sign) {
+            (0, true) => p.x += offset,
+            (0, false) => p.x -= offset,
+            (1, true) => p.y += offset,
+            (1, false) => p.y -= offset,
+            (_, true) => p.z += offset,
+            (_, false) => p.z -= offset,
+        }
+        prop_assert_eq!(d.locate(p), None);
+    }
+
+    /// Block ids and coordinates are a bijection.
+    #[test]
+    fn id_coords_bijective(d in decomp_strategy()) {
+        let mut seen = std::collections::HashSet::new();
+        for id in d.all_blocks() {
+            let c = d.coords_of(id);
+            prop_assert_eq!(d.id_of(c[0], c[1], c[2]), id);
+            prop_assert!(seen.insert(c));
+        }
+        prop_assert_eq!(seen.len(), d.num_blocks());
+    }
+
+    /// Trilinear interpolation is bounded by the extremes of the node data
+    /// (maximum principle), for any field and any sample point.
+    #[test]
+    fn interpolation_respects_bounds(
+        freq in 0.1f64..3.0,
+        u in 0f64..1.0, v in 0f64..1.0, w in 0f64..1.0,
+    ) {
+        struct Wavy(f64);
+        impl VectorField for Wavy {
+            fn eval(&self, p: Vec3) -> Vec3 {
+                Vec3::new(
+                    (self.0 * p.x).sin(),
+                    (self.0 * (p.y + p.z)).cos(),
+                    p.x * p.y - p.z,
+                )
+            }
+            fn name(&self) -> &'static str { "wavy" }
+        }
+        let d = BlockDecomposition::new(Aabb::unit(), [2, 2, 2], [4, 4, 4], 1);
+        let field = Wavy(freq);
+        let block = sample_block_nodes(&field, &d, BlockId(0));
+        let p = block.interp_bounds().expanded(-1e-9).from_unit(Vec3::new(u, v, w));
+        let s = block.sample(p).expect("inside interp bounds");
+        for c in 0..3 {
+            let lo = block.data.iter().map(|x| x[c]).fold(f32::INFINITY, f32::min) as f64;
+            let hi = block.data.iter().map(|x| x[c]).fold(f32::NEG_INFINITY, f32::max) as f64;
+            prop_assert!(s[c] >= lo - 1e-6 && s[c] <= hi + 1e-6,
+                "component {c}: {} outside [{lo}, {hi}]", s[c]);
+        }
+    }
+
+    /// Ghost-layer consistency: the same physical point sampled through two
+    /// adjacent blocks agrees (continuity across block faces).
+    #[test]
+    fn cross_block_sampling_agrees(
+        u in 0f64..1.0, v in 0f64..1.0,
+    ) {
+        struct Smooth;
+        impl VectorField for Smooth {
+            fn eval(&self, p: Vec3) -> Vec3 {
+                Vec3::new(p.x * p.y, (2.0 * p.z).sin(), p.x + 0.5 * p.y)
+            }
+            fn name(&self) -> &'static str { "smooth" }
+        }
+        let d = BlockDecomposition::new(Aabb::unit(), [2, 1, 1], [4, 4, 4], 1);
+        let left = sample_block_nodes(&Smooth, &d, d.id_of(0, 0, 0));
+        let right = sample_block_nodes(&Smooth, &d, d.id_of(1, 0, 0));
+        // A point on (or near) the shared face x = 0.5.
+        let p = Vec3::new(0.5, u, v);
+        let a = left.sample(p).expect("left covers face");
+        let b = right.sample(p).expect("right covers face");
+        prop_assert!(a.distance(b) < 1e-5, "{a:?} vs {b:?} at {p:?}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Forward Euler — first-order reference scheme.
+
+use crate::ode::{Rhs, StageFail, StepResult, Stepper, Tolerances};
+use streamline_math::Vec3;
+
+/// Explicit Euler: `y1 = y + h f(y)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Euler;
+
+impl Stepper for Euler {
+    fn step(&self, f: Rhs<'_>, y: Vec3, h: f64, _tol: &Tolerances) -> Result<StepResult, StageFail> {
+        let k = f(y).ok_or(StageFail)?;
+        Ok(StepResult { y: y + k * h, error: 0.0 })
+    }
+
+    fn order(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "euler"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_field_is_exact_per_step() {
+        // y' = c is integrated exactly by Euler.
+        let c = Vec3::new(1.0, -2.0, 0.5);
+        let f = |_: Vec3| Some(c);
+        let r = Euler.step(&f, Vec3::ZERO, 0.25, &Tolerances::default()).unwrap();
+        assert_eq!(r.y, c * 0.25);
+        assert_eq!(r.error, 0.0);
+    }
+
+    #[test]
+    fn stage_failure_propagates() {
+        let f = |_: Vec3| None;
+        assert!(Euler.step(&f, Vec3::ZERO, 0.1, &Tolerances::default()).is_err());
+    }
+}

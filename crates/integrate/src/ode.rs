@@ -1,0 +1,94 @@
+//! The stepper abstraction shared by all integration schemes.
+//!
+//! A stepper advances the autonomous ODE `y' = f(y)` one step. The
+//! right-hand side is a *partial* function — sampling block data fails
+//! outside the resident lattice — so a step can fail at any internal stage;
+//! the tracer reacts by shrinking the step or handing the streamline off.
+
+use streamline_math::Vec3;
+
+/// Right-hand side of the streamline ODE: the interpolated vector field.
+/// `None` means the requested point is outside the resident data.
+pub type Rhs<'a> = &'a dyn Fn(Vec3) -> Option<Vec3>;
+
+/// A stage evaluation landed outside the resident data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageFail;
+
+/// Result of one accepted stepper invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepResult {
+    /// Solution at `t + h`.
+    pub y: Vec3,
+    /// Scaled error-norm estimate: `<= 1` means the step satisfies the
+    /// tolerances. Fixed-step schemes report `0.0` (always accepted).
+    pub error: f64,
+}
+
+/// Absolute/relative error tolerances for adaptive schemes (§2.1's
+/// "adaptive stepsize control").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerances {
+    pub abs: f64,
+    pub rel: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances { abs: 1e-7, rel: 1e-6 }
+    }
+}
+
+impl Tolerances {
+    /// Scaled max-norm of the embedded error estimate `e` given solution
+    /// magnitudes `y0`, `y1` — the standard Hairer–Nørsett–Wanner form.
+    pub fn error_norm(&self, e: Vec3, y0: Vec3, y1: Vec3) -> f64 {
+        let mut norm = 0.0f64;
+        for c in 0..3 {
+            let scale = self.abs + self.rel * y0[c].abs().max(y1[c].abs());
+            norm = norm.max((e[c] / scale).abs());
+        }
+        norm
+    }
+}
+
+/// One-step integration scheme for `y' = f(y)`.
+pub trait Stepper {
+    /// Attempt one step of size `h` from `y`. Fails when `f` is undefined at
+    /// any required stage point.
+    fn step(&self, f: Rhs<'_>, y: Vec3, h: f64, tol: &Tolerances) -> Result<StepResult, StageFail>;
+
+    /// Classical convergence order of the scheme.
+    fn order(&self) -> usize;
+
+    /// Whether [`StepResult::error`] carries a usable embedded estimate.
+    fn adaptive(&self) -> bool {
+        false
+    }
+
+    /// Scheme name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_norm_scales_with_tolerances() {
+        let tol = Tolerances { abs: 1e-6, rel: 0.0 };
+        let e = Vec3::new(1e-6, 0.0, 0.0);
+        assert!((tol.error_norm(e, Vec3::ZERO, Vec3::ZERO) - 1.0).abs() < 1e-12);
+        // Relative part kicks in for large solutions.
+        let tol = Tolerances { abs: 0.0, rel: 1e-6 };
+        let y = Vec3::splat(100.0);
+        assert!((tol.error_norm(Vec3::splat(1e-4), y, y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_norm_takes_max_component() {
+        let tol = Tolerances { abs: 1.0, rel: 0.0 };
+        let n = tol.error_norm(Vec3::new(0.5, 2.0, 1.0), Vec3::ZERO, Vec3::ZERO);
+        assert_eq!(n, 2.0);
+    }
+}

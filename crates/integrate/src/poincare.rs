@@ -1,0 +1,119 @@
+//! Poincaré sections: collect the punctures of a field line through a
+//! plane — the §8 use case "e.g. Poincaré puncture plots", where only
+//! solver state (not geometry) matters.
+
+use crate::dopri5::Dopri5;
+use crate::ode::{Stepper, Tolerances};
+use streamline_math::Vec3;
+
+/// An oriented section plane through `point` with unit `normal`; punctures
+/// are counted when the trajectory crosses from the negative to the
+/// positive side.
+#[derive(Debug, Clone, Copy)]
+pub struct SectionPlane {
+    pub point: Vec3,
+    pub normal: Vec3,
+}
+
+impl SectionPlane {
+    pub fn new(point: Vec3, normal: Vec3) -> Self {
+        SectionPlane {
+            point,
+            normal: normal.normalized().expect("plane normal must be nonzero"),
+        }
+    }
+
+    /// Signed distance of `p` from the plane.
+    #[inline]
+    pub fn side(&self, p: Vec3) -> f64 {
+        (p - self.point).dot(self.normal)
+    }
+}
+
+/// Collect up to `max_punctures` upward crossings of `plane` along the
+/// trajectory seeded at `seed`, integrating `f` with fixed step `h`.
+/// `accept` filters punctures (e.g. keep only the x > 0 half-plane for a
+/// toroidal section). Returns the interpolated crossing points.
+pub fn punctures(
+    f: &dyn Fn(Vec3) -> Option<Vec3>,
+    seed: Vec3,
+    plane: SectionPlane,
+    accept: &dyn Fn(Vec3) -> bool,
+    max_punctures: usize,
+    max_steps: u64,
+    h: f64,
+) -> Vec<Vec3> {
+    let tol = Tolerances::default();
+    let mut out = Vec::new();
+    let mut y = seed;
+    let mut side = plane.side(y);
+    for _ in 0..max_steps {
+        let Ok(step) = Dopri5.step(f, y, h, &tol) else { break };
+        let new_side = plane.side(step.y);
+        if side < 0.0 && new_side >= 0.0 {
+            // Linear interpolation of the crossing.
+            let t = -side / (new_side - side);
+            let p = y.lerp(step.y, t);
+            if accept(p) {
+                out.push(p);
+                if out.len() >= max_punctures {
+                    break;
+                }
+            }
+        }
+        side = new_side;
+        y = step.y;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_punctures_conserve_radius() {
+        // Rigid rotation about z: the section y = 0 (x > 0) is hit once per
+        // revolution at the orbit radius.
+        let omega = 1.0;
+        let f = |p: Vec3| Some(Vec3::new(-omega * p.y, omega * p.x, 0.0));
+        let plane = SectionPlane::new(Vec3::ZERO, Vec3::Y);
+        let accept = |p: Vec3| p.x > 0.0;
+        let pts = punctures(&f, Vec3::new(2.0, 0.0, 0.3), plane, &accept, 10, 1_000_000, 0.01);
+        assert_eq!(pts.len(), 10);
+        for p in &pts {
+            assert!((p.x - 2.0).abs() < 1e-3, "radius drifted to {}", p.x);
+            assert!((p.z - 0.3).abs() < 1e-9);
+            assert!(p.y.abs() < 1e-9, "puncture off the plane: {}", p.y);
+        }
+    }
+
+    #[test]
+    fn downward_crossings_are_not_counted() {
+        // Straight line crossing the plane once, downward.
+        let f = |_p: Vec3| Some(Vec3::new(0.0, -1.0, 0.0));
+        let plane = SectionPlane::new(Vec3::ZERO, Vec3::Y);
+        let pts =
+            punctures(&f, Vec3::new(1.0, 0.5, 0.0), plane, &|_| true, 10, 10_000, 0.01);
+        assert!(pts.is_empty());
+    }
+
+    #[test]
+    fn accept_filter_applies() {
+        let omega = 1.0;
+        let f = |p: Vec3| Some(Vec3::new(-omega * p.y, omega * p.x, 0.0));
+        let plane = SectionPlane::new(Vec3::ZERO, Vec3::Y);
+        // Reject everything: trajectory keeps circling but nothing collects.
+        let pts =
+            punctures(&f, Vec3::new(1.0, 0.0, 0.0), plane, &|_| false, 5, 5_000, 0.01);
+        assert!(pts.is_empty());
+    }
+
+    #[test]
+    fn undefined_field_stops_collection() {
+        let f = |p: Vec3| if p.x < 10.0 { Some(Vec3::X) } else { None };
+        let plane = SectionPlane::new(Vec3::new(100.0, 0.0, 0.0), Vec3::X);
+        let pts = punctures(&f, Vec3::ZERO, plane, &|_| true, 5, 1_000_000, 0.1);
+        assert!(pts.is_empty());
+    }
+}

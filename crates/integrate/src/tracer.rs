@@ -1,0 +1,330 @@
+//! The block-local tracer: advance a streamline through resident data until
+//! it leaves the region the caller owns or terminates for good.
+//!
+//! This is the inner loop shared by all three parallel algorithms. Each
+//! algorithm decides *which* blocks are resident and *what to do* when a
+//! streamline exits ("Each streamline is integrated until it leaves the
+//! blocks owned by the processor", §4.1); the tracer only integrates.
+
+use crate::ode::{StageFail, Stepper, Tolerances};
+use crate::streamline::{Streamline, Termination};
+use streamline_math::float::clamp;
+use streamline_math::Vec3;
+
+/// Integration budgets and step-size control parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepLimits {
+    /// Per-streamline accepted-step budget.
+    pub max_steps: u64,
+    /// Terminate after this much arc length.
+    pub max_arc_length: f64,
+    /// Terminate after this much integration time.
+    pub max_time: f64,
+    /// Stagnation threshold: |v| below this terminates (critical point).
+    pub min_speed: f64,
+    /// Initial step size for fresh streamlines.
+    pub h0: f64,
+    /// Hard lower bound on the step size.
+    pub h_min: f64,
+    /// Hard upper bound on the step size.
+    pub h_max: f64,
+    /// Error tolerances for adaptive schemes.
+    pub tol: Tolerances,
+}
+
+impl Default for StepLimits {
+    fn default() -> Self {
+        StepLimits {
+            max_steps: 10_000,
+            max_arc_length: f64::INFINITY,
+            max_time: f64::INFINITY,
+            min_speed: 1e-9,
+            h0: 1e-2,
+            h_min: 1e-9,
+            h_max: 0.5,
+            tol: Tolerances::default(),
+        }
+    }
+}
+
+/// Why an [`advect`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdvectOutcome {
+    /// The streamline's position left the caller's region; it is still
+    /// active and must continue in whichever block owns the position.
+    LeftRegion,
+    /// The streamline terminated (status already updated).
+    Terminated(Termination),
+}
+
+/// What [`advect`] did, with the work it performed for cost accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Advected {
+    pub outcome: AdvectOutcome,
+    /// Accepted integration steps performed by this call.
+    pub steps: u64,
+}
+
+/// Advance `sl` with `stepper` while `region(position)` holds and `sample`
+/// provides field values (the ghost-extended lattice, a superset of the
+/// region).
+///
+/// ```
+/// use streamline_integrate::{advect, AdvectOutcome, Dopri5, StepLimits, Streamline, StreamlineId};
+/// use streamline_math::Vec3;
+///
+/// // A uniform +x field over the unit slab x < 1.
+/// let sample = |_p: Vec3| Some(Vec3::X);
+/// let region = |p: Vec3| p.x < 1.0;
+/// let mut sl = Streamline::new(StreamlineId(0), Vec3::ZERO, 1e-2);
+/// let r = advect(&mut sl, &sample, &region, &StepLimits::default(), &Dopri5);
+/// assert_eq!(r.outcome, AdvectOutcome::LeftRegion);
+/// assert!(sl.state.position.x >= 1.0); // handed off at the block face
+/// ```
+///
+/// Returns when the streamline leaves the region (hand-off point) or
+/// terminates. Adaptive schemes get PI-style step-size control; stage
+/// failures (probe outside resident data) shrink the step and, as a last
+/// resort, fall back to a single Euler edge-step so the curve always makes
+/// progress toward the hand-off.
+pub fn advect(
+    sl: &mut Streamline,
+    sample: &dyn Fn(Vec3) -> Option<Vec3>,
+    region: &dyn Fn(Vec3) -> bool,
+    limits: &StepLimits,
+    stepper: &dyn Stepper,
+) -> Advected {
+    let mut steps_this = 0u64;
+    let done = |sl: &mut Streamline, why: Termination, steps: u64| {
+        sl.terminate(why);
+        Advected { outcome: AdvectOutcome::Terminated(why), steps }
+    };
+    loop {
+        let pos = sl.state.position;
+        if !region(pos) {
+            return Advected { outcome: AdvectOutcome::LeftRegion, steps: steps_this };
+        }
+        if sl.state.steps >= limits.max_steps {
+            return done(sl, Termination::MaxSteps, steps_this);
+        }
+        if sl.state.arc_length >= limits.max_arc_length {
+            return done(sl, Termination::MaxArcLength, steps_this);
+        }
+        if sl.state.time >= limits.max_time {
+            return done(sl, Termination::MaxTime, steps_this);
+        }
+        let v = match sample(pos) {
+            Some(v) => v,
+            // Inside the region but outside the lattice: only possible at
+            // the domain boundary — the streamline has effectively exited.
+            None => return done(sl, Termination::ExitedDomain, steps_this),
+        };
+        if v.norm() < limits.min_speed {
+            return done(sl, Termination::ZeroVelocity, steps_this);
+        }
+
+        let mut h = clamp(sl.state.h, limits.h_min, limits.h_max);
+        // Try the step, shrinking on stage failure or excessive error.
+        let mut attempts = 0;
+        let accepted = loop {
+            match stepper.step(sample, pos, h, &limits.tol) {
+                Err(StageFail) => {
+                    attempts += 1;
+                    if attempts > 8 || h <= limits.h_min * 1.0001 {
+                        // Edge of the resident lattice: take one Euler step
+                        // with the current h so the curve crosses the face
+                        // and the hand-off logic can take over.
+                        break None;
+                    }
+                    h *= 0.5;
+                }
+                Ok(res) => {
+                    if stepper.adaptive() && res.error > 1.0 {
+                        attempts += 1;
+                        let fac = clamp(0.9 * res.error.powf(-0.2), 0.2, 0.9);
+                        h *= fac;
+                        if h < limits.h_min {
+                            return done(sl, Termination::StepUnderflow, steps_this);
+                        }
+                        continue;
+                    }
+                    break Some(res);
+                }
+            }
+        };
+
+        match accepted {
+            Some(res) => {
+                sl.push_step(res.y, h);
+                steps_this += 1;
+                // Grow/shrink for the next step.
+                let next_h = if stepper.adaptive() {
+                    let err = res.error.max(1e-10);
+                    clamp(h * clamp(0.9 * err.powf(-0.2), 0.2, 5.0), limits.h_min, limits.h_max)
+                } else {
+                    h
+                };
+                sl.state.h = next_h;
+            }
+            None => {
+                // Euler edge-step fallback.
+                sl.push_step(pos + v * h, h);
+                steps_this += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dopri5::Dopri5;
+    use crate::euler::Euler;
+    use crate::rk4::Rk4;
+    use crate::streamline::{StreamlineId, StreamlineStatus};
+    use streamline_math::Aabb;
+
+    fn fresh(seed: Vec3) -> Streamline {
+        Streamline::new(StreamlineId(0), seed, 1e-2)
+    }
+
+    #[test]
+    fn uniform_field_crosses_region() {
+        // Field +x over all space; region is the unit cube. A streamline
+        // seeded inside must leave through the x = 1 face.
+        let region_box = Aabb::unit();
+        let sample = |_p: Vec3| Some(Vec3::X);
+        let region = move |p: Vec3| region_box.contains(p);
+        let mut sl = fresh(Vec3::splat(0.5));
+        let r = advect(&mut sl, &sample, &region, &StepLimits::default(), &Dopri5);
+        assert_eq!(r.outcome, AdvectOutcome::LeftRegion);
+        assert!(sl.is_active());
+        assert!(sl.state.position.x > 1.0);
+        assert!((sl.state.position.y - 0.5).abs() < 1e-9);
+        assert!(r.steps > 0);
+        assert_eq!(r.steps, sl.state.steps);
+    }
+
+    #[test]
+    fn rotation_stays_and_hits_step_budget() {
+        // Circular orbit fully inside the region: must terminate on steps.
+        let sample = |p: Vec3| Some(Vec3::new(-p.y, p.x, 0.0));
+        let region = |p: Vec3| p.norm() < 10.0;
+        let mut sl = fresh(Vec3::new(1.0, 0.0, 0.0));
+        let limits = StepLimits { max_steps: 500, ..Default::default() };
+        let r = advect(&mut sl, &sample, &region, &limits, &Dopri5);
+        assert_eq!(r.outcome, AdvectOutcome::Terminated(Termination::MaxSteps));
+        assert_eq!(sl.state.steps, 500);
+        // Radius conserved to tolerance by the adaptive integrator.
+        assert!((sl.state.position.norm() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sink_terminates_on_zero_velocity() {
+        let c = Vec3::splat(0.5);
+        let sample = move |p: Vec3| Some((c - p) * 2.0);
+        let region = |_p: Vec3| true;
+        let mut sl = fresh(Vec3::ZERO);
+        let limits = StepLimits { min_speed: 1e-6, max_steps: 100_000, ..Default::default() };
+        let r = advect(&mut sl, &sample, &region, &limits, &Dopri5);
+        assert_eq!(r.outcome, AdvectOutcome::Terminated(Termination::ZeroVelocity));
+        assert!(sl.state.position.distance(c) < 1e-3);
+    }
+
+    #[test]
+    fn arc_length_budget_respected() {
+        let sample = |_p: Vec3| Some(Vec3::X * 2.0);
+        let region = |_p: Vec3| true;
+        let mut sl = fresh(Vec3::ZERO);
+        let limits = StepLimits { max_arc_length: 3.0, ..Default::default() };
+        let r = advect(&mut sl, &sample, &region, &limits, &Dopri5);
+        assert_eq!(r.outcome, AdvectOutcome::Terminated(Termination::MaxArcLength));
+        // Overshoot bounded by one h_max step.
+        assert!(sl.state.arc_length < 3.0 + 2.0 * limits.h_max + 1e-9);
+    }
+
+    #[test]
+    fn max_time_budget_respected() {
+        let sample = |_p: Vec3| Some(Vec3::X);
+        let region = |_p: Vec3| true;
+        let mut sl = fresh(Vec3::ZERO);
+        let limits = StepLimits { max_time: 1.5, ..Default::default() };
+        let r = advect(&mut sl, &sample, &region, &limits, &Dopri5);
+        assert_eq!(r.outcome, AdvectOutcome::Terminated(Termination::MaxTime));
+        assert!(sl.state.time >= 1.5);
+    }
+
+    #[test]
+    fn lattice_edge_falls_back_to_euler_handoff() {
+        // Sample data exists only for x < 1 (no ghost margin); region is
+        // x < 1 as well. The tracer must still push the curve past the face.
+        let sample = |p: Vec3| if p.x < 1.0 { Some(Vec3::X) } else { None };
+        let region = |p: Vec3| p.x < 1.0;
+        let mut sl = fresh(Vec3::new(0.99, 0.0, 0.0));
+        let r = advect(&mut sl, &sample, &region, &StepLimits::default(), &Dopri5);
+        assert_eq!(r.outcome, AdvectOutcome::LeftRegion);
+        assert!(sl.state.position.x >= 1.0);
+    }
+
+    #[test]
+    fn out_of_lattice_inside_region_is_domain_exit() {
+        let sample = |_p: Vec3| None::<Vec3>;
+        let region = |_p: Vec3| true;
+        let mut sl = fresh(Vec3::ZERO);
+        let r = advect(&mut sl, &sample, &region, &StepLimits::default(), &Dopri5);
+        assert_eq!(r.outcome, AdvectOutcome::Terminated(Termination::ExitedDomain));
+        assert_eq!(sl.status, StreamlineStatus::Terminated(Termination::ExitedDomain));
+    }
+
+    #[test]
+    fn fixed_step_schemes_also_work() {
+        let region_box = Aabb::unit();
+        let sample = |p: Vec3| Some(Vec3::new(1.0, 0.1 * p.x, 0.0));
+        let region = move |p: Vec3| region_box.contains(p);
+        for stepper in [&Euler as &dyn Stepper, &Rk4] {
+            let mut sl = fresh(Vec3::new(0.0, 0.5, 0.5));
+            let r = advect(&mut sl, &sample, &region, &StepLimits::default(), stepper);
+            assert_eq!(r.outcome, AdvectOutcome::LeftRegion, "{}", stepper.name());
+        }
+    }
+
+    #[test]
+    fn adaptive_takes_fewer_steps_in_smooth_field_than_euler() {
+        let sample = |p: Vec3| Some(Vec3::new(1.0, (p.x).sin() * 0.1, 0.0));
+        let region = |p: Vec3| p.x < 50.0;
+        let limits = StepLimits { max_steps: 1_000_000, ..Default::default() };
+        let mut a = fresh(Vec3::ZERO);
+        let ra = advect(&mut a, &sample, &region, &limits, &Dopri5);
+        let mut b = fresh(Vec3::ZERO);
+        let rb = advect(&mut b, &sample, &region, &limits, &Euler);
+        assert_eq!(ra.outcome, AdvectOutcome::LeftRegion);
+        assert_eq!(rb.outcome, AdvectOutcome::LeftRegion);
+        // Dopri5 grows its step toward h_max; Euler stays at h0.
+        assert!(ra.steps * 2 < rb.steps, "dopri {} vs euler {}", ra.steps, rb.steps);
+    }
+
+    #[test]
+    fn resume_after_handoff_continues_geometry() {
+        // Advect through region A, then hand the same streamline to region B.
+        let sample = |_p: Vec3| Some(Vec3::X);
+        let region_a = |p: Vec3| p.x < 1.0;
+        let region_b = |p: Vec3| p.x < 2.0;
+        let mut sl = fresh(Vec3::ZERO);
+        let limits = StepLimits::default();
+        assert_eq!(
+            advect(&mut sl, &sample, &region_a, &limits, &Dopri5).outcome,
+            AdvectOutcome::LeftRegion
+        );
+        let mid_len = sl.geometry.len();
+        assert_eq!(
+            advect(&mut sl, &sample, &region_b, &limits, &Dopri5).outcome,
+            AdvectOutcome::LeftRegion
+        );
+        assert!(sl.geometry.len() > mid_len);
+        assert!(sl.state.position.x >= 2.0);
+        // Geometry is monotone in x for this field.
+        for w in sl.geometry.windows(2) {
+            assert!(w[1].x >= w[0].x);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the integrators and the tracer.
+
+use proptest::prelude::*;
+use streamline_integrate::tracer::{advect, AdvectOutcome, StepLimits};
+use streamline_integrate::{Dopri5, Stepper, Streamline, StreamlineId, Termination, Tolerances};
+use streamline_integrate::{euler::Euler, rk4::Rk4};
+use streamline_math::{Aabb, Vec3};
+
+proptest! {
+    /// On a rigid rotation, every scheme conserves the orbit radius to its
+    /// order-appropriate tolerance over a quarter turn.
+    #[test]
+    fn rotation_radius_conservation(r0 in 0.1f64..5.0, omega in 0.1f64..3.0) {
+        let f = move |p: Vec3| Some(Vec3::new(-omega * p.y, omega * p.x, 0.0));
+        let quarter = std::f64::consts::FRAC_PI_2 / omega;
+        let n = 200usize;
+        let h = quarter / n as f64;
+        let tol = Tolerances::default();
+        for (stepper, budget) in [
+            (&Euler as &dyn Stepper, 0.2),
+            (&Rk4, 1e-6),
+            (&Dopri5, 1e-8),
+        ] {
+            let mut y = Vec3::new(r0, 0.0, 0.0);
+            for _ in 0..n {
+                y = stepper.step(&f, y, h, &tol).unwrap().y;
+            }
+            let drift = (y.norm() - r0).abs() / r0;
+            prop_assert!(drift < budget, "{}: relative drift {drift}", stepper.name());
+        }
+    }
+
+    /// Dopri5's solution is at least as accurate as RK4 at equal step size
+    /// on a smooth nonlinear field.
+    #[test]
+    fn dopri_beats_rk4(x0 in -0.5f64..0.5, y0 in -0.5f64..0.5) {
+        let f = |p: Vec3| Some(Vec3::new(p.y, -p.x.sin(), 0.1));
+        let start = Vec3::new(x0, y0, 0.0);
+        let tol = Tolerances::default();
+        let run = |s: &dyn Stepper, h: f64, n: usize| {
+            let mut y = start;
+            for _ in 0..n {
+                y = s.step(&f, y, h, &tol).unwrap().y;
+            }
+            y
+        };
+        // Reference: very fine Dopri5.
+        let reference = run(&Dopri5, 1e-3, 2000);
+        let d5 = run(&Dopri5, 0.1, 20).distance(reference);
+        let r4 = run(&Rk4, 0.1, 20).distance(reference);
+        prop_assert!(d5 <= r4 * 1.5 + 1e-12, "dopri {d5} vs rk4 {r4}");
+    }
+
+    /// The tracer always terminates and always returns a sound outcome:
+    /// LeftRegion ⇒ position outside region; Terminated ⇒ status set.
+    #[test]
+    fn tracer_outcomes_are_sound(
+        sx in 0.05f64..0.95, sy in 0.05f64..0.95, sz in 0.05f64..0.95,
+        vx in -1f64..1.0, vy in -1f64..1.0, vz in -1f64..1.0,
+        swirl in 0f64..3.0,
+    ) {
+        let v0 = Vec3::new(vx, vy, vz);
+        let f = move |p: Vec3| {
+            Some(v0 + Vec3::new(-swirl * (p.y - 0.5), swirl * (p.x - 0.5), 0.0))
+        };
+        let bounds = Aabb::unit();
+        let region = move |p: Vec3| bounds.contains(p);
+        let limits = StepLimits { max_steps: 500, ..Default::default() };
+        let mut sl = Streamline::new(StreamlineId(0), Vec3::new(sx, sy, sz), limits.h0);
+        let r = advect(&mut sl, &f, &region, &limits, &Dopri5);
+        match r.outcome {
+            AdvectOutcome::LeftRegion => {
+                prop_assert!(!bounds.contains(sl.state.position));
+                prop_assert!(sl.is_active());
+            }
+            AdvectOutcome::Terminated(t) => {
+                prop_assert!(!sl.is_active());
+                // Only these terminations are reachable here.
+                prop_assert!(matches!(
+                    t,
+                    Termination::MaxSteps | Termination::ZeroVelocity | Termination::StepUnderflow
+                ), "unexpected termination {t:?}");
+            }
+        }
+        // Work accounting is consistent.
+        prop_assert_eq!(r.steps, sl.state.steps);
+        prop_assert_eq!(sl.geometry.len() as u64, sl.vertex_count());
+        // Arc length is at least the net displacement.
+        prop_assert!(sl.state.arc_length + 1e-9 >= sl.seed.distance(sl.state.position));
+    }
+
+    /// Geometry vertices are exactly steps + 1 and monotone in time for the
+    /// recorded variant.
+    #[test]
+    fn geometry_accounting(n_moves in 1usize..50) {
+        let mut sl = Streamline::new(StreamlineId(3), Vec3::ZERO, 1e-2);
+        let mut t = 0.0;
+        for i in 0..n_moves {
+            t += 0.1;
+            sl.push_step(Vec3::splat(i as f64 * 0.01), 0.1);
+            prop_assert!((sl.state.time - t).abs() < 1e-12);
+        }
+        prop_assert_eq!(sl.vertex_count() as usize, n_moves + 1);
+        prop_assert_eq!(sl.geometry.len(), n_moves + 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! On-disk binary block format.
+//!
+//! Little-endian, self-describing:
+//!
+//! ```text
+//! magic   u32   0x53_4C_42_4B  ("SLBK")
+//! version u16
+//! ghost   u16
+//! id      u32
+//! nodes   3 × u32
+//! bounds  6 × f64   (min.xyz, max.xyz)
+//! spacing 3 × f64
+//! data    nodes.x · nodes.y · nodes.z × 3 × f32
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use streamline_field::block::{Block, BlockId};
+use streamline_math::{Aabb, Vec3};
+
+const MAGIC: u32 = 0x534C_424B;
+const VERSION: u16 = 1;
+
+/// Errors when decoding a block payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    TooShort,
+    BadMagic(u32),
+    BadVersion(u16),
+    LengthMismatch { expected: usize, actual: usize },
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::TooShort => write!(f, "block payload truncated"),
+            FormatError::BadMagic(m) => write!(f, "bad magic {m:#x}"),
+            FormatError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            FormatError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} != expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// Serialized size in bytes of a block with the given node counts.
+pub fn encoded_size(nodes: [usize; 3]) -> usize {
+    4 + 2 + 2 + 4 + 12 + 48 + 24 + nodes[0] * nodes[1] * nodes[2] * 12
+}
+
+/// Encode a block into its on-disk representation.
+pub fn encode(block: &Block) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_size(block.nodes));
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(block.ghost as u16);
+    buf.put_u32_le(block.id.0);
+    for n in block.nodes {
+        buf.put_u32_le(n as u32);
+    }
+    for v in [block.bounds.min, block.bounds.max] {
+        buf.put_f64_le(v.x);
+        buf.put_f64_le(v.y);
+        buf.put_f64_le(v.z);
+    }
+    buf.put_f64_le(block.spacing.x);
+    buf.put_f64_le(block.spacing.y);
+    buf.put_f64_le(block.spacing.z);
+    for s in &block.data {
+        buf.put_f32_le(s[0]);
+        buf.put_f32_le(s[1]);
+        buf.put_f32_le(s[2]);
+    }
+    buf.freeze()
+}
+
+/// Decode a block from its on-disk representation.
+pub fn decode(mut buf: &[u8]) -> Result<Block, FormatError> {
+    let header = 4 + 2 + 2 + 4 + 12 + 48 + 24;
+    if buf.len() < header {
+        return Err(FormatError::TooShort);
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(FormatError::BadMagic(magic));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(FormatError::BadVersion(version));
+    }
+    let ghost = buf.get_u16_le() as usize;
+    let id = BlockId(buf.get_u32_le());
+    let nodes = [
+        buf.get_u32_le() as usize,
+        buf.get_u32_le() as usize,
+        buf.get_u32_le() as usize,
+    ];
+    let min = Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le());
+    let max = Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le());
+    let spacing = Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le());
+    let count = nodes[0] * nodes[1] * nodes[2];
+    if buf.len() != count * 12 {
+        return Err(FormatError::LengthMismatch { expected: count * 12, actual: buf.len() });
+    }
+    let mut block = Block::zeroed(id, Aabb::new(min, max), ghost, nodes, spacing);
+    for s in block.data.iter_mut() {
+        s[0] = buf.get_f32_le();
+        s[1] = buf.get_f32_le();
+        s[2] = buf.get_f32_le();
+    }
+    Ok(block)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block() -> Block {
+        let mut b = Block::zeroed(
+            BlockId(9),
+            Aabb::new(Vec3::ZERO, Vec3::splat(2.0)),
+            1,
+            [4, 4, 4],
+            Vec3::splat(0.5),
+        );
+        for (i, s) in b.data.iter_mut().enumerate() {
+            *s = [i as f32, -(i as f32), 0.5 * i as f32];
+        }
+        b
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let b = sample_block();
+        let bytes = encode(&b);
+        assert_eq!(bytes.len(), encoded_size(b.nodes));
+        let d = decode(&bytes).unwrap();
+        assert_eq!(d, b);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let b = sample_block();
+        let mut bytes = encode(&b).to_vec();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(decode(&bytes), Err(FormatError::BadMagic(_))));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let b = sample_block();
+        let bytes = encode(&b);
+        assert!(matches!(decode(&bytes[..10]), Err(FormatError::TooShort)));
+        let almost = &bytes[..bytes.len() - 4];
+        assert!(matches!(decode(almost), Err(FormatError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let b = sample_block();
+        let mut bytes = encode(&b).to_vec();
+        bytes[4] = 99;
+        assert!(matches!(decode(&bytes), Err(FormatError::BadVersion(99))));
+    }
+}

@@ -1,0 +1,239 @@
+//! The least-recently-used block cache of §4.2/§4.3.
+//!
+//! "The Load On Demand algorithm makes use of caching of blocks in a LRU
+//! fashion; old blocks are discarded if available main memory is
+//! insufficient to accommodate new blocks." The cache tracks the counters
+//! behind Eq. 2's block efficiency: loads `B_L` and purges `B_P`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use streamline_field::block::{Block, BlockId};
+
+/// Load/purge/hit counters for one cache (aggregated into Eq. 2 per run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Blocks loaded (B_L).
+    pub loaded: u64,
+    /// Blocks purged (B_P).
+    pub purged: u64,
+    /// Requests served without a load.
+    pub hits: u64,
+}
+
+impl CacheStats {
+    /// Block efficiency `E = (B_L − B_P) / B_L` (Eq. 2); 1.0 when nothing
+    /// was ever loaded.
+    pub fn efficiency(&self) -> f64 {
+        if self.loaded == 0 {
+            1.0
+        } else {
+            (self.loaded - self.purged) as f64 / self.loaded as f64
+        }
+    }
+
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.loaded += other.loaded;
+        self.purged += other.purged;
+        self.hits += other.hits;
+    }
+}
+
+struct Entry {
+    block: Arc<Block>,
+    last_use: u64,
+}
+
+/// An LRU cache of blocks with a fixed capacity in block count
+/// ("a user defined upper bound", §5).
+///
+/// ```
+/// use std::sync::Arc;
+/// use streamline_field::block::{Block, BlockId};
+/// use streamline_iosim::LruCache;
+/// use streamline_math::{Aabb, Vec3};
+///
+/// let block = |id| Arc::new(Block::zeroed(BlockId(id), Aabb::unit(), 0, [2, 2, 2], Vec3::splat(1.0)));
+/// let mut cache = LruCache::new(2);
+/// cache.insert(block(1));
+/// cache.insert(block(2));
+/// cache.get(BlockId(1));                       // refresh 1, so 2 is now LRU
+/// assert_eq!(cache.insert(block(3)), Some(BlockId(2)));
+/// assert_eq!(cache.stats().purged, 1);         // B_P of Eq. 2
+/// ```
+pub struct LruCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<BlockId, Entry>,
+    stats: CacheStats,
+}
+
+impl LruCache {
+    /// `capacity` must be at least 1 (a rank must be able to hold the block
+    /// it is integrating in).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be >= 1");
+        LruCache { capacity, tick: 0, entries: HashMap::new(), stats: CacheStats::default() }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Whether `id` is resident (does not touch recency).
+    pub fn contains(&self, id: BlockId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Resident block ids (unordered).
+    pub fn resident(&self) -> Vec<BlockId> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// Get a resident block, refreshing its recency. `None` on miss (the
+    /// caller decides whether to load — loading costs I/O time that the
+    /// algorithms account for explicitly).
+    pub fn get(&mut self, id: BlockId) -> Option<Arc<Block>> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(&id) {
+            Some(e) => {
+                e.last_use = tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(&e.block))
+            }
+            None => None,
+        }
+    }
+
+    /// Insert a freshly loaded block, evicting the least-recently-used
+    /// resident block if at capacity. Returns the evicted id, if any.
+    /// Counts one load (and one purge per eviction).
+    pub fn insert(&mut self, block: Arc<Block>) -> Option<BlockId> {
+        self.tick += 1;
+        let id = block.id;
+        debug_assert!(!self.entries.contains_key(&id), "inserting resident block {id}");
+        self.stats.loaded += 1;
+        let mut evicted = None;
+        if self.entries.len() >= self.capacity {
+            // O(n) scan; caches hold at most a few hundred blocks.
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(&k, _)| k)
+                .expect("cache at capacity has entries");
+            self.entries.remove(&victim);
+            self.stats.purged += 1;
+            evicted = Some(victim);
+        }
+        self.entries.insert(id, Entry { block, last_use: self.tick });
+        evicted
+    }
+
+    /// Drop everything (counts purges — a purge is a purge).
+    pub fn clear(&mut self) {
+        self.stats.purged += self.entries.len() as u64;
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamline_math::{Aabb, Vec3};
+
+    fn block(id: u32) -> Arc<Block> {
+        Arc::new(Block::zeroed(
+            BlockId(id),
+            Aabb::unit(),
+            0,
+            [2, 2, 2],
+            Vec3::splat(1.0),
+        ))
+    }
+
+    #[test]
+    fn insert_get_hit_miss() {
+        let mut c = LruCache::new(2);
+        assert!(c.get(BlockId(1)).is_none());
+        c.insert(block(1));
+        assert!(c.get(BlockId(1)).is_some());
+        let s = c.stats();
+        assert_eq!(s.loaded, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.purged, 0);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(block(1));
+        c.insert(block(2));
+        // Touch 1 so 2 becomes LRU.
+        c.get(BlockId(1));
+        let evicted = c.insert(block(3));
+        assert_eq!(evicted, Some(BlockId(2)));
+        assert!(c.contains(BlockId(1)));
+        assert!(c.contains(BlockId(3)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = LruCache::new(3);
+        for i in 0..50 {
+            c.insert(block(i));
+            assert!(c.len() <= 3);
+        }
+        assert_eq!(c.stats().loaded, 50);
+        assert_eq!(c.stats().purged, 47);
+    }
+
+    #[test]
+    fn efficiency_matches_eq2() {
+        let mut c = LruCache::new(2);
+        for i in 0..4 {
+            c.insert(block(i));
+        }
+        // B_L = 4, B_P = 2 => E = 0.5.
+        assert!((c.stats().efficiency() - 0.5).abs() < 1e-12);
+        // Untouched cache is perfectly efficient.
+        assert_eq!(CacheStats::default().efficiency(), 1.0);
+    }
+
+    #[test]
+    fn clear_counts_purges() {
+        let mut c = LruCache::new(4);
+        c.insert(block(1));
+        c.insert(block(2));
+        c.clear();
+        assert_eq!(c.stats().purged, 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn merge_stats() {
+        let mut a = CacheStats { loaded: 3, purged: 1, hits: 7 };
+        a.merge(&CacheStats { loaded: 2, purged: 2, hits: 1 });
+        assert_eq!(a, CacheStats { loaded: 5, purged: 3, hits: 8 });
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        LruCache::new(0);
+    }
+}

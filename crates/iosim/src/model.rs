@@ -1,0 +1,68 @@
+//! The disk cost model: how long a block load takes on the simulated
+//! cluster.
+//!
+//! The paper's blocks are 1M cells; our in-memory blocks are scaled down for
+//! laptop runs. To preserve the paper's I/O-vs-compute balance the simulated
+//! cluster charges I/O at *paper scale*: each load costs
+//! `latency + logical_block_bytes / bandwidth` of virtual time regardless of
+//! the in-memory payload.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost model for block reads from the (shared) parallel filesystem.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskModel {
+    /// Per-read seek/metadata latency in seconds.
+    pub latency: f64,
+    /// Sustained per-reader bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// The size a block load is charged for (paper scale), in bytes.
+    pub logical_block_bytes: f64,
+}
+
+impl DiskModel {
+    /// Paper-scale default: 1M nodes × 12 B ≈ 12 MB blocks, 4 ms latency,
+    /// 500 MB/s per-reader bandwidth → ≈ 28 ms per block load.
+    pub fn paper_scale() -> Self {
+        DiskModel { latency: 4e-3, bandwidth: 500e6, logical_block_bytes: 12e6 }
+    }
+
+    /// A model with negligible cost — disables the I/O axis in experiments.
+    pub fn free() -> Self {
+        DiskModel { latency: 0.0, bandwidth: f64::INFINITY, logical_block_bytes: 0.0 }
+    }
+
+    /// Virtual seconds to load one block.
+    pub fn block_load_time(&self) -> f64 {
+        self.latency + self.logical_block_bytes / self.bandwidth
+    }
+
+    /// Virtual seconds to load `bytes` (for non-block reads).
+    pub fn read_time(&self, bytes: f64) -> f64 {
+        self.latency + bytes / self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_around_28ms() {
+        let t = DiskModel::paper_scale().block_load_time();
+        assert!(t > 0.02 && t < 0.04, "{t}");
+    }
+
+    #[test]
+    fn free_model_costs_nothing() {
+        assert_eq!(DiskModel::free().block_load_time(), 0.0);
+        assert_eq!(DiskModel::free().read_time(1e9), 0.0);
+    }
+
+    #[test]
+    fn read_time_monotone_in_bytes() {
+        let m = DiskModel::paper_scale();
+        assert!(m.read_time(2e6) > m.read_time(1e6));
+        assert!(m.read_time(0.0) == m.latency);
+    }
+}

@@ -1,0 +1,208 @@
+//! Block stores: where block payloads come from.
+//!
+//! All three algorithms consume blocks through the [`BlockStore`] trait, so
+//! the same algorithm code runs against real files (thread runtime,
+//! examples), a prebuilt in-memory set (tests) or on-demand field sampling
+//! (the simulated cluster, where load *time* is charged by the cost model
+//! rather than spent).
+
+use crate::format;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use streamline_field::block::{Block, BlockId};
+use streamline_field::dataset::Dataset;
+
+/// Source of block payloads. Thread-safe: multiple ranks load concurrently.
+pub trait BlockStore: Send + Sync {
+    /// Load one block. Panics on unknown ids (the decomposition is the
+    /// single source of truth for which ids exist).
+    fn load(&self, id: BlockId) -> Arc<Block>;
+
+    /// Number of blocks available.
+    fn num_blocks(&self) -> usize;
+}
+
+/// All blocks pre-built in memory.
+pub struct MemoryStore {
+    blocks: Vec<Arc<Block>>,
+}
+
+impl MemoryStore {
+    /// Build every block of `dataset` up front (in parallel — sampling a
+    /// 512-block dataset is embarrassingly parallel).
+    pub fn build(dataset: &Dataset) -> Self {
+        use rayon::prelude::*;
+        let ids: Vec<_> = dataset.decomp.all_blocks().collect();
+        let blocks = ids
+            .into_par_iter()
+            .map(|id| Arc::new(dataset.build_block(id)))
+            .collect();
+        MemoryStore { blocks }
+    }
+
+    pub fn from_blocks(blocks: Vec<Block>) -> Self {
+        MemoryStore { blocks: blocks.into_iter().map(Arc::new).collect() }
+    }
+}
+
+impl BlockStore for MemoryStore {
+    fn load(&self, id: BlockId) -> Arc<Block> {
+        Arc::clone(&self.blocks[id.index()])
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// Samples blocks from the dataset's analytic field on first use and
+/// memoizes them — the store the simulated cluster uses, so a 512-block
+/// dataset never needs to be fully resident.
+pub struct FieldStore {
+    dataset: Dataset,
+    cache: Mutex<HashMap<BlockId, Arc<Block>>>,
+}
+
+impl FieldStore {
+    pub fn new(dataset: Dataset) -> Self {
+        FieldStore { dataset, cache: Mutex::new(HashMap::new()) }
+    }
+
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+}
+
+impl BlockStore for FieldStore {
+    fn load(&self, id: BlockId) -> Arc<Block> {
+        if let Some(b) = self.cache.lock().get(&id) {
+            return Arc::clone(b);
+        }
+        // Sample outside the lock: block construction is the expensive part
+        // and two ranks racing on the same id just do redundant work once.
+        let built = Arc::new(self.dataset.build_block(id));
+        let mut cache = self.cache.lock();
+        Arc::clone(cache.entry(id).or_insert(built))
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.dataset.decomp.num_blocks()
+    }
+}
+
+/// Real files on disk, one per block, in the [`format`] binary layout.
+pub struct DiskStore {
+    dir: PathBuf,
+    num_blocks: usize,
+}
+
+impl DiskStore {
+    /// Write every block of `dataset` into `dir` (created if needed) and
+    /// open a store over it. Sampling and writing are parallel per block.
+    pub fn create(dataset: &Dataset, dir: &Path) -> io::Result<Self> {
+        use rayon::prelude::*;
+        std::fs::create_dir_all(dir)?;
+        let ids: Vec<BlockId> = dataset.decomp.all_blocks().collect();
+        ids.into_par_iter().try_for_each(|id| {
+            let block = dataset.build_block(id);
+            std::fs::write(Self::block_path(dir, id), format::encode(&block))
+        })?;
+        Ok(DiskStore { dir: dir.to_path_buf(), num_blocks: dataset.decomp.num_blocks() })
+    }
+
+    /// Open an existing store directory containing `num_blocks` block files.
+    pub fn open(dir: &Path, num_blocks: usize) -> Self {
+        DiskStore { dir: dir.to_path_buf(), num_blocks }
+    }
+
+    fn block_path(dir: &Path, id: BlockId) -> PathBuf {
+        dir.join(format!("block_{:05}.slbk", id.0))
+    }
+
+    /// Path of one block's file.
+    pub fn path_of(&self, id: BlockId) -> PathBuf {
+        Self::block_path(&self.dir, id)
+    }
+}
+
+impl BlockStore for DiskStore {
+    fn load(&self, id: BlockId) -> Arc<Block> {
+        let path = self.path_of(id);
+        let bytes = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("reading block file {}: {e}", path.display()));
+        Arc::new(
+            format::decode(&bytes)
+                .unwrap_or_else(|e| panic!("decoding block file {}: {e}", path.display())),
+        )
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamline_field::dataset::DatasetConfig;
+
+    fn tiny_dataset() -> Dataset {
+        let mut cfg = DatasetConfig::tiny();
+        cfg.blocks_per_axis = [2, 2, 2];
+        cfg.cells_per_block = [4, 4, 4];
+        Dataset::thermal_hydraulics(cfg)
+    }
+
+    #[test]
+    fn memory_store_serves_all_blocks() {
+        let ds = tiny_dataset();
+        let store = MemoryStore::build(&ds);
+        assert_eq!(store.num_blocks(), 8);
+        for id in ds.decomp.all_blocks() {
+            let b = store.load(id);
+            assert_eq!(b.id, id);
+            assert_eq!(b.bounds, ds.decomp.block_bounds(id));
+        }
+    }
+
+    #[test]
+    fn field_store_memoizes() {
+        let ds = tiny_dataset();
+        let store = FieldStore::new(ds);
+        let a = store.load(BlockId(3));
+        let b = store.load(BlockId(3));
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn field_store_matches_memory_store() {
+        let ds = tiny_dataset();
+        let mem = MemoryStore::build(&ds);
+        let field = FieldStore::new(ds);
+        for i in 0..8u32 {
+            assert_eq!(*mem.load(BlockId(i)), *field.load(BlockId(i)));
+        }
+    }
+
+    #[test]
+    fn disk_store_roundtrips_blocks() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join(format!("slbk-test-{}", std::process::id()));
+        let store = DiskStore::create(&ds, &dir).unwrap();
+        let mem = MemoryStore::build(&ds);
+        for id in ds.decomp.all_blocks() {
+            assert_eq!(*store.load(id), *mem.load(id));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "reading block file")]
+    fn disk_store_missing_file_panics_with_path() {
+        let store = DiskStore::open(Path::new("/nonexistent-dir-xyz"), 1);
+        let _ = store.load(BlockId(0));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests: the LRU cache against a reference model, and the
+//! on-disk block format over arbitrary blocks.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use streamline_field::block::{Block, BlockId};
+use streamline_iosim::{format, LruCache};
+use streamline_math::{Aabb, Vec3};
+
+fn block_with(id: u32, nodes: [usize; 3], fill: f32) -> Block {
+    let mut b = Block::zeroed(
+        BlockId(id),
+        Aabb::new(Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0)),
+        1,
+        nodes,
+        Vec3::splat(0.5),
+    );
+    for (i, s) in b.data.iter_mut().enumerate() {
+        *s = [fill + i as f32, fill - i as f32, fill * 0.5];
+    }
+    b
+}
+
+/// Reference LRU model: a Vec ordered most-recent-last.
+#[derive(Default)]
+struct ModelLru {
+    cap: usize,
+    order: Vec<u32>,
+}
+
+impl ModelLru {
+    fn get(&mut self, id: u32) -> bool {
+        if let Some(pos) = self.order.iter().position(|&x| x == id) {
+            let v = self.order.remove(pos);
+            self.order.push(v);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, id: u32) -> Option<u32> {
+        let mut evicted = None;
+        if self.order.len() >= self.cap {
+            evicted = Some(self.order.remove(0));
+        }
+        self.order.push(id);
+        evicted
+    }
+}
+
+proptest! {
+    /// The cache behaves exactly like the reference model under arbitrary
+    /// access sequences.
+    #[test]
+    fn lru_matches_reference_model(
+        cap in 1usize..8,
+        ops in prop::collection::vec((0u32..16, prop::bool::ANY), 1..200),
+    ) {
+        let mut cache = LruCache::new(cap);
+        let mut model = ModelLru { cap, order: Vec::new() };
+        for (id, is_get) in ops {
+            if is_get {
+                let real = cache.get(BlockId(id)).is_some();
+                let expect = model.get(id);
+                prop_assert_eq!(real, expect, "get mismatch for id {}", id);
+            } else if !cache.contains(BlockId(id)) {
+                let evicted = cache.insert(Arc::new(block_with(id, [2, 2, 2], 0.0)));
+                let expected = model.insert(id);
+                prop_assert_eq!(evicted.map(|b| b.0), expected, "insert mismatch for id {}", id);
+            }
+            prop_assert!(cache.len() <= cap);
+            // Same resident set.
+            let mut real: Vec<u32> = cache.resident().iter().map(|b| b.0).collect();
+            real.sort();
+            let mut expect = model.order.clone();
+            expect.sort();
+            prop_assert_eq!(real, expect);
+        }
+        // Eq. 2 bookkeeping is consistent.
+        let s = cache.stats();
+        prop_assert_eq!(s.loaded - s.purged, cache.len() as u64);
+    }
+
+    /// Encode/decode round-trips arbitrary block shapes and data exactly.
+    #[test]
+    fn format_roundtrip(
+        id in 0u32..10_000,
+        nx in 2usize..6,
+        ny in 2usize..6,
+        nz in 2usize..6,
+        fill in -1e6f32..1e6,
+    ) {
+        let b = block_with(id, [nx, ny, nz], fill);
+        let encoded = format::encode(&b);
+        prop_assert_eq!(encoded.len(), format::encoded_size([nx, ny, nz]));
+        let d = format::decode(&encoded).unwrap();
+        prop_assert_eq!(d, b);
+    }
+
+    /// Arbitrary corruption of the header never panics and never yields a
+    /// valid block silently when the magic is damaged.
+    #[test]
+    fn format_rejects_corrupt_magic(
+        flip in 0usize..4,
+        bit in 0u8..8,
+    ) {
+        let b = block_with(1, [2, 2, 2], 1.0);
+        let mut bytes = format::encode(&b).to_vec();
+        bytes[flip] ^= 1 << bit;
+        // Either a clean error, or (if the flip cancels) the same block.
+        match format::decode(&bytes) {
+            Ok(d) => prop_assert_eq!(d, b),
+            Err(_) => {}
+        }
+    }
+}

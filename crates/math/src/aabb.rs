@@ -1,0 +1,170 @@
+//! Axis-aligned bounding boxes.
+//!
+//! Blocks of the decomposed mesh are axis-aligned boxes; point-in-block tests
+//! during advection are the hottest geometric query in the system.
+
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned box `[min, max]`, inclusive on all faces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    pub min: Vec3,
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// Build from two corners; the corners need not be ordered.
+    pub fn new(a: Vec3, b: Vec3) -> Self {
+        Aabb { min: a.min(b), max: a.max(b) }
+    }
+
+    /// The unit cube `[0,1]^3`.
+    pub fn unit() -> Self {
+        Aabb { min: Vec3::ZERO, max: Vec3::splat(1.0) }
+    }
+
+    /// A cube centred at the origin with half-width `h`.
+    pub fn centered_cube(h: f64) -> Self {
+        Aabb { min: Vec3::splat(-h), max: Vec3::splat(h) }
+    }
+
+    #[inline]
+    pub fn size(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    pub fn volume(&self) -> f64 {
+        let s = self.size();
+        s.x * s.y * s.z
+    }
+
+    /// Inclusive containment test (points on faces count as inside).
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Containment with boundary tolerance `eps` (expands the box by `eps`).
+    #[inline]
+    pub fn contains_eps(&self, p: Vec3, eps: f64) -> bool {
+        self.expanded(eps).contains(p)
+    }
+
+    /// The box grown by `d` on every face (shrunk when `d < 0`).
+    pub fn expanded(&self, d: f64) -> Aabb {
+        Aabb { min: self.min - Vec3::splat(d), max: self.max + Vec3::splat(d) }
+    }
+
+    /// True when the two boxes overlap (inclusive of shared faces).
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+            && self.min.z <= other.max.z
+            && self.max.z >= other.min.z
+    }
+
+    /// Smallest box containing both.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+    }
+
+    /// Closest point of the box to `p` (equals `p` when `p` is inside).
+    pub fn clamp_point(&self, p: Vec3) -> Vec3 {
+        p.max(self.min).min(self.max)
+    }
+
+    /// Map a point in the box to normalized `[0,1]^3` coordinates.
+    pub fn to_unit(&self, p: Vec3) -> Vec3 {
+        (p - self.min).div_elem(self.size())
+    }
+
+    /// Map normalized `[0,1]^3` coordinates back into the box.
+    pub fn from_unit(&self, u: Vec3) -> Vec3 {
+        self.min + u.mul_elem(self.size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_orders_corners() {
+        let b = Aabb::new(Vec3::new(1.0, -1.0, 5.0), Vec3::new(0.0, 2.0, 4.0));
+        assert_eq!(b.min, Vec3::new(0.0, -1.0, 4.0));
+        assert_eq!(b.max, Vec3::new(1.0, 2.0, 5.0));
+    }
+
+    #[test]
+    fn contains_boundary_inclusive() {
+        let b = Aabb::unit();
+        assert!(b.contains(Vec3::ZERO));
+        assert!(b.contains(Vec3::splat(1.0)));
+        assert!(b.contains(Vec3::splat(0.5)));
+        assert!(!b.contains(Vec3::new(1.0 + 1e-12, 0.5, 0.5)));
+    }
+
+    #[test]
+    fn contains_eps_expands() {
+        let b = Aabb::unit();
+        assert!(b.contains_eps(Vec3::new(1.0 + 1e-9, 0.5, 0.5), 1e-8));
+        assert!(!b.contains_eps(Vec3::new(1.1, 0.5, 0.5), 1e-8));
+    }
+
+    #[test]
+    fn volume_and_center() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(2.0, 3.0, 4.0));
+        assert_eq!(b.volume(), 24.0);
+        assert_eq!(b.center(), Vec3::new(1.0, 1.5, 2.0));
+    }
+
+    #[test]
+    fn intersects_shared_face() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        let b = Aabb::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(2.0, 1.0, 1.0));
+        let c = Aabb::new(Vec3::new(1.5, 0.0, 0.0), Vec3::new(2.0, 1.0, 1.0));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        let b = Aabb::new(Vec3::splat(2.0), Vec3::splat(3.0));
+        let u = a.union(&b);
+        assert!(u.contains(Vec3::splat(0.5)));
+        assert!(u.contains(Vec3::splat(2.5)));
+    }
+
+    #[test]
+    fn clamp_point_inside_is_identity() {
+        let b = Aabb::unit();
+        let p = Vec3::splat(0.25);
+        assert_eq!(b.clamp_point(p), p);
+        assert_eq!(b.clamp_point(Vec3::new(2.0, -1.0, 0.5)), Vec3::new(1.0, 0.0, 0.5));
+    }
+
+    #[test]
+    fn unit_coordinate_roundtrip() {
+        let b = Aabb::new(Vec3::new(-1.0, 2.0, 0.0), Vec3::new(3.0, 6.0, 8.0));
+        let p = Vec3::new(1.0, 3.0, 2.0);
+        let u = b.to_unit(p);
+        assert_eq!(b.from_unit(u), p);
+        assert_eq!(b.to_unit(b.min), Vec3::ZERO);
+        assert_eq!(b.to_unit(b.max), Vec3::splat(1.0));
+    }
+}

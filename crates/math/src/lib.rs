@@ -1,0 +1,15 @@
+//! Small math substrate shared by every crate in the streamline workspace.
+//!
+//! Provides the 3-component vector type used for positions and field values,
+//! axis-aligned bounding boxes used for block extents, summary statistics used
+//! by the benchmark harness, and deterministic RNG streams so every experiment
+//! is reproducible bit-for-bit.
+
+pub mod aabb;
+pub mod float;
+pub mod rng;
+pub mod stats;
+pub mod vec3;
+
+pub use aabb::Aabb;
+pub use vec3::Vec3;

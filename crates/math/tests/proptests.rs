@@ -1,0 +1,90 @@
+//! Property-based tests for the math substrate.
+
+use proptest::prelude::*;
+use streamline_math::{Aabb, Vec3};
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (-1e3f64..1e3, -1e3f64..1e3, -1e3f64..1e3).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in vec3(), b in vec3()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn dot_bilinear(a in vec3(), b in vec3(), s in -100f64..100.0) {
+        let lhs = (a * s).dot(b);
+        let rhs = s * a.dot(b);
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn cross_is_orthogonal(a in vec3(), b in vec3()) {
+        let c = a.cross(b);
+        let scale = a.norm() * b.norm();
+        prop_assume!(scale > 1e-9);
+        prop_assert!(c.dot(a).abs() <= 1e-9 * scale * a.norm().max(1.0));
+        prop_assert!(c.dot(b).abs() <= 1e-9 * scale * b.norm().max(1.0));
+    }
+
+    #[test]
+    fn cauchy_schwarz(a in vec3(), b in vec3()) {
+        prop_assert!(a.dot(b).abs() <= a.norm() * b.norm() * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn triangle_inequality(a in vec3(), b in vec3()) {
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+    }
+
+    #[test]
+    fn normalized_is_unit(a in vec3()) {
+        prop_assume!(a.norm() > 1e-6);
+        let n = a.normalized().unwrap();
+        prop_assert!((n.norm() - 1.0).abs() < 1e-12);
+        // Same direction.
+        prop_assert!(n.dot(a) > 0.0);
+    }
+
+    #[test]
+    fn lerp_stays_on_segment(a in vec3(), b in vec3(), t in 0f64..1.0) {
+        let p = a.lerp(b, t);
+        // p - a and b - a are parallel.
+        let d = (p - a).cross(b - a).norm();
+        prop_assert!(d <= 1e-6 * (b - a).norm_sq().max(1.0));
+    }
+
+    #[test]
+    fn aabb_contains_its_samples(a in vec3(), b in vec3(), u in 0f64..1.0, v in 0f64..1.0, w in 0f64..1.0) {
+        let bb = Aabb::new(a, b);
+        let p = bb.from_unit(Vec3::new(u, v, w));
+        prop_assert!(bb.contains_eps(p, 1e-9 * bb.size().max_abs_component().max(1.0)));
+    }
+
+    #[test]
+    fn aabb_clamp_is_inside_and_idempotent(a in vec3(), b in vec3(), p in vec3()) {
+        let bb = Aabb::new(a, b);
+        let q = bb.clamp_point(p);
+        prop_assert!(bb.contains(q));
+        prop_assert_eq!(bb.clamp_point(q), q);
+    }
+
+    #[test]
+    fn aabb_union_contains_both(a in vec3(), b in vec3(), c in vec3(), d in vec3()) {
+        let x = Aabb::new(a, b);
+        let y = Aabb::new(c, d);
+        let u = x.union(&y);
+        prop_assert!(u.contains(x.min) && u.contains(x.max));
+        prop_assert!(u.contains(y.min) && u.contains(y.max));
+    }
+
+    #[test]
+    fn expanded_monotone(a in vec3(), b in vec3(), d in 0f64..10.0, p in vec3()) {
+        let bb = Aabb::new(a, b);
+        if bb.contains(p) {
+            prop_assert!(bb.expanded(d).contains(p));
+        }
+    }
+}

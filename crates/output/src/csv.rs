@@ -1,0 +1,64 @@
+//! Per-streamline summary tables (CSV) for analysis scripts.
+
+use std::io::{self, Write};
+use streamline_integrate::{Streamline, StreamlineStatus};
+
+/// One row per streamline: id, seed, final position, steps, arc length,
+/// integration time, termination reason.
+pub fn write_summary<W: Write>(mut w: W, streamlines: &[Streamline]) -> io::Result<()> {
+    writeln!(
+        w,
+        "id,seed_x,seed_y,seed_z,end_x,end_y,end_z,steps,arc_length,time,status"
+    )?;
+    for s in streamlines {
+        let status = match s.status {
+            StreamlineStatus::Active => "active".to_string(),
+            StreamlineStatus::Terminated(t) => format!("{t:?}"),
+        };
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{},{},{},{}",
+            s.id.0,
+            s.seed.x,
+            s.seed.y,
+            s.seed.z,
+            s.state.position.x,
+            s.state.position.y,
+            s.state.position.z,
+            s.state.steps,
+            s.state.arc_length,
+            s.state.time,
+            status,
+        )?;
+    }
+    Ok(())
+}
+
+/// Convenience: write to a file path.
+pub fn write_summary_file(path: &std::path::Path, streamlines: &[Streamline]) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_summary(io::BufWriter::new(f), streamlines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamline_integrate::{StreamlineId, Termination};
+    use streamline_math::Vec3;
+
+    #[test]
+    fn rows_match_streamlines() {
+        let mut a = Streamline::new(StreamlineId(3), Vec3::new(1.0, 2.0, 3.0), 0.01);
+        a.push_step(Vec3::new(2.0, 2.0, 3.0), 0.5);
+        a.terminate(Termination::ExitedDomain);
+        let b = Streamline::new(StreamlineId(4), Vec3::ZERO, 0.01);
+        let mut buf = Vec::new();
+        write_summary(&mut buf, &[a, b]).unwrap();
+        let out = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("id,seed_x"));
+        assert!(lines[1].starts_with("3,1,2,3,2,2,3,1,1,0.5,ExitedDomain"));
+        assert!(lines[2].ends_with("active"));
+    }
+}

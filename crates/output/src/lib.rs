@@ -1,0 +1,16 @@
+//! Output writers for computed streamlines — the visualization products.
+//!
+//! The paper's system lives inside VisIt, where the curves feed the
+//! rendering pipeline directly; a standalone library needs file outputs:
+//!
+//! * [`vtk`] — legacy ASCII VTK `POLYDATA` polylines (loads in
+//!   VisIt/ParaView), with per-vertex integration time and arc length,
+//! * [`obj`] — Wavefront OBJ line elements for mesh tooling,
+//! * [`ppm`] — a dependency-free rasterizer producing PPM images of curve
+//!   projections (quick visual checks without a viz tool),
+//! * [`csv`] — per-streamline summary tables for analysis scripts.
+
+pub mod csv;
+pub mod obj;
+pub mod ppm;
+pub mod vtk;

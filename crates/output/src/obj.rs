@@ -1,0 +1,74 @@
+//! Wavefront OBJ writer: streamlines as `l` (line) elements, one object per
+//! curve — convenient for mesh/DCC tooling.
+
+use std::io::{self, Write};
+use streamline_integrate::Streamline;
+
+/// Write streamlines as OBJ line elements.
+pub fn write_lines<W: Write>(mut w: W, streamlines: &[Streamline]) -> io::Result<()> {
+    writeln!(w, "# streamline-repro OBJ export: {} curves", streamlines.len())?;
+    let mut base = 1usize; // OBJ indices are 1-based
+    for s in streamlines {
+        writeln!(w, "o streamline_{}", s.id.0)?;
+        for p in &s.geometry {
+            writeln!(w, "v {} {} {}", p.x, p.y, p.z)?;
+        }
+        if s.geometry.len() >= 2 {
+            write!(w, "l")?;
+            for i in 0..s.geometry.len() {
+                write!(w, " {}", base + i)?;
+            }
+            writeln!(w)?;
+        }
+        base += s.geometry.len();
+    }
+    Ok(())
+}
+
+/// Convenience: write to a file path.
+pub fn write_lines_file(path: &std::path::Path, streamlines: &[Streamline]) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_lines(io::BufWriter::new(f), streamlines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamline_integrate::StreamlineId;
+    use streamline_math::Vec3;
+
+    fn curve(id: u32, n: usize) -> Streamline {
+        let mut s = Streamline::new(StreamlineId(id), Vec3::splat(id as f64), 0.01);
+        for i in 1..n {
+            s.push_step(Vec3::new(i as f64, id as f64, 0.0), 0.1);
+        }
+        s
+    }
+
+    fn render(streams: &[Streamline]) -> String {
+        let mut buf = Vec::new();
+        write_lines(&mut buf, streams).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn one_object_per_curve_with_one_based_indices() {
+        let out = render(&[curve(0, 2), curve(1, 3)]);
+        assert!(out.contains("o streamline_0"));
+        assert!(out.contains("o streamline_1"));
+        assert!(out.contains("l 1 2"));
+        assert!(out.contains("l 3 4 5"));
+    }
+
+    #[test]
+    fn vertex_count_matches() {
+        let out = render(&[curve(0, 4)]);
+        assert_eq!(out.matches("\nv ").count(), 4);
+    }
+
+    #[test]
+    fn single_point_curve_has_no_line_element() {
+        let out = render(&[curve(0, 1)]);
+        assert!(!out.contains("\nl "));
+    }
+}

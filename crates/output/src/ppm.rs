@@ -1,0 +1,208 @@
+//! A dependency-free rasterizer: project streamlines onto an axis-aligned
+//! plane and write a binary PPM image — instant visual checks without a
+//! visualization tool.
+
+use std::io::{self, Write};
+use streamline_integrate::Streamline;
+use streamline_math::Vec3;
+
+/// Which axis to drop when projecting 3D points to the image plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Projection {
+    /// Image is (y, z).
+    DropX,
+    /// Image is (x, z).
+    DropY,
+    /// Image is (x, y).
+    DropZ,
+}
+
+impl Projection {
+    fn project(self, p: Vec3) -> (f64, f64) {
+        match self {
+            Projection::DropX => (p.y, p.z),
+            Projection::DropY => (p.x, p.z),
+            Projection::DropZ => (p.x, p.y),
+        }
+    }
+}
+
+/// An RGB image buffer.
+pub struct Canvas {
+    pub width: usize,
+    pub height: usize,
+    /// Row-major RGB bytes, top row first.
+    pub pixels: Vec<[u8; 3]>,
+    min: (f64, f64),
+    max: (f64, f64),
+    projection: Projection,
+}
+
+impl Canvas {
+    /// A black canvas mapping the world rectangle `[min, max]` (in projected
+    /// coordinates) to the full image.
+    pub fn new(
+        width: usize,
+        height: usize,
+        min: (f64, f64),
+        max: (f64, f64),
+        projection: Projection,
+    ) -> Self {
+        assert!(width >= 2 && height >= 2);
+        assert!(max.0 > min.0 && max.1 > min.1);
+        Canvas { width, height, pixels: vec![[0, 0, 0]; width * height], min, max, projection }
+    }
+
+    fn to_pixel(&self, p: Vec3) -> Option<(usize, usize)> {
+        let (u, v) = self.projection.project(p);
+        let x = (u - self.min.0) / (self.max.0 - self.min.0);
+        let y = (v - self.min.1) / (self.max.1 - self.min.1);
+        if !(0.0..=1.0).contains(&x) || !(0.0..=1.0).contains(&y) {
+            return None;
+        }
+        let px = (x * (self.width - 1) as f64).round() as usize;
+        // Image origin is top-left; world origin bottom-left.
+        let py = self.height - 1 - (y * (self.height - 1) as f64).round() as usize;
+        Some((px, py))
+    }
+
+    /// Set one pixel (no-op off-canvas).
+    pub fn plot(&mut self, p: Vec3, rgb: [u8; 3]) {
+        if let Some((x, y)) = self.to_pixel(p) {
+            self.pixels[y * self.width + x] = rgb;
+        }
+    }
+
+    /// Draw a world-space segment with naive DDA stepping.
+    pub fn segment(&mut self, a: Vec3, b: Vec3, rgb: [u8; 3]) {
+        let steps = ((self.width.max(self.height)) as f64
+            * self.projection_span(a, b))
+        .ceil()
+        .max(1.0) as usize;
+        for i in 0..=steps {
+            self.plot(a.lerp(b, i as f64 / steps as f64), rgb);
+        }
+    }
+
+    fn projection_span(&self, a: Vec3, b: Vec3) -> f64 {
+        let (ax, ay) = self.projection.project(a);
+        let (bx, by) = self.projection.project(b);
+        let dx = (bx - ax).abs() / (self.max.0 - self.min.0);
+        let dy = (by - ay).abs() / (self.max.1 - self.min.1);
+        dx.max(dy)
+    }
+
+    /// Draw a full streamline's recorded geometry.
+    pub fn draw_streamline(&mut self, s: &Streamline, rgb: [u8; 3]) {
+        for w in s.geometry.windows(2) {
+            self.segment(w[0], w[1], rgb);
+        }
+        if s.geometry.len() == 1 {
+            self.plot(s.geometry[0], rgb);
+        }
+    }
+
+    /// Count pixels that are not black (test/diagnostic helper).
+    pub fn lit_pixels(&self) -> usize {
+        self.pixels.iter().filter(|p| p.iter().any(|&c| c > 0)).count()
+    }
+
+    /// Write a binary PPM (P6).
+    pub fn write_ppm<W: Write>(&self, mut w: W) -> io::Result<()> {
+        write!(w, "P6\n{} {}\n255\n", self.width, self.height)?;
+        for px in &self.pixels {
+            w.write_all(px)?;
+        }
+        Ok(())
+    }
+
+    /// Convenience: write to a file path.
+    pub fn write_ppm_file(&self, path: &std::path::Path) -> io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        self.write_ppm(io::BufWriter::new(f))
+    }
+}
+
+/// Map an index to a distinguishable color (golden-angle hue walk).
+pub fn palette(i: usize) -> [u8; 3] {
+    let h = (i as f64 * 0.618_033_988_75).fract() * 6.0;
+    let sector = h.floor() as usize % 6;
+    let f = (h - h.floor()) * 255.0;
+    let (r, g, b) = match sector {
+        0 => (255.0, f, 40.0),
+        1 => (255.0 - f, 255.0, 40.0),
+        2 => (40.0, 255.0, f),
+        3 => (40.0, 255.0 - f, 255.0),
+        4 => (f, 40.0, 255.0),
+        _ => (255.0, 40.0, 255.0 - f),
+    };
+    [r as u8, g as u8, b as u8]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamline_integrate::StreamlineId;
+
+    fn canvas() -> Canvas {
+        Canvas::new(32, 16, (0.0, 0.0), (2.0, 1.0), Projection::DropZ)
+    }
+
+    #[test]
+    fn plot_maps_corners() {
+        let mut c = canvas();
+        c.plot(Vec3::new(0.0, 0.0, 0.7), [255, 0, 0]); // bottom-left
+        c.plot(Vec3::new(2.0, 1.0, 0.0), [0, 255, 0]); // top-right
+        assert_eq!(c.pixels[(16 - 1) * 32], [255, 0, 0]);
+        assert_eq!(c.pixels[31], [0, 255, 0]);
+    }
+
+    #[test]
+    fn off_canvas_is_ignored() {
+        let mut c = canvas();
+        c.plot(Vec3::new(-1.0, 0.5, 0.0), [9, 9, 9]);
+        c.plot(Vec3::new(3.0, 0.5, 0.0), [9, 9, 9]);
+        assert_eq!(c.lit_pixels(), 0);
+    }
+
+    #[test]
+    fn segment_is_continuous() {
+        let mut c = canvas();
+        c.segment(Vec3::new(0.0, 0.0, 0.0), Vec3::new(2.0, 1.0, 0.0), [255, 255, 255]);
+        // A diagonal across a 32x16 canvas lights at least 32 pixels.
+        assert!(c.lit_pixels() >= 32, "{}", c.lit_pixels());
+    }
+
+    #[test]
+    fn streamline_drawing_lights_pixels() {
+        let mut s = Streamline::new(StreamlineId(0), Vec3::new(0.1, 0.1, 0.0), 0.01);
+        for i in 1..20 {
+            s.push_step(Vec3::new(0.1 + i as f64 * 0.09, 0.5, 0.0), 0.1);
+        }
+        let mut c = canvas();
+        c.draw_streamline(&s, [10, 200, 10]);
+        assert!(c.lit_pixels() > 10);
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let c = canvas();
+        let mut buf = Vec::new();
+        c.write_ppm(&mut buf).unwrap();
+        assert!(buf.starts_with(b"P6\n32 16\n255\n"));
+        assert_eq!(buf.len(), b"P6\n32 16\n255\n".len() + 32 * 16 * 3);
+    }
+
+    #[test]
+    fn palette_colors_differ() {
+        let set: std::collections::HashSet<[u8; 3]> = (0..16).map(palette).collect();
+        assert!(set.len() >= 14, "palette collapses: {} distinct", set.len());
+    }
+
+    #[test]
+    fn projections_drop_the_right_axis() {
+        assert_eq!(Projection::DropX.project(Vec3::new(1.0, 2.0, 3.0)), (2.0, 3.0));
+        assert_eq!(Projection::DropY.project(Vec3::new(1.0, 2.0, 3.0)), (1.0, 3.0));
+        assert_eq!(Projection::DropZ.project(Vec3::new(1.0, 2.0, 3.0)), (1.0, 2.0));
+    }
+}

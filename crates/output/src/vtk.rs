@@ -1,0 +1,108 @@
+//! Legacy ASCII VTK `POLYDATA` writer: one polyline per streamline, with
+//! per-vertex scalar attributes (integration time proxy and cumulative
+//! vertex index), loadable in VisIt and ParaView.
+
+use std::io::{self, Write};
+use streamline_integrate::Streamline;
+
+/// Write streamlines (with recorded geometry) as VTK polylines.
+///
+/// Streamlines built with `new_lean` carry only their seed; they are written
+/// as single-point lines — prefer recorded geometry for visualization runs.
+pub fn write_polylines<W: Write>(mut w: W, streamlines: &[Streamline]) -> io::Result<()> {
+    let total_points: usize = streamlines.iter().map(|s| s.geometry.len()).sum();
+    writeln!(w, "# vtk DataFile Version 3.0")?;
+    writeln!(w, "streamlines (streamline-repro)")?;
+    writeln!(w, "ASCII")?;
+    writeln!(w, "DATASET POLYDATA")?;
+    writeln!(w, "POINTS {total_points} double")?;
+    for s in streamlines {
+        for p in &s.geometry {
+            writeln!(w, "{} {} {}", p.x, p.y, p.z)?;
+        }
+    }
+    let n_lines = streamlines.len();
+    let size: usize = streamlines.iter().map(|s| s.geometry.len() + 1).sum();
+    writeln!(w, "LINES {n_lines} {size}")?;
+    let mut offset = 0usize;
+    for s in streamlines {
+        write!(w, "{}", s.geometry.len())?;
+        for i in 0..s.geometry.len() {
+            write!(w, " {}", offset + i)?;
+        }
+        writeln!(w)?;
+        offset += s.geometry.len();
+    }
+    // Per-vertex attributes: owning streamline id (for coloring by curve).
+    writeln!(w, "POINT_DATA {total_points}")?;
+    writeln!(w, "SCALARS streamline_id int 1")?;
+    writeln!(w, "LOOKUP_TABLE default")?;
+    for s in streamlines {
+        for _ in &s.geometry {
+            writeln!(w, "{}", s.id.0)?;
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: write to a file path.
+pub fn write_polylines_file(
+    path: &std::path::Path,
+    streamlines: &[Streamline],
+) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_polylines(io::BufWriter::new(f), streamlines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamline_integrate::StreamlineId;
+    use streamline_math::Vec3;
+
+    fn curve(id: u32, n: usize) -> Streamline {
+        let mut s = Streamline::new(StreamlineId(id), Vec3::ZERO, 0.01);
+        for i in 1..n {
+            s.push_step(Vec3::new(i as f64, 0.5 * i as f64, 0.0), 0.1);
+        }
+        s
+    }
+
+    fn render(streams: &[Streamline]) -> String {
+        let mut buf = Vec::new();
+        write_polylines(&mut buf, streams).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn header_and_counts() {
+        let out = render(&[curve(0, 3), curve(1, 2)]);
+        assert!(out.starts_with("# vtk DataFile Version 3.0"));
+        assert!(out.contains("POINTS 5 double"));
+        assert!(out.contains("LINES 2 7")); // (3+1) + (2+1)
+        assert!(out.contains("POINT_DATA 5"));
+    }
+
+    #[test]
+    fn connectivity_offsets_are_global() {
+        let out = render(&[curve(0, 3), curve(1, 2)]);
+        let lines: Vec<&str> = out.lines().collect();
+        let idx = lines.iter().position(|l| l.starts_with("LINES")).unwrap();
+        assert_eq!(lines[idx + 1], "3 0 1 2");
+        assert_eq!(lines[idx + 2], "2 3 4");
+    }
+
+    #[test]
+    fn ids_written_per_vertex() {
+        let out = render(&[curve(7, 2)]);
+        let tail: Vec<&str> = out.lines().rev().take(2).collect();
+        assert_eq!(tail, vec!["7", "7"]);
+    }
+
+    #[test]
+    fn empty_set_is_valid_vtk() {
+        let out = render(&[]);
+        assert!(out.contains("POINTS 0 double"));
+        assert!(out.contains("LINES 0 0"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Finite-time Lyapunov exponent fields — the Lagrangian-analysis workload
+//! of §2.1 ("the notions of Finite-Time Lyapunov Exponents and Lagrangian
+//! Coherent Structures ... can require many thousands to millions of
+//! streamlines ... built on observing the separation between closely
+//! neighboring particles").
+//!
+//! A regular grid of particles is advected over a finite horizon; the FTLE
+//! is the growth rate of the largest singular value of the flow-map
+//! gradient, estimated by central differences on the grid.
+
+use serde::{Deserialize, Serialize};
+use streamline_field::unsteady::UnsteadyField;
+use streamline_integrate::tracer::StepLimits;
+use streamline_integrate::unsteady::advect_pathline;
+use streamline_integrate::{Streamline, StreamlineId};
+use streamline_math::Vec3;
+
+/// A scalar FTLE field on a 2D slice (fixed z).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FtleField {
+    pub nx: usize,
+    pub ny: usize,
+    pub min: [f64; 2],
+    pub max: [f64; 2],
+    /// Row-major (x fastest), length `nx * ny`. NaN at boundary points
+    /// where the gradient stencil is incomplete.
+    pub values: Vec<f64>,
+}
+
+impl FtleField {
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[j * self.nx + i]
+    }
+
+    /// Maximum finite value (the LCS ridge strength).
+    pub fn max_value(&self) -> f64 {
+        self.values.iter().copied().filter(|v| v.is_finite()).fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Advect one particle of the flow map from `t0` over `horizon`.
+fn flow_map_endpoint(
+    field: &dyn UnsteadyField,
+    p: Vec3,
+    t0: f64,
+    horizon: f64,
+    limits: &StepLimits,
+) -> Vec3 {
+    let sample = |q: Vec3, t: f64| Some(field.eval(q, t));
+    let region = |_q: Vec3, _t: f64| true;
+    let mut sl = Streamline::new_lean(StreamlineId(0), p, limits.h0);
+    sl.state.time = t0;
+    advect_pathline(&mut sl, &sample, &region, t0 + horizon, limits);
+    sl.state.position
+}
+
+/// Compute the FTLE on an `nx × ny` grid over `[min, max]` at height `z`,
+/// integrating from `t0` over `horizon` (negative horizons give the
+/// attracting-structure field; this computes the repelling one).
+///
+/// ```
+/// use streamline_field::analytic::Saddle;
+/// use streamline_field::unsteady::Steady;
+/// use streamline_integrate::StepLimits;
+/// use streamline_pathline::ftle::ftle_grid;
+///
+/// // For v = (λx, −λy) the FTLE equals λ everywhere.
+/// let field = Steady { inner: Saddle { lambda: 0.5 }, duration: 4.0 };
+/// let limits = StepLimits { h_max: 0.05, max_steps: 100_000, ..Default::default() };
+/// let f = ftle_grid(&field, [-1.0, -1.0], [1.0, 1.0], 0.0, 5, 5, 0.0, 2.0, &limits);
+/// assert!((f.get(2, 2) - 0.5).abs() < 1e-3);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn ftle_grid(
+    field: &dyn UnsteadyField,
+    min: [f64; 2],
+    max: [f64; 2],
+    z: f64,
+    nx: usize,
+    ny: usize,
+    t0: f64,
+    horizon: f64,
+    limits: &StepLimits,
+) -> FtleField {
+    assert!(nx >= 3 && ny >= 3, "need at least a 3x3 grid for gradients");
+    assert!(horizon > 0.0, "horizon must be positive");
+    let dx = (max[0] - min[0]) / (nx - 1) as f64;
+    let dy = (max[1] - min[1]) / (ny - 1) as f64;
+
+    // Flow-map endpoints for every grid point — embarrassingly parallel
+    // (the "many thousands to millions of streamlines" workload).
+    use rayon::prelude::*;
+    let endpoints: Vec<Vec3> = (0..nx * ny)
+        .into_par_iter()
+        .map(|idx| {
+            let (i, j) = (idx % nx, idx / nx);
+            let p = Vec3::new(min[0] + i as f64 * dx, min[1] + j as f64 * dy, z);
+            flow_map_endpoint(field, p, t0, horizon, limits)
+        })
+        .collect();
+
+    // Central-difference gradient of the in-plane flow map; largest
+    // eigenvalue of the right Cauchy–Green tensor C = FᵀF.
+    let mut values = vec![f64::NAN; nx * ny];
+    for j in 1..ny - 1 {
+        for i in 1..nx - 1 {
+            let xp = endpoints[j * nx + i + 1];
+            let xm = endpoints[j * nx + i - 1];
+            let yp = endpoints[(j + 1) * nx + i];
+            let ym = endpoints[(j - 1) * nx + i];
+            // F = [[a, b], [c, d]] for the (x, y) components.
+            let a = (xp.x - xm.x) / (2.0 * dx);
+            let c = (xp.y - xm.y) / (2.0 * dx);
+            let b = (yp.x - ym.x) / (2.0 * dy);
+            let d = (yp.y - ym.y) / (2.0 * dy);
+            // C = FᵀF is symmetric 2x2.
+            let c11 = a * a + c * c;
+            let c12 = a * b + c * d;
+            let c22 = b * b + d * d;
+            let mean = 0.5 * (c11 + c22);
+            let disc = (0.5 * (c11 - c22)).powi(2) + c12 * c12;
+            let lambda_max = mean + disc.sqrt();
+            values[j * nx + i] = lambda_max.max(1e-300).sqrt().ln() / horizon.abs();
+        }
+    }
+    FtleField { nx, ny, min, max, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamline_field::analytic::{Saddle, Uniform};
+    use streamline_field::unsteady::{Steady, UnsteadyDoubleGyre};
+
+    fn limits() -> StepLimits {
+        StepLimits { h0: 1e-2, h_max: 0.05, max_steps: 100_000, ..Default::default() }
+    }
+
+    #[test]
+    fn uniform_field_has_zero_ftle() {
+        let f = Steady { inner: Uniform(Vec3::new(1.0, 0.5, 0.0)), duration: 10.0 };
+        let ftle = ftle_grid(&f, [0.0, 0.0], [1.0, 1.0], 0.0, 5, 5, 0.0, 2.0, &limits());
+        for j in 1..4 {
+            for i in 1..4 {
+                assert!(ftle.get(i, j).abs() < 1e-6, "ftle = {}", ftle.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn saddle_ftle_equals_lambda() {
+        // For v = (λx, −λy) the flow map is exactly exponential and the
+        // FTLE equals λ everywhere, for any horizon.
+        let lambda = 0.7;
+        let f = Steady { inner: Saddle { lambda }, duration: 10.0 };
+        let ftle = ftle_grid(&f, [-1.0, -1.0], [1.0, 1.0], 0.0, 7, 7, 0.0, 2.0, &limits());
+        for j in 1..6 {
+            for i in 1..6 {
+                assert!(
+                    (ftle.get(i, j) - lambda).abs() < 1e-3,
+                    "ftle = {} at ({i},{j})",
+                    ftle.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_gyre_has_positive_ridges() {
+        let g = UnsteadyDoubleGyre::standard();
+        let ftle =
+            ftle_grid(&g, [0.05, 0.05], [1.95, 0.95], 0.0, 24, 12, 0.0, 10.0, &limits());
+        let max = ftle.max_value();
+        assert!(max > 0.15, "ridge strength {max} too weak for the double gyre");
+        // The field is not uniformly large: ridges are localized.
+        let finite: Vec<f64> =
+            ftle.values.iter().copied().filter(|v| v.is_finite()).collect();
+        let mean = finite.iter().sum::<f64>() / finite.len() as f64;
+        assert!(max > 2.0 * mean.abs().max(0.02), "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "3x3")]
+    fn tiny_grid_rejected() {
+        let f = Steady { inner: Uniform(Vec3::X), duration: 1.0 };
+        let _ = ftle_grid(&f, [0.0, 0.0], [1.0, 1.0], 0.0, 2, 5, 0.0, 1.0, &limits());
+    }
+}

@@ -1,0 +1,29 @@
+//! Pathlines over space-time-decomposed data — the §8 future-work direction.
+//!
+//! "Our current study examines in detail the performance of streamline
+//! computation ... The same considerations also apply to pathlines, which
+//! depend on considerably larger amounts of data ... computing pathlines
+//! leads to many small reads that can often overwhelm the file system ...
+//! We intend to explore reading a block from disk only once."
+//!
+//! This crate provides:
+//!
+//! * [`store::SpaceTimeStore`] — block payloads per (spatial block,
+//!   snapshot) pair, sampled from a [`streamline_field::unsteady`] field,
+//! * [`sampler::PairSampler`] — space-time interpolation from a resident
+//!   pair of snapshot blocks (trilinear in space, linear in time),
+//! * [`runner`] — the two I/O strategies §8 contrasts: naive on-demand
+//!   loading (the "many small reads" regime) and the read-each-block-once
+//!   time sweep, which produce *identical trajectories* but very different
+//!   read counts,
+//! * [`ftle`] — finite-time Lyapunov exponent fields (§2.1's Lagrangian
+//!   analysis workload, "many thousands to millions of streamlines").
+
+pub mod ftle;
+pub mod runner;
+pub mod sampler;
+pub mod store;
+
+pub use runner::{run_on_demand, run_time_sweep, PathlineConfig, PathlineOutcome, ReadStats};
+pub use sampler::PairSampler;
+pub use store::SpaceTimeStore;

@@ -1,0 +1,364 @@
+//! The two pathline I/O strategies §8 contrasts.
+//!
+//! * [`run_on_demand`] — each worker loads whichever space-time block pair
+//!   its particles need next into a bounded LRU cache. This is the regime
+//!   the paper observed: "computing pathlines leads to many small reads
+//!   that can often overwhelm the file system".
+//! * [`run_time_sweep`] — advance global time one snapshot interval at a
+//!   time, loading every needed block exactly once per snapshot ("reading a
+//!   block from disk only once") at the price of lock-step progress.
+//!
+//! Both produce *identical trajectories*; only the read pattern differs.
+
+use crate::sampler::PairSampler;
+use crate::store::SpaceTimeStore;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use streamline_field::block::Block;
+use streamline_field::timedecomp::{SpaceTimeBlockId, TimeBlockDecomposition};
+use streamline_field::unsteady::UnsteadyField;
+use streamline_integrate::tracer::{AdvectOutcome, StepLimits};
+use streamline_integrate::unsteady::advect_pathline;
+use streamline_integrate::{Streamline, StreamlineId, Termination};
+use streamline_iosim::DiskModel;
+use streamline_math::Vec3;
+
+/// Limits and cost model for a pathline run.
+#[derive(Clone, Copy)]
+pub struct PathlineConfig {
+    pub limits: StepLimits,
+    /// LRU capacity (in space-time blocks) for the on-demand strategy.
+    pub cache_blocks: usize,
+    pub disk: DiskModel,
+}
+
+impl Default for PathlineConfig {
+    fn default() -> Self {
+        PathlineConfig {
+            limits: StepLimits::default(),
+            cache_blocks: 8,
+            disk: DiskModel::paper_scale(),
+        }
+    }
+}
+
+/// Read-pattern accounting — the §8 comparison metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReadStats {
+    /// Block reads issued.
+    pub loads: u64,
+    /// Reads that re-fetched a block already read earlier in the run.
+    pub redundant_loads: u64,
+    /// Charged I/O time (loads × block load time).
+    pub io_time: f64,
+}
+
+/// The completed run.
+pub struct PathlineOutcome {
+    /// All pathlines, sorted by id, each terminated.
+    pub pathlines: Vec<Streamline>,
+    pub reads: ReadStats,
+}
+
+/// Advance one particle as far as its resident pair allows.
+/// `resident` must yield the pair's blocks if available.
+fn advance_particle(
+    decomp: &TimeBlockDecomposition,
+    sl: &mut Streamline,
+    resident: &dyn Fn(SpaceTimeBlockId) -> Option<Arc<Block>>,
+    limits: &StepLimits,
+) -> Option<SpaceTimeBlockId> {
+    loop {
+        let Some([lo, hi]) = decomp.blocks_needed(sl.state.position, sl.state.time) else {
+            sl.terminate(Termination::ExitedDomain);
+            return None;
+        };
+        if sl.state.time >= decomp.t_end - 1e-12 {
+            sl.terminate(Termination::MaxTime);
+            return None;
+        }
+        let (Some(a), Some(b)) = (resident(lo), resident(hi)) else {
+            // Parked: the caller must load `lo`/`hi`.
+            return Some(lo);
+        };
+        let t_lo = decomp.time_of(lo.step);
+        let t_hi = decomp.time_of(hi.step);
+        let pair = PairSampler::new(a, b, t_lo, t_hi);
+        let bounds = decomp.space.block_bounds(lo.space);
+        let sample = |p: Vec3, t: f64| pair.sample(p, t);
+        let region = move |p: Vec3, t: f64| bounds.contains(p) && t < t_hi;
+        match advect_pathline(sl, &sample, &region, decomp.t_end, limits).outcome {
+            AdvectOutcome::Terminated(_) => return None,
+            AdvectOutcome::LeftRegion => continue, // re-derive the pair
+        }
+    }
+}
+
+/// Naive per-particle on-demand loading with a bounded LRU cache.
+pub fn run_on_demand<U: UnsteadyField + Clone + 'static>(
+    store: &SpaceTimeStore<U>,
+    seeds: &[Vec3],
+    cfg: &PathlineConfig,
+) -> PathlineOutcome {
+    let decomp = *store.decomp();
+    let mut reads = ReadStats::default();
+    let mut ever_loaded: std::collections::HashSet<SpaceTimeBlockId> =
+        std::collections::HashSet::new();
+    // Tiny local LRU over space-time ids.
+    let mut cache: Vec<(SpaceTimeBlockId, Arc<Block>, u64)> = Vec::new();
+    let mut tick = 0u64;
+
+    let mut parked: BTreeMap<SpaceTimeBlockId, Vec<Streamline>> = BTreeMap::new();
+    let mut finished: Vec<Streamline> = Vec::new();
+    for (i, &p) in seeds.iter().enumerate() {
+        let mut sl = Streamline::new_lean(StreamlineId(i as u32), p, cfg.limits.h0);
+        sl.state.time = decomp.t_start;
+        match decomp.blocks_needed(p, decomp.t_start) {
+            Some([lo, _]) => parked.entry(lo).or_default().push(sl),
+            None => {
+                sl.terminate(Termination::ExitedDomain);
+                finished.push(sl);
+            }
+        }
+    }
+
+    while !parked.is_empty() {
+        // Advance everything whose pair is resident.
+        loop {
+            tick += 1;
+            let ready = parked.keys().copied().find(|&lo| {
+                let hi = SpaceTimeBlockId { space: lo.space, step: lo.step + 1 };
+                cache.iter().any(|(k, _, _)| *k == lo) && cache.iter().any(|(k, _, _)| *k == hi)
+            });
+            let Some(key) = ready else { break };
+            let list = parked.remove(&key).expect("key just found");
+            for mut sl in list {
+                let next = {
+                    let lookup = |id: SpaceTimeBlockId| {
+                        cache.iter().find(|(k, _, _)| *k == id).map(|(_, b, _)| Arc::clone(b))
+                    };
+                    advance_particle(&decomp, &mut sl, &lookup, &cfg.limits)
+                };
+                match next {
+                    None => finished.push(sl),
+                    Some(lo) => parked.entry(lo).or_default().push(sl),
+                }
+            }
+        }
+        // Load the most-demanded missing block of the most-populated pair.
+        let Some((&lo, _)) =
+            parked.iter().max_by_key(|(k, v)| (v.len(), std::cmp::Reverse(k.space.0)))
+        else {
+            break;
+        };
+        let hi = SpaceTimeBlockId { space: lo.space, step: lo.step + 1 };
+        for id in [lo, hi] {
+            if cache.iter().any(|(k, _, _)| *k == id) {
+                continue;
+            }
+            let block = store.load(id);
+            reads.loads += 1;
+            reads.io_time += cfg.disk.block_load_time();
+            if !ever_loaded.insert(id) {
+                reads.redundant_loads += 1;
+            }
+            tick += 1;
+            if cache.len() >= cfg.cache_blocks {
+                // Evict least recently used.
+                let idx = cache
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (_, _, last))| *last)
+                    .map(|(i, _)| i)
+                    .expect("cache nonempty");
+                cache.swap_remove(idx);
+            }
+            cache.push((id, block, tick));
+        }
+        // Refresh recency of the pair we are about to use.
+        for entry in cache.iter_mut() {
+            if entry.0 == lo || entry.0 == hi {
+                entry.2 = tick;
+            }
+        }
+    }
+
+    finished.sort_by_key(|s| s.id);
+    PathlineOutcome { pathlines: finished, reads }
+}
+
+/// The §8 proposal: sweep time forward one snapshot interval at a time,
+/// reading each needed block exactly once.
+pub fn run_time_sweep<U: UnsteadyField + Clone + 'static>(
+    store: &SpaceTimeStore<U>,
+    seeds: &[Vec3],
+    cfg: &PathlineConfig,
+) -> PathlineOutcome {
+    let decomp = *store.decomp();
+    let mut reads = ReadStats::default();
+    let mut resident: HashMap<SpaceTimeBlockId, Arc<Block>> = HashMap::new();
+    let mut finished: Vec<Streamline> = Vec::new();
+
+    // Particles waiting, keyed by the lo block of the pair they need.
+    let mut parked: BTreeMap<SpaceTimeBlockId, Vec<Streamline>> = BTreeMap::new();
+    for (i, &p) in seeds.iter().enumerate() {
+        let mut sl = Streamline::new_lean(StreamlineId(i as u32), p, cfg.limits.h0);
+        sl.state.time = decomp.t_start;
+        match decomp.blocks_needed(p, decomp.t_start) {
+            Some([lo, _]) => parked.entry(lo).or_default().push(sl),
+            None => {
+                sl.terminate(Termination::ExitedDomain);
+                finished.push(sl);
+            }
+        }
+    }
+
+    for k in 0..decomp.n_intervals() as u32 {
+        // Work this interval until every particle has left it.
+        while let Some((&lo, _)) = parked.iter().find(|(id, _)| id.step == k) {
+            let hi = SpaceTimeBlockId { space: lo.space, step: k + 1 };
+            for id in [lo, hi] {
+                if let std::collections::hash_map::Entry::Vacant(e) = resident.entry(id) {
+                    e.insert(store.load(id));
+                    reads.loads += 1;
+                    reads.io_time += cfg.disk.block_load_time();
+                }
+            }
+            let list = parked.remove(&lo).expect("key just found");
+            for mut sl in list {
+                let next = {
+                    let lookup = |id: SpaceTimeBlockId| resident.get(&id).map(Arc::clone);
+                    advance_particle(&decomp, &mut sl, &lookup, &cfg.limits)
+                };
+                match next {
+                    None => finished.push(sl),
+                    Some(next_lo) => parked.entry(next_lo).or_default().push(sl),
+                }
+            }
+        }
+        // Snapshot k is finished with; only k+1 blocks carry over.
+        resident.retain(|id, _| id.step > k);
+    }
+
+    finished.sort_by_key(|s| s.id);
+    PathlineOutcome { pathlines: finished, reads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamline_field::decomp::BlockDecomposition;
+    use streamline_field::unsteady::UnsteadyDoubleGyre;
+    use streamline_math::Aabb;
+
+    fn gyre_store(snapshots: usize) -> SpaceTimeStore<UnsteadyDoubleGyre> {
+        let space = BlockDecomposition::new(
+            Aabb::new(Vec3::ZERO, Vec3::new(2.0, 1.0, 0.25)),
+            [4, 2, 1],
+            [6, 6, 4],
+            1,
+        );
+        let field = UnsteadyDoubleGyre::standard();
+        SpaceTimeStore::new(
+            TimeBlockDecomposition::new(space, snapshots, 0.0, field.duration),
+            Arc::new(field),
+        )
+    }
+
+    fn seeds(n: usize) -> Vec<Vec3> {
+        (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                Vec3::new(0.2 + 1.6 * u, 0.3 + 0.4 * (u * 7.0).fract(), 0.12)
+            })
+            .collect()
+    }
+
+    fn cfg() -> PathlineConfig {
+        PathlineConfig {
+            limits: StepLimits { h0: 1e-2, h_max: 0.1, max_steps: 20_000, ..Default::default() },
+            cache_blocks: 4,
+            disk: DiskModel::paper_scale(),
+        }
+    }
+
+    #[test]
+    fn both_strategies_trace_identically() {
+        let store = gyre_store(11);
+        let s = seeds(24);
+        let a = run_on_demand(&store, &s, &cfg());
+        let b = run_time_sweep(&store, &s, &cfg());
+        assert_eq!(a.pathlines.len(), 24);
+        assert_eq!(b.pathlines.len(), 24);
+        for (x, y) in a.pathlines.iter().zip(b.pathlines.iter()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.state.position, y.state.position, "{:?}", x.id);
+            assert_eq!(x.state.steps, y.state.steps);
+            assert_eq!(x.status, y.status);
+        }
+    }
+
+    #[test]
+    fn time_sweep_never_rereads() {
+        let store = gyre_store(11);
+        let s = seeds(48);
+        let r = run_time_sweep(&store, &s, &cfg());
+        // Reads bounded by the full space-time block count.
+        assert!(r.reads.loads <= store.decomp().num_blocks() as u64);
+        assert_eq!(r.reads.redundant_loads, 0);
+    }
+
+    #[test]
+    fn on_demand_rereads_under_small_cache() {
+        let store = gyre_store(11);
+        let s = seeds(48);
+        let od = run_on_demand(&store, &s, &cfg());
+        let ts = run_time_sweep(&store, &s, &cfg());
+        assert!(
+            od.reads.loads > ts.reads.loads,
+            "on-demand {} loads vs sweep {} — the §8 motivation",
+            od.reads.loads,
+            ts.reads.loads
+        );
+        assert!(od.reads.redundant_loads > 0);
+    }
+
+    #[test]
+    fn pathlines_end_at_final_time_or_exit() {
+        let store = gyre_store(6);
+        let r = run_time_sweep(&store, &seeds(16), &cfg());
+        for sl in &r.pathlines {
+            match sl.status {
+                streamline_integrate::StreamlineStatus::Terminated(Termination::MaxTime) => {
+                    assert!((sl.state.time - 20.0).abs() < 1e-6);
+                }
+                streamline_integrate::StreamlineStatus::Terminated(t) => {
+                    assert!(
+                        matches!(t, Termination::ExitedDomain | Termination::ZeroVelocity),
+                        "unexpected {t:?}"
+                    );
+                }
+                _ => panic!("pathline still active"),
+            }
+        }
+    }
+
+    #[test]
+    fn gyre_particles_stay_in_box() {
+        // The double gyre's walls are impermeable: no particle may exit.
+        let store = gyre_store(11);
+        let r = run_time_sweep(&store, &seeds(16), &cfg());
+        let exited = r
+            .pathlines
+            .iter()
+            .filter(|s| {
+                s.status
+                    == streamline_integrate::StreamlineStatus::Terminated(
+                        Termination::ExitedDomain,
+                    )
+            })
+            .count();
+        assert_eq!(exited, 0, "impermeable walls breached");
+    }
+}

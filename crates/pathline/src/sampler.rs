@@ -1,0 +1,75 @@
+//! Space-time interpolation from a resident pair of snapshot blocks.
+
+use std::sync::Arc;
+use streamline_field::block::Block;
+use streamline_math::Vec3;
+
+/// Two snapshots of the same spatial block, bracketing a time interval:
+/// trilinear in space at both, linear in time between them.
+pub struct PairSampler {
+    pub lo: Arc<Block>,
+    pub hi: Arc<Block>,
+    pub t_lo: f64,
+    pub t_hi: f64,
+}
+
+impl PairSampler {
+    pub fn new(lo: Arc<Block>, hi: Arc<Block>, t_lo: f64, t_hi: f64) -> Self {
+        debug_assert_eq!(lo.id, hi.id, "pair must cover the same spatial block");
+        debug_assert!(t_hi > t_lo);
+        PairSampler { lo, hi, t_lo, t_hi }
+    }
+
+    /// Interpolated velocity at `(p, t)`; `None` outside the block lattice.
+    pub fn sample(&self, p: Vec3, t: f64) -> Option<Vec3> {
+        let a = self.lo.sample(p)?;
+        let b = self.hi.sample(p)?;
+        let w = ((t - self.t_lo) / (self.t_hi - self.t_lo)).clamp(0.0, 1.0);
+        Some(a.lerp(b, w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamline_field::block::BlockId;
+    use streamline_math::Aabb;
+
+    fn const_block(v: Vec3) -> Arc<Block> {
+        let mut b = Block::zeroed(
+            BlockId(0),
+            Aabb::unit(),
+            0,
+            [3, 3, 3],
+            Vec3::splat(0.5),
+        );
+        for s in b.data.iter_mut() {
+            *s = v.to_f32_array();
+        }
+        Arc::new(b)
+    }
+
+    #[test]
+    fn time_interpolation_is_linear() {
+        let s = PairSampler::new(const_block(Vec3::X), const_block(Vec3::Y), 2.0, 4.0);
+        let p = Vec3::splat(0.5);
+        assert!(s.sample(p, 2.0).unwrap().distance(Vec3::X) < 1e-6);
+        assert!(s.sample(p, 4.0).unwrap().distance(Vec3::Y) < 1e-6);
+        let mid = s.sample(p, 3.0).unwrap();
+        assert!(mid.distance(Vec3::new(0.5, 0.5, 0.0)) < 1e-6);
+    }
+
+    #[test]
+    fn clamps_time_outside_interval() {
+        let s = PairSampler::new(const_block(Vec3::X), const_block(Vec3::Y), 0.0, 1.0);
+        let p = Vec3::splat(0.5);
+        assert_eq!(s.sample(p, -5.0), s.sample(p, 0.0));
+        assert_eq!(s.sample(p, 9.0), s.sample(p, 1.0));
+    }
+
+    #[test]
+    fn outside_lattice_is_none() {
+        let s = PairSampler::new(const_block(Vec3::X), const_block(Vec3::Y), 0.0, 1.0);
+        assert!(s.sample(Vec3::splat(2.0), 0.5).is_none());
+    }
+}

@@ -1,0 +1,89 @@
+//! Block payloads for space-time blocks, sampled from an unsteady field's
+//! snapshot slices and memoized.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use streamline_field::block::Block;
+use streamline_field::sample::sample_block_nodes;
+use streamline_field::timedecomp::{SpaceTimeBlockId, TimeBlockDecomposition};
+use streamline_field::unsteady::{FrozenSlice, UnsteadyField};
+
+/// Memoizing source of space-time block payloads.
+pub struct SpaceTimeStore<U> {
+    decomp: TimeBlockDecomposition,
+    field: Arc<U>,
+    cache: Mutex<HashMap<SpaceTimeBlockId, Arc<Block>>>,
+}
+
+impl<U: UnsteadyField + Clone + 'static> SpaceTimeStore<U> {
+    pub fn new(decomp: TimeBlockDecomposition, field: Arc<U>) -> Self {
+        SpaceTimeStore { decomp, field, cache: Mutex::new(HashMap::new()) }
+    }
+
+    pub fn decomp(&self) -> &TimeBlockDecomposition {
+        &self.decomp
+    }
+
+    /// Load (or reuse) the payload of one space-time block.
+    pub fn load(&self, id: SpaceTimeBlockId) -> Arc<Block> {
+        if let Some(b) = self.cache.lock().get(&id) {
+            return Arc::clone(b);
+        }
+        let slice = FrozenSlice { field: (*self.field).clone(), t: self.decomp.time_of(id.step) };
+        let built = Arc::new(sample_block_nodes(&slice, &self.decomp.space, id.space));
+        let mut cache = self.cache.lock();
+        Arc::clone(cache.entry(id).or_insert(built))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamline_field::decomp::BlockDecomposition;
+    use streamline_field::unsteady::UnsteadyDoubleGyre;
+    use streamline_math::{Aabb, Vec3};
+
+    fn store() -> SpaceTimeStore<UnsteadyDoubleGyre> {
+        let space = BlockDecomposition::new(
+            Aabb::new(Vec3::ZERO, Vec3::new(2.0, 1.0, 0.5)),
+            [2, 2, 1],
+            [6, 6, 4],
+            1,
+        );
+        let field = UnsteadyDoubleGyre::standard();
+        SpaceTimeStore::new(TimeBlockDecomposition::new(space, 11, 0.0, 20.0), Arc::new(field))
+    }
+
+    #[test]
+    fn blocks_differ_between_snapshots() {
+        let s = store();
+        let space = s.decomp().space.id_of(0, 0, 0);
+        let a = s.load(SpaceTimeBlockId { space, step: 0 });
+        let b = s.load(SpaceTimeBlockId { space, step: 3 });
+        assert_ne!(a.data, b.data, "unsteady field must change between snapshots");
+        assert_eq!(a.bounds, b.bounds);
+    }
+
+    #[test]
+    fn memoizes_per_spacetime_id() {
+        let s = store();
+        let id = SpaceTimeBlockId { space: s.decomp().space.id_of(1, 0, 0), step: 2 };
+        let a = s.load(id);
+        let b = s.load(id);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn snapshot_block_matches_frozen_field() {
+        let s = store();
+        let space = s.decomp().space.id_of(0, 1, 0);
+        let step = 4u32;
+        let block = s.load(SpaceTimeBlockId { space, step });
+        let t = s.decomp().time_of(step);
+        let field = UnsteadyDoubleGyre::standard();
+        let p = block.bounds.center();
+        let sampled = block.sample(p).unwrap();
+        assert!(sampled.distance(field.eval(p, t)) < 1e-3);
+    }
+}

@@ -1,0 +1,23 @@
+//! Facade crate for the SC09 streamline-scaling reproduction.
+//!
+//! Re-exports the public API of every workspace crate so examples and
+//! integration tests can `use streamline_repro::...` uniformly. See the
+//! individual crates for the substance:
+//!
+//! * [`math`] — vectors, boxes, statistics, deterministic RNG,
+//! * [`field`] — vector fields, block decomposition, datasets, seeds,
+//! * [`integrate`] — ODE solvers and the block-local tracer,
+//! * [`iosim`] — block stores, disk cost model, LRU cache,
+//! * [`desim`] — the simulated cluster and the thread runtime,
+//! * [`core`] — the three parallel streamline algorithms and the driver,
+//! * [`pathline`] — the §8 pathline extension (space-time blocks, FTLE),
+//! * [`output`] — VTK/OBJ/CSV writers and a PPM rasterizer for the curves.
+
+pub use streamline_core as core;
+pub use streamline_desim as desim;
+pub use streamline_field as field;
+pub use streamline_integrate as integrate;
+pub use streamline_iosim as iosim;
+pub use streamline_math as math;
+pub use streamline_output as output;
+pub use streamline_pathline as pathline;

@@ -1,0 +1,60 @@
+//! CLI behaviour through the library interface (parsing + cheap commands).
+
+use streamline_cli::args::{parse, Command};
+use streamline_cli::commands::execute;
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(String::from).collect()
+}
+
+#[test]
+fn info_and_help_have_zero_exit() {
+    assert_eq!(execute(parse(&argv("info")).unwrap().command), 0);
+    assert_eq!(execute(parse(&argv("help")).unwrap().command), 0);
+}
+
+#[test]
+fn classify_runs_on_every_dataset_alias() {
+    for ds in ["astro", "supernova", "fusion", "tokamak", "thermal"] {
+        let cli = parse(&argv(&format!("classify --dataset {ds} --seeds 50"))).unwrap();
+        assert_eq!(execute(cli.command), 0, "{ds}");
+    }
+}
+
+#[test]
+fn run_writes_json_report() {
+    let path = std::env::temp_dir().join(format!("slrepro-test-{}.json", std::process::id()));
+    let cli = parse(&argv(&format!(
+        "run --dataset thermal --algorithm lod --procs 4 --seeds 24 --cache 8 --json {}",
+        path.display()
+    )))
+    .unwrap();
+    assert_eq!(execute(cli.command), 0);
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(v["terminated"], 24);
+    assert_eq!(v["algorithm"], "LoadOnDemand");
+}
+
+#[test]
+fn trace_produces_requested_formats() {
+    let dir = std::env::temp_dir().join(format!("slrepro-trace-{}", std::process::id()));
+    let cli = parse(&argv(&format!(
+        "trace --dataset thermal --seeds 8 --out {} --formats vtk,csv",
+        dir.display()
+    )))
+    .unwrap();
+    assert_eq!(execute(cli.command), 0);
+    assert!(dir.join("thermal-hydraulics.vtk").exists());
+    assert!(dir.join("thermal-hydraulics.csv").exists());
+    assert!(!dir.join("thermal-hydraulics.obj").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_input_is_rejected_not_panicking() {
+    assert!(parse(&argv("run --procs NaN")).is_err());
+    assert!(parse(&argv("trace --seeds -3")).is_err());
+    assert!(parse(&argv("nonsense")).is_err());
+}

@@ -1,0 +1,59 @@
+//! Lean (no-geometry) and recorded streamlines must agree on everything
+//! except vertex storage — the lean mode is what the scaling experiments
+//! rely on for memory sanity, so divergence would silently corrupt them.
+
+use streamline_repro::field::analytic::VectorField;
+use streamline_repro::field::dataset::{Dataset, DatasetConfig};
+use streamline_repro::integrate::{advect, Dopri5, StepLimits, Streamline, StreamlineId};
+use streamline_repro::math::Vec3;
+
+#[test]
+fn lean_and_recorded_traces_are_identical_in_state() {
+    let ds = Dataset::astrophysics(DatasetConfig::tiny());
+    let field = &ds.field;
+    let domain = ds.decomp.domain;
+    let sample = |p: Vec3| Some(field.eval(p));
+    let region = move |p: Vec3| domain.contains(p);
+    let limits = StepLimits { max_steps: 500, ..Default::default() };
+    for i in 0..20u32 {
+        let seed = domain.expanded(-0.2).from_unit(Vec3::new(
+            (i as f64 * 0.37).fract(),
+            (i as f64 * 0.61).fract(),
+            (i as f64 * 0.83).fract(),
+        ));
+        let mut full = Streamline::new(StreamlineId(i), seed, limits.h0);
+        let mut lean = Streamline::new_lean(StreamlineId(i), seed, limits.h0);
+        let rf = advect(&mut full, &sample, &region, &limits, &Dopri5);
+        let rl = advect(&mut lean, &sample, &region, &limits, &Dopri5);
+        assert_eq!(rf.outcome, rl.outcome, "seed {i}");
+        assert_eq!(full.state, lean.state, "seed {i}");
+        assert_eq!(full.status, lean.status, "seed {i}");
+        // Geometry: full records every vertex, lean only the seed.
+        assert_eq!(full.geometry.len() as u64, full.vertex_count());
+        assert_eq!(lean.geometry.len(), 1);
+        assert_eq!(full.comm_bytes_full(), lean.comm_bytes_full(), "seed {i}");
+    }
+}
+
+#[test]
+fn recorded_geometry_is_causally_ordered() {
+    // Vertices must be exactly the accepted step sequence: consecutive,
+    // finite, starting at the seed, ending at the final position.
+    let ds = Dataset::fusion(DatasetConfig::tiny());
+    let field = &ds.field;
+    let domain = ds.decomp.domain;
+    let sample = |p: Vec3| Some(field.eval(p));
+    let region = move |p: Vec3| domain.contains(p);
+    let limits = StepLimits { max_steps: 400, h_max: 0.05, ..Default::default() };
+    let seed = Vec3::new(3.2, 0.0, 0.1);
+    let mut sl = Streamline::new(StreamlineId(0), seed, limits.h0);
+    advect(&mut sl, &sample, &region, &limits, &Dopri5);
+    assert_eq!(sl.geometry[0], seed);
+    assert_eq!(*sl.geometry.last().unwrap(), sl.state.position);
+    let mut arc = 0.0;
+    for w in sl.geometry.windows(2) {
+        assert!(w[0].is_finite() && w[1].is_finite());
+        arc += w[0].distance(w[1]);
+    }
+    assert!((arc - sl.state.arc_length).abs() < 1e-9 * arc.max(1.0));
+}

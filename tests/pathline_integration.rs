@@ -1,0 +1,102 @@
+//! Cross-crate integration tests for the §8 pathline extension.
+
+use std::sync::Arc;
+use streamline_repro::field::decomp::BlockDecomposition;
+use streamline_repro::field::timedecomp::TimeBlockDecomposition;
+use streamline_repro::field::unsteady::{TimeSeriesField, UnsteadyDoubleGyre, UnsteadyField};
+use streamline_repro::integrate::tracer::StepLimits;
+use streamline_repro::integrate::unsteady::advect_pathline;
+use streamline_repro::integrate::{Streamline, StreamlineId};
+use streamline_repro::math::{Aabb, Vec3};
+use streamline_repro::pathline::{run_time_sweep, PathlineConfig, SpaceTimeStore};
+
+/// The blocked, snapshot-interpolated pathline must track the analytic
+/// pathline (same field, no decomposition) within discretization error.
+#[test]
+fn blocked_pathlines_track_analytic_reference() {
+    let field = UnsteadyDoubleGyre::standard();
+    let space = BlockDecomposition::new(
+        Aabb::new(Vec3::ZERO, Vec3::new(2.0, 1.0, 0.25)),
+        [4, 2, 1],
+        [10, 10, 4],
+        1,
+    );
+    // Fine snapshots keep the linear-in-time error small.
+    let decomp = TimeBlockDecomposition::new(space, 81, 0.0, field.duration);
+    let store = SpaceTimeStore::new(decomp, Arc::new(field));
+    let seeds = [Vec3::new(0.6, 0.4, 0.12), Vec3::new(1.4, 0.7, 0.12)];
+    let cfg = PathlineConfig {
+        limits: StepLimits { h0: 1e-2, h_max: 0.05, max_steps: 200_000, ..Default::default() },
+        ..Default::default()
+    };
+    let result = run_time_sweep(&store, &seeds, &cfg);
+
+    for (sl, &seed) in result.pathlines.iter().zip(seeds.iter()) {
+        // Analytic reference: integrate the exact field directly.
+        let sample = |p: Vec3, t: f64| Some(field.eval(p, t));
+        let region = |_p: Vec3, _t: f64| true;
+        let mut reference = Streamline::new_lean(StreamlineId(0), seed, 1e-2);
+        advect_pathline(&mut reference, &sample, &region, field.duration, &cfg.limits);
+        let err = sl.state.position.distance(reference.state.position);
+        // Chaotic advection amplifies small differences; at 81 snapshots and
+        // this grid the endpoints stay close over 20 time units.
+        assert!(err < 0.2, "endpoint error {err} for seed {seed:?}");
+        // Both end at the final time.
+        assert!((sl.state.time - field.duration).abs() < 1e-6);
+    }
+}
+
+/// Coarser snapshots mean more time-interpolation error, never less.
+#[test]
+fn snapshot_count_controls_accuracy() {
+    let field = UnsteadyDoubleGyre::standard();
+    let seed = [Vec3::new(0.9, 0.55, 0.12)];
+    let endpoint = |snapshots: usize| {
+        let space = BlockDecomposition::new(
+            Aabb::new(Vec3::ZERO, Vec3::new(2.0, 1.0, 0.25)),
+            [4, 2, 1],
+            [10, 10, 4],
+            1,
+        );
+        let decomp = TimeBlockDecomposition::new(space, snapshots, 0.0, field.duration);
+        let store = SpaceTimeStore::new(decomp, Arc::new(field));
+        let cfg = PathlineConfig {
+            limits: StepLimits { h0: 1e-2, h_max: 0.05, max_steps: 200_000, ..Default::default() },
+            ..Default::default()
+        };
+        run_time_sweep(&store, &seed, &cfg).pathlines[0].state.position
+    };
+    let sample = |p: Vec3, t: f64| Some(field.eval(p, t));
+    let region = |_p: Vec3, _t: f64| true;
+    let mut reference = Streamline::new_lean(StreamlineId(0), seed[0], 1e-2);
+    let limits = StepLimits { h0: 1e-2, h_max: 0.05, max_steps: 200_000, ..Default::default() };
+    advect_pathline(&mut reference, &sample, &region, field.duration, &limits);
+    let fine = endpoint(161).distance(reference.state.position);
+    let coarse = endpoint(6).distance(reference.state.position);
+    assert!(
+        fine < coarse,
+        "more snapshots must not hurt: fine err {fine} vs coarse err {coarse}"
+    );
+}
+
+/// The discretized time-series field agrees with the analytic one well
+/// enough that pathlines through either stay close.
+#[test]
+fn time_series_field_is_usable_for_pathlines() {
+    let g = UnsteadyDoubleGyre::standard();
+    let ts = TimeSeriesField::discretize(&g, 100);
+    let limits = StepLimits { h0: 1e-2, h_max: 0.05, max_steps: 200_000, ..Default::default() };
+    let region = |_p: Vec3, _t: f64| true;
+    let seed = Vec3::new(1.1, 0.3, 0.0);
+
+    let mut a = Streamline::new_lean(StreamlineId(0), seed, 1e-2);
+    let fa = |p: Vec3, t: f64| Some(g.eval(p, t));
+    advect_pathline(&mut a, &fa, &region, 10.0, &limits);
+
+    let mut b = Streamline::new_lean(StreamlineId(0), seed, 1e-2);
+    let fb = |p: Vec3, t: f64| Some(ts.eval(p, t));
+    advect_pathline(&mut b, &fb, &region, 10.0, &limits);
+
+    let err = a.state.position.distance(b.state.position);
+    assert!(err < 0.05, "discretized-field pathline drifted {err}");
+}
