@@ -5,8 +5,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use streamline_bench::experiments::{dataset_for, SweepScale, Workload};
 use streamline_field::BlockId;
 use streamline_integrate::tracer::{advect, StepLimits};
-use streamline_integrate::{Dopri5, Stepper, Streamline, StreamlineId, Tolerances};
 use streamline_integrate::{euler::Euler, rk4::Rk4};
+use streamline_integrate::{Dopri5, Stepper, Streamline, StreamlineId, Tolerances};
 use streamline_math::Vec3;
 
 fn single_step(c: &mut Criterion) {

@@ -38,9 +38,8 @@ fn strategies(c: &mut Criterion) {
     );
     let decomp = TimeBlockDecomposition::new(space, 6, 0.0, field.duration);
     let store = SpaceTimeStore::new(decomp, Arc::new(field));
-    let seeds: Vec<Vec3> = (0..32)
-        .map(|i| Vec3::new(0.1 + 1.8 * (i as f64 / 32.0), 0.5, 0.12))
-        .collect();
+    let seeds: Vec<Vec3> =
+        (0..32).map(|i| Vec3::new(0.1 + 1.8 * (i as f64 / 32.0), 0.5, 0.12)).collect();
     let cfg = PathlineConfig {
         limits: StepLimits { h0: 1e-2, h_max: 0.1, max_steps: 50_000, ..Default::default() },
         cache_blocks: 4,

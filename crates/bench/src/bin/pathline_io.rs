@@ -20,12 +20,8 @@ fn main() {
         if quick { ([2, 2, 1], [6, 6, 4], 6, 64) } else { ([8, 4, 1], [12, 12, 6], 21, 2_000) };
 
     let field = UnsteadyDoubleGyre::standard();
-    let space = BlockDecomposition::new(
-        Aabb::new(Vec3::ZERO, Vec3::new(2.0, 1.0, 0.25)),
-        blocks,
-        cells,
-        1,
-    );
+    let space =
+        BlockDecomposition::new(Aabb::new(Vec3::ZERO, Vec3::new(2.0, 1.0, 0.25)), blocks, cells, 1);
     let decomp = TimeBlockDecomposition::new(space, snapshots, 0.0, field.duration);
     let store = SpaceTimeStore::new(decomp, Arc::new(field));
     let seeds: Vec<Vec3> = (0..n_seeds)

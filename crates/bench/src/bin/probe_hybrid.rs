@@ -43,10 +43,21 @@ fn main() {
             _ => {}
         }
     }
-    println!("wall={:.3}s events={} msgs_total={}", report.wall, report.events, report.ranks.iter().map(|m| m.msgs_sent).sum::<u64>());
+    println!(
+        "wall={:.3}s events={} msgs_total={}",
+        report.wall,
+        report.events,
+        report.ranks.iter().map(|m| m.msgs_sent).sum::<u64>()
+    );
     println!("handoffs={handoffs} statuses={statuses}");
-    println!("cmds: assign={} force={} hint={} load={} term={}", cmds[0], cmds[1], cmds[2], cmds[3], cmds[4]);
+    println!(
+        "cmds: assign={} force={} hint={} load={} term={}",
+        cmds[0], cmds[1], cmds[2], cmds[3], cmds[4]
+    );
     println!("block loads={loads} purges={purges} load_cmd_hits={lh} load_cmd_misses={lm}");
     let (io, comm, compute) = report.totals();
-    println!("io={io:.2}s comm={comm:.2}s compute={compute:.2}s idle={:.2}s", report.total(|m| m.idle));
+    println!(
+        "io={io:.2}s comm={comm:.2}s compute={compute:.2}s idle={:.2}s",
+        report.total(|m| m.idle)
+    );
 }

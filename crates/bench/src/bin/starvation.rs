@@ -31,9 +31,7 @@ fn main() {
         seeding.label(),
         seeds.len()
     );
-    println!(
-        "| algorithm | wall (s) | idle mean | idle p95 | idle max | busy imbalance |"
-    );
+    println!("| algorithm | wall (s) | idle mean | idle p95 | idle max | busy imbalance |");
     println!("|-----------|---------:|----------:|---------:|---------:|---------------:|");
     for algo in Algorithm::ALL {
         let cfg = case_config(workload, seeding, algo, procs);

@@ -106,7 +106,12 @@ pub fn limits_for(workload: Workload, seeding: Seeding) -> StepLimits {
 }
 
 /// Run configuration for one (workload, algorithm, rank-count) cell.
-pub fn case_config(workload: Workload, seeding: Seeding, algorithm: Algorithm, n_procs: usize) -> RunConfig {
+pub fn case_config(
+    workload: Workload,
+    seeding: Seeding,
+    algorithm: Algorithm,
+    n_procs: usize,
+) -> RunConfig {
     let mut cfg = RunConfig::new(algorithm, n_procs);
     cfg.limits = limits_for(workload, seeding);
     // 64 cached blocks ≈ 768 MB of block data per rank under the 12 MB/block

@@ -43,8 +43,9 @@ pub fn parse_args() -> Args {
                     .collect();
             }
             "--seeds" => {
-                out.seeds =
-                    Some(it.next().expect("--seeds needs N").parse().expect("N must be an integer"));
+                out.seeds = Some(
+                    it.next().expect("--seeds needs N").parse().expect("N must be an integer"),
+                );
             }
             "--out" => {
                 out.out = Some(it.next().expect("--out needs a path").into());

@@ -1,0 +1,199 @@
+//! A closed-loop load generator for the `streamline-serve` query service.
+//!
+//! Each simulated client owns one loop: submit a request, block on its
+//! ticket, submit the next — so offered load tracks service capacity
+//! (closed-loop), and the interesting knobs are the client count and the
+//! seeds per request. [`SubmitError::Overloaded`] rejections are counted
+//! and retried after a short backoff, which exercises admission control
+//! under pressure without open-loop queue explosion.
+//!
+//! Seed points are drawn deterministically from the dataset's seeding
+//! machinery (one large pool, sliced round-robin per request), so two runs
+//! with the same config integrate exactly the same streamlines.
+
+use crate::experiments::{dataset_for, limits_for, SweepScale, Workload};
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use streamline_field::dataset::Seeding;
+use streamline_iosim::MemoryStore;
+use streamline_serve::{Request, Service, ServiceConfig, ServiceMetrics, SubmitError};
+
+/// Shape of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    pub workload: Workload,
+    pub scale: SweepScale,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests each client drives to completion.
+    pub requests_per_client: usize,
+    /// Seeds per request.
+    pub seeds_per_request: usize,
+    /// Optional per-request deadline.
+    pub deadline: Option<Duration>,
+    pub service: ServiceConfig,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            workload: Workload::Astro,
+            scale: SweepScale::Quick,
+            clients: 8,
+            requests_per_client: 16,
+            seeds_per_request: 8,
+            deadline: None,
+            service: ServiceConfig::default(),
+        }
+    }
+}
+
+/// What the generator observed, alongside the service's own metrics.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadGenReport {
+    pub clients: usize,
+    /// Requests driven to a response.
+    pub completed: u64,
+    /// `Overloaded` rejections observed (each is retried).
+    pub rejections: u64,
+    /// Responses that came back `DeadlineExceeded`.
+    pub deadline_exceeded: u64,
+    /// Streamlines received across all responses.
+    pub streamlines: u64,
+    pub wall_secs: f64,
+    /// The service's final snapshot (taken at drain).
+    pub metrics: ServiceMetrics,
+}
+
+/// Run the closed loop to completion and return the combined report.
+///
+/// Total requests driven = `clients * requests_per_client`; every one is
+/// retried past `Overloaded` until it completes, so the report always
+/// accounts for the full request count.
+pub fn run_load(cfg: &LoadGenConfig) -> LoadGenReport {
+    assert!(
+        cfg.seeds_per_request <= cfg.service.queue_capacity,
+        "a request of {} seeds can never be admitted to a {}-seed queue; the retry loop would \
+         spin forever",
+        cfg.seeds_per_request,
+        cfg.service.queue_capacity
+    );
+    let dataset = dataset_for(cfg.workload, cfg.scale);
+    let limits = limits_for(cfg.workload, Seeding::Sparse);
+    let store = Arc::new(MemoryStore::build(&dataset));
+    let service = Arc::new(Service::start(dataset.decomp, store, cfg.service.clone()));
+
+    // One deterministic pool, sliced per (client, iteration).
+    let pool = dataset.seeds_with_count(Seeding::Dense, cfg.clients * cfg.seeds_per_request).points;
+
+    let rejections = Arc::new(AtomicU64::new(0));
+    let deadline_exceeded = Arc::new(AtomicU64::new(0));
+    let streamlines = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+
+    let handles: Vec<_> = (0..cfg.clients)
+        .map(|c| {
+            let service = Arc::clone(&service);
+            let rejections = Arc::clone(&rejections);
+            let deadline_exceeded = Arc::clone(&deadline_exceeded);
+            let streamlines = Arc::clone(&streamlines);
+            let seeds: Vec<_> = pool
+                .iter()
+                .copied()
+                .skip(c * cfg.seeds_per_request)
+                .take(cfg.seeds_per_request)
+                .collect();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let mut completed = 0u64;
+                for _ in 0..cfg.requests_per_client {
+                    loop {
+                        let mut req = Request::new(seeds.clone()).with_limits(limits);
+                        if let Some(d) = cfg.deadline {
+                            req = req.with_deadline(Instant::now() + d);
+                        }
+                        match service.submit(req) {
+                            Ok(ticket) => {
+                                let resp = ticket.wait();
+                                completed += 1;
+                                streamlines
+                                    .fetch_add(resp.streamlines.len() as u64, Ordering::Relaxed);
+                                if matches!(
+                                    resp.outcome,
+                                    streamline_serve::Outcome::DeadlineExceeded { .. }
+                                ) {
+                                    deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                }
+                                break;
+                            }
+                            Err(SubmitError::Overloaded { .. }) => {
+                                rejections.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            Err(e) => panic!("load generator: unexpected submit error: {e}"),
+                        }
+                    }
+                }
+                completed
+            })
+        })
+        .collect();
+
+    let completed: u64 = handles.into_iter().map(|h| h.join().expect("client thread")).sum();
+    let wall_secs = started.elapsed().as_secs_f64();
+    let service = Arc::try_unwrap(service).unwrap_or_else(|_| unreachable!("all clients joined"));
+    let metrics = service.shutdown();
+
+    LoadGenReport {
+        clients: cfg.clients,
+        completed,
+        rejections: rejections.load(Ordering::Relaxed),
+        deadline_exceeded: deadline_exceeded.load(Ordering::Relaxed),
+        streamlines: streamlines.load(Ordering::Relaxed),
+        wall_secs,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_drives_all_requests() {
+        let cfg = LoadGenConfig {
+            clients: 4,
+            requests_per_client: 3,
+            seeds_per_request: 4,
+            ..LoadGenConfig::default()
+        };
+        let report = run_load(&cfg);
+        assert_eq!(report.completed, 12);
+        assert_eq!(report.metrics.completed, 12);
+        assert_eq!(report.streamlines, 4 * 3 * 4);
+        assert_eq!(report.metrics.queue_depth, 0);
+        assert!(report.metrics.latency_p50_ms > 0.0);
+        assert!(report.metrics.latency_p99_ms >= report.metrics.latency_p50_ms);
+    }
+
+    #[test]
+    fn tight_queue_provokes_rejections_but_still_finishes() {
+        let cfg = LoadGenConfig {
+            clients: 8,
+            requests_per_client: 4,
+            seeds_per_request: 8,
+            service: ServiceConfig {
+                queue_capacity: 8, // one request's worth: clients must collide
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+            ..LoadGenConfig::default()
+        };
+        let report = run_load(&cfg);
+        assert_eq!(report.completed, 32);
+        assert!(report.rejections > 0, "eight clients on a one-request queue must collide");
+        assert_eq!(report.metrics.rejected, report.rejections);
+    }
+}

@@ -53,11 +53,7 @@ pub fn figure_block(title: &str, results: &[CaseResult], which: &str) -> String 
 
 /// Render the full set of four metric tables for one (workload, seeding)
 /// sweep — the paper's wall/I-O/communication/efficiency quartet.
-pub fn render_markdown(
-    heading: &str,
-    results: &[CaseResult],
-    figure_numbers: [&str; 4],
-) -> String {
+pub fn render_markdown(heading: &str, results: &[CaseResult], figure_numbers: [&str; 4]) -> String {
     let mut out = format!("## {heading}\n\n");
     out.push_str(&figure_block(
         &format!("{} — wall-clock time (s)", figure_numbers[0]),
@@ -146,7 +142,8 @@ mod tests {
     #[test]
     fn render_markdown_has_four_tables() {
         let results = vec![fake_result(Algorithm::StaticAllocation, 64, 1.0)];
-        let md = render_markdown("Astro sparse+dense", &results, ["Fig 5", "Fig 6", "Fig 7", "Fig 8"]);
+        let md =
+            render_markdown("Astro sparse+dense", &results, ["Fig 5", "Fig 6", "Fig 7", "Fig 8"]);
         assert_eq!(md.matches("###").count(), 4);
         assert!(md.contains("block efficiency"));
     }

@@ -71,6 +71,22 @@ pub enum Command {
         ny: usize,
         horizon: f64,
     },
+    /// Closed-loop load test of the `streamline-serve` query service.
+    ServeBench {
+        dataset: DatasetKind,
+        clients: usize,
+        /// Requests driven to completion by each client.
+        requests: usize,
+        /// Seeds per request.
+        seeds: usize,
+        workers: usize,
+        cache: usize,
+        shards: usize,
+        /// Admission-control seed queue capacity.
+        queue: usize,
+        deadline_ms: Option<u64>,
+        json: Option<String>,
+    },
     Info,
     Help,
 }
@@ -90,10 +106,7 @@ fn parse_seeding(s: &str) -> Result<Seeding, String> {
 }
 
 /// Split `--key value` pairs; rejects unknown keys against `allowed`.
-fn options(
-    args: &[String],
-    allowed: &[&str],
-) -> Result<BTreeMap<String, String>, String> {
+fn options(args: &[String], allowed: &[&str]) -> Result<BTreeMap<String, String>, String> {
     let mut out = BTreeMap::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -133,13 +146,18 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 &["dataset", "seeding", "algorithm", "procs", "seeds", "cache", "json"],
             )?;
             Command::Run {
-                dataset: DatasetKind::parse(o.get("dataset").map(|s| s.as_str()).unwrap_or("thermal"))?,
+                dataset: DatasetKind::parse(
+                    o.get("dataset").map(|s| s.as_str()).unwrap_or("thermal"),
+                )?,
                 seeding: parse_seeding(o.get("seeding").map(|s| s.as_str()).unwrap_or("sparse"))?,
                 algorithm: AlgoChoice::parse(
                     o.get("algorithm").map(|s| s.as_str()).unwrap_or("auto"),
                 )?,
                 procs: get_parse(&o, "procs", 64)?,
-                seeds: o.get("seeds").map(|v| v.parse().map_err(|_| "--seeds: bad integer".to_string())).transpose()?,
+                seeds: o
+                    .get("seeds")
+                    .map(|v| v.parse().map_err(|_| "--seeds: bad integer".to_string()))
+                    .transpose()?,
                 cache: get_parse(&o, "cache", 64)?,
                 json: o.get("json").cloned(),
             }
@@ -147,15 +165,22 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         "classify" => {
             let o = options(rest, &["dataset", "seeding", "seeds"])?;
             Command::Classify {
-                dataset: DatasetKind::parse(o.get("dataset").map(|s| s.as_str()).unwrap_or("thermal"))?,
+                dataset: DatasetKind::parse(
+                    o.get("dataset").map(|s| s.as_str()).unwrap_or("thermal"),
+                )?,
                 seeding: parse_seeding(o.get("seeding").map(|s| s.as_str()).unwrap_or("sparse"))?,
-                seeds: o.get("seeds").map(|v| v.parse().map_err(|_| "--seeds: bad integer".to_string())).transpose()?,
+                seeds: o
+                    .get("seeds")
+                    .map(|v| v.parse().map_err(|_| "--seeds: bad integer".to_string()))
+                    .transpose()?,
             }
         }
         "trace" => {
             let o = options(rest, &["dataset", "seeds", "out", "formats"])?;
             Command::Trace {
-                dataset: DatasetKind::parse(o.get("dataset").map(|s| s.as_str()).unwrap_or("thermal"))?,
+                dataset: DatasetKind::parse(
+                    o.get("dataset").map(|s| s.as_str()).unwrap_or("thermal"),
+                )?,
                 seeds: get_parse(&o, "seeds", 100)?,
                 out: o.get("out").cloned().unwrap_or_else(|| "streamline-out".into()),
                 formats: o
@@ -173,9 +198,47 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 horizon: get_parse(&o, "horizon", 10.0)?,
             }
         }
+        "serve-bench" => {
+            let o = options(
+                rest,
+                &[
+                    "dataset",
+                    "clients",
+                    "requests",
+                    "seeds",
+                    "workers",
+                    "cache",
+                    "shards",
+                    "queue",
+                    "deadline-ms",
+                    "json",
+                ],
+            )?;
+            Command::ServeBench {
+                dataset: DatasetKind::parse(
+                    o.get("dataset").map(|s| s.as_str()).unwrap_or("astro"),
+                )?,
+                clients: get_parse(&o, "clients", 8)?,
+                requests: get_parse(&o, "requests", 125)?,
+                seeds: get_parse(&o, "seeds", 4)?,
+                workers: get_parse(&o, "workers", 4)?,
+                cache: get_parse(&o, "cache", 64)?,
+                shards: get_parse(&o, "shards", 8)?,
+                queue: get_parse(&o, "queue", 4096)?,
+                deadline_ms: o
+                    .get("deadline-ms")
+                    .map(|v| v.parse().map_err(|_| "--deadline-ms: bad integer".to_string()))
+                    .transpose()?,
+                json: o.get("json").cloned(),
+            }
+        }
         "info" => Command::Info,
         "help" | "--help" | "-h" => Command::Help,
-        other => return Err(format!("unknown command '{other}' (run|classify|trace|ftle|info|help)")),
+        other => {
+            return Err(format!(
+                "unknown command '{other}' (run|classify|trace|ftle|serve-bench|info|help)"
+            ))
+        }
     };
     Ok(Cli { command })
 }
@@ -190,6 +253,9 @@ USAGE:
   slrepro classify [--dataset ...] [--seeding ...] [--seeds N]
   slrepro trace    [--dataset ...] [--seeds N] [--out DIR] [--formats vtk,obj,csv,ppm]
   slrepro ftle     [--out FILE.ppm] [--nx N] [--ny N] [--horizon T]
+  slrepro serve-bench [--dataset astro|fusion|thermal] [--clients N] [--requests N]
+                   [--seeds N] [--workers N] [--cache BLOCKS] [--shards N]
+                   [--queue SEEDS] [--deadline-ms MS] [--json FILE]
   slrepro info
 ";
 

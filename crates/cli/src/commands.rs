@@ -150,6 +150,98 @@ pub fn execute(cmd: Command) -> i32 {
                 2
             }
         }
+        Command::ServeBench {
+            dataset,
+            clients,
+            requests,
+            seeds,
+            workers,
+            cache,
+            shards,
+            queue,
+            deadline_ms,
+            json,
+        } => {
+            use streamline_bench::{LoadGenConfig, SweepScale, Workload};
+            use streamline_serve::ServiceConfig;
+            if seeds > queue {
+                eprintln!(
+                    "error: a request of {seeds} seeds can never be admitted to a {queue}-seed \
+                     queue; raise --queue or lower --seeds"
+                );
+                return 64;
+            }
+            let workload = match dataset {
+                DatasetKind::Astro => Workload::Astro,
+                DatasetKind::Fusion => Workload::Fusion,
+                DatasetKind::Thermal => Workload::Thermal,
+            };
+            let cfg = LoadGenConfig {
+                workload,
+                scale: SweepScale::Quick,
+                clients,
+                requests_per_client: requests,
+                seeds_per_request: seeds,
+                deadline: deadline_ms.map(std::time::Duration::from_millis),
+                service: ServiceConfig {
+                    workers,
+                    cache_blocks: cache,
+                    cache_shards: shards,
+                    queue_capacity: queue,
+                },
+            };
+            eprintln!(
+                "serve-bench: {} workload, {clients} clients x {requests} requests x {seeds} \
+                 seeds, {workers} workers, {cache}-block cache ...",
+                workload.label()
+            );
+            let report = streamline_bench::run_load(&cfg);
+            let m = &report.metrics;
+            println!(
+                "requests  completed {}  rejected(retried) {}  deadline-exceeded {}",
+                report.completed, report.rejections, report.deadline_exceeded
+            );
+            println!(
+                "latency   p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms",
+                m.latency_p50_ms, m.latency_p95_ms, m.latency_p99_ms
+            );
+            println!(
+                "rate      {:.0} req/s  {:.0} streamlines/s  ({} streamlines, {:.2}s wall)",
+                report.completed as f64 / report.wall_secs,
+                report.streamlines as f64 / report.wall_secs,
+                report.streamlines,
+                report.wall_secs
+            );
+            println!(
+                "cache     hit rate {:.3}  efficiency E {:.3}  loaded {}  purged {}  resident {}/{}",
+                m.cache_hit_rate,
+                m.block_efficiency,
+                m.cache.loaded,
+                m.cache.purged,
+                m.cache_resident,
+                m.cache_capacity
+            );
+            if let Some(path) = json {
+                match serde_json::to_string_pretty(&report) {
+                    Ok(s) => {
+                        if let Err(e) = std::fs::write(&path, s) {
+                            eprintln!("error writing {path}: {e}");
+                            return 1;
+                        }
+                        eprintln!("wrote {path}");
+                    }
+                    Err(e) => {
+                        eprintln!("serialization error: {e}");
+                        return 1;
+                    }
+                }
+            }
+            if report.completed == (clients * requests) as u64 {
+                0
+            } else {
+                2
+            }
+        }
         Command::Trace { dataset, seeds, out, formats } => {
             let ds = build_dataset(dataset);
             let set = ds.seeds_with_count(Seeding::Sparse, seeds);
@@ -215,7 +307,8 @@ pub fn execute(cmd: Command) -> i32 {
             eprintln!("computing {nx}x{ny} FTLE of the unsteady double gyre ...");
             let f = ftle_grid(&field, [0.0, 0.0], [2.0, 1.0], 0.0, nx, ny, 0.0, horizon, &limits);
             // Grayscale render.
-            let mut canvas = ppm::Canvas::new(nx, ny, (0.0, 0.0), (2.0, 1.0), ppm::Projection::DropZ);
+            let mut canvas =
+                ppm::Canvas::new(nx, ny, (0.0, 0.0), (2.0, 1.0), ppm::Projection::DropZ);
             let max = f.max_value().max(1e-9);
             for j in 0..ny {
                 for i in 0..nx {

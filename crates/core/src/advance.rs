@@ -1,0 +1,106 @@
+//! The block-local advance step shared by every execution engine.
+//!
+//! [`Workspace::advance_in`](crate::workspace::Workspace::advance_in) (the
+//! simulated-cluster ranks) and the `streamline-serve` query service both
+//! advance a streamline through one resident block with *exactly* this
+//! function, so a streamline computed by the service is bit-identical to
+//! one computed by the single-shot drivers: same stepper, same limits, same
+//! shared-face nudge, same termination decisions.
+
+use crate::workspace::BlockExit;
+use streamline_field::block::Block;
+use streamline_field::decomp::BlockDecomposition;
+use streamline_integrate::tracer::{advect, AdvectOutcome};
+use streamline_integrate::{Dopri5, StepLimits, Streamline, Termination};
+
+/// Advance `sl` inside `block` until it exits the block or terminates,
+/// then resolve which block owns it next. Returns the exit disposition and
+/// the number of accepted integration steps taken.
+///
+/// When the integrator stops exactly on a shared block face, the position
+/// is nudged along the local velocity by `1e-9` of the domain scale so
+/// ownership is unambiguous; a streamline that cannot leave the face even
+/// after the nudge is terminated with [`Termination::StepUnderflow`].
+pub fn advance_in_block(
+    sl: &mut Streamline,
+    block: &Block,
+    decomp: &BlockDecomposition,
+    limits: &StepLimits,
+    stepper: &Dopri5,
+) -> (BlockExit, u64) {
+    let id = block.id;
+    let bounds = block.bounds;
+    let sample = |p| block.sample(p);
+    let region = move |p| bounds.contains(p);
+    let r = advect(sl, &sample, &region, limits, stepper);
+    let exit = match r.outcome {
+        AdvectOutcome::Terminated(t) => BlockExit::Done(t),
+        AdvectOutcome::LeftRegion => {
+            let pos = sl.state.position;
+            match decomp.locate(pos) {
+                Some(next) if next != id => BlockExit::MovedTo(next),
+                Some(_) => {
+                    // Numerically on the shared face: nudge along the
+                    // local velocity so ownership is unambiguous.
+                    let scale = decomp.domain.size().max_abs_component();
+                    if let Some(dir) = block.sample(pos).and_then(|v| v.normalized()) {
+                        sl.state.position = pos + dir * (1e-9 * scale);
+                    }
+                    match decomp.locate(sl.state.position) {
+                        Some(next) if next != id => BlockExit::MovedTo(next),
+                        Some(_) => {
+                            sl.terminate(Termination::StepUnderflow);
+                            BlockExit::Done(Termination::StepUnderflow)
+                        }
+                        None => {
+                            sl.terminate(Termination::ExitedDomain);
+                            BlockExit::Done(Termination::ExitedDomain)
+                        }
+                    }
+                }
+                None => {
+                    sl.terminate(Termination::ExitedDomain);
+                    BlockExit::Done(Termination::ExitedDomain)
+                }
+            }
+        }
+    };
+    (exit, r.steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::uniform_x_dataset;
+    use streamline_integrate::{StreamlineId, StreamlineStatus};
+    use streamline_math::Vec3;
+
+    #[test]
+    fn crosses_block_face_in_uniform_flow() {
+        let ds = uniform_x_dataset();
+        let seed = Vec3::new(0.25, 0.25, 0.25);
+        let start = ds.decomp.locate(seed).unwrap();
+        let block = ds.build_block(start);
+        let mut sl = Streamline::new(StreamlineId(0), seed, 1e-2);
+        let (exit, steps) =
+            advance_in_block(&mut sl, &block, &ds.decomp, &StepLimits::default(), &Dopri5);
+        assert!(steps > 0);
+        match exit {
+            BlockExit::MovedTo(next) => assert_ne!(next, start),
+            other => panic!("expected a block crossing, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn terminates_leaving_the_domain() {
+        let ds = uniform_x_dataset();
+        let seed = Vec3::new(0.75, 0.25, 0.25);
+        let start = ds.decomp.locate(seed).unwrap();
+        let block = ds.build_block(start);
+        let mut sl = Streamline::new(StreamlineId(0), seed, 1e-2);
+        let (exit, _) =
+            advance_in_block(&mut sl, &block, &ds.decomp, &StepLimits::default(), &Dopri5);
+        assert_eq!(exit, BlockExit::Done(Termination::ExitedDomain));
+        assert_eq!(sl.status, StreamlineStatus::Terminated(Termination::ExitedDomain));
+    }
+}

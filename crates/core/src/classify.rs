@@ -36,10 +36,8 @@ pub fn classify(dataset: &Dataset, seeds: &SeedSet, cfg: &RunConfig) -> ProblemP
     let fits_in_memory = data_bytes <= cache_bytes;
 
     let domain_extent = dataset.decomp.domain.size().max_abs_component();
-    let seed_extent_fraction = seeds
-        .bounds()
-        .map(|b| b.size().max_abs_component() / domain_extent)
-        .unwrap_or(0.0);
+    let seed_extent_fraction =
+        seeds.bounds().map(|b| b.size().max_abs_component() / domain_extent).unwrap_or(0.0);
 
     let mut seeded = std::collections::HashSet::new();
     for &p in &seeds.points {

@@ -115,7 +115,11 @@ pub struct CostModel {
 
 impl CostModel {
     pub fn paper_scale() -> Self {
-        CostModel { sec_per_step: 5e-6, disk: DiskModel::paper_scale(), net: NetModel::paper_scale() }
+        CostModel {
+            sec_per_step: 5e-6,
+            disk: DiskModel::paper_scale(),
+            net: NetModel::paper_scale(),
+        }
     }
 }
 

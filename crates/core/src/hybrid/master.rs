@@ -184,14 +184,14 @@ impl MasterProc {
     }
 
     /// Take up to `n` seeds from the pool block with the most seeds.
-    fn take_seeds(&mut self, n: usize, prefer: Option<BlockId>) -> Option<(BlockId, Vec<(StreamlineId, Vec3)>)> {
+    fn take_seeds(
+        &mut self,
+        n: usize,
+        prefer: Option<BlockId>,
+    ) -> Option<(BlockId, Vec<(StreamlineId, Vec3)>)> {
         let block = match prefer {
             Some(b) if self.pool.contains_key(&b) => b,
-            _ => *self
-                .pool
-                .iter()
-                .max_by_key(|(id, v)| (v.len(), std::cmp::Reverse(id.0)))?
-                .0,
+            _ => *self.pool.iter().max_by_key(|(id, v)| (v.len(), std::cmp::Reverse(id.0)))?.0,
         };
         let list = self.pool.get_mut(&block).expect("chosen block exists");
         let take = n.min(list.len());
@@ -512,11 +512,7 @@ mod tests {
             .map(|i| {
                 (
                     StreamlineId(i as u32),
-                    Vec3::new(
-                        0.05 + 0.9 * (i as f64 / n_seeds.max(1) as f64),
-                        0.3,
-                        0.3,
-                    ),
+                    Vec3::new(0.05 + 0.9 * (i as f64 / n_seeds.max(1) as f64), 0.3, 0.3),
                 )
             })
             .collect();
@@ -693,9 +689,7 @@ mod tests {
         );
         let hints = commands_to(&ctx, 2);
         assert!(
-            hints
-                .iter()
-                .any(|c| matches!(c, Command::SendHint { to, .. } if *to == 1)),
+            hints.iter().any(|c| matches!(c, Command::SendHint { to, .. } if *to == 1)),
             "expected hint to slave 2 on behalf of 1, got {hints:?}"
         );
     }

@@ -50,9 +50,7 @@ impl HybridLayout {
     /// Slave ranks managed by `master_rank`.
     pub fn slaves_of(&self, master_rank: usize) -> Vec<usize> {
         debug_assert!(self.is_master(master_rank));
-        (self.n_masters..self.n_procs)
-            .filter(|&s| self.master_of(s) == master_rank)
-            .collect()
+        (self.n_masters..self.n_procs).filter(|&s| self.master_of(s) == master_rank).collect()
     }
 }
 

@@ -91,11 +91,7 @@ impl SlaveProc {
     }
 
     fn advanceable(&self) -> usize {
-        self.parked
-            .iter()
-            .filter(|(b, _)| self.ws.is_resident(**b))
-            .map(|(_, v)| v.len())
-            .sum()
+        self.parked.iter().filter(|(b, _)| self.ws.is_resident(**b)).map(|(_, v)| v.len()).sum()
     }
 
     fn send_status(&mut self, ctx: &mut dyn Context<Msg>, out_of_work: bool) {
@@ -121,9 +117,7 @@ impl SlaveProc {
 
     /// Advance everything possible, then report to the master.
     fn pump(&mut self, ctx: &mut dyn Context<Msg>) {
-        while let Some(block) =
-            self.parked.keys().copied().find(|&b| self.ws.is_resident(b))
-        {
+        while let Some(block) = self.parked.keys().copied().find(|&b| self.ws.is_resident(b)) {
             let mut list = self.parked.remove(&block).expect("key just found");
             while let Some(mut sl) = list.pop() {
                 let mut cur = block;
@@ -325,10 +319,7 @@ mod tests {
             (StreamlineId(0), Vec3::new(0.1, 0.2, 0.2)),
             (StreamlineId(1), Vec3::new(0.2, 0.3, 0.3)),
         ];
-        s.handle_command(
-            Command::AssignSeeds { block: BlockId(0), seeds },
-            &mut ctx,
-        );
+        s.handle_command(Command::AssignSeeds { block: BlockId(0), seeds }, &mut ctx);
         // Uniform +x with an 8-block cache: streamlines park at the next
         // (unloaded) block boundary or terminate — block (1,0,0) is NOT
         // resident so they park there.
@@ -431,14 +422,10 @@ mod invariant_tests {
     /// slave reports as queued are ones it cannot advance").
     #[test]
     fn parked_is_disjoint_from_resident_after_any_command_sequence() {
-        let ds = custom_dataset(
-            streamline_field::analytic::AbcFlow::classic(),
-            [2, 2, 2],
-            [4, 4, 4],
-        );
+        let ds =
+            custom_dataset(streamline_field::analytic::AbcFlow::classic(), [2, 2, 2], [4, 4, 4]);
         let store = Arc::new(MemoryStore::build(&ds));
-        let mut limits = StepLimits::default();
-        limits.max_steps = 50;
+        let limits = StepLimits { max_steps: 50, ..StepLimits::default() };
         let ws = Workspace::new(ds.decomp, store, 3, DiskModel::paper_scale(), limits, 1e-6);
         let mut s = SlaveProc::new(1, 0, ws, crate::config::MemoryBudget::unlimited(), true, 1e-2);
         let mut ctx = NullCtx::default();
@@ -469,9 +456,10 @@ mod invariant_tests {
                         .collect();
                     s.handle_command(Command::AssignSeeds { block, seeds }, &mut ctx);
                 }
-                1 => {
-                    s.handle_command(Command::Load { block: BlockId((next() % 8) as u32) }, &mut ctx)
-                }
+                1 => s.handle_command(
+                    Command::Load { block: BlockId((next() % 8) as u32) },
+                    &mut ctx,
+                ),
                 2 => {
                     if let Some(&b) = s.parked.keys().next() {
                         s.handle_command(Command::SendForce { block: b, to: 5 }, &mut ctx);
@@ -484,10 +472,7 @@ mod invariant_tests {
             }
             // Invariant check after every command.
             for b in s.parked.keys() {
-                assert!(
-                    !s.ws.is_resident(*b),
-                    "round {round}: parked block {b} is resident"
-                );
+                assert!(!s.ws.is_resident(*b), "round {round}: parked block {b} is resident");
             }
             // Accounting: every admitted streamline is parked, finished, or
             // was handed off.

@@ -31,6 +31,7 @@
 //! assert_eq!(report.terminated, 64);
 //! ```
 
+pub mod advance;
 pub mod advisor;
 pub mod classify;
 pub mod config;

@@ -74,9 +74,7 @@ impl LodProc {
         while !parked.is_empty() {
             // Advance everything whose block is resident ("integrate all
             // streamlines to the edge of the loaded blocks").
-            while let Some(block) =
-                parked.keys().copied().find(|&b| self.ws.is_resident(b))
-            {
+            while let Some(block) = parked.keys().copied().find(|&b| self.ws.is_resident(b)) {
                 let mut list = parked.remove(&block).expect("key just found");
                 while let Some(mut sl) = list.pop() {
                     let mut cur = block;
@@ -103,7 +101,8 @@ impl LodProc {
             }
             // Nothing advanceable: load the block with the most waiting
             // streamlines (ties to the lowest id — deterministic).
-            let Some((&target, _)) = parked.iter().max_by_key(|(id, v)| (v.len(), std::cmp::Reverse(id.0)))
+            let Some((&target, _)) =
+                parked.iter().max_by_key(|(id, v)| (v.len(), std::cmp::Reverse(id.0)))
             else {
                 break;
             };
@@ -157,11 +156,8 @@ mod tests {
         p.on_event(Event::Start, &mut ctx);
         assert!(p.done);
         assert_eq!(p.finished.len(), 10);
-        assert!(p
-            .finished
-            .iter()
-            .all(|s| s.status
-                == streamline_integrate::StreamlineStatus::Terminated(Termination::ExitedDomain)));
+        assert!(p.finished.iter().all(|s| s.status
+            == streamline_integrate::StreamlineStatus::Terminated(Termination::ExitedDomain)));
         // Uniform +x from x=0.1 crosses 2 blocks per streamline; with a
         // roomy cache each of the blocks touched loads exactly once.
         let stats = p.workspace().cache_stats();
@@ -224,7 +220,12 @@ mod tests {
             1e-6,
         );
         // Budget below one block.
-        let mut p = LodProc::new(ws, seeds, MemoryBudget { bytes: Some(1.0), vertex_bytes: 64.0, stream_bytes: 65536.0 }, 1e-2);
+        let mut p = LodProc::new(
+            ws,
+            seeds,
+            MemoryBudget { bytes: Some(1.0), vertex_bytes: 64.0, stream_bytes: 65536.0 },
+            1e-2,
+        );
         let mut ctx = NullCtx::default();
         p.on_event(Event::Start, &mut ctx);
         assert!(p.failed_oom);

@@ -85,8 +85,7 @@ mod tests {
     fn finished(n: usize) -> Vec<Streamline> {
         (0..n)
             .map(|i| {
-                let mut s =
-                    Streamline::new_lean(StreamlineId(i as u32), Vec3::ZERO, 0.01);
+                let mut s = Streamline::new_lean(StreamlineId(i as u32), Vec3::ZERO, 0.01);
                 for k in 0..=i {
                     s.push_step(Vec3::splat(k as f64 * 0.1), 0.1);
                 }

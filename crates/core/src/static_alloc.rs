@@ -139,8 +139,7 @@ impl StaticProc {
                 self.ws.release(&sl);
                 let m = Msg::Handoff { sl: Box::new(sl) };
                 let bytes = m.wire_bytes(self.comm_geometry);
-                let to =
-                    self.partition.owner_of(cur, self.ws.decomp.num_blocks(), self.n_procs);
+                let to = self.partition.owner_of(cur, self.ws.decomp.num_blocks(), self.n_procs);
                 ctx.send(to, m, bytes);
                 return 0;
             }
@@ -257,7 +256,7 @@ mod tests {
             acc
         });
         assert_eq!(counts.iter().sum::<usize>(), n_blocks);
-        assert!(counts.iter().all(|&c| c >= 3 && c <= 4), "{counts:?}");
+        assert!(counts.iter().all(|&c| (3..=4).contains(&c)), "{counts:?}");
     }
 
     #[test]

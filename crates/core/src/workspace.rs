@@ -6,7 +6,6 @@ use std::sync::Arc;
 use streamline_desim::Context;
 use streamline_field::block::{Block, BlockId};
 use streamline_field::decomp::BlockDecomposition;
-use streamline_integrate::tracer::{advect, AdvectOutcome};
 use streamline_integrate::{Dopri5, StepLimits, Streamline, Termination};
 use streamline_iosim::{BlockStore, CacheStats, DiskModel, LruCache};
 
@@ -125,7 +124,9 @@ impl Workspace {
     }
 
     /// Advance `sl` inside resident block `id` until it exits the block or
-    /// terminates. Charges compute time; updates geometry accounting.
+    /// terminates. Charges compute time; updates geometry accounting. The
+    /// advance itself is [`crate::advance::advance_in_block`], shared with
+    /// the query service.
     pub fn advance_in(
         &mut self,
         sl: &mut Streamline,
@@ -133,57 +134,16 @@ impl Workspace {
         ctx: &mut dyn Context<Msg>,
     ) -> BlockExit {
         let block = self.cache.get(id).expect("advance_in requires a resident block");
-        let bounds = block.bounds;
-        let sample = |p| block.sample(p);
-        let region = move |p| bounds.contains(p);
-        let r = advect(sl, &sample, &region, &self.limits, &self.stepper);
-        ctx.charge_compute(r.steps as f64 * self.sec_per_step);
-        self.geom_vertices += r.steps;
-        self.total_steps += r.steps;
-        match r.outcome {
-            AdvectOutcome::Terminated(t) => {
-                self.terminated += 1;
-                self.resident_streams = self.resident_streams.saturating_sub(1);
-                BlockExit::Done(t)
-            }
-            AdvectOutcome::LeftRegion => {
-                let pos = sl.state.position;
-                match self.decomp.locate(pos) {
-                    Some(next) if next != id => BlockExit::MovedTo(next),
-                    Some(_) => {
-                        // Numerically on the shared face: nudge along the
-                        // local velocity so ownership is unambiguous.
-                        let scale = self.decomp.domain.size().max_abs_component();
-                        if let Some(dir) = block.sample(pos).and_then(|v| v.normalized()) {
-                            sl.state.position = pos + dir * (1e-9 * scale);
-                        }
-                        match self.decomp.locate(sl.state.position) {
-                            Some(next) if next != id => BlockExit::MovedTo(next),
-                            Some(_) => {
-                                sl.terminate(Termination::StepUnderflow);
-                                self.terminated += 1;
-                                self.resident_streams =
-                                    self.resident_streams.saturating_sub(1);
-                                BlockExit::Done(Termination::StepUnderflow)
-                            }
-                            None => {
-                                sl.terminate(Termination::ExitedDomain);
-                                self.terminated += 1;
-                                self.resident_streams =
-                                    self.resident_streams.saturating_sub(1);
-                                BlockExit::Done(Termination::ExitedDomain)
-                            }
-                        }
-                    }
-                    None => {
-                        sl.terminate(Termination::ExitedDomain);
-                        self.terminated += 1;
-                        self.resident_streams = self.resident_streams.saturating_sub(1);
-                        BlockExit::Done(Termination::ExitedDomain)
-                    }
-                }
-            }
+        let (exit, steps) =
+            crate::advance::advance_in_block(sl, &block, &self.decomp, &self.limits, &self.stepper);
+        ctx.charge_compute(steps as f64 * self.sec_per_step);
+        self.geom_vertices += steps;
+        self.total_steps += steps;
+        if let BlockExit::Done(_) = exit {
+            self.terminated += 1;
+            self.resident_streams = self.resident_streams.saturating_sub(1);
         }
+        exit
     }
 
     /// Logical bytes resident on this rank: cached blocks at paper scale

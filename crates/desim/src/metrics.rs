@@ -62,11 +62,7 @@ impl SimReport {
 
     /// Totals for the headline §5 metrics: (io, comm, compute).
     pub fn totals(&self) -> (f64, f64, f64) {
-        (
-            self.total(|m| m.io),
-            self.total(|m| m.comm),
-            self.total(|m| m.compute),
-        )
+        (self.total(|m| m.io), self.total(|m| m.comm), self.total(|m| m.compute))
     }
 }
 

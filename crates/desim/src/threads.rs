@@ -121,11 +121,9 @@ impl<M: Send, P: Process<M> + Send> ThreadRuntime<M, P> {
                         let mut wakes: BinaryHeap<std::cmp::Reverse<(u128, u64)>> =
                             BinaryHeap::new();
                         let handle = |proc: &mut P,
-                                          metrics: &mut ProcMetrics,
-                                          wakes: &mut BinaryHeap<
-                            std::cmp::Reverse<(u128, u64)>,
-                        >,
-                                          ev: Event<M>| {
+                                      metrics: &mut ProcMetrics,
+                                      wakes: &mut BinaryHeap<std::cmp::Reverse<(u128, u64)>>,
+                                      ev: Event<M>| {
                             metrics.events += 1;
                             let mut ctx = ThreadCtx {
                                 rank,
@@ -249,8 +247,7 @@ mod tests {
     #[test]
     fn pingpong_on_threads() {
         let procs = (0..2).map(|_| PingPong { rounds: 10, seen: 0 }).collect();
-        let (report, procs) =
-            ThreadRuntime::new(NetModel::paper_scale(), procs).run();
+        let (report, procs) = ThreadRuntime::new(NetModel::paper_scale(), procs).run();
         assert_eq!(procs[0].seen + procs[1].seen, 10);
         assert_eq!(report.ranks[0].msgs_sent + report.ranks[1].msgs_sent, 10);
         assert!(report.wall > 0.0);
@@ -300,8 +297,7 @@ mod tests {
 
     #[test]
     fn wake_fires_on_threads() {
-        let (_, procs) =
-            ThreadRuntime::new(NetModel::free(), vec![WakeOnce { woke: false }]).run();
+        let (_, procs) = ThreadRuntime::new(NetModel::free(), vec![WakeOnce { woke: false }]).run();
         assert!(procs[0].woke);
     }
 

@@ -98,8 +98,8 @@ impl Timeline {
                     u += self.utilization(rank, b);
                 }
                 u /= merge as f64;
-                let level = ((u * (shades.len() - 1) as f64).round() as usize)
-                    .min(shades.len() - 1);
+                let level =
+                    ((u * (shades.len() - 1) as f64).round() as usize).min(shades.len() - 1);
                 row.push(shades[level]);
             }
             row.push('|');
@@ -117,12 +117,8 @@ impl Timeline {
             return 0.0;
         }
         let total = (nb * self.n_ranks) as f64 * self.bucket_width;
-        let busy: f64 = self
-            .buckets
-            .iter()
-            .flat_map(|r| r.iter())
-            .map(|b| b[0] + b[1] + b[2])
-            .sum();
+        let busy: f64 =
+            self.buckets.iter().flat_map(|r| r.iter()).map(|b| b[0] + b[1] + b[2]).sum();
         (1.0 - busy / total).max(0.0)
     }
 }

@@ -48,7 +48,13 @@ pub struct Block {
 
 impl Block {
     /// Allocate a zero-filled block. `nodes` includes ghost nodes.
-    pub fn zeroed(id: BlockId, bounds: Aabb, ghost: usize, nodes: [usize; 3], spacing: Vec3) -> Self {
+    pub fn zeroed(
+        id: BlockId,
+        bounds: Aabb,
+        ghost: usize,
+        nodes: [usize; 3],
+        spacing: Vec3,
+    ) -> Self {
         let origin = bounds.min - spacing * ghost as f64;
         Block {
             id,

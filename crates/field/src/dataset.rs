@@ -58,12 +58,7 @@ impl Default for DatasetConfig {
 impl DatasetConfig {
     /// A small configuration for unit tests (64 blocks, tiny cells).
     pub fn tiny() -> Self {
-        DatasetConfig {
-            blocks_per_axis: [4, 4, 4],
-            cells_per_block: [8, 8, 8],
-            ghost: 1,
-            seed: 42,
-        }
+        DatasetConfig { blocks_per_axis: [4, 4, 4], cells_per_block: [8, 8, 8], ghost: 1, seed: 42 }
     }
 }
 
@@ -139,10 +134,8 @@ impl Dataset {
         let pad = 0.2;
         let half_xy = r_major + r_minor + pad;
         let half_z = r_minor + pad;
-        let domain = Aabb::new(
-            Vec3::new(-half_xy, -half_xy, -half_z),
-            Vec3::new(half_xy, half_xy, half_z),
-        );
+        let domain =
+            Aabb::new(Vec3::new(-half_xy, -half_xy, -half_z), Vec3::new(half_xy, half_xy, half_z));
         Dataset {
             name: "fusion",
             application: Application::Fusion,
@@ -292,11 +285,9 @@ mod tests {
     #[test]
     fn all_datasets_build_blocks() {
         let cfg = DatasetConfig::tiny();
-        for ds in [
-            Dataset::astrophysics(cfg),
-            Dataset::fusion(cfg),
-            Dataset::thermal_hydraulics(cfg),
-        ] {
+        for ds in
+            [Dataset::astrophysics(cfg), Dataset::fusion(cfg), Dataset::thermal_hydraulics(cfg)]
+        {
             let id = BlockId(7);
             let b = ds.build_block(id);
             assert_eq!(b.id, id);
@@ -322,11 +313,9 @@ mod tests {
     #[test]
     fn seeds_are_inside_domain() {
         let cfg = DatasetConfig::tiny();
-        for ds in [
-            Dataset::astrophysics(cfg),
-            Dataset::fusion(cfg),
-            Dataset::thermal_hydraulics(cfg),
-        ] {
+        for ds in
+            [Dataset::astrophysics(cfg), Dataset::fusion(cfg), Dataset::thermal_hydraulics(cfg)]
+        {
             for seeding in [Seeding::Sparse, Seeding::Dense] {
                 let s = ds.seeds_with_count(seeding, 200);
                 assert_eq!(s.len(), 200);

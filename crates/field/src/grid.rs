@@ -61,11 +61,7 @@ impl RegularGrid {
     pub fn cell_center(&self, i: usize, j: usize, k: usize) -> Vec3 {
         let h = self.spacing();
         self.bounds.min
-            + Vec3::new(
-                (i as f64 + 0.5) * h.x,
-                (j as f64 + 0.5) * h.y,
-                (k as f64 + 0.5) * h.z,
-            )
+            + Vec3::new((i as f64 + 0.5) * h.x, (j as f64 + 0.5) * h.y, (k as f64 + 0.5) * h.z)
     }
 
     /// Row-major (x fastest) linear index of node `(i, j, k)`.

@@ -114,11 +114,7 @@ mod tests {
             )
         };
         let b = filled_block(f);
-        for p in [
-            Vec3::new(0.25, 0.75, 1.3),
-            Vec3::new(1.9, 0.1, 0.6),
-            Vec3::new(1.0, 1.0, 1.0),
-        ] {
+        for p in [Vec3::new(0.25, 0.75, 1.3), Vec3::new(1.9, 0.1, 0.6), Vec3::new(1.0, 1.0, 1.0)] {
             let v = trilinear(&b, p).unwrap();
             assert!(v.distance(f(p)) < 1e-5, "at {p:?}: {v:?} vs {:?}", f(p));
         }

@@ -52,9 +52,7 @@ impl RectilinearGrid {
         assert!(ratio > 1.0, "clustering ratio must exceed 1");
         let axis = |lo: f64, hi: f64, n: usize| -> Vec<f64> {
             let denom = ratio.powi(n as i32) - 1.0;
-            (0..=n)
-                .map(|i| lo + (hi - lo) * (ratio.powi(i as i32) - 1.0) / denom)
-                .collect()
+            (0..=n).map(|i| lo + (hi - lo) * (ratio.powi(i as i32) - 1.0) / denom).collect()
         };
         RectilinearGrid::new(
             axis(bounds.min.x, bounds.max.x, cells[0]),
@@ -151,9 +149,7 @@ impl RectilinearField {
         let d = &self.data;
         let mut out = [0.0f64; 3];
         for (c, o) in out.iter_mut().enumerate() {
-            let lerp = |a: usize, b: usize, t: f64| {
-                d[a][c] as f64 * (1.0 - t) + d[b][c] as f64 * t
-            };
+            let lerp = |a: usize, b: usize, t: f64| d[a][c] as f64 * (1.0 - t) + d[b][c] as f64 * t;
             let x00 = lerp(idx(ci, cj, ck), idx(ci + 1, cj, ck), tx);
             let x10 = lerp(idx(ci, cj + 1, ck), idx(ci + 1, cj + 1, ck), tx);
             let x01 = lerp(idx(ci, cj, ck + 1), idx(ci + 1, cj, ck + 1), tx);
@@ -250,10 +246,8 @@ mod tests {
                 "wavy"
             }
         }
-        let rect = RectilinearField::sample_from(
-            RectilinearGrid::uniform(Aabb::unit(), [8, 8, 8]),
-            &Wavy,
-        );
+        let rect =
+            RectilinearField::sample_from(RectilinearGrid::uniform(Aabb::unit(), [8, 8, 8]), &Wavy);
         let d = BlockDecomposition::new(Aabb::unit(), [1, 1, 1], [8, 8, 8], 0);
         let block = sample_block_nodes(&Wavy, &d, BlockId(0));
         for p in [Vec3::splat(0.3), Vec3::new(0.9, 0.1, 0.6)] {

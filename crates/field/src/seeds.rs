@@ -49,11 +49,7 @@ pub fn sparse_lattice(domain: &Aabb, counts: [usize; 3]) -> SeedSet {
     assert!(counts.iter().all(|&c| c >= 1));
     let mut points = Vec::with_capacity(counts[0] * counts[1] * counts[2]);
     let s = domain.size();
-    let cell = Vec3::new(
-        s.x / counts[0] as f64,
-        s.y / counts[1] as f64,
-        s.z / counts[2] as f64,
-    );
+    let cell = Vec3::new(s.x / counts[0] as f64, s.y / counts[1] as f64, s.z / counts[2] as f64);
     for k in 0..counts[2] {
         for j in 0..counts[1] {
             for i in 0..counts[0] {
@@ -68,10 +64,7 @@ pub fn sparse_lattice(domain: &Aabb, counts: [usize; 3]) -> SeedSet {
             }
         }
     }
-    SeedSet {
-        label: format!("sparse-lattice-{}x{}x{}", counts[0], counts[1], counts[2]),
-        points,
-    }
+    SeedSet { label: format!("sparse-lattice-{}x{}x{}", counts[0], counts[1], counts[2]), points }
 }
 
 /// `n` uniformly random seeds over a sub-box of `domain` shrunk by `margin`

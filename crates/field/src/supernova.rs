@@ -117,7 +117,11 @@ impl SupernovaField {
             );
             let amp = rng_m.gen_range(0.15..0.45);
             let k_cross_a = k.cross(a).normalized().unwrap_or(Vec3::X) * amp;
-            modes.push(FourierMode { k, k_cross_a, phase: rng_m.gen_range(0.0..std::f64::consts::TAU) });
+            modes.push(FourierMode {
+                k,
+                k_cross_a,
+                phase: rng_m.gen_range(0.0..std::f64::consts::TAU),
+            });
         }
         SupernovaField { half_width, r_core: 0.25 * h, r_shock: 0.75 * h, tubes, modes }
     }

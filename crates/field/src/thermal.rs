@@ -98,8 +98,7 @@ impl ThermalHydraulicsField {
         let dy = p.y - inlet.y;
         let dz = p.z - inlet.z;
         let r2 = dy * dy + dz * dz;
-        let w = (-r2 / (4.0 * self.jet_radius * self.jet_radius)).exp()
-            * (-p.x / 0.25).exp();
+        let w = (-r2 / (4.0 * self.jet_radius * self.jet_radius)).exp() * (-p.x / 0.25).exp();
         Vec3::new(0.0, -dz, dy) * (sign * self.swirl * w)
     }
 }

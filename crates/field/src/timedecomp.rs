@@ -56,8 +56,7 @@ impl TimeBlockDecomposition {
     /// Snapshot time of index `step`.
     pub fn time_of(&self, step: u32) -> f64 {
         debug_assert!((step as usize) < self.n_snapshots);
-        self.t_start
-            + (self.t_end - self.t_start) * step as f64 / (self.n_snapshots - 1) as f64
+        self.t_start + (self.t_end - self.t_start) * step as f64 / (self.n_snapshots - 1) as f64
     }
 
     /// Interval index `k` with `time_of(k) <= t <= time_of(k+1)`, clamped.
@@ -71,10 +70,7 @@ impl TimeBlockDecomposition {
     pub fn blocks_needed(&self, p: Vec3, t: f64) -> Option<[SpaceTimeBlockId; 2]> {
         let space = self.space.locate(p)?;
         let k = self.interval_of(t);
-        Some([
-            SpaceTimeBlockId { space, step: k },
-            SpaceTimeBlockId { space, step: k + 1 },
-        ])
+        Some([SpaceTimeBlockId { space, step: k }, SpaceTimeBlockId { space, step: k + 1 }])
     }
 
     /// Linear index of a space-time block (for stores keyed by flat ids).

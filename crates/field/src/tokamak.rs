@@ -97,8 +97,8 @@ impl VectorField for TokamakField {
             let r_hat_minor = rho_hat * theta.cos() + Vec3::Z * theta.sin();
             let envelope = (r / self.r_minor).powi(2);
             let amp = self.perturbation * self.b0 * envelope;
-            b += r_hat_minor
-                * (amp * (self.m_mode as f64 * theta - self.n_mode as f64 * phi).sin());
+            b +=
+                r_hat_minor * (amp * (self.m_mode as f64 * theta - self.n_mode as f64 * phi).sin());
         }
         b
     }

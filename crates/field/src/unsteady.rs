@@ -100,11 +100,7 @@ pub struct TimeSeriesField {
 }
 
 impl TimeSeriesField {
-    pub fn new(
-        times: Vec<f64>,
-        snapshots: Vec<Arc<dyn VectorField>>,
-        label: &'static str,
-    ) -> Self {
+    pub fn new(times: Vec<f64>, snapshots: Vec<Arc<dyn VectorField>>, label: &'static str) -> Self {
         assert!(times.len() >= 2, "need at least two snapshots");
         assert_eq!(times.len(), snapshots.len());
         assert!(times.windows(2).all(|w| w[1] > w[0]), "times must increase");
@@ -116,14 +112,11 @@ impl TimeSeriesField {
     pub fn discretize<U: UnsteadyField + Clone + 'static>(field: &U, n_steps: usize) -> Self {
         assert!(n_steps >= 1);
         let (t0, t1) = field.time_range();
-        let times: Vec<f64> = (0..=n_steps)
-            .map(|i| t0 + (t1 - t0) * i as f64 / n_steps as f64)
-            .collect();
+        let times: Vec<f64> =
+            (0..=n_steps).map(|i| t0 + (t1 - t0) * i as f64 / n_steps as f64).collect();
         let snapshots = times
             .iter()
-            .map(|&t| {
-                Arc::new(FrozenSlice { field: field.clone(), t }) as Arc<dyn VectorField>
-            })
+            .map(|&t| Arc::new(FrozenSlice { field: field.clone(), t }) as Arc<dyn VectorField>)
             .collect();
         TimeSeriesField::new(times, snapshots, "discretized")
     }

@@ -8,7 +8,13 @@ use streamline_math::Vec3;
 pub struct Euler;
 
 impl Stepper for Euler {
-    fn step(&self, f: Rhs<'_>, y: Vec3, h: f64, _tol: &Tolerances) -> Result<StepResult, StageFail> {
+    fn step(
+        &self,
+        f: Rhs<'_>,
+        y: Vec3,
+        h: f64,
+        _tol: &Tolerances,
+    ) -> Result<StepResult, StageFail> {
         let k = f(y).ok_or(StageFail)?;
         Ok(StepResult { y: y + k * h, error: 0.0 })
     }

@@ -17,10 +17,7 @@ pub struct SectionPlane {
 
 impl SectionPlane {
     pub fn new(point: Vec3, normal: Vec3) -> Self {
-        SectionPlane {
-            point,
-            normal: normal.normalized().expect("plane normal must be nonzero"),
-        }
+        SectionPlane { point, normal: normal.normalized().expect("plane normal must be nonzero") }
     }
 
     /// Signed distance of `p` from the plane.
@@ -93,8 +90,7 @@ mod tests {
         // Straight line crossing the plane once, downward.
         let f = |_p: Vec3| Some(Vec3::new(0.0, -1.0, 0.0));
         let plane = SectionPlane::new(Vec3::ZERO, Vec3::Y);
-        let pts =
-            punctures(&f, Vec3::new(1.0, 0.5, 0.0), plane, &|_| true, 10, 10_000, 0.01);
+        let pts = punctures(&f, Vec3::new(1.0, 0.5, 0.0), plane, &|_| true, 10, 10_000, 0.01);
         assert!(pts.is_empty());
     }
 
@@ -104,8 +100,7 @@ mod tests {
         let f = |p: Vec3| Some(Vec3::new(-omega * p.y, omega * p.x, 0.0));
         let plane = SectionPlane::new(Vec3::ZERO, Vec3::Y);
         // Reject everything: trajectory keeps circling but nothing collects.
-        let pts =
-            punctures(&f, Vec3::new(1.0, 0.0, 0.0), plane, &|_| false, 5, 5_000, 0.01);
+        let pts = punctures(&f, Vec3::new(1.0, 0.0, 0.0), plane, &|_| false, 5, 5_000, 0.01);
         assert!(pts.is_empty());
     }
 

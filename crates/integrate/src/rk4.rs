@@ -8,7 +8,13 @@ use streamline_math::Vec3;
 pub struct Rk4;
 
 impl Stepper for Rk4 {
-    fn step(&self, f: Rhs<'_>, y: Vec3, h: f64, _tol: &Tolerances) -> Result<StepResult, StageFail> {
+    fn step(
+        &self,
+        f: Rhs<'_>,
+        y: Vec3,
+        h: f64,
+        _tol: &Tolerances,
+    ) -> Result<StepResult, StageFail> {
         let k1 = f(y).ok_or(StageFail)?;
         let k2 = f(y + k1 * (h * 0.5)).ok_or(StageFail)?;
         let k3 = f(y + k2 * (h * 0.5)).ok_or(StageFail)?;

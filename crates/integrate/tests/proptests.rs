@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use streamline_integrate::tracer::{advect, AdvectOutcome, StepLimits};
-use streamline_integrate::{Dopri5, Stepper, Streamline, StreamlineId, Termination, Tolerances};
 use streamline_integrate::{euler::Euler, rk4::Rk4};
+use streamline_integrate::{Dopri5, Stepper, Streamline, StreamlineId, Termination, Tolerances};
 use streamline_math::{Aabb, Vec3};
 
 proptest! {

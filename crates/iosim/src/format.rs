@@ -91,11 +91,7 @@ pub fn decode(mut buf: &[u8]) -> Result<Block, FormatError> {
     }
     let ghost = buf.get_u16_le() as usize;
     let id = BlockId(buf.get_u32_le());
-    let nodes = [
-        buf.get_u32_le() as usize,
-        buf.get_u32_le() as usize,
-        buf.get_u32_le() as usize,
-    ];
+    let nodes = [buf.get_u32_le() as usize, buf.get_u32_le() as usize, buf.get_u32_le() as usize];
     let min = Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le());
     let max = Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le());
     let spacing = Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le());

@@ -20,4 +20,4 @@ pub mod store;
 
 pub use lru::{CacheStats, LruCache};
 pub use model::DiskModel;
-pub use store::{BlockStore, DiskStore, FieldStore, MemoryStore};
+pub use store::{BlockStore, DiskStore, FieldStore, MemoryStore, StoreError};

@@ -156,13 +156,7 @@ mod tests {
     use streamline_math::{Aabb, Vec3};
 
     fn block(id: u32) -> Arc<Block> {
-        Arc::new(Block::zeroed(
-            BlockId(id),
-            Aabb::unit(),
-            0,
-            [2, 2, 2],
-            Vec3::splat(1.0),
-        ))
+        Arc::new(Block::zeroed(BlockId(id), Aabb::unit(), 0, [2, 2, 2], Vec3::splat(1.0)))
     }
 
     #[test]

@@ -15,11 +15,55 @@ use std::sync::Arc;
 use streamline_field::block::{Block, BlockId};
 use streamline_field::dataset::Dataset;
 
+/// Why a block could not be produced.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The id is outside the store's decomposition.
+    UnknownBlock { id: BlockId, num_blocks: usize },
+    /// Reading the block's backing file failed.
+    Io { path: PathBuf, source: io::Error },
+    /// The file was read but its payload is not a valid block.
+    Decode { path: PathBuf, source: format::FormatError },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::UnknownBlock { id, num_blocks } => {
+                write!(f, "unknown block {id:?} (store holds {num_blocks} blocks)")
+            }
+            StoreError::Io { path, source } => {
+                write!(f, "reading block file {}: {source}", path.display())
+            }
+            StoreError::Decode { path, source } => {
+                write!(f, "decoding block file {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::UnknownBlock { .. } => None,
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Decode { source, .. } => Some(source),
+        }
+    }
+}
+
 /// Source of block payloads. Thread-safe: multiple ranks load concurrently.
 pub trait BlockStore: Send + Sync {
-    /// Load one block. Panics on unknown ids (the decomposition is the
-    /// single source of truth for which ids exist).
-    fn load(&self, id: BlockId) -> Arc<Block>;
+    /// Load one block, reporting failures (missing/corrupt files, unknown
+    /// ids) as typed errors.
+    fn try_load(&self, id: BlockId) -> Result<Arc<Block>, StoreError>;
+
+    /// Load one block, panicking on failure with the error's context. The
+    /// simulation drivers use this: an unreadable block there is a setup
+    /// bug, not a runtime condition to recover from.
+    fn load(&self, id: BlockId) -> Arc<Block> {
+        self.try_load(id).unwrap_or_else(|e| panic!("{e}"))
+    }
 
     /// Number of blocks available.
     fn num_blocks(&self) -> usize;
@@ -36,10 +80,7 @@ impl MemoryStore {
     pub fn build(dataset: &Dataset) -> Self {
         use rayon::prelude::*;
         let ids: Vec<_> = dataset.decomp.all_blocks().collect();
-        let blocks = ids
-            .into_par_iter()
-            .map(|id| Arc::new(dataset.build_block(id)))
-            .collect();
+        let blocks = ids.into_par_iter().map(|id| Arc::new(dataset.build_block(id))).collect();
         MemoryStore { blocks }
     }
 
@@ -49,8 +90,11 @@ impl MemoryStore {
 }
 
 impl BlockStore for MemoryStore {
-    fn load(&self, id: BlockId) -> Arc<Block> {
-        Arc::clone(&self.blocks[id.index()])
+    fn try_load(&self, id: BlockId) -> Result<Arc<Block>, StoreError> {
+        self.blocks
+            .get(id.index())
+            .map(Arc::clone)
+            .ok_or(StoreError::UnknownBlock { id, num_blocks: self.blocks.len() })
     }
 
     fn num_blocks(&self) -> usize {
@@ -77,15 +121,21 @@ impl FieldStore {
 }
 
 impl BlockStore for FieldStore {
-    fn load(&self, id: BlockId) -> Arc<Block> {
+    fn try_load(&self, id: BlockId) -> Result<Arc<Block>, StoreError> {
+        if id.index() >= self.dataset.decomp.num_blocks() {
+            return Err(StoreError::UnknownBlock {
+                id,
+                num_blocks: self.dataset.decomp.num_blocks(),
+            });
+        }
         if let Some(b) = self.cache.lock().get(&id) {
-            return Arc::clone(b);
+            return Ok(Arc::clone(b));
         }
         // Sample outside the lock: block construction is the expensive part
         // and two ranks racing on the same id just do redundant work once.
         let built = Arc::new(self.dataset.build_block(id));
         let mut cache = self.cache.lock();
-        Arc::clone(cache.entry(id).or_insert(built))
+        Ok(Arc::clone(cache.entry(id).or_insert(built)))
     }
 
     fn num_blocks(&self) -> usize {
@@ -129,14 +179,12 @@ impl DiskStore {
 }
 
 impl BlockStore for DiskStore {
-    fn load(&self, id: BlockId) -> Arc<Block> {
+    fn try_load(&self, id: BlockId) -> Result<Arc<Block>, StoreError> {
         let path = self.path_of(id);
-        let bytes = std::fs::read(&path)
-            .unwrap_or_else(|e| panic!("reading block file {}: {e}", path.display()));
-        Arc::new(
-            format::decode(&bytes)
-                .unwrap_or_else(|e| panic!("decoding block file {}: {e}", path.display())),
-        )
+        let bytes =
+            std::fs::read(&path).map_err(|source| StoreError::Io { path: path.clone(), source })?;
+        let block = format::decode(&bytes).map_err(|source| StoreError::Decode { path, source })?;
+        Ok(Arc::new(block))
     }
 
     fn num_blocks(&self) -> usize {
@@ -204,5 +252,46 @@ mod tests {
     fn disk_store_missing_file_panics_with_path() {
         let store = DiskStore::open(Path::new("/nonexistent-dir-xyz"), 1);
         let _ = store.load(BlockId(0));
+    }
+
+    #[test]
+    fn disk_store_missing_file_yields_io_error() {
+        let store = DiskStore::open(Path::new("/nonexistent-dir-xyz"), 1);
+        match store.try_load(BlockId(0)) {
+            Err(StoreError::Io { path, source }) => {
+                assert!(path.to_string_lossy().contains("nonexistent-dir-xyz"));
+                assert_eq!(source.kind(), io::ErrorKind::NotFound);
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disk_store_corrupt_file_yields_decode_error() {
+        let dir = std::env::temp_dir().join(format!("slbk-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = DiskStore::open(&dir, 1);
+        std::fs::write(store.path_of(BlockId(0)), b"not a block").unwrap();
+        match store.try_load(BlockId(0)) {
+            Err(StoreError::Decode { path, .. }) => {
+                assert!(path.to_string_lossy().ends_with(".slbk"));
+            }
+            other => panic!("expected Decode error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memory_store_unknown_block_is_typed() {
+        let ds = tiny_dataset();
+        let store = MemoryStore::build(&ds);
+        match store.try_load(BlockId(99)) {
+            Err(StoreError::UnknownBlock { id, num_blocks }) => {
+                assert_eq!(id, BlockId(99));
+                assert_eq!(num_blocks, 8);
+            }
+            other => panic!("expected UnknownBlock, got {other:?}"),
+        }
+        assert!(FieldStore::new(tiny_dataset()).try_load(BlockId(99)).is_err());
     }
 }

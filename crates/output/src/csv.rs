@@ -6,10 +6,7 @@ use streamline_integrate::{Streamline, StreamlineStatus};
 /// One row per streamline: id, seed, final position, steps, arc length,
 /// integration time, termination reason.
 pub fn write_summary<W: Write>(mut w: W, streamlines: &[Streamline]) -> io::Result<()> {
-    writeln!(
-        w,
-        "id,seed_x,seed_y,seed_z,end_x,end_y,end_z,steps,arc_length,time,status"
-    )?;
+    writeln!(w, "id,seed_x,seed_y,seed_z,end_x,end_y,end_z,steps,arc_length,time,status")?;
     for s in streamlines {
         let status = match s.status {
             StreamlineStatus::Active => "active".to_string(),

@@ -75,10 +75,9 @@ impl Canvas {
 
     /// Draw a world-space segment with naive DDA stepping.
     pub fn segment(&mut self, a: Vec3, b: Vec3, rgb: [u8; 3]) {
-        let steps = ((self.width.max(self.height)) as f64
-            * self.projection_span(a, b))
-        .ceil()
-        .max(1.0) as usize;
+        let steps = ((self.width.max(self.height)) as f64 * self.projection_span(a, b))
+            .ceil()
+            .max(1.0) as usize;
         for i in 0..=steps {
             self.plot(a.lerp(b, i as f64 / steps as f64), rgb);
         }

@@ -46,10 +46,7 @@ pub fn write_polylines<W: Write>(mut w: W, streamlines: &[Streamline]) -> io::Re
 }
 
 /// Convenience: write to a file path.
-pub fn write_polylines_file(
-    path: &std::path::Path,
-    streamlines: &[Streamline],
-) -> io::Result<()> {
+pub fn write_polylines_file(path: &std::path::Path, streamlines: &[Streamline]) -> io::Result<()> {
     let f = std::fs::File::create(path)?;
     write_polylines(io::BufWriter::new(f), streamlines)
 }

@@ -168,13 +168,11 @@ mod tests {
     #[test]
     fn double_gyre_has_positive_ridges() {
         let g = UnsteadyDoubleGyre::standard();
-        let ftle =
-            ftle_grid(&g, [0.05, 0.05], [1.95, 0.95], 0.0, 24, 12, 0.0, 10.0, &limits());
+        let ftle = ftle_grid(&g, [0.05, 0.05], [1.95, 0.95], 0.0, 24, 12, 0.0, 10.0, &limits());
         let max = ftle.max_value();
         assert!(max > 0.15, "ridge strength {max} too weak for the double gyre");
         // The field is not uniformly large: ridges are localized.
-        let finite: Vec<f64> =
-            ftle.values.iter().copied().filter(|v| v.is_finite()).collect();
+        let finite: Vec<f64> = ftle.values.iter().copied().filter(|v| v.is_finite()).collect();
         let mean = finite.iter().sum::<f64>() / finite.len() as f64;
         assert!(max > 2.0 * mean.abs().max(0.02), "max {max} vs mean {mean}");
     }

@@ -354,9 +354,7 @@ mod tests {
             .iter()
             .filter(|s| {
                 s.status
-                    == streamline_integrate::StreamlineStatus::Terminated(
-                        Termination::ExitedDomain,
-                    )
+                    == streamline_integrate::StreamlineStatus::Terminated(Termination::ExitedDomain)
             })
             .count();
         assert_eq!(exited, 0, "impermeable walls breached");

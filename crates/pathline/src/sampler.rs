@@ -36,13 +36,7 @@ mod tests {
     use streamline_math::Aabb;
 
     fn const_block(v: Vec3) -> Arc<Block> {
-        let mut b = Block::zeroed(
-            BlockId(0),
-            Aabb::unit(),
-            0,
-            [3, 3, 3],
-            Vec3::splat(0.5),
-        );
+        let mut b = Block::zeroed(BlockId(0), Aabb::unit(), 0, [3, 3, 3], Vec3::splat(0.5));
         for s in b.data.iter_mut() {
             *s = v.to_f32_array();
         }

@@ -1,0 +1,167 @@
+//! A process-wide, sharded block cache shared by every worker and request.
+//!
+//! The single-shot algorithms give each rank a private
+//! [`LruCache`](streamline_iosim::LruCache); the service instead pools one
+//! cache across all in-flight requests, so a block loaded for one client is
+//! a hit for every other client that needs it. The cache is split into
+//! shards (block id modulo shard count) so concurrent workers touching
+//! different blocks do not serialize on one lock.
+//!
+//! Loads happen *under the shard lock*. That makes the accounting exact —
+//! `stats().hits + stats().loaded` equals the total number of
+//! [`get_or_load`](SharedBlockCache::get_or_load) calls, with no
+//! thundering-herd double loads for a popular block — at the price of
+//! serializing loads of blocks that share a shard. With the simulated
+//! stores a load is cheap; for a real disk store the shard count bounds
+//! the lost parallelism.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use streamline_field::block::{Block, BlockId};
+use streamline_iosim::{BlockStore, CacheStats, LruCache, StoreError};
+
+/// Concurrent sharded LRU over [`streamline_iosim::LruCache`].
+pub struct SharedBlockCache {
+    shards: Vec<Mutex<LruCache>>,
+}
+
+impl SharedBlockCache {
+    /// A cache holding at most `capacity_blocks` blocks in total, split
+    /// across `shards` locks. Capacity is distributed evenly (rounded up,
+    /// minimum one block per shard), so the worst-case resident set is
+    /// `shards * ceil(capacity/shards)`; [`capacity`](Self::capacity)
+    /// reports the actual bound.
+    pub fn new(capacity_blocks: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity_blocks.div_ceil(shards).max(1);
+        SharedBlockCache {
+            shards: (0..shards).map(|_| Mutex::new(LruCache::new(per_shard))).collect(),
+        }
+    }
+
+    fn shard(&self, id: BlockId) -> &Mutex<LruCache> {
+        &self.shards[id.0 as usize % self.shards.len()]
+    }
+
+    /// Get `id` from the cache, loading it from `store` on a miss. The
+    /// boolean is `true` on a hit. Returns the store's typed error if the
+    /// load fails (the slot is simply not populated).
+    pub fn get_or_load(
+        &self,
+        id: BlockId,
+        store: &dyn BlockStore,
+    ) -> Result<(Arc<Block>, bool), StoreError> {
+        let mut shard = self.shard(id).lock();
+        if let Some(b) = shard.get(id) {
+            return Ok((b, true));
+        }
+        let b = store.try_load(id)?;
+        shard.insert(Arc::clone(&b));
+        Ok((b, false))
+    }
+
+    /// Total block capacity (sum over shards).
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().capacity()).sum()
+    }
+
+    /// Number of shards (= independent locks).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Blocks currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merged hit/load/purge counters across all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.shards {
+            total.merge(&s.lock().stats());
+        }
+        total
+    }
+
+    /// Resident block ids across all shards (unordered).
+    pub fn resident(&self) -> Vec<BlockId> {
+        let mut ids = Vec::new();
+        for s in &self.shards {
+            ids.extend(s.lock().resident());
+        }
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamline_iosim::MemoryStore;
+    use streamline_math::{Aabb, Vec3};
+
+    fn store(n: u32) -> MemoryStore {
+        MemoryStore::from_blocks(
+            (0..n)
+                .map(|i| Block::zeroed(BlockId(i), Aabb::unit(), 0, [2, 2, 2], Vec3::splat(1.0)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn hit_and_miss_accounting_is_exact() {
+        let cache = SharedBlockCache::new(8, 4);
+        let st = store(8);
+        for round in 0..3 {
+            for i in 0..8 {
+                let (b, hit) = cache.get_or_load(BlockId(i), &st).unwrap();
+                assert_eq!(b.id, BlockId(i));
+                assert_eq!(hit, round > 0);
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.loaded, 8);
+        assert_eq!(stats.hits, 16);
+        assert_eq!(stats.purged, 0);
+    }
+
+    #[test]
+    fn capacity_bounds_resident_set() {
+        let cache = SharedBlockCache::new(4, 2);
+        let st = store(32);
+        for i in 0..32 {
+            cache.get_or_load(BlockId(i), &st).unwrap();
+        }
+        assert!(cache.len() <= cache.capacity());
+        let stats = cache.stats();
+        assert_eq!(stats.loaded - stats.purged, cache.len() as u64);
+    }
+
+    #[test]
+    fn load_failure_is_propagated_not_cached() {
+        let cache = SharedBlockCache::new(4, 2);
+        let st = store(2);
+        let err = cache.get_or_load(BlockId(9), &st).unwrap_err();
+        assert!(matches!(err, StoreError::UnknownBlock { id: BlockId(9), .. }));
+        assert_eq!(cache.len(), 0);
+        // A subsequent valid load still works.
+        assert!(!cache.get_or_load(BlockId(1), &st).unwrap().1);
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_plain_lru() {
+        let cache = SharedBlockCache::new(2, 1);
+        let st = store(3);
+        cache.get_or_load(BlockId(0), &st).unwrap();
+        cache.get_or_load(BlockId(1), &st).unwrap();
+        cache.get_or_load(BlockId(2), &st).unwrap(); // evicts 0
+        let resident = cache.resident();
+        assert_eq!(resident.len(), 2);
+        assert!(!resident.contains(&BlockId(0)));
+        assert_eq!(cache.stats().purged, 1);
+    }
+}

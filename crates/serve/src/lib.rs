@@ -1,0 +1,41 @@
+//! A long-lived streamline *query service* over the SC09 machinery.
+//!
+//! The paper's algorithms are batch programs: one seed set in, one run out.
+//! This crate recasts the Load-On-Demand locality idea as a serving
+//! problem: many concurrent clients submit small seed sets against a shared
+//! dataset, and the service amortizes block I/O across *all* in-flight
+//! requests instead of within a single run.
+//!
+//! Architecture:
+//!
+//! * **Admission control** — [`Service::submit`] accepts a [`Request`]
+//!   (seeds + integration params + optional deadline) only while the total
+//!   number of live seeds is below the configured queue capacity;
+//!   otherwise it rejects immediately with the typed
+//!   [`SubmitError::Overloaded`], never blocking the client.
+//! * **Batch former** — pending streamlines are parked per owning block
+//!   (the same parking discipline as the Load-On-Demand rank, see
+//!   `streamline_core::load_on_demand`). Workers repeatedly claim the
+//!   block with the most parked work, so one cache acquisition serves an
+//!   entire coalesced batch — possibly spanning many requests.
+//! * **Shared block cache** — a process-wide sharded LRU
+//!   ([`cache::SharedBlockCache`]) built over `streamline_iosim::LruCache`,
+//!   reporting the paper's block efficiency `E = (B_L − B_P)/B_L` at the
+//!   service level.
+//! * **Deadlines and drain** — each request may carry a deadline; expired
+//!   requests stop consuming compute and complete with
+//!   [`Outcome::DeadlineExceeded`]. [`Service::shutdown`] drains all
+//!   in-flight work before workers exit.
+//! * **Metrics** — [`Service::metrics`] snapshots throughput, queue depth,
+//!   p50/p95/p99 latency and cache behavior ([`metrics::ServiceMetrics`]).
+//!
+//! Streamlines computed here are bit-identical to the single-shot drivers:
+//! both advance through `streamline_core::advance::advance_in_block`.
+
+pub mod cache;
+pub mod metrics;
+pub mod service;
+
+pub use cache::SharedBlockCache;
+pub use metrics::{LatencyHistogram, ServiceMetrics};
+pub use service::{Outcome, Request, Response, Service, ServiceConfig, SubmitError, Ticket};

@@ -1,0 +1,152 @@
+//! Service-level observability: a lock-free latency histogram and the
+//! [`ServiceMetrics`] snapshot surfaced by `serve-bench`.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use streamline_iosim::CacheStats;
+
+/// Number of power-of-two latency buckets; bucket `i > 0` covers
+/// `[2^(i-1), 2^i)` nanoseconds, bucket 0 covers zero. 2^63 ns ≈ 292
+/// years, so the top bucket is unreachable in practice.
+const BUCKETS: usize = 64;
+
+/// A fixed-size log2 histogram of request latencies.
+///
+/// Recording is a single relaxed atomic increment, so worker and client
+/// threads never contend; quantiles are approximate (resolved to the
+/// geometric midpoint of a power-of-two bucket, i.e. within ~±41% of the
+/// true value — ample for separating microseconds from milliseconds from
+/// seconds).
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram { counts: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+
+    pub fn record(&self, latency: Duration) {
+        let nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - nanos.leading_zeros() as usize).min(BUCKETS - 1);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The latency at quantile `q` in `[0, 1]`, or `None` if nothing has
+    /// been recorded. Resolved to the geometric midpoint of the bucket
+    /// containing the q-th sample.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let snapshot: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let total: u64 = snapshot.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in snapshot.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let nanos = if i == 0 {
+                    0.0
+                } else {
+                    // Geometric midpoint of [2^(i-1), 2^i).
+                    2f64.powf(i as f64 - 0.5)
+                };
+                return Some(Duration::from_nanos(nanos as u64));
+            }
+        }
+        unreachable!("rank <= total")
+    }
+}
+
+/// A point-in-time snapshot of service health, serializable to JSON for
+/// the `serve-bench` CLI.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceMetrics {
+    /// Worker threads serving the queues.
+    pub workers: usize,
+    /// Seconds since the service started.
+    pub uptime_secs: f64,
+    /// Requests accepted by admission control.
+    pub submitted: u64,
+    /// Requests that completed (including deadline-expired ones).
+    pub completed: u64,
+    /// Requests rejected with `Overloaded`.
+    pub rejected: u64,
+    /// Requests that hit their deadline before finishing.
+    pub deadline_expired: u64,
+    /// Streamlines fully integrated to termination.
+    pub streamlines_completed: u64,
+    /// Accepted integration steps across all workers.
+    pub total_steps: u64,
+    /// Seeds admitted but not yet resolved (queued + in flight).
+    pub queue_depth: usize,
+    /// Admission-control bound on `queue_depth`.
+    pub queue_capacity: usize,
+    /// Completed requests per second of uptime.
+    pub throughput_rps: f64,
+    /// Terminated streamlines per second of uptime.
+    pub streamlines_per_sec: f64,
+    pub latency_p50_ms: f64,
+    pub latency_p95_ms: f64,
+    pub latency_p99_ms: f64,
+    /// Merged counters from the shared block cache.
+    pub cache: CacheStats,
+    /// Blocks resident in the shared cache right now.
+    pub cache_resident: usize,
+    /// Total block capacity of the shared cache.
+    pub cache_capacity: usize,
+    /// Fraction of block requests served without a load: hits/(hits+loaded).
+    pub cache_hit_rate: f64,
+    /// The paper's block efficiency E = (B_L - B_P)/B_L over the shared
+    /// cache (Eq. 2): 1.0 means nothing loaded was ever evicted.
+    pub block_efficiency: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn quantiles_order_and_bracket_samples() {
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_micros(100)); // ~1e5 ns
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(50)); // 5e7 ns
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= p99);
+        // p50 lands in the 100us bucket (within 2x), p99 in the 50ms bucket.
+        assert!(p50 >= Duration::from_micros(50) && p50 <= Duration::from_micros(200));
+        assert!(p99 >= Duration::from_millis(25) && p99 <= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn zero_latency_goes_to_bucket_zero() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.quantile(1.0).unwrap(), Duration::ZERO);
+    }
+}

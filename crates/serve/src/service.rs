@@ -1,0 +1,720 @@
+//! The query service: admission control, the per-block batch former, the
+//! worker pool, deadlines, and graceful drain.
+//!
+//! # Life of a request
+//!
+//! 1. [`Service::submit`] checks admission (live seeds < queue capacity;
+//!    over capacity ⇒ [`SubmitError::Overloaded`], immediately, without
+//!    blocking), assigns [`StreamlineId`]s in seed order exactly like the
+//!    single-shot driver, and parks one work item per seed in the queue of
+//!    the block that owns it.
+//! 2. Workers repeatedly claim the *entire queue* of the block with the
+//!    most parked items (ties broken toward the lowest block id), acquire
+//!    that block once through the [`SharedBlockCache`], and advance every
+//!    parked streamline through it — the request-coalescing analogue of
+//!    the paper's Load-On-Demand locality. Streamlines that exit into
+//!    another block are re-parked; terminated ones are returned to their
+//!    request.
+//! 3. When the last seed of a request resolves, the [`Response`] is
+//!    completed and the client's [`Ticket`] unblocks.
+//!
+//! Advancement itself is [`streamline_core::advance::advance_in_block`] —
+//! the same function the batch drivers use — so served streamlines are
+//! bit-identical to single-shot runs with the same [`StepLimits`].
+
+use crate::cache::SharedBlockCache;
+use crate::metrics::{LatencyHistogram, ServiceMetrics};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use streamline_core::advance::advance_in_block;
+use streamline_core::workspace::BlockExit;
+use streamline_field::block::BlockId;
+use streamline_field::decomp::BlockDecomposition;
+use streamline_integrate::{Dopri5, StepLimits, Streamline, StreamlineId, Termination};
+use streamline_iosim::BlockStore;
+use streamline_math::Vec3;
+
+/// Tuning knobs for [`Service::start`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads advancing streamlines.
+    pub workers: usize,
+    /// Total block capacity of the shared cache.
+    pub cache_blocks: usize,
+    /// Lock shards in the shared cache.
+    pub cache_shards: usize,
+    /// Admission bound: maximum seeds admitted but not yet resolved.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { workers: 4, cache_blocks: 64, cache_shards: 8, queue_capacity: 4096 }
+    }
+}
+
+/// One query: a set of seed points plus how to integrate them.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub seeds: Vec<Vec3>,
+    pub limits: StepLimits,
+    /// Give up (and respond with [`Outcome::DeadlineExceeded`]) if the
+    /// request has not finished by this instant.
+    pub deadline: Option<Instant>,
+}
+
+impl Request {
+    pub fn new(seeds: Vec<Vec3>) -> Self {
+        Request { seeds, limits: StepLimits::default(), deadline: None }
+    }
+
+    pub fn with_limits(mut self, limits: StepLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Why [`Service::submit`] refused a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Admitting this request would exceed the service's seed queue
+    /// capacity. Back off and retry; nothing was enqueued.
+    Overloaded {
+        /// Seeds already admitted and unresolved.
+        queue_depth: usize,
+        /// The admission bound.
+        capacity: usize,
+        /// Seeds in the rejected request.
+        requested: usize,
+    },
+    /// The service is draining; no new work is accepted.
+    ShuttingDown,
+    /// The request carried no seeds.
+    Empty,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Overloaded { queue_depth, capacity, requested } => write!(
+                f,
+                "service overloaded: {requested} seeds requested but queue holds \
+                 {queue_depth}/{capacity}"
+            ),
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+            SubmitError::Empty => write!(f, "request has no seeds"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// How a request finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every seed was integrated to termination.
+    Completed,
+    /// The deadline passed first; `dropped` seeds were abandoned
+    /// mid-integration and are not in the response.
+    DeadlineExceeded { dropped: usize },
+}
+
+/// The service's answer to one [`Request`].
+#[derive(Debug)]
+pub struct Response {
+    pub request_id: u64,
+    pub outcome: Outcome,
+    /// Terminated streamlines, ordered by [`StreamlineId`] (= seed order).
+    pub streamlines: Vec<Streamline>,
+    /// Submission-to-completion latency.
+    pub latency: Duration,
+}
+
+/// Handle to a pending request; redeem with [`Ticket::wait`].
+pub struct Ticket {
+    pub request_id: u64,
+    rx: Receiver<Response>,
+}
+
+impl Ticket {
+    /// Block until the service responds. Panics if the service was torn
+    /// down without answering (it never is: drain answers everything).
+    pub fn wait(self) -> Response {
+        self.rx.recv().expect("service dropped a pending request")
+    }
+
+    /// Non-blocking poll; returns the ticket back while still pending.
+    pub fn try_wait(self) -> Result<Response, Ticket> {
+        match self.rx.try_recv() {
+            Ok(r) => Ok(r),
+            Err(_) => Err(self),
+        }
+    }
+}
+
+/// One streamline parked in a block queue, plus its parent request.
+struct WorkItem {
+    sl: Streamline,
+    req: Arc<RequestState>,
+}
+
+/// Shared, mostly-atomic state of one in-flight request.
+struct RequestState {
+    id: u64,
+    limits: StepLimits,
+    deadline: Option<Instant>,
+    submitted: Instant,
+    /// Set once the deadline is observed expired; later items short-circuit.
+    expired: AtomicBool,
+    /// Seeds not yet resolved; the item that drops this to zero completes
+    /// the request.
+    remaining: AtomicUsize,
+    /// Seeds abandoned because the deadline passed.
+    dropped: AtomicUsize,
+    finished: Mutex<Vec<Streamline>>,
+    tx: Sender<Response>,
+}
+
+/// The batch former: per-block queues of parked work.
+#[derive(Default)]
+struct SchedState {
+    queues: BTreeMap<BlockId, Vec<WorkItem>>,
+    /// Items currently checked out by workers (claimed but not re-parked
+    /// or finished). Drain completes when queues are empty *and* this is 0.
+    in_flight: usize,
+    shutting_down: bool,
+}
+
+struct Scheduler {
+    state: Mutex<SchedState>,
+    /// Signalled when work arrives or the last item drains.
+    work_ready: Condvar,
+}
+
+struct ServiceInner {
+    decomp: BlockDecomposition,
+    store: Arc<dyn BlockStore>,
+    cache: SharedBlockCache,
+    sched: Scheduler,
+    /// Seeds admitted but unresolved — the admission-control gauge.
+    pending_seeds: AtomicUsize,
+    queue_capacity: usize,
+    next_request_id: AtomicU64,
+    started: Instant,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    deadline_expired: AtomicU64,
+    streamlines_completed: AtomicU64,
+    total_steps: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+/// A running streamline query service. See the [module docs](self).
+pub struct Service {
+    inner: Arc<ServiceInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Spawn the worker pool and start accepting requests against
+    /// `decomp`/`store`.
+    pub fn start(
+        decomp: BlockDecomposition,
+        store: Arc<dyn BlockStore>,
+        cfg: ServiceConfig,
+    ) -> Self {
+        let inner = Arc::new(ServiceInner {
+            decomp,
+            store,
+            cache: SharedBlockCache::new(cfg.cache_blocks, cfg.cache_shards),
+            sched: Scheduler {
+                state: Mutex::new(SchedState::default()),
+                work_ready: Condvar::new(),
+            },
+            pending_seeds: AtomicUsize::new(0),
+            queue_capacity: cfg.queue_capacity.max(1),
+            next_request_id: AtomicU64::new(0),
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            streamlines_completed: AtomicU64::new(0),
+            total_steps: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Service { inner, workers }
+    }
+
+    /// Submit a request. On success the seeds are enqueued and a
+    /// [`Ticket`] is returned immediately; integration proceeds on the
+    /// worker pool. Rejection leaves no trace of the request.
+    pub fn submit(&self, req: Request) -> Result<Ticket, SubmitError> {
+        let n = req.seeds.len();
+        if n == 0 {
+            return Err(SubmitError::Empty);
+        }
+        // Optimistic admission: reserve the seats, roll back on refusal.
+        let prev = self.inner.pending_seeds.fetch_add(n, Ordering::AcqRel);
+        if prev + n > self.inner.queue_capacity {
+            self.inner.pending_seeds.fetch_sub(n, Ordering::AcqRel);
+            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Overloaded {
+                queue_depth: prev,
+                capacity: self.inner.queue_capacity,
+                requested: n,
+            });
+        }
+
+        let id = self.inner.next_request_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        let state = Arc::new(RequestState {
+            id,
+            limits: req.limits,
+            deadline: req.deadline,
+            submitted: Instant::now(),
+            expired: AtomicBool::new(false),
+            remaining: AtomicUsize::new(n),
+            dropped: AtomicUsize::new(0),
+            finished: Mutex::new(Vec::with_capacity(n)),
+            tx,
+        });
+
+        // Seed-order ids, exactly like the single-shot driver.
+        let mut parked: BTreeMap<BlockId, Vec<WorkItem>> = BTreeMap::new();
+        let mut out_of_domain = Vec::new();
+        for (i, &p) in req.seeds.iter().enumerate() {
+            let mut sl = Streamline::new_lean(StreamlineId(i as u32), p, req.limits.h0);
+            match self.inner.decomp.locate(p) {
+                Some(block) => {
+                    parked.entry(block).or_default().push(WorkItem { sl, req: Arc::clone(&state) })
+                }
+                None => {
+                    sl.terminate(Termination::ExitedDomain);
+                    out_of_domain.push(sl);
+                }
+            }
+        }
+
+        {
+            let mut st = self.inner.sched.state.lock();
+            if st.shutting_down {
+                drop(st);
+                self.inner.pending_seeds.fetch_sub(n, Ordering::AcqRel);
+                return Err(SubmitError::ShuttingDown);
+            }
+            let blocks_touched = parked.len();
+            for (block, mut items) in parked {
+                st.queues.entry(block).or_default().append(&mut items);
+            }
+            if blocks_touched == 1 {
+                self.inner.sched.work_ready.notify_one();
+            } else if blocks_touched > 1 {
+                self.inner.sched.work_ready.notify_all();
+            }
+        }
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+
+        // Seeds outside the domain terminate instantly (possibly
+        // completing the whole request right here on the client thread).
+        for sl in out_of_domain {
+            finish_item(&self.inner, &state, Some(sl));
+        }
+
+        Ok(Ticket { request_id: id, rx })
+    }
+
+    /// Point-in-time health snapshot.
+    pub fn metrics(&self) -> ServiceMetrics {
+        snapshot(&self.inner, self.workers.len())
+    }
+
+    /// Stop accepting requests, drain every queued and in-flight seed,
+    /// join the workers, and return the final metrics. Pending tickets all
+    /// receive their responses before this returns.
+    pub fn shutdown(mut self) -> ServiceMetrics {
+        let n_workers = self.workers.len();
+        self.begin_shutdown();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        snapshot(&self.inner, n_workers)
+    }
+
+    fn begin_shutdown(&self) {
+        let mut st = self.inner.sched.state.lock();
+        st.shutting_down = true;
+        self.inner.sched.work_ready.notify_all();
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // A dropped service still drains: pending tickets get answers.
+        if !self.workers.is_empty() {
+            self.begin_shutdown();
+            for h in self.workers.drain(..) {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+fn snapshot(inner: &ServiceInner, workers: usize) -> ServiceMetrics {
+    let uptime = inner.started.elapsed().as_secs_f64().max(1e-9);
+    let completed = inner.completed.load(Ordering::Relaxed);
+    let streamlines = inner.streamlines_completed.load(Ordering::Relaxed);
+    let cache_stats = inner.cache.stats();
+    let gets = cache_stats.hits + cache_stats.loaded;
+    let q = |p: f64| inner.latency.quantile(p).map(|d| d.as_secs_f64() * 1e3).unwrap_or(0.0);
+    ServiceMetrics {
+        workers,
+        uptime_secs: uptime,
+        submitted: inner.submitted.load(Ordering::Relaxed),
+        completed,
+        rejected: inner.rejected.load(Ordering::Relaxed),
+        deadline_expired: inner.deadline_expired.load(Ordering::Relaxed),
+        streamlines_completed: streamlines,
+        total_steps: inner.total_steps.load(Ordering::Relaxed),
+        queue_depth: inner.pending_seeds.load(Ordering::Acquire),
+        queue_capacity: inner.queue_capacity,
+        throughput_rps: completed as f64 / uptime,
+        streamlines_per_sec: streamlines as f64 / uptime,
+        latency_p50_ms: q(0.50),
+        latency_p95_ms: q(0.95),
+        latency_p99_ms: q(0.99),
+        cache_resident: inner.cache.len(),
+        cache_capacity: inner.cache.capacity(),
+        cache_hit_rate: if gets == 0 { 0.0 } else { cache_stats.hits as f64 / gets as f64 },
+        block_efficiency: cache_stats.efficiency(),
+        cache: cache_stats,
+    }
+}
+
+/// Resolve one seed: record the streamline (if it terminated rather than
+/// being dropped), release its admission seat, and complete the request if
+/// it was the last one.
+fn finish_item(inner: &ServiceInner, req: &Arc<RequestState>, sl: Option<Streamline>) {
+    match sl {
+        Some(sl) => {
+            inner.streamlines_completed.fetch_add(1, Ordering::Relaxed);
+            req.finished.lock().push(sl);
+        }
+        None => {
+            req.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    inner.pending_seeds.fetch_sub(1, Ordering::AcqRel);
+    if req.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        complete_request(inner, req);
+    }
+}
+
+fn complete_request(inner: &ServiceInner, req: &Arc<RequestState>) {
+    let latency = req.submitted.elapsed();
+    let dropped = req.dropped.load(Ordering::Relaxed);
+    let outcome = if dropped > 0 || req.expired.load(Ordering::Relaxed) {
+        inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        Outcome::DeadlineExceeded { dropped }
+    } else {
+        Outcome::Completed
+    };
+    let mut streamlines = std::mem::take(&mut *req.finished.lock());
+    streamlines.sort_by_key(|sl| sl.id);
+    inner.latency.record(latency);
+    inner.completed.fetch_add(1, Ordering::Relaxed);
+    // The client may have dropped its ticket; that's fine.
+    let _ = req.tx.send(Response { request_id: req.id, outcome, streamlines, latency });
+}
+
+/// Claim the queue of the block with the most parked work (ties: lowest
+/// block id). Returns `None` when shutting down and fully drained.
+fn claim_batch(inner: &ServiceInner) -> Option<(BlockId, Vec<WorkItem>)> {
+    let mut st = inner.sched.state.lock();
+    loop {
+        if let Some(block) = st
+            .queues
+            .iter()
+            .min_by_key(|(id, items)| (std::cmp::Reverse(items.len()), **id))
+            .map(|(id, _)| *id)
+        {
+            let items = st.queues.remove(&block).expect("queue just observed");
+            st.in_flight += items.len();
+            return Some((block, items));
+        }
+        if st.shutting_down && st.in_flight == 0 {
+            // Fully drained: wake any sibling still waiting so it can exit.
+            inner.sched.work_ready.notify_all();
+            return None;
+        }
+        inner.sched.work_ready.wait(&mut st);
+    }
+}
+
+fn worker_loop(inner: &ServiceInner) {
+    let stepper = Dopri5;
+    while let Some((block_id, items)) = claim_batch(inner) {
+        process_batch(inner, block_id, items, &stepper);
+    }
+}
+
+fn process_batch(inner: &ServiceInner, block_id: BlockId, items: Vec<WorkItem>, stepper: &Dopri5) {
+    let n_claimed = items.len();
+    let block = match inner.cache.get_or_load(block_id, inner.store.as_ref()) {
+        Ok((b, _hit)) => b,
+        Err(e) => {
+            // The store cannot produce this block: fail the affected
+            // streamlines rather than wedging their requests forever.
+            // StepUnderflow is the closest "could not continue" marker.
+            debug_assert!(false, "block {block_id:?} unavailable: {e}");
+            let mut st = inner.sched.state.lock();
+            st.in_flight -= n_claimed;
+            drop(st);
+            for mut item in items {
+                item.sl.terminate(Termination::StepUnderflow);
+                finish_item(inner, &item.req, Some(item.sl));
+            }
+            return;
+        }
+    };
+
+    let mut moved: BTreeMap<BlockId, Vec<WorkItem>> = BTreeMap::new();
+    let mut finished: Vec<(Arc<RequestState>, Option<Streamline>)> = Vec::new();
+    let now = Instant::now();
+    for mut item in items {
+        // Deadline check: an expired request stops consuming compute.
+        let expired = item.req.expired.load(Ordering::Relaxed)
+            || item.req.deadline.is_some_and(|d| {
+                let hit = now >= d;
+                if hit {
+                    item.req.expired.store(true, Ordering::Relaxed);
+                }
+                hit
+            });
+        if expired {
+            finished.push((item.req, None));
+            continue;
+        }
+        let (exit, steps) =
+            advance_in_block(&mut item.sl, &block, &inner.decomp, &item.req.limits, stepper);
+        inner.total_steps.fetch_add(steps, Ordering::Relaxed);
+        match exit {
+            BlockExit::MovedTo(next) => moved.entry(next).or_default().push(item),
+            BlockExit::Done(_) => finished.push((item.req, Some(item.sl))),
+        }
+    }
+
+    {
+        let mut st = inner.sched.state.lock();
+        st.in_flight -= n_claimed;
+        let blocks_touched = moved.len();
+        for (block, mut batch) in moved {
+            st.queues.entry(block).or_default().append(&mut batch);
+        }
+        match blocks_touched {
+            0 => {
+                if st.shutting_down && st.in_flight == 0 && st.queues.is_empty() {
+                    inner.sched.work_ready.notify_all();
+                }
+            }
+            1 => inner.sched.work_ready.notify_one(),
+            _ => inner.sched.work_ready.notify_all(),
+        }
+    }
+
+    for (req, sl) in finished {
+        finish_item(inner, &req, sl);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamline_field::dataset::{Dataset, DatasetConfig, Seeding};
+    use streamline_iosim::MemoryStore;
+
+    fn tiny_service(cfg: ServiceConfig) -> (Service, Dataset) {
+        let mut dcfg = DatasetConfig::tiny();
+        dcfg.blocks_per_axis = [2, 2, 2];
+        let dataset = Dataset::thermal_hydraulics(dcfg);
+        let store = Arc::new(MemoryStore::build(&dataset));
+        let svc = Service::start(dataset.decomp, store, cfg);
+        (svc, dataset)
+    }
+
+    fn limits() -> StepLimits {
+        StepLimits { max_steps: 300, ..StepLimits::default() }
+    }
+
+    #[test]
+    fn single_request_completes_all_seeds() {
+        let (svc, dataset) = tiny_service(ServiceConfig::default());
+        let seeds = dataset.seeds_with_count(Seeding::Sparse, 16);
+        let ticket =
+            svc.submit(Request::new(seeds.points.clone()).with_limits(limits())).expect("admitted");
+        let resp = ticket.wait();
+        assert_eq!(resp.outcome, Outcome::Completed);
+        assert_eq!(resp.streamlines.len(), 16);
+        // Seed-order ids, each terminated.
+        for (i, sl) in resp.streamlines.iter().enumerate() {
+            assert_eq!(sl.id, StreamlineId(i as u32));
+            assert!(!sl.is_active());
+        }
+        let m = svc.shutdown();
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.streamlines_completed, 16);
+        assert_eq!(m.queue_depth, 0);
+    }
+
+    #[test]
+    fn empty_request_is_rejected() {
+        let (svc, _dataset) = tiny_service(ServiceConfig::default());
+        let err = svc.submit(Request::new(Vec::new())).err().expect("must be rejected");
+        assert_eq!(err, SubmitError::Empty);
+    }
+
+    #[test]
+    fn out_of_domain_seeds_terminate_immediately() {
+        let (svc, _dataset) = tiny_service(ServiceConfig::default());
+        let resp = svc.submit(Request::new(vec![Vec3::splat(1e6)])).expect("admitted").wait();
+        assert_eq!(resp.outcome, Outcome::Completed);
+        assert_eq!(resp.streamlines.len(), 1);
+        assert_eq!(
+            resp.streamlines[0].status,
+            streamline_integrate::StreamlineStatus::Terminated(Termination::ExitedDomain)
+        );
+    }
+
+    #[test]
+    fn overload_rejects_with_typed_error() {
+        let cfg = ServiceConfig { queue_capacity: 8, workers: 1, ..ServiceConfig::default() };
+        let (svc, dataset) = tiny_service(cfg);
+        let seeds = dataset.seeds_with_count(Seeding::Dense, 9);
+        let err = svc.submit(Request::new(seeds.points.clone())).err().expect("must be rejected");
+        match err {
+            SubmitError::Overloaded { queue_depth, capacity, requested } => {
+                assert_eq!(capacity, 8);
+                assert_eq!(requested, 9);
+                assert_eq!(queue_depth, 0);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // Rejection rolled back the reservation: a fitting request works.
+        let ok = svc.submit(Request::new(seeds.points[..4].to_vec()).with_limits(limits()));
+        assert!(ok.is_ok());
+        ok.unwrap().wait();
+        let m = svc.shutdown();
+        assert_eq!(m.rejected, 1);
+        assert_eq!(m.submitted, 1);
+    }
+
+    #[test]
+    fn immediate_deadline_expires_request() {
+        let (svc, dataset) = tiny_service(ServiceConfig { workers: 2, ..ServiceConfig::default() });
+        let seeds = dataset.seeds_with_count(Seeding::Sparse, 8);
+        // A deadline already in the past: every seed the workers touch is
+        // dropped (though some may finish before the first check).
+        let ticket = svc
+            .submit(
+                Request::new(seeds.points.clone())
+                    .with_limits(limits())
+                    .with_deadline(Instant::now() - Duration::from_millis(1)),
+            )
+            .expect("admitted");
+        let resp = ticket.wait();
+        match resp.outcome {
+            Outcome::DeadlineExceeded { dropped } => {
+                assert!(dropped > 0);
+                assert_eq!(resp.streamlines.len() + dropped, 8);
+            }
+            Outcome::Completed => panic!("deadline in the past cannot complete"),
+        }
+        let m = svc.shutdown();
+        assert_eq!(m.deadline_expired, 1);
+        assert_eq!(m.queue_depth, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_work() {
+        let (svc, dataset) = tiny_service(ServiceConfig { workers: 3, ..ServiceConfig::default() });
+        let seeds = dataset.seeds_with_count(Seeding::Dense, 64);
+        let tickets: Vec<_> = (0..4)
+            .map(|_| {
+                svc.submit(Request::new(seeds.points.clone()).with_limits(limits()))
+                    .expect("admitted")
+            })
+            .collect();
+        // Shut down immediately: every ticket must still get an answer.
+        let m = svc.shutdown();
+        assert_eq!(m.completed, 4);
+        assert_eq!(m.queue_depth, 0);
+        for t in tickets {
+            let resp = t.wait();
+            assert_eq!(resp.streamlines.len(), 64);
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let (svc, dataset) = tiny_service(ServiceConfig::default());
+        let seeds = dataset.seeds_with_count(Seeding::Sparse, 4);
+        svc.begin_shutdown();
+        let err = svc.submit(Request::new(seeds.points.clone())).err().expect("must be refused");
+        assert_eq!(err, SubmitError::ShuttingDown);
+        let m = svc.shutdown();
+        assert_eq!(m.submitted, 0);
+        assert_eq!(m.queue_depth, 0);
+    }
+
+    #[test]
+    fn concurrent_clients_share_the_cache() {
+        let (svc, dataset) = tiny_service(ServiceConfig {
+            workers: 4,
+            cache_blocks: 16,
+            ..ServiceConfig::default()
+        });
+        let svc = Arc::new(svc);
+        let seeds = dataset.seeds_with_count(Seeding::Sparse, 8);
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let svc = Arc::clone(&svc);
+                let pts = seeds.points.clone();
+                std::thread::spawn(move || {
+                    svc.submit(Request::new(pts).with_limits(limits())).expect("admitted").wait()
+                })
+            })
+            .collect();
+        for h in handles {
+            let resp = h.join().unwrap();
+            assert_eq!(resp.outcome, Outcome::Completed);
+            assert_eq!(resp.streamlines.len(), 8);
+        }
+        let svc = Arc::try_unwrap(svc).unwrap_or_else(|_| panic!("clients done"));
+        let m = svc.shutdown();
+        assert_eq!(m.completed, 6);
+        // 8 blocks, 16-slot cache: after the first touch everything hits.
+        assert!(m.cache.hits > 0);
+        assert!(m.cache_hit_rate > 0.5, "hit rate {}", m.cache_hit_rate);
+        assert_eq!(m.block_efficiency, 1.0);
+    }
+}

@@ -15,10 +15,7 @@ fn main() {
     let field = UnsteadyDoubleGyre::standard();
     let (nx, ny) = (120, 60);
     let limits = StepLimits { h0: 1e-2, h_max: 0.1, max_steps: 100_000, ..Default::default() };
-    println!(
-        "computing FTLE on a {nx}x{ny} grid ({} particles, horizon 10) ...",
-        nx * ny
-    );
+    println!("computing FTLE on a {nx}x{ny} grid ({} particles, horizon 10) ...", nx * ny);
     let t0 = std::time::Instant::now();
     let ftle = ftle_grid(&field, [0.0, 0.0], [2.0, 1.0], 0.0, nx, ny, 0.0, 10.0, &limits);
     println!("done in {:.1}s; max FTLE = {:.3}\n", t0.elapsed().as_secs_f64(), ftle.max_value());

@@ -46,7 +46,10 @@ fn main() {
     println!("advisor: {} — {}", rec.algorithm.label(), rec.rationale);
 
     // Run all three algorithms on 16 simulated ranks and compare.
-    println!("\n{:<16} {:>10} {:>10} {:>10} {:>8}", "algorithm", "wall (s)", "io (s)", "comm (s)", "E");
+    println!(
+        "\n{:<16} {:>10} {:>10} {:>10} {:>8}",
+        "algorithm", "wall (s)", "io (s)", "comm (s)", "E"
+    );
     for algo in Algorithm::ALL {
         let mut c = cfg;
         c.algorithm = algo;

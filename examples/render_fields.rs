@@ -6,7 +6,6 @@
 //! cargo run --release --example render_fields
 //! ```
 
-use streamline_repro::field::analytic::VectorField;
 use streamline_repro::field::dataset::{Dataset, DatasetConfig, Seeding};
 use streamline_repro::integrate::{advect, Dopri5, StepLimits, Streamline, StreamlineId};
 use streamline_repro::math::Vec3;
@@ -41,7 +40,13 @@ fn main() -> std::io::Result<()> {
         (
             "supernova",
             Dataset::astrophysics(cfg),
-            StepLimits { h0: 1e-3, h_max: 0.02, max_steps: 2_000, min_speed: 1e-4, ..Default::default() },
+            StepLimits {
+                h0: 1e-3,
+                h_max: 0.02,
+                max_steps: 2_000,
+                min_speed: 1e-4,
+                ..Default::default()
+            },
             ppm::Projection::DropZ,
         ),
         (
@@ -53,7 +58,13 @@ fn main() -> std::io::Result<()> {
         (
             "thermal",
             Dataset::thermal_hydraulics(cfg),
-            StepLimits { h0: 1e-3, h_max: 0.01, max_steps: 2_000, max_arc_length: 8.0, ..Default::default() },
+            StepLimits {
+                h0: 1e-3,
+                h_max: 0.01,
+                max_steps: 2_000,
+                max_arc_length: 8.0,
+                ..Default::default()
+            },
             ppm::Projection::DropY,
         ),
     ];

@@ -65,9 +65,7 @@ fn main() {
                 ..Default::default()
             };
             let out = advect(&mut fp.sl, &sample, &region, &limits, &Dopri5);
-            use streamline_repro::integrate::{
-                AdvectOutcome, StreamlineStatus, Termination,
-            };
+            use streamline_repro::integrate::{AdvectOutcome, StreamlineStatus, Termination};
             match out.outcome {
                 // Hit this round's arc budget: still alive, keep going next
                 // round (clear the budget termination).
@@ -113,7 +111,8 @@ fn main() {
             .windows(2)
             .map(|w| w[0].sl.state.position.distance(w[1].sl.state.position))
             .collect();
-        let mean_sep = if seps.is_empty() { 0.0 } else { seps.iter().sum::<f64>() / seps.len() as f64 };
+        let mean_sep =
+            if seps.is_empty() { 0.0 } else { seps.iter().sum::<f64>() / seps.len() as f64 };
         println!(
             "{step:>4}  {:>5}  {:>5}  {:>8}  {:.4}",
             front.len(),

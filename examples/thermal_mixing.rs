@@ -37,11 +37,7 @@ fn main() {
 
     let profile = classify(&dataset, &seeds, &cfg);
     let rec = recommend(&profile, FlowKnowledge::Localized);
-    println!(
-        "advisor for dense inlet seeding: {} — {}\n",
-        rec.algorithm.label(),
-        rec.rationale
-    );
+    println!("advisor for dense inlet seeding: {} — {}\n", rec.algorithm.label(), rec.rationale);
 
     println!("{:<16} {:>12} {:>10} {:>10}", "algorithm", "outcome", "wall (s)", "io (s)");
     for algo in Algorithm::ALL {
@@ -70,8 +66,7 @@ fn main() {
     // termination statistics (recirculation vs outflow).
     let mut c = cfg;
     c.algorithm = Algorithm::LoadOnDemand;
-    let (report, finished) =
-        streamline_repro::core::run_simulated_detailed(&dataset, &seeds, &c);
+    let (report, finished) = streamline_repro::core::run_simulated_detailed(&dataset, &seeds, &c);
     assert!(report.outcome.completed());
     let mut by_reason = std::collections::BTreeMap::new();
     let mut total_arc = 0.0;
@@ -83,7 +78,11 @@ fn main() {
         *by_reason.entry(format!("{reason:?}")).or_insert(0usize) += 1;
         total_arc += s.state.arc_length;
     }
-    println!("\n{} streamlines, mean arc length {:.3}", finished.len(), total_arc / finished.len() as f64);
+    println!(
+        "\n{} streamlines, mean arc length {:.3}",
+        finished.len(),
+        total_arc / finished.len() as f64
+    );
     for (reason, count) in by_reason {
         println!("  {reason:<16} {count}");
     }

@@ -34,11 +34,7 @@ fn main() {
     for (i, &r) in radii.iter().enumerate() {
         let seed = Vec3::new(3.0 + r, 0.0, 0.0);
         let pts = punctures(&field, seed, 160);
-        println!(
-            "seed r={r:.2}: {} punctures, radial spread {:.4}",
-            pts.len(),
-            spread(&pts)
-        );
+        println!("seed r={r:.2}: {} punctures, radial spread {:.4}", pts.len(), spread(&pts));
         let _ = i;
         all.extend(pts);
     }
@@ -66,8 +62,7 @@ fn spread(pts: &[(f64, f64)]) -> f64 {
     if pts.is_empty() {
         return 0.0;
     }
-    let minor: Vec<f64> =
-        pts.iter().map(|&(r, z)| (((r - 3.0) as f64).powi(2) + z * z).sqrt()).collect();
+    let minor: Vec<f64> = pts.iter().map(|&(r, z)| ((r - 3.0).powi(2) + z * z).sqrt()).collect();
     let mean = minor.iter().sum::<f64>() / minor.len() as f64;
     (minor.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / minor.len() as f64).sqrt()
 }

@@ -10,6 +10,7 @@
 //! * [`iosim`] — block stores, disk cost model, LRU cache,
 //! * [`desim`] — the simulated cluster and the thread runtime,
 //! * [`core`] — the three parallel streamline algorithms and the driver,
+//! * [`serve`] — the concurrent streamline query service,
 //! * [`pathline`] — the §8 pathline extension (space-time blocks, FTLE),
 //! * [`output`] — VTK/OBJ/CSV writers and a PPM rasterizer for the curves.
 
@@ -21,3 +22,4 @@ pub use streamline_iosim as iosim;
 pub use streamline_math as math;
 pub use streamline_output as output;
 pub use streamline_pathline as pathline;
+pub use streamline_serve as serve;

@@ -3,9 +3,7 @@
 //! from the measurements, so the measurements must support them.
 
 use streamline_bench::experiments::{case_config, dataset_for, SweepScale, Workload};
-use streamline_core::{
-    classify, recommend, run_simulated, Algorithm, FlowKnowledge, RunConfig,
-};
+use streamline_core::{classify, recommend, run_simulated, Algorithm, FlowKnowledge, RunConfig};
 use streamline_field::dataset::Seeding;
 
 /// Quick-scale datasets have only 64 blocks; shrink the cache so the data
@@ -22,7 +20,11 @@ fn measure(workload: Workload, seeding: Seeding, algo: Algorithm, n: usize) -> f
     r.wall
 }
 
-fn classify_case(workload: Workload, seeding: Seeding, n: usize) -> streamline_core::ProblemProfile {
+fn classify_case(
+    workload: Workload,
+    seeding: Seeding,
+    n: usize,
+) -> streamline_core::ProblemProfile {
     let dataset = dataset_for(workload, SweepScale::Quick);
     let seeds = dataset.seeds_with_count(seeding, n);
     let mut cfg: RunConfig = case_config(workload, seeding, Algorithm::HybridMasterSlave, 8);
@@ -42,11 +44,7 @@ fn hybrid_recommended_for_unknown_flow_is_competitive() {
         .map(|&a| (a, measure(Workload::Astro, Seeding::Sparse, a, 400)))
         .collect();
     let best = walls.iter().map(|&(_, w)| w).fold(f64::INFINITY, f64::min);
-    let hybrid = walls
-        .iter()
-        .find(|(a, _)| *a == Algorithm::HybridMasterSlave)
-        .unwrap()
-        .1;
+    let hybrid = walls.iter().find(|(a, _)| *a == Algorithm::HybridMasterSlave).unwrap().1;
     assert!(
         hybrid <= best * 2.5,
         "hybrid {hybrid} vs best {best}: the general-purpose recommendation \
@@ -63,10 +61,7 @@ fn lod_recommended_for_dense_localized_actually_wins() {
     assert_eq!(rec.algorithm, Algorithm::LoadOnDemand);
     let lod = measure(Workload::Thermal, Seeding::Dense, Algorithm::LoadOnDemand, 1100);
     let hybrid = measure(Workload::Thermal, Seeding::Dense, Algorithm::HybridMasterSlave, 1100);
-    assert!(
-        lod < hybrid,
-        "LOD ({lod}) must beat hybrid ({hybrid}) on the dense thermal case"
-    );
+    assert!(lod < hybrid, "LOD ({lod}) must beat hybrid ({hybrid}) on the dense thermal case");
 }
 
 #[test]

@@ -1,0 +1,131 @@
+//! Multi-thread contention tests for the service's shared block cache:
+//! hammer one `SharedBlockCache` from many threads and verify that no
+//! cache-stat update is lost and the resident set never exceeds capacity.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use streamline_repro::field::block::{Block, BlockId};
+use streamline_repro::iosim::MemoryStore;
+use streamline_repro::math::{Aabb, Vec3};
+use streamline_repro::serve::SharedBlockCache;
+
+fn store(n: u32) -> MemoryStore {
+    MemoryStore::from_blocks(
+        (0..n)
+            .map(|i| Block::zeroed(BlockId(i), Aabb::unit(), 0, [2, 2, 2], Vec3::splat(1.0)))
+            .collect(),
+    )
+}
+
+/// Every get is either a hit or a load: after any interleaving of
+/// concurrent `get_or_load`s, `hits + loaded` must equal the exact number
+/// of calls made, and `loaded - purged` must equal the resident count.
+#[test]
+fn concurrent_access_loses_no_stat_updates() {
+    const THREADS: usize = 8;
+    const GETS_PER_THREAD: usize = 5_000;
+    const BLOCKS: u32 = 64;
+
+    let cache = Arc::new(SharedBlockCache::new(16, 4));
+    let st = Arc::new(store(BLOCKS));
+    let observed_hits = Arc::new(AtomicU64::new(0));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            let st = Arc::clone(&st);
+            let observed_hits = Arc::clone(&observed_hits);
+            std::thread::spawn(move || {
+                // Per-thread LCG over a skewed id distribution: half the
+                // traffic on 8 hot blocks, half spread over all 64.
+                let mut x = 0x9e3779b97f4a7c15u64.wrapping_mul(t as u64 + 1);
+                for _ in 0..GETS_PER_THREAD {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let id = if x & 1 == 0 {
+                        BlockId(((x >> 33) % 8) as u32)
+                    } else {
+                        BlockId(((x >> 33) % BLOCKS as u64) as u32)
+                    };
+                    let (block, hit) = cache.get_or_load(id, st.as_ref()).expect("valid id");
+                    assert_eq!(block.id, id);
+                    if hit {
+                        observed_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("cache worker");
+    }
+
+    let stats = cache.stats();
+    let total_gets = (THREADS * GETS_PER_THREAD) as u64;
+    assert_eq!(
+        stats.hits + stats.loaded,
+        total_gets,
+        "lost stat updates: {} hits + {} loads != {} gets",
+        stats.hits,
+        stats.loaded,
+        total_gets
+    );
+    assert_eq!(stats.hits, observed_hits.load(Ordering::Relaxed));
+    assert_eq!(stats.loaded - stats.purged, cache.len() as u64);
+    assert!(stats.purged > 0, "64 blocks through 16 slots must evict");
+}
+
+/// The resident set stays within capacity at every observation point, not
+/// just at the end — sampled concurrently while other threads churn the
+/// cache far past its capacity.
+#[test]
+fn resident_set_never_exceeds_capacity_under_churn() {
+    const THREADS: usize = 6;
+    const GETS_PER_THREAD: usize = 4_000;
+    const BLOCKS: u32 = 96;
+
+    let cache = Arc::new(SharedBlockCache::new(12, 3));
+    let capacity = cache.capacity();
+    let st = Arc::new(store(BLOCKS));
+
+    let churners: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            let st = Arc::clone(&st);
+            std::thread::spawn(move || {
+                let mut x = (t as u64 + 7).wrapping_mul(0xd1342543de82ef95);
+                for _ in 0..GETS_PER_THREAD {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let id = BlockId(((x >> 33) % BLOCKS as u64) as u32);
+                    cache.get_or_load(id, st.as_ref()).expect("valid id");
+                    // Interleaved observation from the mutating threads
+                    // themselves: the bound must hold mid-churn too.
+                    assert!(cache.len() <= capacity);
+                }
+            })
+        })
+        .collect();
+
+    // And an independent observer sampling while the churn runs.
+    let observer = {
+        let cache = Arc::clone(&cache);
+        std::thread::spawn(move || {
+            for _ in 0..2_000 {
+                let resident = cache.resident();
+                assert!(
+                    resident.len() <= capacity,
+                    "resident {} > capacity {capacity}",
+                    resident.len()
+                );
+            }
+        })
+    };
+
+    for h in churners {
+        h.join().expect("churner");
+    }
+    observer.join().expect("observer");
+
+    let stats = cache.stats();
+    assert_eq!(stats.hits + stats.loaded, (THREADS * GETS_PER_THREAD) as u64);
+    assert!(cache.len() <= capacity);
+}

@@ -1,6 +1,6 @@
 //! CLI behaviour through the library interface (parsing + cheap commands).
 
-use streamline_cli::args::{parse, Command};
+use streamline_cli::args::parse;
 use streamline_cli::commands::execute;
 
 fn argv(s: &str) -> Vec<String> {

@@ -26,16 +26,8 @@ fn assert_same_states(a: &[Streamline], b: &[Streamline], label: &str) {
         assert_eq!(x.id, y.id, "{label}: id order");
         assert_eq!(x.status, y.status, "{label}: status of {:?}", x.id);
         assert_eq!(x.state.steps, y.state.steps, "{label}: steps of {:?}", x.id);
-        assert_eq!(
-            x.state.position, y.state.position,
-            "{label}: final position of {:?}",
-            x.id
-        );
-        assert_eq!(
-            x.state.arc_length, y.state.arc_length,
-            "{label}: arc length of {:?}",
-            x.id
-        );
+        assert_eq!(x.state.position, y.state.position, "{label}: final position of {:?}", x.id);
+        assert_eq!(x.state.arc_length, y.state.arc_length, "{label}: arc length of {:?}", x.id);
     }
 }
 

@@ -2,7 +2,6 @@
 //! except vertex storage — the lean mode is what the scaling experiments
 //! rely on for memory sanity, so divergence would silently corrupt them.
 
-use streamline_repro::field::analytic::VectorField;
 use streamline_repro::field::dataset::{Dataset, DatasetConfig};
 use streamline_repro::integrate::{advect, Dopri5, StepLimits, Streamline, StreamlineId};
 use streamline_repro::math::Vec3;

@@ -48,11 +48,7 @@ fn static_oom_is_proc_count_independent() {
     let seeds = ds.seeds_with_count(Seeding::Dense, n);
     for procs in [8, 16, 32] {
         let r = run_simulated(&ds, &seeds, &dense_config(Algorithm::StaticAllocation, n, procs));
-        assert!(
-            matches!(r.outcome, RunOutcome::OutOfMemory { .. }),
-            "p={procs}: {}",
-            r.summary()
-        );
+        assert!(matches!(r.outcome, RunOutcome::OutOfMemory { .. }), "p={procs}: {}", r.summary());
     }
 }
 

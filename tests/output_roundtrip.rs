@@ -3,7 +3,6 @@
 
 use streamline_repro::core::{run_simulated_detailed, Algorithm, MemoryBudget, RunConfig};
 use streamline_repro::field::dataset::{Dataset, DatasetConfig, Seeding};
-use streamline_repro::field::VectorField;
 use streamline_repro::integrate::{advect, Dopri5, StepLimits, Streamline, StreamlineId};
 use streamline_repro::math::Vec3;
 use streamline_repro::output::{csv, obj, ppm, vtk};
@@ -59,12 +58,9 @@ fn csv_row_count_matches_run() {
     csv::write_summary(&mut buf, &finished).unwrap();
     let text = String::from_utf8(buf).unwrap();
     assert_eq!(text.lines().count(), 31); // header + 30 rows
-    // Ids are sorted and complete.
-    let ids: Vec<u32> = text
-        .lines()
-        .skip(1)
-        .map(|l| l.split(',').next().unwrap().parse().unwrap())
-        .collect();
+                                          // Ids are sorted and complete.
+    let ids: Vec<u32> =
+        text.lines().skip(1).map(|l| l.split(',').next().unwrap().parse().unwrap()).collect();
     assert_eq!(ids, (0..30).collect::<Vec<_>>());
 }
 

@@ -73,10 +73,7 @@ fn snapshot_count_controls_accuracy() {
     advect_pathline(&mut reference, &sample, &region, field.duration, &limits);
     let fine = endpoint(161).distance(reference.state.position);
     let coarse = endpoint(6).distance(reference.state.position);
-    assert!(
-        fine < coarse,
-        "more snapshots must not hurt: fine err {fine} vs coarse err {coarse}"
-    );
+    assert!(fine < coarse, "more snapshots must not hurt: fine err {fine} vs coarse err {coarse}");
 }
 
 /// The discretized time-series field agrees with the analytic one well

@@ -2,6 +2,7 @@
 //! problems, not just the curated datasets.
 
 use proptest::prelude::*;
+use std::sync::Arc;
 use streamline_repro::core::{run_simulated_detailed, Algorithm, MemoryBudget, RunConfig};
 use streamline_repro::field::analytic::{AbcFlow, Uniform, VectorField};
 use streamline_repro::field::dataset::{Dataset, DatasetConfig};
@@ -9,17 +10,12 @@ use streamline_repro::field::decomp::BlockDecomposition;
 use streamline_repro::field::sample::SamplingMode;
 use streamline_repro::field::seeds::SeedSet;
 use streamline_repro::math::{Aabb, Vec3};
-use std::sync::Arc;
 
 /// A throwaway dataset over the unit cube with an arbitrary constant field
 /// direction, 2×2×2 blocks.
 fn uniform_dataset(dir: Vec3) -> Dataset {
-    let cfg = DatasetConfig {
-        blocks_per_axis: [2, 2, 2],
-        cells_per_block: [4, 4, 4],
-        ghost: 1,
-        seed: 1,
-    };
+    let cfg =
+        DatasetConfig { blocks_per_axis: [2, 2, 2], cells_per_block: [4, 4, 4], ghost: 1, seed: 1 };
     Dataset::custom(
         "prop-uniform",
         BlockDecomposition::new(Aabb::unit(), cfg.blocks_per_axis, cfg.cells_per_block, cfg.ghost),
@@ -30,12 +26,8 @@ fn uniform_dataset(dir: Vec3) -> Dataset {
 }
 
 fn abc_dataset() -> Dataset {
-    let cfg = DatasetConfig {
-        blocks_per_axis: [2, 2, 2],
-        cells_per_block: [4, 4, 4],
-        ghost: 1,
-        seed: 1,
-    };
+    let cfg =
+        DatasetConfig { blocks_per_axis: [2, 2, 2], cells_per_block: [4, 4, 4], ghost: 1, seed: 1 };
     let domain = Aabb::new(Vec3::ZERO, Vec3::splat(std::f64::consts::TAU));
     Dataset::custom(
         "prop-abc",
@@ -50,10 +42,7 @@ fn seed_set(dataset: &Dataset, raw: &[(f64, f64, f64)]) -> SeedSet {
     let b = dataset.decomp.domain.expanded(-1e-3);
     SeedSet {
         label: "prop".into(),
-        points: raw
-            .iter()
-            .map(|&(x, y, z)| b.from_unit(Vec3::new(x, y, z)))
-            .collect(),
+        points: raw.iter().map(|&(x, y, z)| b.from_unit(Vec3::new(x, y, z))).collect(),
     }
 }
 

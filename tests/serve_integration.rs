@@ -1,0 +1,197 @@
+//! End-to-end checks of the `streamline-serve` query service against the
+//! single-shot driver: identical trajectories, typed overload rejection,
+//! graceful drain.
+
+use std::sync::Arc;
+use std::time::Instant;
+use streamline_repro::core::{run_simulated_detailed, Algorithm, MemoryBudget, RunConfig};
+use streamline_repro::field::dataset::{Dataset, DatasetConfig, Seeding};
+use streamline_repro::integrate::StepLimits;
+use streamline_repro::iosim::MemoryStore;
+use streamline_repro::math::Vec3;
+use streamline_repro::serve::{Outcome, Request, Service, ServiceConfig, SubmitError};
+
+fn astro() -> Dataset {
+    let cfg = DatasetConfig {
+        blocks_per_axis: [4, 4, 4],
+        cells_per_block: [8, 8, 8],
+        ghost: 1,
+        seed: 42,
+    };
+    Dataset::astrophysics(cfg)
+}
+
+fn limits() -> StepLimits {
+    StepLimits { max_steps: 400, h0: 1e-3, h_max: 0.02, ..StepLimits::default() }
+}
+
+/// The tentpole guarantee: a streamline computed by the service is
+/// *bit-identical* to the same seed integrated by the single-shot
+/// Load-On-Demand driver — same positions, same step counts, same
+/// termination, down to the last ulp. Both paths advance through
+/// `streamline_core::advance::advance_in_block`, so any divergence is a
+/// regression in one of them.
+#[test]
+fn served_streamlines_match_single_shot_driver_bitwise() {
+    let ds = astro();
+    let seeds = ds.seeds_with_count(Seeding::Sparse, 48);
+
+    let mut cfg = RunConfig::new(Algorithm::LoadOnDemand, 1);
+    cfg.limits = limits();
+    cfg.memory = MemoryBudget::unlimited();
+    let (report, reference) = run_simulated_detailed(&ds, &seeds, &cfg);
+    assert!(report.outcome.completed());
+    assert_eq!(reference.len(), 48);
+
+    let store = Arc::new(MemoryStore::build(&ds));
+    let svc = Service::start(
+        ds.decomp,
+        store,
+        ServiceConfig { workers: 4, cache_blocks: 16, ..ServiceConfig::default() },
+    );
+    let resp = svc
+        .submit(Request::new(seeds.points.clone()).with_limits(limits()))
+        .expect("admitted")
+        .wait();
+    assert_eq!(resp.outcome, Outcome::Completed);
+    assert_eq!(resp.streamlines.len(), reference.len());
+
+    for (served, want) in resp.streamlines.iter().zip(reference.iter()) {
+        assert_eq!(served.id, want.id);
+        // Full struct equality: solver state (position/time/h/steps/arc
+        // length, all f64-exact), status, geometry.
+        assert_eq!(served, want, "streamline {:?} diverged from the driver", want.id);
+    }
+    svc.shutdown();
+}
+
+/// Requests larger than the admission queue are refused outright with the
+/// typed error, and the refusal carries the numbers a client needs to size
+/// its backoff.
+#[test]
+fn oversized_request_is_rejected_with_overloaded() {
+    let ds = astro();
+    let seeds = ds.seeds_with_count(Seeding::Dense, 33);
+    let svc = Service::start(
+        ds.decomp,
+        Arc::new(MemoryStore::build(&ds)),
+        ServiceConfig { queue_capacity: 32, ..ServiceConfig::default() },
+    );
+    match svc.submit(Request::new(seeds.points.clone())) {
+        Err(SubmitError::Overloaded { queue_depth, capacity, requested }) => {
+            assert_eq!((queue_depth, capacity, requested), (0, 32, 33));
+        }
+        Ok(_) => panic!("a 33-seed request cannot fit a 32-seed queue"),
+        Err(other) => panic!("expected Overloaded, got {other:?}"),
+    }
+    let m = svc.shutdown();
+    assert_eq!(m.rejected, 1);
+    assert_eq!(m.submitted, 0);
+}
+
+/// A block store whose loads wait for the test to open a gate — pinning
+/// the service's backlog in place so overload behaviour is deterministic.
+struct GatedStore {
+    inner: MemoryStore,
+    gate: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+
+impl GatedStore {
+    fn new(inner: MemoryStore) -> Self {
+        GatedStore { inner, gate: std::sync::Mutex::new(false), cv: std::sync::Condvar::new() }
+    }
+
+    fn open(&self) {
+        *self.gate.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+impl streamline_repro::iosim::BlockStore for GatedStore {
+    fn try_load(
+        &self,
+        id: streamline_repro::field::block::BlockId,
+    ) -> Result<Arc<streamline_repro::field::block::Block>, streamline_repro::iosim::StoreError>
+    {
+        let mut open = self.gate.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+        drop(open);
+        self.inner.try_load(id)
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.inner.num_blocks()
+    }
+}
+
+/// With the queue full of work that cannot drain (loads are gated shut), a
+/// concurrent request is turned away instead of queued unboundedly — and
+/// admission reopens once the backlog drains.
+#[test]
+fn full_queue_rejects_then_recovers() {
+    let ds = astro();
+    let store = Arc::new(GatedStore::new(MemoryStore::build(&ds)));
+    let svc = Service::start(
+        ds.decomp,
+        Arc::clone(&store) as Arc<dyn streamline_repro::iosim::BlockStore>,
+        ServiceConfig { workers: 1, queue_capacity: 8, ..ServiceConfig::default() },
+    );
+    let occupant = ds.seeds_with_count(Seeding::Sparse, 8);
+    let ticket = svc
+        .submit(Request::new(occupant.points.clone()).with_limits(limits()))
+        .expect("fills the queue exactly");
+
+    // The gate is shut: none of the 8 seeds can resolve, so this must be
+    // turned away no matter how the threads interleave.
+    let extra = Request::new(vec![Vec3::splat(0.1)]).with_limits(limits());
+    match svc.submit(extra.clone()) {
+        Err(SubmitError::Overloaded { queue_depth, capacity, .. }) => {
+            assert_eq!(queue_depth, 8, "rejection must report the live backlog");
+            assert_eq!(capacity, 8);
+        }
+        Ok(_) => panic!("queue at capacity must reject"),
+        Err(other) => panic!("expected Overloaded, got {other:?}"),
+    }
+
+    // Open the gate; once the occupant finishes, the same request fits.
+    store.open();
+    ticket.wait();
+    svc.submit(extra).expect("queue drained, admission reopens").wait();
+    let m = svc.shutdown();
+    assert_eq!(m.completed, 2);
+    assert_eq!(m.rejected, 1);
+    assert_eq!(m.queue_depth, 0);
+}
+
+/// Deadlines cancel work mid-flight; shutdown still answers every ticket.
+#[test]
+fn deadline_and_drain_interact_cleanly() {
+    let ds = astro();
+    let svc = Service::start(
+        ds.decomp,
+        Arc::new(MemoryStore::build(&ds)),
+        ServiceConfig { workers: 2, ..ServiceConfig::default() },
+    );
+    let seeds = ds.seeds_with_count(Seeding::Sparse, 12);
+    let expired = svc
+        .submit(
+            Request::new(seeds.points.clone()).with_limits(limits()).with_deadline(Instant::now()),
+        )
+        .expect("admitted");
+    let healthy =
+        svc.submit(Request::new(seeds.points.clone()).with_limits(limits())).expect("admitted");
+    let m = svc.shutdown();
+    assert_eq!(m.completed, 2);
+    assert_eq!(m.queue_depth, 0);
+
+    match expired.wait().outcome {
+        Outcome::DeadlineExceeded { dropped } => assert!(dropped > 0),
+        Outcome::Completed => panic!("a deadline of now cannot complete 12 seeds"),
+    }
+    let resp = healthy.wait();
+    assert_eq!(resp.outcome, Outcome::Completed);
+    assert_eq!(resp.streamlines.len(), 12);
+}

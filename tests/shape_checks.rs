@@ -5,7 +5,7 @@ use streamline_bench::experiments::{run_sweep, SweepScale, Workload};
 use streamline_core::{Algorithm, RunReport};
 use streamline_field::dataset::Seeding;
 
-fn pick<'a>(results: &'a [streamline_bench::CaseResult], algo: Algorithm, procs: usize) -> &'a RunReport {
+fn pick(results: &[streamline_bench::CaseResult], algo: Algorithm, procs: usize) -> &RunReport {
     &results
         .iter()
         .find(|r| r.report.algorithm == algo && r.report.n_procs == procs)
@@ -46,8 +46,7 @@ fn lod_never_communicates_but_rereads() {
 fn static_communication_grows_with_dense_seeding() {
     // Figure 8's dense-vs-sparse separation: with concentrated seeds,
     // Static must push many more streamlines to block owners.
-    let sparse =
-        run_sweep(Workload::Fusion, Seeding::Sparse, SweepScale::Quick, &[8], Some(300));
+    let sparse = run_sweep(Workload::Fusion, Seeding::Sparse, SweepScale::Quick, &[8], Some(300));
     let dense = run_sweep(Workload::Fusion, Seeding::Dense, SweepScale::Quick, &[8], Some(300));
     let s = pick(&sparse, Algorithm::StaticAllocation, 8);
     let d = pick(&dense, Algorithm::StaticAllocation, 8);

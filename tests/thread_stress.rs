@@ -3,9 +3,7 @@
 
 use std::sync::Arc;
 use std::time::Duration;
-use streamline_repro::core::{
-    run_simulated, run_threaded, Algorithm, MemoryBudget, RunConfig,
-};
+use streamline_repro::core::{run_simulated, run_threaded, Algorithm, MemoryBudget, RunConfig};
 use streamline_repro::field::dataset::{Dataset, DatasetConfig, Seeding};
 use streamline_repro::iosim::{BlockStore, MemoryStore};
 

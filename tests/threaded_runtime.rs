@@ -3,9 +3,7 @@
 
 use std::sync::Arc;
 use std::time::Duration;
-use streamline_repro::core::{
-    run_simulated, run_threaded, Algorithm, MemoryBudget, RunConfig,
-};
+use streamline_repro::core::{run_simulated, run_threaded, Algorithm, MemoryBudget, RunConfig};
 use streamline_repro::field::dataset::{Dataset, DatasetConfig, Seeding};
 use streamline_repro::iosim::{BlockStore, MemoryStore};
 
@@ -27,7 +25,8 @@ fn threads_match_simulation_for_every_algorithm() {
     let store: Arc<dyn BlockStore> = Arc::new(MemoryStore::build(&ds));
     for algo in Algorithm::ALL {
         let sim = run_simulated(&ds, &seeds, &cfg(algo));
-        let thr = run_threaded(&ds, &seeds, &cfg(algo), Arc::clone(&store), Duration::from_secs(60));
+        let thr =
+            run_threaded(&ds, &seeds, &cfg(algo), Arc::clone(&store), Duration::from_secs(60));
         assert_eq!(thr.terminated, sim.terminated, "{algo:?}");
         assert_eq!(thr.total_steps, sim.total_steps, "{algo:?} steps must match exactly");
         assert!(thr.outcome.completed(), "{algo:?}");
@@ -41,13 +40,8 @@ fn threads_run_against_real_disk_store() {
     let seeds = ds.seeds_with_count(Seeding::Sparse, 24);
     let dir = std::env::temp_dir().join(format!("sl-threads-{}", std::process::id()));
     let store: Arc<dyn BlockStore> = Arc::new(DiskStore::create(&ds, &dir).unwrap());
-    let r = run_threaded(
-        &ds,
-        &seeds,
-        &cfg(Algorithm::LoadOnDemand),
-        store,
-        Duration::from_secs(60),
-    );
+    let r =
+        run_threaded(&ds, &seeds, &cfg(Algorithm::LoadOnDemand), store, Duration::from_secs(60));
     std::fs::remove_dir_all(&dir).ok();
     assert!(r.outcome.completed());
     assert_eq!(r.terminated, 24);

@@ -16,17 +16,13 @@ fn tracing_does_not_change_the_run() {
     let store: Arc<dyn BlockStore> = Arc::new(MemoryStore::build(&dataset));
     for algo in Algorithm::ALL {
         let cfg = case_config(Workload::Thermal, Seeding::Sparse, algo, 6);
-        let plain = Simulation::new(
-            cfg.cost.net,
-            build_procs(&dataset, &seeds, &cfg, Arc::clone(&store)),
-        )
-        .run()
-        .0;
-        let (traced, _, timeline) = Simulation::new(
-            cfg.cost.net,
-            build_procs(&dataset, &seeds, &cfg, Arc::clone(&store)),
-        )
-        .run_traced(0.01);
+        let plain =
+            Simulation::new(cfg.cost.net, build_procs(&dataset, &seeds, &cfg, Arc::clone(&store)))
+                .run()
+                .0;
+        let (traced, _, timeline) =
+            Simulation::new(cfg.cost.net, build_procs(&dataset, &seeds, &cfg, Arc::clone(&store)))
+                .run_traced(0.01);
         assert_eq!(plain.wall, traced.wall, "{algo:?}");
         assert_eq!(plain.events, traced.events, "{algo:?}");
 

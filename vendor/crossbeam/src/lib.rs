@@ -1,0 +1,9 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the `channel` module this workspace uses: cloneable MPMC
+//! senders/receivers, unbounded and bounded flavours, with crossbeam's
+//! disconnect semantics. Built on a `Mutex<VecDeque>` plus condvars — not
+//! lock-free, but correct, and plenty for worker-pool fan-out at the scale
+//! the thread runtime and the serve crate run at.
+
+pub mod channel;

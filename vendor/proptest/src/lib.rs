@@ -1,0 +1,416 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Keeps the property-test surface this workspace uses — the `proptest!`
+//! macro, `Strategy` combinators over numeric ranges / tuples / collections,
+//! and the `prop_assert*` / `prop_assume!` macros — but swaps the engine
+//! for plain deterministic random sampling: each property runs for a fixed
+//! number of cases seeded from the test name, with no shrinking. A failing
+//! case panics with the rendered assertion message; re-runs reproduce it
+//! because the seed never varies.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// RNG handed to strategies during sampling.
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// Deterministic per-test stream: hash the test path into a seed.
+    pub fn for_test(path: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(ChaCha8Rng::seed_from_u64(h))
+    }
+
+    pub fn inner(&mut self) -> &mut ChaCha8Rng {
+        &mut self.0
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is false for this input.
+    Fail(String),
+    /// `prop_assume!` rejected the input; try another.
+    Reject,
+}
+
+/// Runner configuration; only `cases` matters to this stand-in, the rest
+/// exists so `..ProptestConfig::default()` update syntax compiles.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+    /// Accepted for compatibility; unused (no shrinking here).
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; unused.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(64);
+        ProptestConfig { cases, max_shrink_iters: 0, max_global_rejects: 4096 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+/// A recipe for generating values of `Value`.
+pub trait Strategy {
+    type Value;
+
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+    fn sample_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample_value(rng))
+    }
+}
+
+/// Always the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                rng.inner().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                rng.inner().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Namespaced strategy constructors (`prop::collection::vec`, …).
+pub mod prop {
+    pub mod collection {
+        use crate::{SizeRange, Strategy, TestRng};
+        use rand::Rng;
+
+        /// Vectors of `element` with a length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = rng.inner().gen_range(self.size.lo..=self.size.hi);
+                (0..n).map(|_| self.element.sample_value(rng)).collect()
+            }
+        }
+    }
+
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Uniformly random booleans.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn sample_value(&self, rng: &mut TestRng) -> bool {
+                rng.inner().gen_bool(0.5)
+            }
+        }
+    }
+
+    pub mod num {
+        /// Present for path compatibility; range strategies are implemented
+        /// directly on `Range`/`RangeInclusive`.
+        pub use crate::Strategy;
+    }
+}
+
+/// Inclusive collection-size bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    pub lo: usize,
+    pub hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        let (lo, hi) = r.into_inner();
+        assert!(lo <= hi, "empty size range");
+        SizeRange { lo, hi }
+    }
+}
+
+/// Drives one property: sample inputs until `cases` successes, a failure,
+/// or the reject budget runs dry.
+pub fn run_property<F>(test_path: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::for_test(test_path);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest stand-in: `{test_path}` rejected {rejected} inputs \
+                         before reaching {} cases (prop_assume too strict?)",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest stand-in: property `{test_path}` failed after \
+                     {passed} passing case(s): {msg}"
+                );
+            }
+        }
+    }
+}
+
+/// Define property tests. Mirrors proptest's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+///     #[test]
+///     fn prop(a in 0f64..1.0, b in strategy()) { prop_assert!(a < 1.0); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // With a config header.
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_property(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    |rng| {
+                        $(let $arg = $crate::Strategy::sample_value(&$strategy, rng);)*
+                        #[allow(unused_mut)]
+                        let mut case = move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            Ok(())
+                        };
+                        case()
+                    },
+                );
+            }
+        )*
+    };
+    // Default config.
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),*) $body
+            )*
+        }
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Discard inputs that don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn point() -> impl Strategy<Value = (f64, f64)> {
+        (0f64..1.0, 0f64..1.0).prop_map(|(x, y)| (x, y))
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in -5f64..5.0, n in 1usize..10, b in prop::bool::ANY) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size(v in prop::collection::vec(0u32..100, 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn mapped_tuples(p in point()) {
+            prop_assert!(p.0 >= 0.0 && p.1 < 1.0);
+        }
+
+        #[test]
+        fn assume_filters(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 7, ..ProptestConfig::default() })]
+        #[test]
+        fn config_header_accepted(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failure_panics() {
+        let config = ProptestConfig::with_cases(16);
+        crate::run_property("fail_demo", &config, |rng| {
+            let x = crate::Strategy::sample_value(&(0u32..1000), rng);
+            let case = move || -> Result<(), crate::TestCaseError> {
+                crate::prop_assert!(x < 2, "x was {}", x);
+                Ok(())
+            };
+            case()
+        });
+    }
+}

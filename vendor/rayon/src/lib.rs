@@ -1,0 +1,199 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the `into_par_iter().map(..).collect()` / `try_for_each(..)`
+//! subset on vectors and ranges with real parallelism: items are split into
+//! contiguous chunks and mapped on scoped threads (one per available core),
+//! preserving input order. No work stealing — block sampling and FTLE grids
+//! are uniform enough that a static split is within noise of the real thing
+//! at workstation scale.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Number of worker threads used for a parallel call.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Run `f` over `items`, in order, split across scoped threads.
+fn parallel_map<T: Send, O: Send>(items: Vec<T>, f: impl Fn(T) -> O + Sync) -> Vec<O> {
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    let per_chunk: Vec<Vec<O>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rayon stand-in worker panicked")).collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// Fallible parallel for-each; the first error encountered (in chunk order)
+/// is returned.
+fn parallel_try_for_each<T: Send, E: Send>(
+    items: Vec<T>,
+    f: impl Fn(T) -> Result<(), E> + Sync,
+) -> Result<(), E> {
+    let results = parallel_map(items, f);
+    for r in results {
+        r?;
+    }
+    Ok(())
+}
+
+/// Conversion into a parallel iterator (consuming).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<O: Send, F: Fn(T) -> O + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap { items: self.items, f }
+    }
+
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map(self.items, &f);
+    }
+
+    pub fn try_for_each<E: Send, F: Fn(T) -> Result<(), E> + Sync>(self, f: F) -> Result<(), E> {
+        parallel_try_for_each(self.items, f)
+    }
+
+    pub fn collect<C: FromParIter<T>>(self) -> C {
+        C::from_par(self.items)
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// A mapped parallel iterator; execution happens at the consuming call.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, O: Send, F: Fn(T) -> O + Sync> ParMap<T, F> {
+    pub fn collect<C: FromParIter<O>>(self) -> C {
+        C::from_par(parallel_map(self.items, self.f))
+    }
+
+    pub fn sum<S: std::iter::Sum<O>>(self) -> S {
+        parallel_map(self.items, self.f).into_iter().sum()
+    }
+
+    pub fn for_each<G: Fn(O) + Sync>(self, g: G) {
+        let f = self.f;
+        parallel_map(self.items, |t| g(f(t)));
+    }
+}
+
+/// What a parallel iterator can collect into.
+pub trait FromParIter<T> {
+    fn from_par(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParIter<T> for Vec<T> {
+    fn from_par(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_par_iter() {
+        let out: Vec<usize> = (0..37usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out.len(), 37);
+        assert_eq!(out[36], 37);
+    }
+
+    #[test]
+    fn try_for_each_propagates_error() {
+        let v: Vec<u32> = (0..100).collect();
+        let r = v.into_par_iter().try_for_each(|x| if x == 42 { Err("boom") } else { Ok(()) });
+        assert_eq!(r, Err("boom"));
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Deserialization error type and helpers used by derive-generated code.
+
+use crate::{Deserialize, Value};
+use std::fmt;
+
+/// Deserialization failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    pub(crate) fn expected(what: &str, got: &Value) -> Self {
+        Error(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Fetch and convert a named struct field. Missing keys fall back to
+/// deserializing from `Null`, so `Option` fields tolerate absence.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    match v {
+        Value::Map(_) => match v.get(name) {
+            Some(inner) => T::from_value(inner).map_err(|e| Error(format!("field `{name}`: {e}"))),
+            None => {
+                T::from_value(&Value::Null).map_err(|_| Error(format!("missing field `{name}`")))
+            }
+        },
+        _ => Err(Error::expected("object", v)),
+    }
+}
+
+/// Fetch and convert the `i`-th element of a sequence (tuple variants and
+/// tuple structs).
+pub fn seq_elem<T: Deserialize>(v: &Value, i: usize) -> Result<T, Error> {
+    match v {
+        Value::Seq(items) => match items.get(i) {
+            Some(inner) => T::from_value(inner).map_err(|e| Error(format!("element {i}: {e}"))),
+            None => Err(Error(format!("missing tuple element {i}"))),
+        },
+        _ => Err(Error::expected("array", v)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_reports_name() {
+        let v = Value::Map(vec![("a".into(), Value::Str("x".into()))]);
+        let err = field::<u32>(&v, "a").unwrap_err();
+        assert!(err.to_string().contains("`a`"));
+        let err = field::<u32>(&v, "b").unwrap_err();
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn optional_field_tolerates_absence() {
+        let v = Value::Map(vec![]);
+        let got: Option<u32> = field(&v, "gone").unwrap();
+        assert_eq!(got, None);
+    }
+}

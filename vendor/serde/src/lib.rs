@@ -1,0 +1,501 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of the real crate's visitor-based zero-copy architecture, this
+//! models serialization as conversion to and from a [`Value`] tree — the
+//! same data model `serde_json::Value` exposes. That is all this workspace
+//! needs: derived `Serialize`/`Deserialize` on plain structs and enums,
+//! rendered to / parsed from JSON by the `serde_json` stand-in.
+//!
+//! Enum representation matches serde's externally-tagged default:
+//! unit variant → `"Name"`, newtype variant → `{"Name": value}`,
+//! tuple variant → `{"Name": [..]}`, struct variant → `{"Name": {..}}`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+
+/// The self-describing data model every `Serialize`/`Deserialize` impl
+/// passes through. Maps preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Map lookup by key (`None` for non-maps and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(n) => Some(n as f64),
+            Value::U64(n) => Some(n as f64),
+            Value::F64(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(n) => Some(n),
+            Value::U64(n) => i64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::I64(n) => u64::try_from(n).ok(),
+            Value::U64(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// One-word description for error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+/// `value["key"]` — returns `Null` for non-maps and missing keys, like
+/// `serde_json::Value`.
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+/// `value[i]` over arrays.
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Seq(items) => items.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! impl_value_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match *self {
+                    Value::I64(n) => i128::from(n) == *other as i128,
+                    Value::U64(n) => i128::from(n) == *other as i128,
+                    Value::F64(x) => x == *other as f64,
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+impl_value_eq_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// Conversion into the data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the data model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_bool().ok_or_else(|| de::Error::expected("bool", v))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let n = v.as_i64().ok_or_else(|| de::Error::expected("integer", v))?;
+                <$t>::try_from(n).map_err(|_| de::Error::new(format!(
+                    "integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let n = v.as_u64().ok_or_else(|| de::Error::expected("unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| de::Error::new(format!(
+                    "integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            // serde_json renders non-finite floats as null; accept it back.
+            Value::Null => Ok(f64::NAN),
+            _ => v.as_f64().ok_or_else(|| de::Error::expected("number", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_str().map(str::to_string).ok_or_else(|| de::Error::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+/// Deserializing into `&'static str` (used by const-rationale fields) leaks
+/// the string; acceptable for the rare diagnostic round-trip.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let s = v.as_str().ok_or_else(|| de::Error::expected("string", v))?;
+        Ok(Box::leak(s.to_string().into_boxed_str()))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let s = v.as_str().ok_or_else(|| de::Error::expected("string", v))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(de::Error::new(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            _ => T::from_value(v).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let items = v.as_array().ok_or_else(|| de::Error::expected("array", v))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let items = v.as_array().ok_or_else(|| de::Error::expected("array", v))?;
+        if items.len() != N {
+            return Err(de::Error::new(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed.try_into().map_err(|_| de::Error::new(format!("array length mismatch (wanted {N})")))
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Map(entries) => {
+                entries.iter().map(|(k, item)| Ok((k.clone(), V::from_value(item)?))).collect()
+            }
+            _ => Err(de::Error::expected("object", v)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys so output is deterministic across runs.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Map(entries) => {
+                entries.iter().map(|(k, item)| Ok((k.clone(), V::from_value(item)?))).collect()
+            }
+            _ => Err(de::Error::expected("object", v)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let items = v.as_array().ok_or_else(|| de::Error::expected("array", v))?;
+                let want = [$($idx),+].len();
+                if items.len() != want {
+                    return Err(de::Error::new(format!(
+                        "expected tuple of length {want}, got {}", items.len())));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_missing_key_is_null() {
+        let v = Value::Map(vec![("a".into(), Value::U64(1))]);
+        assert!(v["missing"].is_null());
+        assert_eq!(v["a"], 1);
+    }
+
+    #[test]
+    fn numeric_cross_compare() {
+        assert_eq!(Value::I64(24), 24u64);
+        assert_eq!(Value::U64(24), 24i32);
+        assert_eq!(Value::F64(0.5), 0.5);
+        assert!(Value::Str("x".into()) != 0);
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let some = Some(3u32).to_value();
+        let none: Value = Option::<u32>::None.to_value();
+        assert_eq!(Option::<u32>::from_value(&some).unwrap(), Some(3));
+        assert_eq!(Option::<u32>::from_value(&none).unwrap(), None);
+    }
+
+    #[test]
+    fn array_and_tuple_roundtrip() {
+        let a = [1.0f64, 2.0, 3.0];
+        let back: [f64; 3] = Deserialize::from_value(&a.to_value()).unwrap();
+        assert_eq!(a, back);
+        let t = (1u32, -2i64);
+        let back: (u32, i64) = Deserialize::from_value(&t.to_value()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn out_of_range_int_rejected() {
+        let v = Value::I64(-1);
+        assert!(u32::from_value(&v).is_err());
+        let v = Value::U64(1 << 40);
+        assert!(u16::from_value(&v).is_err());
+    }
+}

@@ -1,0 +1,460 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives `Serialize`/`Deserialize` against the workspace `serde` crate's
+//! `Value` data model. The input item is parsed directly from the
+//! `proc_macro` token stream (no `syn`/`quote` available offline); code is
+//! generated as strings and re-parsed.
+//!
+//! Supported: non-generic structs (named, tuple, unit) and enums (unit,
+//! tuple, struct variants) with the externally-tagged representation, plus
+//! the `#[serde(skip, default)]` field attribute. Anything fancier panics
+//! with a clear message at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated Serialize impl did not parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated Deserialize impl did not parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed shape
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { toks: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if self.peek_punct(ch) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == word)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Skip leading `#[...]` attributes; report whether any was
+    /// `#[serde(... skip ...)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut skip = false;
+        while self.peek_punct('#') {
+            self.pos += 1;
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    if attr_is_serde_skip(&g.stream()) {
+                        skip = true;
+                    }
+                }
+                other => panic!("serde_derive: malformed attribute, got {other:?}"),
+            }
+        }
+        skip
+    }
+
+    /// Skip `pub` / `pub(crate)` / `pub(in ...)`.
+    fn skip_vis(&mut self) {
+        if self.peek_ident("pub") {
+            self.pos += 1;
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skip a type: everything up to the next comma outside `<...>`
+    /// nesting. Groups are atomic tokens, so only angle brackets need
+    /// depth tracking.
+    fn skip_type(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn attr_is_serde_skip(stream: &TokenStream) -> bool {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match toks.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Count comma-separated items at angle-depth zero (tuple arity).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle: i32 = 0;
+    let mut fields = 0usize;
+    let mut seen_any = false;
+    for t in stream {
+        match t {
+            TokenTree::Punct(ref p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(ref p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(ref p) if p.as_char() == ',' && angle == 0 => {
+                fields += 1;
+                seen_any = false;
+                continue;
+            }
+            _ => {}
+        }
+        seen_any = true;
+    }
+    if seen_any {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let skip = cur.skip_attrs();
+        cur.skip_vis();
+        let name = cur.expect_ident("field name");
+        if !cur.eat_punct(':') {
+            panic!("serde_derive: expected `:` after field `{name}`");
+        }
+        cur.skip_type();
+        cur.eat_punct(',');
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs();
+    cur.skip_vis();
+
+    let kw = cur.expect_ident("`struct` or `enum`");
+    let name = cur.expect_ident("item name");
+    if cur.peek_punct('<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the offline stand-in");
+    }
+
+    match kw.as_str() {
+        "struct" => {
+            match cur.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let fields = parse_named_fields(g.stream());
+                    Item { name, shape: Shape::NamedStruct(fields) }
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let arity = count_tuple_fields(g.stream());
+                    Item { name, shape: Shape::TupleStruct(arity) }
+                }
+                // `struct Name;`
+                _ => Item { name, shape: Shape::UnitStruct },
+            }
+        }
+        "enum" => {
+            let body = match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, got {other:?}"),
+            };
+            let mut vcur = Cursor::new(body);
+            let mut variants = Vec::new();
+            while !vcur.at_end() {
+                vcur.skip_attrs();
+                let vname = vcur.expect_ident("variant name");
+                let shape = match vcur.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        vcur.pos += 1;
+                        VariantShape::Named(fields)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = count_tuple_fields(g.stream());
+                        vcur.pos += 1;
+                        VariantShape::Tuple(arity)
+                    }
+                    _ => VariantShape::Unit,
+                };
+                if vcur.eat_punct('=') {
+                    panic!(
+                        "serde_derive: explicit discriminants are not supported \
+                         (variant `{vname}`)"
+                    );
+                }
+                vcur.eat_punct(',');
+                variants.push(Variant { name: vname, shape });
+            }
+            Item { name, shape: Shape::Enum(variants) }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const IMPL_ATTRS: &str = "#[automatically_derived]\n#[allow(unused_variables, clippy::all)]\n";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),")
+                        }
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Map(vec![(\"{vn}\"\
+                                 .to_string(), ::serde::Value::Seq(vec![{elems}]))]),",
+                                binds = binds.join(", "),
+                                elems = elems.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| {
+                                    format!(
+                                        "(\"{n}\".to_string(), ::serde::Serialize::to_value({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vn}\"\
+                                 .to_string(), ::serde::Value::Map(vec![{entries}]))]),",
+                                binds = binds.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default(),", f.name)
+                    } else {
+                        format!("{n}: ::serde::de::field(v, \"{n}\")?,", n = f.name)
+                    }
+                })
+                .collect();
+            format!("Ok({name} {{\n{}\n}})", inits.join("\n"))
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> =
+                (0..*n).map(|i| format!("::serde::de::seq_elem(v, {i})?")).collect();
+            format!("Ok({name}({}))", elems.join(", "))
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(\
+                             inner)?)),"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::de::seq_elem(inner, {i})?"))
+                                .collect();
+                            Some(format!("\"{vn}\" => Ok({name}::{vn}({})),", elems.join(", ")))
+                        }
+                        VariantShape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    if f.skip {
+                                        format!("{}: ::std::default::Default::default(),", f.name)
+                                    } else {
+                                        format!(
+                                            "{n}: ::serde::de::field(inner, \"{n}\")?,",
+                                            n = f.name
+                                        )
+                                    }
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => Ok({name}::{vn} {{\n{}\n}}),",
+                                inits.join("\n")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let map_arm = if payload_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                     let (tag, inner) = &entries[0];\n\
+                     match tag.as_str() {{\n{arms}\n\
+                     other => Err(::serde::de::Error::new(format!(\
+                     \"unknown variant `{{other}}` of {name}\"))),\n}}\n}}\n",
+                    arms = payload_arms.join("\n")
+                )
+            };
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{units}\n\
+                 other => Err(::serde::de::Error::new(format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n}},\n\
+                 {map_arm}\
+                 _ => Err(::serde::de::Error::new(\
+                 \"invalid representation for enum {name}\".to_string())),\n}}",
+                units = unit_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> \
+         {{\n{body}\n}}\n}}"
+    )
+}
