@@ -10,18 +10,18 @@ use streamline_integrate::{Dopri5, Stepper, Streamline, StreamlineId, Tolerances
 use streamline_math::Vec3;
 
 fn single_step(c: &mut Criterion) {
-    let f = |p: Vec3| Some(Vec3::new(-p.y, p.x, 0.1 * (p.x * 3.0).sin()));
+    let mut f = |p: Vec3| Some(Vec3::new(-p.y, p.x, 0.1 * (p.x * 3.0).sin()));
     let y = Vec3::new(1.0, 0.2, -0.3);
     let tol = Tolerances::default();
     let mut g = c.benchmark_group("single_step");
     g.bench_function("euler", |b| {
-        b.iter(|| Euler.step(&f, black_box(y), black_box(0.01), &tol).unwrap())
+        b.iter(|| Euler.step(&mut f, black_box(y), black_box(0.01), &tol).unwrap())
     });
     g.bench_function("rk4", |b| {
-        b.iter(|| Rk4.step(&f, black_box(y), black_box(0.01), &tol).unwrap())
+        b.iter(|| Rk4.step(&mut f, black_box(y), black_box(0.01), &tol).unwrap())
     });
     g.bench_function("dopri5", |b| {
-        b.iter(|| Dopri5.step(&f, black_box(y), black_box(0.01), &tol).unwrap())
+        b.iter(|| Dopri5.step(&mut f, black_box(y), black_box(0.01), &tol).unwrap())
     });
     g.finish();
 }
@@ -38,7 +38,7 @@ fn block_advection(c: &mut Criterion) {
             let bounds = block.bounds;
             let r = advect(
                 &mut sl,
-                &|p| block.sample(p),
+                &mut |p| block.sample(p),
                 &move |p| bounds.contains(p),
                 &limits,
                 &Dopri5,

@@ -1,0 +1,27 @@
+//! Kernel perf-regression harness: times the integration hot path
+//! (sampling / DOPRI5 step / whole streamline, fast vs reference) plus an
+//! end-to-end serve run, and writes the machine-readable trajectory file.
+//!
+//! * `--smoke`     — seconds-scale iteration counts (CI)
+//! * `--out PATH`  — where to write the JSON report (default `BENCH_2.json`)
+
+use streamline_bench::kernels::{run_kernels, KernelsConfig};
+
+fn main() {
+    let mut smoke = false;
+    let mut out = std::path::PathBuf::from("BENCH_2.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = it.next().expect("--out needs a path").into(),
+            other => panic!("unknown argument {other}; supported: --smoke --out"),
+        }
+    }
+
+    let report = run_kernels(&KernelsConfig { smoke });
+    println!("{}", report.summary());
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("writing report file");
+    eprintln!("wrote {}", out.display());
+}

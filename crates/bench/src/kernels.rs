@@ -1,0 +1,364 @@
+//! Kernel perf-regression harness (`bench kernels` / the `kernels` binary).
+//!
+//! Times the integration hot path at three granularities — one trilinear
+//! sample, one DOPRI5 step, one whole streamline — each as a fast-path vs
+//! reference-path pair, plus an end-to-end astro run through the
+//! `streamline-serve` load generator. Results are machine-readable
+//! ([`KernelsReport`] serializes to `BENCH_2.json`) so future PRs have a
+//! trajectory to compare against.
+//!
+//! The fast path must be *exact*: the whole-streamline benchmark refuses to
+//! report a speedup unless the fast trajectory is bit-identical to the
+//! reference one, vertex by vertex.
+
+use crate::experiments::{dataset_for, SweepScale, Workload};
+use crate::loadgen::{run_load, LoadGenConfig};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+use streamline_field::interp::trilinear;
+use streamline_field::{Block, BlockId, CellSampler};
+use streamline_integrate::tracer::{advect, StepLimits};
+use streamline_integrate::{
+    Dopri5, Dopri5NoReuse, FsalCache, Stepper, Streamline, StreamlineId, Tolerances,
+};
+use streamline_math::{rng, Vec3};
+
+/// Shape of one harness invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelsConfig {
+    /// Seconds-scale iteration counts for CI; full counts otherwise.
+    pub smoke: bool,
+}
+
+/// Fast-vs-reference timing of one kernel granularity.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelPair {
+    /// Reference path, nanoseconds per operation.
+    pub reference_ns: f64,
+    /// Fast path, nanoseconds per operation.
+    pub fast_ns: f64,
+    /// `reference_ns / fast_ns` (> 1.0 means the fast path won).
+    pub speedup: f64,
+}
+
+impl KernelPair {
+    fn new(reference_ns: f64, fast_ns: f64) -> Self {
+        KernelPair { reference_ns, fast_ns, speedup: reference_ns / fast_ns }
+    }
+}
+
+/// End-to-end serve-path numbers from the closed-loop load generator.
+#[derive(Debug, Clone, Serialize)]
+pub struct EndToEnd {
+    pub streamlines: u64,
+    pub wall_secs: f64,
+    pub streamlines_per_sec: f64,
+    pub sampler_hit_rate: f64,
+}
+
+/// Everything one harness run measured.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelsReport {
+    /// True when run with reduced iteration counts (CI smoke mode).
+    pub smoke: bool,
+    /// One trilinear sample: plain `trilinear` vs [`CellSampler`] over a
+    /// walk-like point sequence (consecutive points land in the same cell,
+    /// as RK stages do).
+    pub sampling: KernelPair,
+    /// Cell-sampler stencil hit rate over the sampling benchmark's walk.
+    pub sampling_hit_rate: f64,
+    /// One DOPRI5 step against real block data: fresh 7-stage steps vs an
+    /// FSAL chain reusing k7 as the next step's k1.
+    pub dopri5_step: KernelPair,
+    /// One whole streamline through a block: `Dopri5NoReuse` + plain
+    /// `block.sample` vs `Dopri5` (FSAL) + [`CellSampler`].
+    pub whole_streamline: KernelPair,
+    /// Accepted steps per whole-streamline iteration (identical on both
+    /// paths by construction).
+    pub streamline_steps: u64,
+    /// The fast trajectory matched the reference bit-for-bit.
+    pub bit_identical: bool,
+    pub end_to_end: EndToEnd,
+}
+
+impl KernelsReport {
+    /// Human-readable summary, one line per benchmark.
+    pub fn summary(&self) -> String {
+        format!(
+            "sampling:         {:>8.1} ns -> {:>8.1} ns  ({:.2}x, hit rate {:.3})\n\
+             dopri5 step:      {:>8.1} ns -> {:>8.1} ns  ({:.2}x)\n\
+             whole streamline: {:>8.0} ns -> {:>8.0} ns  ({:.2}x, {} steps, bit-identical: {})\n\
+             end-to-end:       {:.1} streamlines/s over {:.2}s (sampler hit rate {:.3})",
+            self.sampling.reference_ns,
+            self.sampling.fast_ns,
+            self.sampling.speedup,
+            self.sampling_hit_rate,
+            self.dopri5_step.reference_ns,
+            self.dopri5_step.fast_ns,
+            self.dopri5_step.speedup,
+            self.whole_streamline.reference_ns,
+            self.whole_streamline.fast_ns,
+            self.whole_streamline.speedup,
+            self.streamline_steps,
+            self.bit_identical,
+            self.end_to_end.streamlines_per_sec,
+            self.end_to_end.wall_secs,
+            self.end_to_end.sampler_hit_rate,
+        )
+    }
+}
+
+/// Median-of-repeats wall time per call of `body`, in nanoseconds. One
+/// warm-up repeat is discarded; the median resists scheduler noise better
+/// than the mean without needing criterion's machinery.
+fn time_ns(repeats: usize, calls_per_repeat: u64, mut body: impl FnMut()) -> f64 {
+    black_box(&mut body)();
+    let mut samples: Vec<f64> = (0..repeats.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..calls_per_repeat {
+                black_box(&mut body)();
+            }
+            t0.elapsed().as_nanos() as f64 / calls_per_repeat as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// The exact field-evaluation sequence of real advections through `block`,
+/// recorded by instrumenting the sampling closure — so the sampling
+/// microbenchmark replays the true hot-path access pattern (RK stages
+/// clustered inside a cell, adaptive steps crossing cell boundaries)
+/// instead of a synthetic walk.
+fn stage_points(block: &Block, n: usize) -> Vec<Vec3> {
+    let limits = StepLimits { h0: 1e-2, h_max: 0.05, max_steps: 100_000, ..Default::default() };
+    let bounds = block.bounds;
+    let mut r = rng::stream(7, "bench-kernels-seeds");
+    let radius = bounds.size().x.min(bounds.size().y).min(bounds.size().z) * 0.25;
+    let mut points = Vec::with_capacity(n);
+    while points.len() < n {
+        let seed = rng::point_in_ball(&mut r, bounds.center(), radius);
+        let mut sl = Streamline::new_lean(StreamlineId(0), seed, limits.h0);
+        let mut sample = |p: Vec3| {
+            let v = block.sample(p);
+            if v.is_some() {
+                points.push(p);
+            }
+            v
+        };
+        advect(&mut sl, &mut sample, &move |p| bounds.contains(p), &limits, &Dopri5NoReuse);
+    }
+    points.truncate(n);
+    points
+}
+
+fn bench_sampling(block: &Block, cfg: &KernelsConfig) -> (KernelPair, f64) {
+    let points = stage_points(block, if cfg.smoke { 512 } else { 4096 });
+    let repeats = if cfg.smoke { 5 } else { 30 };
+    let reference_ns = time_ns(repeats, 1, || {
+        let mut acc = Vec3::ZERO;
+        for &p in &points {
+            acc += trilinear(block, black_box(p)).unwrap();
+        }
+        black_box(acc);
+    }) / points.len() as f64;
+
+    let fast_ns = time_ns(repeats, 1, || {
+        let mut sampler = CellSampler::new(block);
+        let mut acc = Vec3::ZERO;
+        for &p in &points {
+            acc += sampler.sample(black_box(p)).unwrap();
+        }
+        black_box(acc);
+    }) / points.len() as f64;
+
+    // Hit rate of the walk, measured once outside the timing loop.
+    let mut sampler = CellSampler::new(block);
+    for &p in &points {
+        sampler.sample(p);
+    }
+    (KernelPair::new(reference_ns, fast_ns), sampler.stats().hit_rate())
+}
+
+fn bench_dopri5_step(block: &Block, cfg: &KernelsConfig) -> KernelPair {
+    let seed = block.bounds.center();
+    let tol = Tolerances::default();
+    let h = 1e-2;
+    let chain = if cfg.smoke { 256u64 } else { 2048 };
+    let repeats = if cfg.smoke { 5 } else { 30 };
+
+    let reference_ns = time_ns(repeats, 1, || {
+        let mut f = |p: Vec3| block.sample(p);
+        let mut y = seed;
+        for _ in 0..chain {
+            match Dopri5.step(&mut f, y, h, &tol) {
+                Ok(r) => y = r.y,
+                Err(_) => y = seed,
+            }
+        }
+        black_box(y);
+    }) / chain as f64;
+
+    let fast_ns = time_ns(repeats, 1, || {
+        let mut sampler = CellSampler::new(block);
+        let mut f = |p: Vec3| sampler.sample(p);
+        let mut fsal = FsalCache::new();
+        let mut y = seed;
+        for _ in 0..chain {
+            match Dopri5.step_fsal(&mut f, y, h, &tol, &mut fsal) {
+                Ok(r) => y = r.y,
+                Err(_) => {
+                    y = seed;
+                    fsal.clear();
+                }
+            }
+        }
+        black_box(y);
+    }) / chain as f64;
+
+    KernelPair::new(reference_ns, fast_ns)
+}
+
+/// Advect one geometry-recording streamline from `seed` through `block`.
+fn run_streamline(block: &Block, seed: Vec3, limits: &StepLimits, fast: bool) -> Streamline {
+    let mut sl = Streamline::new(StreamlineId(0), seed, limits.h0);
+    let bounds = block.bounds;
+    let region = move |p: Vec3| bounds.contains(p);
+    if fast {
+        let mut sampler = CellSampler::new(block);
+        let mut sample = |p: Vec3| sampler.sample(p);
+        advect(&mut sl, &mut sample, &region, limits, &Dopri5);
+    } else {
+        let mut sample = |p: Vec3| block.sample(p);
+        advect(&mut sl, &mut sample, &region, limits, &Dopri5NoReuse);
+    }
+    sl
+}
+
+fn bits(v: Vec3) -> [u64; 3] {
+    [v.x.to_bits(), v.y.to_bits(), v.z.to_bits()]
+}
+
+fn bench_whole_streamline(block: &Block, cfg: &KernelsConfig) -> (KernelPair, u64, bool) {
+    let limits = StepLimits {
+        h0: 1e-2,
+        h_max: 0.05,
+        max_steps: if cfg.smoke { 2_000 } else { 20_000 },
+        ..Default::default()
+    };
+    let seed = block.bounds.center();
+
+    // Exactness first: the speedup is meaningless if the trajectories
+    // diverge. Compare every vertex bit-for-bit.
+    let reference = run_streamline(block, seed, &limits, false);
+    let fast = run_streamline(block, seed, &limits, true);
+    let bit_identical = reference.geometry.len() == fast.geometry.len()
+        && reference.geometry.iter().zip(&fast.geometry).all(|(&a, &b)| bits(a) == bits(b));
+    assert!(
+        bit_identical,
+        "fast-path streamline diverged from the reference ({} vs {} vertices)",
+        fast.geometry.len(),
+        reference.geometry.len()
+    );
+    let steps = reference.state.steps;
+
+    let repeats = if cfg.smoke { 5 } else { 20 };
+    let reference_ns = time_ns(repeats, 1, || {
+        black_box(run_streamline(block, black_box(seed), &limits, false).state.steps);
+    });
+    let fast_ns = time_ns(repeats, 1, || {
+        black_box(run_streamline(block, black_box(seed), &limits, true).state.steps);
+    });
+    (KernelPair::new(reference_ns, fast_ns), steps, bit_identical)
+}
+
+fn bench_end_to_end(cfg: &KernelsConfig) -> EndToEnd {
+    let load = LoadGenConfig {
+        workload: Workload::Astro,
+        scale: SweepScale::Quick,
+        clients: 4,
+        requests_per_client: if cfg.smoke { 4 } else { 16 },
+        seeds_per_request: 8,
+        ..LoadGenConfig::default()
+    };
+    let report = run_load(&load);
+    EndToEnd {
+        streamlines: report.streamlines,
+        wall_secs: report.wall_secs,
+        streamlines_per_sec: report.metrics.streamlines_per_sec,
+        sampler_hit_rate: report.metrics.sampler_hit_rate,
+    }
+}
+
+/// Run every kernel benchmark and the end-to-end timing.
+///
+/// Panics if the fast-path streamline is not bit-identical to the
+/// reference — a perf harness must never certify a wrong answer as fast.
+pub fn run_kernels(cfg: &KernelsConfig) -> KernelsReport {
+    let astro = dataset_for(Workload::Astro, SweepScale::Quick);
+    let block = astro.build_block(BlockId(13));
+    // The tokamak field circulates inside a block for thousands of steps,
+    // so it gives the whole-streamline pair a long trajectory to time; the
+    // astro block's streamlines exit after a few dozen.
+    let fusion = dataset_for(Workload::Fusion, SweepScale::Quick);
+    let fusion_block = fusion.build_block(BlockId(21));
+
+    eprintln!("[kernels] sampling ...");
+    let (sampling, sampling_hit_rate) = bench_sampling(&block, cfg);
+    eprintln!("[kernels] dopri5 step ...");
+    let dopri5_step = bench_dopri5_step(&block, cfg);
+    eprintln!("[kernels] whole streamline ...");
+    let (whole_streamline, streamline_steps, bit_identical) =
+        bench_whole_streamline(&fusion_block, cfg);
+    eprintln!("[kernels] end-to-end loadgen ...");
+    let end_to_end = bench_end_to_end(cfg);
+
+    KernelsReport {
+        smoke: cfg.smoke,
+        sampling,
+        sampling_hit_rate,
+        dopri5_step,
+        whole_streamline,
+        streamline_steps,
+        bit_identical,
+        end_to_end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_sane_report() {
+        let report = run_kernels(&KernelsConfig { smoke: true });
+        assert!(report.smoke);
+        assert!(report.bit_identical);
+        assert!(report.streamline_steps > 0);
+        assert!(report.sampling.reference_ns > 0.0 && report.sampling.fast_ns > 0.0);
+        assert!(report.dopri5_step.reference_ns > 0.0 && report.dopri5_step.fast_ns > 0.0);
+        // RK stages cluster: the walk must overwhelmingly hit the cached cell.
+        assert!(
+            report.sampling_hit_rate > 0.5,
+            "walk hit rate {} suspiciously low",
+            report.sampling_hit_rate
+        );
+        assert!(report.end_to_end.streamlines > 0);
+        assert!(report.end_to_end.sampler_hit_rate > 0.0);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("whole_streamline"));
+    }
+
+    #[test]
+    fn stage_points_are_sampleable_and_exactly_n() {
+        let ds = dataset_for(Workload::Astro, SweepScale::Quick);
+        let block = ds.build_block(BlockId(13));
+        let points = stage_points(&block, 256);
+        assert_eq!(points.len(), 256);
+        for p in points {
+            assert!(block.sample(p).is_some());
+        }
+    }
+}

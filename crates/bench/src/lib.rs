@@ -4,11 +4,13 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod kernels;
 pub mod loadgen;
 pub mod tables;
 
 pub use experiments::{
     case_config, dataset_for, limits_for, run_sweep, CaseResult, SweepScale, Workload,
 };
+pub use kernels::{run_kernels, KernelsConfig, KernelsReport};
 pub use loadgen::{run_load, LoadGenConfig, LoadGenReport};
 pub use tables::{figure_block, render_markdown};

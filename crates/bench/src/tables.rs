@@ -107,6 +107,8 @@ mod tests {
                 bytes_sent: 0,
                 terminated: 10,
                 total_steps: 100,
+                sampler_hits: 0,
+                sampler_misses: 0,
                 events: 1,
                 per_rank: vec![],
             },

@@ -87,6 +87,13 @@ pub enum Command {
         deadline_ms: Option<u64>,
         json: Option<String>,
     },
+    /// Kernel perf-regression harness: fast-vs-reference timings of the
+    /// integration hot path, written as the `BENCH_2.json` trajectory.
+    BenchKernels {
+        /// Seconds-scale iteration counts (CI smoke mode).
+        smoke: bool,
+        json: Option<String>,
+    },
     Info,
     Help,
 }
@@ -232,11 +239,24 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 json: o.get("json").cloned(),
             }
         }
+        "bench-kernels" => {
+            // `--smoke` is a bare flag; peel it off before the key-value pass.
+            let mut kv: Vec<String> = rest.to_vec();
+            let smoke = if let Some(i) = kv.iter().position(|a| a == "--smoke") {
+                kv.remove(i);
+                true
+            } else {
+                false
+            };
+            let o = options(&kv, &["json"])?;
+            Command::BenchKernels { smoke, json: o.get("json").cloned() }
+        }
         "info" => Command::Info,
         "help" | "--help" | "-h" => Command::Help,
         other => {
             return Err(format!(
-                "unknown command '{other}' (run|classify|trace|ftle|serve-bench|info|help)"
+                "unknown command '{other}' \
+                 (run|classify|trace|ftle|serve-bench|bench-kernels|info|help)"
             ))
         }
     };
@@ -256,6 +276,7 @@ USAGE:
   slrepro serve-bench [--dataset astro|fusion|thermal] [--clients N] [--requests N]
                    [--seeds N] [--workers N] [--cache BLOCKS] [--shards N]
                    [--queue SEEDS] [--deadline-ms MS] [--json FILE]
+  slrepro bench-kernels [--smoke] [--json FILE]
   slrepro info
 ";
 
@@ -331,6 +352,25 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn bench_kernels_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("bench-kernels")).unwrap().command,
+            Command::BenchKernels { smoke: false, json: None }
+        );
+        assert_eq!(
+            parse(&argv("bench-kernels --smoke --json k.json")).unwrap().command,
+            Command::BenchKernels { smoke: true, json: Some("k.json".into()) }
+        );
+        // Flag position must not matter relative to key-value options.
+        assert_eq!(
+            parse(&argv("bench-kernels --json k.json --smoke")).unwrap().command,
+            Command::BenchKernels { smoke: true, json: Some("k.json".into()) }
+        );
+        let e = parse(&argv("bench-kernels --bogus 1")).unwrap_err();
+        assert!(e.contains("unknown option"), "{e}");
     }
 
     #[test]

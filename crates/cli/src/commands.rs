@@ -242,13 +242,38 @@ pub fn execute(cmd: Command) -> i32 {
                 2
             }
         }
+        Command::BenchKernels { smoke, json } => {
+            use streamline_bench::{run_kernels, KernelsConfig};
+            let report = run_kernels(&KernelsConfig { smoke });
+            println!("{}", report.summary());
+            if let Some(path) = json {
+                match serde_json::to_string_pretty(&report) {
+                    Ok(s) => {
+                        if let Err(e) = std::fs::write(&path, s + "\n") {
+                            eprintln!("error writing {path}: {e}");
+                            return 1;
+                        }
+                        eprintln!("wrote {path}");
+                    }
+                    Err(e) => {
+                        eprintln!("serialization error: {e}");
+                        return 1;
+                    }
+                }
+            }
+            if report.bit_identical {
+                0
+            } else {
+                2
+            }
+        }
         Command::Trace { dataset, seeds, out, formats } => {
             let ds = build_dataset(dataset);
             let set = ds.seeds_with_count(Seeding::Sparse, seeds);
             let limits = limits_for(dataset, Seeding::Sparse);
             let field = &ds.field;
             let domain = ds.decomp.domain;
-            let sample = |p: Vec3| Some(field.eval(p));
+            let mut sample = |p: Vec3| Some(field.eval(p));
             let region = move |p: Vec3| domain.contains(p);
             let streams: Vec<Streamline> = set
                 .points
@@ -256,7 +281,7 @@ pub fn execute(cmd: Command) -> i32 {
                 .enumerate()
                 .map(|(i, &p)| {
                     let mut sl = Streamline::new(StreamlineId(i as u32), p, limits.h0);
-                    advect(&mut sl, &sample, &region, &limits, &Dopri5);
+                    advect(&mut sl, &mut sample, &region, &limits, &Dopri5);
                     sl
                 })
                 .collect();

@@ -10,12 +10,28 @@
 use crate::workspace::BlockExit;
 use streamline_field::block::Block;
 use streamline_field::decomp::BlockDecomposition;
+use streamline_field::sampler::CellSampler;
 use streamline_integrate::tracer::{advect, AdvectOutcome};
 use streamline_integrate::{Dopri5, StepLimits, Streamline, Termination};
 
+/// Work accounting for one [`advance_in_block`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdvanceStats {
+    /// Accepted integration steps.
+    pub steps: u64,
+    /// Field evaluations served from the cell sampler's cached stencil.
+    pub sampler_hits: u64,
+    /// Field evaluations that gathered a fresh 8-corner stencil.
+    pub sampler_misses: u64,
+}
+
 /// Advance `sl` inside `block` until it exits the block or terminates,
 /// then resolve which block owns it next. Returns the exit disposition and
-/// the number of accepted integration steps taken.
+/// the work performed ([`AdvanceStats`]).
+///
+/// Field evaluations go through a [`CellSampler`] scoped to this call —
+/// bit-identical to `block.sample` but skipping the 8-corner gather when
+/// consecutive evaluations land in the same cell.
 ///
 /// When the integrator stops exactly on a shared block face, the position
 /// is nudged along the local velocity by `1e-9` of the domain scale so
@@ -27,12 +43,14 @@ pub fn advance_in_block(
     decomp: &BlockDecomposition,
     limits: &StepLimits,
     stepper: &Dopri5,
-) -> (BlockExit, u64) {
+) -> (BlockExit, AdvanceStats) {
     let id = block.id;
     let bounds = block.bounds;
-    let sample = |p| block.sample(p);
+    let mut sampler = CellSampler::new(block);
+    let mut sample = |p| sampler.sample(p);
     let region = move |p| bounds.contains(p);
-    let r = advect(sl, &sample, &region, limits, stepper);
+    let r = advect(sl, &mut sample, &region, limits, stepper);
+    let sampler_stats = sampler.stats();
     let exit = match r.outcome {
         AdvectOutcome::Terminated(t) => BlockExit::Done(t),
         AdvectOutcome::LeftRegion => {
@@ -65,7 +83,14 @@ pub fn advance_in_block(
             }
         }
     };
-    (exit, r.steps)
+    (
+        exit,
+        AdvanceStats {
+            steps: r.steps,
+            sampler_hits: sampler_stats.hits,
+            sampler_misses: sampler_stats.misses,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -82,9 +107,14 @@ mod tests {
         let start = ds.decomp.locate(seed).unwrap();
         let block = ds.build_block(start);
         let mut sl = Streamline::new(StreamlineId(0), seed, 1e-2);
-        let (exit, steps) =
+        let (exit, stats) =
             advance_in_block(&mut sl, &block, &ds.decomp, &StepLimits::default(), &Dopri5);
-        assert!(steps > 0);
+        assert!(stats.steps > 0);
+        assert!(
+            stats.sampler_hits + stats.sampler_misses > 0,
+            "every accepted step samples the field"
+        );
+        assert!(stats.sampler_hits > 0, "RK stages revisiting a cell must hit the stencil cache");
         match exit {
             BlockExit::MovedTo(next) => assert_ne!(next, start),
             other => panic!("expected a block crossing, got {other:?}"),

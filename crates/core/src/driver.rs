@@ -64,6 +64,16 @@ impl AnyProc {
         }
     }
 
+    /// Cell-sampler `(hits, misses)` accumulated by this rank's workspace.
+    fn sampler_counters(&self) -> (u64, u64) {
+        match self {
+            AnyProc::Static(p) => (p.workspace().sampler_hits, p.workspace().sampler_misses),
+            AnyProc::Lod(p) => (p.workspace().sampler_hits, p.workspace().sampler_misses),
+            AnyProc::Slave(p) => (p.workspace().sampler_hits, p.workspace().sampler_misses),
+            AnyProc::Master(_) => (0, 0),
+        }
+    }
+
     fn failed_oom(&self) -> bool {
         match self {
             AnyProc::Static(p) => p.failed_oom,
@@ -248,6 +258,8 @@ fn collect_report(
     let mut cache = CacheStats::default();
     let mut terminated = 0;
     let mut steps = 0;
+    let mut sampler_hits = 0;
+    let mut sampler_misses = 0;
     let mut outcome = RunOutcome::Completed;
     for (rank, p) in procs.iter().enumerate() {
         if let Some(s) = p.cache_stats() {
@@ -255,6 +267,9 @@ fn collect_report(
         }
         terminated += p.terminated();
         steps += p.total_steps();
+        let (hits, misses) = p.sampler_counters();
+        sampler_hits += hits;
+        sampler_misses += misses;
         if p.failed_oom() && outcome == RunOutcome::Completed {
             outcome = RunOutcome::OutOfMemory { rank };
         }
@@ -278,6 +293,8 @@ fn collect_report(
         bytes_sent: report.ranks.iter().map(|m| m.bytes_sent).sum(),
         terminated,
         total_steps: steps,
+        sampler_hits,
+        sampler_misses,
         events: report.events,
         per_rank: report.ranks,
     }

@@ -49,6 +49,13 @@ pub struct RunReport {
     pub terminated: u64,
     /// Accepted integration steps over all ranks.
     pub total_steps: u64,
+    /// Cell-sampler stencil-cache hits over all ranks (field evaluations
+    /// that skipped the 8-corner gather).
+    #[serde(default)]
+    pub sampler_hits: u64,
+    /// Cell-sampler stencil gathers over all ranks.
+    #[serde(default)]
+    pub sampler_misses: u64,
     /// Runtime events processed.
     pub events: u64,
     pub per_rank: Vec<ProcMetrics>,
@@ -61,6 +68,17 @@ impl RunReport {
             1.0
         } else {
             (self.blocks_loaded - self.blocks_purged) as f64 / self.blocks_loaded as f64
+        }
+    }
+
+    /// Fraction of field evaluations served from the cell sampler's cached
+    /// stencil; 0.0 when nothing was sampled.
+    pub fn sampler_hit_rate(&self) -> f64 {
+        let total = self.sampler_hits + self.sampler_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.sampler_hits as f64 / total as f64
         }
     }
 
@@ -120,6 +138,8 @@ mod tests {
             bytes_sent: 1000,
             terminated: 10,
             total_steps: 100,
+            sampler_hits: 75,
+            sampler_misses: 25,
             events: 12,
             per_rank: vec![
                 ProcMetrics { compute: 1.0, ..Default::default() },
@@ -136,6 +156,28 @@ mod tests {
         r2.blocks_loaded = 0;
         r2.blocks_purged = 0;
         assert_eq!(r2.block_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn sampler_hit_rate_from_counters() {
+        let mut r = report();
+        assert!((r.sampler_hit_rate() - 0.75).abs() < 1e-12);
+        r.sampler_hits = 0;
+        r.sampler_misses = 0;
+        assert_eq!(r.sampler_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn deserializes_reports_without_sampler_counters() {
+        // Reports written before the counters existed must still load.
+        let json = serde_json::to_string(&report()).unwrap();
+        let stripped =
+            json.replace("\"sampler_hits\":75,", "").replace("\"sampler_misses\":25,", "");
+        assert_ne!(json, stripped, "test must actually remove the fields");
+        let r: RunReport = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(r.sampler_hits, 0);
+        assert_eq!(r.sampler_misses, 0);
+        assert_eq!(r.total_steps, 100);
     }
 
     #[test]

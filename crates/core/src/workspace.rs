@@ -41,6 +41,10 @@ pub struct Workspace {
     pub terminated: u64,
     /// Accepted integration steps performed by this rank.
     pub total_steps: u64,
+    /// Cell-sampler stencil-cache hits across all advances on this rank.
+    pub sampler_hits: u64,
+    /// Cell-sampler stencil gathers across all advances on this rank.
+    pub sampler_misses: u64,
 }
 
 impl Workspace {
@@ -66,6 +70,8 @@ impl Workspace {
             resident_streams: 0,
             terminated: 0,
             total_steps: 0,
+            sampler_hits: 0,
+            sampler_misses: 0,
         }
     }
 
@@ -134,11 +140,13 @@ impl Workspace {
         ctx: &mut dyn Context<Msg>,
     ) -> BlockExit {
         let block = self.cache.get(id).expect("advance_in requires a resident block");
-        let (exit, steps) =
+        let (exit, stats) =
             crate::advance::advance_in_block(sl, &block, &self.decomp, &self.limits, &self.stepper);
-        ctx.charge_compute(steps as f64 * self.sec_per_step);
-        self.geom_vertices += steps;
-        self.total_steps += steps;
+        ctx.charge_compute(stats.steps as f64 * self.sec_per_step);
+        self.geom_vertices += stats.steps;
+        self.total_steps += stats.steps;
+        self.sampler_hits += stats.sampler_hits;
+        self.sampler_misses += stats.sampler_misses;
         if let BlockExit::Done(_) = exit {
             self.terminated += 1;
             self.resident_streams = self.resident_streams.saturating_sub(1);

@@ -28,6 +28,27 @@ impl BlockId {
     }
 }
 
+/// A block shape the interpolation stencil cannot handle: trilinear
+/// interpolation needs at least one cell (two nodes) per axis, or the
+/// `(f.floor() as usize).min(n - 2)` corner clamp underflows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockShapeError {
+    pub id: BlockId,
+    pub nodes: [usize; 3],
+}
+
+impl fmt::Display for BlockShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block {} has a degenerate lattice {:?}: every axis needs >= 2 nodes",
+            self.id, self.nodes
+        )
+    }
+}
+
+impl std::error::Error for BlockShapeError {}
+
 /// Node-centered vector samples over one block (including ghost nodes).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Block {
@@ -36,10 +57,13 @@ pub struct Block {
     pub bounds: Aabb,
     /// Ghost layers on every face, in cells.
     pub ghost: usize,
-    /// Node counts per axis, including ghost nodes.
+    /// Node counts per axis, including ghost nodes. Every axis is >= 2.
     pub nodes: [usize; 3],
     /// Cell spacing.
     pub spacing: Vec3,
+    /// Reciprocal cell spacing, hoisted at construction so the sampling hot
+    /// path multiplies instead of divides.
+    pub inv_spacing: Vec3,
     /// Position of node (0,0,0) — `bounds.min − ghost·spacing`.
     pub origin: Vec3,
     /// Row-major (x fastest) `[vx, vy, vz]` per node.
@@ -48,6 +72,9 @@ pub struct Block {
 
 impl Block {
     /// Allocate a zero-filled block. `nodes` includes ghost nodes.
+    ///
+    /// Panics on a degenerate lattice (< 2 nodes on any axis); use
+    /// [`Self::try_zeroed`] when the shape comes from untrusted input.
     pub fn zeroed(
         id: BlockId,
         bounds: Aabb,
@@ -55,16 +82,33 @@ impl Block {
         nodes: [usize; 3],
         spacing: Vec3,
     ) -> Self {
+        Self::try_zeroed(id, bounds, ghost, nodes, spacing).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Allocate a zero-filled block, rejecting lattices with fewer than two
+    /// nodes on any axis (the trilinear stencil needs a full cell).
+    pub fn try_zeroed(
+        id: BlockId,
+        bounds: Aabb,
+        ghost: usize,
+        nodes: [usize; 3],
+        spacing: Vec3,
+    ) -> Result<Self, BlockShapeError> {
+        if nodes.iter().any(|&n| n < 2) {
+            return Err(BlockShapeError { id, nodes });
+        }
         let origin = bounds.min - spacing * ghost as f64;
-        Block {
+        let inv_spacing = Vec3::new(1.0 / spacing.x, 1.0 / spacing.y, 1.0 / spacing.z);
+        Ok(Block {
             id,
             bounds,
             ghost,
             nodes,
             spacing,
+            inv_spacing,
             origin,
             data: vec![[0.0; 3]; nodes[0] * nodes[1] * nodes[2]],
-        }
+        })
     }
 
     /// Linear index of node `(i, j, k)` in ghost-inclusive coordinates.
@@ -172,5 +216,49 @@ mod tests {
     #[test]
     fn display_format() {
         assert_eq!(BlockId(17).to_string(), "B17");
+    }
+
+    #[test]
+    fn degenerate_lattice_is_rejected_with_typed_error() {
+        // Regression: a single-node axis used to underflow the `n - 2`
+        // corner clamp inside trilinear interpolation. Such shapes must be
+        // refused at construction instead.
+        for nodes in [[1, 5, 5], [5, 1, 5], [5, 5, 1], [0, 5, 5], [1, 1, 1]] {
+            let err = Block::try_zeroed(
+                BlockId(7),
+                Aabb::new(Vec3::ZERO, Vec3::splat(2.0)),
+                0,
+                nodes,
+                Vec3::splat(1.0),
+            )
+            .expect_err("degenerate lattice must be rejected");
+            assert_eq!(err, BlockShapeError { id: BlockId(7), nodes });
+            assert!(err.to_string().contains("degenerate lattice"));
+        }
+    }
+
+    #[test]
+    fn minimal_valid_lattice_is_accepted() {
+        let b = Block::try_zeroed(
+            BlockId(0),
+            Aabb::new(Vec3::ZERO, Vec3::splat(1.0)),
+            0,
+            [2, 2, 2],
+            Vec3::splat(1.0),
+        )
+        .expect("one cell per axis is the smallest valid block");
+        assert!(b.sample(Vec3::splat(0.5)).is_some());
+    }
+
+    #[test]
+    fn inv_spacing_is_reciprocal_of_spacing() {
+        let b = Block::zeroed(
+            BlockId(0),
+            Aabb::new(Vec3::ZERO, Vec3::new(2.0, 3.0, 4.0)),
+            0,
+            [3, 3, 3],
+            Vec3::new(0.5, 0.25, 2.0),
+        );
+        assert_eq!(b.inv_spacing, Vec3::new(2.0, 4.0, 0.5));
     }
 }

@@ -7,17 +7,29 @@
 use crate::block::Block;
 use streamline_math::Vec3;
 
-/// Trilinear interpolation of block data at `p`.
+/// The stencil weights for one query point: lattice cell `(i, j, k)` plus
+/// intra-cell fractions. [`CellSampler`](crate::sampler::CellSampler) keys its
+/// corner cache on the cell triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct CellCoords {
+    pub cell: [usize; 3],
+    pub t: [f64; 3],
+}
+
+/// Map `p` to its lattice cell and intra-cell fractions, or `None` outside
+/// the ghost-extended lattice.
 ///
-/// Returns `None` when `p` falls outside the block's ghost-extended node
-/// lattice (the caller then hands the streamline to whichever block owns `p`).
+/// Both [`trilinear`] and the cell-cached sampler resolve coordinates through
+/// this one function, so their cell decisions can never disagree.
 #[inline]
-pub fn trilinear(block: &Block, p: Vec3) -> Option<Vec3> {
+pub(crate) fn locate_cell(block: &Block, p: Vec3) -> Option<CellCoords> {
     let [nx, ny, nz] = block.nodes;
-    // Fractional lattice coordinates.
-    let fx = (p.x - block.origin.x) / block.spacing.x;
-    let fy = (p.y - block.origin.y) / block.spacing.y;
-    let fz = (p.z - block.origin.z) / block.spacing.z;
+    debug_assert!(nx >= 2 && ny >= 2 && nz >= 2, "Block construction rejects < 2 nodes per axis");
+    // Fractional lattice coordinates; the reciprocal spacing is hoisted into
+    // the block at construction so the hot path multiplies.
+    let fx = (p.x - block.origin.x) * block.inv_spacing.x;
+    let fy = (p.y - block.origin.y) * block.inv_spacing.y;
+    let fz = (p.z - block.origin.z) * block.inv_spacing.z;
     // A small tolerance keeps points on the outer lattice faces valid.
     const EDGE_TOL: f64 = 1e-9;
     if fx < -EDGE_TOL
@@ -37,29 +49,64 @@ pub fn trilinear(block: &Block, p: Vec3) -> Option<Vec3> {
     let tx = (fx - i as f64).clamp(0.0, 1.0);
     let ty = (fy - j as f64).clamp(0.0, 1.0);
     let tz = (fz - k as f64).clamp(0.0, 1.0);
+    Some(CellCoords { cell: [i, j, k], t: [tx, ty, tz] })
+}
 
-    let idx = |i: usize, j: usize, k: usize| (k * ny + j) * nx + i;
+/// Gather the 8 corner samples of cell `(i, j, k)` in c000..c111 order.
+#[inline]
+pub(crate) fn gather_corners(block: &Block, cell: [usize; 3]) -> [[f32; 3]; 8] {
+    let [nx, ny, _] = block.nodes;
+    let [i, j, k] = cell;
+    // Precomputed strides instead of per-corner index arithmetic: +1 in x,
+    // +sy in y, +sz in z from the base corner.
+    let sy = nx;
+    let sz = nx * ny;
+    let base = (k * ny + j) * nx + i;
     let d = &block.data;
-    let c000 = d[idx(i, j, k)];
-    let c100 = d[idx(i + 1, j, k)];
-    let c010 = d[idx(i, j + 1, k)];
-    let c110 = d[idx(i + 1, j + 1, k)];
-    let c001 = d[idx(i, j, k + 1)];
-    let c101 = d[idx(i + 1, j, k + 1)];
-    let c011 = d[idx(i, j + 1, k + 1)];
-    let c111 = d[idx(i + 1, j + 1, k + 1)];
+    [
+        d[base],
+        d[base + 1],
+        d[base + sy],
+        d[base + sy + 1],
+        d[base + sz],
+        d[base + sz + 1],
+        d[base + sz + sy],
+        d[base + sz + sy + 1],
+    ]
+}
 
+/// Trilinear blend of 8 gathered corners with fractions `t`.
+///
+/// The `1 - t` complements are computed once per axis; each use is the same
+/// operation on the same bits as recomputing it inline, so the result is
+/// unchanged while the compiler keeps the stencil in registers.
+#[inline]
+pub(crate) fn lerp_corners(c: &[[f32; 3]; 8], t: [f64; 3]) -> Vec3 {
+    let [tx, ty, tz] = t;
+    let mx = 1.0 - tx;
+    let my = 1.0 - ty;
+    let mz = 1.0 - tz;
     let mut out = [0.0f64; 3];
-    for (c, o) in out.iter_mut().enumerate() {
-        let x00 = c000[c] as f64 * (1.0 - tx) + c100[c] as f64 * tx;
-        let x10 = c010[c] as f64 * (1.0 - tx) + c110[c] as f64 * tx;
-        let x01 = c001[c] as f64 * (1.0 - tx) + c101[c] as f64 * tx;
-        let x11 = c011[c] as f64 * (1.0 - tx) + c111[c] as f64 * tx;
-        let y0 = x00 * (1.0 - ty) + x10 * ty;
-        let y1 = x01 * (1.0 - ty) + x11 * ty;
-        *o = y0 * (1.0 - tz) + y1 * tz;
+    for (a, o) in out.iter_mut().enumerate() {
+        let x00 = c[0][a] as f64 * mx + c[1][a] as f64 * tx;
+        let x10 = c[2][a] as f64 * mx + c[3][a] as f64 * tx;
+        let x01 = c[4][a] as f64 * mx + c[5][a] as f64 * tx;
+        let x11 = c[6][a] as f64 * mx + c[7][a] as f64 * tx;
+        let y0 = x00 * my + x10 * ty;
+        let y1 = x01 * my + x11 * ty;
+        *o = y0 * mz + y1 * tz;
     }
-    Some(Vec3::new(out[0], out[1], out[2]))
+    Vec3::new(out[0], out[1], out[2])
+}
+
+/// Trilinear interpolation of block data at `p`.
+///
+/// Returns `None` when `p` falls outside the block's ghost-extended node
+/// lattice (the caller then hands the streamline to whichever block owns `p`).
+#[inline]
+pub fn trilinear(block: &Block, p: Vec3) -> Option<Vec3> {
+    let c = locate_cell(block, p)?;
+    Some(lerp_corners(&gather_corners(block, c.cell), c.t))
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@ pub mod grid;
 pub mod interp;
 pub mod rectilinear;
 pub mod sample;
+pub mod sampler;
 pub mod seeds;
 pub mod supernova;
 pub mod thermal;
@@ -25,8 +26,9 @@ pub mod tokamak;
 pub mod unsteady;
 
 pub use analytic::VectorField;
-pub use block::{Block, BlockId};
+pub use block::{Block, BlockId, BlockShapeError};
 pub use dataset::{Dataset, DatasetConfig};
 pub use decomp::BlockDecomposition;
 pub use grid::RegularGrid;
+pub use sampler::{CellSampler, SamplerStats};
 pub use seeds::SeedSet;

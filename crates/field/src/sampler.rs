@@ -1,0 +1,159 @@
+//! Cell-cached trilinear sampling.
+//!
+//! Consecutive Runge–Kutta stages and small adaptive steps overwhelmingly
+//! land in the cell they just sampled, so the 8-corner gather (scattered
+//! loads plus index arithmetic) is redundant work most of the time.
+//! [`CellSampler`] memoizes the last cell's `(i, j, k)` and its 8 gathered
+//! corner vectors: the hit path is three integer comparisons followed by the
+//! blend.
+//!
+//! Exactness: cell location runs through the same `interp::locate_cell` as
+//! the plain [`trilinear`](crate::interp::trilinear) reference, and the blend
+//! is the same `interp::lerp_corners` over corners gathered by the same
+//! `interp::gather_corners` — memoization only skips re-gathering bytes that
+//! cannot have changed (`&Block` is immutable for the sampler's lifetime), so
+//! every sample is bit-identical to the reference.
+
+use crate::block::Block;
+use crate::interp;
+use streamline_math::Vec3;
+
+/// Hit/miss counters for one sampler's lifetime.
+///
+/// A "hit" is a sample resolved from the cached corner stencil; a "miss"
+/// gathered a fresh stencil. Out-of-lattice queries count as neither.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SamplerStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl SamplerStats {
+    /// Fraction of in-lattice samples served from the cached stencil.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A stateful sampler over one block, reusing the last cell's corner stencil.
+///
+/// Construction is allocation-free, so making one per streamline-advance call
+/// costs nothing; the cache warms on the first sample.
+#[derive(Debug, Clone)]
+pub struct CellSampler<'b> {
+    block: &'b Block,
+    cell: [usize; 3],
+    corners: [[f32; 3]; 8],
+    warm: bool,
+    stats: SamplerStats,
+}
+
+impl<'b> CellSampler<'b> {
+    pub fn new(block: &'b Block) -> Self {
+        CellSampler {
+            block,
+            cell: [0; 3],
+            corners: [[0.0; 3]; 8],
+            warm: false,
+            stats: SamplerStats::default(),
+        }
+    }
+
+    /// Trilinear interpolation at `p`, bit-identical to
+    /// [`Block::sample`](crate::block::Block::sample) on the same block.
+    #[inline]
+    pub fn sample(&mut self, p: Vec3) -> Option<Vec3> {
+        let c = interp::locate_cell(self.block, p)?;
+        if self.warm && self.cell == c.cell {
+            self.stats.hits += 1;
+        } else {
+            self.corners = interp::gather_corners(self.block, c.cell);
+            self.cell = c.cell;
+            self.warm = true;
+            self.stats.misses += 1;
+        }
+        Some(interp::lerp_corners(&self.corners, c.t))
+    }
+
+    pub fn stats(&self) -> SamplerStats {
+        self.stats
+    }
+
+    pub fn block(&self) -> &'b Block {
+        self.block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockId;
+    use streamline_math::Aabb;
+
+    fn wavy_block() -> Block {
+        let mut b = Block::zeroed(
+            BlockId(0),
+            Aabb::new(Vec3::ZERO, Vec3::splat(2.0)),
+            1,
+            [7, 7, 7],
+            Vec3::splat(0.5),
+        );
+        for k in 0..7 {
+            for j in 0..7 {
+                for i in 0..7 {
+                    let p = b.node_pos(i, j, k);
+                    b.set(i, j, k, Vec3::new((p.x * 1.3).sin(), p.y * p.z, (p.z - p.x).cos()));
+                }
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn matches_trilinear_bitwise() {
+        let b = wavy_block();
+        let mut s = CellSampler::new(&b);
+        // A walk that revisits cells (hits) and crosses faces (misses).
+        let pts = [
+            Vec3::new(0.30, 0.30, 0.30),
+            Vec3::new(0.32, 0.31, 0.30),
+            Vec3::new(0.34, 0.33, 0.31),
+            Vec3::new(0.90, 0.33, 0.31),
+            Vec3::new(0.91, 0.35, 0.33),
+            Vec3::new(0.32, 0.31, 0.30),
+        ];
+        for p in pts {
+            let want = b.sample(p).unwrap();
+            let got = s.sample(p).unwrap();
+            assert_eq!(want.x.to_bits(), got.x.to_bits());
+            assert_eq!(want.y.to_bits(), got.y.to_bits());
+            assert_eq!(want.z.to_bits(), got.z.to_bits());
+        }
+        let stats = s.stats();
+        assert_eq!(stats.hits + stats.misses, pts.len() as u64);
+        assert!(stats.hits > 0, "revisited cells must hit");
+        assert!(stats.misses >= 3, "distinct cells must each miss once");
+    }
+
+    #[test]
+    fn outside_lattice_is_none_and_uncounted() {
+        let b = wavy_block();
+        let mut s = CellSampler::new(&b);
+        assert!(s.sample(Vec3::splat(-10.0)).is_none());
+        assert_eq!(s.stats(), SamplerStats::default());
+    }
+
+    #[test]
+    fn hit_rate_reporting() {
+        let mut st = SamplerStats::default();
+        assert_eq!(st.hit_rate(), 0.0);
+        st.hits = 3;
+        st.misses = 1;
+        assert_eq!(st.hit_rate(), 0.75);
+    }
+}

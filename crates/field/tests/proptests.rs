@@ -126,3 +126,70 @@ proptest! {
         prop_assert!(a.distance(b) < 1e-5, "{a:?} vs {b:?} at {p:?}");
     }
 }
+
+proptest! {
+    /// The cell-cached sampler is bit-identical to plain `trilinear` over
+    /// random lattices and walk-like point sequences — the hit path must be
+    /// an exact memoization, never an approximation.
+    #[test]
+    fn cell_sampler_matches_trilinear_bitwise(
+        nx in 2usize..7, ny in 2usize..7, nz in 2usize..7,
+        seed in 0u64..1_000,
+        n_points in 1usize..200,
+    ) {
+        use rand::Rng;
+        use streamline_field::block::Block;
+        use streamline_field::interp::trilinear;
+        use streamline_field::sampler::CellSampler;
+        use streamline_math::rng;
+
+        let spacing = Vec3::new(0.3, 0.7, 0.11);
+        let bounds = Aabb::new(
+            Vec3::new(-1.0, 2.0, 0.5),
+            Vec3::new(-1.0, 2.0, 0.5)
+                + Vec3::new(
+                    (nx - 1) as f64 * spacing.x,
+                    (ny - 1) as f64 * spacing.y,
+                    (nz - 1) as f64 * spacing.z,
+                ),
+        );
+        let mut block = Block::zeroed(BlockId(0), bounds, 0, [nx, ny, nz], spacing);
+        let mut r = rng::stream(seed, "proptest-sampler-data");
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    block.set(i, j, k, Vec3::new(
+                        r.gen_range(-3.0..3.0),
+                        r.gen_range(-3.0..3.0),
+                        r.gen_range(-3.0..3.0),
+                    ));
+                }
+            }
+        }
+
+        // Walk-like sequence: short hops so consecutive points share a
+        // cell (the RK-stage pattern), occasionally jumping outside.
+        let mut w = rng::stream(seed, "proptest-sampler-walk");
+        let mut sampler = CellSampler::new(&block);
+        let mut p = bounds.center();
+        for _ in 0..n_points {
+            let hop = spacing.x.min(spacing.y).min(spacing.z) * 0.4;
+            let q = rng::point_in_ball(&mut w, p, hop);
+            p = if w.gen_bool(0.05) { q + bounds.size() } else { q };
+            let reference = trilinear(&block, p);
+            let fast = sampler.sample(p);
+            match (reference, fast) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.x.to_bits(), b.x.to_bits());
+                    prop_assert_eq!(a.y.to_bits(), b.y.to_bits());
+                    prop_assert_eq!(a.z.to_bits(), b.z.to_bits());
+                }
+                (a, b) => prop_assert!(false, "coverage disagrees at {:?}: {:?} vs {:?}", p, a, b),
+            }
+            if !bounds.contains(p) {
+                p = bounds.center();
+            }
+        }
+    }
+}

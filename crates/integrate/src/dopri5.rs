@@ -5,7 +5,7 @@
 //! solution with an embedded fourth-order estimate whose difference drives
 //! adaptive step-size control in the tracer.
 
-use crate::ode::{Rhs, StageFail, StepResult, Stepper, Tolerances};
+use crate::ode::{FsalCache, Rhs, StageFail, StepResult, Stepper, Tolerances};
 use streamline_math::Vec3;
 
 // Butcher tableau (c nodes, a coefficients, b fifth-order weights,
@@ -51,12 +51,31 @@ pub struct Dopri5;
 
 impl Stepper for Dopri5 {
     fn step(&self, f: Rhs<'_>, y: Vec3, h: f64, tol: &Tolerances) -> Result<StepResult, StageFail> {
-        // C nodes are implicit in the A coefficients for an autonomous RHS;
-        // kept for documentation and potential time-dependent extension.
-        let _ = C;
+        self.step_fsal(f, y, h, tol, &mut FsalCache::new())
+    }
+
+    /// FSAL stepping: `A[6]` (the seventh-stage abscissa weights) equals
+    /// `B5[..6]` with `B5[6] = 0`, and both loops skip zero weights and
+    /// accumulate in the same order — so the seventh stage's argument *is*
+    /// the fifth-order solution, bit for bit. That makes `k7 = f(y1)` the
+    /// next step's `k1`, which the memo hands back whenever the next
+    /// invocation starts from `y1` exactly (accepted step) or retries `y`
+    /// exactly (rejected step).
+    fn step_fsal(
+        &self,
+        f: Rhs<'_>,
+        y: Vec3,
+        h: f64,
+        tol: &Tolerances,
+        fsal: &mut FsalCache,
+    ) -> Result<StepResult, StageFail> {
         let mut k = [Vec3::ZERO; 7];
-        k[0] = f(y).ok_or(StageFail)?;
-        for s in 1..7 {
+        k[0] = match fsal.lookup(y) {
+            Some(k1) => k1,
+            None => f(y).ok_or(StageFail)?,
+        };
+        fsal.note_start(y, k[0]);
+        for s in 1..6 {
             let mut arg = y;
             for (j, kj) in k.iter().enumerate().take(s) {
                 let a = A[s][j];
@@ -66,12 +85,18 @@ impl Stepper for Dopri5 {
             }
             k[s] = f(arg).ok_or(StageFail)?;
         }
+        // Seventh stage argument == y1 (see above).
         let mut y1 = y;
+        for (j, kj) in k.iter().enumerate().take(6) {
+            let a = A[6][j];
+            if a != 0.0 {
+                y1 += *kj * (a * h);
+            }
+        }
+        k[6] = f(y1).ok_or(StageFail)?;
+        fsal.note_end(y1, k[6]);
         let mut err = Vec3::ZERO;
         for (s, ks) in k.iter().enumerate() {
-            if B5[s] != 0.0 {
-                y1 += *ks * (B5[s] * h);
-            }
             if E[s] != 0.0 {
                 err += *ks * (E[s] * h);
             }
@@ -92,6 +117,33 @@ impl Stepper for Dopri5 {
     }
 }
 
+/// DOPRI5 with FSAL reuse disabled: every step evaluates all seven stages
+/// afresh. Trajectories are bit-identical to [`Dopri5`]'s; this exists as
+/// the no-reuse baseline for benchmarks and bit-identity tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dopri5NoReuse;
+
+impl Stepper for Dopri5NoReuse {
+    fn step(&self, f: Rhs<'_>, y: Vec3, h: f64, tol: &Tolerances) -> Result<StepResult, StageFail> {
+        Dopri5.step(f, y, h, tol)
+    }
+
+    // The default `step_fsal` clears the memo and delegates here, so the
+    // tracer's speed check cannot reuse stages either — a true baseline.
+
+    fn order(&self) -> usize {
+        5
+    }
+
+    fn adaptive(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "dopri5-noreuse"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,11 +151,11 @@ mod tests {
     /// Integrate the saddle field y' = (x, −y, 0) whose exact solution is
     /// exponential, and return the error at t = 1 with fixed step h.
     fn saddle_error(h: f64) -> f64 {
-        let f = |p: Vec3| Some(Vec3::new(p.x, -p.y, 0.0));
+        let mut f = |p: Vec3| Some(Vec3::new(p.x, -p.y, 0.0));
         let mut y = Vec3::new(1.0, 1.0, 0.0);
         let n = (1.0 / h).round() as usize;
         for _ in 0..n {
-            y = Dopri5.step(&f, y, h, &Tolerances::default()).unwrap().y;
+            y = Dopri5.step(&mut f, y, h, &Tolerances::default()).unwrap().y;
         }
         let exact = Vec3::new(1f64.exp(), (-1f64).exp(), 0.0);
         y.distance(exact)
@@ -122,15 +174,15 @@ mod tests {
     fn error_estimate_tracks_true_error() {
         // For a nonlinear field the embedded estimate should be within a
         // couple of orders of magnitude of the true one-step error.
-        let f = |p: Vec3| Some(Vec3::new(p.y * p.z + 1.0, -p.x, (p.x * 0.5).sin()));
+        let mut f = |p: Vec3| Some(Vec3::new(p.y * p.z + 1.0, -p.x, (p.x * 0.5).sin()));
         let y = Vec3::new(0.3, 0.7, -0.2);
         let h = 0.2;
         let tol = Tolerances { abs: 1.0, rel: 0.0 }; // error_norm == |err| in max-norm
-        let big = Dopri5.step(&f, y, h, &tol).unwrap();
+        let big = Dopri5.step(&mut f, y, h, &tol).unwrap();
         // Reference: 100 small steps.
         let mut r = y;
         for _ in 0..100 {
-            r = Dopri5.step(&f, r, h / 100.0, &tol).unwrap().y;
+            r = Dopri5.step(&mut f, r, h / 100.0, &tol).unwrap().y;
         }
         let true_err = big.y.distance(r);
         assert!(big.error > 0.0);
@@ -155,19 +207,101 @@ mod tests {
 
     #[test]
     fn uniform_field_has_zero_error_estimate() {
-        let f = |_: Vec3| Some(Vec3::new(2.0, 0.0, 0.0));
-        let r = Dopri5.step(&f, Vec3::ZERO, 0.5, &Tolerances::default()).unwrap();
+        let mut f = |_: Vec3| Some(Vec3::new(2.0, 0.0, 0.0));
+        let r = Dopri5.step(&mut f, Vec3::ZERO, 0.5, &Tolerances::default()).unwrap();
         // Exact up to the rounding of the tableau-weight sums.
         assert!(r.y.distance(Vec3::new(1.0, 0.0, 0.0)) < 1e-14);
         assert!(r.error < 1e-6);
     }
 
     #[test]
+    fn fsal_tableau_identity_holds() {
+        // The property everything rests on: the seventh-stage abscissa
+        // weights are the fifth-order solution weights.
+        for j in 0..6 {
+            assert_eq!(A[6][j].to_bits(), B5[j].to_bits(), "A[6][{j}] != B5[{j}]");
+        }
+        assert_eq!(B5[6], 0.0);
+    }
+
+    #[test]
+    fn fsal_chain_is_bit_identical_and_saves_one_stage() {
+        let field = |p: Vec3| Some(Vec3::new(p.y * p.z + 1.0, (-p.x * 0.7).cos(), p.x - p.z));
+        let tol = Tolerances::default();
+        let h = 0.05;
+        let n = 40;
+
+        let plain_evals = std::cell::Cell::new(0u64);
+        let mut plain = Vec3::new(0.2, -0.1, 0.4);
+        let mut f = |p: Vec3| {
+            plain_evals.set(plain_evals.get() + 1);
+            field(p)
+        };
+        for _ in 0..n {
+            plain = Dopri5.step(&mut f, plain, h, &tol).unwrap().y;
+        }
+
+        let fsal_evals = std::cell::Cell::new(0u64);
+        let mut reused = Vec3::new(0.2, -0.1, 0.4);
+        let mut g = |p: Vec3| {
+            fsal_evals.set(fsal_evals.get() + 1);
+            field(p)
+        };
+        let mut cache = FsalCache::new();
+        for _ in 0..n {
+            reused = Dopri5.step_fsal(&mut g, reused, h, &tol, &mut cache).unwrap().y;
+        }
+
+        assert_eq!(plain.x.to_bits(), reused.x.to_bits());
+        assert_eq!(plain.y.to_bits(), reused.y.to_bits());
+        assert_eq!(plain.z.to_bits(), reused.z.to_bits());
+        assert_eq!(plain_evals.get(), 7 * n);
+        // First step pays all seven stages; every later step reuses k7 as k1.
+        assert_eq!(fsal_evals.get(), 7 + 6 * (n - 1));
+    }
+
+    #[test]
+    fn fsal_reuses_k1_when_a_step_is_retried() {
+        // A rejected step retries from the same start point with a smaller
+        // h; the memoized k1 must serve that retry without re-evaluating.
+        let evals = std::cell::Cell::new(0u64);
+        let mut f = |p: Vec3| {
+            evals.set(evals.get() + 1);
+            Some(Vec3::new(p.x + 1.0, p.y * 2.0, 0.3))
+        };
+        let tol = Tolerances::default();
+        let mut cache = FsalCache::new();
+        let y = Vec3::new(0.5, 0.5, 0.5);
+        let full = Dopri5.step_fsal(&mut f, y, 0.4, &tol, &mut cache).unwrap();
+        assert_eq!(evals.get(), 7);
+        let retry = Dopri5.step_fsal(&mut f, y, 0.2, &tol, &mut cache).unwrap();
+        assert_eq!(evals.get(), 7 + 6, "the retry must reuse the memoized k1");
+        // And the retried step is what a cold stepper would produce.
+        let cold = Dopri5.step(&mut f, y, 0.2, &tol).unwrap();
+        assert_eq!(retry.y, cold.y);
+        assert_eq!(retry.error, cold.error);
+        assert_ne!(full.y, retry.y);
+    }
+
+    #[test]
+    fn noreuse_baseline_matches_dopri5() {
+        let mut f = |p: Vec3| Some(Vec3::new(p.y, -p.x, 0.1));
+        let tol = Tolerances::default();
+        let y = Vec3::new(1.0, 0.0, 0.0);
+        let a = Dopri5.step(&mut f, y, 0.1, &tol).unwrap();
+        let b = Dopri5NoReuse.step(&mut f, y, 0.1, &tol).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(Dopri5NoReuse.order(), 5);
+        assert!(Dopri5NoReuse.adaptive());
+        assert_eq!(Dopri5NoReuse.name(), "dopri5-noreuse");
+    }
+
+    #[test]
     fn stage_failure_inside_step() {
         // Field undefined past x = 0.15: the k2 stage (x = 0.2·h·k1) fails
         // for h = 1.
-        let f = |p: Vec3| if p.x <= 0.15 { Some(Vec3::X) } else { None };
-        assert!(Dopri5.step(&f, Vec3::ZERO, 1.0, &Tolerances::default()).is_err());
-        assert!(Dopri5.step(&f, Vec3::ZERO, 0.1, &Tolerances::default()).is_ok());
+        let mut f = |p: Vec3| if p.x <= 0.15 { Some(Vec3::X) } else { None };
+        assert!(Dopri5.step(&mut f, Vec3::ZERO, 1.0, &Tolerances::default()).is_err());
+        assert!(Dopri5.step(&mut f, Vec3::ZERO, 0.1, &Tolerances::default()).is_ok());
     }
 }

@@ -36,15 +36,15 @@ mod tests {
     fn linear_field_is_exact_per_step() {
         // y' = c is integrated exactly by Euler.
         let c = Vec3::new(1.0, -2.0, 0.5);
-        let f = |_: Vec3| Some(c);
-        let r = Euler.step(&f, Vec3::ZERO, 0.25, &Tolerances::default()).unwrap();
+        let mut f = |_: Vec3| Some(c);
+        let r = Euler.step(&mut f, Vec3::ZERO, 0.25, &Tolerances::default()).unwrap();
         assert_eq!(r.y, c * 0.25);
         assert_eq!(r.error, 0.0);
     }
 
     #[test]
     fn stage_failure_propagates() {
-        let f = |_: Vec3| None;
-        assert!(Euler.step(&f, Vec3::ZERO, 0.1, &Tolerances::default()).is_err());
+        let mut f = |_: Vec3| None;
+        assert!(Euler.step(&mut f, Vec3::ZERO, 0.1, &Tolerances::default()).is_err());
     }
 }

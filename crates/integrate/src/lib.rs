@@ -19,7 +19,7 @@ pub mod streamline;
 pub mod tracer;
 pub mod unsteady;
 
-pub use dopri5::Dopri5;
-pub use ode::{StageFail, StepResult, Stepper, Tolerances};
+pub use dopri5::{Dopri5, Dopri5NoReuse};
+pub use ode::{FsalCache, StageFail, StepResult, Stepper, Tolerances};
 pub use streamline::{SolverState, Streamline, StreamlineId, StreamlineStatus, Termination};
 pub use tracer::{advect, AdvectOutcome, StepLimits};

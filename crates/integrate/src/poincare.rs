@@ -3,7 +3,7 @@
 //! solver state (not geometry) matters.
 
 use crate::dopri5::Dopri5;
-use crate::ode::{Stepper, Tolerances};
+use crate::ode::{FsalCache, Stepper, Tolerances};
 use streamline_math::Vec3;
 
 /// An oriented section plane through `point` with unit `normal`; punctures
@@ -44,8 +44,12 @@ pub fn punctures(
     let mut out = Vec::new();
     let mut y = seed;
     let mut side = plane.side(y);
+    let mut g = |p: Vec3| f(p);
+    // Fixed-step chain: every step starts exactly where the last one ended,
+    // so FSAL reuse applies on every iteration after the first.
+    let mut fsal = FsalCache::new();
     for _ in 0..max_steps {
-        let Ok(step) = Dopri5.step(f, y, h, &tol) else { break };
+        let Ok(step) = Dopri5.step_fsal(&mut g, y, h, &tol, &mut fsal) else { break };
         let new_side = plane.side(step.y);
         if side < 0.0 && new_side >= 0.0 {
             // Linear interpolation of the crossing.

@@ -41,12 +41,12 @@ mod tests {
         // y' = omega x-hat rotation: RK4 with a modest step keeps the radius
         // to ~1e-8 over a quarter turn.
         let omega = 1.0;
-        let f = |p: Vec3| Some(Vec3::new(-omega * p.y, omega * p.x, 0.0));
+        let mut f = |p: Vec3| Some(Vec3::new(-omega * p.y, omega * p.x, 0.0));
         let mut y = Vec3::new(1.0, 0.0, 0.0);
         let h = 0.01;
         let steps = (std::f64::consts::FRAC_PI_2 / h) as usize;
         for _ in 0..steps {
-            y = Rk4.step(&f, y, h, &Tolerances::default()).unwrap().y;
+            y = Rk4.step(&mut f, y, h, &Tolerances::default()).unwrap().y;
         }
         assert!((y.norm() - 1.0).abs() < 1e-8, "radius drift: {}", (y.norm() - 1.0).abs());
     }
@@ -54,10 +54,10 @@ mod tests {
     #[test]
     fn stage_failure_when_any_stage_outside() {
         // Field defined only for x <= 1: a step that probes beyond fails.
-        let f = |p: Vec3| if p.x <= 1.0 { Some(Vec3::X) } else { None };
-        let ok = Rk4.step(&f, Vec3::new(0.0, 0.0, 0.0), 0.5, &Tolerances::default());
+        let mut f = |p: Vec3| if p.x <= 1.0 { Some(Vec3::X) } else { None };
+        let ok = Rk4.step(&mut f, Vec3::new(0.0, 0.0, 0.0), 0.5, &Tolerances::default());
         assert!(ok.is_ok());
-        let fail = Rk4.step(&f, Vec3::new(0.9, 0.0, 0.0), 0.5, &Tolerances::default());
+        let fail = Rk4.step(&mut f, Vec3::new(0.9, 0.0, 0.0), 0.5, &Tolerances::default());
         assert!(fail.is_err());
     }
 }

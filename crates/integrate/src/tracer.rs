@@ -6,7 +6,7 @@
 //! streamline exits ("Each streamline is integrated until it leaves the
 //! blocks owned by the processor", §4.1); the tracer only integrates.
 
-use crate::ode::{StageFail, Stepper, Tolerances};
+use crate::ode::{FsalCache, StageFail, Stepper, Tolerances};
 use crate::streamline::{Streamline, Termination};
 use streamline_math::float::clamp;
 use streamline_math::Vec3;
@@ -74,10 +74,10 @@ pub struct Advected {
 /// use streamline_math::Vec3;
 ///
 /// // A uniform +x field over the unit slab x < 1.
-/// let sample = |_p: Vec3| Some(Vec3::X);
+/// let mut sample = |_p: Vec3| Some(Vec3::X);
 /// let region = |p: Vec3| p.x < 1.0;
 /// let mut sl = Streamline::new(StreamlineId(0), Vec3::ZERO, 1e-2);
-/// let r = advect(&mut sl, &sample, &region, &StepLimits::default(), &Dopri5);
+/// let r = advect(&mut sl, &mut sample, &region, &StepLimits::default(), &Dopri5);
 /// assert_eq!(r.outcome, AdvectOutcome::LeftRegion);
 /// assert!(sl.state.position.x >= 1.0); // handed off at the block face
 /// ```
@@ -87,14 +87,21 @@ pub struct Advected {
 /// failures (probe outside resident data) shrink the step and, as a last
 /// resort, fall back to a single Euler edge-step so the curve always makes
 /// progress toward the hand-off.
+///
+/// An [`FsalCache`] local to this call carries known `(y, f(y))` pairs
+/// between steps, so FSAL steppers reuse an accepted step's last stage as
+/// the next step's first and the per-iteration speed check costs no extra
+/// evaluation. The cache dies with the call, which is exactly the required
+/// invalidation at seeds and block hand-offs (the RHS changes there).
 pub fn advect(
     sl: &mut Streamline,
-    sample: &dyn Fn(Vec3) -> Option<Vec3>,
+    sample: &mut dyn FnMut(Vec3) -> Option<Vec3>,
     region: &dyn Fn(Vec3) -> bool,
     limits: &StepLimits,
     stepper: &dyn Stepper,
 ) -> Advected {
     let mut steps_this = 0u64;
+    let mut fsal = FsalCache::new();
     let done = |sl: &mut Streamline, why: Termination, steps: u64| {
         sl.terminate(why);
         Advected { outcome: AdvectOutcome::Terminated(why), steps }
@@ -113,11 +120,15 @@ pub fn advect(
         if sl.state.time >= limits.max_time {
             return done(sl, Termination::MaxTime, steps_this);
         }
-        let v = match sample(pos) {
+        let v = match fsal.lookup(pos) {
+            // An accepted FSAL step already evaluated f here.
             Some(v) => v,
-            // Inside the region but outside the lattice: only possible at
-            // the domain boundary — the streamline has effectively exited.
-            None => return done(sl, Termination::ExitedDomain, steps_this),
+            None => match sample(pos) {
+                Some(v) => v,
+                // Inside the region but outside the lattice: only possible at
+                // the domain boundary — the streamline has effectively exited.
+                None => return done(sl, Termination::ExitedDomain, steps_this),
+            },
         };
         if v.norm() < limits.min_speed {
             return done(sl, Termination::ZeroVelocity, steps_this);
@@ -127,7 +138,7 @@ pub fn advect(
         // Try the step, shrinking on stage failure or excessive error.
         let mut attempts = 0;
         let accepted = loop {
-            match stepper.step(sample, pos, h, &limits.tol) {
+            match stepper.step_fsal(sample, pos, h, &limits.tol, &mut fsal) {
                 Err(StageFail) => {
                     attempts += 1;
                     if attempts > 8 || h <= limits.h_min * 1.0001 {
@@ -193,10 +204,10 @@ mod tests {
         // Field +x over all space; region is the unit cube. A streamline
         // seeded inside must leave through the x = 1 face.
         let region_box = Aabb::unit();
-        let sample = |_p: Vec3| Some(Vec3::X);
+        let mut sample = |_p: Vec3| Some(Vec3::X);
         let region = move |p: Vec3| region_box.contains(p);
         let mut sl = fresh(Vec3::splat(0.5));
-        let r = advect(&mut sl, &sample, &region, &StepLimits::default(), &Dopri5);
+        let r = advect(&mut sl, &mut sample, &region, &StepLimits::default(), &Dopri5);
         assert_eq!(r.outcome, AdvectOutcome::LeftRegion);
         assert!(sl.is_active());
         assert!(sl.state.position.x > 1.0);
@@ -208,11 +219,11 @@ mod tests {
     #[test]
     fn rotation_stays_and_hits_step_budget() {
         // Circular orbit fully inside the region: must terminate on steps.
-        let sample = |p: Vec3| Some(Vec3::new(-p.y, p.x, 0.0));
+        let mut sample = |p: Vec3| Some(Vec3::new(-p.y, p.x, 0.0));
         let region = |p: Vec3| p.norm() < 10.0;
         let mut sl = fresh(Vec3::new(1.0, 0.0, 0.0));
         let limits = StepLimits { max_steps: 500, ..Default::default() };
-        let r = advect(&mut sl, &sample, &region, &limits, &Dopri5);
+        let r = advect(&mut sl, &mut sample, &region, &limits, &Dopri5);
         assert_eq!(r.outcome, AdvectOutcome::Terminated(Termination::MaxSteps));
         assert_eq!(sl.state.steps, 500);
         // Radius conserved to tolerance by the adaptive integrator.
@@ -222,22 +233,22 @@ mod tests {
     #[test]
     fn sink_terminates_on_zero_velocity() {
         let c = Vec3::splat(0.5);
-        let sample = move |p: Vec3| Some((c - p) * 2.0);
+        let mut sample = move |p: Vec3| Some((c - p) * 2.0);
         let region = |_p: Vec3| true;
         let mut sl = fresh(Vec3::ZERO);
         let limits = StepLimits { min_speed: 1e-6, max_steps: 100_000, ..Default::default() };
-        let r = advect(&mut sl, &sample, &region, &limits, &Dopri5);
+        let r = advect(&mut sl, &mut sample, &region, &limits, &Dopri5);
         assert_eq!(r.outcome, AdvectOutcome::Terminated(Termination::ZeroVelocity));
         assert!(sl.state.position.distance(c) < 1e-3);
     }
 
     #[test]
     fn arc_length_budget_respected() {
-        let sample = |_p: Vec3| Some(Vec3::X * 2.0);
+        let mut sample = |_p: Vec3| Some(Vec3::X * 2.0);
         let region = |_p: Vec3| true;
         let mut sl = fresh(Vec3::ZERO);
         let limits = StepLimits { max_arc_length: 3.0, ..Default::default() };
-        let r = advect(&mut sl, &sample, &region, &limits, &Dopri5);
+        let r = advect(&mut sl, &mut sample, &region, &limits, &Dopri5);
         assert_eq!(r.outcome, AdvectOutcome::Terminated(Termination::MaxArcLength));
         // Overshoot bounded by one h_max step.
         assert!(sl.state.arc_length < 3.0 + 2.0 * limits.h_max + 1e-9);
@@ -245,11 +256,11 @@ mod tests {
 
     #[test]
     fn max_time_budget_respected() {
-        let sample = |_p: Vec3| Some(Vec3::X);
+        let mut sample = |_p: Vec3| Some(Vec3::X);
         let region = |_p: Vec3| true;
         let mut sl = fresh(Vec3::ZERO);
         let limits = StepLimits { max_time: 1.5, ..Default::default() };
-        let r = advect(&mut sl, &sample, &region, &limits, &Dopri5);
+        let r = advect(&mut sl, &mut sample, &region, &limits, &Dopri5);
         assert_eq!(r.outcome, AdvectOutcome::Terminated(Termination::MaxTime));
         assert!(sl.state.time >= 1.5);
     }
@@ -258,20 +269,20 @@ mod tests {
     fn lattice_edge_falls_back_to_euler_handoff() {
         // Sample data exists only for x < 1 (no ghost margin); region is
         // x < 1 as well. The tracer must still push the curve past the face.
-        let sample = |p: Vec3| if p.x < 1.0 { Some(Vec3::X) } else { None };
+        let mut sample = |p: Vec3| if p.x < 1.0 { Some(Vec3::X) } else { None };
         let region = |p: Vec3| p.x < 1.0;
         let mut sl = fresh(Vec3::new(0.99, 0.0, 0.0));
-        let r = advect(&mut sl, &sample, &region, &StepLimits::default(), &Dopri5);
+        let r = advect(&mut sl, &mut sample, &region, &StepLimits::default(), &Dopri5);
         assert_eq!(r.outcome, AdvectOutcome::LeftRegion);
         assert!(sl.state.position.x >= 1.0);
     }
 
     #[test]
     fn out_of_lattice_inside_region_is_domain_exit() {
-        let sample = |_p: Vec3| None::<Vec3>;
+        let mut sample = |_p: Vec3| None::<Vec3>;
         let region = |_p: Vec3| true;
         let mut sl = fresh(Vec3::ZERO);
-        let r = advect(&mut sl, &sample, &region, &StepLimits::default(), &Dopri5);
+        let r = advect(&mut sl, &mut sample, &region, &StepLimits::default(), &Dopri5);
         assert_eq!(r.outcome, AdvectOutcome::Terminated(Termination::ExitedDomain));
         assert_eq!(sl.status, StreamlineStatus::Terminated(Termination::ExitedDomain));
     }
@@ -279,24 +290,24 @@ mod tests {
     #[test]
     fn fixed_step_schemes_also_work() {
         let region_box = Aabb::unit();
-        let sample = |p: Vec3| Some(Vec3::new(1.0, 0.1 * p.x, 0.0));
+        let mut sample = |p: Vec3| Some(Vec3::new(1.0, 0.1 * p.x, 0.0));
         let region = move |p: Vec3| region_box.contains(p);
         for stepper in [&Euler as &dyn Stepper, &Rk4] {
             let mut sl = fresh(Vec3::new(0.0, 0.5, 0.5));
-            let r = advect(&mut sl, &sample, &region, &StepLimits::default(), stepper);
+            let r = advect(&mut sl, &mut sample, &region, &StepLimits::default(), stepper);
             assert_eq!(r.outcome, AdvectOutcome::LeftRegion, "{}", stepper.name());
         }
     }
 
     #[test]
     fn adaptive_takes_fewer_steps_in_smooth_field_than_euler() {
-        let sample = |p: Vec3| Some(Vec3::new(1.0, (p.x).sin() * 0.1, 0.0));
+        let mut sample = |p: Vec3| Some(Vec3::new(1.0, (p.x).sin() * 0.1, 0.0));
         let region = |p: Vec3| p.x < 50.0;
         let limits = StepLimits { max_steps: 1_000_000, ..Default::default() };
         let mut a = fresh(Vec3::ZERO);
-        let ra = advect(&mut a, &sample, &region, &limits, &Dopri5);
+        let ra = advect(&mut a, &mut sample, &region, &limits, &Dopri5);
         let mut b = fresh(Vec3::ZERO);
-        let rb = advect(&mut b, &sample, &region, &limits, &Euler);
+        let rb = advect(&mut b, &mut sample, &region, &limits, &Euler);
         assert_eq!(ra.outcome, AdvectOutcome::LeftRegion);
         assert_eq!(rb.outcome, AdvectOutcome::LeftRegion);
         // Dopri5 grows its step toward h_max; Euler stays at h0.
@@ -306,18 +317,18 @@ mod tests {
     #[test]
     fn resume_after_handoff_continues_geometry() {
         // Advect through region A, then hand the same streamline to region B.
-        let sample = |_p: Vec3| Some(Vec3::X);
+        let mut sample = |_p: Vec3| Some(Vec3::X);
         let region_a = |p: Vec3| p.x < 1.0;
         let region_b = |p: Vec3| p.x < 2.0;
         let mut sl = fresh(Vec3::ZERO);
         let limits = StepLimits::default();
         assert_eq!(
-            advect(&mut sl, &sample, &region_a, &limits, &Dopri5).outcome,
+            advect(&mut sl, &mut sample, &region_a, &limits, &Dopri5).outcome,
             AdvectOutcome::LeftRegion
         );
         let mid_len = sl.geometry.len();
         assert_eq!(
-            advect(&mut sl, &sample, &region_b, &limits, &Dopri5).outcome,
+            advect(&mut sl, &mut sample, &region_b, &limits, &Dopri5).outcome,
             AdvectOutcome::LeftRegion
         );
         assert!(sl.geometry.len() > mid_len);

@@ -11,7 +11,7 @@ proptest! {
     /// order-appropriate tolerance over a quarter turn.
     #[test]
     fn rotation_radius_conservation(r0 in 0.1f64..5.0, omega in 0.1f64..3.0) {
-        let f = move |p: Vec3| Some(Vec3::new(-omega * p.y, omega * p.x, 0.0));
+        let mut f = move |p: Vec3| Some(Vec3::new(-omega * p.y, omega * p.x, 0.0));
         let quarter = std::f64::consts::FRAC_PI_2 / omega;
         let n = 200usize;
         let h = quarter / n as f64;
@@ -23,7 +23,7 @@ proptest! {
         ] {
             let mut y = Vec3::new(r0, 0.0, 0.0);
             for _ in 0..n {
-                y = stepper.step(&f, y, h, &tol).unwrap().y;
+                y = stepper.step(&mut f, y, h, &tol).unwrap().y;
             }
             let drift = (y.norm() - r0).abs() / r0;
             prop_assert!(drift < budget, "{}: relative drift {drift}", stepper.name());
@@ -34,13 +34,13 @@ proptest! {
     /// on a smooth nonlinear field.
     #[test]
     fn dopri_beats_rk4(x0 in -0.5f64..0.5, y0 in -0.5f64..0.5) {
-        let f = |p: Vec3| Some(Vec3::new(p.y, -p.x.sin(), 0.1));
+        let mut f = |p: Vec3| Some(Vec3::new(p.y, -p.x.sin(), 0.1));
         let start = Vec3::new(x0, y0, 0.0);
         let tol = Tolerances::default();
-        let run = |s: &dyn Stepper, h: f64, n: usize| {
+        let mut run = |s: &dyn Stepper, h: f64, n: usize| {
             let mut y = start;
             for _ in 0..n {
-                y = s.step(&f, y, h, &tol).unwrap().y;
+                y = s.step(&mut f, y, h, &tol).unwrap().y;
             }
             y
         };
@@ -60,14 +60,14 @@ proptest! {
         swirl in 0f64..3.0,
     ) {
         let v0 = Vec3::new(vx, vy, vz);
-        let f = move |p: Vec3| {
+        let mut f = move |p: Vec3| {
             Some(v0 + Vec3::new(-swirl * (p.y - 0.5), swirl * (p.x - 0.5), 0.0))
         };
         let bounds = Aabb::unit();
         let region = move |p: Vec3| bounds.contains(p);
         let limits = StepLimits { max_steps: 500, ..Default::default() };
         let mut sl = Streamline::new(StreamlineId(0), Vec3::new(sx, sy, sz), limits.h0);
-        let r = advect(&mut sl, &f, &region, &limits, &Dopri5);
+        let r = advect(&mut sl, &mut f, &region, &limits, &Dopri5);
         match r.outcome {
             AdvectOutcome::LeftRegion => {
                 prop_assert!(!bounds.contains(sl.state.position));

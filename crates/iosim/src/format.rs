@@ -14,7 +14,7 @@
 //! ```
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use streamline_field::block::{Block, BlockId};
+use streamline_field::block::{Block, BlockId, BlockShapeError};
 use streamline_math::{Aabb, Vec3};
 
 const MAGIC: u32 = 0x534C_424B;
@@ -26,7 +26,12 @@ pub enum FormatError {
     TooShort,
     BadMagic(u32),
     BadVersion(u16),
-    LengthMismatch { expected: usize, actual: usize },
+    LengthMismatch {
+        expected: usize,
+        actual: usize,
+    },
+    /// The header describes a lattice the interpolation stencil cannot use.
+    DegenerateShape(BlockShapeError),
 }
 
 impl std::fmt::Display for FormatError {
@@ -38,6 +43,7 @@ impl std::fmt::Display for FormatError {
             FormatError::LengthMismatch { expected, actual } => {
                 write!(f, "data length {actual} != expected {expected}")
             }
+            FormatError::DegenerateShape(e) => write!(f, "{e}"),
         }
     }
 }
@@ -99,7 +105,8 @@ pub fn decode(mut buf: &[u8]) -> Result<Block, FormatError> {
     if buf.len() != count * 12 {
         return Err(FormatError::LengthMismatch { expected: count * 12, actual: buf.len() });
     }
-    let mut block = Block::zeroed(id, Aabb::new(min, max), ghost, nodes, spacing);
+    let mut block = Block::try_zeroed(id, Aabb::new(min, max), ghost, nodes, spacing)
+        .map_err(FormatError::DegenerateShape)?;
     for s in block.data.iter_mut() {
         s[0] = buf.get_f32_le();
         s[1] = buf.get_f32_le();
@@ -158,5 +165,22 @@ mod tests {
         let mut bytes = encode(&b).to_vec();
         bytes[4] = 99;
         assert!(matches!(decode(&bytes), Err(FormatError::BadVersion(99))));
+    }
+
+    #[test]
+    fn rejects_degenerate_lattice_instead_of_panicking() {
+        // Regression: a header claiming a 1-node axis used to reach block
+        // construction (and later an index underflow in interpolation).
+        let b = sample_block();
+        let mut bytes = encode(&b).to_vec();
+        // nodes[0] is the little-endian u32 at offset 12 (magic+ver+ghost+id).
+        bytes[12..16].copy_from_slice(&1u32.to_le_bytes());
+        // Keep the payload length consistent with the forged header.
+        let forged_count = b.nodes[1] * b.nodes[2];
+        bytes.truncate(4 + 2 + 2 + 4 + 12 + 48 + 24 + forged_count * 12);
+        match decode(&bytes) {
+            Err(FormatError::DegenerateShape(e)) => assert_eq!(e.nodes, [1, 4, 4]),
+            other => panic!("expected DegenerateShape, got {other:?}"),
+        }
     }
 }

@@ -90,6 +90,13 @@ pub struct ServiceMetrics {
     pub streamlines_completed: u64,
     /// Accepted integration steps across all workers.
     pub total_steps: u64,
+    /// Field evaluations served from a worker's cell-cached stencil.
+    pub sampler_hits: u64,
+    /// Field evaluations that gathered a fresh 8-corner stencil.
+    pub sampler_misses: u64,
+    /// sampler_hits / (sampler_hits + sampler_misses); 0.0 before any
+    /// sampling.
+    pub sampler_hit_rate: f64,
     /// Seeds admitted but not yet resolved (queued + in flight).
     pub queue_depth: usize,
     /// Admission-control bound on `queue_depth`.

@@ -217,6 +217,8 @@ struct ServiceInner {
     deadline_expired: AtomicU64,
     streamlines_completed: AtomicU64,
     total_steps: AtomicU64,
+    sampler_hits: AtomicU64,
+    sampler_misses: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -252,6 +254,8 @@ impl Service {
             deadline_expired: AtomicU64::new(0),
             streamlines_completed: AtomicU64::new(0),
             total_steps: AtomicU64::new(0),
+            sampler_hits: AtomicU64::new(0),
+            sampler_misses: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
         });
         let workers = (0..cfg.workers.max(1))
@@ -386,6 +390,9 @@ fn snapshot(inner: &ServiceInner, workers: usize) -> ServiceMetrics {
     let streamlines = inner.streamlines_completed.load(Ordering::Relaxed);
     let cache_stats = inner.cache.stats();
     let gets = cache_stats.hits + cache_stats.loaded;
+    let sampler_hits = inner.sampler_hits.load(Ordering::Relaxed);
+    let sampler_misses = inner.sampler_misses.load(Ordering::Relaxed);
+    let samples = sampler_hits + sampler_misses;
     let q = |p: f64| inner.latency.quantile(p).map(|d| d.as_secs_f64() * 1e3).unwrap_or(0.0);
     ServiceMetrics {
         workers,
@@ -396,6 +403,9 @@ fn snapshot(inner: &ServiceInner, workers: usize) -> ServiceMetrics {
         deadline_expired: inner.deadline_expired.load(Ordering::Relaxed),
         streamlines_completed: streamlines,
         total_steps: inner.total_steps.load(Ordering::Relaxed),
+        sampler_hits,
+        sampler_misses,
+        sampler_hit_rate: if samples == 0 { 0.0 } else { sampler_hits as f64 / samples as f64 },
         queue_depth: inner.pending_seeds.load(Ordering::Acquire),
         queue_capacity: inner.queue_capacity,
         throughput_rps: completed as f64 / uptime,
@@ -515,9 +525,11 @@ fn process_batch(inner: &ServiceInner, block_id: BlockId, items: Vec<WorkItem>, 
             finished.push((item.req, None));
             continue;
         }
-        let (exit, steps) =
+        let (exit, stats) =
             advance_in_block(&mut item.sl, &block, &inner.decomp, &item.req.limits, stepper);
-        inner.total_steps.fetch_add(steps, Ordering::Relaxed);
+        inner.total_steps.fetch_add(stats.steps, Ordering::Relaxed);
+        inner.sampler_hits.fetch_add(stats.sampler_hits, Ordering::Relaxed);
+        inner.sampler_misses.fetch_add(stats.sampler_misses, Ordering::Relaxed);
         match exit {
             BlockExit::MovedTo(next) => moved.entry(next).or_default().push(item),
             BlockExit::Done(_) => finished.push((item.req, Some(item.sl))),

@@ -17,7 +17,7 @@ fn trace(dataset: &Dataset, n: usize, limits: &StepLimits) -> Vec<Streamline> {
     let seeds = dataset.seeds_with_count(Seeding::Sparse, n);
     let field = &dataset.field;
     let domain = dataset.decomp.domain;
-    let sample = |p: Vec3| Some(field.eval(p));
+    let mut sample = |p: Vec3| Some(field.eval(p));
     let region = move |p: Vec3| domain.contains(p);
     seeds
         .points
@@ -25,7 +25,7 @@ fn trace(dataset: &Dataset, n: usize, limits: &StepLimits) -> Vec<Streamline> {
         .enumerate()
         .map(|(i, &p)| {
             let mut sl = Streamline::new(StreamlineId(i as u32), p, limits.h0);
-            advect(&mut sl, &sample, &region, limits, &Dopri5);
+            advect(&mut sl, &mut sample, &region, limits, &Dopri5);
             sl
         })
         .collect()

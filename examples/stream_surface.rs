@@ -31,7 +31,7 @@ fn particle(id: u32, p: Vec3) -> FrontParticle {
 fn main() {
     let field = ThermalHydraulicsField::standard();
     let domain = ThermalHydraulicsField::domain();
-    let sample = |p: Vec3| Some(field.eval(p));
+    let mut sample = |p: Vec3| Some(field.eval(p));
     let region = move |p: Vec3| domain.contains(p);
 
     // Initial front: 64 seeds on a circle just inside the warm inlet.
@@ -64,7 +64,7 @@ fn main() {
                 h_max: 0.01,
                 ..Default::default()
             };
-            let out = advect(&mut fp.sl, &sample, &region, &limits, &Dopri5);
+            let out = advect(&mut fp.sl, &mut sample, &region, &limits, &Dopri5);
             use streamline_repro::integrate::{AdvectOutcome, StreamlineStatus, Termination};
             match out.outcome {
                 // Hit this round's arc budget: still alive, keep going next

@@ -11,7 +11,7 @@ fn lean_and_recorded_traces_are_identical_in_state() {
     let ds = Dataset::astrophysics(DatasetConfig::tiny());
     let field = &ds.field;
     let domain = ds.decomp.domain;
-    let sample = |p: Vec3| Some(field.eval(p));
+    let mut sample = |p: Vec3| Some(field.eval(p));
     let region = move |p: Vec3| domain.contains(p);
     let limits = StepLimits { max_steps: 500, ..Default::default() };
     for i in 0..20u32 {
@@ -22,8 +22,8 @@ fn lean_and_recorded_traces_are_identical_in_state() {
         ));
         let mut full = Streamline::new(StreamlineId(i), seed, limits.h0);
         let mut lean = Streamline::new_lean(StreamlineId(i), seed, limits.h0);
-        let rf = advect(&mut full, &sample, &region, &limits, &Dopri5);
-        let rl = advect(&mut lean, &sample, &region, &limits, &Dopri5);
+        let rf = advect(&mut full, &mut sample, &region, &limits, &Dopri5);
+        let rl = advect(&mut lean, &mut sample, &region, &limits, &Dopri5);
         assert_eq!(rf.outcome, rl.outcome, "seed {i}");
         assert_eq!(full.state, lean.state, "seed {i}");
         assert_eq!(full.status, lean.status, "seed {i}");
@@ -41,12 +41,12 @@ fn recorded_geometry_is_causally_ordered() {
     let ds = Dataset::fusion(DatasetConfig::tiny());
     let field = &ds.field;
     let domain = ds.decomp.domain;
-    let sample = |p: Vec3| Some(field.eval(p));
+    let mut sample = |p: Vec3| Some(field.eval(p));
     let region = move |p: Vec3| domain.contains(p);
     let limits = StepLimits { max_steps: 400, h_max: 0.05, ..Default::default() };
     let seed = Vec3::new(3.2, 0.0, 0.1);
     let mut sl = Streamline::new(StreamlineId(0), seed, limits.h0);
-    advect(&mut sl, &sample, &region, &limits, &Dopri5);
+    advect(&mut sl, &mut sample, &region, &limits, &Dopri5);
     assert_eq!(sl.geometry[0], seed);
     assert_eq!(*sl.geometry.last().unwrap(), sl.state.position);
     let mut arc = 0.0;

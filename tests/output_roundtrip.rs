@@ -12,7 +12,7 @@ fn traced_streamlines(n: usize) -> Vec<Streamline> {
     let seeds = ds.seeds_with_count(Seeding::Sparse, n);
     let field = &ds.field;
     let domain = ds.decomp.domain;
-    let sample = |p: Vec3| Some(field.eval(p));
+    let mut sample = |p: Vec3| Some(field.eval(p));
     let region = move |p: Vec3| domain.contains(p);
     let limits = StepLimits { max_steps: 200, ..Default::default() };
     seeds
@@ -21,7 +21,7 @@ fn traced_streamlines(n: usize) -> Vec<Streamline> {
         .enumerate()
         .map(|(i, &p)| {
             let mut sl = Streamline::new(StreamlineId(i as u32), p, limits.h0);
-            advect(&mut sl, &sample, &region, &limits, &Dopri5);
+            advect(&mut sl, &mut sample, &region, &limits, &Dopri5);
             sl
         })
         .collect()

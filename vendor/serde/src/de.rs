@@ -39,6 +39,19 @@ pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
     }
 }
 
+/// Fetch and convert a named struct field marked `#[serde(default)]`:
+/// a missing key yields `Default::default()` instead of an error, so new
+/// fields can be added without invalidating previously written payloads.
+pub fn field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, Error> {
+    match v {
+        Value::Map(_) => match v.get(name) {
+            Some(inner) => T::from_value(inner).map_err(|e| Error(format!("field `{name}`: {e}"))),
+            None => Ok(T::default()),
+        },
+        _ => Err(Error::expected("object", v)),
+    }
+}
+
 /// Fetch and convert the `i`-th element of a sequence (tuple variants and
 /// tuple structs).
 pub fn seq_elem<T: Deserialize>(v: &Value, i: usize) -> Result<T, Error> {
@@ -69,5 +82,15 @@ mod tests {
         let v = Value::Map(vec![]);
         let got: Option<u32> = field(&v, "gone").unwrap();
         assert_eq!(got, None);
+    }
+
+    #[test]
+    fn field_or_default_fills_missing_keys() {
+        let v = Value::Map(vec![("present".into(), Value::U64(7))]);
+        let got: u32 = field_or_default(&v, "present").unwrap();
+        assert_eq!(got, 7);
+        let got: u32 = field_or_default(&v, "gone").unwrap();
+        assert_eq!(got, 0);
+        assert!(field_or_default::<u32>(&Value::Null, "x").is_err());
     }
 }

@@ -7,8 +7,10 @@
 //!
 //! Supported: non-generic structs (named, tuple, unit) and enums (unit,
 //! tuple, struct variants) with the externally-tagged representation, plus
-//! the `#[serde(skip, default)]` field attribute. Anything fancier panics
-//! with a clear message at expansion time.
+//! the `#[serde(skip, default)]` and `#[serde(default)]` field attributes
+//! (the latter serializes normally but tolerates a missing key when
+//! deserializing). Anything fancier panics with a clear message at
+//! expansion time.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -31,6 +33,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 struct Field {
     name: String,
     skip: bool,
+    /// `#[serde(default)]` without `skip`: serialized normally, but a
+    /// missing key deserializes to `Default::default()`.
+    default: bool,
 }
 
 enum VariantShape {
@@ -110,22 +115,22 @@ impl Cursor {
         }
     }
 
-    /// Skip leading `#[...]` attributes; report whether any was
-    /// `#[serde(... skip ...)]`.
-    fn skip_attrs(&mut self) -> bool {
-        let mut skip = false;
+    /// Skip leading `#[...]` attributes; report which `#[serde(...)]`
+    /// flags (`skip`, `default`) were present.
+    fn skip_attrs(&mut self) -> SerdeFlags {
+        let mut flags = SerdeFlags::default();
         while self.peek_punct('#') {
             self.pos += 1;
             match self.next() {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
-                    if attr_is_serde_skip(&g.stream()) {
-                        skip = true;
-                    }
+                    let f = serde_attr_flags(&g.stream());
+                    flags.skip |= f.skip;
+                    flags.default |= f.default;
                 }
                 other => panic!("serde_derive: malformed attribute, got {other:?}"),
             }
         }
-        skip
+        flags
     }
 
     /// Skip `pub` / `pub(crate)` / `pub(in ...)`.
@@ -157,15 +162,30 @@ impl Cursor {
     }
 }
 
-fn attr_is_serde_skip(stream: &TokenStream) -> bool {
+/// `#[serde(...)]` flags recognised on a field.
+#[derive(Default, Clone, Copy)]
+struct SerdeFlags {
+    skip: bool,
+    default: bool,
+}
+
+fn serde_attr_flags(stream: &TokenStream) -> SerdeFlags {
     let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
-    match toks.as_slice() {
-        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
-            .stream()
-            .into_iter()
-            .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "skip")),
-        _ => false,
+    let mut flags = SerdeFlags::default();
+    if let [TokenTree::Ident(name), TokenTree::Group(args)] = toks.as_slice() {
+        if name.to_string() == "serde" {
+            for t in args.stream() {
+                if let TokenTree::Ident(id) = t {
+                    match id.to_string().as_str() {
+                        "skip" => flags.skip = true,
+                        "default" => flags.default = true,
+                        _ => {}
+                    }
+                }
+            }
+        }
     }
+    flags
 }
 
 /// Count comma-separated items at angle-depth zero (tuple arity).
@@ -196,7 +216,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut cur = Cursor::new(stream);
     let mut fields = Vec::new();
     while !cur.at_end() {
-        let skip = cur.skip_attrs();
+        let flags = cur.skip_attrs();
         cur.skip_vis();
         let name = cur.expect_ident("field name");
         if !cur.eat_punct(':') {
@@ -204,7 +224,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         }
         cur.skip_type();
         cur.eat_punct(',');
-        fields.push(Field { name, skip });
+        fields.push(Field { name, skip: flags.skip, default: flags.default });
     }
     fields
 }
@@ -368,6 +388,8 @@ fn gen_deserialize(item: &Item) -> String {
                 .map(|f| {
                     if f.skip {
                         format!("{}: ::std::default::Default::default(),", f.name)
+                    } else if f.default {
+                        format!("{n}: ::serde::de::field_or_default(v, \"{n}\")?,", n = f.name)
                     } else {
                         format!("{n}: ::serde::de::field(v, \"{n}\")?,", n = f.name)
                     }
@@ -412,6 +434,11 @@ fn gen_deserialize(item: &Item) -> String {
                                 .map(|f| {
                                     if f.skip {
                                         format!("{}: ::std::default::Default::default(),", f.name)
+                                    } else if f.default {
+                                        format!(
+                                            "{n}: ::serde::de::field_or_default(inner, \"{n}\")?,",
+                                            n = f.name
+                                        )
                                     } else {
                                         format!(
                                             "{n}: ::serde::de::field(inner, \"{n}\")?,",
