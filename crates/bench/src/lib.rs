@@ -12,5 +12,5 @@ pub use experiments::{
     case_config, dataset_for, limits_for, run_sweep, CaseResult, SweepScale, Workload,
 };
 pub use kernels::{run_kernels, KernelsConfig, KernelsReport};
-pub use loadgen::{run_load, LoadGenConfig, LoadGenReport};
+pub use loadgen::{run_load, ChaosConfig, LoadGenConfig, LoadGenReport};
 pub use tables::{figure_block, render_markdown};

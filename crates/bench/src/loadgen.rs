@@ -17,8 +17,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use streamline_field::dataset::Seeding;
-use streamline_iosim::MemoryStore;
-use streamline_serve::{Request, Service, ServiceConfig, ServiceMetrics, SubmitError};
+use streamline_integrate::{Streamline, StreamlineStatus, Termination};
+use streamline_iosim::{BlockStore, ChaosParams, FaultPlan, FaultStore, MemoryStore};
+use streamline_serve::{Outcome, Request, Service, ServiceConfig, ServiceMetrics, SubmitError};
 
 /// Shape of one load-generation run.
 #[derive(Debug, Clone)]
@@ -34,6 +35,30 @@ pub struct LoadGenConfig {
     /// Optional per-request deadline.
     pub deadline: Option<Duration>,
     pub service: ServiceConfig,
+    /// Inject store faults from a seeded plan and verify degraded-mode
+    /// behavior (see [`ChaosConfig`]).
+    pub chaos: Option<ChaosConfig>,
+}
+
+/// Chaos mode: wrap the store in a seeded
+/// [`FaultStore`](streamline_iosim::FaultStore) and assert the resilience
+/// contract while the closed loop runs — every ticket answered (no
+/// livelock), and every streamline *not* terminated `BlockUnavailable`
+/// bit-identical to a fault-free reference pass. Faults may deny results;
+/// they may never corrupt them.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed for [`FaultPlan::random`]; same seed, same faults.
+    pub seed: u64,
+    /// Fault mix. [`ChaosParams::transient_only`] keeps every outcome
+    /// `Completed` (the retry budget absorbs all faults).
+    pub params: ChaosParams,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig { seed: 0x5EED, params: ChaosParams::default() }
+    }
 }
 
 impl Default for LoadGenConfig {
@@ -46,6 +71,7 @@ impl Default for LoadGenConfig {
             seeds_per_request: 8,
             deadline: None,
             service: ServiceConfig::default(),
+            chaos: None,
         }
     }
 }
@@ -62,6 +88,14 @@ pub struct LoadGenReport {
     pub deadline_exceeded: u64,
     /// Streamlines received across all responses.
     pub streamlines: u64,
+    /// Responses that came back `Partial` (chaos mode; 0 otherwise).
+    pub partial: u64,
+    /// Streamlines terminated `BlockUnavailable` across all responses.
+    pub unavailable_streamlines: u64,
+    /// Faults the store injected (chaos mode; 0 otherwise).
+    pub faults_injected: u64,
+    /// Blocks the fault plan made permanently unavailable.
+    pub unavailable_blocks: usize,
     pub wall_secs: f64,
     /// The service's final snapshot (taken at drain).
     pub metrics: ServiceMetrics,
@@ -82,15 +116,45 @@ pub fn run_load(cfg: &LoadGenConfig) -> LoadGenReport {
     );
     let dataset = dataset_for(cfg.workload, cfg.scale);
     let limits = limits_for(cfg.workload, Seeding::Sparse);
-    let store = Arc::new(MemoryStore::build(&dataset));
-    let service = Arc::new(Service::start(dataset.decomp, store, cfg.service.clone()));
+    let base: Arc<dyn BlockStore> = Arc::new(MemoryStore::build(&dataset));
 
     // One deterministic pool, sliced per (client, iteration).
     let pool = dataset.seeds_with_count(Seeding::Dense, cfg.clients * cfg.seeds_per_request).points;
+    let client_seeds = |c: usize| -> Vec<_> {
+        pool.iter().copied().skip(c * cfg.seeds_per_request).take(cfg.seeds_per_request).collect()
+    };
+
+    // Chaos mode: wrap the store in a seeded fault layer and compute a
+    // fault-free reference answer per client slice, so every chaos
+    // response can be checked for bit-identity of its untouched
+    // streamlines.
+    let (store, fault_store, references) = match &cfg.chaos {
+        Some(chaos) => {
+            let plan = FaultPlan::random(chaos.seed, dataset.decomp.num_blocks(), &chaos.params);
+            let reference = Service::start(dataset.decomp, Arc::clone(&base), cfg.service.clone());
+            let refs: Vec<Arc<Vec<Streamline>>> = (0..cfg.clients)
+                .map(|c| {
+                    let resp = reference
+                        .submit(Request::new(client_seeds(c)).with_limits(limits))
+                        .expect("reference pass is admitted")
+                        .wait();
+                    assert_eq!(resp.outcome, Outcome::Completed, "reference pass must be clean");
+                    Arc::new(resp.streamlines)
+                })
+                .collect();
+            reference.shutdown();
+            let fs = Arc::new(FaultStore::new(base, plan));
+            (Arc::clone(&fs) as Arc<dyn BlockStore>, Some(fs), Some(refs))
+        }
+        None => (base, None, None),
+    };
+    let service = Arc::new(Service::start(dataset.decomp, store, cfg.service.clone()));
 
     let rejections = Arc::new(AtomicU64::new(0));
     let deadline_exceeded = Arc::new(AtomicU64::new(0));
     let streamlines = Arc::new(AtomicU64::new(0));
+    let partial = Arc::new(AtomicU64::new(0));
+    let unavailable_streamlines = Arc::new(AtomicU64::new(0));
     let started = Instant::now();
 
     let handles: Vec<_> = (0..cfg.clients)
@@ -99,12 +163,10 @@ pub fn run_load(cfg: &LoadGenConfig) -> LoadGenReport {
             let rejections = Arc::clone(&rejections);
             let deadline_exceeded = Arc::clone(&deadline_exceeded);
             let streamlines = Arc::clone(&streamlines);
-            let seeds: Vec<_> = pool
-                .iter()
-                .copied()
-                .skip(c * cfg.seeds_per_request)
-                .take(cfg.seeds_per_request)
-                .collect();
+            let partial = Arc::clone(&partial);
+            let unavailable_streamlines = Arc::clone(&unavailable_streamlines);
+            let reference = references.as_ref().map(|r| Arc::clone(&r[c]));
+            let seeds = client_seeds(c);
             let cfg = cfg.clone();
             std::thread::spawn(move || {
                 let mut completed = 0u64;
@@ -120,11 +182,21 @@ pub fn run_load(cfg: &LoadGenConfig) -> LoadGenReport {
                                 completed += 1;
                                 streamlines
                                     .fetch_add(resp.streamlines.len() as u64, Ordering::Relaxed);
-                                if matches!(
-                                    resp.outcome,
-                                    streamline_serve::Outcome::DeadlineExceeded { .. }
-                                ) {
-                                    deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                match resp.outcome {
+                                    Outcome::DeadlineExceeded { .. } => {
+                                        deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Outcome::Partial { unavailable } => {
+                                        partial.fetch_add(1, Ordering::Relaxed);
+                                        unavailable_streamlines
+                                            .fetch_add(unavailable as u64, Ordering::Relaxed);
+                                    }
+                                    Outcome::Completed => {}
+                                }
+                                if let Some(want) = &reference {
+                                    if !matches!(resp.outcome, Outcome::DeadlineExceeded { .. }) {
+                                        assert_untouched_bit_identical(&resp.streamlines, want);
+                                    }
                                 }
                                 break;
                             }
@@ -146,14 +218,50 @@ pub fn run_load(cfg: &LoadGenConfig) -> LoadGenReport {
     let service = Arc::try_unwrap(service).unwrap_or_else(|_| unreachable!("all clients joined"));
     let metrics = service.shutdown();
 
+    // Chaos contract: a fault plan can degrade answers, never lose them.
+    // Reaching this point already proves no livelock (every client's
+    // closed loop ran dry); the counts make it explicit.
+    if cfg.chaos.is_some() {
+        let expected = (cfg.clients * cfg.requests_per_client) as u64;
+        assert_eq!(completed, expected, "chaos run lost tickets");
+        assert_eq!(metrics.completed, expected, "service answered fewer requests than driven");
+    }
+    let (faults_injected, unavailable_blocks) = match &fault_store {
+        Some(fs) => (fs.counters().faults_injected(), fs.plan().unavailable_blocks().len()),
+        None => (0, 0),
+    };
+
     LoadGenReport {
         clients: cfg.clients,
         completed,
         rejections: rejections.load(Ordering::Relaxed),
         deadline_exceeded: deadline_exceeded.load(Ordering::Relaxed),
         streamlines: streamlines.load(Ordering::Relaxed),
+        partial: partial.load(Ordering::Relaxed),
+        unavailable_streamlines: unavailable_streamlines.load(Ordering::Relaxed),
+        faults_injected,
+        unavailable_blocks,
         wall_secs,
         metrics,
+    }
+}
+
+/// Chaos-mode invariant: every streamline the faults did *not* touch must
+/// match the fault-free reference bit for bit.
+fn assert_untouched_bit_identical(got: &[Streamline], want: &[Streamline]) {
+    assert_eq!(got.len(), want.len(), "chaos response lost streamlines");
+    for (a, b) in got.iter().zip(want) {
+        assert_eq!(a.id, b.id);
+        if a.status == StreamlineStatus::Terminated(Termination::BlockUnavailable) {
+            continue;
+        }
+        assert_eq!(a.status, b.status, "streamline {:?} changed termination under faults", a.id);
+        assert_eq!(
+            a.state.position, b.state.position,
+            "streamline {:?} endpoint diverged under faults",
+            a.id
+        );
+        assert_eq!(a.geometry, b.geometry, "streamline {:?} geometry diverged under faults", a.id);
     }
 }
 
@@ -176,6 +284,61 @@ mod tests {
         assert_eq!(report.metrics.queue_depth, 0);
         assert!(report.metrics.latency_p50_ms > 0.0);
         assert!(report.metrics.latency_p99_ms >= report.metrics.latency_p50_ms);
+    }
+
+    #[test]
+    fn transient_only_chaos_is_invisible_to_clients() {
+        // Transient faults below the retry budget: every outcome must be
+        // Completed and (checked inside run_load against the reference
+        // pass) bit-identical to the fault-free answers.
+        let cfg = LoadGenConfig {
+            clients: 4,
+            requests_per_client: 2,
+            seeds_per_request: 4,
+            chaos: Some(ChaosConfig { seed: 7, params: ChaosParams::transient_only() }),
+            ..LoadGenConfig::default()
+        };
+        let report = run_load(&cfg);
+        assert_eq!(report.completed, 8);
+        assert_eq!(report.partial, 0, "transient-only chaos must not degrade outcomes");
+        assert_eq!(report.unavailable_streamlines, 0);
+        assert_eq!(report.unavailable_blocks, 0);
+        assert!(report.faults_injected > 0, "the plan must actually fire");
+        assert!(report.metrics.load_retries > 0);
+        assert_eq!(report.metrics.load_failures, 0);
+    }
+
+    #[test]
+    fn permanent_chaos_degrades_but_answers_everything() {
+        // Every block faulted, half of them permanently: tickets must all
+        // resolve (run_load asserts it), untouched streamlines must match
+        // the reference (asserted per response), and degraded seeds come
+        // back typed instead of vanishing.
+        let params = ChaosParams {
+            fault_prob: 1.0,
+            transient_prob: 0.5,
+            corrupt_prob: 0.5,
+            max_clears: 2,
+            latency_prob: 0.0,
+            max_latency_us: 0,
+        };
+        let cfg = LoadGenConfig {
+            clients: 4,
+            requests_per_client: 2,
+            seeds_per_request: 4,
+            chaos: Some(ChaosConfig { seed: 11, params }),
+            ..LoadGenConfig::default()
+        };
+        let report = run_load(&cfg);
+        assert_eq!(report.completed, 8);
+        assert!(report.faults_injected > 0);
+        assert!(report.unavailable_blocks > 0, "seed 11 must plan permanent faults");
+        // Every driven streamline came back — degraded ones included.
+        assert_eq!(report.streamlines, 8 * 4);
+        assert_eq!(
+            report.unavailable_streamlines, report.metrics.streamlines_unavailable,
+            "client-side and service-side degraded counts must agree"
+        );
     }
 
     #[test]

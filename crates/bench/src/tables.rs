@@ -109,6 +109,9 @@ mod tests {
                 total_steps: 100,
                 sampler_hits: 0,
                 sampler_misses: 0,
+                load_retries: 0,
+                load_failures: 0,
+                unavailable_terminations: 0,
                 events: 1,
                 per_rank: vec![],
             },

@@ -85,6 +85,12 @@ pub enum Command {
         /// Admission-control seed queue capacity.
         queue: usize,
         deadline_ms: Option<u64>,
+        /// Inject store faults from a seeded plan and assert the
+        /// resilience contract (every ticket answered, untouched
+        /// streamlines bit-identical to a fault-free reference).
+        chaos: bool,
+        /// Seed for the chaos fault plan.
+        chaos_seed: u64,
         json: Option<String>,
     },
     /// Kernel perf-regression harness: fast-vs-reference timings of the
@@ -206,8 +212,16 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             }
         }
         "serve-bench" => {
+            // `--chaos` is a bare flag; peel it off before the key-value pass.
+            let mut kv: Vec<String> = rest.to_vec();
+            let chaos = if let Some(i) = kv.iter().position(|a| a == "--chaos") {
+                kv.remove(i);
+                true
+            } else {
+                false
+            };
             let o = options(
-                rest,
+                &kv,
                 &[
                     "dataset",
                     "clients",
@@ -218,6 +232,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     "shards",
                     "queue",
                     "deadline-ms",
+                    "chaos-seed",
                     "json",
                 ],
             )?;
@@ -236,6 +251,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     .get("deadline-ms")
                     .map(|v| v.parse().map_err(|_| "--deadline-ms: bad integer".to_string()))
                     .transpose()?,
+                chaos,
+                chaos_seed: get_parse(&o, "chaos-seed", 0x5EED)?,
                 json: o.get("json").cloned(),
             }
         }
@@ -275,7 +292,8 @@ USAGE:
   slrepro ftle     [--out FILE.ppm] [--nx N] [--ny N] [--horizon T]
   slrepro serve-bench [--dataset astro|fusion|thermal] [--clients N] [--requests N]
                    [--seeds N] [--workers N] [--cache BLOCKS] [--shards N]
-                   [--queue SEEDS] [--deadline-ms MS] [--json FILE]
+                   [--queue SEEDS] [--deadline-ms MS] [--chaos] [--chaos-seed N]
+                   [--json FILE]
   slrepro bench-kernels [--smoke] [--json FILE]
   slrepro info
 ";
@@ -371,6 +389,31 @@ mod tests {
         );
         let e = parse(&argv("bench-kernels --bogus 1")).unwrap_err();
         assert!(e.contains("unknown option"), "{e}");
+    }
+
+    #[test]
+    fn serve_bench_chaos_flags() {
+        let cli = parse(&argv("serve-bench --chaos --chaos-seed 42 --clients 2")).unwrap();
+        match cli.command {
+            Command::ServeBench { chaos, chaos_seed, clients, .. } => {
+                assert!(chaos);
+                assert_eq!(chaos_seed, 42);
+                assert_eq!(clients, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Without the flag: chaos off, seed defaulted; flag position free.
+        match parse(&argv("serve-bench")).unwrap().command {
+            Command::ServeBench { chaos, chaos_seed, .. } => {
+                assert!(!chaos);
+                assert_eq!(chaos_seed, 0x5EED);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("serve-bench --clients 3 --chaos")).unwrap().command {
+            Command::ServeBench { chaos, .. } => assert!(chaos),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

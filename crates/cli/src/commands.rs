@@ -160,9 +160,12 @@ pub fn execute(cmd: Command) -> i32 {
             shards,
             queue,
             deadline_ms,
+            chaos,
+            chaos_seed,
             json,
         } => {
-            use streamline_bench::{LoadGenConfig, SweepScale, Workload};
+            use streamline_bench::{ChaosConfig, LoadGenConfig, SweepScale, Workload};
+            use streamline_iosim::ChaosParams;
             use streamline_serve::ServiceConfig;
             if seeds > queue {
                 eprintln!(
@@ -188,12 +191,16 @@ pub fn execute(cmd: Command) -> i32 {
                     cache_blocks: cache,
                     cache_shards: shards,
                     queue_capacity: queue,
+                    ..ServiceConfig::default()
                 },
+                chaos: chaos
+                    .then(|| ChaosConfig { seed: chaos_seed, params: ChaosParams::default() }),
             };
             eprintln!(
                 "serve-bench: {} workload, {clients} clients x {requests} requests x {seeds} \
-                 seeds, {workers} workers, {cache}-block cache ...",
-                workload.label()
+                 seeds, {workers} workers, {cache}-block cache{} ...",
+                workload.label(),
+                if chaos { format!(", chaos seed {chaos_seed:#x}") } else { String::new() }
             );
             let report = streamline_bench::run_load(&cfg);
             let m = &report.metrics;
@@ -221,6 +228,19 @@ pub fn execute(cmd: Command) -> i32 {
                 m.cache_resident,
                 m.cache_capacity
             );
+            if chaos {
+                println!(
+                    "chaos     faults {}  retries {}  load-failures {}  fast-fails {}  \
+                     quarantined {}  partial {}  unavailable {}",
+                    report.faults_injected,
+                    m.load_retries,
+                    m.load_failures,
+                    m.fast_fails,
+                    m.blocks_quarantined,
+                    m.partial,
+                    m.streamlines_unavailable
+                );
+            }
             if let Some(path) = json {
                 match serde_json::to_string_pretty(&report) {
                     Ok(s) => {

@@ -74,6 +74,27 @@ impl AnyProc {
         }
     }
 
+    /// Resilience counters `(load_retries, load_failures, unavailable)` from
+    /// this rank's workspace; masters contribute their quarantined pool
+    /// seeds as unavailable terminations.
+    fn resilience_counters(&self) -> (u64, u64, u64) {
+        match self {
+            AnyProc::Static(p) => {
+                let ws = p.workspace();
+                (ws.load_retries, ws.load_failures, ws.unavailable)
+            }
+            AnyProc::Lod(p) => {
+                let ws = p.workspace();
+                (ws.load_retries, ws.load_failures, ws.unavailable)
+            }
+            AnyProc::Slave(p) => {
+                let ws = p.workspace();
+                (ws.load_retries, ws.load_failures, ws.unavailable)
+            }
+            AnyProc::Master(p) => (0, 0, p.unavailable_seeds()),
+        }
+    }
+
     fn failed_oom(&self) -> bool {
         match self {
             AnyProc::Static(p) => p.failed_oom,
@@ -260,6 +281,9 @@ fn collect_report(
     let mut steps = 0;
     let mut sampler_hits = 0;
     let mut sampler_misses = 0;
+    let mut load_retries = 0;
+    let mut load_failures = 0;
+    let mut unavailable_terminations = 0;
     let mut outcome = RunOutcome::Completed;
     for (rank, p) in procs.iter().enumerate() {
         if let Some(s) = p.cache_stats() {
@@ -270,6 +294,10 @@ fn collect_report(
         let (hits, misses) = p.sampler_counters();
         sampler_hits += hits;
         sampler_misses += misses;
+        let (retries, failures, unavailable) = p.resilience_counters();
+        load_retries += retries;
+        load_failures += failures;
+        unavailable_terminations += unavailable;
         if p.failed_oom() && outcome == RunOutcome::Completed {
             outcome = RunOutcome::OutOfMemory { rank };
         }
@@ -295,6 +323,9 @@ fn collect_report(
         total_steps: steps,
         sampler_hits,
         sampler_misses,
+        load_retries,
+        load_failures,
+        unavailable_terminations,
         events: report.events,
         per_rank: report.ranks,
     }
@@ -314,6 +345,19 @@ pub fn run_simulated_detailed(
     cfg: &RunConfig,
 ) -> (RunReport, Vec<streamline_integrate::Streamline>) {
     let store: Arc<dyn BlockStore> = Arc::new(FieldStore::new(dataset.clone()));
+    run_simulated_detailed_with_store(dataset, seeds, cfg, store)
+}
+
+/// [`run_simulated_detailed`] with an explicit store — the hook the
+/// resilience tests use to run the drivers over a
+/// [`streamline_iosim::FaultStore`] and compare surviving streamlines
+/// against a fault-free run.
+pub fn run_simulated_detailed_with_store(
+    dataset: &Dataset,
+    seeds: &SeedSet,
+    cfg: &RunConfig,
+    store: Arc<dyn BlockStore>,
+) -> (RunReport, Vec<streamline_integrate::Streamline>) {
     let procs = build_procs(dataset, seeds, cfg, store);
     let sim = Simulation::new(cfg.cost.net, procs);
     let (report, mut procs) = sim.run();

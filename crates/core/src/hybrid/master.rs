@@ -11,7 +11,7 @@ use crate::config::HybridParams;
 use crate::msg::{Command, Msg, SlaveStatus};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use streamline_desim::{Context, Event, Process};
 use streamline_field::block::BlockId;
 use streamline_field::decomp::BlockDecomposition;
@@ -63,6 +63,14 @@ pub struct MasterProc {
     group_total: u64,
     /// Immediately-terminated seeds (outside the domain).
     group_pre_terminated: u64,
+    /// Blocks some slave reported as unloadable; no further seeds are
+    /// scheduled into them.
+    quarantined: BTreeSet<BlockId>,
+    /// Pooled seeds discarded because their block was quarantined before
+    /// they were ever assigned. They count as terminated for the global
+    /// count (they can never run), like the slaves' `BlockUnavailable`
+    /// terminations.
+    group_unavailable: u64,
     last_reported_remaining: Option<u64>,
     rng: ChaCha8Rng,
     steal_outstanding: bool,
@@ -113,6 +121,8 @@ impl MasterProc {
             records,
             group_total,
             group_pre_terminated: pre_terminated,
+            quarantined: BTreeSet::new(),
+            group_unavailable: 0,
             last_reported_remaining: None,
             rng: rng::stream(seed, "hybrid-master"),
             steal_outstanding: false,
@@ -147,9 +157,31 @@ impl MasterProc {
 
     /// This master's unfinished streamline count.
     fn remaining(&self) -> u64 {
-        let terminated: u64 =
-            self.records.values().map(|r| r.terminated).sum::<u64>() + self.group_pre_terminated;
+        let terminated: u64 = self.records.values().map(|r| r.terminated).sum::<u64>()
+            + self.group_pre_terminated
+            + self.group_unavailable;
         self.group_total.saturating_sub(terminated)
+    }
+
+    /// Seeds this master discarded because their block was quarantined
+    /// before assignment (the master-side share of `BlockUnavailable`).
+    pub fn unavailable_seeds(&self) -> u64 {
+        self.group_unavailable
+    }
+
+    /// Blocks currently quarantined (reported unloadable by some slave).
+    pub fn quarantined_blocks(&self) -> usize {
+        self.quarantined.len()
+    }
+
+    /// Mark `b` unloadable: discard pooled seeds in it (they can never be
+    /// integrated) and stop scheduling into it.
+    fn quarantine(&mut self, b: BlockId) {
+        if self.quarantined.insert(b) {
+            if let Some(seeds) = self.pool.remove(&b) {
+                self.group_unavailable += seeds.len() as u64;
+            }
+        }
     }
 
     /// Report remaining to the root (or record it locally if we are root).
@@ -417,6 +449,11 @@ impl MasterProc {
 
     fn on_status(&mut self, from: usize, st: SlaveStatus, ctx: &mut dyn Context<Msg>) {
         self.status_counter += 1;
+        // Failed blocks are cumulative/monotone (like terminated counts), so
+        // they are safe to fold in even from stale statuses.
+        for &b in &st.failed_blocks {
+            self.quarantine(b);
+        }
         let rec = self.records.get_mut(&from).expect("status from unknown slave");
         if st.acked_cmds < rec.cmds_sent {
             // Stale: sent before a command we issued reached the slave.
@@ -486,6 +523,7 @@ impl Process<Msg> for MasterProc {
                     self.group_total += seeds.len() as u64;
                     for (id, p) in seeds {
                         match self.decomp.locate(p) {
+                            Some(b) if self.quarantined.contains(&b) => self.group_unavailable += 1,
                             Some(b) => self.pool.entry(b).or_default().push((id, p)),
                             None => self.group_pre_terminated += 1,
                         }
@@ -570,6 +608,7 @@ mod tests {
                 terminated_total: 0,
                 out_of_work: true,
                 acked_cmds: u64::MAX,
+                failed_blocks: vec![],
             },
             &mut ctx,
         );
@@ -594,6 +633,7 @@ mod tests {
                 terminated_total: 0,
                 out_of_work: false,
                 acked_cmds: u64::MAX,
+                failed_blocks: vec![],
             },
             &mut ctx,
         );
@@ -607,6 +647,7 @@ mod tests {
                 terminated_total: 0,
                 out_of_work: true,
                 acked_cmds: u64::MAX,
+                failed_blocks: vec![],
             },
             &mut ctx,
         );
@@ -633,6 +674,7 @@ mod tests {
                 terminated_total: 0,
                 out_of_work: false,
                 acked_cmds: u64::MAX,
+                failed_blocks: vec![],
             },
             &mut ctx,
         );
@@ -645,6 +687,7 @@ mod tests {
                 terminated_total: 0,
                 out_of_work: true,
                 acked_cmds: u64::MAX,
+                failed_blocks: vec![],
             },
             &mut ctx,
         );
@@ -671,6 +714,7 @@ mod tests {
                 terminated_total: 0,
                 out_of_work: false,
                 acked_cmds: u64::MAX,
+                failed_blocks: vec![],
             },
             &mut ctx,
         );
@@ -684,6 +728,7 @@ mod tests {
                 terminated_total: 0,
                 out_of_work: true,
                 acked_cmds: u64::MAX,
+                failed_blocks: vec![],
             },
             &mut ctx,
         );
@@ -710,6 +755,7 @@ mod tests {
                 terminated_total: 10,
                 out_of_work: true,
                 acked_cmds: u64::MAX,
+                failed_blocks: vec![],
             },
             &mut ctx,
         );
@@ -754,6 +800,7 @@ mod tests {
                 terminated_total: 0,
                 out_of_work: true,
                 acked_cmds: 0,
+                failed_blocks: vec![],
             },
             &mut ctx,
         );
@@ -769,6 +816,7 @@ mod tests {
                 terminated_total: 0,
                 out_of_work: true,
                 acked_cmds: 0,
+                failed_blocks: vec![],
             },
             &mut ctx,
         );
@@ -785,6 +833,7 @@ mod tests {
                 terminated_total: 30,
                 out_of_work: true,
                 acked_cmds: m.records[&1].cmds_sent,
+                failed_blocks: vec![],
             },
             &mut ctx,
         );
@@ -807,6 +856,7 @@ mod tests {
                 terminated_total: 10,
                 out_of_work: true,
                 acked_cmds: 0, // stale!
+                failed_blocks: vec![],
             },
             &mut ctx,
         );
@@ -828,6 +878,7 @@ mod tests {
                 terminated_total: 0,
                 out_of_work: false,
                 acked_cmds: u64::MAX,
+                failed_blocks: vec![],
             },
             &mut ctx,
         );
@@ -842,6 +893,7 @@ mod tests {
                     terminated_total: 0,
                     out_of_work: true,
                     acked_cmds: u64::MAX,
+                    failed_blocks: vec![],
                 },
                 &mut ctx,
             );
@@ -849,6 +901,49 @@ mod tests {
         // The throttle admits at most one hint per half-group of statuses:
         // far fewer than the five idle reports.
         assert!(m.cmd_counts[2] <= 2, "hints must be throttled, got {}", m.cmd_counts[2]);
+    }
+
+    #[test]
+    fn failed_blocks_quarantine_pool_seeds() {
+        // 100 seeds spread along x over a 2x2x2 decomposition; none handed
+        // out yet. A slave reporting block 0 as unloadable must make the
+        // master discard block 0's pooled seeds and count them terminated.
+        let mut m = master_with_seeds(100, 2);
+        let mut ctx = NullCtx::default();
+        let pooled_in_b0 = m.pool.get(&BlockId(0)).map(|v| v.len()).unwrap_or(0);
+        assert!(pooled_in_b0 > 0, "test needs seeds in block 0");
+        m.on_status(
+            1,
+            SlaveStatus {
+                queued_by_block: vec![],
+                loaded: vec![],
+                active: 0,
+                terminated_total: 0,
+                out_of_work: true,
+                acked_cmds: u64::MAX,
+                failed_blocks: vec![BlockId(0)],
+            },
+            &mut ctx,
+        );
+        assert!(!m.pool.contains_key(&BlockId(0)));
+        assert_eq!(m.unavailable_seeds(), pooled_in_b0 as u64);
+        assert_eq!(m.quarantined_blocks(), 1);
+        assert_eq!(m.remaining(), 100 - pooled_in_b0 as u64);
+        // Quarantine is idempotent: a repeat report changes nothing.
+        m.on_status(
+            1,
+            SlaveStatus {
+                queued_by_block: vec![],
+                loaded: vec![],
+                active: 0,
+                terminated_total: 0,
+                out_of_work: true,
+                acked_cmds: u64::MAX,
+                failed_blocks: vec![BlockId(0)],
+            },
+            &mut ctx,
+        );
+        assert_eq!(m.unavailable_seeds(), pooled_in_b0 as u64);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::config::MemoryBudget;
 use crate::msg::{Command, Msg, SlaveStatus};
 use crate::workspace::{BlockExit, Workspace};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use streamline_desim::{Context, Event, Process};
 use streamline_field::block::BlockId;
 use streamline_integrate::{Streamline, Termination};
@@ -41,6 +41,9 @@ pub struct SlaveProc {
     pub load_cmd_misses: u64,
     /// Commands processed so far (acknowledged in every status).
     cmds_processed: u64,
+    /// Blocks whose load exhausted the retry budget (cumulative; reported
+    /// in every status so the master can quarantine them).
+    failed_blocks: BTreeSet<BlockId>,
 }
 
 impl SlaveProc {
@@ -70,6 +73,7 @@ impl SlaveProc {
             load_cmd_hits: 0,
             load_cmd_misses: 0,
             cmds_processed: 0,
+            failed_blocks: BTreeSet::new(),
         }
     }
 
@@ -106,6 +110,7 @@ impl SlaveProc {
             terminated_total: self.ws.terminated,
             out_of_work,
             acked_cmds: self.cmds_processed,
+            failed_blocks: self.failed_blocks.iter().copied().collect(),
         };
         self.last_status_terminated = self.ws.terminated;
         self.sent_idle_status = out_of_work;
@@ -113,6 +118,31 @@ impl SlaveProc {
         let m = Msg::Status(status);
         let bytes = m.wire_bytes(self.comm_geometry);
         ctx.send(self.master, m, bytes);
+    }
+
+    /// Record that `block` could not be loaded after retries, and terminate
+    /// everything parked on it — typed, counted, and reported, instead of
+    /// the slave (and the whole run) deadlocking on work that cannot run.
+    fn fail_block(&mut self, block: BlockId) {
+        self.failed_blocks.insert(block);
+        if let Some(list) = self.parked.remove(&block) {
+            for mut sl in list {
+                self.ws.terminate_unavailable(&mut sl);
+                self.finished.push(sl);
+            }
+        }
+    }
+
+    /// Park `sl` at (non-resident) block `b`, unless `b` is known to be
+    /// unloadable — then it terminates immediately instead of waiting on a
+    /// Load that can never succeed.
+    fn park(&mut self, mut sl: Streamline, b: BlockId) {
+        if self.failed_blocks.contains(&b) {
+            self.ws.terminate_unavailable(&mut sl);
+            self.finished.push(sl);
+        } else {
+            self.parked.entry(b).or_default().push(sl);
+        }
     }
 
     /// Advance everything possible, then report to the master.
@@ -127,7 +157,7 @@ impl SlaveProc {
                             if self.ws.is_resident(next) {
                                 cur = next;
                             } else {
-                                self.parked.entry(next).or_default().push(sl);
+                                self.park(sl, next);
                                 break;
                             }
                         }
@@ -178,7 +208,9 @@ impl SlaveProc {
             Command::AssignSeeds { block, seeds } => {
                 // "Slave loads block B" when it is not already resident.
                 if !self.ws.is_resident(block) {
-                    self.ws.acquire(block, ctx);
+                    if self.ws.try_acquire(block, ctx).is_err() {
+                        self.fail_block(block);
+                    }
                     if self.check_memory(ctx) {
                         return;
                     }
@@ -189,7 +221,10 @@ impl SlaveProc {
                     // Seeds are grouped by block by the master; trust but
                     // re-locate to stay robust.
                     match self.ws.locate(seed) {
-                        Some(b) => self.parked.entry(b).or_default().push(sl),
+                        Some(b) if self.ws.is_resident(b) => {
+                            self.parked.entry(b).or_default().push(sl)
+                        }
+                        Some(b) => self.park(sl, b),
                         None => {
                             let mut sl = sl;
                             sl.terminate(Termination::ExitedDomain);
@@ -226,7 +261,9 @@ impl SlaveProc {
                 } else {
                     self.load_cmd_misses += 1;
                 }
-                self.ws.acquire(block, ctx);
+                if self.ws.try_acquire(block, ctx).is_err() {
+                    self.fail_block(block);
+                }
                 if self.check_memory(ctx) {
                     return;
                 }
@@ -251,7 +288,10 @@ impl Process<Msg> for SlaveProc {
                 self.sent_idle_status = false;
                 self.ws.admit(&sl);
                 match self.ws.locate(sl.state.position) {
-                    Some(b) => self.parked.entry(b).or_default().push(*sl),
+                    Some(b) if self.ws.is_resident(b) => {
+                        self.parked.entry(b).or_default().push(*sl)
+                    }
+                    Some(b) => self.park(*sl, b),
                     None => {
                         let mut sl = *sl;
                         sl.terminate(Termination::ExitedDomain);

@@ -106,7 +106,15 @@ impl LodProc {
             else {
                 break;
             };
-            self.ws.acquire(target, ctx);
+            if self.ws.try_acquire(target, ctx).is_err() {
+                // Unreachable block: everything waiting on it dies typed
+                // instead of the rank spinning on the same failing load.
+                for mut sl in parked.remove(&target).expect("key just found") {
+                    self.ws.terminate_unavailable(&mut sl);
+                    self.finished.push(sl);
+                }
+                continue;
+            }
             if self.check_memory(ctx) {
                 return;
             }

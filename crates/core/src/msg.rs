@@ -33,11 +33,16 @@ pub struct SlaveStatus {
     /// without it, a crossed-in-flight status makes the master forget what
     /// it just ordered and re-issue the same command indefinitely.
     pub acked_cmds: u64,
+    /// Blocks this slave could not load (retries exhausted), cumulative and
+    /// sorted. The master quarantines them so it stops scheduling work that
+    /// can never run. Like `terminated_total`, this field is monotone and
+    /// safe to fold in even from stale statuses.
+    pub failed_blocks: Vec<BlockId>,
 }
 
 impl SlaveStatus {
     pub fn wire_bytes(&self) -> usize {
-        32 + self.queued_by_block.len() * 8 + self.loaded.len() * 4
+        32 + self.queued_by_block.len() * 8 + (self.loaded.len() + self.failed_blocks.len()) * 4
     }
 }
 
@@ -146,6 +151,7 @@ mod tests {
             terminated_total: 0,
             out_of_work: true,
             acked_cmds: 0,
+            failed_blocks: vec![],
         };
         let big = SlaveStatus {
             queued_by_block: (0..10).map(|i| (BlockId(i), 5)).collect(),
@@ -154,8 +160,13 @@ mod tests {
             terminated_total: 9,
             out_of_work: false,
             acked_cmds: 0,
+            failed_blocks: vec![BlockId(7)],
         };
         assert!(big.wire_bytes() > small.wire_bytes());
+        // Reporting failed blocks costs wire bytes like loaded blocks do.
+        let mut with_failure = small.clone();
+        with_failure.failed_blocks = vec![BlockId(3)];
+        assert_eq!(with_failure.wire_bytes(), small.wire_bytes() + 4);
     }
 
     #[test]

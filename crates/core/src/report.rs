@@ -56,6 +56,16 @@ pub struct RunReport {
     /// Cell-sampler stencil gathers over all ranks.
     #[serde(default)]
     pub sampler_misses: u64,
+    /// Block loads retried after transient store errors, over all ranks.
+    #[serde(default)]
+    pub load_retries: u64,
+    /// Block loads abandoned after exhausting retries, over all ranks.
+    #[serde(default)]
+    pub load_failures: u64,
+    /// Streamlines terminated `BlockUnavailable` (including hybrid pool
+    /// seeds discarded by block quarantine).
+    #[serde(default)]
+    pub unavailable_terminations: u64,
     /// Runtime events processed.
     pub events: u64,
     pub per_rank: Vec<ProcMetrics>,
@@ -140,6 +150,9 @@ mod tests {
             total_steps: 100,
             sampler_hits: 75,
             sampler_misses: 25,
+            load_retries: 0,
+            load_failures: 0,
+            unavailable_terminations: 0,
             events: 12,
             per_rank: vec![
                 ProcMetrics { compute: 1.0, ..Default::default() },
@@ -178,6 +191,22 @@ mod tests {
         assert_eq!(r.sampler_hits, 0);
         assert_eq!(r.sampler_misses, 0);
         assert_eq!(r.total_steps, 100);
+    }
+
+    #[test]
+    fn deserializes_reports_without_resilience_counters() {
+        let mut r = report();
+        r.load_retries = 3;
+        let json = serde_json::to_string(&r).unwrap();
+        let stripped = json
+            .replace("\"load_retries\":3,", "")
+            .replace("\"load_failures\":0,", "")
+            .replace("\"unavailable_terminations\":0,", "");
+        assert_ne!(json, stripped, "test must actually remove the fields");
+        let back: RunReport = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.load_retries, 0);
+        assert_eq!(back.load_failures, 0);
+        assert_eq!(back.unavailable_terminations, 0);
     }
 
     #[test]

@@ -143,7 +143,15 @@ impl StaticProc {
                 ctx.send(to, m, bytes);
                 return 0;
             }
-            self.ws.acquire(cur, ctx);
+            if self.ws.try_acquire(cur, ctx).is_err() {
+                // The block is gone for good (retries exhausted): the
+                // streamline cannot proceed. Terminate it here so it still
+                // counts toward the global active count and no rank blocks
+                // forever waiting for it.
+                self.ws.terminate_unavailable(&mut sl);
+                self.finished.push(sl);
+                return 1;
+            }
             match self.ws.advance_in(&mut sl, cur, ctx) {
                 BlockExit::MovedTo(next) => cur = next,
                 BlockExit::Done(_) => {

@@ -7,7 +7,7 @@ use streamline_desim::Context;
 use streamline_field::block::{Block, BlockId};
 use streamline_field::decomp::BlockDecomposition;
 use streamline_integrate::{Dopri5, StepLimits, Streamline, Termination};
-use streamline_iosim::{BlockStore, CacheStats, DiskModel, LruCache};
+use streamline_iosim::{BlockStore, CacheStats, DiskModel, LruCache, StoreError};
 
 /// Where a streamline went after being advanced inside one block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +45,14 @@ pub struct Workspace {
     pub sampler_hits: u64,
     /// Cell-sampler stencil gathers across all advances on this rank.
     pub sampler_misses: u64,
+    /// Block loads retried after a transient store error.
+    pub load_retries: u64,
+    /// Block loads abandoned after exhausting the retry budget.
+    pub load_failures: u64,
+    /// Streamlines terminated with [`Termination::BlockUnavailable`].
+    pub unavailable: u64,
+    /// Load attempts per block before giving up (>= 1).
+    max_load_attempts: u32,
 }
 
 impl Workspace {
@@ -72,7 +80,17 @@ impl Workspace {
             total_steps: 0,
             sampler_hits: 0,
             sampler_misses: 0,
+            load_retries: 0,
+            load_failures: 0,
+            unavailable: 0,
+            max_load_attempts: 3,
         }
+    }
+
+    /// Override the per-block load-attempt budget (default 3; must be >= 1).
+    pub fn set_max_load_attempts(&mut self, attempts: u32) {
+        assert!(attempts >= 1, "need at least one load attempt");
+        self.max_load_attempts = attempts;
     }
 
     /// Override the logical per-vertex geometry cost (default 24 B — bare
@@ -99,14 +117,55 @@ impl Workspace {
     }
 
     /// Get a resident block or load it, charging the disk model's load time.
+    /// Panics on a store error — for setups known to be fault-free; the
+    /// drivers use [`Workspace::try_acquire`].
     pub fn acquire(&mut self, id: BlockId, ctx: &mut dyn Context<Msg>) -> Arc<Block> {
+        self.try_acquire(id, ctx).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Get a resident block or load it with a bounded retry budget, charging
+    /// the disk model's load time for *every* attempt (a failed read still
+    /// occupied the I/O system). Transient store faults are retried up to
+    /// `max_load_attempts` times; exhaustion is counted in `load_failures`
+    /// and the cache records a failed (non-)load.
+    pub fn try_acquire(
+        &mut self,
+        id: BlockId,
+        ctx: &mut dyn Context<Msg>,
+    ) -> Result<Arc<Block>, StoreError> {
         if let Some(b) = self.cache.get(id) {
-            return b;
+            return Ok(b);
         }
-        let b = self.store.load(id);
-        ctx.charge_io(self.disk.block_load_time());
-        self.cache.insert(Arc::clone(&b));
-        b
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            ctx.charge_io(self.disk.block_load_time());
+            match self.store.try_load(id) {
+                Ok(b) => {
+                    self.cache.insert(Arc::clone(&b));
+                    return Ok(b);
+                }
+                Err(e) => {
+                    if attempt >= self.max_load_attempts {
+                        self.cache.record_failed();
+                        self.load_failures += 1;
+                        return Err(e);
+                    }
+                    self.load_retries += 1;
+                }
+            }
+        }
+    }
+
+    /// Terminate `sl` because its block cannot be produced: sets
+    /// [`Termination::BlockUnavailable`], updates the termination and
+    /// residency accounting exactly like a normal in-block termination so
+    /// global active counts still converge.
+    pub fn terminate_unavailable(&mut self, sl: &mut Streamline) {
+        sl.terminate(Termination::BlockUnavailable);
+        self.terminated += 1;
+        self.unavailable += 1;
+        self.resident_streams = self.resident_streams.saturating_sub(1);
     }
 
     /// Account a streamline becoming resident on this rank (seeded here or
@@ -256,6 +315,70 @@ mod tests {
         assert!((ws.memory_bytes() - with_block - 11.0 * 24.0).abs() < 1.0);
         ws.release(&sl);
         assert!((ws.memory_bytes() - with_block).abs() < 1.0);
+    }
+
+    #[test]
+    fn try_acquire_retries_transient_faults_and_charges_each_attempt() {
+        let ds = uniform_x_dataset();
+        let store = Arc::new(MemoryStore::build(&ds));
+        let plan = streamline_iosim::FaultPlan::new().transient(BlockId(0), 2);
+        let faulty = Arc::new(streamline_iosim::FaultStore::new(store, plan));
+        let mut ws = Workspace::new(
+            ds.decomp,
+            faulty,
+            4,
+            DiskModel::paper_scale(),
+            StepLimits::default(),
+            1e-6,
+        );
+        let mut ctx = NullCtx::default();
+        let b = ws.try_acquire(BlockId(0), &mut ctx).expect("third attempt succeeds");
+        assert_eq!(b.id, BlockId(0));
+        assert_eq!(ws.load_retries, 2);
+        assert_eq!(ws.load_failures, 0);
+        // All three attempts hit the (simulated) disk.
+        let per_load = DiskModel::paper_scale().block_load_time();
+        assert!((ctx.io - 3.0 * per_load).abs() < 1e-12);
+        assert_eq!(ws.cache_stats().loaded, 1);
+        assert_eq!(ws.cache_stats().failed, 0);
+    }
+
+    #[test]
+    fn try_acquire_gives_up_on_permanent_faults() {
+        let ds = uniform_x_dataset();
+        let store = Arc::new(MemoryStore::build(&ds));
+        let plan = streamline_iosim::FaultPlan::new().permanent(BlockId(1));
+        let faulty = Arc::new(streamline_iosim::FaultStore::new(store, plan));
+        let mut ws = Workspace::new(
+            ds.decomp,
+            faulty,
+            4,
+            DiskModel::paper_scale(),
+            StepLimits::default(),
+            1e-6,
+        );
+        let mut ctx = NullCtx::default();
+        assert!(ws.try_acquire(BlockId(1), &mut ctx).is_err());
+        assert_eq!(ws.load_retries, 2, "3 attempts = 2 retries");
+        assert_eq!(ws.load_failures, 1);
+        let stats = ws.cache_stats();
+        assert_eq!(stats.loaded, 0, "a failed load must not count as a load");
+        assert_eq!(stats.failed, 1);
+        // An unaffected block still loads fine afterwards.
+        assert!(ws.try_acquire(BlockId(0), &mut ctx).is_ok());
+    }
+
+    #[test]
+    fn terminate_unavailable_keeps_accounting_consistent() {
+        let mut ws = workspace(2);
+        let mut sl = Streamline::new(StreamlineId(3), Vec3::splat(0.25), 1e-2);
+        ws.admit(&sl);
+        ws.terminate_unavailable(&mut sl);
+        assert_eq!(sl.status, StreamlineStatus::Terminated(Termination::BlockUnavailable));
+        assert_eq!(ws.terminated, 1);
+        assert_eq!(ws.unavailable, 1);
+        // Geometry stays resident (it is the product); the object is freed.
+        assert!(ws.memory_bytes() > 0.0);
     }
 
     #[test]

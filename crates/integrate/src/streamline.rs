@@ -37,6 +37,10 @@ pub enum Termination {
     ZeroVelocity,
     /// Step size collapsed below the minimum without progress.
     StepUnderflow,
+    /// The block holding the streamline's position could not be loaded
+    /// (permanent store fault after retries). The curve up to the failure
+    /// point is kept; integration cannot continue without the data.
+    BlockUnavailable,
 }
 
 /// Lifecycle state of a streamline.

@@ -13,11 +13,22 @@
 //!   whose load/purge counters feed block efficiency `E = (B_L − B_P)/B_L`
 //!   (Eq. 2).
 
+//!
+//! [`fault::FaultStore`] wraps any store with a seeded, deterministic
+//! fault-injection plan (transient/permanent I/O errors, corrupt payloads,
+//! latency) so the degraded-mode paths in the drivers and the serve stack
+//! can be exercised exactly.
+
+pub mod fault;
 pub mod format;
 pub mod lru;
 pub mod model;
 pub mod store;
+pub mod testutil;
 
+pub use fault::{
+    BlockFaults, ChaosParams, FaultCounters, FaultKind, FaultPlan, FaultStore, INJECTED_BAD_MAGIC,
+};
 pub use lru::{CacheStats, LruCache};
 pub use model::DiskModel;
 pub use store::{BlockStore, DiskStore, FieldStore, MemoryStore, StoreError};

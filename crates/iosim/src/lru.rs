@@ -19,6 +19,12 @@ pub struct CacheStats {
     pub purged: u64,
     /// Requests served without a load.
     pub hits: u64,
+    /// Load attempts that errored. A failed load is *not* a load: nothing
+    /// entered the cache, so it must not count toward B_L (which would skew
+    /// Eq. 2) nor break the `hits + loaded + failed == gets` invariant.
+    /// `#[serde(default)]` keeps reports from before this counter readable.
+    #[serde(default)]
+    pub failed: u64,
 }
 
 impl CacheStats {
@@ -36,6 +42,7 @@ impl CacheStats {
         self.loaded += other.loaded;
         self.purged += other.purged;
         self.hits += other.hits;
+        self.failed += other.failed;
     }
 }
 
@@ -143,6 +150,11 @@ impl LruCache {
         evicted
     }
 
+    /// Record a load attempt that errored and therefore inserted nothing.
+    pub fn record_failed(&mut self) {
+        self.stats.failed += 1;
+    }
+
     /// Drop everything (counts purges — a purge is a purge).
     pub fn clear(&mut self) {
         self.stats.purged += self.entries.len() as u64;
@@ -220,9 +232,22 @@ mod tests {
 
     #[test]
     fn merge_stats() {
-        let mut a = CacheStats { loaded: 3, purged: 1, hits: 7 };
-        a.merge(&CacheStats { loaded: 2, purged: 2, hits: 1 });
-        assert_eq!(a, CacheStats { loaded: 5, purged: 3, hits: 8 });
+        let mut a = CacheStats { loaded: 3, purged: 1, hits: 7, failed: 2 };
+        a.merge(&CacheStats { loaded: 2, purged: 2, hits: 1, failed: 1 });
+        assert_eq!(a, CacheStats { loaded: 5, purged: 3, hits: 8, failed: 3 });
+    }
+
+    #[test]
+    fn failed_load_is_not_a_load() {
+        let mut c = LruCache::new(2);
+        c.insert(block(1));
+        c.record_failed();
+        c.record_failed();
+        let s = c.stats();
+        assert_eq!(s.loaded, 1, "errored loads must not count toward B_L");
+        assert_eq!(s.failed, 2);
+        // Eq. 2 unaffected by failures: nothing was loaded or purged by them.
+        assert_eq!(s.efficiency(), 1.0);
     }
 
     #[test]

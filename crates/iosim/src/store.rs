@@ -7,10 +7,11 @@
 //! rather than spent).
 
 use crate::format;
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use streamline_field::block::{Block, BlockId};
 use streamline_field::dataset::Dataset;
@@ -105,18 +106,59 @@ impl BlockStore for MemoryStore {
 /// Samples blocks from the dataset's analytic field on first use and
 /// memoizes them — the store the simulated cluster uses, so a 512-block
 /// dataset never needs to be fully resident.
+///
+/// Loads are single-flight: when several ranks race on the same id, one
+/// builds the block and the rest wait for it instead of sampling the same
+/// lattice redundantly.
 pub struct FieldStore {
     dataset: Dataset,
     cache: Mutex<HashMap<BlockId, Arc<Block>>>,
+    /// Ids currently being built; waiters park on the condvar.
+    inflight: Mutex<HashSet<BlockId>>,
+    inflight_done: Condvar,
+    builds: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// Removes the in-flight marker even if block construction panics, so
+/// waiters wake up and retry instead of parking forever.
+struct InflightGuard<'a> {
+    store: &'a FieldStore,
+    id: BlockId,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.store.inflight.lock().remove(&self.id);
+        self.store.inflight_done.notify_all();
+    }
 }
 
 impl FieldStore {
     pub fn new(dataset: Dataset) -> Self {
-        FieldStore { dataset, cache: Mutex::new(HashMap::new()) }
+        FieldStore {
+            dataset,
+            cache: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashSet::new()),
+            inflight_done: Condvar::new(),
+            builds: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
     }
 
     pub fn dataset(&self) -> &Dataset {
         &self.dataset
+    }
+
+    /// Blocks actually sampled from the field.
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Loads that waited on another rank's in-flight build of the same id
+    /// instead of building redundantly.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
     }
 }
 
@@ -128,14 +170,32 @@ impl BlockStore for FieldStore {
                 num_blocks: self.dataset.decomp.num_blocks(),
             });
         }
-        if let Some(b) = self.cache.lock().get(&id) {
-            return Ok(Arc::clone(b));
+        loop {
+            if let Some(b) = self.cache.lock().get(&id) {
+                return Ok(Arc::clone(b));
+            }
+            // Claim the build or wait for whoever holds the claim.
+            {
+                let mut inflight = self.inflight.lock();
+                if inflight.contains(&id) {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    while inflight.contains(&id) {
+                        self.inflight_done.wait(&mut inflight);
+                    }
+                    // Re-check the cache (covers the builder panicking too).
+                    continue;
+                }
+                inflight.insert(id);
+            }
+            let guard = InflightGuard { store: self, id };
+            // Sample outside both locks: block construction is the
+            // expensive part, and waiters are parked, not spinning.
+            let built = Arc::new(self.dataset.build_block(id));
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            self.cache.lock().insert(id, Arc::clone(&built));
+            drop(guard);
+            return Ok(built);
         }
-        // Sample outside the lock: block construction is the expensive part
-        // and two ranks racing on the same id just do redundant work once.
-        let built = Arc::new(self.dataset.build_block(id));
-        let mut cache = self.cache.lock();
-        Ok(Arc::clone(cache.entry(id).or_insert(built)))
     }
 
     fn num_blocks(&self) -> usize {
@@ -195,6 +255,7 @@ impl BlockStore for DiskStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::TempDir;
     use streamline_field::dataset::DatasetConfig;
 
     fn tiny_dataset() -> Dataset {
@@ -236,15 +297,32 @@ mod tests {
     }
 
     #[test]
+    fn field_store_single_flight_under_contention() {
+        // 8 threads race on the same two ids; every id must be sampled
+        // exactly once, with the losers coalescing onto the winner's build.
+        let store = Arc::new(FieldStore::new(tiny_dataset()));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || store.load(BlockId(t % 2)))
+            })
+            .collect();
+        let blocks: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        assert_eq!(store.builds(), 2, "each id must be built exactly once");
+        for b in &blocks {
+            assert!(Arc::ptr_eq(b, &store.load(b.id)), "all loads share one allocation");
+        }
+    }
+
+    #[test]
     fn disk_store_roundtrips_blocks() {
         let ds = tiny_dataset();
-        let dir = std::env::temp_dir().join(format!("slbk-test-{}", std::process::id()));
-        let store = DiskStore::create(&ds, &dir).unwrap();
+        let dir = TempDir::new("slbk-test");
+        let store = DiskStore::create(&ds, dir.path()).unwrap();
         let mem = MemoryStore::build(&ds);
         for id in ds.decomp.all_blocks() {
             assert_eq!(*store.load(id), *mem.load(id));
         }
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -268,9 +346,8 @@ mod tests {
 
     #[test]
     fn disk_store_corrupt_file_yields_decode_error() {
-        let dir = std::env::temp_dir().join(format!("slbk-corrupt-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let store = DiskStore::open(&dir, 1);
+        let dir = TempDir::new("slbk-corrupt");
+        let store = DiskStore::open(dir.path(), 1);
         std::fs::write(store.path_of(BlockId(0)), b"not a block").unwrap();
         match store.try_load(BlockId(0)) {
             Err(StoreError::Decode { path, .. }) => {
@@ -278,7 +355,6 @@ mod tests {
             }
             other => panic!("expected Decode error, got {other:?}"),
         }
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

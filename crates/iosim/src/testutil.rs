@@ -1,0 +1,63 @@
+//! Shared test helpers (used by this crate's tests and by workspace
+//! integration tests; small enough to ship unconditionally).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A temporary directory removed on drop, so a failing assertion mid-test
+/// no longer leaks directories under `/tmp`.
+///
+/// The name combines the prefix, the process id and a process-local counter,
+/// so concurrent tests (and concurrent test processes) never collide.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh empty directory under the system temp dir.
+    pub fn new(prefix: &str) -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("{prefix}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path inside the directory (not created).
+    pub fn join(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes_on_drop() {
+        let path = {
+            let dir = TempDir::new("slbk-testutil");
+            assert!(dir.path().is_dir());
+            std::fs::write(dir.join("f.bin"), b"x").unwrap();
+            dir.path().to_path_buf()
+        };
+        assert!(!path.exists(), "directory must be removed on drop");
+    }
+
+    #[test]
+    fn two_dirs_never_collide() {
+        let a = TempDir::new("slbk-testutil");
+        let b = TempDir::new("slbk-testutil");
+        assert_ne!(a.path(), b.path());
+    }
+}

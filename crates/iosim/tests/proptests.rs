@@ -1,10 +1,14 @@
-//! Property-based tests: the LRU cache against a reference model, and the
-//! on-disk block format over arbitrary blocks.
+//! Property-based tests: the LRU cache against a reference model, the
+//! on-disk block format over arbitrary blocks, and the fault-injection
+//! store's no-poisoning guarantee over random fault plans.
 
 use proptest::prelude::*;
 use std::sync::Arc;
 use streamline_field::block::{Block, BlockId};
-use streamline_iosim::{format, LruCache};
+use streamline_iosim::{
+    format, BlockStore, ChaosParams, FaultKind, FaultPlan, FaultStore, LruCache, MemoryStore,
+    StoreError, INJECTED_BAD_MAGIC,
+};
 use streamline_math::{Aabb, Vec3};
 
 fn block_with(id: u32, nodes: [usize; 3], fill: f32) -> Block {
@@ -96,6 +100,96 @@ proptest! {
         prop_assert_eq!(encoded.len(), format::encoded_size([nx, ny, nz]));
         let d = format::decode(&encoded).unwrap();
         prop_assert_eq!(d, b);
+    }
+
+    /// Injected faults deny blocks; they never poison a cache. Across
+    /// random fault plans, every block a [`FaultStore`] serves — and
+    /// everything an LRU fed from it holds — is bit-identical to the
+    /// fault-free build, every denial carries the typed error its schedule
+    /// prescribes, and the injection counters account for every attempt.
+    #[test]
+    fn fault_store_never_poisons_a_cache(
+        seed in 0u64..u64::MAX,
+        fault_prob in 0.0f64..=1.0,
+        transient_prob in 0.0f64..=1.0,
+        corrupt_prob in 0.0f64..=1.0,
+        max_clears in 1u32..4,
+    ) {
+        const N: usize = 12;
+        let params = ChaosParams {
+            fault_prob,
+            transient_prob,
+            corrupt_prob,
+            max_clears,
+            latency_prob: 0.0,
+            max_latency_us: 0,
+        };
+        let plan = FaultPlan::random(seed, N, &params);
+        let reference: Vec<Block> =
+            (0..N).map(|i| block_with(i as u32, [3, 2, 2], i as f32)).collect();
+        let inner = Arc::new(MemoryStore::from_blocks(reference.clone()));
+        let fs = FaultStore::new(inner, plan.clone());
+
+        let mut cache = LruCache::new(N);
+        let attempts_per_block = u64::from(max_clears) + 2;
+        let (mut served, mut io, mut decode) = (0u64, 0u64, 0u64);
+        for (i, want) in reference.iter().enumerate() {
+            let id = BlockId(i as u32);
+            let kind = plan.faults_for(id).kind;
+            for attempt in 1..=attempts_per_block {
+                match fs.try_load(id) {
+                    Ok(b) => {
+                        served += 1;
+                        prop_assert_eq!(&*b, want, "served block {} altered", i);
+                        match kind {
+                            None => {}
+                            Some(FaultKind::TransientIo { clears_after }) => prop_assert!(
+                                attempt > u64::from(clears_after),
+                                "transient fault on {} cleared early (attempt {})",
+                                i,
+                                attempt
+                            ),
+                            Some(k) => {
+                                prop_assert!(!k.is_permanent(), "permanent fault on {} served", i)
+                            }
+                        }
+                        if !cache.contains(id) {
+                            cache.insert(Arc::clone(&b));
+                        }
+                    }
+                    Err(StoreError::Io { .. }) => {
+                        io += 1;
+                        let scheduled = match kind {
+                            Some(FaultKind::TransientIo { clears_after }) => {
+                                attempt <= u64::from(clears_after)
+                            }
+                            Some(FaultKind::PermanentIo) => true,
+                            _ => false,
+                        };
+                        prop_assert!(scheduled, "unscheduled Io error on {} attempt {}", i, attempt);
+                    }
+                    Err(StoreError::Decode { source, .. }) => {
+                        decode += 1;
+                        prop_assert_eq!(kind, Some(FaultKind::CorruptPayload));
+                        prop_assert_eq!(source, format::FormatError::BadMagic(INJECTED_BAD_MAGIC));
+                    }
+                    Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
+                }
+            }
+        }
+        // Whatever made it into the cache is still the fault-free data.
+        for id in cache.resident() {
+            let got = cache.get(id).expect("resident");
+            prop_assert_eq!(&*got, &reference[id.0 as usize]);
+        }
+        // Exact accounting: injected + served covers every attempt.
+        let c = fs.counters();
+        prop_assert_eq!(c.attempts, attempts_per_block * N as u64);
+        prop_assert_eq!(c.served, served);
+        prop_assert_eq!(c.io_injected, io);
+        prop_assert_eq!(c.decode_injected, decode);
+        prop_assert_eq!(c.served + c.faults_injected(), c.attempts);
+        prop_assert_eq!(c.latency_injected, 0);
     }
 
     /// Arbitrary corruption of the header never panics and never yields a

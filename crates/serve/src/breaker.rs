@@ -1,0 +1,261 @@
+//! Per-block circuit breakers and the load retry policy.
+//!
+//! A block whose loads keep failing must not be allowed to stall every
+//! batch that touches it: after `failure_threshold` consecutive load
+//! failures the block's breaker *opens* and subsequent batches fail fast
+//! (no store call, no retry sleeps) until `cooldown` elapses. The first
+//! batch after the cooldown is admitted as a *half-open probe*: one
+//! attempt, no retries. Success closes the breaker; failure re-opens it
+//! for another cooldown.
+//!
+//! [`RetryPolicy`] is the companion knob: bounded exponential backoff with
+//! deterministic jitter (a hash of `(block, attempt)`, not a clock or an
+//! RNG), so two runs of the same fault plan sleep the same schedule.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use streamline_field::block::BlockId;
+
+/// When a block's breaker opens and how long it stays open.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive load failures (retries exhausted) before the breaker
+    /// opens. Clamped to at least 1.
+    pub failure_threshold: u32,
+    /// How long an open breaker fails fast before admitting a half-open
+    /// probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 3, cooldown: Duration::from_millis(250) }
+    }
+}
+
+/// Bounded exponential backoff between load attempts.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per batch (1 = no retries). Clamped to at least 1.
+    pub max_attempts: u32,
+    /// Sleep before retry `k` is `base * 2^(k-1)` (capped at `max`), scaled
+    /// by a deterministic jitter factor in `[0.5, 1.0]`.
+    pub base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(1),
+            max: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (1-based) of a load salted by
+    /// `salt` (the block id). Deterministic: no clock, no RNG.
+    pub fn backoff(&self, retry: u32, salt: u64) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << retry.saturating_sub(1).min(20)).min(self.max);
+        // splitmix64 of (salt, retry) -> jitter factor in [0.5, 1.0].
+        let mut z = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(u64::from(retry));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let jitter = 0.5 + (z % 1000) as f64 / 2000.0;
+        exp.mul_f64(jitter)
+    }
+}
+
+/// What the breaker says about a load attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Breaker closed: load normally (full retry budget).
+    Allow,
+    /// Half-open probe: one attempt, no retries; the outcome decides
+    /// whether the breaker closes or re-opens.
+    Probe,
+    /// Breaker open: do not touch the store; fail the batch immediately.
+    FastFail,
+}
+
+enum BreakerState {
+    Closed { consecutive_failures: u32 },
+    Open { since: Instant },
+    HalfOpen,
+}
+
+/// The registry: one lazy breaker per block that has ever failed.
+pub struct BlockBreakers {
+    cfg: BreakerConfig,
+    states: Mutex<HashMap<BlockId, BreakerState>>,
+    fast_fails: AtomicU64,
+    trips: AtomicU64,
+}
+
+impl BlockBreakers {
+    pub fn new(cfg: BreakerConfig) -> Self {
+        BlockBreakers {
+            cfg: BreakerConfig { failure_threshold: cfg.failure_threshold.max(1), ..cfg },
+            states: Mutex::new(HashMap::new()),
+            fast_fails: AtomicU64::new(0),
+            trips: AtomicU64::new(0),
+        }
+    }
+
+    /// Gate a load of `id`. `FastFail` is counted; while half-open, only
+    /// the first caller gets the probe — concurrent batches fail fast
+    /// rather than hammering a store that is likely still down.
+    pub fn admit(&self, id: BlockId) -> Admit {
+        let mut states = self.states.lock();
+        let Some(state) = states.get_mut(&id) else { return Admit::Allow };
+        match state {
+            BreakerState::Closed { .. } => Admit::Allow,
+            BreakerState::Open { since } => {
+                if since.elapsed() >= self.cfg.cooldown {
+                    *state = BreakerState::HalfOpen;
+                    Admit::Probe
+                } else {
+                    self.fast_fails.fetch_add(1, Ordering::Relaxed);
+                    Admit::FastFail
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.fast_fails.fetch_add(1, Ordering::Relaxed);
+                Admit::FastFail
+            }
+        }
+    }
+
+    /// A load of `id` succeeded: close (forget) its breaker.
+    pub fn on_success(&self, id: BlockId) {
+        self.states.lock().remove(&id);
+    }
+
+    /// A load of `id` exhausted its retries. Returns `true` if this
+    /// failure tripped the breaker open.
+    pub fn on_failure(&self, id: BlockId) -> bool {
+        let mut states = self.states.lock();
+        let state = states.entry(id).or_insert(BreakerState::Closed { consecutive_failures: 0 });
+        match state {
+            BreakerState::Closed { consecutive_failures } => {
+                *consecutive_failures += 1;
+                if *consecutive_failures >= self.cfg.failure_threshold {
+                    *state = BreakerState::Open { since: Instant::now() };
+                    self.trips.fetch_add(1, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen | BreakerState::Open { .. } => {
+                *state = BreakerState::Open { since: Instant::now() };
+                self.trips.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+        }
+    }
+
+    /// Blocks whose breaker is currently open or half-open.
+    pub fn quarantined(&self) -> usize {
+        self.states.lock().values().filter(|s| !matches!(s, BreakerState::Closed { .. })).count()
+    }
+
+    /// Loads answered `FastFail` without touching the store, cumulative.
+    pub fn fast_fails(&self) -> u64 {
+        self.fast_fails.load(Ordering::Relaxed)
+    }
+
+    /// Times any breaker transitioned to open, cumulative.
+    pub fn trips(&self) -> u64 {
+        self.trips.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> BreakerConfig {
+        BreakerConfig { failure_threshold: 2, cooldown: Duration::from_millis(20) }
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let b = BlockBreakers::new(fast_cfg());
+        let id = BlockId(3);
+        assert_eq!(b.admit(id), Admit::Allow);
+        assert!(!b.on_failure(id));
+        assert_eq!(b.admit(id), Admit::Allow, "one failure is below threshold");
+        assert!(b.on_failure(id));
+        assert_eq!(b.admit(id), Admit::FastFail);
+        assert_eq!(b.quarantined(), 1);
+        assert_eq!(b.trips(), 1);
+        assert_eq!(b.fast_fails(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let b = BlockBreakers::new(fast_cfg());
+        let id = BlockId(0);
+        b.on_failure(id);
+        b.on_success(id);
+        assert!(!b.on_failure(id), "streak restarted after success");
+        assert_eq!(b.admit(id), Admit::Allow);
+        assert_eq!(b.quarantined(), 0, "closed breakers are not quarantined");
+    }
+
+    #[test]
+    fn half_open_probe_after_cooldown_then_close_or_reopen() {
+        let b = BlockBreakers::new(fast_cfg());
+        let id = BlockId(7);
+        b.on_failure(id);
+        b.on_failure(id);
+        assert_eq!(b.admit(id), Admit::FastFail);
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.admit(id), Admit::Probe, "cooldown elapsed");
+        // While the probe is outstanding, siblings fail fast.
+        assert_eq!(b.admit(id), Admit::FastFail);
+        // Probe fails: straight back to open (no threshold counting).
+        assert!(b.on_failure(id));
+        assert_eq!(b.admit(id), Admit::FastFail);
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.admit(id), Admit::Probe);
+        b.on_success(id);
+        assert_eq!(b.admit(id), Admit::Allow);
+        assert_eq!(b.quarantined(), 0);
+    }
+
+    #[test]
+    fn breakers_are_per_block() {
+        let b = BlockBreakers::new(fast_cfg());
+        b.on_failure(BlockId(1));
+        b.on_failure(BlockId(1));
+        assert_eq!(b.admit(BlockId(1)), Admit::FastFail);
+        assert_eq!(b.admit(BlockId(2)), Admit::Allow);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_grows() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base: Duration::from_millis(2),
+            max: Duration::from_millis(10),
+        };
+        let a = p.backoff(1, 42);
+        assert_eq!(a, p.backoff(1, 42), "same inputs, same sleep");
+        assert_ne!(a, p.backoff(1, 43), "jitter varies with the salt");
+        for retry in 1..10 {
+            let d = p.backoff(retry, 7);
+            assert!(d >= Duration::from_millis(1), "jitter floor is base/2, got {d:?}");
+            assert!(d <= Duration::from_millis(10), "capped at max, got {d:?}");
+        }
+        // Pre-cap growth: retry 2's uncapped exponent doubles retry 1's.
+        assert!(p.backoff(2, 7) > p.backoff(1, 7).mul_f64(0.99));
+    }
+}

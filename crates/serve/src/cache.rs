@@ -55,7 +55,15 @@ impl SharedBlockCache {
         if let Some(b) = shard.get(id) {
             return Ok((b, true));
         }
-        let b = store.try_load(id)?;
+        let b = match store.try_load(id) {
+            Ok(b) => b,
+            Err(e) => {
+                // An errored load is not a load: B_L and the efficiency
+                // figure stay truthful; the attempt lands in `failed`.
+                shard.record_failed();
+                return Err(e);
+            }
+        };
         shard.insert(Arc::clone(&b));
         Ok((b, false))
     }
@@ -150,6 +158,10 @@ mod tests {
         assert_eq!(cache.len(), 0);
         // A subsequent valid load still works.
         assert!(!cache.get_or_load(BlockId(1), &st).unwrap().1);
+        // The failure is counted as failed, not as a load.
+        let stats = cache.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.loaded, 1);
     }
 
     #[test]

@@ -22,6 +22,14 @@
 //!   ([`cache::SharedBlockCache`]) built over `streamline_iosim::LruCache`,
 //!   reporting the paper's block efficiency `E = (B_L − B_P)/B_L` at the
 //!   service level.
+//! * **Degraded mode** — failed block loads are retried with bounded
+//!   exponential backoff and deterministic jitter; blocks that keep
+//!   failing are quarantined by per-block circuit breakers
+//!   ([`breaker::BlockBreakers`]) that fail fast while open and probe
+//!   half-open after a cooldown. Affected seeds resolve typed as
+//!   [`Outcome::Partial`] (terminated `BlockUnavailable`, carrying the
+//!   curve computed so far) instead of wedging their tickets — faults can
+//!   deny results, never corrupt them.
 //! * **Deadlines and drain** — each request may carry a deadline; expired
 //!   requests stop consuming compute and complete with
 //!   [`Outcome::DeadlineExceeded`]. [`Service::shutdown`] drains all
@@ -32,10 +40,12 @@
 //! Streamlines computed here are bit-identical to the single-shot drivers:
 //! both advance through `streamline_core::advance::advance_in_block`.
 
+pub mod breaker;
 pub mod cache;
 pub mod metrics;
 pub mod service;
 
+pub use breaker::{Admit, BlockBreakers, BreakerConfig, RetryPolicy};
 pub use cache::SharedBlockCache;
 pub use metrics::{LatencyHistogram, ServiceMetrics};
 pub use service::{Outcome, Request, Response, Service, ServiceConfig, SubmitError, Ticket};

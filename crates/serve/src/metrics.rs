@@ -86,7 +86,26 @@ pub struct ServiceMetrics {
     pub rejected: u64,
     /// Requests that hit their deadline before finishing.
     pub deadline_expired: u64,
-    /// Streamlines fully integrated to termination.
+    /// Requests answered `Outcome::Partial`: every seed resolved, but some
+    /// were cut short by unavailable blocks.
+    pub partial: u64,
+    /// Block loads retried after a store error (each backoff sleep counts
+    /// once).
+    pub load_retries: u64,
+    /// Block loads abandoned after exhausting the retry budget.
+    pub load_failures: u64,
+    /// Batches answered instantly by an open circuit breaker, without
+    /// touching the store.
+    pub fast_fails: u64,
+    /// Times any block's breaker tripped open, cumulative.
+    pub breaker_trips: u64,
+    /// Blocks whose breaker is open or half-open right now.
+    pub blocks_quarantined: usize,
+    /// Streamlines terminated `BlockUnavailable` (degraded, counted in
+    /// `streamlines_completed` too — they do resolve, with a typed
+    /// termination and the curve computed so far).
+    pub streamlines_unavailable: u64,
+    /// Streamlines returned to their requests with a termination.
     pub streamlines_completed: u64,
     /// Accepted integration steps across all workers.
     pub total_steps: u64,

@@ -22,6 +22,7 @@
 //! the same function the batch drivers use — so served streamlines are
 //! bit-identical to single-shot runs with the same [`StepLimits`].
 
+use crate::breaker::{Admit, BlockBreakers, BreakerConfig, RetryPolicy};
 use crate::cache::SharedBlockCache;
 use crate::metrics::{LatencyHistogram, ServiceMetrics};
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -33,7 +34,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use streamline_core::advance::advance_in_block;
 use streamline_core::workspace::BlockExit;
-use streamline_field::block::BlockId;
+use streamline_field::block::{Block, BlockId};
 use streamline_field::decomp::BlockDecomposition;
 use streamline_integrate::{Dopri5, StepLimits, Streamline, StreamlineId, Termination};
 use streamline_iosim::BlockStore;
@@ -50,11 +51,22 @@ pub struct ServiceConfig {
     pub cache_shards: usize,
     /// Admission bound: maximum seeds admitted but not yet resolved.
     pub queue_capacity: usize,
+    /// Backoff schedule for failed block loads.
+    pub retry: RetryPolicy,
+    /// Per-block circuit breaker tuning.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { workers: 4, cache_blocks: 64, cache_shards: 8, queue_capacity: 4096 }
+        ServiceConfig {
+            workers: 4,
+            cache_blocks: 64,
+            cache_shards: 8,
+            queue_capacity: 4096,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+        }
     }
 }
 
@@ -124,6 +136,11 @@ impl std::error::Error for SubmitError {}
 pub enum Outcome {
     /// Every seed was integrated to termination.
     Completed,
+    /// Every seed resolved, but `unavailable` of them were cut short by a
+    /// block that could not be loaded (store fault, retries exhausted, or
+    /// breaker open). Their streamlines are in the response, terminated
+    /// [`Termination::BlockUnavailable`] with the curve computed so far.
+    Partial { unavailable: usize },
     /// The deadline passed first; `dropped` seeds were abandoned
     /// mid-integration and are not in the response.
     DeadlineExceeded { dropped: usize },
@@ -181,6 +198,8 @@ struct RequestState {
     remaining: AtomicUsize,
     /// Seeds abandoned because the deadline passed.
     dropped: AtomicUsize,
+    /// Seeds terminated `BlockUnavailable` by store faults.
+    unavailable: AtomicUsize,
     finished: Mutex<Vec<Streamline>>,
     tx: Sender<Response>,
 }
@@ -205,6 +224,8 @@ struct ServiceInner {
     decomp: BlockDecomposition,
     store: Arc<dyn BlockStore>,
     cache: SharedBlockCache,
+    breakers: BlockBreakers,
+    retry: RetryPolicy,
     sched: Scheduler,
     /// Seeds admitted but unresolved — the admission-control gauge.
     pending_seeds: AtomicUsize,
@@ -215,6 +236,10 @@ struct ServiceInner {
     completed: AtomicU64,
     rejected: AtomicU64,
     deadline_expired: AtomicU64,
+    partial: AtomicU64,
+    load_retries: AtomicU64,
+    load_failures: AtomicU64,
+    streamlines_unavailable: AtomicU64,
     streamlines_completed: AtomicU64,
     total_steps: AtomicU64,
     sampler_hits: AtomicU64,
@@ -240,6 +265,8 @@ impl Service {
             decomp,
             store,
             cache: SharedBlockCache::new(cfg.cache_blocks, cfg.cache_shards),
+            breakers: BlockBreakers::new(cfg.breaker),
+            retry: cfg.retry,
             sched: Scheduler {
                 state: Mutex::new(SchedState::default()),
                 work_ready: Condvar::new(),
@@ -252,6 +279,10 @@ impl Service {
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
+            partial: AtomicU64::new(0),
+            load_retries: AtomicU64::new(0),
+            load_failures: AtomicU64::new(0),
+            streamlines_unavailable: AtomicU64::new(0),
             streamlines_completed: AtomicU64::new(0),
             total_steps: AtomicU64::new(0),
             sampler_hits: AtomicU64::new(0),
@@ -300,6 +331,7 @@ impl Service {
             expired: AtomicBool::new(false),
             remaining: AtomicUsize::new(n),
             dropped: AtomicUsize::new(0),
+            unavailable: AtomicUsize::new(0),
             finished: Mutex::new(Vec::with_capacity(n)),
             tx,
         });
@@ -401,6 +433,13 @@ fn snapshot(inner: &ServiceInner, workers: usize) -> ServiceMetrics {
         completed,
         rejected: inner.rejected.load(Ordering::Relaxed),
         deadline_expired: inner.deadline_expired.load(Ordering::Relaxed),
+        partial: inner.partial.load(Ordering::Relaxed),
+        load_retries: inner.load_retries.load(Ordering::Relaxed),
+        load_failures: inner.load_failures.load(Ordering::Relaxed),
+        fast_fails: inner.breakers.fast_fails(),
+        breaker_trips: inner.breakers.trips(),
+        blocks_quarantined: inner.breakers.quarantined(),
+        streamlines_unavailable: inner.streamlines_unavailable.load(Ordering::Relaxed),
         streamlines_completed: streamlines,
         total_steps: inner.total_steps.load(Ordering::Relaxed),
         sampler_hits,
@@ -443,9 +482,13 @@ fn finish_item(inner: &ServiceInner, req: &Arc<RequestState>, sl: Option<Streaml
 fn complete_request(inner: &ServiceInner, req: &Arc<RequestState>) {
     let latency = req.submitted.elapsed();
     let dropped = req.dropped.load(Ordering::Relaxed);
+    let unavailable = req.unavailable.load(Ordering::Relaxed);
     let outcome = if dropped > 0 || req.expired.load(Ordering::Relaxed) {
         inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
         Outcome::DeadlineExceeded { dropped }
+    } else if unavailable > 0 {
+        inner.partial.fetch_add(1, Ordering::Relaxed);
+        Outcome::Partial { unavailable }
     } else {
         Outcome::Completed
     };
@@ -488,24 +531,64 @@ fn worker_loop(inner: &ServiceInner) {
     }
 }
 
+/// Acquire `block_id` through the shared cache with the configured retry
+/// budget (one attempt only for a half-open probe). Each retry sleeps the
+/// deterministic backoff schedule salted by the block id.
+fn load_with_retry(inner: &ServiceInner, block_id: BlockId, probe: bool) -> Option<Arc<Block>> {
+    let attempts = if probe { 1 } else { inner.retry.max_attempts.max(1) };
+    for attempt in 1..=attempts {
+        match inner.cache.get_or_load(block_id, inner.store.as_ref()) {
+            Ok((b, _hit)) => return Some(b),
+            Err(_) if attempt < attempts => {
+                inner.load_retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(inner.retry.backoff(attempt, u64::from(block_id.0)));
+            }
+            Err(_) => {}
+        }
+    }
+    None
+}
+
 fn process_batch(inner: &ServiceInner, block_id: BlockId, items: Vec<WorkItem>, stepper: &Dopri5) {
     let n_claimed = items.len();
-    let block = match inner.cache.get_or_load(block_id, inner.store.as_ref()) {
-        Ok((b, _hit)) => b,
-        Err(e) => {
-            // The store cannot produce this block: fail the affected
-            // streamlines rather than wedging their requests forever.
-            // StepUnderflow is the closest "could not continue" marker.
-            debug_assert!(false, "block {block_id:?} unavailable: {e}");
+    let block = match inner.breakers.admit(block_id) {
+        Admit::FastFail => None,
+        admit => {
+            let b = load_with_retry(inner, block_id, admit == Admit::Probe);
+            match &b {
+                Some(_) => inner.breakers.on_success(block_id),
+                None => {
+                    inner.load_failures.fetch_add(1, Ordering::Relaxed);
+                    inner.breakers.on_failure(block_id);
+                }
+            }
+            b
+        }
+    };
+    let Some(block) = block else {
+        // Degraded mode: the block cannot be produced (retries exhausted
+        // or its breaker is open). The affected streamlines terminate
+        // `BlockUnavailable` — typed, with the curve computed so far —
+        // instead of wedging their requests forever; already-expired
+        // items are dropped as usual.
+        {
             let mut st = inner.sched.state.lock();
             st.in_flight -= n_claimed;
-            drop(st);
-            for mut item in items {
-                item.sl.terminate(Termination::StepUnderflow);
+            if st.shutting_down && st.in_flight == 0 && st.queues.is_empty() {
+                inner.sched.work_ready.notify_all();
+            }
+        }
+        for mut item in items {
+            if item.req.expired.load(Ordering::Relaxed) {
+                finish_item(inner, &item.req, None);
+            } else {
+                item.sl.terminate(Termination::BlockUnavailable);
+                item.req.unavailable.fetch_add(1, Ordering::Relaxed);
+                inner.streamlines_unavailable.fetch_add(1, Ordering::Relaxed);
                 finish_item(inner, &item.req, Some(item.sl));
             }
-            return;
         }
+        return;
     };
 
     let mut moved: BTreeMap<BlockId, Vec<WorkItem>> = BTreeMap::new();
@@ -563,13 +646,35 @@ fn process_batch(inner: &ServiceInner, block_id: BlockId, items: Vec<WorkItem>, 
 mod tests {
     use super::*;
     use streamline_field::dataset::{Dataset, DatasetConfig, Seeding};
-    use streamline_iosim::MemoryStore;
+    use streamline_iosim::{FaultPlan, FaultStore, MemoryStore};
 
     fn tiny_service(cfg: ServiceConfig) -> (Service, Dataset) {
         let mut dcfg = DatasetConfig::tiny();
         dcfg.blocks_per_axis = [2, 2, 2];
         let dataset = Dataset::thermal_hydraulics(dcfg);
         let store = Arc::new(MemoryStore::build(&dataset));
+        let svc = Service::start(dataset.decomp, store, cfg);
+        (svc, dataset)
+    }
+
+    /// Like [`tiny_service`] but with `plan` injected between the cache
+    /// and the memory store, and a fast retry/breaker schedule.
+    fn faulted_service(plan: FaultPlan, workers: usize) -> (Service, Dataset) {
+        let mut dcfg = DatasetConfig::tiny();
+        dcfg.blocks_per_axis = [2, 2, 2];
+        let dataset = Dataset::thermal_hydraulics(dcfg);
+        let inner: Arc<dyn BlockStore> = Arc::new(MemoryStore::build(&dataset));
+        let store = Arc::new(FaultStore::new(inner, plan));
+        let cfg = ServiceConfig {
+            workers,
+            retry: RetryPolicy {
+                max_attempts: 4,
+                base: Duration::from_micros(100),
+                max: Duration::from_micros(500),
+            },
+            breaker: BreakerConfig { failure_threshold: 1, cooldown: Duration::from_secs(600) },
+            ..ServiceConfig::default()
+        };
         let svc = Service::start(dataset.decomp, store, cfg);
         (svc, dataset)
     }
@@ -659,7 +764,7 @@ mod tests {
                 assert!(dropped > 0);
                 assert_eq!(resp.streamlines.len() + dropped, 8);
             }
-            Outcome::Completed => panic!("deadline in the past cannot complete"),
+            other => panic!("deadline in the past cannot complete: {other:?}"),
         }
         let m = svc.shutdown();
         assert_eq!(m.deadline_expired, 1);
@@ -696,6 +801,119 @@ mod tests {
         let m = svc.shutdown();
         assert_eq!(m.submitted, 0);
         assert_eq!(m.queue_depth, 0);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_bit_identity() {
+        // Every block fails twice then clears; 4 attempts of retry budget
+        // absorb that invisibly. The answers must match a fault-free run
+        // exactly: faults deny, they never corrupt.
+        let mut plan = FaultPlan::new();
+        for b in 0..8 {
+            plan = plan.transient(BlockId(b), 2);
+        }
+        let (faulted, dataset) = faulted_service(plan, 2);
+        let (clean, _) = tiny_service(ServiceConfig::default());
+        let seeds = dataset.seeds_with_count(Seeding::Sparse, 16);
+
+        let got = faulted
+            .submit(Request::new(seeds.points.clone()).with_limits(limits()))
+            .expect("admitted")
+            .wait();
+        let want = clean
+            .submit(Request::new(seeds.points.clone()).with_limits(limits()))
+            .expect("admitted")
+            .wait();
+        assert_eq!(got.outcome, Outcome::Completed, "transient faults must be invisible");
+        assert_eq!(got.streamlines.len(), want.streamlines.len());
+        for (a, b) in got.streamlines.iter().zip(&want.streamlines) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.status, b.status);
+            assert_eq!(a.state.position, b.state.position);
+            assert_eq!(a.geometry, b.geometry, "streamline {:?} diverged", a.id);
+        }
+        let m = faulted.shutdown();
+        assert!(m.load_retries > 0, "transient faults must cost retries");
+        assert_eq!(m.load_failures, 0);
+        assert_eq!(m.partial, 0);
+        assert_eq!(m.streamlines_unavailable, 0);
+        assert_eq!(m.blocks_quarantined, 0);
+        clean.shutdown();
+    }
+
+    #[test]
+    fn permanent_fault_yields_typed_partial_outcome() {
+        let seeds;
+        let failing;
+        {
+            let mut dcfg = DatasetConfig::tiny();
+            dcfg.blocks_per_axis = [2, 2, 2];
+            let dataset = Dataset::thermal_hydraulics(dcfg);
+            seeds = dataset.seeds_with_count(Seeding::Sparse, 16);
+            failing = dataset.decomp.locate(seeds.points[0]).expect("seed in domain");
+        }
+        let (faulted, _) = faulted_service(FaultPlan::new().permanent(failing), 2);
+        let (clean, _) = tiny_service(ServiceConfig::default());
+
+        let got = faulted
+            .submit(Request::new(seeds.points.clone()).with_limits(limits()))
+            .expect("admitted")
+            .wait();
+        let want = clean
+            .submit(Request::new(seeds.points.clone()).with_limits(limits()))
+            .expect("admitted")
+            .wait();
+        let unavailable = match got.outcome {
+            Outcome::Partial { unavailable } => unavailable,
+            other => panic!("expected Partial, got {other:?}"),
+        };
+        assert!(unavailable >= 1);
+        // Every seed is answered: degraded ones carry the typed
+        // termination, the rest are bit-identical to the fault-free run.
+        assert_eq!(got.streamlines.len(), 16);
+        let mut degraded = 0;
+        for (a, b) in got.streamlines.iter().zip(&want.streamlines) {
+            assert_eq!(a.id, b.id);
+            if a.status
+                == streamline_integrate::StreamlineStatus::Terminated(Termination::BlockUnavailable)
+            {
+                degraded += 1;
+            } else {
+                assert_eq!(a.status, b.status);
+                assert_eq!(a.geometry, b.geometry, "unaffected streamline {:?} diverged", a.id);
+            }
+        }
+        assert_eq!(degraded, unavailable);
+        let m = faulted.shutdown();
+        assert!(m.load_failures >= 1);
+        assert_eq!(m.streamlines_unavailable, unavailable as u64);
+        assert_eq!(m.partial, 1);
+        assert_eq!(m.queue_depth, 0, "degraded seeds still release their seats");
+        clean.shutdown();
+    }
+
+    #[test]
+    fn open_breaker_fails_fast_on_later_requests() {
+        let (svc, dataset) = faulted_service(FaultPlan::new().permanent(BlockId(0)), 1);
+        let seed = dataset
+            .seeds_with_count(Seeding::Dense, 64)
+            .points
+            .iter()
+            .copied()
+            .find(|&p| dataset.decomp.locate(p) == Some(BlockId(0)))
+            .expect("a seed in block 0");
+        // First request trips the breaker (threshold 1)...
+        let first = svc.submit(Request::new(vec![seed]).with_limits(limits())).unwrap().wait();
+        assert_eq!(first.outcome, Outcome::Partial { unavailable: 1 });
+        // ...so the second is denied without touching the store.
+        let second = svc.submit(Request::new(vec![seed]).with_limits(limits())).unwrap().wait();
+        assert_eq!(second.outcome, Outcome::Partial { unavailable: 1 });
+        let m = svc.shutdown();
+        assert_eq!(m.breaker_trips, 1);
+        assert_eq!(m.blocks_quarantined, 1);
+        assert!(m.fast_fails >= 1, "second request must be fast-failed");
+        assert_eq!(m.load_failures, 1, "the store is hit once, not per request");
+        assert_eq!(m.completed, 2, "every ticket is still answered");
     }
 
     #[test]

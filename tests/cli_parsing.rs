@@ -2,6 +2,7 @@
 
 use streamline_cli::args::parse;
 use streamline_cli::commands::execute;
+use streamline_repro::iosim::testutil::TempDir;
 
 fn argv(s: &str) -> Vec<String> {
     s.split_whitespace().map(String::from).collect()
@@ -23,7 +24,8 @@ fn classify_runs_on_every_dataset_alias() {
 
 #[test]
 fn run_writes_json_report() {
-    let path = std::env::temp_dir().join(format!("slrepro-test-{}.json", std::process::id()));
+    let dir = TempDir::new("slrepro-test");
+    let path = dir.join("report.json");
     let cli = parse(&argv(&format!(
         "run --dataset thermal --algorithm lod --procs 4 --seeds 24 --cache 8 --json {}",
         path.display()
@@ -31,7 +33,6 @@ fn run_writes_json_report() {
     .unwrap();
     assert_eq!(execute(cli.command), 0);
     let text = std::fs::read_to_string(&path).unwrap();
-    std::fs::remove_file(&path).ok();
     let v: serde_json::Value = serde_json::from_str(&text).unwrap();
     assert_eq!(v["terminated"], 24);
     assert_eq!(v["algorithm"], "LoadOnDemand");
@@ -39,7 +40,8 @@ fn run_writes_json_report() {
 
 #[test]
 fn trace_produces_requested_formats() {
-    let dir = std::env::temp_dir().join(format!("slrepro-trace-{}", std::process::id()));
+    let tmp = TempDir::new("slrepro-trace");
+    let dir = tmp.join("out");
     let cli = parse(&argv(&format!(
         "trace --dataset thermal --seeds 8 --out {} --formats vtk,csv",
         dir.display()
@@ -49,7 +51,6 @@ fn trace_produces_requested_formats() {
     assert!(dir.join("thermal-hydraulics.vtk").exists());
     assert!(dir.join("thermal-hydraulics.csv").exists());
     assert!(!dir.join("thermal-hydraulics.obj").exists());
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

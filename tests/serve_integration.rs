@@ -189,7 +189,7 @@ fn deadline_and_drain_interact_cleanly() {
 
     match expired.wait().outcome {
         Outcome::DeadlineExceeded { dropped } => assert!(dropped > 0),
-        Outcome::Completed => panic!("a deadline of now cannot complete 12 seeds"),
+        other => panic!("a deadline of now cannot complete 12 seeds: {other:?}"),
     }
     let resp = healthy.wait();
     assert_eq!(resp.outcome, Outcome::Completed);

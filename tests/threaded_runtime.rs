@@ -35,14 +35,14 @@ fn threads_match_simulation_for_every_algorithm() {
 
 #[test]
 fn threads_run_against_real_disk_store() {
+    use streamline_repro::iosim::testutil::TempDir;
     use streamline_repro::iosim::DiskStore;
     let ds = dataset();
     let seeds = ds.seeds_with_count(Seeding::Sparse, 24);
-    let dir = std::env::temp_dir().join(format!("sl-threads-{}", std::process::id()));
-    let store: Arc<dyn BlockStore> = Arc::new(DiskStore::create(&ds, &dir).unwrap());
+    let dir = TempDir::new("sl-threads");
+    let store: Arc<dyn BlockStore> = Arc::new(DiskStore::create(&ds, dir.path()).unwrap());
     let r =
         run_threaded(&ds, &seeds, &cfg(Algorithm::LoadOnDemand), store, Duration::from_secs(60));
-    std::fs::remove_dir_all(&dir).ok();
     assert!(r.outcome.completed());
     assert_eq!(r.terminated, 24);
     assert!(r.wall > 0.0);
