@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 use streamline_field::dataset::Seeding;
 use streamline_integrate::{Streamline, StreamlineStatus, Termination};
 use streamline_iosim::{BlockStore, ChaosParams, FaultPlan, FaultStore, MemoryStore};
+use streamline_obs::TraceFile;
 use streamline_serve::{Outcome, Request, Service, ServiceConfig, ServiceMetrics, SubmitError};
 
 /// Shape of one load-generation run.
@@ -38,6 +39,8 @@ pub struct LoadGenConfig {
     /// Inject store faults from a seeded plan and verify degraded-mode
     /// behavior (see [`ChaosConfig`]).
     pub chaos: Option<ChaosConfig>,
+    /// Capture the service's Prometheus text export in the report.
+    pub emit_prometheus: bool,
 }
 
 /// Chaos mode: wrap the store in a seeded
@@ -72,6 +75,7 @@ impl Default for LoadGenConfig {
             deadline: None,
             service: ServiceConfig::default(),
             chaos: None,
+            emit_prometheus: false,
         }
     }
 }
@@ -99,6 +103,13 @@ pub struct LoadGenReport {
     pub wall_secs: f64,
     /// The service's final snapshot (taken at drain).
     pub metrics: ServiceMetrics,
+    /// Wall-clock phase timeline, present when
+    /// `service.trace_bucket` was set (`serve-bench --trace`).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub trace: Option<TraceFile>,
+    /// Prometheus text export, present when `emit_prometheus` was set.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub prometheus: Option<String>,
 }
 
 /// Run the closed loop to completion and return the combined report.
@@ -131,7 +142,8 @@ pub fn run_load(cfg: &LoadGenConfig) -> LoadGenReport {
     let (store, fault_store, references) = match &cfg.chaos {
         Some(chaos) => {
             let plan = FaultPlan::random(chaos.seed, dataset.decomp.num_blocks(), &chaos.params);
-            let reference = Service::start(dataset.decomp, Arc::clone(&base), cfg.service.clone());
+            let ref_cfg = ServiceConfig { trace_bucket: None, ..cfg.service.clone() };
+            let reference = Service::start(dataset.decomp, Arc::clone(&base), ref_cfg);
             let refs: Vec<Arc<Vec<Streamline>>> = (0..cfg.clients)
                 .map(|c| {
                     let resp = reference
@@ -216,6 +228,9 @@ pub fn run_load(cfg: &LoadGenConfig) -> LoadGenReport {
     let completed: u64 = handles.into_iter().map(|h| h.join().expect("client thread")).sum();
     let wall_secs = started.elapsed().as_secs_f64();
     let service = Arc::try_unwrap(service).unwrap_or_else(|_| unreachable!("all clients joined"));
+    // Trace and scrape before shutdown consumes the service.
+    let trace = service.timeline();
+    let prometheus = cfg.emit_prometheus.then(|| service.dump_metrics());
     let metrics = service.shutdown();
 
     // Chaos contract: a fault plan can degrade answers, never lose them.
@@ -243,6 +258,8 @@ pub fn run_load(cfg: &LoadGenConfig) -> LoadGenReport {
         unavailable_blocks,
         wall_secs,
         metrics,
+        trace,
+        prometheus,
     }
 }
 
@@ -284,6 +301,36 @@ mod tests {
         assert_eq!(report.metrics.queue_depth, 0);
         assert!(report.metrics.latency_p50_ms > 0.0);
         assert!(report.metrics.latency_p99_ms >= report.metrics.latency_p50_ms);
+    }
+
+    #[test]
+    fn trace_and_prometheus_capture_ride_along() {
+        let cfg = LoadGenConfig {
+            clients: 2,
+            requests_per_client: 2,
+            seeds_per_request: 4,
+            service: ServiceConfig {
+                trace_bucket: Some(Duration::from_millis(1)),
+                ..ServiceConfig::default()
+            },
+            emit_prometheus: true,
+            ..LoadGenConfig::default()
+        };
+        let report = run_load(&cfg);
+        let trace = report.trace.as_ref().expect("trace_bucket was set");
+        trace.validate().expect("trace invariants hold");
+        assert_eq!(trace.clock, "wall");
+        let prom = report.prometheus.as_ref().expect("emit_prometheus was set");
+        let parsed = streamline_obs::prom::parse_text(prom).expect("valid Prometheus text");
+        assert_eq!(
+            parsed["streamline_serve_requests_completed_total"],
+            report.metrics.completed as f64
+        );
+        // The whole report (trace included) must survive a JSON roundtrip
+        // — serve-bench writes exactly this.
+        let json = serde_json::to_string(&report).expect("report serializes");
+        assert!(json.contains("\"trace\""));
+        assert!(json.contains("\"prometheus\""));
     }
 
     #[test]

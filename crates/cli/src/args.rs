@@ -53,6 +53,13 @@ pub enum Command {
         seeds: Option<usize>,
         cache: usize,
         json: Option<String>,
+        /// Write a virtual-time phase timeline (idle/io/compute/comm per
+        /// rank) as trace JSON to this path.
+        trace: Option<String>,
+        /// Bucket width of the timeline, in virtual seconds.
+        trace_bucket: f64,
+        /// Write the run's metric registry as Prometheus text to this path.
+        metrics: Option<String>,
     },
     Classify {
         dataset: DatasetKind,
@@ -92,6 +99,13 @@ pub enum Command {
         /// Seed for the chaos fault plan.
         chaos_seed: u64,
         json: Option<String>,
+        /// Write the workers' wall-clock phase timeline as trace JSON to
+        /// this path.
+        trace: Option<String>,
+        /// Bucket width of the wall-clock timeline, in milliseconds.
+        trace_bucket_ms: u64,
+        /// Write the service's Prometheus text export to this path.
+        metrics: Option<String>,
     },
     /// Kernel perf-regression harness: fast-vs-reference timings of the
     /// integration hot path, written as the `BENCH_2.json` trajectory.
@@ -99,6 +113,12 @@ pub enum Command {
         /// Seconds-scale iteration counts (CI smoke mode).
         smoke: bool,
         json: Option<String>,
+    },
+    /// Validate an emitted trace JSON and/or Prometheus snapshot — the CI
+    /// smoke gate behind `run --trace` and `serve-bench --trace`.
+    ObsCheck {
+        trace: Option<String>,
+        metrics: Option<String>,
     },
     Info,
     Help,
@@ -156,7 +176,18 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         "run" => {
             let o = options(
                 rest,
-                &["dataset", "seeding", "algorithm", "procs", "seeds", "cache", "json"],
+                &[
+                    "dataset",
+                    "seeding",
+                    "algorithm",
+                    "procs",
+                    "seeds",
+                    "cache",
+                    "json",
+                    "trace",
+                    "trace-bucket",
+                    "metrics",
+                ],
             )?;
             Command::Run {
                 dataset: DatasetKind::parse(
@@ -173,6 +204,9 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     .transpose()?,
                 cache: get_parse(&o, "cache", 64)?,
                 json: o.get("json").cloned(),
+                trace: o.get("trace").cloned(),
+                trace_bucket: get_parse(&o, "trace-bucket", 0.05)?,
+                metrics: o.get("metrics").cloned(),
             }
         }
         "classify" => {
@@ -234,6 +268,9 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     "deadline-ms",
                     "chaos-seed",
                     "json",
+                    "trace",
+                    "trace-bucket-ms",
+                    "metrics",
                 ],
             )?;
             Command::ServeBench {
@@ -254,6 +291,9 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 chaos,
                 chaos_seed: get_parse(&o, "chaos-seed", 0x5EED)?,
                 json: o.get("json").cloned(),
+                trace: o.get("trace").cloned(),
+                trace_bucket_ms: get_parse(&o, "trace-bucket-ms", 1)?,
+                metrics: o.get("metrics").cloned(),
             }
         }
         "bench-kernels" => {
@@ -268,12 +308,19 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             let o = options(&kv, &["json"])?;
             Command::BenchKernels { smoke, json: o.get("json").cloned() }
         }
+        "obs-check" => {
+            let o = options(rest, &["trace", "metrics"])?;
+            if o.is_empty() {
+                return Err("obs-check needs --trace and/or --metrics".into());
+            }
+            Command::ObsCheck { trace: o.get("trace").cloned(), metrics: o.get("metrics").cloned() }
+        }
         "info" => Command::Info,
         "help" | "--help" | "-h" => Command::Help,
         other => {
             return Err(format!(
                 "unknown command '{other}' \
-                 (run|classify|trace|ftle|serve-bench|bench-kernels|info|help)"
+                 (run|classify|trace|ftle|serve-bench|bench-kernels|obs-check|info|help)"
             ))
         }
     };
@@ -286,15 +333,18 @@ slrepro — parallel streamline computation (Pugmire et al., SC 2009)
 USAGE:
   slrepro run      [--dataset astro|fusion|thermal] [--seeding sparse|dense]
                    [--algorithm static|lod|hybrid|auto] [--procs N] [--seeds N]
-                   [--cache BLOCKS] [--json FILE]
+                   [--cache BLOCKS] [--json FILE] [--trace FILE.json]
+                   [--trace-bucket SECS] [--metrics FILE.prom]
   slrepro classify [--dataset ...] [--seeding ...] [--seeds N]
   slrepro trace    [--dataset ...] [--seeds N] [--out DIR] [--formats vtk,obj,csv,ppm]
   slrepro ftle     [--out FILE.ppm] [--nx N] [--ny N] [--horizon T]
   slrepro serve-bench [--dataset astro|fusion|thermal] [--clients N] [--requests N]
                    [--seeds N] [--workers N] [--cache BLOCKS] [--shards N]
                    [--queue SEEDS] [--deadline-ms MS] [--chaos] [--chaos-seed N]
-                   [--json FILE]
+                   [--json FILE] [--trace FILE.json] [--trace-bucket-ms MS]
+                   [--metrics FILE.prom]
   slrepro bench-kernels [--smoke] [--json FILE]
+  slrepro obs-check [--trace FILE.json] [--metrics FILE.prom]
   slrepro info
 ";
 
@@ -310,7 +360,18 @@ mod tests {
     fn run_defaults() {
         let cli = parse(&argv("run")).unwrap();
         match cli.command {
-            Command::Run { dataset, seeding, algorithm, procs, seeds, cache, json } => {
+            Command::Run {
+                dataset,
+                seeding,
+                algorithm,
+                procs,
+                seeds,
+                cache,
+                json,
+                trace,
+                trace_bucket,
+                metrics,
+            } => {
                 assert_eq!(dataset, DatasetKind::Thermal);
                 assert_eq!(seeding, Seeding::Sparse);
                 assert_eq!(algorithm, AlgoChoice::Auto);
@@ -318,6 +379,9 @@ mod tests {
                 assert_eq!(seeds, None);
                 assert_eq!(cache, 64);
                 assert_eq!(json, None);
+                assert_eq!(trace, None);
+                assert_eq!(trace_bucket, 0.05);
+                assert_eq!(metrics, None);
             }
             other => panic!("{other:?}"),
         }
@@ -326,11 +390,22 @@ mod tests {
     #[test]
     fn run_full_options() {
         let cli = parse(&argv(
-            "run --dataset astro --seeding dense --algorithm hybrid --procs 128 --seeds 5000 --cache 32 --json r.json",
+            "run --dataset astro --seeding dense --algorithm hybrid --procs 128 --seeds 5000 --cache 32 --json r.json --trace t.json --trace-bucket 0.01 --metrics m.prom",
         ))
         .unwrap();
         match cli.command {
-            Command::Run { dataset, seeding, algorithm, procs, seeds, cache, json } => {
+            Command::Run {
+                dataset,
+                seeding,
+                algorithm,
+                procs,
+                seeds,
+                cache,
+                json,
+                trace,
+                trace_bucket,
+                metrics,
+            } => {
                 assert_eq!(dataset, DatasetKind::Astro);
                 assert_eq!(seeding, Seeding::Dense);
                 assert_eq!(algorithm, AlgoChoice::Fixed(Algorithm::HybridMasterSlave));
@@ -338,6 +413,9 @@ mod tests {
                 assert_eq!(seeds, Some(5000));
                 assert_eq!(cache, 32);
                 assert_eq!(json.as_deref(), Some("r.json"));
+                assert_eq!(trace.as_deref(), Some("t.json"));
+                assert_eq!(trace_bucket, 0.01);
+                assert_eq!(metrics.as_deref(), Some("m.prom"));
             }
             other => panic!("{other:?}"),
         }
@@ -412,6 +490,33 @@ mod tests {
         }
         match parse(&argv("serve-bench --clients 3 --chaos")).unwrap().command {
             Command::ServeBench { chaos, .. } => assert!(chaos),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_bench_trace_options() {
+        match parse(&argv("serve-bench --trace t.json --trace-bucket-ms 5 --metrics m.prom"))
+            .unwrap()
+            .command
+        {
+            Command::ServeBench { trace, trace_bucket_ms, metrics, .. } => {
+                assert_eq!(trace.as_deref(), Some("t.json"));
+                assert_eq!(trace_bucket_ms, 5);
+                assert_eq!(metrics.as_deref(), Some("m.prom"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn obs_check_needs_an_input() {
+        assert!(parse(&argv("obs-check")).is_err());
+        match parse(&argv("obs-check --trace t.json")).unwrap().command {
+            Command::ObsCheck { trace, metrics } => {
+                assert_eq!(trace.as_deref(), Some("t.json"));
+                assert_eq!(metrics, None);
+            }
             other => panic!("{other:?}"),
         }
     }

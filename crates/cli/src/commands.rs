@@ -2,7 +2,8 @@
 
 use crate::args::{AlgoChoice, Command, DatasetKind};
 use streamline_core::{
-    classify, recommend, run_simulated_detailed, summarize, Algorithm, FlowKnowledge, RunConfig,
+    classify, recommend, run_simulated_detailed, run_simulated_traced, summarize, Algorithm,
+    FlowKnowledge, RunConfig,
 };
 use streamline_field::dataset::{Dataset, DatasetConfig, Seeding};
 use streamline_field::unsteady::UnsteadyDoubleGyre;
@@ -93,7 +94,18 @@ pub fn execute(cmd: Command) -> i32 {
             println!("\nadvisor (§6, flow unknown): {} — {}", rec.algorithm.label(), rec.rationale);
             0
         }
-        Command::Run { dataset, seeding, algorithm, procs, seeds, cache, json } => {
+        Command::Run {
+            dataset,
+            seeding,
+            algorithm,
+            procs,
+            seeds,
+            cache,
+            json,
+            trace,
+            trace_bucket,
+            metrics,
+        } => {
             let ds = build_dataset(dataset);
             let n = seeds.unwrap_or_else(|| ds.paper_seed_count(seeding));
             let set = ds.seeds_with_count(seeding, n);
@@ -116,7 +128,13 @@ pub fn execute(cmd: Command) -> i32 {
                 n,
                 procs
             );
-            let (report, finished) = run_simulated_detailed(&ds, &set, &cfg);
+            let (report, finished, timeline) = if trace.is_some() {
+                let (r, f, t) = run_simulated_traced(&ds, &set, &cfg, trace_bucket);
+                (r, f, Some(t))
+            } else {
+                let (r, f) = run_simulated_detailed(&ds, &set, &cfg);
+                (r, f, None)
+            };
             println!("{}", report.summary());
             if report.outcome.completed() {
                 print!("{}", summarize(&finished));
@@ -144,6 +162,34 @@ pub fn execute(cmd: Command) -> i32 {
                     }
                 }
             }
+            if let (Some(path), Some(timeline)) = (trace, timeline) {
+                let tf = timeline.to_trace("virtual");
+                if let Err(e) = tf.validate() {
+                    eprintln!("internal error: emitted trace is invalid: {e}");
+                    return 1;
+                }
+                match serde_json::to_string_pretty(&tf) {
+                    Ok(s) => {
+                        if let Err(e) = std::fs::write(&path, s + "\n") {
+                            eprintln!("error writing {path}: {e}");
+                            return 1;
+                        }
+                        eprintln!("wrote {path}");
+                    }
+                    Err(e) => {
+                        eprintln!("serialization error: {e}");
+                        return 1;
+                    }
+                }
+            }
+            if let Some(path) = metrics {
+                let text = report.to_registry().render_prometheus();
+                if let Err(e) = std::fs::write(&path, text) {
+                    eprintln!("error writing {path}: {e}");
+                    return 1;
+                }
+                eprintln!("wrote {path}");
+            }
             if report.outcome.completed() {
                 0
             } else {
@@ -163,6 +209,9 @@ pub fn execute(cmd: Command) -> i32 {
             chaos,
             chaos_seed,
             json,
+            trace,
+            trace_bucket_ms,
+            metrics,
         } => {
             use streamline_bench::{ChaosConfig, LoadGenConfig, SweepScale, Workload};
             use streamline_iosim::ChaosParams;
@@ -191,10 +240,14 @@ pub fn execute(cmd: Command) -> i32 {
                     cache_blocks: cache,
                     cache_shards: shards,
                     queue_capacity: queue,
+                    trace_bucket: trace
+                        .is_some()
+                        .then(|| std::time::Duration::from_millis(trace_bucket_ms.max(1))),
                     ..ServiceConfig::default()
                 },
                 chaos: chaos
                     .then(|| ChaosConfig { seed: chaos_seed, params: ChaosParams::default() }),
+                emit_prometheus: metrics.is_some(),
             };
             eprintln!(
                 "serve-bench: {} workload, {clients} clients x {requests} requests x {seeds} \
@@ -256,10 +309,102 @@ pub fn execute(cmd: Command) -> i32 {
                     }
                 }
             }
+            if let Some(path) = trace {
+                let tf = report.trace.as_ref().expect("trace_bucket was set");
+                if let Err(e) = tf.validate() {
+                    eprintln!("internal error: emitted trace is invalid: {e}");
+                    return 1;
+                }
+                match serde_json::to_string_pretty(tf) {
+                    Ok(s) => {
+                        if let Err(e) = std::fs::write(&path, s + "\n") {
+                            eprintln!("error writing {path}: {e}");
+                            return 1;
+                        }
+                        eprintln!("wrote {path}");
+                    }
+                    Err(e) => {
+                        eprintln!("serialization error: {e}");
+                        return 1;
+                    }
+                }
+            }
+            if let Some(path) = metrics {
+                let text = report.prometheus.as_ref().expect("emit_prometheus was set");
+                if let Err(e) = std::fs::write(&path, text) {
+                    eprintln!("error writing {path}: {e}");
+                    return 1;
+                }
+                eprintln!("wrote {path}");
+            }
             if report.completed == (clients * requests) as u64 {
                 0
             } else {
                 2
+            }
+        }
+        Command::ObsCheck { trace, metrics } => {
+            let mut ok = true;
+            if let Some(path) = trace {
+                match std::fs::read_to_string(&path) {
+                    Ok(text) => match serde_json::from_str::<streamline_obs::TraceFile>(&text) {
+                        Ok(tf) => match tf.validate() {
+                            Ok(()) => {
+                                let t = &tf.totals;
+                                println!(
+                                    "{path}: valid {} trace, {} ranks, {} buckets of {}s \
+                                     (compute {:.3}s io {:.3}s comm {:.3}s idle {:.3}s)",
+                                    tf.clock,
+                                    tf.n_ranks,
+                                    tf.ranks.first().map(|r| r.buckets.len()).unwrap_or(0),
+                                    tf.bucket_width,
+                                    t.compute,
+                                    t.io,
+                                    t.comm,
+                                    t.idle,
+                                );
+                            }
+                            Err(e) => {
+                                eprintln!("{path}: invalid trace: {e}");
+                                ok = false;
+                            }
+                        },
+                        Err(e) => {
+                            eprintln!("{path}: not trace JSON: {e}");
+                            ok = false;
+                        }
+                    },
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        ok = false;
+                    }
+                }
+            }
+            if let Some(path) = metrics {
+                match std::fs::read_to_string(&path) {
+                    Ok(text) => match streamline_obs::prom::parse_text(&text) {
+                        Ok(samples) if samples.is_empty() => {
+                            eprintln!("{path}: no metric samples");
+                            ok = false;
+                        }
+                        Ok(samples) => {
+                            println!("{path}: valid Prometheus text, {} samples", samples.len());
+                        }
+                        Err(e) => {
+                            eprintln!("{path}: invalid Prometheus text: {e}");
+                            ok = false;
+                        }
+                    },
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        ok = false;
+                    }
+                }
+            }
+            if ok {
+                0
+            } else {
+                1
             }
         }
         Command::BenchKernels { smoke, json } => {
@@ -419,7 +564,49 @@ mod tests {
             seeds: Some(32),
             cache: 16,
             json: None,
+            trace: None,
+            trace_bucket: 0.05,
+            metrics: None,
         });
         assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn run_with_trace_emits_files_that_obs_check_accepts() {
+        let dir = std::env::temp_dir().join(format!("slrepro-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.json").to_string_lossy().into_owned();
+        let metrics_path = dir.join("metrics.prom").to_string_lossy().into_owned();
+        let code = execute(Command::Run {
+            dataset: DatasetKind::Thermal,
+            seeding: Seeding::Sparse,
+            algorithm: AlgoChoice::Fixed(Algorithm::LoadOnDemand),
+            procs: 4,
+            seeds: Some(32),
+            cache: 16,
+            json: None,
+            trace: Some(trace_path.clone()),
+            trace_bucket: 0.05,
+            metrics: Some(metrics_path.clone()),
+        });
+        assert_eq!(code, 0);
+        let check =
+            execute(Command::ObsCheck { trace: Some(trace_path), metrics: Some(metrics_path) });
+        assert_eq!(check, 0, "obs-check must accept what run emits");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn obs_check_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("slrepro-obsbad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json").to_string_lossy().into_owned();
+        std::fs::write(&bad, "{\"schema\": \"nope\"}").unwrap();
+        assert_eq!(execute(Command::ObsCheck { trace: Some(bad.clone()), metrics: None }), 1);
+        assert_eq!(
+            execute(Command::ObsCheck { trace: None, metrics: Some("/nonexistent/x".into()) }),
+            1
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

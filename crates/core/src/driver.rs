@@ -382,6 +382,26 @@ pub fn run_simulated_with_store(
     collect_report(dataset, seeds, cfg, report, &procs)
 }
 
+/// [`run_simulated_detailed`] with a virtual-time phase timeline recorded
+/// at `bucket_width` virtual-second resolution — the engine behind
+/// `streamline run --trace`.
+pub fn run_simulated_traced(
+    dataset: &Dataset,
+    seeds: &SeedSet,
+    cfg: &RunConfig,
+    bucket_width: f64,
+) -> (RunReport, Vec<streamline_integrate::Streamline>, streamline_desim::Timeline) {
+    let store: Arc<dyn BlockStore> = Arc::new(FieldStore::new(dataset.clone()));
+    let procs = build_procs(dataset, seeds, cfg, store);
+    let sim = Simulation::new(cfg.cost.net, procs);
+    let (report, mut procs, timeline) = sim.run_traced(bucket_width);
+    let run_report = collect_report(dataset, seeds, cfg, report, &procs);
+    let mut finished: Vec<streamline_integrate::Streamline> =
+        procs.iter_mut().flat_map(|p| p.take_finished()).collect();
+    finished.sort_by_key(|s| s.id);
+    (run_report, finished, timeline)
+}
+
 /// Run one configuration on real OS threads (wall time is measured, not
 /// simulated; `charge_*` amounts still populate the metric buckets).
 pub fn run_threaded(

@@ -50,7 +50,7 @@ pub use classify::{classify, ProblemProfile};
 pub use config::{Algorithm, CostModel, HybridParams, MemoryBudget, RunConfig};
 pub use driver::{
     build_procs, run_simulated, run_simulated_detailed, run_simulated_detailed_with_store,
-    run_simulated_with_store, run_threaded, AnyProc,
+    run_simulated_traced, run_simulated_with_store, run_threaded, AnyProc,
 };
 pub use msg::{Command, Msg, SlaveStatus};
 pub use report::{RunOutcome, RunReport};

@@ -73,11 +73,16 @@ pub struct RunReport {
 
 impl RunReport {
     /// Block efficiency `E = (B_L − B_P)/B_L` (Eq. 2); 1.0 when no loads.
+    ///
+    /// Computed in `f64` rather than by `u64` subtraction: a report merged
+    /// from partial per-worker snapshots can transiently show
+    /// `blocks_purged > blocks_loaded`, and the unsigned subtraction
+    /// panicked in debug builds.
     pub fn block_efficiency(&self) -> f64 {
         if self.blocks_loaded == 0 {
             1.0
         } else {
-            (self.blocks_loaded - self.blocks_purged) as f64 / self.blocks_loaded as f64
+            (self.blocks_loaded as f64 - self.blocks_purged as f64) / self.blocks_loaded as f64
         }
     }
 
@@ -93,14 +98,55 @@ impl RunReport {
     }
 
     /// Max-over-mean busy time across ranks (1.0 = perfectly balanced).
+    ///
+    /// An all-idle run (every rank's busy time is zero — e.g. every seed
+    /// was pruned before any rank did work) and an empty `per_rank` are
+    /// both trivially balanced: 1.0, never NaN/inf in the summary line.
+    /// Non-finite per-rank samples are excluded rather than poisoning the
+    /// ratio.
     pub fn load_imbalance(&self) -> f64 {
-        let busy: Vec<f64> = self.per_rank.iter().map(|m| m.busy()).collect();
-        let mean = busy.iter().sum::<f64>() / busy.len().max(1) as f64;
-        if mean == 0.0 {
-            1.0
-        } else {
-            busy.iter().cloned().fold(0.0, f64::max) / mean
+        let busy: Vec<f64> =
+            self.per_rank.iter().map(|m| m.busy()).filter(|b| b.is_finite() && *b >= 0.0).collect();
+        let sum: f64 = busy.iter().sum();
+        if busy.is_empty() || sum <= 0.0 {
+            return 1.0;
         }
+        let mean = sum / busy.len() as f64;
+        busy.iter().cloned().fold(0.0, f64::max) / mean
+    }
+
+    /// Mirror the report into `registry` under the stable
+    /// `streamline_run_*` names (the paper's §5 quantities).
+    pub fn export_into(&self, registry: &streamline_obs::MetricsRegistry) {
+        use streamline_obs::names;
+        registry.set_gauge(names::RUN_WALL_SECONDS, self.wall);
+        registry.set_gauge(names::RUN_COMPUTE_SECONDS, self.compute_time);
+        registry.set_gauge(names::RUN_IO_SECONDS, self.io_time);
+        registry.set_gauge(names::RUN_COMM_SECONDS, self.comm_time);
+        registry.set_gauge(names::RUN_IDLE_SECONDS, self.idle_time);
+        registry.set_gauge(names::RUN_RANKS, self.n_procs as f64);
+        registry.set_counter(names::RUN_EVENTS_TOTAL, self.events);
+        registry.set_counter(names::RUN_MSGS_TOTAL, self.msgs);
+        registry.set_counter(names::RUN_BYTES_SENT_TOTAL, self.bytes_sent);
+        registry.set_counter(names::RUN_BLOCKS_LOADED_TOTAL, self.blocks_loaded);
+        registry.set_counter(names::RUN_BLOCKS_PURGED_TOTAL, self.blocks_purged);
+        registry.set_counter(names::RUN_STEPS_TOTAL, self.total_steps);
+        registry.set_counter(names::RUN_STREAMLINES_TERMINATED_TOTAL, self.terminated);
+        registry.set_counter(names::RUN_SAMPLER_HITS_TOTAL, self.sampler_hits);
+        registry.set_counter(names::RUN_SAMPLER_MISSES_TOTAL, self.sampler_misses);
+        registry.set_counter(names::RUN_LOAD_RETRIES_TOTAL, self.load_retries);
+        registry.set_counter(names::RUN_LOAD_FAILURES_TOTAL, self.load_failures);
+        registry
+            .set_counter(names::RUN_UNAVAILABLE_TERMINATIONS_TOTAL, self.unavailable_terminations);
+        registry.set_gauge(names::RUN_BLOCK_EFFICIENCY, self.block_efficiency());
+        registry.set_gauge(names::RUN_LOAD_IMBALANCE, self.load_imbalance());
+    }
+
+    /// [`Self::export_into`] a fresh registry.
+    pub fn to_registry(&self) -> streamline_obs::MetricsRegistry {
+        let registry = streamline_obs::MetricsRegistry::new();
+        self.export_into(&registry);
+        registry
     }
 
     /// One-line summary for harness output.
@@ -213,6 +259,64 @@ mod tests {
     fn imbalance_max_over_mean() {
         let r = report();
         assert!((r.load_imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_survives_purged_exceeding_loaded() {
+        // Partial per-worker snapshots merged mid-drain can purge more than
+        // they loaded; the old u64 subtraction panicked in debug builds.
+        let mut r = report();
+        r.blocks_loaded = 2;
+        r.blocks_purged = 5;
+        let e = r.block_efficiency();
+        assert!(e.is_finite());
+        assert!((e - (-1.5)).abs() < 1e-12, "E = (2-5)/2, got {e}");
+        assert!(r.summary().contains("E="), "summary must still format");
+    }
+
+    #[test]
+    fn imbalance_of_all_idle_run_is_balanced() {
+        let mut r = report();
+        r.per_rank = vec![ProcMetrics::default(); 4];
+        let imb = r.load_imbalance();
+        assert!(imb.is_finite(), "all-idle run must not be NaN/inf, got {imb}");
+        assert_eq!(imb, 1.0);
+    }
+
+    #[test]
+    fn imbalance_of_empty_report_is_balanced() {
+        let mut r = report();
+        r.per_rank.clear();
+        assert_eq!(r.load_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn imbalance_ignores_non_finite_ranks() {
+        let mut r = report();
+        r.per_rank.push(ProcMetrics { compute: f64::NAN, ..Default::default() });
+        let imb = r.load_imbalance();
+        assert!(imb.is_finite(), "one poisoned rank must not break the metric");
+        assert!((imb - 1.5).abs() < 1e-12, "finite ranks still balance to 1.5, got {imb}");
+    }
+
+    #[test]
+    fn registry_mirror_matches_report_bit_for_bit() {
+        use streamline_obs::{names, MetricValue};
+        let r = report();
+        let reg = r.to_registry();
+        assert_eq!(reg.get(names::RUN_EVENTS_TOTAL), Some(MetricValue::Counter(r.events)));
+        assert_eq!(
+            reg.get(names::RUN_BLOCKS_LOADED_TOTAL),
+            Some(MetricValue::Counter(r.blocks_loaded))
+        );
+        let MetricValue::Gauge(wall) = reg.get(names::RUN_WALL_SECONDS).unwrap() else {
+            panic!("wall is a gauge")
+        };
+        assert_eq!(wall.to_bits(), r.wall.to_bits());
+        let MetricValue::Gauge(e) = reg.get(names::RUN_BLOCK_EFFICIENCY).unwrap() else {
+            panic!("efficiency is a gauge")
+        };
+        assert_eq!(e.to_bits(), r.block_efficiency().to_bits());
     }
 
     #[test]

@@ -216,7 +216,11 @@ impl<M, P: Process<M>> Simulation<M, P> {
             let exec_time = if clocks[rank] >= sch.time {
                 clocks[rank]
             } else {
-                metrics[rank].idle += sch.time - clocks[rank];
+                let gap = sch.time - clocks[rank];
+                if let Some(t) = trace.as_deref_mut() {
+                    t.add(rank, ChargeKind::Idle, clocks[rank], gap);
+                }
+                metrics[rank].idle += gap;
                 sch.time
             };
             let m = &mut metrics[rank];
@@ -385,6 +389,18 @@ mod tests {
         assert!((procs[0].woke_at - 5.0).abs() < 1e-12);
         // Idle while waiting.
         assert!((report.ranks[0].idle - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traced_runs_record_idle_gaps() {
+        let (report, _, timeline) =
+            Simulation::new(NetModel::free(), vec![Waker { woke_at: -1.0 }]).run_traced(0.5);
+        // The 5 s wait shows up identically in the metrics and the timeline.
+        assert!((report.ranks[0].idle - 5.0).abs() < 1e-12);
+        let traced_idle = timeline.phase_total(0, ChargeKind::Idle);
+        assert!((traced_idle - 5.0).abs() < 1e-9, "traced idle = {traced_idle}");
+        // Idle is not busy: utilization stays zero.
+        assert_eq!(timeline.utilization(0, 0), 0.0);
     }
 
     /// Causality: a message executes no earlier than its send completion +

@@ -1,127 +1,18 @@
 //! Virtual-time utilization timelines.
 //!
 //! When tracing is enabled, every charge a rank makes (compute, I/O,
-//! communication) is accumulated into fixed-width virtual-time buckets.
-//! The result is a utilization heat map over (rank, time) — the direct
-//! visualization of load imbalance and of §8's "processor starvation".
+//! communication) — and, since the observability layer landed, every idle
+//! gap the scheduler observes — is accumulated into fixed-width
+//! virtual-time buckets. The result is a utilization heat map over
+//! (rank, time) — the direct visualization of load imbalance and of §8's
+//! "processor starvation".
+//!
+//! The implementation lives in `streamline-obs` so the threaded runtime and
+//! the serve stack can fill the same structure with wall-clock spans;
+//! these aliases keep the historical desim names working.
 
-use serde::{Deserialize, Serialize};
-
-/// What a charge was for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ChargeKind {
-    Compute,
-    Io,
-    Comm,
-}
-
-/// Per-rank, per-bucket busy time, split by kind.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct Timeline {
-    pub bucket_width: f64,
-    pub n_ranks: usize,
-    /// `[rank][bucket] = [compute, io, comm]` busy seconds.
-    buckets: Vec<Vec<[f64; 3]>>,
-}
-
-impl Timeline {
-    pub fn new(n_ranks: usize, bucket_width: f64) -> Self {
-        assert!(bucket_width > 0.0 && bucket_width.is_finite());
-        Timeline { bucket_width, n_ranks, buckets: vec![Vec::new(); n_ranks] }
-    }
-
-    /// Record a charge of `dt` seconds starting at `t0` on `rank`,
-    /// distributing it across the buckets it spans.
-    pub fn add(&mut self, rank: usize, kind: ChargeKind, t0: f64, dt: f64) {
-        debug_assert!(rank < self.n_ranks);
-        if dt <= 0.0 {
-            return;
-        }
-        let k = match kind {
-            ChargeKind::Compute => 0,
-            ChargeKind::Io => 1,
-            ChargeKind::Comm => 2,
-        };
-        let mut t = t0;
-        let end = t0 + dt;
-        while t < end {
-            // Nudge the bucket lookup: a boundary time like 0.03 divides by
-            // a width of 0.01 to 2.999…, which would re-select the bucket
-            // just finished and loop forever.
-            let b = ((t / self.bucket_width) + 1e-9) as usize;
-            let mut bucket_end = (b + 1) as f64 * self.bucket_width;
-            if bucket_end <= t {
-                bucket_end = (b + 2) as f64 * self.bucket_width;
-            }
-            let span = (end.min(bucket_end) - t).max(0.0);
-            let row = &mut self.buckets[rank];
-            if row.len() <= b {
-                row.resize(b + 1, [0.0; 3]);
-            }
-            row[b][k] += span;
-            t = bucket_end;
-        }
-    }
-
-    /// Number of buckets in the longest rank row.
-    pub fn n_buckets(&self) -> usize {
-        self.buckets.iter().map(|r| r.len()).max().unwrap_or(0)
-    }
-
-    /// Busy fraction (all kinds) of one (rank, bucket) cell, in `[0, 1+ε]`.
-    pub fn utilization(&self, rank: usize, bucket: usize) -> f64 {
-        self.buckets[rank]
-            .get(bucket)
-            .map(|b| (b[0] + b[1] + b[2]) / self.bucket_width)
-            .unwrap_or(0.0)
-    }
-
-    /// Mean utilization across ranks for one bucket.
-    pub fn mean_utilization(&self, bucket: usize) -> f64 {
-        (0..self.n_ranks).map(|r| self.utilization(r, bucket)).sum::<f64>() / self.n_ranks as f64
-    }
-
-    /// ASCII heat map: one row per rank, one column per bucket (columns are
-    /// merged down to at most `max_cols`). `#` ≈ fully busy, space = idle.
-    pub fn render(&self, max_cols: usize) -> String {
-        let nb = self.n_buckets().max(1);
-        let merge = nb.div_ceil(max_cols.max(1));
-        let cols = nb.div_ceil(merge);
-        let shades = [' ', '.', ':', 'x', '#'];
-        let mut out = String::new();
-        for rank in 0..self.n_ranks {
-            let mut row = String::with_capacity(cols + 8);
-            row.push_str(&format!("{rank:>4} |"));
-            for c in 0..cols {
-                let mut u = 0.0;
-                for b in c * merge..((c + 1) * merge).min(nb) {
-                    u += self.utilization(rank, b);
-                }
-                u /= merge as f64;
-                let level =
-                    ((u * (shades.len() - 1) as f64).round() as usize).min(shades.len() - 1);
-                row.push(shades[level]);
-            }
-            row.push('|');
-            out.push_str(&row);
-            out.push('\n');
-        }
-        out
-    }
-
-    /// Fraction of total (rank × wall) area that was idle — the headline
-    /// starvation number.
-    pub fn idle_fraction(&self) -> f64 {
-        let nb = self.n_buckets();
-        if nb == 0 {
-            return 0.0;
-        }
-        let total = (nb * self.n_ranks) as f64 * self.bucket_width;
-        let busy: f64 =
-            self.buckets.iter().flat_map(|r| r.iter()).map(|b| b[0] + b[1] + b[2]).sum();
-        (1.0 - busy / total).max(0.0)
-    }
-}
+pub use streamline_obs::Phase as ChargeKind;
+pub use streamline_obs::PhaseTimeline as Timeline;
 
 #[cfg(test)]
 mod tests {
@@ -154,6 +45,15 @@ mod tests {
         t.add(0, ChargeKind::Compute, 0.0, 1.0);
         // Rank 1 idle; one bucket total → area 2, busy 1.
         assert!((t.idle_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recorded_idle_does_not_count_as_busy() {
+        let mut t = Timeline::new(2, 1.0);
+        t.add(0, ChargeKind::Compute, 0.0, 1.0);
+        t.add(1, ChargeKind::Idle, 0.0, 1.0);
+        assert!((t.idle_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(t.utilization(1, 0), 0.0);
     }
 
     #[test]

@@ -234,6 +234,17 @@ impl FaultCounters {
     pub fn faults_injected(&self) -> u64 {
         self.io_injected + self.decode_injected
     }
+
+    /// Mirror these counters into `registry` under the stable
+    /// `streamline_faults_*` names.
+    pub fn export_into(&self, registry: &streamline_obs::MetricsRegistry) {
+        use streamline_obs::names;
+        registry.set_counter(names::FAULTS_ATTEMPTS_TOTAL, self.attempts);
+        registry.set_counter(names::FAULTS_SERVED_TOTAL, self.served);
+        registry.set_counter(names::FAULTS_IO_INJECTED_TOTAL, self.io_injected);
+        registry.set_counter(names::FAULTS_DECODE_INJECTED_TOTAL, self.decode_injected);
+        registry.set_counter(names::FAULTS_LATENCY_INJECTED_TOTAL, self.latency_injected);
+    }
 }
 
 #[derive(Default)]

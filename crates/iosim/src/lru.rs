@@ -30,11 +30,17 @@ pub struct CacheStats {
 impl CacheStats {
     /// Block efficiency `E = (B_L − B_P) / B_L` (Eq. 2); 1.0 when nothing
     /// was ever loaded.
+    ///
+    /// The numerator is computed in `f64`, not by `u64` subtraction: merged
+    /// partial per-worker snapshots taken mid-drain can transiently show
+    /// `purged > loaded` (one worker's purge of another worker's load), and
+    /// the unsigned subtraction panicked in debug builds. E goes negative in
+    /// that window, which is the honest reading.
     pub fn efficiency(&self) -> f64 {
         if self.loaded == 0 {
             1.0
         } else {
-            (self.loaded - self.purged) as f64 / self.loaded as f64
+            (self.loaded as f64 - self.purged as f64) / self.loaded as f64
         }
     }
 
@@ -43,6 +49,16 @@ impl CacheStats {
         self.purged += other.purged;
         self.hits += other.hits;
         self.failed += other.failed;
+    }
+
+    /// Mirror these counters into `registry` under the stable
+    /// `streamline_cache_*` names.
+    pub fn export_into(&self, registry: &streamline_obs::MetricsRegistry) {
+        use streamline_obs::names;
+        registry.set_counter(names::CACHE_LOADED_TOTAL, self.loaded);
+        registry.set_counter(names::CACHE_PURGED_TOTAL, self.purged);
+        registry.set_counter(names::CACHE_HITS_TOTAL, self.hits);
+        registry.set_counter(names::CACHE_FAILED_LOADS_TOTAL, self.failed);
     }
 }
 
@@ -221,6 +237,16 @@ mod tests {
     }
 
     #[test]
+    fn efficiency_survives_purged_exceeding_loaded() {
+        // A partial snapshot merged mid-drain can see more purges than
+        // loads; the old u64 subtraction panicked in debug builds here.
+        let s = CacheStats { loaded: 2, purged: 5, hits: 0, failed: 0 };
+        let e = s.efficiency();
+        assert!(e.is_finite());
+        assert!((e - (-1.5)).abs() < 1e-12, "E = (2-5)/2, got {e}");
+    }
+
+    #[test]
     fn clear_counts_purges() {
         let mut c = LruCache::new(4);
         c.insert(block(1));
@@ -254,5 +280,17 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         LruCache::new(0);
+    }
+
+    #[test]
+    fn stats_export_mirrors_into_registry() {
+        use streamline_obs::{names, MetricValue, MetricsRegistry};
+        let reg = MetricsRegistry::new();
+        let s = CacheStats { loaded: 5, purged: 3, hits: 8, failed: 1 };
+        s.export_into(&reg);
+        assert_eq!(reg.get(names::CACHE_LOADED_TOTAL), Some(MetricValue::Counter(5)));
+        assert_eq!(reg.get(names::CACHE_PURGED_TOTAL), Some(MetricValue::Counter(3)));
+        assert_eq!(reg.get(names::CACHE_HITS_TOTAL), Some(MetricValue::Counter(8)));
+        assert_eq!(reg.get(names::CACHE_FAILED_LOADS_TOTAL), Some(MetricValue::Counter(1)));
     }
 }

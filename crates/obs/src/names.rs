@@ -1,0 +1,83 @@
+//! Stable metric names.
+//!
+//! Everything the workspace exports is registered under one of these
+//! constants, so dashboards and tests can rely on the names across
+//! releases. Conventions follow Prometheus: `_total` for counters, a unit
+//! suffix (`_seconds`, `_nanoseconds`, `_blocks`) for gauges and
+//! histograms.
+//!
+//! Three namespaces:
+//! - `streamline_run_*` — one batch run (any driver), mirrored from
+//!   `RunReport`. These are the paper's §5 quantities: wall-clock, total
+//!   I/O, total communication, block efficiency (Eq. 2), load imbalance.
+//! - `streamline_cache_*` / `streamline_faults_*` — block cache and fault
+//!   injection counters (`CacheStats`, `FaultCounters`).
+//! - `streamline_serve_*` — the live query service; these update while the
+//!   service runs and are what `Service::dump_metrics` exposes for
+//!   scraping.
+
+// One batch run (RunReport).
+pub const RUN_WALL_SECONDS: &str = "streamline_run_wall_seconds";
+pub const RUN_COMPUTE_SECONDS: &str = "streamline_run_compute_seconds";
+pub const RUN_IO_SECONDS: &str = "streamline_run_io_seconds";
+pub const RUN_COMM_SECONDS: &str = "streamline_run_comm_seconds";
+pub const RUN_IDLE_SECONDS: &str = "streamline_run_idle_seconds";
+pub const RUN_RANKS: &str = "streamline_run_ranks";
+pub const RUN_EVENTS_TOTAL: &str = "streamline_run_events_total";
+pub const RUN_MSGS_TOTAL: &str = "streamline_run_messages_total";
+pub const RUN_BYTES_SENT_TOTAL: &str = "streamline_run_bytes_sent_total";
+pub const RUN_BLOCKS_LOADED_TOTAL: &str = "streamline_run_blocks_loaded_total";
+pub const RUN_BLOCKS_PURGED_TOTAL: &str = "streamline_run_blocks_purged_total";
+pub const RUN_STEPS_TOTAL: &str = "streamline_run_steps_total";
+pub const RUN_STREAMLINES_TERMINATED_TOTAL: &str = "streamline_run_streamlines_terminated_total";
+pub const RUN_SAMPLER_HITS_TOTAL: &str = "streamline_run_sampler_hits_total";
+pub const RUN_SAMPLER_MISSES_TOTAL: &str = "streamline_run_sampler_misses_total";
+pub const RUN_LOAD_RETRIES_TOTAL: &str = "streamline_run_load_retries_total";
+pub const RUN_LOAD_FAILURES_TOTAL: &str = "streamline_run_load_failures_total";
+pub const RUN_UNAVAILABLE_TERMINATIONS_TOTAL: &str =
+    "streamline_run_unavailable_terminations_total";
+pub const RUN_BLOCK_EFFICIENCY: &str = "streamline_run_block_efficiency";
+pub const RUN_LOAD_IMBALANCE: &str = "streamline_run_load_imbalance";
+
+// Block cache (CacheStats).
+pub const CACHE_LOADED_TOTAL: &str = "streamline_cache_loaded_total";
+pub const CACHE_PURGED_TOTAL: &str = "streamline_cache_purged_total";
+pub const CACHE_HITS_TOTAL: &str = "streamline_cache_hits_total";
+pub const CACHE_FAILED_LOADS_TOTAL: &str = "streamline_cache_failed_loads_total";
+
+// Fault injection (FaultCounters).
+pub const FAULTS_ATTEMPTS_TOTAL: &str = "streamline_faults_attempts_total";
+pub const FAULTS_SERVED_TOTAL: &str = "streamline_faults_served_total";
+pub const FAULTS_IO_INJECTED_TOTAL: &str = "streamline_faults_io_injected_total";
+pub const FAULTS_DECODE_INJECTED_TOTAL: &str = "streamline_faults_decode_injected_total";
+pub const FAULTS_LATENCY_INJECTED_TOTAL: &str = "streamline_faults_latency_injected_total";
+
+// The live query service.
+pub const SERVE_WORKERS: &str = "streamline_serve_workers";
+pub const SERVE_UPTIME_SECONDS: &str = "streamline_serve_uptime_seconds";
+pub const SERVE_SUBMITTED_TOTAL: &str = "streamline_serve_requests_submitted_total";
+pub const SERVE_COMPLETED_TOTAL: &str = "streamline_serve_requests_completed_total";
+pub const SERVE_REJECTED_TOTAL: &str = "streamline_serve_requests_rejected_total";
+pub const SERVE_DEADLINE_EXPIRED_TOTAL: &str = "streamline_serve_requests_deadline_expired_total";
+pub const SERVE_PARTIAL_TOTAL: &str = "streamline_serve_requests_partial_total";
+pub const SERVE_LOAD_RETRIES_TOTAL: &str = "streamline_serve_load_retries_total";
+pub const SERVE_LOAD_FAILURES_TOTAL: &str = "streamline_serve_load_failures_total";
+pub const SERVE_BREAKER_FAST_FAILS_TOTAL: &str = "streamline_serve_breaker_fast_fails_total";
+pub const SERVE_BREAKER_TRIPS_TOTAL: &str = "streamline_serve_breaker_trips_total";
+pub const SERVE_BLOCKS_QUARANTINED: &str = "streamline_serve_blocks_quarantined";
+pub const SERVE_STREAMLINES_COMPLETED_TOTAL: &str = "streamline_serve_streamlines_completed_total";
+pub const SERVE_STREAMLINES_UNAVAILABLE_TOTAL: &str =
+    "streamline_serve_streamlines_unavailable_total";
+pub const SERVE_STEPS_TOTAL: &str = "streamline_serve_steps_total";
+pub const SERVE_SAMPLER_HITS_TOTAL: &str = "streamline_serve_sampler_hits_total";
+pub const SERVE_SAMPLER_MISSES_TOTAL: &str = "streamline_serve_sampler_misses_total";
+pub const SERVE_QUEUE_DEPTH: &str = "streamline_serve_queue_depth";
+pub const SERVE_QUEUE_CAPACITY: &str = "streamline_serve_queue_capacity";
+pub const SERVE_CACHE_RESIDENT_BLOCKS: &str = "streamline_serve_cache_resident_blocks";
+pub const SERVE_CACHE_CAPACITY_BLOCKS: &str = "streamline_serve_cache_capacity_blocks";
+pub const SERVE_CACHE_LOADED_TOTAL: &str = "streamline_serve_cache_loaded_total";
+pub const SERVE_CACHE_PURGED_TOTAL: &str = "streamline_serve_cache_purged_total";
+pub const SERVE_CACHE_HITS_TOTAL: &str = "streamline_serve_cache_hits_total";
+pub const SERVE_CACHE_FAILED_LOADS_TOTAL: &str = "streamline_serve_cache_failed_loads_total";
+pub const SERVE_BLOCK_EFFICIENCY: &str = "streamline_serve_block_efficiency";
+pub const SERVE_LATENCY_NANOSECONDS: &str = "streamline_serve_request_latency_nanoseconds";

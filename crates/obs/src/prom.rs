@@ -1,0 +1,157 @@
+//! Prometheus text exposition format: render a registry snapshot, and parse
+//! one back for reconciliation tests.
+
+use crate::registry::MetricValue;
+use std::collections::BTreeMap;
+
+/// Format an `f64` sample value. Rust's `{}` formatting is
+/// shortest-roundtrip, so `parse::<f64>()` of the output recovers the exact
+/// bits — which is what lets the integration tests reconcile the export
+/// against the legacy structs bit-for-bit.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Upper bound of log2 bucket `i` as a `le` label: bucket 0 holds exact
+/// zeros, bucket `i` covers integer values up to `2^i - 1`.
+fn le_bound(i: usize) -> String {
+    if i == 0 {
+        "0".to_string()
+    } else {
+        format!("{}", (1u128 << i) - 1)
+    }
+}
+
+/// Render a snapshot in Prometheus text exposition format. Histograms emit
+/// cumulative `_bucket{le=...}` series up to the highest non-empty bucket,
+/// then `+Inf`, `_sum`, and `_count`.
+pub fn render(snapshot: &BTreeMap<String, MetricValue>) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (name, value) in snapshot {
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {name} gauge\n{name} {}", fmt_f64(*v));
+            }
+            MetricValue::Histogram { count, sum, buckets } => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let top = buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+                let mut cumulative = 0u64;
+                for (i, &c) in buckets.iter().enumerate().take(top + 1) {
+                    cumulative += c;
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", le_bound(i));
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {count}");
+                let _ = writeln!(out, "{name}_sum {sum}");
+                let _ = writeln!(out, "{name}_count {count}");
+            }
+        }
+    }
+    out
+}
+
+/// Parse Prometheus text back into `name (with labels) -> value`. Supports
+/// exactly the subset [`render`] emits: `#` comment lines, then
+/// `name[{labels}] value` samples. Duplicate sample names are an error.
+pub fn parse_text(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = idx + 1;
+        let Some((name, value)) = line.rsplit_once(|c: char| c.is_ascii_whitespace()) else {
+            return Err(format!("line {lineno}: expected `name value`, got `{line}`"));
+        };
+        let name = name.trim_end();
+        if name.is_empty() {
+            return Err(format!("line {lineno}: empty metric name"));
+        }
+        let v = match value {
+            "+Inf" | "Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            _ => value
+                .parse::<f64>()
+                .map_err(|e| format!("line {lineno}: bad value `{value}`: {e}"))?,
+        };
+        if out.insert(name.to_string(), v).is_some() {
+            return Err(format!("line {lineno}: duplicate sample `{name}`"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn render_and_parse_roundtrip_counters_and_gauges() {
+        let reg = MetricsRegistry::new();
+        reg.counter("jobs_total").add(42);
+        reg.gauge("ratio").set(0.1 + 0.2); // not exactly 0.3 in binary
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE jobs_total counter"));
+        assert!(text.contains("# TYPE ratio gauge"));
+        let parsed = parse_text(&text).unwrap();
+        assert_eq!(parsed["jobs_total"], 42.0);
+        // Bit-for-bit: shortest-roundtrip print + parse is the identity.
+        assert_eq!(parsed["ratio"].to_bits(), (0.1f64 + 0.2).to_bits());
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_ns");
+        h.record(0);
+        h.record(1);
+        h.record(1);
+        h.record(900); // bucket 10: [512, 1024)
+        let text = reg.render_prometheus();
+        let parsed = parse_text(&text).unwrap();
+        assert_eq!(parsed["lat_ns_bucket{le=\"0\"}"], 1.0);
+        assert_eq!(parsed["lat_ns_bucket{le=\"1\"}"], 3.0);
+        assert_eq!(parsed["lat_ns_bucket{le=\"1023\"}"], 4.0);
+        assert_eq!(parsed["lat_ns_bucket{le=\"+Inf\"}"], 4.0);
+        assert_eq!(parsed["lat_ns_sum"], 902.0);
+        assert_eq!(parsed["lat_ns_count"], 4.0);
+        // Cumulative counts never decrease.
+        let mut last = 0.0;
+        for i in 0..=10usize {
+            let le = if i == 0 { "0".to_string() } else { format!("{}", (1u64 << i) - 1) };
+            if let Some(&v) = parsed.get(&format!("lat_ns_bucket{{le=\"{le}\"}}")) {
+                assert!(v >= last);
+                last = v;
+            }
+        }
+    }
+
+    #[test]
+    fn special_values_roundtrip() {
+        assert_eq!(parse_text("a +Inf\n").unwrap()["a"], f64::INFINITY);
+        assert_eq!(parse_text("a -Inf\n").unwrap()["a"], f64::NEG_INFINITY);
+        assert!(parse_text("a NaN\n").unwrap()["a"].is_nan());
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_duplicates() {
+        assert!(parse_text("loneword\n").is_err());
+        assert!(parse_text("a notanumber\n").is_err());
+        assert!(parse_text("a 1\na 2\n").is_err());
+        assert!(parse_text("# just comments\n\n").unwrap().is_empty());
+    }
+}

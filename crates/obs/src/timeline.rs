@@ -1,0 +1,533 @@
+//! Per-rank phase timelines: virtual-time (desim) and wall-clock (threads,
+//! serve) utilization accounting over fixed-width buckets, and the JSON
+//! trace file both export.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Schema tag written into every [`TraceFile`].
+pub const TRACE_SCHEMA: &str = "streamline-trace-v1";
+
+/// What a span of time was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Compute,
+    Io,
+    Comm,
+    Idle,
+}
+
+impl Phase {
+    pub const ALL: [Phase; 4] = [Phase::Compute, Phase::Io, Phase::Comm, Phase::Idle];
+
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Compute => 0,
+            Phase::Io => 1,
+            Phase::Comm => 2,
+            Phase::Idle => 3,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Compute => "compute",
+            Phase::Io => "io",
+            Phase::Comm => "comm",
+            Phase::Idle => "idle",
+        }
+    }
+}
+
+/// Per-rank, per-bucket seconds, split by phase.
+///
+/// Buckets are fixed-width windows of the run's time axis (virtual seconds
+/// in desim runs, wall seconds since the epoch in threaded/serve runs). The
+/// result is a utilization heat map over (rank, time) — the direct
+/// visualization of load imbalance and of §8's "processor starvation".
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseTimeline {
+    pub bucket_width: f64,
+    pub n_ranks: usize,
+    /// `[rank][bucket] = [compute, io, comm, idle]` seconds.
+    buckets: Vec<Vec<[f64; 4]>>,
+}
+
+impl PhaseTimeline {
+    pub fn new(n_ranks: usize, bucket_width: f64) -> Self {
+        assert!(bucket_width > 0.0 && bucket_width.is_finite());
+        PhaseTimeline { bucket_width, n_ranks, buckets: vec![Vec::new(); n_ranks] }
+    }
+
+    /// Record `dt` seconds of `phase` starting at `t0` on `rank`,
+    /// distributing it across the buckets it spans.
+    ///
+    /// Bucket selection is integer arithmetic with an explicit boundary
+    /// correction, not a floating-point epsilon nudge: `t0 / width` can land
+    /// one bucket off in either direction once its magnitude is large enough
+    /// that an absolute nudge (the old `+ 1e-9`) is below one ulp of the
+    /// quotient. The correction loops walk to the unique bucket `b` with
+    /// `b*width <= t0 < (b+1)*width` under the same rounding the readers
+    /// use, so a charge starting exactly on a boundary lands in the bucket
+    /// it opens — at any magnitude — and no bucket is ever skipped.
+    pub fn add(&mut self, rank: usize, phase: Phase, t0: f64, dt: f64) {
+        debug_assert!(rank < self.n_ranks);
+        debug_assert!(t0 >= 0.0 && t0.is_finite());
+        if dt <= 0.0 || !dt.is_finite() || !t0.is_finite() || t0 < 0.0 {
+            return;
+        }
+        let k = phase.index();
+        let w = self.bucket_width;
+        let end = t0 + dt;
+        let mut b = (t0 / w) as usize;
+        while (b + 1) as f64 * w <= t0 {
+            b += 1;
+        }
+        while b > 0 && b as f64 * w > t0 {
+            b -= 1;
+        }
+        let row = &mut self.buckets[rank];
+        loop {
+            let b_end = (b + 1) as f64 * w;
+            let lo = t0.max(b as f64 * w);
+            let hi = end.min(b_end);
+            if hi > lo {
+                if row.len() <= b {
+                    row.resize(b + 1, [0.0; 4]);
+                }
+                row[b][k] += hi - lo;
+            }
+            if end <= b_end {
+                break;
+            }
+            b += 1;
+        }
+    }
+
+    /// Number of buckets in the longest rank row.
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.iter().map(|r| r.len()).max().unwrap_or(0)
+    }
+
+    /// Busy fraction (compute + I/O + comm; recorded idle excluded) of one
+    /// (rank, bucket) cell, in `[0, 1+ε]`.
+    pub fn utilization(&self, rank: usize, bucket: usize) -> f64 {
+        self.buckets[rank]
+            .get(bucket)
+            .map(|b| (b[0] + b[1] + b[2]) / self.bucket_width)
+            .unwrap_or(0.0)
+    }
+
+    /// Mean utilization across ranks for one bucket.
+    pub fn mean_utilization(&self, bucket: usize) -> f64 {
+        (0..self.n_ranks).map(|r| self.utilization(r, bucket)).sum::<f64>() / self.n_ranks as f64
+    }
+
+    /// Seconds of `phase` recorded for `rank`, across all buckets.
+    pub fn phase_total(&self, rank: usize, phase: Phase) -> f64 {
+        let k = phase.index();
+        self.buckets[rank].iter().map(|b| b[k]).sum()
+    }
+
+    /// Per-phase seconds summed over all ranks.
+    pub fn totals(&self) -> PhaseTotals {
+        let mut t = PhaseTotals::default();
+        for rank in 0..self.n_ranks {
+            t.compute += self.phase_total(rank, Phase::Compute);
+            t.io += self.phase_total(rank, Phase::Io);
+            t.comm += self.phase_total(rank, Phase::Comm);
+            t.idle += self.phase_total(rank, Phase::Idle);
+        }
+        t
+    }
+
+    /// ASCII heat map: one row per rank, one column per bucket (columns are
+    /// merged down to at most `max_cols`). `#` ≈ fully busy, space = idle.
+    pub fn render(&self, max_cols: usize) -> String {
+        let nb = self.n_buckets().max(1);
+        let merge = nb.div_ceil(max_cols.max(1));
+        let cols = nb.div_ceil(merge);
+        let shades = [' ', '.', ':', 'x', '#'];
+        let mut out = String::new();
+        for rank in 0..self.n_ranks {
+            let mut row = String::with_capacity(cols + 8);
+            row.push_str(&format!("{rank:>4} |"));
+            for c in 0..cols {
+                let mut u = 0.0;
+                for b in c * merge..((c + 1) * merge).min(nb) {
+                    u += self.utilization(rank, b);
+                }
+                u /= merge as f64;
+                let level =
+                    ((u * (shades.len() - 1) as f64).round() as usize).min(shades.len() - 1);
+                row.push(shades[level]);
+            }
+            row.push('|');
+            out.push_str(&row);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Fraction of total (rank × time) area that was not busy — the headline
+    /// starvation number. Derived from the busy phases (independent of
+    /// whether idle spans were recorded explicitly).
+    pub fn idle_fraction(&self) -> f64 {
+        let nb = self.n_buckets();
+        if nb == 0 {
+            return 0.0;
+        }
+        let total = (nb * self.n_ranks) as f64 * self.bucket_width;
+        let busy: f64 =
+            self.buckets.iter().flat_map(|r| r.iter()).map(|b| b[0] + b[1] + b[2]).sum();
+        (1.0 - busy / total).max(0.0)
+    }
+
+    /// Export as a [`TraceFile`]. `clock` should be `"virtual"` (desim) or
+    /// `"wall"` (threads/serve).
+    pub fn to_trace(&self, clock: &str) -> TraceFile {
+        let nb = self.n_buckets();
+        let ranks: Vec<RankTrace> = (0..self.n_ranks)
+            .map(|rank| {
+                let mut buckets = self.buckets[rank].clone();
+                buckets.resize(nb, [0.0; 4]);
+                RankTrace {
+                    rank,
+                    totals: PhaseTotals {
+                        compute: self.phase_total(rank, Phase::Compute),
+                        io: self.phase_total(rank, Phase::Io),
+                        comm: self.phase_total(rank, Phase::Comm),
+                        idle: self.phase_total(rank, Phase::Idle),
+                    },
+                    buckets,
+                }
+            })
+            .collect();
+        TraceFile {
+            schema: TRACE_SCHEMA.to_string(),
+            clock: clock.to_string(),
+            bucket_width: self.bucket_width,
+            n_ranks: self.n_ranks,
+            phases: Phase::ALL.iter().map(|p| p.name().to_string()).collect(),
+            totals: self.totals(),
+            ranks,
+        }
+    }
+}
+
+/// Seconds per phase, summed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTotals {
+    pub compute: f64,
+    pub io: f64,
+    pub comm: f64,
+    pub idle: f64,
+}
+
+impl PhaseTotals {
+    /// compute + io + comm.
+    pub fn busy(&self) -> f64 {
+        self.compute + self.io + self.comm
+    }
+}
+
+/// One rank's share of a [`TraceFile`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankTrace {
+    pub rank: usize,
+    pub totals: PhaseTotals,
+    /// `[compute, io, comm, idle]` seconds per bucket; every rank row is
+    /// padded to the same length.
+    pub buckets: Vec<[f64; 4]>,
+}
+
+/// The JSON trace emitted by `streamline run --trace` and
+/// `serve-bench --trace`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceFile {
+    /// Always [`TRACE_SCHEMA`].
+    pub schema: String,
+    /// `"virtual"` (desim) or `"wall"` (threads/serve).
+    pub clock: String,
+    /// Seconds per bucket.
+    pub bucket_width: f64,
+    pub n_ranks: usize,
+    /// Phase names, in bucket-array order.
+    pub phases: Vec<String>,
+    pub totals: PhaseTotals,
+    pub ranks: Vec<RankTrace>,
+}
+
+impl TraceFile {
+    /// Structural sanity: schema/clock tags, consistent rank rows, finite
+    /// non-negative samples, and per-rank totals that match the buckets.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != TRACE_SCHEMA {
+            return Err(format!("unknown schema `{}`", self.schema));
+        }
+        if self.clock != "virtual" && self.clock != "wall" {
+            return Err(format!("unknown clock `{}`", self.clock));
+        }
+        if !(self.bucket_width > 0.0 && self.bucket_width.is_finite()) {
+            return Err(format!("bad bucket_width {}", self.bucket_width));
+        }
+        if self.phases != ["compute", "io", "comm", "idle"] {
+            return Err(format!("unexpected phases {:?}", self.phases));
+        }
+        if self.ranks.len() != self.n_ranks {
+            return Err(format!("{} rank rows for n_ranks {}", self.ranks.len(), self.n_ranks));
+        }
+        let nb = self.ranks.first().map(|r| r.buckets.len()).unwrap_or(0);
+        let mut sum = PhaseTotals::default();
+        for (i, r) in self.ranks.iter().enumerate() {
+            if r.rank != i {
+                return Err(format!("rank row {i} labeled {}", r.rank));
+            }
+            if r.buckets.len() != nb {
+                return Err(format!("rank {i} has {} buckets, expected {nb}", r.buckets.len()));
+            }
+            let mut t = PhaseTotals::default();
+            for b in &r.buckets {
+                if b.iter().any(|v| !v.is_finite() || *v < 0.0) {
+                    return Err(format!("rank {i} has a non-finite or negative sample"));
+                }
+                t.compute += b[0];
+                t.io += b[1];
+                t.comm += b[2];
+                t.idle += b[3];
+            }
+            for (name, got, stated) in [
+                ("compute", t.compute, r.totals.compute),
+                ("io", t.io, r.totals.io),
+                ("comm", t.comm, r.totals.comm),
+                ("idle", t.idle, r.totals.idle),
+            ] {
+                if (got - stated).abs() > 1e-9 * (1.0 + stated.abs()) {
+                    return Err(format!("rank {i} {name}: buckets sum {got}, totals {stated}"));
+                }
+            }
+            sum.compute += t.compute;
+            sum.io += t.io;
+            sum.comm += t.comm;
+            sum.idle += t.idle;
+        }
+        for (name, got, stated) in [
+            ("compute", sum.compute, self.totals.compute),
+            ("io", sum.io, self.totals.io),
+            ("comm", sum.comm, self.totals.comm),
+            ("idle", sum.idle, self.totals.idle),
+        ] {
+            if (got - stated).abs() > 1e-9 * (1.0 + stated.abs()) {
+                return Err(format!("global {name}: ranks sum {got}, totals {stated}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A [`PhaseTimeline`] over wall-clock time, shared across threads.
+///
+/// Spans are timestamped relative to the `epoch` captured at construction.
+/// Recording takes a short mutex — callers record one span per handled
+/// event/batch, not per sample, so contention is negligible next to the
+/// work being traced.
+pub struct WallTimeline {
+    epoch: Instant,
+    inner: Mutex<PhaseTimeline>,
+}
+
+impl WallTimeline {
+    pub fn new(n_ranks: usize, bucket_width: Duration) -> Self {
+        WallTimeline {
+            epoch: Instant::now(),
+            inner: Mutex::new(PhaseTimeline::new(n_ranks, bucket_width.as_secs_f64())),
+        }
+    }
+
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Record `dur` of `phase` on `rank`, starting at wall instant `start`.
+    pub fn record(&self, rank: usize, phase: Phase, start: Instant, dur: Duration) {
+        let t0 = start.saturating_duration_since(self.epoch).as_secs_f64();
+        self.inner.lock().add(rank, phase, t0, dur.as_secs_f64());
+    }
+
+    /// Record a span and split it across the busy phases proportionally to
+    /// `weights = [compute, io, comm]` (e.g. the virtual-cost deltas a
+    /// handler charged). A span with no weights is attributed to compute.
+    pub fn record_weighted(&self, rank: usize, start: Instant, dur: Duration, weights: [f64; 3]) {
+        let t0 = start.saturating_duration_since(self.epoch).as_secs_f64();
+        let dt = dur.as_secs_f64();
+        if dt <= 0.0 {
+            return;
+        }
+        let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        let mut inner = self.inner.lock();
+        if total <= 0.0 {
+            inner.add(rank, Phase::Compute, t0, dt);
+            return;
+        }
+        let mut offset = 0.0;
+        for (phase, w) in [Phase::Compute, Phase::Io, Phase::Comm].into_iter().zip(weights) {
+            if w.is_finite() && w > 0.0 {
+                let share = dt * w / total;
+                inner.add(rank, phase, t0 + offset, share);
+                offset += share;
+            }
+        }
+    }
+
+    /// Copy out the timeline accumulated so far.
+    pub fn snapshot(&self) -> PhaseTimeline {
+        self.inner.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_splits_across_buckets() {
+        let mut t = PhaseTimeline::new(2, 1.0);
+        t.add(0, Phase::Compute, 0.75, 2.5);
+        assert!((t.utilization(0, 0) - 0.25).abs() < 1e-12);
+        assert!((t.utilization(0, 1) - 1.0).abs() < 1e-12);
+        assert!((t.utilization(0, 2) - 1.0).abs() < 1e-12);
+        assert!((t.utilization(0, 3) - 0.25).abs() < 1e-12);
+        assert_eq!(t.utilization(1, 1), 0.0);
+    }
+
+    #[test]
+    fn boundary_exact_start_at_large_t0_lands_in_the_bucket_it_opens() {
+        // Regression for the old `+ 1e-9` nudge: once `t0 / width` exceeds
+        // ~2e7, one ulp of the quotient is bigger than the nudge, so a
+        // charge starting exactly on a bucket boundary under-selected the
+        // *previous* bucket — and the `bucket_end <= t` fallback then
+        // charged it there and skipped the right bucket entirely.
+        let w = 0.0001;
+        let b0: usize = 20_480_004;
+        let t0 = b0 as f64 * w;
+        assert!(
+            (t0 / w + 1e-9) as usize == b0 - 1,
+            "premise: the nudged quotient must under-select for this regression to bite"
+        );
+        let mut t = PhaseTimeline::new(1, w);
+        t.add(0, Phase::Compute, t0, w);
+        assert!(t.utilization(0, b0) > 1.0 - 1e-6, "got {}", t.utilization(0, b0));
+        assert!(t.utilization(0, b0 - 1) < 1e-9, "charge leaked into the previous bucket");
+        assert!(t.utilization(0, b0) <= 1.0 + 1e-6, "no double-charging");
+    }
+
+    #[test]
+    fn sub_boundary_charge_is_not_nudged_across() {
+        // The nudge also failed in the other direction at any magnitude: a
+        // charge lying strictly inside bucket 3, within 1e-9 of the 4.0
+        // boundary, was pushed into bucket 4.
+        let w = 1.0;
+        let t0 = f64::from_bits(4.0f64.to_bits() - 4); // a couple of ulps below 4.0
+        let dt = 4.0 - t0; // ends exactly on the boundary
+        assert!(t0 < 4.0 && t0 + dt == 4.0);
+        assert!((t0 / w + 1e-9) as usize == 4, "premise: the old nudge crossed the boundary");
+        let mut t = PhaseTimeline::new(1, w);
+        t.add(0, Phase::Compute, t0, dt);
+        assert_eq!(t.utilization(0, 4), 0.0, "charge strictly before 4.0 belongs to bucket 3");
+        assert!((t.utilization(0, 3) * w - dt).abs() < 1e-18);
+    }
+
+    #[test]
+    fn boundary_exact_charges_conserve_time_at_small_t0() {
+        // 0.03 / 0.01 = 2.999... — the case the old nudge existed for.
+        let mut t = PhaseTimeline::new(1, 0.01);
+        t.add(0, Phase::Io, 0.03, 0.01);
+        assert!((t.utilization(0, 3) - 1.0).abs() < 1e-9);
+        assert!(t.utilization(0, 2) < 1e-12);
+        assert!(t.utilization(0, 4) < 1e-12);
+    }
+
+    #[test]
+    fn idle_phase_tracks_separately_from_utilization() {
+        let mut t = PhaseTimeline::new(1, 1.0);
+        t.add(0, Phase::Compute, 0.0, 0.5);
+        t.add(0, Phase::Idle, 0.5, 0.5);
+        assert!((t.utilization(0, 0) - 0.5).abs() < 1e-12, "idle is not busy");
+        assert!((t.phase_total(0, Phase::Idle) - 0.5).abs() < 1e-12);
+        let totals = t.totals();
+        assert!((totals.busy() - 0.5).abs() < 1e-12);
+        assert!((totals.idle - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_file_roundtrip_and_validate() {
+        let mut t = PhaseTimeline::new(2, 0.5);
+        t.add(0, Phase::Compute, 0.0, 1.2);
+        t.add(1, Phase::Io, 0.25, 0.5);
+        t.add(1, Phase::Idle, 0.75, 0.25);
+        let trace = t.to_trace("virtual");
+        trace.validate().expect("fresh trace validates");
+        assert_eq!(trace.ranks.len(), 2);
+        assert_eq!(trace.ranks[0].buckets.len(), trace.ranks[1].buckets.len());
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: TraceFile = serde_json::from_str(&json).unwrap();
+        back.validate().expect("roundtripped trace validates");
+        assert!((back.totals.compute - 1.2).abs() < 1e-12);
+        assert!((back.totals.io - 0.5).abs() < 1e-12);
+        assert!((back.totals.idle - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_corruption() {
+        let mut t = PhaseTimeline::new(1, 1.0);
+        t.add(0, Phase::Compute, 0.0, 1.0);
+        let good = t.to_trace("virtual");
+
+        let mut bad = good.clone();
+        bad.schema = "bogus".into();
+        assert!(bad.validate().is_err());
+
+        let mut bad = good.clone();
+        bad.clock = "sundial".into();
+        assert!(bad.validate().is_err());
+
+        let mut bad = good.clone();
+        bad.ranks[0].totals.compute += 1.0;
+        assert!(bad.validate().is_err(), "totals must match buckets");
+
+        let mut bad = good.clone();
+        bad.ranks[0].buckets[0][1] = f64::NAN;
+        assert!(bad.validate().is_err());
+
+        let mut bad = good;
+        bad.n_ranks = 2;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn wall_timeline_records_relative_to_epoch() {
+        let tl = WallTimeline::new(2, Duration::from_millis(10));
+        let e = tl.epoch();
+        tl.record(0, Phase::Io, e, Duration::from_millis(25));
+        tl.record(1, Phase::Idle, e + Duration::from_millis(5), Duration::from_millis(10));
+        let snap = tl.snapshot();
+        assert!((snap.phase_total(0, Phase::Io) - 0.025).abs() < 1e-9);
+        assert!((snap.phase_total(1, Phase::Idle) - 0.010).abs() < 1e-9);
+        assert!(snap.utilization(0, 0) > 0.99, "first 10ms bucket is all I/O");
+    }
+
+    #[test]
+    fn weighted_record_apportions_by_charge_deltas() {
+        let tl = WallTimeline::new(1, Duration::from_millis(100));
+        let e = tl.epoch();
+        tl.record_weighted(0, e, Duration::from_millis(90), [2.0, 1.0, 0.0]);
+        let snap = tl.snapshot();
+        assert!((snap.phase_total(0, Phase::Compute) - 0.060).abs() < 1e-9);
+        assert!((snap.phase_total(0, Phase::Io) - 0.030).abs() < 1e-9);
+        assert_eq!(snap.phase_total(0, Phase::Comm), 0.0);
+        // No weights at all -> compute.
+        tl.record_weighted(0, e, Duration::from_millis(10), [0.0, 0.0, 0.0]);
+        assert!((tl.snapshot().phase_total(0, Phase::Compute) - 0.070).abs() < 1e-9);
+    }
+}

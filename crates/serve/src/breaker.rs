@@ -15,8 +15,54 @@
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use streamline_field::block::BlockId;
+
+/// The breaker's notion of "now". Injected so cooldown transitions can be
+/// tested with a virtual clock instead of real sleeps.
+pub trait BreakerClock: Send + Sync {
+    fn now(&self) -> Instant;
+}
+
+/// The production clock: `Instant::now()`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl BreakerClock for SystemClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+}
+
+/// A hand-cranked clock for tests: time moves only via [`ManualClock::advance`].
+#[derive(Debug)]
+pub struct ManualClock {
+    now: Mutex<Instant>,
+}
+
+impl Default for ManualClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ManualClock {
+    pub fn new() -> Self {
+        ManualClock { now: Mutex::new(Instant::now()) }
+    }
+
+    pub fn advance(&self, by: Duration) {
+        let mut now = self.now.lock();
+        *now += by;
+    }
+}
+
+impl BreakerClock for ManualClock {
+    fn now(&self) -> Instant {
+        *self.now.lock()
+    }
+}
 
 /// When a block's breaker opens and how long it stays open.
 #[derive(Debug, Clone, Copy)]
@@ -93,6 +139,7 @@ enum BreakerState {
 /// The registry: one lazy breaker per block that has ever failed.
 pub struct BlockBreakers {
     cfg: BreakerConfig,
+    clock: Arc<dyn BreakerClock>,
     states: Mutex<HashMap<BlockId, BreakerState>>,
     fast_fails: AtomicU64,
     trips: AtomicU64,
@@ -100,8 +147,15 @@ pub struct BlockBreakers {
 
 impl BlockBreakers {
     pub fn new(cfg: BreakerConfig) -> Self {
+        Self::with_clock(cfg, Arc::new(SystemClock))
+    }
+
+    /// Like [`BlockBreakers::new`] but with an explicit clock — tests pass
+    /// a [`ManualClock`] so cooldown expiry is exact, not sleep-raced.
+    pub fn with_clock(cfg: BreakerConfig, clock: Arc<dyn BreakerClock>) -> Self {
         BlockBreakers {
             cfg: BreakerConfig { failure_threshold: cfg.failure_threshold.max(1), ..cfg },
+            clock,
             states: Mutex::new(HashMap::new()),
             fast_fails: AtomicU64::new(0),
             trips: AtomicU64::new(0),
@@ -117,7 +171,7 @@ impl BlockBreakers {
         match state {
             BreakerState::Closed { .. } => Admit::Allow,
             BreakerState::Open { since } => {
-                if since.elapsed() >= self.cfg.cooldown {
+                if self.clock.now().saturating_duration_since(*since) >= self.cfg.cooldown {
                     *state = BreakerState::HalfOpen;
                     Admit::Probe
                 } else {
@@ -146,7 +200,7 @@ impl BlockBreakers {
             BreakerState::Closed { consecutive_failures } => {
                 *consecutive_failures += 1;
                 if *consecutive_failures >= self.cfg.failure_threshold {
-                    *state = BreakerState::Open { since: Instant::now() };
+                    *state = BreakerState::Open { since: self.clock.now() };
                     self.trips.fetch_add(1, Ordering::Relaxed);
                     true
                 } else {
@@ -154,7 +208,7 @@ impl BlockBreakers {
                 }
             }
             BreakerState::HalfOpen | BreakerState::Open { .. } => {
-                *state = BreakerState::Open { since: Instant::now() };
+                *state = BreakerState::Open { since: self.clock.now() };
                 self.trips.fetch_add(1, Ordering::Relaxed);
                 true
             }
@@ -212,23 +266,50 @@ mod tests {
 
     #[test]
     fn half_open_probe_after_cooldown_then_close_or_reopen() {
-        let b = BlockBreakers::new(fast_cfg());
+        // A ManualClock makes every cooldown transition exact: no sleeps,
+        // no flakes on loaded CI machines.
+        let clock = Arc::new(ManualClock::new());
+        let b = BlockBreakers::with_clock(fast_cfg(), Arc::clone(&clock) as Arc<dyn BreakerClock>);
         let id = BlockId(7);
         b.on_failure(id);
         b.on_failure(id);
         assert_eq!(b.admit(id), Admit::FastFail);
-        std::thread::sleep(Duration::from_millis(25));
-        assert_eq!(b.admit(id), Admit::Probe, "cooldown elapsed");
+        // One tick short of the cooldown: still open.
+        clock.advance(Duration::from_millis(19));
+        assert_eq!(b.admit(id), Admit::FastFail, "cooldown not yet elapsed");
+        clock.advance(Duration::from_millis(1));
+        assert_eq!(b.admit(id), Admit::Probe, "cooldown elapsed exactly");
         // While the probe is outstanding, siblings fail fast.
         assert_eq!(b.admit(id), Admit::FastFail);
         // Probe fails: straight back to open (no threshold counting).
         assert!(b.on_failure(id));
         assert_eq!(b.admit(id), Admit::FastFail);
-        std::thread::sleep(Duration::from_millis(25));
+        clock.advance(Duration::from_millis(20));
         assert_eq!(b.admit(id), Admit::Probe);
         b.on_success(id);
         assert_eq!(b.admit(id), Admit::Allow);
         assert_eq!(b.quarantined(), 0);
+    }
+
+    #[test]
+    fn manual_clock_reopen_restarts_the_cooldown() {
+        // A failed probe must re-arm the full cooldown from the failure
+        // instant, not from the original trip.
+        let clock = Arc::new(ManualClock::new());
+        let b = BlockBreakers::with_clock(fast_cfg(), Arc::clone(&clock) as Arc<dyn BreakerClock>);
+        let id = BlockId(11);
+        b.on_failure(id);
+        b.on_failure(id);
+        clock.advance(Duration::from_millis(20));
+        assert_eq!(b.admit(id), Admit::Probe);
+        b.on_failure(id);
+        // 19 ms after the re-trip: still open even though 39 ms have passed
+        // since the first trip.
+        clock.advance(Duration::from_millis(19));
+        assert_eq!(b.admit(id), Admit::FastFail);
+        clock.advance(Duration::from_millis(1));
+        assert_eq!(b.admit(id), Admit::Probe);
+        assert_eq!(b.trips(), 2);
     }
 
     #[test]

@@ -34,8 +34,14 @@
 //!   requests stop consuming compute and complete with
 //!   [`Outcome::DeadlineExceeded`]. [`Service::shutdown`] drains all
 //!   in-flight work before workers exit.
-//! * **Metrics** — [`Service::metrics`] snapshots throughput, queue depth,
-//!   p50/p95/p99 latency and cache behavior ([`metrics::ServiceMetrics`]).
+//! * **Metrics** — every counter lives in a `streamline_obs`
+//!   [`MetricsRegistry`](streamline_obs::MetricsRegistry);
+//!   [`Service::metrics`] snapshots it as [`metrics::ServiceMetrics`]
+//!   (throughput, queue depth, p50/p95/p99 latency, cache behavior) and
+//!   [`Service::dump_metrics`] renders it in Prometheus text format.
+//!   With [`service::ServiceConfig::trace_bucket`] set, workers also
+//!   record a wall-clock idle/io/compute/comm timeline exposed by
+//!   [`Service::timeline`].
 //!
 //! Streamlines computed here are bit-identical to the single-shot drivers:
 //! both advance through `streamline_core::advance::advance_in_block`.
@@ -45,7 +51,9 @@ pub mod cache;
 pub mod metrics;
 pub mod service;
 
-pub use breaker::{Admit, BlockBreakers, BreakerConfig, RetryPolicy};
+pub use breaker::{
+    Admit, BlockBreakers, BreakerClock, BreakerConfig, ManualClock, RetryPolicy, SystemClock,
+};
 pub use cache::SharedBlockCache;
 pub use metrics::{LatencyHistogram, ServiceMetrics};
 pub use service::{Outcome, Request, Response, Service, ServiceConfig, SubmitError, Ticket};

@@ -1,17 +1,20 @@
 //! Service-level observability: a lock-free latency histogram and the
 //! [`ServiceMetrics`] snapshot surfaced by `serve-bench`.
+//!
+//! Both are now *views* over `streamline_obs`: [`LatencyHistogram`] wraps
+//! an [`streamline_obs::Histogram`] (possibly registered in the service's
+//! [`streamline_obs::MetricsRegistry`], so the same counts appear in the
+//! Prometheus export), and [`ServiceMetrics`] is assembled from registry
+//! values by `Service::metrics`.
 
 use serde::Serialize;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use streamline_iosim::CacheStats;
+use streamline_obs::{Histogram, MetricsRegistry};
 
-/// Number of power-of-two latency buckets; bucket `i > 0` covers
-/// `[2^(i-1), 2^i)` nanoseconds, bucket 0 covers zero. 2^63 ns ≈ 292
-/// years, so the top bucket is unreachable in practice.
-const BUCKETS: usize = 64;
-
-/// A fixed-size log2 histogram of request latencies.
+/// A fixed-size log2 histogram of request latencies, in nanoseconds:
+/// bucket `i > 0` covers `[2^(i-1), 2^i)` ns, bucket 0 covers zero. 2^63
+/// ns ≈ 292 years, so the top bucket is unreachable in practice.
 ///
 /// Recording is a single relaxed atomic increment, so worker and client
 /// threads never contend; quantiles are approximate (resolved to the
@@ -19,7 +22,7 @@ const BUCKETS: usize = 64;
 /// true value — ample for separating microseconds from milliseconds from
 /// seconds).
 pub struct LatencyHistogram {
-    counts: [AtomicU64; BUCKETS],
+    inner: Histogram,
 }
 
 impl Default for LatencyHistogram {
@@ -29,44 +32,30 @@ impl Default for LatencyHistogram {
 }
 
 impl LatencyHistogram {
+    /// A free-standing histogram (not visible in any registry).
     pub fn new() -> Self {
-        LatencyHistogram { counts: std::array::from_fn(|_| AtomicU64::new(0)) }
+        LatencyHistogram { inner: Histogram::standalone() }
+    }
+
+    /// A histogram registered in `registry` under `name`, so every
+    /// recorded latency also appears in the Prometheus export.
+    pub fn in_registry(registry: &MetricsRegistry, name: &str) -> Self {
+        LatencyHistogram { inner: registry.histogram(name) }
     }
 
     pub fn record(&self, latency: Duration) {
-        let nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
-        let bucket = (64 - nanos.leading_zeros() as usize).min(BUCKETS - 1);
-        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.inner.record(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
     }
 
     pub fn count(&self) -> u64 {
-        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.inner.count()
     }
 
     /// The latency at quantile `q` in `[0, 1]`, or `None` if nothing has
     /// been recorded. Resolved to the geometric midpoint of the bucket
     /// containing the q-th sample.
     pub fn quantile(&self, q: f64) -> Option<Duration> {
-        let snapshot: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
-        let total: u64 = snapshot.iter().sum();
-        if total == 0 {
-            return None;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, &c) in snapshot.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                let nanos = if i == 0 {
-                    0.0
-                } else {
-                    // Geometric midpoint of [2^(i-1), 2^i).
-                    2f64.powf(i as f64 - 0.5)
-                };
-                return Some(Duration::from_nanos(nanos as u64));
-            }
-        }
-        unreachable!("rank <= total")
+        self.inner.quantile(q).map(Duration::from_nanos)
     }
 }
 

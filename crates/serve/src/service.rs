@@ -39,6 +39,7 @@ use streamline_field::decomp::BlockDecomposition;
 use streamline_integrate::{Dopri5, StepLimits, Streamline, StreamlineId, Termination};
 use streamline_iosim::BlockStore;
 use streamline_math::Vec3;
+use streamline_obs::{names, Counter, MetricsRegistry, Phase, TraceFile, WallTimeline};
 
 /// Tuning knobs for [`Service::start`].
 #[derive(Debug, Clone)]
@@ -55,6 +56,10 @@ pub struct ServiceConfig {
     pub retry: RetryPolicy,
     /// Per-block circuit breaker tuning.
     pub breaker: BreakerConfig,
+    /// When set, record a wall-clock phase timeline (idle/io/compute/comm
+    /// per worker) at this bucket resolution, exposed via
+    /// [`Service::timeline`]. `None` (the default) costs nothing.
+    pub trace_bucket: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -66,6 +71,7 @@ impl Default for ServiceConfig {
             queue_capacity: 4096,
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
+            trace_bucket: None,
         }
     }
 }
@@ -232,19 +238,27 @@ struct ServiceInner {
     queue_capacity: usize,
     next_request_id: AtomicU64,
     started: Instant,
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    rejected: AtomicU64,
-    deadline_expired: AtomicU64,
-    partial: AtomicU64,
-    load_retries: AtomicU64,
-    load_failures: AtomicU64,
-    streamlines_unavailable: AtomicU64,
-    streamlines_completed: AtomicU64,
-    total_steps: AtomicU64,
-    sampler_hits: AtomicU64,
-    sampler_misses: AtomicU64,
+    /// The unified metric store. The counters below are registered handles
+    /// into it, so the hot path is still one relaxed atomic increment;
+    /// gauges and externally-owned counters (breakers, cache) are mirrored
+    /// in by [`refresh_registry`] at snapshot/dump time.
+    registry: Arc<MetricsRegistry>,
+    submitted: Counter,
+    completed: Counter,
+    rejected: Counter,
+    deadline_expired: Counter,
+    partial: Counter,
+    load_retries: Counter,
+    load_failures: Counter,
+    streamlines_unavailable: Counter,
+    streamlines_completed: Counter,
+    total_steps: Counter,
+    sampler_hits: Counter,
+    sampler_misses: Counter,
     latency: LatencyHistogram,
+    /// Wall-clock phase timeline, present only when
+    /// [`ServiceConfig::trace_bucket`] was set.
+    trace: Option<WallTimeline>,
 }
 
 /// A running streamline query service. See the [module docs](self).
@@ -261,6 +275,8 @@ impl Service {
         store: Arc<dyn BlockStore>,
         cfg: ServiceConfig,
     ) -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        let n_workers = cfg.workers.max(1);
         let inner = Arc::new(ServiceInner {
             decomp,
             store,
@@ -275,26 +291,28 @@ impl Service {
             queue_capacity: cfg.queue_capacity.max(1),
             next_request_id: AtomicU64::new(0),
             started: Instant::now(),
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            deadline_expired: AtomicU64::new(0),
-            partial: AtomicU64::new(0),
-            load_retries: AtomicU64::new(0),
-            load_failures: AtomicU64::new(0),
-            streamlines_unavailable: AtomicU64::new(0),
-            streamlines_completed: AtomicU64::new(0),
-            total_steps: AtomicU64::new(0),
-            sampler_hits: AtomicU64::new(0),
-            sampler_misses: AtomicU64::new(0),
-            latency: LatencyHistogram::new(),
+            submitted: registry.counter(names::SERVE_SUBMITTED_TOTAL),
+            completed: registry.counter(names::SERVE_COMPLETED_TOTAL),
+            rejected: registry.counter(names::SERVE_REJECTED_TOTAL),
+            deadline_expired: registry.counter(names::SERVE_DEADLINE_EXPIRED_TOTAL),
+            partial: registry.counter(names::SERVE_PARTIAL_TOTAL),
+            load_retries: registry.counter(names::SERVE_LOAD_RETRIES_TOTAL),
+            load_failures: registry.counter(names::SERVE_LOAD_FAILURES_TOTAL),
+            streamlines_unavailable: registry.counter(names::SERVE_STREAMLINES_UNAVAILABLE_TOTAL),
+            streamlines_completed: registry.counter(names::SERVE_STREAMLINES_COMPLETED_TOTAL),
+            total_steps: registry.counter(names::SERVE_STEPS_TOTAL),
+            sampler_hits: registry.counter(names::SERVE_SAMPLER_HITS_TOTAL),
+            sampler_misses: registry.counter(names::SERVE_SAMPLER_MISSES_TOTAL),
+            latency: LatencyHistogram::in_registry(&registry, names::SERVE_LATENCY_NANOSECONDS),
+            trace: cfg.trace_bucket.map(|w| WallTimeline::new(n_workers, w)),
+            registry,
         });
-        let workers = (0..cfg.workers.max(1))
+        let workers = (0..n_workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || worker_loop(&inner, i))
                     .expect("spawn serve worker")
             })
             .collect();
@@ -313,7 +331,7 @@ impl Service {
         let prev = self.inner.pending_seeds.fetch_add(n, Ordering::AcqRel);
         if prev + n > self.inner.queue_capacity {
             self.inner.pending_seeds.fetch_sub(n, Ordering::AcqRel);
-            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+            self.inner.rejected.inc();
             return Err(SubmitError::Overloaded {
                 queue_depth: prev,
                 capacity: self.inner.queue_capacity,
@@ -369,7 +387,7 @@ impl Service {
                 self.inner.sched.work_ready.notify_all();
             }
         }
-        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.submitted.inc();
 
         // Seeds outside the domain terminate instantly (possibly
         // completing the whole request right here on the client thread).
@@ -383,6 +401,25 @@ impl Service {
     /// Point-in-time health snapshot.
     pub fn metrics(&self) -> ServiceMetrics {
         snapshot(&self.inner, self.workers.len())
+    }
+
+    /// The unified metric store behind [`Service::metrics`]. Counters
+    /// update live; gauges are refreshed by `metrics()`/`dump_metrics()`.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.inner.registry
+    }
+
+    /// Refresh the gauges and render every metric in Prometheus text
+    /// format — the scrape endpoint's payload.
+    pub fn dump_metrics(&self) -> String {
+        refresh_registry(&self.inner, self.workers.len());
+        self.inner.registry.render_prometheus()
+    }
+
+    /// The wall-clock phase timeline recorded so far, or `None` if the
+    /// service was started without [`ServiceConfig::trace_bucket`].
+    pub fn timeline(&self) -> Option<TraceFile> {
+        self.inner.trace.as_ref().map(|t| t.snapshot().to_trace("wall"))
     }
 
     /// Stop accepting requests, drain every queued and in-flight seed,
@@ -416,32 +453,57 @@ impl Drop for Service {
     }
 }
 
+/// Mirror every point-in-time quantity (gauges, and counters owned by the
+/// breakers/cache rather than the registry) into the registry, so a
+/// [`MetricsRegistry::render_prometheus`] right after is a consistent
+/// scrape. The request/streamline counters need no refresh — they *are*
+/// registry handles.
+fn refresh_registry(inner: &ServiceInner, workers: usize) {
+    let reg = &inner.registry;
+    let cache_stats = inner.cache.stats();
+    reg.set_gauge(names::SERVE_WORKERS, workers as f64);
+    reg.set_gauge(names::SERVE_UPTIME_SECONDS, inner.started.elapsed().as_secs_f64().max(1e-9));
+    reg.set_counter(names::SERVE_BREAKER_FAST_FAILS_TOTAL, inner.breakers.fast_fails());
+    reg.set_counter(names::SERVE_BREAKER_TRIPS_TOTAL, inner.breakers.trips());
+    reg.set_gauge(names::SERVE_BLOCKS_QUARANTINED, inner.breakers.quarantined() as f64);
+    reg.set_gauge(names::SERVE_QUEUE_DEPTH, inner.pending_seeds.load(Ordering::Acquire) as f64);
+    reg.set_gauge(names::SERVE_QUEUE_CAPACITY, inner.queue_capacity as f64);
+    reg.set_gauge(names::SERVE_CACHE_RESIDENT_BLOCKS, inner.cache.len() as f64);
+    reg.set_gauge(names::SERVE_CACHE_CAPACITY_BLOCKS, inner.cache.capacity() as f64);
+    reg.set_counter(names::SERVE_CACHE_LOADED_TOTAL, cache_stats.loaded);
+    reg.set_counter(names::SERVE_CACHE_PURGED_TOTAL, cache_stats.purged);
+    reg.set_counter(names::SERVE_CACHE_HITS_TOTAL, cache_stats.hits);
+    reg.set_counter(names::SERVE_CACHE_FAILED_LOADS_TOTAL, cache_stats.failed);
+    reg.set_gauge(names::SERVE_BLOCK_EFFICIENCY, cache_stats.efficiency());
+}
+
 fn snapshot(inner: &ServiceInner, workers: usize) -> ServiceMetrics {
+    refresh_registry(inner, workers);
     let uptime = inner.started.elapsed().as_secs_f64().max(1e-9);
-    let completed = inner.completed.load(Ordering::Relaxed);
-    let streamlines = inner.streamlines_completed.load(Ordering::Relaxed);
+    let completed = inner.completed.get();
+    let streamlines = inner.streamlines_completed.get();
     let cache_stats = inner.cache.stats();
     let gets = cache_stats.hits + cache_stats.loaded;
-    let sampler_hits = inner.sampler_hits.load(Ordering::Relaxed);
-    let sampler_misses = inner.sampler_misses.load(Ordering::Relaxed);
+    let sampler_hits = inner.sampler_hits.get();
+    let sampler_misses = inner.sampler_misses.get();
     let samples = sampler_hits + sampler_misses;
     let q = |p: f64| inner.latency.quantile(p).map(|d| d.as_secs_f64() * 1e3).unwrap_or(0.0);
     ServiceMetrics {
         workers,
         uptime_secs: uptime,
-        submitted: inner.submitted.load(Ordering::Relaxed),
+        submitted: inner.submitted.get(),
         completed,
-        rejected: inner.rejected.load(Ordering::Relaxed),
-        deadline_expired: inner.deadline_expired.load(Ordering::Relaxed),
-        partial: inner.partial.load(Ordering::Relaxed),
-        load_retries: inner.load_retries.load(Ordering::Relaxed),
-        load_failures: inner.load_failures.load(Ordering::Relaxed),
+        rejected: inner.rejected.get(),
+        deadline_expired: inner.deadline_expired.get(),
+        partial: inner.partial.get(),
+        load_retries: inner.load_retries.get(),
+        load_failures: inner.load_failures.get(),
         fast_fails: inner.breakers.fast_fails(),
         breaker_trips: inner.breakers.trips(),
         blocks_quarantined: inner.breakers.quarantined(),
-        streamlines_unavailable: inner.streamlines_unavailable.load(Ordering::Relaxed),
+        streamlines_unavailable: inner.streamlines_unavailable.get(),
         streamlines_completed: streamlines,
-        total_steps: inner.total_steps.load(Ordering::Relaxed),
+        total_steps: inner.total_steps.get(),
         sampler_hits,
         sampler_misses,
         sampler_hit_rate: if samples == 0 { 0.0 } else { sampler_hits as f64 / samples as f64 },
@@ -466,7 +528,7 @@ fn snapshot(inner: &ServiceInner, workers: usize) -> ServiceMetrics {
 fn finish_item(inner: &ServiceInner, req: &Arc<RequestState>, sl: Option<Streamline>) {
     match sl {
         Some(sl) => {
-            inner.streamlines_completed.fetch_add(1, Ordering::Relaxed);
+            inner.streamlines_completed.inc();
             req.finished.lock().push(sl);
         }
         None => {
@@ -484,10 +546,10 @@ fn complete_request(inner: &ServiceInner, req: &Arc<RequestState>) {
     let dropped = req.dropped.load(Ordering::Relaxed);
     let unavailable = req.unavailable.load(Ordering::Relaxed);
     let outcome = if dropped > 0 || req.expired.load(Ordering::Relaxed) {
-        inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        inner.deadline_expired.inc();
         Outcome::DeadlineExceeded { dropped }
     } else if unavailable > 0 {
-        inner.partial.fetch_add(1, Ordering::Relaxed);
+        inner.partial.inc();
         Outcome::Partial { unavailable }
     } else {
         Outcome::Completed
@@ -495,7 +557,7 @@ fn complete_request(inner: &ServiceInner, req: &Arc<RequestState>) {
     let mut streamlines = std::mem::take(&mut *req.finished.lock());
     streamlines.sort_by_key(|sl| sl.id);
     inner.latency.record(latency);
-    inner.completed.fetch_add(1, Ordering::Relaxed);
+    inner.completed.inc();
     // The client may have dropped its ticket; that's fine.
     let _ = req.tx.send(Response { request_id: req.id, outcome, streamlines, latency });
 }
@@ -524,10 +586,19 @@ fn claim_batch(inner: &ServiceInner) -> Option<(BlockId, Vec<WorkItem>)> {
     }
 }
 
-fn worker_loop(inner: &ServiceInner) {
+fn worker_loop(inner: &ServiceInner, rank: usize) {
     let stepper = Dopri5;
-    while let Some((block_id, items)) = claim_batch(inner) {
-        process_batch(inner, block_id, items, &stepper);
+    loop {
+        // Time spent inside claim_batch is overwhelmingly condvar waiting:
+        // the worker is starved for parked work — the serving analogue of
+        // the paper's §8 processor starvation.
+        let wait_start = inner.trace.as_ref().map(|_| Instant::now());
+        let claimed = claim_batch(inner);
+        if let (Some(tl), Some(ws)) = (inner.trace.as_ref(), wait_start) {
+            tl.record(rank, Phase::Idle, ws, ws.elapsed());
+        }
+        let Some((block_id, items)) = claimed else { break };
+        process_batch(inner, rank, block_id, items, &stepper);
     }
 }
 
@@ -540,7 +611,7 @@ fn load_with_retry(inner: &ServiceInner, block_id: BlockId, probe: bool) -> Opti
         match inner.cache.get_or_load(block_id, inner.store.as_ref()) {
             Ok((b, _hit)) => return Some(b),
             Err(_) if attempt < attempts => {
-                inner.load_retries.fetch_add(1, Ordering::Relaxed);
+                inner.load_retries.inc();
                 std::thread::sleep(inner.retry.backoff(attempt, u64::from(block_id.0)));
             }
             Err(_) => {}
@@ -549,8 +620,18 @@ fn load_with_retry(inner: &ServiceInner, block_id: BlockId, probe: bool) -> Opti
     None
 }
 
-fn process_batch(inner: &ServiceInner, block_id: BlockId, items: Vec<WorkItem>, stepper: &Dopri5) {
+fn process_batch(
+    inner: &ServiceInner,
+    rank: usize,
+    block_id: BlockId,
+    items: Vec<WorkItem>,
+    stepper: &Dopri5,
+) {
+    let trace = inner.trace.as_ref();
     let n_claimed = items.len();
+    // Block acquisition (cache probe, store load, retry sleeps) is the
+    // I/O phase of this batch.
+    let io_start = trace.map(|_| Instant::now());
     let block = match inner.breakers.admit(block_id) {
         Admit::FastFail => None,
         admit => {
@@ -558,19 +639,23 @@ fn process_batch(inner: &ServiceInner, block_id: BlockId, items: Vec<WorkItem>, 
             match &b {
                 Some(_) => inner.breakers.on_success(block_id),
                 None => {
-                    inner.load_failures.fetch_add(1, Ordering::Relaxed);
+                    inner.load_failures.inc();
                     inner.breakers.on_failure(block_id);
                 }
             }
             b
         }
     };
+    if let (Some(tl), Some(t0)) = (trace, io_start) {
+        tl.record(rank, Phase::Io, t0, t0.elapsed());
+    }
     let Some(block) = block else {
         // Degraded mode: the block cannot be produced (retries exhausted
         // or its breaker is open). The affected streamlines terminate
         // `BlockUnavailable` — typed, with the curve computed so far —
         // instead of wedging their requests forever; already-expired
         // items are dropped as usual.
+        let comm_start = trace.map(|_| Instant::now());
         {
             let mut st = inner.sched.state.lock();
             st.in_flight -= n_claimed;
@@ -584,15 +669,19 @@ fn process_batch(inner: &ServiceInner, block_id: BlockId, items: Vec<WorkItem>, 
             } else {
                 item.sl.terminate(Termination::BlockUnavailable);
                 item.req.unavailable.fetch_add(1, Ordering::Relaxed);
-                inner.streamlines_unavailable.fetch_add(1, Ordering::Relaxed);
+                inner.streamlines_unavailable.inc();
                 finish_item(inner, &item.req, Some(item.sl));
             }
+        }
+        if let (Some(tl), Some(t0)) = (trace, comm_start) {
+            tl.record(rank, Phase::Comm, t0, t0.elapsed());
         }
         return;
     };
 
     let mut moved: BTreeMap<BlockId, Vec<WorkItem>> = BTreeMap::new();
     let mut finished: Vec<(Arc<RequestState>, Option<Streamline>)> = Vec::new();
+    let compute_start = trace.map(|_| Instant::now());
     let now = Instant::now();
     for mut item in items {
         // Deadline check: an expired request stops consuming compute.
@@ -610,15 +699,21 @@ fn process_batch(inner: &ServiceInner, block_id: BlockId, items: Vec<WorkItem>, 
         }
         let (exit, stats) =
             advance_in_block(&mut item.sl, &block, &inner.decomp, &item.req.limits, stepper);
-        inner.total_steps.fetch_add(stats.steps, Ordering::Relaxed);
-        inner.sampler_hits.fetch_add(stats.sampler_hits, Ordering::Relaxed);
-        inner.sampler_misses.fetch_add(stats.sampler_misses, Ordering::Relaxed);
+        inner.total_steps.add(stats.steps);
+        inner.sampler_hits.add(stats.sampler_hits);
+        inner.sampler_misses.add(stats.sampler_misses);
         match exit {
             BlockExit::MovedTo(next) => moved.entry(next).or_default().push(item),
             BlockExit::Done(_) => finished.push((item.req, Some(item.sl))),
         }
     }
+    if let (Some(tl), Some(t0)) = (trace, compute_start) {
+        tl.record(rank, Phase::Compute, t0, t0.elapsed());
+    }
 
+    // Re-parking moved streamlines and completing responses is this
+    // design's communication: handing work and results to other parties.
+    let comm_start = trace.map(|_| Instant::now());
     {
         let mut st = inner.sched.state.lock();
         st.in_flight -= n_claimed;
@@ -639,6 +734,9 @@ fn process_batch(inner: &ServiceInner, block_id: BlockId, items: Vec<WorkItem>, 
 
     for (req, sl) in finished {
         finish_item(inner, &req, sl);
+    }
+    if let (Some(tl), Some(t0)) = (trace, comm_start) {
+        tl.record(rank, Phase::Comm, t0, t0.elapsed());
     }
 }
 
@@ -914,6 +1012,55 @@ mod tests {
         assert!(m.fast_fails >= 1, "second request must be fast-failed");
         assert_eq!(m.load_failures, 1, "the store is hit once, not per request");
         assert_eq!(m.completed, 2, "every ticket is still answered");
+    }
+
+    #[test]
+    fn dump_metrics_agrees_with_the_snapshot() {
+        let (svc, dataset) = tiny_service(ServiceConfig::default());
+        let seeds = dataset.seeds_with_count(Seeding::Sparse, 8);
+        svc.submit(Request::new(seeds.points.clone()).with_limits(limits())).unwrap().wait();
+        let text = svc.dump_metrics();
+        let parsed = streamline_obs::prom::parse_text(&text).expect("valid Prometheus text");
+        let m = svc.metrics();
+        // The counters the registry owns are bit-identical to the
+        // ServiceMetrics view; both read the same handles.
+        assert_eq!(parsed[names::SERVE_SUBMITTED_TOTAL], m.submitted as f64);
+        assert_eq!(parsed[names::SERVE_COMPLETED_TOTAL], m.completed as f64);
+        assert_eq!(parsed[names::SERVE_STREAMLINES_COMPLETED_TOTAL], 8.0);
+        assert_eq!(parsed[names::SERVE_STEPS_TOTAL], m.total_steps as f64);
+        assert_eq!(parsed[names::SERVE_CACHE_LOADED_TOTAL], m.cache.loaded as f64);
+        assert_eq!(parsed[names::SERVE_QUEUE_CAPACITY], m.queue_capacity as f64);
+        assert_eq!(
+            parsed[&format!("{}_count", names::SERVE_LATENCY_NANOSECONDS)],
+            m.completed as f64,
+            "one latency sample per completed request"
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn traced_service_emits_a_valid_wall_timeline() {
+        let cfg = ServiceConfig {
+            workers: 2,
+            trace_bucket: Some(Duration::from_millis(1)),
+            ..ServiceConfig::default()
+        };
+        let (svc, dataset) = tiny_service(cfg);
+        let seeds = dataset.seeds_with_count(Seeding::Sparse, 16);
+        svc.submit(Request::new(seeds.points.clone()).with_limits(limits())).unwrap().wait();
+        let tf = svc.timeline().expect("tracing was enabled");
+        tf.validate().expect("trace invariants hold");
+        assert_eq!(tf.clock, "wall");
+        assert_eq!(tf.n_ranks, 2);
+        assert!(tf.totals.busy() > 0.0, "workers did measurable work");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn untraced_service_has_no_timeline() {
+        let (svc, _dataset) = tiny_service(ServiceConfig::default());
+        assert!(svc.timeline().is_none());
+        svc.shutdown();
     }
 
     #[test]
