@@ -1,0 +1,201 @@
+//! Checkpoint-overhead harness (`bench-ckpt` / `BENCH_5.json`).
+//!
+//! Measures what periodic checkpointing costs each driver on the
+//! astrophysics/sparse workload: an uninstrumented run vs. a run writing a
+//! snapshot roughly every eighth of its virtual wall, timed in host
+//! wall-clock. The budget is <5% overhead at the default cadence. Each case
+//! also kills a run mid-way and resumes it, asserting the subsystem's core
+//! invariant (bit-identical output) holds at benchmark scale — a perf
+//! number for a checkpoint that resumes wrong would be meaningless.
+
+use crate::experiments::{case_config, dataset_for, SweepScale, Workload};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+use streamline_core::{
+    resume_simulated_detailed_with_store, run_simulated_checkpointed_with_store,
+    run_simulated_detailed_with_store, Algorithm, CheckpointOptions,
+};
+use streamline_field::dataset::Seeding;
+use streamline_iosim::{BlockStore, FieldStore};
+
+/// Shape of one harness invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct CkptOverheadConfig {
+    /// Seconds-scale iteration counts for CI; full counts otherwise.
+    pub smoke: bool,
+}
+
+/// One driver's overhead measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct CkptCase {
+    pub algorithm: String,
+    /// Median host seconds of the plain run.
+    pub plain_secs: f64,
+    /// Median host seconds of the checkpointed run.
+    pub checkpointed_secs: f64,
+    /// `(checkpointed - plain) / plain`.
+    pub overhead_frac: f64,
+    /// Snapshots the checkpointed run wrote.
+    pub checkpoints: u64,
+    /// Total snapshot bytes written per run.
+    pub bytes_written: u64,
+    /// Virtual-seconds cadence used (plain virtual wall / 8).
+    pub interval: f64,
+    /// A mid-run kill resumed to byte-equal streamlines and report.
+    pub resume_bit_identical: bool,
+}
+
+/// Everything one harness run measured.
+#[derive(Debug, Clone, Serialize)]
+pub struct CkptOverheadReport {
+    pub smoke: bool,
+    /// The acceptance budget on `overhead_frac`.
+    pub budget_frac: f64,
+    pub cases: Vec<CkptCase>,
+    pub max_overhead_frac: f64,
+    /// Every case within budget (noise-dominated in smoke mode).
+    pub within_budget: bool,
+    /// Every case resumed bit-identically.
+    pub all_resumes_bit_identical: bool,
+}
+
+impl CkptOverheadReport {
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for c in &self.cases {
+            out.push_str(&format!(
+                "{:<16} plain {:>8.1} ms  ckpt {:>8.1} ms  overhead {:>+6.2}%  \
+                 ({} snapshots, {:.1} KiB, resume bit-identical: {})\n",
+                c.algorithm,
+                c.plain_secs * 1e3,
+                c.checkpointed_secs * 1e3,
+                c.overhead_frac * 1e2,
+                c.checkpoints,
+                c.bytes_written as f64 / 1024.0,
+                c.resume_bit_identical,
+            ));
+        }
+        out.push_str(&format!(
+            "max overhead {:.2}% (budget {:.0}%), within budget: {}",
+            self.max_overhead_frac * 1e2,
+            self.budget_frac * 1e2,
+            self.within_budget
+        ));
+        out
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Run the harness: astrophysics/sparse, all three drivers.
+pub fn run_ckpt_overhead(cfg: &CkptOverheadConfig) -> CkptOverheadReport {
+    let scale = if cfg.smoke { SweepScale::Quick } else { SweepScale::Full };
+    let (n_procs, n_seeds, repeats) = if cfg.smoke { (8, 64, 3) } else { (32, 400, 5) };
+    let dataset = dataset_for(Workload::Astro, scale);
+    let seeds = dataset.seeds_with_count(Seeding::Sparse, n_seeds);
+    let dir = std::env::temp_dir().join(format!("slckpt-bench-{}", std::process::id()));
+
+    let mut cases = Vec::new();
+    for algorithm in Algorithm::ALL {
+        let run_cfg = case_config(Workload::Astro, Seeding::Sparse, algorithm, n_procs);
+        let store = || -> Arc<dyn BlockStore> { Arc::new(FieldStore::new(dataset.clone())) };
+
+        // Untimed warm-up run doubles as the reference output and supplies
+        // the virtual wall the cadence hangs off.
+        let (ref_report, ref_lines) =
+            run_simulated_detailed_with_store(&dataset, &seeds, &run_cfg, store());
+        let interval = (ref_report.wall / 8.0).max(f64::MIN_POSITIVE);
+
+        // Timed samples, plain and checkpointed interleaved pairwise so host
+        // drift (CPU contention, thermal state) lands on both distributions
+        // equally instead of biasing whichever phase ran second.
+        let case_dir = dir.join(algorithm.label());
+        let opts = CheckpointOptions::new(&case_dir, interval);
+        let mut plain_samples = Vec::new();
+        let mut ckpt_samples = Vec::new();
+        let mut checkpoints = 0u64;
+        let mut bytes_written = 0u64;
+        for _ in 0..repeats {
+            let t0 = Instant::now();
+            let _ = run_simulated_detailed_with_store(&dataset, &seeds, &run_cfg, store());
+            plain_samples.push(t0.elapsed().as_secs_f64());
+
+            let _ = std::fs::remove_dir_all(&case_dir);
+            let t0 = Instant::now();
+            let out =
+                run_simulated_checkpointed_with_store(&dataset, &seeds, &run_cfg, store(), &opts)
+                    .expect("checkpointed run");
+            ckpt_samples.push(t0.elapsed().as_secs_f64());
+            checkpoints = out.checkpoints.len() as u64;
+            bytes_written = out.bytes_written;
+            let (report, lines) = out.result.expect("uninterrupted run completes");
+            assert_eq!(lines, ref_lines, "{algorithm:?}: checkpointing perturbed the run");
+            assert_eq!(report.wall, ref_report.wall);
+        }
+
+        // Kill mid-run and resume; the perf number is only meaningful if
+        // the resumed output is byte-equal.
+        let _ = std::fs::remove_dir_all(&case_dir);
+        let kill_opts = CheckpointOptions {
+            kill_after: Some((checkpoints / 2).max(1)),
+            ..CheckpointOptions::new(&case_dir, interval)
+        };
+        let killed =
+            run_simulated_checkpointed_with_store(&dataset, &seeds, &run_cfg, store(), &kill_opts)
+                .expect("killed run");
+        let latest = killed.checkpoints.last().expect("kill_after >= 1 wrote a snapshot");
+        let (res_report, res_lines) =
+            resume_simulated_detailed_with_store(&dataset, &seeds, &run_cfg, store(), latest)
+                .expect("resume");
+        let resume_bit_identical = res_lines == ref_lines && res_report.wall == ref_report.wall;
+        let _ = std::fs::remove_dir_all(&case_dir);
+
+        let plain_secs = median(plain_samples);
+        let checkpointed_secs = median(ckpt_samples);
+        cases.push(CkptCase {
+            algorithm: algorithm.label().to_string(),
+            plain_secs,
+            checkpointed_secs,
+            overhead_frac: (checkpointed_secs - plain_secs) / plain_secs,
+            checkpoints,
+            bytes_written,
+            interval,
+            resume_bit_identical,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let budget_frac = 0.05;
+    let max_overhead_frac = cases.iter().map(|c| c.overhead_frac).fold(f64::MIN, f64::max);
+    CkptOverheadReport {
+        smoke: cfg.smoke,
+        budget_frac,
+        max_overhead_frac,
+        within_budget: max_overhead_frac < budget_frac,
+        all_resumes_bit_identical: cases.iter().all(|c| c.resume_bit_identical),
+        cases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_harness_resumes_bit_identically_on_every_driver() {
+        let report = run_ckpt_overhead(&CkptOverheadConfig { smoke: true });
+        assert_eq!(report.cases.len(), 3);
+        assert!(report.all_resumes_bit_identical, "{}", report.summary());
+        for c in &report.cases {
+            assert!(c.checkpoints > 0, "{}: no snapshots written", c.algorithm);
+            assert!(c.bytes_written > 0);
+            assert!(c.plain_secs > 0.0 && c.checkpointed_secs > 0.0);
+        }
+        // The report is what `bench-ckpt --json` writes; it must serialize.
+        serde_json::to_string(&report).expect("report serializes");
+    }
+}

@@ -2,12 +2,14 @@
 //! and table printers for every figure in the paper's evaluation (§5,
 //! Figures 5–16), plus the §4.3 parameter ablation.
 
+pub mod ckpt_overhead;
 pub mod experiments;
 pub mod harness;
 pub mod kernels;
 pub mod loadgen;
 pub mod tables;
 
+pub use ckpt_overhead::{run_ckpt_overhead, CkptOverheadConfig, CkptOverheadReport};
 pub use experiments::{
     case_config, dataset_for, limits_for, run_sweep, CaseResult, SweepScale, Workload,
 };

@@ -41,6 +41,11 @@ pub struct LoadGenConfig {
     pub chaos: Option<ChaosConfig>,
     /// Capture the service's Prometheus text export in the report.
     pub emit_prometheus: bool,
+    /// Warm-start manifest path. If the file exists, its residency is
+    /// prefetched into the shared cache before clients start; on drain the
+    /// final residency is persisted back to the same path — so consecutive
+    /// runs hand the working set forward.
+    pub warm_start: Option<std::path::PathBuf>,
 }
 
 /// Chaos mode: wrap the store in a seeded
@@ -76,6 +81,7 @@ impl Default for LoadGenConfig {
             service: ServiceConfig::default(),
             chaos: None,
             emit_prometheus: false,
+            warm_start: None,
         }
     }
 }
@@ -110,6 +116,9 @@ pub struct LoadGenReport {
     /// Prometheus text export, present when `emit_prometheus` was set.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub prometheus: Option<String>,
+    /// Blocks prefetched from the warm-start manifest (0 when the feature
+    /// is off or the manifest did not exist yet).
+    pub warm_start_blocks: u64,
 }
 
 /// Run the closed loop to completion and return the combined report.
@@ -149,7 +158,8 @@ pub fn run_load(cfg: &LoadGenConfig) -> LoadGenReport {
                     let resp = reference
                         .submit(Request::new(client_seeds(c)).with_limits(limits))
                         .expect("reference pass is admitted")
-                        .wait();
+                        .wait()
+                        .expect("service answers");
                     assert_eq!(resp.outcome, Outcome::Completed, "reference pass must be clean");
                     Arc::new(resp.streamlines)
                 })
@@ -161,6 +171,18 @@ pub fn run_load(cfg: &LoadGenConfig) -> LoadGenReport {
         None => (base, None, None),
     };
     let service = Arc::new(Service::start(dataset.decomp, store, cfg.service.clone()));
+
+    // Warm-start: prefetch the previous run's residency before any client
+    // submits. A missing manifest is a cold start, not an error; a corrupt
+    // one is refused loudly (typed) rather than half-applied.
+    let mut warm_start_blocks = 0u64;
+    if let Some(path) = &cfg.warm_start {
+        if path.exists() {
+            let manifest = streamline_serve::WarmStartManifest::read(path)
+                .unwrap_or_else(|e| panic!("warm-start manifest {}: {e}", path.display()));
+            warm_start_blocks = service.warm_start(&manifest) as u64;
+        }
+    }
 
     let rejections = Arc::new(AtomicU64::new(0));
     let deadline_exceeded = Arc::new(AtomicU64::new(0));
@@ -190,7 +212,7 @@ pub fn run_load(cfg: &LoadGenConfig) -> LoadGenReport {
                         }
                         match service.submit(req) {
                             Ok(ticket) => {
-                                let resp = ticket.wait();
+                                let resp = ticket.wait().expect("service answers");
                                 completed += 1;
                                 streamlines
                                     .fetch_add(resp.streamlines.len() as u64, Ordering::Relaxed);
@@ -231,6 +253,13 @@ pub fn run_load(cfg: &LoadGenConfig) -> LoadGenReport {
     // Trace and scrape before shutdown consumes the service.
     let trace = service.timeline();
     let prometheus = cfg.emit_prometheus.then(|| service.dump_metrics());
+    // Persist the final residency for the next instance's warm start.
+    if let Some(path) = &cfg.warm_start {
+        let manifest = service.residency_manifest();
+        manifest
+            .write(path, dataset.name, service.metrics().cache_capacity)
+            .unwrap_or_else(|e| panic!("writing warm-start manifest {}: {e}", path.display()));
+    }
     let metrics = service.shutdown();
 
     // Chaos contract: a fault plan can degrade answers, never lose them.
@@ -260,6 +289,7 @@ pub fn run_load(cfg: &LoadGenConfig) -> LoadGenReport {
         metrics,
         trace,
         prometheus,
+        warm_start_blocks,
     }
 }
 
@@ -386,6 +416,37 @@ mod tests {
             report.unavailable_streamlines, report.metrics.streamlines_unavailable,
             "client-side and service-side degraded counts must agree"
         );
+    }
+
+    #[test]
+    fn warm_start_manifest_hands_the_working_set_forward() {
+        let dir = std::env::temp_dir().join(format!("slwarm-loadgen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("warm.ckpt");
+        let cfg = LoadGenConfig {
+            clients: 2,
+            requests_per_client: 2,
+            seeds_per_request: 4,
+            warm_start: Some(path.clone()),
+            ..LoadGenConfig::default()
+        };
+        let first = run_load(&cfg);
+        assert_eq!(first.warm_start_blocks, 0, "no manifest yet: first run starts cold");
+        assert!(path.exists(), "drain must persist the manifest");
+
+        let second = run_load(&cfg);
+        assert_eq!(
+            second.warm_start_blocks, first.metrics.cache_resident as u64,
+            "second run prefetches exactly what the first left resident"
+        );
+        if first.metrics.cache.purged == 0 {
+            assert_eq!(
+                second.metrics.cache.loaded, second.warm_start_blocks,
+                "with the whole working set handed forward, no request-path load remains"
+            );
+        }
+        assert!(second.metrics.cache.hits > 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

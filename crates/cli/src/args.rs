@@ -60,6 +60,16 @@ pub enum Command {
         trace_bucket: f64,
         /// Write the run's metric registry as Prometheus text to this path.
         metrics: Option<String>,
+        /// Write periodic snapshots (`ckpt-NNNNNN.ckpt`) into this directory.
+        checkpoint: Option<String>,
+        /// Virtual seconds between snapshots.
+        checkpoint_interval: f64,
+        /// Abandon the run after writing this many snapshots — the kill half
+        /// of the crash/restart smoke test.
+        kill_after_checkpoints: Option<u64>,
+        /// Resume a previous run from this snapshot file (or the latest
+        /// `ckpt-*.ckpt` if a directory is given) instead of starting fresh.
+        resume: Option<String>,
     },
     Classify {
         dataset: DatasetKind,
@@ -106,6 +116,9 @@ pub enum Command {
         trace_bucket_ms: u64,
         /// Write the service's Prometheus text export to this path.
         metrics: Option<String>,
+        /// Warm-start manifest: prefetched on startup if present, rewritten
+        /// from the shared cache's residency on drain.
+        warm_start: Option<String>,
     },
     /// Kernel perf-regression harness: fast-vs-reference timings of the
     /// integration hot path, written as the `BENCH_2.json` trajectory.
@@ -114,11 +127,21 @@ pub enum Command {
         smoke: bool,
         json: Option<String>,
     },
-    /// Validate an emitted trace JSON and/or Prometheus snapshot — the CI
-    /// smoke gate behind `run --trace` and `serve-bench --trace`.
+    /// Checkpoint-overhead harness: plain vs checkpointed wall-clock on the
+    /// astrophysics/sparse workload, written as the `BENCH_5.json`
+    /// trajectory.
+    BenchCkpt {
+        /// Seconds-scale iteration counts (CI smoke mode).
+        smoke: bool,
+        json: Option<String>,
+    },
+    /// Validate an emitted trace JSON, Prometheus snapshot and/or checkpoint
+    /// file — the CI smoke gate behind `run --trace` and `run --checkpoint`.
     ObsCheck {
         trace: Option<String>,
         metrics: Option<String>,
+        /// Validate a checkpoint container (magic, section CRCs, metadata).
+        ckpt: Option<String>,
     },
     Info,
     Help,
@@ -187,6 +210,10 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     "trace",
                     "trace-bucket",
                     "metrics",
+                    "checkpoint",
+                    "checkpoint-interval",
+                    "kill-after-checkpoints",
+                    "resume",
                 ],
             )?;
             Command::Run {
@@ -207,6 +234,15 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 trace: o.get("trace").cloned(),
                 trace_bucket: get_parse(&o, "trace-bucket", 0.05)?,
                 metrics: o.get("metrics").cloned(),
+                checkpoint: o.get("checkpoint").cloned(),
+                checkpoint_interval: get_parse(&o, "checkpoint-interval", 0.1)?,
+                kill_after_checkpoints: o
+                    .get("kill-after-checkpoints")
+                    .map(|v| {
+                        v.parse().map_err(|_| "--kill-after-checkpoints: bad integer".to_string())
+                    })
+                    .transpose()?,
+                resume: o.get("resume").cloned(),
             }
         }
         "classify" => {
@@ -271,6 +307,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     "trace",
                     "trace-bucket-ms",
                     "metrics",
+                    "warm-start",
                 ],
             )?;
             Command::ServeBench {
@@ -294,6 +331,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 trace: o.get("trace").cloned(),
                 trace_bucket_ms: get_parse(&o, "trace-bucket-ms", 1)?,
                 metrics: o.get("metrics").cloned(),
+                warm_start: o.get("warm-start").cloned(),
             }
         }
         "bench-kernels" => {
@@ -308,19 +346,35 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             let o = options(&kv, &["json"])?;
             Command::BenchKernels { smoke, json: o.get("json").cloned() }
         }
+        "bench-ckpt" => {
+            // `--smoke` is a bare flag; peel it off before the key-value pass.
+            let mut kv: Vec<String> = rest.to_vec();
+            let smoke = if let Some(i) = kv.iter().position(|a| a == "--smoke") {
+                kv.remove(i);
+                true
+            } else {
+                false
+            };
+            let o = options(&kv, &["json"])?;
+            Command::BenchCkpt { smoke, json: o.get("json").cloned() }
+        }
         "obs-check" => {
-            let o = options(rest, &["trace", "metrics"])?;
+            let o = options(rest, &["trace", "metrics", "ckpt"])?;
             if o.is_empty() {
-                return Err("obs-check needs --trace and/or --metrics".into());
+                return Err("obs-check needs --trace, --metrics and/or --ckpt".into());
             }
-            Command::ObsCheck { trace: o.get("trace").cloned(), metrics: o.get("metrics").cloned() }
+            Command::ObsCheck {
+                trace: o.get("trace").cloned(),
+                metrics: o.get("metrics").cloned(),
+                ckpt: o.get("ckpt").cloned(),
+            }
         }
         "info" => Command::Info,
         "help" | "--help" | "-h" => Command::Help,
         other => {
             return Err(format!(
                 "unknown command '{other}' \
-                 (run|classify|trace|ftle|serve-bench|bench-kernels|obs-check|info|help)"
+                 (run|classify|trace|ftle|serve-bench|bench-kernels|bench-ckpt|obs-check|info|help)"
             ))
         }
     };
@@ -335,6 +389,8 @@ USAGE:
                    [--algorithm static|lod|hybrid|auto] [--procs N] [--seeds N]
                    [--cache BLOCKS] [--json FILE] [--trace FILE.json]
                    [--trace-bucket SECS] [--metrics FILE.prom]
+                   [--checkpoint DIR] [--checkpoint-interval SECS]
+                   [--kill-after-checkpoints N] [--resume FILE|DIR]
   slrepro classify [--dataset ...] [--seeding ...] [--seeds N]
   slrepro trace    [--dataset ...] [--seeds N] [--out DIR] [--formats vtk,obj,csv,ppm]
   slrepro ftle     [--out FILE.ppm] [--nx N] [--ny N] [--horizon T]
@@ -342,9 +398,10 @@ USAGE:
                    [--seeds N] [--workers N] [--cache BLOCKS] [--shards N]
                    [--queue SEEDS] [--deadline-ms MS] [--chaos] [--chaos-seed N]
                    [--json FILE] [--trace FILE.json] [--trace-bucket-ms MS]
-                   [--metrics FILE.prom]
+                   [--metrics FILE.prom] [--warm-start FILE.ckpt]
   slrepro bench-kernels [--smoke] [--json FILE]
-  slrepro obs-check [--trace FILE.json] [--metrics FILE.prom]
+  slrepro bench-ckpt [--smoke] [--json FILE]
+  slrepro obs-check [--trace FILE.json] [--metrics FILE.prom] [--ckpt FILE.ckpt]
   slrepro info
 ";
 
@@ -371,6 +428,10 @@ mod tests {
                 trace,
                 trace_bucket,
                 metrics,
+                checkpoint,
+                checkpoint_interval,
+                kill_after_checkpoints,
+                resume,
             } => {
                 assert_eq!(dataset, DatasetKind::Thermal);
                 assert_eq!(seeding, Seeding::Sparse);
@@ -382,6 +443,10 @@ mod tests {
                 assert_eq!(trace, None);
                 assert_eq!(trace_bucket, 0.05);
                 assert_eq!(metrics, None);
+                assert_eq!(checkpoint, None);
+                assert_eq!(checkpoint_interval, 0.1);
+                assert_eq!(kill_after_checkpoints, None);
+                assert_eq!(resume, None);
             }
             other => panic!("{other:?}"),
         }
@@ -390,7 +455,7 @@ mod tests {
     #[test]
     fn run_full_options() {
         let cli = parse(&argv(
-            "run --dataset astro --seeding dense --algorithm hybrid --procs 128 --seeds 5000 --cache 32 --json r.json --trace t.json --trace-bucket 0.01 --metrics m.prom",
+            "run --dataset astro --seeding dense --algorithm hybrid --procs 128 --seeds 5000 --cache 32 --json r.json --trace t.json --trace-bucket 0.01 --metrics m.prom --checkpoint ck --checkpoint-interval 0.02 --kill-after-checkpoints 3 --resume ck/ckpt-000003.ckpt",
         ))
         .unwrap();
         match cli.command {
@@ -405,6 +470,10 @@ mod tests {
                 trace,
                 trace_bucket,
                 metrics,
+                checkpoint,
+                checkpoint_interval,
+                kill_after_checkpoints,
+                resume,
             } => {
                 assert_eq!(dataset, DatasetKind::Astro);
                 assert_eq!(seeding, Seeding::Dense);
@@ -416,6 +485,10 @@ mod tests {
                 assert_eq!(trace.as_deref(), Some("t.json"));
                 assert_eq!(trace_bucket, 0.01);
                 assert_eq!(metrics.as_deref(), Some("m.prom"));
+                assert_eq!(checkpoint.as_deref(), Some("ck"));
+                assert_eq!(checkpoint_interval, 0.02);
+                assert_eq!(kill_after_checkpoints, Some(3));
+                assert_eq!(resume.as_deref(), Some("ck/ckpt-000003.ckpt"));
             }
             other => panic!("{other:?}"),
         }
@@ -513,9 +586,41 @@ mod tests {
     fn obs_check_needs_an_input() {
         assert!(parse(&argv("obs-check")).is_err());
         match parse(&argv("obs-check --trace t.json")).unwrap().command {
-            Command::ObsCheck { trace, metrics } => {
+            Command::ObsCheck { trace, metrics, ckpt } => {
                 assert_eq!(trace.as_deref(), Some("t.json"));
                 assert_eq!(metrics, None);
+                assert_eq!(ckpt, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        // A checkpoint alone is a valid input.
+        match parse(&argv("obs-check --ckpt c.ckpt")).unwrap().command {
+            Command::ObsCheck { trace, metrics, ckpt } => {
+                assert_eq!(trace, None);
+                assert_eq!(metrics, None);
+                assert_eq!(ckpt.as_deref(), Some("c.ckpt"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bench_ckpt_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("bench-ckpt")).unwrap().command,
+            Command::BenchCkpt { smoke: false, json: None }
+        );
+        assert_eq!(
+            parse(&argv("bench-ckpt --smoke --json c.json")).unwrap().command,
+            Command::BenchCkpt { smoke: true, json: Some("c.json".into()) }
+        );
+    }
+
+    #[test]
+    fn serve_bench_warm_start_option() {
+        match parse(&argv("serve-bench --warm-start warm.ckpt")).unwrap().command {
+            Command::ServeBench { warm_start, .. } => {
+                assert_eq!(warm_start.as_deref(), Some("warm.ckpt"));
             }
             other => panic!("{other:?}"),
         }

@@ -105,7 +105,25 @@ pub fn execute(cmd: Command) -> i32 {
             trace,
             trace_bucket,
             metrics,
+            checkpoint,
+            checkpoint_interval,
+            kill_after_checkpoints,
+            resume,
         } => {
+            use std::sync::Arc;
+            use streamline_core::{
+                latest_checkpoint, resume_simulated_detailed_with_store,
+                run_simulated_checkpointed_with_store, CheckpointOptions,
+            };
+            use streamline_iosim::FieldStore;
+            if trace.is_some() && (checkpoint.is_some() || resume.is_some()) {
+                eprintln!("error: --trace cannot be combined with --checkpoint/--resume");
+                return 64;
+            }
+            if resume.is_some() && checkpoint.is_some() {
+                eprintln!("error: --resume and --checkpoint are mutually exclusive");
+                return 64;
+            }
             let ds = build_dataset(dataset);
             let n = seeds.unwrap_or_else(|| ds.paper_seed_count(seeding));
             let set = ds.seeds_with_count(seeding, n);
@@ -128,7 +146,75 @@ pub fn execute(cmd: Command) -> i32 {
                 n,
                 procs
             );
-            let (report, finished, timeline) = if trace.is_some() {
+            let mut ckpt_snapshots = 0u64;
+            let mut ckpt_bytes = 0u64;
+            let mut ckpt_restores = 0u64;
+            let (report, finished, timeline) = if let Some(from) = resume {
+                let given = std::path::PathBuf::from(&from);
+                let path = if given.is_dir() {
+                    match latest_checkpoint(&given) {
+                        Ok(Some(p)) => p,
+                        Ok(None) => {
+                            eprintln!("error: no ckpt-*.ckpt files in {from}");
+                            return 1;
+                        }
+                        Err(e) => {
+                            eprintln!("error scanning {from}: {e}");
+                            return 1;
+                        }
+                    }
+                } else {
+                    given
+                };
+                eprintln!("resuming from {} ...", path.display());
+                let store = Arc::new(FieldStore::new(ds.clone()));
+                match resume_simulated_detailed_with_store(&ds, &set, &cfg, store, &path) {
+                    Ok((r, f)) => {
+                        ckpt_restores = 1;
+                        (r, f, None)
+                    }
+                    Err(e) => {
+                        eprintln!("cannot resume from {}: {e}", path.display());
+                        return 1;
+                    }
+                }
+            } else if let Some(dir) = checkpoint {
+                let opts = CheckpointOptions {
+                    kill_after: kill_after_checkpoints,
+                    ..CheckpointOptions::new(&dir, checkpoint_interval)
+                };
+                let store = Arc::new(FieldStore::new(ds.clone()));
+                match run_simulated_checkpointed_with_store(&ds, &set, &cfg, store, &opts) {
+                    Ok(out) => {
+                        ckpt_snapshots = out.checkpoints.len() as u64;
+                        ckpt_bytes = out.bytes_written;
+                        if let Some(last) = out.checkpoints.last() {
+                            eprintln!(
+                                "wrote {ckpt_snapshots} snapshots ({ckpt_bytes} bytes), \
+                                 latest {}",
+                                last.display()
+                            );
+                        }
+                        match out.result {
+                            Some((r, f)) => (r, f, None),
+                            None => {
+                                // The kill half of the crash/restart smoke
+                                // test: abandoning after N snapshots is the
+                                // requested outcome, not a failure.
+                                eprintln!(
+                                    "run abandoned after {ckpt_snapshots} snapshots as \
+                                     requested; continue with: slrepro run ... --resume {dir}"
+                                );
+                                return 0;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("checkpoint error: {e}");
+                        return 1;
+                    }
+                }
+            } else if trace.is_some() {
                 let (r, f, t) = run_simulated_traced(&ds, &set, &cfg, trace_bucket);
                 (r, f, Some(t))
             } else {
@@ -183,7 +269,11 @@ pub fn execute(cmd: Command) -> i32 {
                 }
             }
             if let Some(path) = metrics {
-                let text = report.to_registry().render_prometheus();
+                let registry = report.to_registry();
+                registry.set_counter(streamline_obs::names::CKPT_SNAPSHOTS_TOTAL, ckpt_snapshots);
+                registry.set_counter(streamline_obs::names::CKPT_WRITE_BYTES_TOTAL, ckpt_bytes);
+                registry.set_counter(streamline_obs::names::CKPT_RESTORES_TOTAL, ckpt_restores);
+                let text = registry.render_prometheus();
                 if let Err(e) = std::fs::write(&path, text) {
                     eprintln!("error writing {path}: {e}");
                     return 1;
@@ -212,6 +302,7 @@ pub fn execute(cmd: Command) -> i32 {
             trace,
             trace_bucket_ms,
             metrics,
+            warm_start,
         } => {
             use streamline_bench::{ChaosConfig, LoadGenConfig, SweepScale, Workload};
             use streamline_iosim::ChaosParams;
@@ -248,6 +339,7 @@ pub fn execute(cmd: Command) -> i32 {
                 chaos: chaos
                     .then(|| ChaosConfig { seed: chaos_seed, params: ChaosParams::default() }),
                 emit_prometheus: metrics.is_some(),
+                warm_start: warm_start.map(std::path::PathBuf::from),
             };
             eprintln!(
                 "serve-bench: {} workload, {clients} clients x {requests} requests x {seeds} \
@@ -281,6 +373,9 @@ pub fn execute(cmd: Command) -> i32 {
                 m.cache_resident,
                 m.cache_capacity
             );
+            if report.warm_start_blocks > 0 {
+                println!("warm      prefetched {} blocks from manifest", report.warm_start_blocks);
+            }
             if chaos {
                 println!(
                     "chaos     faults {}  retries {}  load-failures {}  fast-fails {}  \
@@ -343,7 +438,7 @@ pub fn execute(cmd: Command) -> i32 {
                 2
             }
         }
-        Command::ObsCheck { trace, metrics } => {
+        Command::ObsCheck { trace, metrics, ckpt } => {
             let mut ok = true;
             if let Some(path) = trace {
                 match std::fs::read_to_string(&path) {
@@ -401,6 +496,30 @@ pub fn execute(cmd: Command) -> i32 {
                     }
                 }
             }
+            if let Some(path) = ckpt {
+                match streamline_ckpt::validate(std::path::Path::new(&path)) {
+                    Ok(summary) => {
+                        let m = &summary.meta;
+                        println!(
+                            "{path}: valid {} checkpoint #{} ({} on {}, {} ranks, {} seeds, \
+                             taken at t={:.6}s), {} sections, {} bytes, all CRCs good",
+                            m.kind,
+                            m.snapshot_seq,
+                            m.algorithm,
+                            m.dataset,
+                            m.n_procs,
+                            m.n_seeds,
+                            m.taken_at,
+                            summary.sections.len(),
+                            summary.file_bytes,
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: invalid checkpoint: {e}");
+                        ok = false;
+                    }
+                }
+            }
             if ok {
                 0
             } else {
@@ -427,6 +546,34 @@ pub fn execute(cmd: Command) -> i32 {
                 }
             }
             if report.bit_identical {
+                0
+            } else {
+                2
+            }
+        }
+        Command::BenchCkpt { smoke, json } => {
+            use streamline_bench::{run_ckpt_overhead, CkptOverheadConfig};
+            let report = run_ckpt_overhead(&CkptOverheadConfig { smoke });
+            println!("{}", report.summary());
+            if let Some(path) = json {
+                match serde_json::to_string_pretty(&report) {
+                    Ok(s) => {
+                        if let Err(e) = std::fs::write(&path, s + "\n") {
+                            eprintln!("error writing {path}: {e}");
+                            return 1;
+                        }
+                        eprintln!("wrote {path}");
+                    }
+                    Err(e) => {
+                        eprintln!("serialization error: {e}");
+                        return 1;
+                    }
+                }
+            }
+            // Smoke runs are microsecond-scale and noise-dominated, so only
+            // the correctness invariant gates them; the overhead budget
+            // gates the full run.
+            if report.all_resumes_bit_identical && (smoke || report.within_budget) {
                 0
             } else {
                 2
@@ -567,8 +714,57 @@ mod tests {
             trace: None,
             trace_bucket: 0.05,
             metrics: None,
+            checkpoint: None,
+            checkpoint_interval: 0.1,
+            kill_after_checkpoints: None,
+            resume: None,
         });
         assert_eq!(code, 0);
+    }
+
+    fn ckpt_run_cmd(
+        checkpoint: Option<String>,
+        kill_after_checkpoints: Option<u64>,
+        resume: Option<String>,
+    ) -> Command {
+        Command::Run {
+            dataset: DatasetKind::Thermal,
+            seeding: Seeding::Sparse,
+            algorithm: AlgoChoice::Fixed(Algorithm::HybridMasterSlave),
+            procs: 4,
+            seeds: Some(32),
+            cache: 16,
+            json: None,
+            trace: None,
+            trace_bucket: 0.05,
+            metrics: None,
+            checkpoint,
+            checkpoint_interval: 2.0e-4,
+            kill_after_checkpoints,
+            resume,
+        }
+    }
+
+    #[test]
+    fn run_kill_and_resume_round_trips_through_the_cli() {
+        let dir = std::env::temp_dir().join(format!("slrepro-ckpt-{}", std::process::id()));
+        let ckpt_dir = dir.join("ckpts").to_string_lossy().into_owned();
+        // Kill after two snapshots: exit 0 (the requested outcome),
+        // checkpoints on disk.
+        assert_eq!(execute(ckpt_run_cmd(Some(ckpt_dir.clone()), Some(2), None)), 0);
+        let latest = streamline_core::latest_checkpoint(std::path::Path::new(&ckpt_dir))
+            .unwrap()
+            .expect("kill wrote snapshots");
+        // The snapshot passes obs-check --ckpt.
+        let check = execute(Command::ObsCheck {
+            trace: None,
+            metrics: None,
+            ckpt: Some(latest.to_string_lossy().into_owned()),
+        });
+        assert_eq!(check, 0, "obs-check must accept what run --checkpoint emits");
+        // Resume from the directory (latest snapshot) and complete.
+        assert_eq!(execute(ckpt_run_cmd(None, None, Some(ckpt_dir))), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -588,10 +784,17 @@ mod tests {
             trace: Some(trace_path.clone()),
             trace_bucket: 0.05,
             metrics: Some(metrics_path.clone()),
+            checkpoint: None,
+            checkpoint_interval: 0.1,
+            kill_after_checkpoints: None,
+            resume: None,
         });
         assert_eq!(code, 0);
-        let check =
-            execute(Command::ObsCheck { trace: Some(trace_path), metrics: Some(metrics_path) });
+        let check = execute(Command::ObsCheck {
+            trace: Some(trace_path),
+            metrics: Some(metrics_path),
+            ckpt: None,
+        });
         assert_eq!(check, 0, "obs-check must accept what run emits");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -602,9 +805,23 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let bad = dir.join("bad.json").to_string_lossy().into_owned();
         std::fs::write(&bad, "{\"schema\": \"nope\"}").unwrap();
-        assert_eq!(execute(Command::ObsCheck { trace: Some(bad.clone()), metrics: None }), 1);
         assert_eq!(
-            execute(Command::ObsCheck { trace: None, metrics: Some("/nonexistent/x".into()) }),
+            execute(Command::ObsCheck { trace: Some(bad.clone()), metrics: None, ckpt: None }),
+            1
+        );
+        assert_eq!(
+            execute(Command::ObsCheck {
+                trace: None,
+                metrics: Some("/nonexistent/x".into()),
+                ckpt: None
+            }),
+            1
+        );
+        // A truncated/garbage checkpoint is rejected, never a panic.
+        let bad_ckpt = dir.join("bad.ckpt").to_string_lossy().into_owned();
+        std::fs::write(&bad_ckpt, b"not a checkpoint").unwrap();
+        assert_eq!(
+            execute(Command::ObsCheck { trace: None, metrics: None, ckpt: Some(bad_ckpt) }),
             1
         );
         let _ = std::fs::remove_dir_all(&dir);

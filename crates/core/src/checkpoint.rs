@@ -1,0 +1,622 @@
+//! Checkpoint/restart for the simulated drivers.
+//!
+//! A checkpoint is a crash-consistent, between-events cut of a run: the
+//! scheduler state (clocks, metrics, undelivered events), every rank's
+//! algorithm state (§4.1 static per-rank state and in-flight hand-offs,
+//! §4.2 seed queues and LRU residency, §4.3 master assignment tables and
+//! slave workloads), the partial trajectories, and — when the store injects
+//! faults — the fault schedule position. Resuming from a checkpoint
+//! completes **bit-identically** to the uninterrupted run: same streamline
+//! geometry, same report, same virtual wall clock.
+//!
+//! The container format (magic, CRC-framed sections, typed errors) lives in
+//! [`streamline_ckpt`]; this module defines the payloads and the drive/resume
+//! entry points.
+
+use crate::config::RunConfig;
+use crate::driver::{build_procs, collect_report, AnyProc};
+use crate::msg::Msg;
+use crate::report::RunReport;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use streamline_ckpt::{write_atomic, CkptError, CkptFile, CkptWriter, Meta, KIND_RUN};
+use streamline_desim::{CheckpointControl, Event, PendingEvent, ProcMetrics, SimState, Simulation};
+use streamline_field::dataset::Dataset;
+use streamline_field::seeds::SeedSet;
+use streamline_integrate::{StepLimits, Streamline};
+use streamline_iosim::{BlockStore, FaultState};
+
+/// Section tag: run spec (config + bit-exact step limits).
+pub const SPEC_TAG: &str = "SPEC";
+/// Section tag: scheduler state (clocks, metrics, pending events).
+pub const SIM_TAG: &str = "SIMS";
+/// Section tag: per-rank algorithm snapshots.
+pub const RANK_TAG: &str = "RANK";
+/// Section tag: fault-injection schedule position (optional).
+pub const FAULT_TAG: &str = "FALT";
+
+/// [`StepLimits`] + tolerances encoded as IEEE-754 bit patterns. The
+/// defaults contain `f64::INFINITY`, which the JSON layer cannot round-trip
+/// (non-finite → null); bits always can.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LimitsBits {
+    pub max_steps: u64,
+    pub max_arc_length: u64,
+    pub max_time: u64,
+    pub min_speed: u64,
+    pub h0: u64,
+    pub h_min: u64,
+    pub h_max: u64,
+    pub tol_abs: u64,
+    pub tol_rel: u64,
+}
+
+impl LimitsBits {
+    pub fn of(l: &StepLimits) -> Self {
+        LimitsBits {
+            max_steps: l.max_steps,
+            max_arc_length: l.max_arc_length.to_bits(),
+            max_time: l.max_time.to_bits(),
+            min_speed: l.min_speed.to_bits(),
+            h0: l.h0.to_bits(),
+            h_min: l.h_min.to_bits(),
+            h_max: l.h_max.to_bits(),
+            tol_abs: l.tol.abs.to_bits(),
+            tol_rel: l.tol.rel.to_bits(),
+        }
+    }
+}
+
+/// The SPEC section: everything a resume must agree on. `RunConfig`'s serde
+/// representation skips `limits` (non-finite defaults), so the bit-encoded
+/// [`LimitsBits`] rides alongside.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpecSection {
+    pub config: RunConfig,
+    pub limits: LimitsBits,
+}
+
+impl SpecSection {
+    pub fn of(cfg: &RunConfig) -> Self {
+        SpecSection { config: *cfg, limits: LimitsBits::of(&cfg.limits) }
+    }
+}
+
+/// Serializable [`Event`] image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventDto {
+    Start,
+    Message { from: usize, msg: Msg },
+    Wake(u64),
+}
+
+impl EventDto {
+    fn of(ev: &Event<Msg>) -> Self {
+        match ev {
+            Event::Start => EventDto::Start,
+            Event::Message { from, msg } => EventDto::Message { from: *from, msg: msg.clone() },
+            Event::Wake(token) => EventDto::Wake(*token),
+        }
+    }
+
+    fn into_event(self) -> Event<Msg> {
+        match self {
+            EventDto::Start => Event::Start,
+            EventDto::Message { from, msg } => Event::Message { from, msg },
+            EventDto::Wake(token) => Event::Wake(token),
+        }
+    }
+}
+
+/// Serializable [`PendingEvent`] image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PendingDto {
+    pub time: f64,
+    pub seq: u64,
+    pub to: usize,
+    pub recv_cost: f64,
+    pub recv_bytes: u64,
+    pub ev: EventDto,
+}
+
+/// The SIMS section: a serializable [`SimState`] cut.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimStateDto {
+    pub clocks: Vec<f64>,
+    pub metrics: Vec<ProcMetrics>,
+    pub next_seq: u64,
+    pub events: u64,
+    pub pending: Vec<PendingDto>,
+}
+
+impl SimStateDto {
+    fn of(state: &SimState<Msg>) -> Self {
+        SimStateDto {
+            clocks: state.clocks.clone(),
+            metrics: state.metrics.clone(),
+            next_seq: state.next_seq,
+            events: state.events,
+            pending: state
+                .pending
+                .iter()
+                .map(|p| PendingDto {
+                    time: p.time,
+                    seq: p.seq,
+                    to: p.to,
+                    recv_cost: p.recv_cost,
+                    recv_bytes: p.recv_bytes,
+                    ev: EventDto::of(&p.ev),
+                })
+                .collect(),
+        }
+    }
+
+    fn into_state(self) -> SimState<Msg> {
+        SimState {
+            clocks: self.clocks,
+            metrics: self.metrics,
+            next_seq: self.next_seq,
+            events: self.events,
+            pending: self
+                .pending
+                .into_iter()
+                .map(|p| PendingEvent {
+                    time: p.time,
+                    seq: p.seq,
+                    to: p.to,
+                    recv_cost: p.recv_cost,
+                    recv_bytes: p.recv_bytes,
+                    ev: p.ev.into_event(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The RANK section: one entry per rank, in rank order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RankSnapshot {
+    Static(crate::static_alloc::StaticSnapshot),
+    Lod(crate::load_on_demand::LodSnapshot),
+    Master(crate::hybrid::MasterSnapshot),
+    Slave(crate::hybrid::SlaveSnapshot),
+}
+
+fn snapshot_rank(p: &AnyProc) -> RankSnapshot {
+    match p {
+        AnyProc::Static(p) => RankSnapshot::Static(p.snapshot()),
+        AnyProc::Lod(p) => RankSnapshot::Lod(p.snapshot()),
+        AnyProc::Master(p) => RankSnapshot::Master(p.snapshot()),
+        AnyProc::Slave(p) => RankSnapshot::Slave(p.snapshot()),
+    }
+}
+
+fn restore_rank(rank: usize, p: &mut AnyProc, snap: &RankSnapshot) -> Result<(), CkptError> {
+    let store_err =
+        |e| CkptError::Mismatch(format!("rank {rank}: resident block reload failed: {e}"));
+    match (p, snap) {
+        (AnyProc::Static(p), RankSnapshot::Static(s)) => p.restore(s).map_err(store_err),
+        (AnyProc::Lod(p), RankSnapshot::Lod(s)) => p.restore(s).map_err(store_err),
+        (AnyProc::Master(p), RankSnapshot::Master(s)) => {
+            p.restore(s);
+            Ok(())
+        }
+        (AnyProc::Slave(p), RankSnapshot::Slave(s)) => p.restore(s).map_err(store_err),
+        _ => Err(CkptError::Mismatch(format!(
+            "rank {rank}: snapshot kind does not match the rebuilt rank — \
+             the checkpoint belongs to a different configuration"
+        ))),
+    }
+}
+
+/// Encode one full run checkpoint into the container format.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_run_checkpoint(
+    dataset: &Dataset,
+    seeds: &SeedSet,
+    cfg: &RunConfig,
+    state: &SimState<Msg>,
+    procs: &[AnyProc],
+    store: &Arc<dyn BlockStore>,
+    snapshot_seq: u64,
+    interval: f64,
+) -> Vec<u8> {
+    let mut meta = Meta::new(KIND_RUN);
+    meta.algorithm = cfg.algorithm.label().to_string();
+    meta.n_procs = cfg.n_procs;
+    meta.n_seeds = seeds.len();
+    meta.dataset = dataset.name.to_string();
+    meta.seeding = seeds.label.clone();
+    meta.cache_blocks = cfg.cache_blocks;
+    meta.interval = interval;
+    meta.snapshot_seq = snapshot_seq;
+    meta.taken_at = state.pending.first().map(|p| p.time).unwrap_or(0.0);
+
+    let mut w = CkptWriter::new();
+    w.section_value(streamline_ckpt::META_TAG, &meta);
+    w.section_value(SPEC_TAG, &SpecSection::of(cfg));
+    w.section_value(SIM_TAG, &SimStateDto::of(state));
+    let ranks: Vec<RankSnapshot> = procs.iter().map(snapshot_rank).collect();
+    w.section_value(RANK_TAG, &ranks);
+    if let Some(fs) = store.fault_state() {
+        w.section_value(FAULT_TAG, &fs);
+    }
+    w.finish()
+}
+
+/// Where and how often to checkpoint a simulated run.
+#[derive(Debug, Clone)]
+pub struct CheckpointOptions {
+    /// Directory receiving `ckpt-NNNNNN.ckpt` files (created if absent).
+    pub dir: PathBuf,
+    /// Virtual seconds between snapshots (must be positive and finite).
+    pub interval: f64,
+    /// Abandon the run right after writing this many snapshots — the
+    /// kill-mid-run half of the crash/restart tests. `None` runs to
+    /// completion.
+    pub kill_after: Option<u64>,
+}
+
+impl CheckpointOptions {
+    pub fn new(dir: impl Into<PathBuf>, interval: f64) -> Self {
+        CheckpointOptions { dir: dir.into(), interval, kill_after: None }
+    }
+}
+
+/// What a checkpointed run produced.
+#[derive(Debug)]
+pub struct CheckpointedOutcome {
+    /// `None` when the run was abandoned by `kill_after` (a simulated
+    /// crash); the report and streamlines then live only in the snapshots.
+    pub result: Option<(RunReport, Vec<Streamline>)>,
+    /// Snapshot files written, in order.
+    pub checkpoints: Vec<PathBuf>,
+    /// Total checkpoint bytes written (feeds `streamline_ckpt_*` metrics).
+    pub bytes_written: u64,
+}
+
+/// [`crate::driver::run_simulated_detailed_with_store`] with periodic
+/// checkpoints: before the first event at or past each `interval` boundary
+/// of virtual time, a `ckpt-NNNNNN.ckpt` snapshot is written atomically to
+/// `opts.dir`.
+pub fn run_simulated_checkpointed_with_store(
+    dataset: &Dataset,
+    seeds: &SeedSet,
+    cfg: &RunConfig,
+    store: Arc<dyn BlockStore>,
+    opts: &CheckpointOptions,
+) -> Result<CheckpointedOutcome, CkptError> {
+    std::fs::create_dir_all(&opts.dir)?;
+    let procs = build_procs(dataset, seeds, cfg, Arc::clone(&store));
+    let sim = Simulation::new(cfg.cost.net, procs);
+
+    let mut checkpoints: Vec<PathBuf> = Vec::new();
+    let mut bytes_written = 0u64;
+    let mut io_err: Option<CkptError> = None;
+    let mut seq = 0u64;
+    let mut hook = |state: &SimState<Msg>, procs: &[AnyProc]| {
+        seq += 1;
+        let bytes =
+            encode_run_checkpoint(dataset, seeds, cfg, state, procs, &store, seq, opts.interval);
+        let path = opts.dir.join(format!("ckpt-{seq:06}.ckpt"));
+        match write_atomic(&path, &bytes) {
+            Ok(()) => {
+                bytes_written += bytes.len() as u64;
+                checkpoints.push(path);
+            }
+            Err(e) => {
+                io_err = Some(e);
+                return CheckpointControl::Stop;
+            }
+        }
+        if opts.kill_after.is_some_and(|n| seq >= n) {
+            CheckpointControl::Stop
+        } else {
+            CheckpointControl::Continue
+        }
+    };
+    let (report, mut procs) = sim.run_checkpointed(opts.interval, &mut hook);
+    if let Some(e) = io_err {
+        return Err(e);
+    }
+    let result = report.map(|report| {
+        let run_report = collect_report(dataset, seeds, cfg, report, &procs);
+        let mut finished: Vec<Streamline> =
+            procs.iter_mut().flat_map(|p| p.take_finished()).collect();
+        finished.sort_by_key(|s| s.id);
+        (run_report, finished)
+    });
+    Ok(CheckpointedOutcome { result, checkpoints, bytes_written })
+}
+
+/// Verify `meta`/SPEC against the rebuilt run inputs; any disagreement is a
+/// typed [`CkptError::Mismatch`], never a silent divergence.
+fn verify_spec(
+    file: &CkptFile,
+    dataset: &Dataset,
+    seeds: &SeedSet,
+    cfg: &RunConfig,
+) -> Result<Meta, CkptError> {
+    let meta = file.meta()?;
+    if meta.kind != KIND_RUN {
+        return Err(CkptError::Mismatch(format!(
+            "expected a {KIND_RUN} checkpoint, found kind {:?}",
+            meta.kind
+        )));
+    }
+    let checks = [
+        ("algorithm", meta.algorithm.clone(), cfg.algorithm.label().to_string()),
+        ("n_procs", meta.n_procs.to_string(), cfg.n_procs.to_string()),
+        ("dataset", meta.dataset.clone(), dataset.name.to_string()),
+        ("seeding", meta.seeding.clone(), seeds.label.clone()),
+        ("n_seeds", meta.n_seeds.to_string(), seeds.len().to_string()),
+    ];
+    for (what, stored, current) in checks {
+        if stored != current {
+            return Err(CkptError::Mismatch(format!(
+                "{what} mismatch: checkpoint has {stored:?}, this run has {current:?}"
+            )));
+        }
+    }
+    let stored: SpecSection = file.value(SPEC_TAG)?;
+    let stored_json = serde_json::to_string(&stored).expect("vendored serde_json is infallible");
+    let current_json =
+        serde_json::to_string(&SpecSection::of(cfg)).expect("vendored serde_json is infallible");
+    if stored_json != current_json {
+        return Err(CkptError::Mismatch(
+            "run configuration differs from the checkpointed SPEC section".into(),
+        ));
+    }
+    Ok(meta)
+}
+
+/// Resume a run from `path` and drive it to completion. The dataset, seeds
+/// and config must be rebuilt exactly as for the original run (the SPEC
+/// section is verified). Returns the reconciled report — time and counters
+/// accumulated across the crash — and the complete, sorted streamlines.
+pub fn resume_simulated_detailed_with_store(
+    dataset: &Dataset,
+    seeds: &SeedSet,
+    cfg: &RunConfig,
+    store: Arc<dyn BlockStore>,
+    path: &Path,
+) -> Result<(RunReport, Vec<Streamline>), CkptError> {
+    let file = CkptFile::read(path)?;
+    verify_spec(&file, dataset, seeds, cfg)?;
+    let fault: Option<FaultState> = match file.section(FAULT_TAG) {
+        Some(_) => Some(file.value(FAULT_TAG)?),
+        None => None,
+    };
+    // First restore: transient-fault schedules must already be past their
+    // consumed attempts, or the residency prefetch below would fail on
+    // blocks the original run had successfully loaded.
+    if let Some(fs) = &fault {
+        store.restore_fault_state(fs);
+    }
+    let mut procs = build_procs(dataset, seeds, cfg, Arc::clone(&store));
+    let ranks: Vec<RankSnapshot> = file.value(RANK_TAG)?;
+    if ranks.len() != procs.len() {
+        return Err(CkptError::Mismatch(format!(
+            "checkpoint has {} rank snapshots, run builds {} ranks",
+            ranks.len(),
+            procs.len()
+        )));
+    }
+    for (rank, (p, snap)) in procs.iter_mut().zip(&ranks).enumerate() {
+        restore_rank(rank, p, snap)?;
+    }
+    // Second restore: the prefetch consumed attempts/served counters; put
+    // the fault bookkeeping back to the exact snapshotted values.
+    if let Some(fs) = &fault {
+        store.restore_fault_state(fs);
+    }
+    let state = file.value::<SimStateDto>(SIM_TAG)?.into_state();
+    if state.clocks.len() != cfg.n_procs {
+        return Err(CkptError::Mismatch(format!(
+            "scheduler cut covers {} ranks, run has {}",
+            state.clocks.len(),
+            cfg.n_procs
+        )));
+    }
+    let sim = Simulation::new(cfg.cost.net, procs);
+    let (report, mut procs) = sim.resume(state);
+    let run_report = collect_report(dataset, seeds, cfg, report, &procs);
+    let mut finished: Vec<Streamline> = procs.iter_mut().flat_map(|p| p.take_finished()).collect();
+    finished.sort_by_key(|s| s.id);
+    Ok((run_report, finished))
+}
+
+/// The newest (highest-ordinal) checkpoint file in `dir`, if any.
+pub fn latest_checkpoint(dir: &Path) -> Result<Option<PathBuf>, CkptError> {
+    let mut best: Option<PathBuf> = None;
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("ckpt-") && name.ends_with(".ckpt") && best.as_ref() < Some(&path) {
+            best = Some(path);
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Algorithm, MemoryBudget};
+    use crate::driver::run_simulated_detailed_with_store;
+    use streamline_field::dataset::{DatasetConfig, Seeding};
+    use streamline_field::BlockId;
+    use streamline_iosim::{FaultPlan, FaultStore, FieldStore};
+
+    fn fixture(algorithm: Algorithm) -> (Dataset, SeedSet, RunConfig) {
+        let mut dcfg = DatasetConfig::tiny();
+        dcfg.blocks_per_axis = [2, 2, 2];
+        dcfg.cells_per_block = [6, 6, 6];
+        let ds = Dataset::thermal_hydraulics(dcfg);
+        let seeds = ds.seeds_with_count(Seeding::Sparse, 27);
+        let mut cfg = RunConfig::new(algorithm, 4);
+        cfg.limits.max_steps = 300;
+        cfg.memory = MemoryBudget::unlimited();
+        (ds, seeds, cfg)
+    }
+
+    fn field_store(ds: &Dataset) -> Arc<dyn BlockStore> {
+        Arc::new(FieldStore::new(ds.clone()))
+    }
+
+    fn report_json(r: &RunReport) -> String {
+        serde_json::to_string(r).expect("report serializes")
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("slckpt-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Kill each algorithm mid-run at the latest checkpoint, resume, and
+    /// demand byte-equal streamlines and a byte-equal report vs. the
+    /// uninterrupted reference — the subsystem's core invariant.
+    #[test]
+    fn kill_and_resume_is_bit_identical_for_every_algorithm() {
+        for algo in Algorithm::ALL {
+            let (ds, seeds, cfg) = fixture(algo);
+            let (ref_report, ref_lines) =
+                run_simulated_detailed_with_store(&ds, &seeds, &cfg, field_store(&ds));
+
+            let dir = tempdir(&format!("kill-{}", cfg.algorithm.label()));
+            let mut opts = CheckpointOptions::new(&dir, 2.0e-4);
+            opts.kill_after = Some(2);
+            let out =
+                run_simulated_checkpointed_with_store(&ds, &seeds, &cfg, field_store(&ds), &opts)
+                    .expect("checkpointed run");
+            assert!(out.result.is_none(), "{algo:?}: kill_after must abandon the run");
+            assert_eq!(out.checkpoints.len(), 2, "{algo:?}");
+            assert!(out.bytes_written > 0);
+
+            let latest = latest_checkpoint(&dir).unwrap().expect("snapshots on disk");
+            assert_eq!(Some(&latest), out.checkpoints.last());
+            let (res_report, res_lines) =
+                resume_simulated_detailed_with_store(&ds, &seeds, &cfg, field_store(&ds), &latest)
+                    .expect("resume");
+
+            assert_eq!(res_lines, ref_lines, "{algo:?}: streamlines diverged after resume");
+            assert_eq!(
+                report_json(&res_report),
+                report_json(&ref_report),
+                "{algo:?}: report not reconciled bit-identically"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    /// A checkpointed run that is never killed must be unperturbed by the
+    /// snapshot machinery: identical output and report to a plain run.
+    #[test]
+    fn checkpointing_does_not_perturb_a_completed_run() {
+        let (ds, seeds, cfg) = fixture(Algorithm::HybridMasterSlave);
+        let (ref_report, ref_lines) =
+            run_simulated_detailed_with_store(&ds, &seeds, &cfg, field_store(&ds));
+
+        let dir = tempdir("noperturb");
+        let opts = CheckpointOptions::new(&dir, 1.0e-3);
+        let out = run_simulated_checkpointed_with_store(&ds, &seeds, &cfg, field_store(&ds), &opts)
+            .expect("checkpointed run");
+        let (report, lines) = out.result.expect("uninterrupted run completes");
+        assert!(!out.checkpoints.is_empty(), "interval must have fired at least once");
+        assert_eq!(lines, ref_lines);
+        assert_eq!(report_json(&report), report_json(&ref_report));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Resume must also be exact when the store injects transient faults:
+    /// the fault schedule position is checkpointed and restored.
+    #[test]
+    fn kill_and_resume_is_bit_identical_under_injected_faults() {
+        let (ds, seeds, mut cfg) = fixture(Algorithm::LoadOnDemand);
+        cfg.cache_blocks = 2;
+        let plan = || FaultPlan::new().transient(BlockId(1), 2).transient(BlockId(5), 1);
+        let faulty = |ds: &Dataset| -> Arc<dyn BlockStore> {
+            Arc::new(FaultStore::new(field_store(ds), plan()))
+        };
+
+        let (ref_report, ref_lines) =
+            run_simulated_detailed_with_store(&ds, &seeds, &cfg, faulty(&ds));
+        assert!(ref_report.load_retries > 0, "fixture must actually exercise retries");
+
+        let dir = tempdir("faulty");
+        let mut opts = CheckpointOptions::new(&dir, 2.0e-4);
+        opts.kill_after = Some(2);
+        let out = run_simulated_checkpointed_with_store(&ds, &seeds, &cfg, faulty(&ds), &opts)
+            .expect("checkpointed run");
+        let latest = latest_checkpoint(&dir).unwrap().expect("snapshots on disk");
+        assert!(out.result.is_none());
+
+        let (res_report, res_lines) =
+            resume_simulated_detailed_with_store(&ds, &seeds, &cfg, faulty(&ds), &latest)
+                .expect("resume over fault store");
+        assert_eq!(res_lines, ref_lines);
+        assert_eq!(report_json(&res_report), report_json(&ref_report));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Resuming under a different configuration is a typed error, never a
+    /// silently wrong run.
+    #[test]
+    fn resume_rejects_a_mismatched_spec() {
+        let (ds, seeds, cfg) = fixture(Algorithm::StaticAllocation);
+        let dir = tempdir("mismatch");
+        let mut opts = CheckpointOptions::new(&dir, 2.0e-4);
+        opts.kill_after = Some(1);
+        run_simulated_checkpointed_with_store(&ds, &seeds, &cfg, field_store(&ds), &opts)
+            .expect("checkpointed run");
+        let latest = latest_checkpoint(&dir).unwrap().expect("snapshot on disk");
+
+        let mut other = cfg;
+        other.n_procs = 3;
+        let err =
+            resume_simulated_detailed_with_store(&ds, &seeds, &other, field_store(&ds), &latest)
+                .expect_err("mismatched n_procs must be rejected");
+        assert!(matches!(err, CkptError::Mismatch(_)), "{err:?}");
+
+        let mut other = cfg;
+        other.algorithm = Algorithm::LoadOnDemand;
+        let err =
+            resume_simulated_detailed_with_store(&ds, &seeds, &other, field_store(&ds), &latest)
+                .expect_err("mismatched algorithm must be rejected");
+        assert!(matches!(err, CkptError::Mismatch(_)), "{err:?}");
+
+        let mut other = cfg;
+        other.limits.max_steps = 299;
+        let err =
+            resume_simulated_detailed_with_store(&ds, &seeds, &other, field_store(&ds), &latest)
+                .expect_err("mismatched limits must be rejected");
+        assert!(matches!(err, CkptError::Mismatch(_)), "{err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Snapshots taken at different points of the same run must all resume
+    /// to the same final answer (any checkpoint is a valid restart point).
+    #[test]
+    fn every_snapshot_of_a_run_resumes_to_the_same_answer() {
+        let (ds, seeds, cfg) = fixture(Algorithm::StaticAllocation);
+        let (ref_report, ref_lines) =
+            run_simulated_detailed_with_store(&ds, &seeds, &cfg, field_store(&ds));
+
+        let dir = tempdir("allsnaps");
+        let opts = CheckpointOptions::new(&dir, 3.0e-4);
+        let out = run_simulated_checkpointed_with_store(&ds, &seeds, &cfg, field_store(&ds), &opts)
+            .expect("checkpointed run");
+        assert!(out.checkpoints.len() >= 2, "want several snapshots to replay");
+        for snap in &out.checkpoints {
+            let (r, lines) =
+                resume_simulated_detailed_with_store(&ds, &seeds, &cfg, field_store(&ds), snap)
+                    .expect("resume");
+            assert_eq!(lines, ref_lines, "{snap:?}");
+            assert_eq!(report_json(&r), report_json(&ref_report), "{snap:?}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

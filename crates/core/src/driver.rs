@@ -269,7 +269,7 @@ pub fn build_procs(
     }
 }
 
-fn collect_report(
+pub(crate) fn collect_report(
     dataset: &Dataset,
     seeds: &SeedSet,
     cfg: &RunConfig,

@@ -9,8 +9,8 @@
 pub mod master;
 pub mod slave;
 
-pub use master::{MasterProc, ROOT_MASTER};
-pub use slave::SlaveProc;
+pub use master::{MasterProc, MasterSnapshot, SlaveRecordSnapshot, ROOT_MASTER};
+pub use slave::{SlaveProc, SlaveSnapshot};
 
 /// Rank layout for a hybrid run: the first `n_masters` ranks are masters,
 /// the rest are slaves assigned to masters round-robin-contiguously.

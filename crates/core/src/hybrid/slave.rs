@@ -9,11 +9,31 @@
 
 use crate::config::MemoryBudget;
 use crate::msg::{Command, Msg, SlaveStatus};
-use crate::workspace::{BlockExit, Workspace};
+use crate::workspace::{BlockExit, Workspace, WorkspaceSnapshot};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use streamline_desim::{Context, Event, Process};
 use streamline_field::block::BlockId;
 use streamline_integrate::{Streamline, Termination};
+use streamline_iosim::StoreError;
+
+/// Serializable image of a [`SlaveProc`] mid-run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlaveSnapshot {
+    pub ws: WorkspaceSnapshot,
+    pub parked: Vec<(BlockId, Vec<Streamline>)>,
+    pub finished: Vec<Streamline>,
+    pub last_status_terminated: u64,
+    pub sent_idle_status: bool,
+    pub failed_oom: bool,
+    pub terminated_cmd_seen: bool,
+    pub sent_handoffs: u64,
+    pub sent_statuses: u64,
+    pub load_cmd_hits: u64,
+    pub load_cmd_misses: u64,
+    pub cmds_processed: u64,
+    pub failed_blocks: Vec<BlockId>,
+}
 
 /// One Hybrid slave rank.
 pub struct SlaveProc {
@@ -83,6 +103,43 @@ impl SlaveProc {
 
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// Capture this rank's mid-run state for a checkpoint.
+    pub fn snapshot(&self) -> SlaveSnapshot {
+        SlaveSnapshot {
+            ws: self.ws.snapshot(),
+            parked: self.parked.iter().map(|(&b, v)| (b, v.clone())).collect(),
+            finished: self.finished.clone(),
+            last_status_terminated: self.last_status_terminated,
+            sent_idle_status: self.sent_idle_status,
+            failed_oom: self.failed_oom,
+            terminated_cmd_seen: self.terminated_cmd_seen,
+            sent_handoffs: self.sent_handoffs,
+            sent_statuses: self.sent_statuses,
+            load_cmd_hits: self.load_cmd_hits,
+            load_cmd_misses: self.load_cmd_misses,
+            cmds_processed: self.cmds_processed,
+            failed_blocks: self.failed_blocks.iter().copied().collect(),
+        }
+    }
+
+    /// Restore a snapshot onto a freshly built rank (same config/dataset).
+    pub fn restore(&mut self, snap: &SlaveSnapshot) -> Result<(), StoreError> {
+        self.ws.restore(&snap.ws)?;
+        self.parked = snap.parked.iter().cloned().collect();
+        self.finished = snap.finished.clone();
+        self.last_status_terminated = snap.last_status_terminated;
+        self.sent_idle_status = snap.sent_idle_status;
+        self.failed_oom = snap.failed_oom;
+        self.terminated_cmd_seen = snap.terminated_cmd_seen;
+        self.sent_handoffs = snap.sent_handoffs;
+        self.sent_statuses = snap.sent_statuses;
+        self.load_cmd_hits = snap.load_cmd_hits;
+        self.load_cmd_misses = snap.load_cmd_misses;
+        self.cmds_processed = snap.cmds_processed;
+        self.failed_blocks = snap.failed_blocks.iter().copied().collect();
+        Ok(())
     }
 
     fn check_memory(&mut self, ctx: &mut dyn Context<Msg>) -> bool {

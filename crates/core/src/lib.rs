@@ -33,6 +33,7 @@
 
 pub mod advance;
 pub mod advisor;
+pub mod checkpoint;
 pub mod classify;
 pub mod config;
 pub mod driver;
@@ -46,6 +47,10 @@ mod testutil;
 pub mod workspace;
 
 pub use advisor::{recommend, FlowKnowledge, Recommendation};
+pub use checkpoint::{
+    latest_checkpoint, resume_simulated_detailed_with_store, run_simulated_checkpointed_with_store,
+    CheckpointOptions, CheckpointedOutcome,
+};
 pub use classify::{classify, ProblemProfile};
 pub use config::{Algorithm, CostModel, HybridParams, MemoryBudget, RunConfig};
 pub use driver::{

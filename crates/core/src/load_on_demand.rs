@@ -12,20 +12,42 @@
 
 use crate::config::MemoryBudget;
 use crate::msg::Msg;
-use crate::workspace::{BlockExit, Workspace};
+use crate::workspace::{BlockExit, Workspace, WorkspaceSnapshot};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use streamline_desim::{Context, Event, Process};
 use streamline_field::block::BlockId;
 use streamline_integrate::{Streamline, StreamlineId, Termination};
+use streamline_iosim::StoreError;
 use streamline_math::Vec3;
 
 /// One Load On Demand rank.
+///
+/// The run proceeds in *rounds*: advance everything whose block is resident,
+/// then load exactly one block, then yield back to the runtime with a
+/// zero-delay wake. A round per event (instead of the whole run inside
+/// `Start`) keeps virtual times and metrics identical while giving the
+/// simulation between-event points at which a checkpoint can cut mid-run.
 pub struct LodProc {
     ws: Workspace,
     seeds: Vec<(StreamlineId, Vec3)>,
+    /// Streamlines waiting for a non-resident block, keyed by block for
+    /// deterministic iteration.
+    parked: BTreeMap<BlockId, Vec<Streamline>>,
     pub finished: Vec<Streamline>,
     memory: MemoryBudget,
     h0: f64,
+    pub done: bool,
+    pub failed_oom: bool,
+}
+
+/// Serializable image of a [`LodProc`] mid-run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LodSnapshot {
+    pub ws: WorkspaceSnapshot,
+    pub seeds: Vec<(StreamlineId, Vec3)>,
+    pub parked: Vec<(BlockId, Vec<Streamline>)>,
+    pub finished: Vec<Streamline>,
     pub done: bool,
     pub failed_oom: bool,
 }
@@ -37,11 +59,43 @@ impl LodProc {
         memory: MemoryBudget,
         h0: f64,
     ) -> Self {
-        LodProc { ws, seeds, finished: Vec::new(), memory, h0, done: false, failed_oom: false }
+        LodProc {
+            ws,
+            seeds,
+            parked: BTreeMap::new(),
+            finished: Vec::new(),
+            memory,
+            h0,
+            done: false,
+            failed_oom: false,
+        }
     }
 
     pub fn workspace(&self) -> &Workspace {
         &self.ws
+    }
+
+    /// Capture this rank's mid-run state for a checkpoint.
+    pub fn snapshot(&self) -> LodSnapshot {
+        LodSnapshot {
+            ws: self.ws.snapshot(),
+            seeds: self.seeds.clone(),
+            parked: self.parked.iter().map(|(&b, v)| (b, v.clone())).collect(),
+            finished: self.finished.clone(),
+            done: self.done,
+            failed_oom: self.failed_oom,
+        }
+    }
+
+    /// Restore a snapshot onto a freshly built rank (same config/dataset).
+    pub fn restore(&mut self, snap: &LodSnapshot) -> Result<(), StoreError> {
+        self.ws.restore(&snap.ws)?;
+        self.seeds = snap.seeds.clone();
+        self.parked = snap.parked.iter().cloned().collect();
+        self.finished = snap.finished.clone();
+        self.done = snap.done;
+        self.failed_oom = snap.failed_oom;
+        Ok(())
     }
 
     fn check_memory(&mut self, ctx: &mut dyn Context<Msg>) -> bool {
@@ -53,82 +107,94 @@ impl LodProc {
         false
     }
 
-    fn run_to_completion(&mut self, ctx: &mut dyn Context<Msg>) {
-        // Streamlines waiting for their block, keyed by block for
-        // deterministic iteration.
-        let mut parked: BTreeMap<BlockId, Vec<Streamline>> = BTreeMap::new();
-        for (id, seed) in std::mem::take(&mut self.seeds) {
-            let mut sl = Streamline::new_lean(id, seed, self.h0);
-            self.ws.admit(&sl);
-            match self.ws.locate(seed) {
-                Some(b) => parked.entry(b).or_default().push(sl),
-                None => {
-                    sl.terminate(Termination::ExitedDomain);
-                    self.ws.terminated += 1;
-                    self.ws.retire_object();
-                    self.finished.push(sl);
-                }
-            }
-        }
-
-        while !parked.is_empty() {
-            // Advance everything whose block is resident ("integrate all
-            // streamlines to the edge of the loaded blocks").
-            while let Some(block) = parked.keys().copied().find(|&b| self.ws.is_resident(b)) {
-                let mut list = parked.remove(&block).expect("key just found");
-                while let Some(mut sl) = list.pop() {
-                    let mut cur = block;
-                    loop {
-                        match self.ws.advance_in(&mut sl, cur, ctx) {
-                            BlockExit::MovedTo(next) => {
-                                if self.ws.is_resident(next) {
-                                    cur = next;
-                                } else {
-                                    parked.entry(next).or_default().push(sl);
-                                    break;
-                                }
-                            }
-                            BlockExit::Done(_) => {
-                                self.finished.push(sl);
+    /// Advance everything whose block is resident ("integrate all
+    /// streamlines to the edge of the loaded blocks"). Returns false when
+    /// the run must abort (memory budget exceeded).
+    fn drain_resident(&mut self, ctx: &mut dyn Context<Msg>) -> bool {
+        while let Some(block) = self.parked.keys().copied().find(|&b| self.ws.is_resident(b)) {
+            let mut list = self.parked.remove(&block).expect("key just found");
+            while let Some(mut sl) = list.pop() {
+                let mut cur = block;
+                loop {
+                    match self.ws.advance_in(&mut sl, cur, ctx) {
+                        BlockExit::MovedTo(next) => {
+                            if self.ws.is_resident(next) {
+                                cur = next;
+                            } else {
+                                self.parked.entry(next).or_default().push(sl);
                                 break;
                             }
                         }
-                    }
-                    if self.check_memory(ctx) {
-                        return;
+                        BlockExit::Done(_) => {
+                            self.finished.push(sl);
+                            break;
+                        }
                     }
                 }
-            }
-            // Nothing advanceable: load the block with the most waiting
-            // streamlines (ties to the lowest id — deterministic).
-            let Some((&target, _)) =
-                parked.iter().max_by_key(|(id, v)| (v.len(), std::cmp::Reverse(id.0)))
-            else {
-                break;
-            };
-            if self.ws.try_acquire(target, ctx).is_err() {
-                // Unreachable block: everything waiting on it dies typed
-                // instead of the rank spinning on the same failing load.
-                for mut sl in parked.remove(&target).expect("key just found") {
-                    self.ws.terminate_unavailable(&mut sl);
-                    self.finished.push(sl);
+                if self.check_memory(ctx) {
+                    return false;
                 }
-                continue;
-            }
-            if self.check_memory(ctx) {
-                return;
             }
         }
-        self.done = true;
+        true
+    }
+
+    /// One round: drain resident blocks, then load at most one block and
+    /// yield. Terminates the rank when no work remains.
+    fn round(&mut self, ctx: &mut dyn Context<Msg>) {
+        if self.done || !self.drain_resident(ctx) {
+            return;
+        }
+        if self.parked.is_empty() {
+            self.done = true;
+            return;
+        }
+        // Load the block with the most waiting streamlines (ties to the
+        // lowest id — deterministic).
+        let (&target, _) = self
+            .parked
+            .iter()
+            .max_by_key(|(id, v)| (v.len(), std::cmp::Reverse(id.0)))
+            .expect("parked is non-empty");
+        if self.ws.try_acquire(target, ctx).is_err() {
+            // Unreachable block: everything waiting on it dies typed
+            // instead of the rank spinning on the same failing load.
+            for mut sl in self.parked.remove(&target).expect("key just found") {
+                self.ws.terminate_unavailable(&mut sl);
+                self.finished.push(sl);
+            }
+        } else if self.check_memory(ctx) {
+            return;
+        }
+        // Yield: the next round runs at the same virtual time, but the
+        // runtime gets a between-events cut point.
+        ctx.wake_after(0.0, 0);
     }
 }
 
 impl Process<Msg> for LodProc {
     fn on_event(&mut self, ev: Event<Msg>, ctx: &mut dyn Context<Msg>) {
-        if matches!(ev, Event::Start) {
-            self.run_to_completion(ctx);
+        match ev {
+            Event::Start => {
+                for (id, seed) in std::mem::take(&mut self.seeds) {
+                    let mut sl = Streamline::new_lean(id, seed, self.h0);
+                    self.ws.admit(&sl);
+                    match self.ws.locate(seed) {
+                        Some(b) => self.parked.entry(b).or_default().push(sl),
+                        None => {
+                            sl.terminate(Termination::ExitedDomain);
+                            self.ws.terminated += 1;
+                            self.ws.retire_object();
+                            self.finished.push(sl);
+                        }
+                    }
+                }
+                self.round(ctx);
+            }
+            Event::Wake(_) => self.round(ctx),
+            // Load On Demand exchanges no messages.
+            Event::Message { .. } => {}
         }
-        // Load On Demand exchanges no messages.
     }
 }
 
@@ -154,6 +220,15 @@ mod tests {
         LodProc::new(ws, seeds, MemoryBudget::unlimited(), 1e-2)
     }
 
+    /// Deliver Start, then pump the zero-delay wakes the rank schedules
+    /// between rounds until it stops asking for them.
+    fn run_rounds(p: &mut LodProc, ctx: &mut NullCtx) {
+        p.on_event(Event::Start, ctx);
+        while let Some((_, token)) = ctx.take_wake() {
+            p.on_event(Event::Wake(token), ctx);
+        }
+    }
+
     #[test]
     fn all_streamlines_terminate() {
         let seeds = (0..10)
@@ -161,7 +236,7 @@ mod tests {
             .collect();
         let mut p = proc_with(seeds, 8);
         let mut ctx = NullCtx::default();
-        p.on_event(Event::Start, &mut ctx);
+        run_rounds(&mut p, &mut ctx);
         assert!(p.done);
         assert_eq!(p.finished.len(), 10);
         assert!(p.finished.iter().all(|s| s.status
@@ -190,7 +265,7 @@ mod tests {
         }
         let mut p = proc_with(seeds, 1);
         let mut ctx = NullCtx::default();
-        p.on_event(Event::Start, &mut ctx);
+        run_rounds(&mut p, &mut ctx);
         assert!(p.done);
         assert_eq!(p.finished.len(), 8);
         let stats = p.workspace().cache_stats();
@@ -208,7 +283,7 @@ mod tests {
         ];
         let mut p = proc_with(seeds, 1);
         let mut ctx = NullCtx::default();
-        p.on_event(Event::Start, &mut ctx);
+        run_rounds(&mut p, &mut ctx);
         // Blocks on the +x path: (0,0,0) then (1,0,0) — exactly 2 loads even
         // with a single-slot cache.
         assert_eq!(p.workspace().cache_stats().loaded, 2);
@@ -235,9 +310,54 @@ mod tests {
             1e-2,
         );
         let mut ctx = NullCtx::default();
-        p.on_event(Event::Start, &mut ctx);
+        run_rounds(&mut p, &mut ctx);
         assert!(p.failed_oom);
         assert!(ctx.stopped);
+    }
+
+    #[test]
+    fn snapshot_mid_run_resumes_identically() {
+        let seeds: Vec<(StreamlineId, Vec3)> =
+            (0..6).map(|i| (StreamlineId(i), Vec3::new(0.1, 0.1 + 0.13 * i as f64, 0.4))).collect();
+        // Reference: run straight through.
+        let mut reference = proc_with(seeds.clone(), 1);
+        let mut rctx = NullCtx::default();
+        run_rounds(&mut reference, &mut rctx);
+        assert!(reference.done);
+
+        // Interrupted: two rounds, snapshot, restore onto a fresh rank,
+        // finish from there.
+        let mut first = proc_with(seeds.clone(), 1);
+        let mut ctx = NullCtx::default();
+        first.on_event(Event::Start, &mut ctx);
+        if let Some((_, token)) = ctx.take_wake() {
+            first.on_event(Event::Wake(token), &mut ctx);
+        }
+        let snap = first.snapshot();
+        assert!(!snap.done, "test must cut mid-run");
+
+        let mut resumed = proc_with(seeds, 1);
+        resumed.restore(&snap).expect("store has every block");
+        assert_eq!(resumed.snapshot(), snap, "restore must reproduce the cut");
+        // The cut is mid-run, so exactly one zero-delay wake was pending;
+        // replay it into the resumed rank and pump from there.
+        let (_, pending) = ctx.take_wake().expect("mid-run cut leaves a pending wake");
+        let mut ctx2 = NullCtx { compute: ctx.compute, io: ctx.io, ..NullCtx::default() };
+        resumed.on_event(Event::Wake(pending), &mut ctx2);
+        while let Some((_, token)) = ctx2.take_wake() {
+            resumed.on_event(Event::Wake(token), &mut ctx2);
+        }
+        assert!(resumed.done);
+        let mut a = reference.finished;
+        let mut b = resumed.finished;
+        a.sort_by_key(|s| s.id);
+        b.sort_by_key(|s| s.id);
+        assert_eq!(a, b, "resumed run must produce identical streamlines");
+        assert_eq!(
+            (ctx2.compute, ctx2.io),
+            (rctx.compute, rctx.io),
+            "resumed charges must land where the uninterrupted run's did"
+        );
     }
 
     #[test]
@@ -245,7 +365,7 @@ mod tests {
         let seeds = vec![(StreamlineId(0), Vec3::splat(5.0))];
         let mut p = proc_with(seeds, 2);
         let mut ctx = NullCtx::default();
-        p.on_event(Event::Start, &mut ctx);
+        run_rounds(&mut p, &mut ctx);
         assert!(p.done);
         assert_eq!(p.finished.len(), 1);
         assert_eq!(p.workspace().cache_stats().loaded, 0);

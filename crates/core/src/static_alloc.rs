@@ -14,10 +14,12 @@
 
 use crate::config::MemoryBudget;
 use crate::msg::Msg;
-use crate::workspace::{BlockExit, Workspace};
+use crate::workspace::{BlockExit, Workspace, WorkspaceSnapshot};
+use serde::{Deserialize, Serialize};
 use streamline_desim::{Context, Event, Process};
 use streamline_field::block::BlockId;
 use streamline_integrate::{Streamline, StreamlineId};
+use streamline_iosim::StoreError;
 use streamline_math::Vec3;
 
 /// Rank that maintains the global active-streamline count.
@@ -48,6 +50,18 @@ impl StaticPartition {
 /// of `n_procs` (the paper's §4.1 scheme).
 pub fn owner_of(block: BlockId, n_blocks: usize, n_procs: usize) -> usize {
     StaticPartition::Contiguous.owner_of(block, n_blocks, n_procs)
+}
+
+/// Serializable image of a [`StaticProc`] mid-run. Configuration fields
+/// (rank, partition, budgets) are rebuilt from the run config; only genuine
+/// run state is stored.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaticSnapshot {
+    pub ws: WorkspaceSnapshot,
+    pub seeds: Vec<(StreamlineId, Vec3)>,
+    pub finished: Vec<Streamline>,
+    pub remaining: u64,
+    pub failed_oom: bool,
 }
 
 /// One Static Allocation rank.
@@ -100,6 +114,27 @@ impl StaticProc {
 
     pub fn workspace(&self) -> &Workspace {
         &self.ws
+    }
+
+    /// Capture this rank's mid-run state for a checkpoint.
+    pub fn snapshot(&self) -> StaticSnapshot {
+        StaticSnapshot {
+            ws: self.ws.snapshot(),
+            seeds: self.seeds.clone(),
+            finished: self.finished.clone(),
+            remaining: self.remaining,
+            failed_oom: self.failed_oom,
+        }
+    }
+
+    /// Restore a snapshot onto a freshly built rank (same config/dataset).
+    pub fn restore(&mut self, snap: &StaticSnapshot) -> Result<(), StoreError> {
+        self.ws.restore(&snap.ws)?;
+        self.seeds = snap.seeds.clone();
+        self.finished = snap.finished.clone();
+        self.remaining = snap.remaining;
+        self.failed_oom = snap.failed_oom;
+        Ok(())
     }
 
     fn owns(&self, block: BlockId) -> bool {

@@ -39,7 +39,20 @@ pub struct NullCtx {
     pub compute: f64,
     pub io: f64,
     pub sent: Vec<(usize, Msg, usize)>,
+    pub wakes: Vec<(f64, u64)>,
     pub stopped: bool,
+}
+
+impl NullCtx {
+    /// Pop the oldest recorded wake, if any (tests use this to pump
+    /// wake-driven processes to completion).
+    pub fn take_wake(&mut self) -> Option<(f64, u64)> {
+        if self.wakes.is_empty() {
+            None
+        } else {
+            Some(self.wakes.remove(0))
+        }
+    }
 }
 
 impl Context<Msg> for NullCtx {
@@ -61,7 +74,9 @@ impl Context<Msg> for NullCtx {
     fn send(&mut self, to: usize, msg: Msg, bytes: usize) {
         self.sent.push((to, msg, bytes));
     }
-    fn wake_after(&mut self, _delay: f64, _token: u64) {}
+    fn wake_after(&mut self, delay: f64, token: u64) {
+        self.wakes.push((delay, token));
+    }
     fn stop_all(&mut self) {
         self.stopped = true;
     }

@@ -2,12 +2,34 @@
 //! advection loop, and logical memory accounting.
 
 use crate::msg::Msg;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use streamline_desim::Context;
 use streamline_field::block::{Block, BlockId};
 use streamline_field::decomp::BlockDecomposition;
 use streamline_integrate::{Dopri5, StepLimits, Streamline, Termination};
 use streamline_iosim::{BlockStore, CacheStats, DiskModel, LruCache, StoreError};
+
+/// Serializable image of a [`Workspace`]'s mutable state: the LRU residency
+/// manifest (coldest first), the cache counters, and every accounting
+/// counter. Block *contents* are not stored — on restore they are reloaded
+/// from the block store, which holds the identical immutable data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkspaceSnapshot {
+    /// Resident blocks, coldest first (insertion in this order reproduces
+    /// the exact future eviction sequence).
+    pub resident: Vec<BlockId>,
+    pub cache_stats: CacheStats,
+    pub geom_vertices: u64,
+    pub resident_streams: u64,
+    pub terminated: u64,
+    pub total_steps: u64,
+    pub sampler_hits: u64,
+    pub sampler_misses: u64,
+    pub load_retries: u64,
+    pub load_failures: u64,
+    pub unavailable: u64,
+}
 
 /// Where a streamline went after being advanced inside one block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,6 +248,45 @@ impl Workspace {
     pub fn locate(&self, p: streamline_math::Vec3) -> Option<BlockId> {
         self.decomp.locate(p)
     }
+
+    /// Capture this workspace's mutable state for a checkpoint.
+    pub fn snapshot(&self) -> WorkspaceSnapshot {
+        WorkspaceSnapshot {
+            resident: self.cache.manifest(),
+            cache_stats: self.cache.stats(),
+            geom_vertices: self.geom_vertices,
+            resident_streams: self.resident_streams,
+            terminated: self.terminated,
+            total_steps: self.total_steps,
+            sampler_hits: self.sampler_hits,
+            sampler_misses: self.sampler_misses,
+            load_retries: self.load_retries,
+            load_failures: self.load_failures,
+            unavailable: self.unavailable,
+        }
+    }
+
+    /// Restore a snapshot taken by [`Self::snapshot`]. Resident blocks are
+    /// reloaded straight from the store — no simulated I/O time is charged
+    /// and no cache counters move (the snapshot's counters are installed
+    /// verbatim), because the restore itself is outside the simulated run.
+    pub fn restore(&mut self, snap: &WorkspaceSnapshot) -> Result<(), StoreError> {
+        let mut blocks = Vec::with_capacity(snap.resident.len());
+        for &id in &snap.resident {
+            blocks.push(self.store.try_load(id)?);
+        }
+        self.cache.restore(blocks, snap.cache_stats);
+        self.geom_vertices = snap.geom_vertices;
+        self.resident_streams = snap.resident_streams;
+        self.terminated = snap.terminated;
+        self.total_steps = snap.total_steps;
+        self.sampler_hits = snap.sampler_hits;
+        self.sampler_misses = snap.sampler_misses;
+        self.load_retries = snap.load_retries;
+        self.load_failures = snap.load_failures;
+        self.unavailable = snap.unavailable;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -379,6 +440,33 @@ mod tests {
         assert_eq!(ws.unavailable, 1);
         // Geometry stays resident (it is the product); the object is freed.
         assert!(ws.memory_bytes() > 0.0);
+    }
+
+    #[test]
+    fn snapshot_restore_reproduces_cache_and_counters() {
+        let mut ws = workspace(2);
+        let mut ctx = NullCtx::default();
+        ws.acquire(BlockId(0), &mut ctx);
+        ws.acquire(BlockId(1), &mut ctx);
+        ws.acquire(BlockId(0), &mut ctx); // block 1 is now the LRU victim
+        ws.terminated = 3;
+        ws.total_steps = 99;
+        let snap = ws.snapshot();
+
+        let mut fresh = workspace(2);
+        fresh.restore(&snap).expect("store has every block");
+        assert_eq!(fresh.snapshot(), snap, "snapshot must round-trip exactly");
+        assert_eq!(fresh.cache_stats(), ws.cache_stats());
+        // Same future eviction: loading block 2 purges block 1 in both.
+        let mut ctx2 = NullCtx::default();
+        ws.acquire(BlockId(2), &mut ctx);
+        fresh.acquire(BlockId(2), &mut ctx2);
+        let mut a = ws.resident_blocks();
+        let mut b = fresh.resident_blocks();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert!(!fresh.is_resident(BlockId(1)));
     }
 
     #[test]

@@ -43,6 +43,47 @@ impl<M> Ord for Scheduled<M> {
     }
 }
 
+/// One undelivered event in a [`SimState`] cut, with the delivery metadata
+/// the scheduler attached when it was enqueued.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingEvent<M> {
+    pub time: f64,
+    pub seq: u64,
+    pub to: usize,
+    pub recv_cost: f64,
+    pub recv_bytes: u64,
+    pub ev: Event<M>,
+}
+
+/// A consistent between-events cut of a running simulation: per-rank clocks
+/// and metrics, the scheduler counters, and every undelivered event. The
+/// schedule is a pure function of this state, so a simulation resumed from a
+/// cut completes bit-identically to one that never paused.
+#[derive(Debug, Clone)]
+pub struct SimState<M> {
+    pub clocks: Vec<f64>,
+    pub metrics: Vec<ProcMetrics>,
+    /// Next sequence number the scheduler will assign.
+    pub next_seq: u64,
+    /// Events processed so far.
+    pub events: u64,
+    /// Undelivered events, sorted by `(time, seq)` — the pop order.
+    pub pending: Vec<PendingEvent<M>>,
+}
+
+/// What a checkpoint hook tells the simulation to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointControl {
+    Continue,
+    /// Abandon the run immediately (used by kill-mid-run tests; a real crash
+    /// is the same thing without the courtesy).
+    Stop,
+}
+
+/// Periodic checkpoint configuration: fire `hook` whenever the next event
+/// would cross an `interval` boundary of virtual time.
+type CkptHook<'a, M, P> = (f64, &'a mut dyn FnMut(&SimState<M>, &[P]) -> CheckpointControl);
+
 /// Context handed to handlers during simulation.
 struct DesCtx<'a, M> {
     rank: usize,
@@ -149,7 +190,7 @@ pub struct Simulation<M, P> {
 /// Default safety valve on total events (livelock guard).
 pub const DEFAULT_MAX_EVENTS: u64 = 50_000_000;
 
-impl<M, P: Process<M>> Simulation<M, P> {
+impl<M: Clone, P: Process<M>> Simulation<M, P> {
     pub fn new(net: NetModel, procs: Vec<P>) -> Self {
         assert!(!procs.is_empty(), "simulation needs at least one rank");
         Simulation { net, procs, _marker: std::marker::PhantomData }
@@ -166,21 +207,79 @@ impl<M, P: Process<M>> Simulation<M, P> {
     pub fn run_traced(self, bucket_width: f64) -> (SimReport, Vec<P>, Timeline) {
         let n = self.procs.len();
         let mut timeline = Timeline::new(n, bucket_width);
-        let (report, procs) = self.run_inner(DEFAULT_MAX_EVENTS, Some(&mut timeline));
-        (report, procs, timeline)
+        let (report, procs) = self.run_inner(DEFAULT_MAX_EVENTS, Some(&mut timeline), None, None);
+        (report.expect("no hook, cannot stop early"), procs, timeline)
     }
 
     /// [`Self::run`] with an explicit event budget; panics when exceeded
     /// (indicates a livelocked algorithm, never a legitimate run).
     pub fn run_bounded(self, max_events: u64) -> (SimReport, Vec<P>) {
-        self.run_inner(max_events, None)
+        let (report, procs) = self.run_inner(max_events, None, None, None);
+        (report.expect("no hook, cannot stop early"), procs)
+    }
+
+    /// Run with a periodic checkpoint hook: before executing the first event
+    /// at or past each `interval` boundary of virtual time, `hook` receives a
+    /// consistent [`SimState`] cut plus the process states. Returns `None`
+    /// for the report if the hook answered [`CheckpointControl::Stop`]
+    /// (abandoned mid-run).
+    pub fn run_checkpointed(
+        self,
+        interval: f64,
+        hook: &mut dyn FnMut(&SimState<M>, &[P]) -> CheckpointControl,
+    ) -> (Option<SimReport>, Vec<P>) {
+        self.run_inner(DEFAULT_MAX_EVENTS, None, None, Some((interval, hook)))
+    }
+
+    /// Resume from a [`SimState`] cut and run to completion. The processes
+    /// passed to [`Simulation::new`] must already be restored to the same
+    /// cut; no `Start` events are delivered.
+    pub fn resume(self, state: SimState<M>) -> (SimReport, Vec<P>) {
+        let (report, procs) = self.run_inner(DEFAULT_MAX_EVENTS, None, Some(state), None);
+        (report.expect("no hook, cannot stop early"), procs)
+    }
+
+    /// [`Self::resume`] with checkpointing re-armed (the first boundary at or
+    /// before the resume point fires immediately, then every `interval`).
+    pub fn resume_checkpointed(
+        self,
+        state: SimState<M>,
+        interval: f64,
+        hook: &mut dyn FnMut(&SimState<M>, &[P]) -> CheckpointControl,
+    ) -> (Option<SimReport>, Vec<P>) {
+        self.run_inner(DEFAULT_MAX_EVENTS, None, Some(state), Some((interval, hook)))
+    }
+
+    /// Clone the scheduler state into a serializable cut.
+    fn cut(
+        queue: &BinaryHeap<Scheduled<M>>,
+        clocks: &[f64],
+        metrics: &[ProcMetrics],
+        next_seq: u64,
+        events: u64,
+    ) -> SimState<M> {
+        let mut pending: Vec<PendingEvent<M>> = queue
+            .iter()
+            .map(|s| PendingEvent {
+                time: s.time,
+                seq: s.seq,
+                to: s.to,
+                recv_cost: s.recv_cost,
+                recv_bytes: s.recv_bytes,
+                ev: s.ev.clone(),
+            })
+            .collect();
+        pending.sort_by(|a, b| a.time.total_cmp(&b.time).then_with(|| a.seq.cmp(&b.seq)));
+        SimState { clocks: clocks.to_vec(), metrics: metrics.to_vec(), next_seq, events, pending }
     }
 
     fn run_inner(
         mut self,
         max_events: u64,
         mut trace: Option<&mut Timeline>,
-    ) -> (SimReport, Vec<P>) {
+        init: Option<SimState<M>>,
+        mut ckpt: Option<CkptHook<'_, M, P>>,
+    ) -> (Option<SimReport>, Vec<P>) {
         let n = self.procs.len();
         let mut clocks = vec![0.0f64; n];
         let mut metrics = vec![ProcMetrics::default(); n];
@@ -189,22 +288,73 @@ impl<M, P: Process<M>> Simulation<M, P> {
         let mut stop = false;
         let mut events = 0u64;
 
-        for rank in 0..n {
-            queue.push(Scheduled {
-                time: 0.0,
-                seq,
-                to: rank,
-                recv_cost: 0.0,
-                recv_bytes: 0,
-                ev: Event::Start,
-            });
-            seq += 1;
+        match init {
+            Some(state) => {
+                assert_eq!(state.clocks.len(), n, "resume state rank count mismatch");
+                assert_eq!(state.metrics.len(), n, "resume state rank count mismatch");
+                clocks = state.clocks;
+                metrics = state.metrics;
+                seq = state.next_seq;
+                events = state.events;
+                for p in state.pending {
+                    assert!(p.seq < seq, "pending event from the future");
+                    assert!(p.to < n, "pending event for unknown rank {}", p.to);
+                    queue.push(Scheduled {
+                        time: p.time,
+                        seq: p.seq,
+                        to: p.to,
+                        recv_cost: p.recv_cost,
+                        recv_bytes: p.recv_bytes,
+                        ev: p.ev,
+                    });
+                }
+            }
+            None => {
+                for rank in 0..n {
+                    queue.push(Scheduled {
+                        time: 0.0,
+                        seq,
+                        to: rank,
+                        recv_cost: 0.0,
+                        recv_bytes: 0,
+                        ev: Event::Start,
+                    });
+                    seq += 1;
+                }
+            }
         }
 
-        while let Some(sch) = queue.pop() {
+        let mut next_boundary = ckpt.as_ref().map(|(interval, _)| {
+            assert!(
+                *interval > 0.0 && interval.is_finite(),
+                "checkpoint interval must be positive and finite"
+            );
+            *interval
+        });
+
+        loop {
             if stop {
                 break;
             }
+            let Some(top_time) = queue.peek().map(|s| s.time) else {
+                break;
+            };
+            // Checkpoint on boundary crossings: the cut is taken between
+            // events, so the event about to execute is still in `pending`.
+            if let (Some((interval, hook)), Some(boundary)) =
+                (ckpt.as_mut(), next_boundary.as_mut())
+            {
+                if top_time >= *boundary {
+                    while *boundary <= top_time {
+                        *boundary += *interval;
+                    }
+                    let state = Self::cut(&queue, &clocks, &metrics, seq, events);
+                    if hook(&state, &self.procs) == CheckpointControl::Stop {
+                        return (None, self.procs);
+                    }
+                }
+            }
+            let sch = queue.pop().expect("peeked above");
             events += 1;
             assert!(
                 events <= max_events,
@@ -279,7 +429,7 @@ impl<M, P: Process<M>> Simulation<M, P> {
         }
 
         let wall = clocks.iter().copied().fold(0.0f64, f64::max);
-        (SimReport { wall, events, ranks: metrics }, self.procs)
+        (Some(SimReport { wall, events, ranks: metrics }), self.procs)
     }
 }
 
@@ -470,6 +620,90 @@ mod tests {
             }
         }
         let _ = Simulation::new(NetModel::free(), vec![Forever]).run_bounded(1000);
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run() {
+        let (plain, plain_procs) = run_pingpong(10);
+        let procs = (0..2).map(|_| PingPong { rounds: 10, log: Vec::new() }).collect();
+        let mut cuts = 0u32;
+        let (ckpt, ckpt_procs) = Simulation::new(NetModel::paper_scale(), procs).run_checkpointed(
+            1e-3,
+            &mut |state, procs: &[PingPong]| {
+                cuts += 1;
+                assert_eq!(state.clocks.len(), 2);
+                assert_eq!(procs.len(), 2);
+                assert!(!state.pending.is_empty(), "cut taken with an event still pending");
+                // Pending is sorted by (time, seq).
+                for w in state.pending.windows(2) {
+                    assert!((w[0].time, w[0].seq) < (w[1].time, w[1].seq), "pending not sorted");
+                }
+                CheckpointControl::Continue
+            },
+        );
+        let ckpt = ckpt.expect("hook never stopped");
+        assert!(cuts > 0, "interval smaller than the run must fire the hook");
+        assert_eq!(plain.wall.to_bits(), ckpt.wall.to_bits());
+        assert_eq!(plain.events, ckpt.events);
+        assert_eq!(plain.ranks, ckpt.ranks);
+        assert_eq!(plain_procs[0].log, ckpt_procs[0].log);
+        assert_eq!(plain_procs[1].log, ckpt_procs[1].log);
+    }
+
+    #[test]
+    fn kill_at_checkpoint_then_resume_is_bit_identical() {
+        let (reference, ref_procs) = run_pingpong(12);
+        // Run until the second checkpoint, stop, and capture the cut.
+        let procs = (0..2).map(|_| PingPong { rounds: 12, log: Vec::new() }).collect();
+        let mut captured: Option<SimState<u32>> = None;
+        let mut cuts = 0u32;
+        let (stopped, killed_procs) = Simulation::new(NetModel::paper_scale(), procs)
+            .run_checkpointed(1e-3, &mut |state, _procs: &[PingPong]| {
+                cuts += 1;
+                if cuts == 2 {
+                    captured = Some(state.clone());
+                    CheckpointControl::Stop
+                } else {
+                    CheckpointControl::Continue
+                }
+            });
+        assert!(stopped.is_none(), "run must be abandoned at the second cut");
+        let state = captured.expect("second checkpoint reached");
+        assert!(state.events < reference.events, "cut must be strictly mid-run");
+        // Resume: process state travels with the cut (here, the logs).
+        let (resumed, resumed_procs) =
+            Simulation::new(NetModel::paper_scale(), killed_procs).resume(state);
+        assert_eq!(resumed.wall.to_bits(), reference.wall.to_bits());
+        assert_eq!(resumed.events, reference.events);
+        assert_eq!(resumed.ranks, reference.ranks);
+        assert_eq!(resumed_procs[0].log, ref_procs[0].log);
+        assert_eq!(resumed_procs[1].log, ref_procs[1].log);
+    }
+
+    #[test]
+    fn wakes_survive_a_cut() {
+        // A pending Wake must be serialized in the cut and fire after resume.
+        let mut captured: Option<SimState<()>> = None;
+        let (stopped, procs) = Simulation::new(NetModel::free(), vec![Waker { woke_at: -1.0 }])
+            .run_checkpointed(1.0, &mut |state, _procs: &[Waker]| {
+                captured = Some(state.clone());
+                CheckpointControl::Stop
+            });
+        assert!(stopped.is_none());
+        assert_eq!(procs[0].woke_at, -1.0, "wake must not have fired before the cut");
+        let state = captured.unwrap();
+        assert!(state.pending.iter().any(|p| matches!(p.ev, Event::Wake(42))));
+        let (report, procs) = Simulation::new(NetModel::free(), procs).resume(state);
+        assert!((procs[0].woke_at - 5.0).abs() < 1e-12);
+        assert!((report.ranks[0].idle - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint interval")]
+    fn zero_checkpoint_interval_rejected() {
+        let procs = vec![Charger];
+        let _ = Simulation::new(NetModel::free(), procs)
+            .run_checkpointed(0.0, &mut |_, _| CheckpointControl::Continue);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod process;
 pub mod threads;
 pub mod trace;
 
-pub use des::Simulation;
+pub use des::{CheckpointControl, PendingEvent, SimState, Simulation};
 pub use event::Event;
 pub use metrics::{ProcMetrics, SimReport};
 pub use net::NetModel;

@@ -17,6 +17,7 @@ use crate::format::FormatError;
 use crate::store::{BlockStore, StoreError};
 use parking_lot::Mutex;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::path::PathBuf;
@@ -215,7 +216,7 @@ impl FaultPlan {
 
 /// Exact counts of what a [`FaultStore`] did, updated atomically so
 /// concurrent consumers (the serve worker pool) keep them exact.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultCounters {
     /// Total `try_load` attempts that reached the store.
     pub attempts: u64,
@@ -245,6 +246,17 @@ impl FaultCounters {
         registry.set_counter(names::FAULTS_DECODE_INJECTED_TOTAL, self.decode_injected);
         registry.set_counter(names::FAULTS_LATENCY_INJECTED_TOTAL, self.latency_injected);
     }
+}
+
+/// The mutable state a [`FaultStore`] accumulates mid-run: per-block attempt
+/// counts (which drive the transient-clearing schedule) and the injection
+/// counters. Checkpoints persist this so a resumed run observes the *same*
+/// remaining fault schedule an uninterrupted run would.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultState {
+    /// `(block, attempts seen so far)`, ascending by block id.
+    pub attempts: Vec<(BlockId, u64)>,
+    pub counters: FaultCounters,
 }
 
 #[derive(Default)]
@@ -344,6 +356,23 @@ impl BlockStore for FaultStore {
     fn num_blocks(&self) -> usize {
         self.inner.num_blocks()
     }
+
+    fn fault_state(&self) -> Option<FaultState> {
+        let mut attempts: Vec<(BlockId, u64)> =
+            self.attempts.lock().iter().map(|(&id, &n)| (id, n)).collect();
+        attempts.sort_by_key(|&(id, _)| id);
+        Some(FaultState { attempts, counters: self.counters() })
+    }
+
+    fn restore_fault_state(&self, state: &FaultState) {
+        *self.attempts.lock() = state.attempts.iter().copied().collect();
+        let c = &state.counters;
+        self.counters.attempts.store(c.attempts, Ordering::Relaxed);
+        self.counters.served.store(c.served, Ordering::Relaxed);
+        self.counters.io_injected.store(c.io_injected, Ordering::Relaxed);
+        self.counters.decode_injected.store(c.decode_injected, Ordering::Relaxed);
+        self.counters.latency_injected.store(c.latency_injected, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -437,6 +466,38 @@ mod tests {
         let trans = a.transient_blocks().len();
         let with_kind = a.iter().filter(|(_, bf)| bf.kind.is_some()).count();
         assert_eq!(perm + trans, with_kind);
+    }
+
+    #[test]
+    fn fault_state_roundtrip_resumes_the_schedule() {
+        // A transient fault mid-schedule: 1 of 3 clearing attempts consumed.
+        let plan = FaultPlan::new().transient(BlockId(1), 3);
+        let fs = FaultStore::new(store_of(4), plan.clone());
+        assert!(fs.try_load(BlockId(1)).is_err());
+        let state = fs.fault_state().expect("FaultStore is stateful");
+        assert_eq!(state.attempts, vec![(BlockId(1), 1)]);
+        assert_eq!(state.counters.io_injected, 1);
+
+        // A fresh store restored from the snapshot continues the schedule:
+        // two more failures, then the fault clears — exactly as the original
+        // would have.
+        let resumed = FaultStore::new(store_of(4), plan);
+        resumed.restore_fault_state(&state);
+        assert!(resumed.try_load(BlockId(1)).is_err());
+        assert!(resumed.try_load(BlockId(1)).is_err());
+        assert!(resumed.try_load(BlockId(1)).is_ok());
+        let c = resumed.counters();
+        assert_eq!(c.attempts, 4, "counter continues from the snapshot");
+        assert_eq!(c.io_injected, 3);
+        assert_eq!(c.served, 1);
+    }
+
+    #[test]
+    fn stateless_stores_have_no_fault_state() {
+        let store = store_of(1);
+        assert!(store.fault_state().is_none());
+        // And restoring into one is a harmless no-op.
+        store.restore_fault_state(&FaultState::default());
     }
 
     #[test]

@@ -27,7 +27,8 @@ pub mod store;
 pub mod testutil;
 
 pub use fault::{
-    BlockFaults, ChaosParams, FaultCounters, FaultKind, FaultPlan, FaultStore, INJECTED_BAD_MAGIC,
+    BlockFaults, ChaosParams, FaultCounters, FaultKind, FaultPlan, FaultState, FaultStore,
+    INJECTED_BAD_MAGIC,
 };
 pub use lru::{CacheStats, LruCache};
 pub use model::DiskModel;

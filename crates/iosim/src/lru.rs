@@ -171,6 +171,39 @@ impl LruCache {
         self.stats.failed += 1;
     }
 
+    /// Residency manifest for checkpoints: resident block ids in recency
+    /// order, least recently used first.
+    pub fn manifest(&self) -> Vec<BlockId> {
+        let mut ids: Vec<(BlockId, u64)> =
+            self.entries.iter().map(|(&id, e)| (id, e.last_use)).collect();
+        ids.sort_by_key(|&(_, last_use)| last_use);
+        ids.into_iter().map(|(id, _)| id).collect()
+    }
+
+    /// Rebuild the cache from a checkpoint: blocks arrive in [`Self::manifest`]
+    /// order (coldest first), recency ranks are reassigned contiguously, and
+    /// the stats/tick counters are overwritten with the snapshotted values.
+    /// Nothing here counts as a load, hit, or purge — the activity already
+    /// happened before the snapshot and lives in `stats`.
+    pub fn restore(&mut self, blocks: Vec<Arc<Block>>, stats: CacheStats) {
+        assert!(blocks.len() <= self.capacity, "snapshot exceeds cache capacity");
+        self.entries.clear();
+        // Contiguous ranks below any future tick preserve the eviction
+        // order; the absolute tick values carry no other meaning.
+        self.tick = blocks.len() as u64;
+        for (i, block) in blocks.into_iter().enumerate() {
+            let id = block.id;
+            self.entries.insert(id, Entry { block, last_use: i as u64 });
+        }
+        self.stats = stats;
+    }
+
+    /// Overwrite the stats counters (checkpoint restore of a cache whose
+    /// residency is rebuilt elsewhere, e.g. the serve shared cache).
+    pub fn set_stats(&mut self, stats: CacheStats) {
+        self.stats = stats;
+    }
+
     /// Drop everything (counts purges — a purge is a purge).
     pub fn clear(&mut self) {
         self.stats.purged += self.entries.len() as u64;
@@ -280,6 +313,41 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         LruCache::new(0);
+    }
+
+    #[test]
+    fn manifest_orders_coldest_first() {
+        let mut c = LruCache::new(3);
+        c.insert(block(1));
+        c.insert(block(2));
+        c.insert(block(3));
+        c.get(BlockId(1)); // 1 becomes hottest; order is now 2, 3, 1
+        assert_eq!(c.manifest(), vec![BlockId(2), BlockId(3), BlockId(1)]);
+    }
+
+    #[test]
+    fn restore_preserves_recency_and_stats_exactly() {
+        let mut c = LruCache::new(2);
+        c.insert(block(1));
+        c.insert(block(2));
+        c.get(BlockId(1));
+        let manifest = c.manifest();
+        let stats = c.stats();
+
+        let mut r = LruCache::new(2);
+        r.restore(manifest.iter().map(|id| block(id.0)).collect(), stats);
+        assert_eq!(r.stats(), stats, "restore must not count loads or hits");
+        assert_eq!(r.manifest(), manifest, "recency order must survive the round trip");
+        // Behavioral equivalence: the next eviction picks the same victim.
+        let evicted = r.insert(block(9));
+        assert_eq!(evicted, Some(BlockId(2)), "block 2 was LRU before the snapshot");
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot exceeds cache capacity")]
+    fn restore_rejects_oversized_snapshot() {
+        let mut c = LruCache::new(1);
+        c.restore(vec![block(1), block(2)], CacheStats::default());
     }
 
     #[test]

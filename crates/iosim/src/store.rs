@@ -68,6 +68,20 @@ pub trait BlockStore: Send + Sync {
 
     /// Number of blocks available.
     fn num_blocks(&self) -> usize;
+
+    /// Mid-run mutable state of the store itself, if it has any. Stateless
+    /// stores (memory, field, disk) return `None`; [`crate::FaultStore`]
+    /// returns its attempt counts and injection counters so checkpoints can
+    /// persist the remaining fault schedule.
+    fn fault_state(&self) -> Option<crate::fault::FaultState> {
+        None
+    }
+
+    /// Restore state captured by [`Self::fault_state`]. No-op for stateless
+    /// stores.
+    fn restore_fault_state(&self, state: &crate::fault::FaultState) {
+        let _ = state;
+    }
 }
 
 /// All blocks pre-built in memory.

@@ -24,7 +24,10 @@ impl Summary {
             return None;
         }
         let mut sorted: Vec<f64> = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        // total_cmp: NaN sorts to the high end instead of panicking, so a
+        // poisoned sample degrades to NaN statistics rather than aborting
+        // the whole harness run.
+        sorted.sort_by(f64::total_cmp);
         let count = sorted.len();
         let mean = sorted.iter().sum::<f64>() / count as f64;
         let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
@@ -175,6 +178,20 @@ mod tests {
         assert_eq!(s.max, 4.0);
         assert!(approx_eq(s.mean, 2.5, 1e-12));
         assert!(approx_eq(s.p50, 2.5, 1e-12));
+    }
+
+    #[test]
+    fn summary_with_nan_does_not_panic() {
+        // Regression: `sort_by(partial_cmp.expect(...))` panicked on NaN.
+        // NaN now sorts last (total order), so max/p95 go NaN while the
+        // clean prefix still orders correctly — and nothing aborts.
+        let s = Summary::of(&[2.0, f64::NAN, 1.0]).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert!(s.max.is_nan());
+        assert!(s.mean.is_nan());
+        let all_nan = Summary::of(&[f64::NAN, f64::NAN]).unwrap();
+        assert!(all_nan.min.is_nan() && all_nan.max.is_nan());
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! - `streamline_serve_*` — the live query service; these update while the
 //!   service runs and are what `Service::dump_metrics` exposes for
 //!   scraping.
+//! - `streamline_ckpt_*` — the checkpoint/restart subsystem: snapshots
+//!   written and restored, bytes moved, and time spent doing it.
 
 // One batch run (RunReport).
 pub const RUN_WALL_SECONDS: &str = "streamline_run_wall_seconds";
@@ -81,3 +83,12 @@ pub const SERVE_CACHE_HITS_TOTAL: &str = "streamline_serve_cache_hits_total";
 pub const SERVE_CACHE_FAILED_LOADS_TOTAL: &str = "streamline_serve_cache_failed_loads_total";
 pub const SERVE_BLOCK_EFFICIENCY: &str = "streamline_serve_block_efficiency";
 pub const SERVE_LATENCY_NANOSECONDS: &str = "streamline_serve_request_latency_nanoseconds";
+
+// Checkpoint/restart.
+pub const CKPT_SNAPSHOTS_TOTAL: &str = "streamline_ckpt_snapshots_total";
+pub const CKPT_RESTORES_TOTAL: &str = "streamline_ckpt_restores_total";
+pub const CKPT_WRITE_BYTES_TOTAL: &str = "streamline_ckpt_write_bytes_total";
+pub const CKPT_RESTORE_BYTES_TOTAL: &str = "streamline_ckpt_restore_bytes_total";
+pub const CKPT_WRITE_SECONDS_TOTAL: &str = "streamline_ckpt_write_seconds_total";
+pub const CKPT_RESTORE_SECONDS_TOTAL: &str = "streamline_ckpt_restore_seconds_total";
+pub const CKPT_WARM_START_BLOCKS: &str = "streamline_ckpt_warm_start_blocks";

@@ -104,6 +104,31 @@ impl SharedBlockCache {
         }
         ids
     }
+
+    /// Deterministic residency manifest: each shard's blocks coldest-first
+    /// (per-shard LRU order), shards in index order. Feeding this to
+    /// [`prefetch`](Self::prefetch) on a fresh cache reproduces the
+    /// resident set with the same relative recency within every shard.
+    pub fn manifest(&self) -> Vec<BlockId> {
+        let mut ids = Vec::new();
+        for s in &self.shards {
+            ids.extend(s.lock().manifest());
+        }
+        ids
+    }
+
+    /// Load `blocks` through the cache in order (a warm-start). Returns how
+    /// many are resident afterwards; blocks that fail to load are skipped —
+    /// a warm-start is best-effort, never fatal.
+    pub fn prefetch(&self, blocks: &[BlockId], store: &dyn BlockStore) -> usize {
+        let mut loaded = 0;
+        for &id in blocks {
+            if self.get_or_load(id, store).is_ok() {
+                loaded += 1;
+            }
+        }
+        loaded
+    }
 }
 
 #[cfg(test)]

@@ -50,10 +50,14 @@ pub mod breaker;
 pub mod cache;
 pub mod metrics;
 pub mod service;
+pub mod warm;
 
 pub use breaker::{
     Admit, BlockBreakers, BreakerClock, BreakerConfig, ManualClock, RetryPolicy, SystemClock,
 };
 pub use cache::SharedBlockCache;
 pub use metrics::{LatencyHistogram, ServiceMetrics};
-pub use service::{Outcome, Request, Response, Service, ServiceConfig, SubmitError, Ticket};
+pub use service::{
+    Outcome, Request, Response, Service, ServiceConfig, ServiceGone, SubmitError, Ticket, TryWait,
+};
+pub use warm::WarmStartManifest;

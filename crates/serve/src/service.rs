@@ -163,24 +163,60 @@ pub struct Response {
     pub latency: Duration,
 }
 
+/// Why redeeming a [`Ticket`] failed: the service was torn down without
+/// answering. Graceful drain answers every pending ticket, so this is only
+/// reachable when a worker died mid-batch (panic/abort) and took the
+/// request's state with it — a fault the caller must see as a typed error,
+/// not as a panic of *its own* thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceGone {
+    pub request_id: u64,
+}
+
+impl fmt::Display for ServiceGone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "service dropped pending request {} without answering", self.request_id)
+    }
+}
+
+impl std::error::Error for ServiceGone {}
+
+/// Result of a non-blocking [`Ticket::try_wait`] that did not resolve.
+#[derive(Debug)]
+pub enum TryWait {
+    /// Still in flight; the ticket is handed back for a later poll.
+    Pending(Ticket),
+    /// The service died without answering (see [`ServiceGone`]).
+    Gone(ServiceGone),
+}
+
 /// Handle to a pending request; redeem with [`Ticket::wait`].
 pub struct Ticket {
     pub request_id: u64,
     rx: Receiver<Response>,
 }
 
+impl fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ticket").field("request_id", &self.request_id).finish_non_exhaustive()
+    }
+}
+
 impl Ticket {
-    /// Block until the service responds. Panics if the service was torn
-    /// down without answering (it never is: drain answers everything).
-    pub fn wait(self) -> Response {
-        self.rx.recv().expect("service dropped a pending request")
+    /// Block until the service responds.
+    pub fn wait(self) -> Result<Response, ServiceGone> {
+        self.rx.recv().map_err(|_| ServiceGone { request_id: self.request_id })
     }
 
-    /// Non-blocking poll; returns the ticket back while still pending.
-    pub fn try_wait(self) -> Result<Response, Ticket> {
+    /// Non-blocking poll; hands the ticket back while still pending.
+    pub fn try_wait(self) -> Result<Response, TryWait> {
+        use crossbeam::channel::TryRecvError;
         match self.rx.try_recv() {
             Ok(r) => Ok(r),
-            Err(_) => Err(self),
+            Err(TryRecvError::Empty) => Err(TryWait::Pending(self)),
+            Err(TryRecvError::Disconnected) => {
+                Err(TryWait::Gone(ServiceGone { request_id: self.request_id }))
+            }
         }
     }
 }
@@ -396,6 +432,20 @@ impl Service {
         }
 
         Ok(Ticket { request_id: id, rx })
+    }
+
+    /// Prefetch `manifest` into the shared cache — typically the residency
+    /// a previous instance persisted on drain. Best-effort; returns how
+    /// many blocks loaded. Call before exposing the service to traffic for
+    /// an accurate cold-start win.
+    pub fn warm_start(&self, manifest: &crate::warm::WarmStartManifest) -> usize {
+        manifest.prefetch(&self.inner.cache, self.inner.store.as_ref())
+    }
+
+    /// Snapshot the shared cache's residency for the next instance's
+    /// [`warm_start`](Self::warm_start).
+    pub fn residency_manifest(&self) -> crate::warm::WarmStartManifest {
+        crate::warm::WarmStartManifest::of(&self.inner.cache)
     }
 
     /// Point-in-time health snapshot.
@@ -787,7 +837,7 @@ mod tests {
         let seeds = dataset.seeds_with_count(Seeding::Sparse, 16);
         let ticket =
             svc.submit(Request::new(seeds.points.clone()).with_limits(limits())).expect("admitted");
-        let resp = ticket.wait();
+        let resp = ticket.wait().expect("service answers");
         assert_eq!(resp.outcome, Outcome::Completed);
         assert_eq!(resp.streamlines.len(), 16);
         // Seed-order ids, each terminated.
@@ -804,14 +854,18 @@ mod tests {
     #[test]
     fn empty_request_is_rejected() {
         let (svc, _dataset) = tiny_service(ServiceConfig::default());
-        let err = svc.submit(Request::new(Vec::new())).err().expect("must be rejected");
+        let err = svc.submit(Request::new(Vec::new())).expect_err("must be rejected");
         assert_eq!(err, SubmitError::Empty);
     }
 
     #[test]
     fn out_of_domain_seeds_terminate_immediately() {
         let (svc, _dataset) = tiny_service(ServiceConfig::default());
-        let resp = svc.submit(Request::new(vec![Vec3::splat(1e6)])).expect("admitted").wait();
+        let resp = svc
+            .submit(Request::new(vec![Vec3::splat(1e6)]))
+            .expect("admitted")
+            .wait()
+            .expect("service answers");
         assert_eq!(resp.outcome, Outcome::Completed);
         assert_eq!(resp.streamlines.len(), 1);
         assert_eq!(
@@ -825,7 +879,7 @@ mod tests {
         let cfg = ServiceConfig { queue_capacity: 8, workers: 1, ..ServiceConfig::default() };
         let (svc, dataset) = tiny_service(cfg);
         let seeds = dataset.seeds_with_count(Seeding::Dense, 9);
-        let err = svc.submit(Request::new(seeds.points.clone())).err().expect("must be rejected");
+        let err = svc.submit(Request::new(seeds.points.clone())).expect_err("must be rejected");
         match err {
             SubmitError::Overloaded { queue_depth, capacity, requested } => {
                 assert_eq!(capacity, 8);
@@ -837,7 +891,7 @@ mod tests {
         // Rejection rolled back the reservation: a fitting request works.
         let ok = svc.submit(Request::new(seeds.points[..4].to_vec()).with_limits(limits()));
         assert!(ok.is_ok());
-        ok.unwrap().wait();
+        ok.unwrap().wait().expect("service answers");
         let m = svc.shutdown();
         assert_eq!(m.rejected, 1);
         assert_eq!(m.submitted, 1);
@@ -856,7 +910,7 @@ mod tests {
                     .with_deadline(Instant::now() - Duration::from_millis(1)),
             )
             .expect("admitted");
-        let resp = ticket.wait();
+        let resp = ticket.wait().expect("service answers");
         match resp.outcome {
             Outcome::DeadlineExceeded { dropped } => {
                 assert!(dropped > 0);
@@ -884,7 +938,7 @@ mod tests {
         assert_eq!(m.completed, 4);
         assert_eq!(m.queue_depth, 0);
         for t in tickets {
-            let resp = t.wait();
+            let resp = t.wait().expect("service answers");
             assert_eq!(resp.streamlines.len(), 64);
         }
     }
@@ -894,7 +948,7 @@ mod tests {
         let (svc, dataset) = tiny_service(ServiceConfig::default());
         let seeds = dataset.seeds_with_count(Seeding::Sparse, 4);
         svc.begin_shutdown();
-        let err = svc.submit(Request::new(seeds.points.clone())).err().expect("must be refused");
+        let err = svc.submit(Request::new(seeds.points.clone())).expect_err("must be refused");
         assert_eq!(err, SubmitError::ShuttingDown);
         let m = svc.shutdown();
         assert_eq!(m.submitted, 0);
@@ -917,11 +971,13 @@ mod tests {
         let got = faulted
             .submit(Request::new(seeds.points.clone()).with_limits(limits()))
             .expect("admitted")
-            .wait();
+            .wait()
+            .expect("service answers");
         let want = clean
             .submit(Request::new(seeds.points.clone()).with_limits(limits()))
             .expect("admitted")
-            .wait();
+            .wait()
+            .expect("service answers");
         assert_eq!(got.outcome, Outcome::Completed, "transient faults must be invisible");
         assert_eq!(got.streamlines.len(), want.streamlines.len());
         for (a, b) in got.streamlines.iter().zip(&want.streamlines) {
@@ -956,11 +1012,13 @@ mod tests {
         let got = faulted
             .submit(Request::new(seeds.points.clone()).with_limits(limits()))
             .expect("admitted")
-            .wait();
+            .wait()
+            .expect("service answers");
         let want = clean
             .submit(Request::new(seeds.points.clone()).with_limits(limits()))
             .expect("admitted")
-            .wait();
+            .wait()
+            .expect("service answers");
         let unavailable = match got.outcome {
             Outcome::Partial { unavailable } => unavailable,
             other => panic!("expected Partial, got {other:?}"),
@@ -1001,10 +1059,18 @@ mod tests {
             .find(|&p| dataset.decomp.locate(p) == Some(BlockId(0)))
             .expect("a seed in block 0");
         // First request trips the breaker (threshold 1)...
-        let first = svc.submit(Request::new(vec![seed]).with_limits(limits())).unwrap().wait();
+        let first = svc
+            .submit(Request::new(vec![seed]).with_limits(limits()))
+            .unwrap()
+            .wait()
+            .expect("service answers");
         assert_eq!(first.outcome, Outcome::Partial { unavailable: 1 });
         // ...so the second is denied without touching the store.
-        let second = svc.submit(Request::new(vec![seed]).with_limits(limits())).unwrap().wait();
+        let second = svc
+            .submit(Request::new(vec![seed]).with_limits(limits()))
+            .unwrap()
+            .wait()
+            .expect("service answers");
         assert_eq!(second.outcome, Outcome::Partial { unavailable: 1 });
         let m = svc.shutdown();
         assert_eq!(m.breaker_trips, 1);
@@ -1018,7 +1084,10 @@ mod tests {
     fn dump_metrics_agrees_with_the_snapshot() {
         let (svc, dataset) = tiny_service(ServiceConfig::default());
         let seeds = dataset.seeds_with_count(Seeding::Sparse, 8);
-        svc.submit(Request::new(seeds.points.clone()).with_limits(limits())).unwrap().wait();
+        svc.submit(Request::new(seeds.points.clone()).with_limits(limits()))
+            .unwrap()
+            .wait()
+            .expect("service answers");
         let text = svc.dump_metrics();
         let parsed = streamline_obs::prom::parse_text(&text).expect("valid Prometheus text");
         let m = svc.metrics();
@@ -1047,7 +1116,10 @@ mod tests {
         };
         let (svc, dataset) = tiny_service(cfg);
         let seeds = dataset.seeds_with_count(Seeding::Sparse, 16);
-        svc.submit(Request::new(seeds.points.clone()).with_limits(limits())).unwrap().wait();
+        svc.submit(Request::new(seeds.points.clone()).with_limits(limits()))
+            .unwrap()
+            .wait()
+            .expect("service answers");
         let tf = svc.timeline().expect("tracing was enabled");
         tf.validate().expect("trace invariants hold");
         assert_eq!(tf.clock, "wall");
@@ -1061,6 +1133,68 @@ mod tests {
         let (svc, _dataset) = tiny_service(ServiceConfig::default());
         assert!(svc.timeline().is_none());
         svc.shutdown();
+    }
+
+    #[test]
+    fn dead_service_yields_typed_error_not_panic() {
+        // A ticket whose service died mid-request (worker panic) must
+        // resolve to a typed error on the caller's thread, never a panic.
+        let (tx, rx) = bounded::<Response>(1);
+        let ticket = Ticket { request_id: 7, rx };
+        drop(tx);
+        let err = ticket.wait().expect_err("dropped sender must surface as ServiceGone");
+        assert_eq!(err, ServiceGone { request_id: 7 });
+        assert!(err.to_string().contains("request 7"));
+
+        let (tx, rx) = bounded::<Response>(1);
+        let ticket = Ticket { request_id: 8, rx };
+        drop(tx);
+        match ticket.try_wait() {
+            Err(TryWait::Gone(g)) => assert_eq!(g.request_id, 8),
+            other => panic!("expected Gone, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pending_ticket_polls_back_as_pending() {
+        let (_tx, rx) = bounded::<Response>(1);
+        let ticket = Ticket { request_id: 3, rx };
+        match ticket.try_wait() {
+            Err(TryWait::Pending(t)) => assert_eq!(t.request_id, 3),
+            other => panic!("expected Pending, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_started_service_takes_no_cold_loads() {
+        // Drain one instance, persist its residency, warm-start a second:
+        // the same workload must then run load-free from the first request.
+        let (first, dataset) = tiny_service(ServiceConfig::default());
+        let seeds = dataset.seeds_with_count(Seeding::Sparse, 16);
+        first
+            .submit(Request::new(seeds.points.clone()).with_limits(limits()))
+            .unwrap()
+            .wait()
+            .expect("service answers");
+        let manifest = first.residency_manifest();
+        let drained = first.shutdown();
+        assert!(!manifest.blocks.is_empty());
+
+        let (second, _) = tiny_service(ServiceConfig::default());
+        let prefetched = second.warm_start(&manifest);
+        assert_eq!(prefetched, manifest.blocks.len());
+        second
+            .submit(Request::new(seeds.points.clone()).with_limits(limits()))
+            .unwrap()
+            .wait()
+            .expect("service answers");
+        let m = second.shutdown();
+        assert_eq!(
+            m.cache.loaded, prefetched as u64,
+            "every block the workload needs was already resident"
+        );
+        assert_eq!(m.cache.loaded, drained.cache.loaded, "same working set as the first instance");
+        assert!(m.cache.hits > 0);
     }
 
     #[test]
@@ -1082,7 +1216,7 @@ mod tests {
             })
             .collect();
         for h in handles {
-            let resp = h.join().unwrap();
+            let resp = h.join().unwrap().expect("service answers");
             assert_eq!(resp.outcome, Outcome::Completed);
             assert_eq!(resp.streamlines.len(), 8);
         }

@@ -10,10 +10,12 @@
 //! * [`iosim`] — block stores, disk cost model, LRU cache,
 //! * [`desim`] — the simulated cluster and the thread runtime,
 //! * [`core`] — the three parallel streamline algorithms and the driver,
+//! * [`ckpt`] — the crash-consistent checkpoint container format,
 //! * [`serve`] — the concurrent streamline query service,
 //! * [`pathline`] — the §8 pathline extension (space-time blocks, FTLE),
 //! * [`output`] — VTK/OBJ/CSV writers and a PPM rasterizer for the curves.
 
+pub use streamline_ckpt as ckpt;
 pub use streamline_core as core;
 pub use streamline_desim as desim;
 pub use streamline_field as field;

@@ -125,7 +125,10 @@ fn serve_dump_metrics_reconciles_with_service_metrics() {
     let svc = Service::start(dataset.decomp, store, ServiceConfig::default());
     let seeds = dataset.seeds_with_count(Seeding::Sparse, 12);
     let limits = streamline_integrate::StepLimits { max_steps: 200, ..Default::default() };
-    svc.submit(Request::new(seeds.points.clone()).with_limits(limits)).unwrap().wait();
+    svc.submit(Request::new(seeds.points.clone()).with_limits(limits))
+        .unwrap()
+        .wait()
+        .expect("service answers");
 
     let text = svc.dump_metrics();
     let parsed = prom::parse_text(&text).expect("scrape payload parses");

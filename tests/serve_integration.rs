@@ -52,7 +52,8 @@ fn served_streamlines_match_single_shot_driver_bitwise() {
     let resp = svc
         .submit(Request::new(seeds.points.clone()).with_limits(limits()))
         .expect("admitted")
-        .wait();
+        .wait()
+        .expect("service answers");
     assert_eq!(resp.outcome, Outcome::Completed);
     assert_eq!(resp.streamlines.len(), reference.len());
 
@@ -158,8 +159,8 @@ fn full_queue_rejects_then_recovers() {
 
     // Open the gate; once the occupant finishes, the same request fits.
     store.open();
-    ticket.wait();
-    svc.submit(extra).expect("queue drained, admission reopens").wait();
+    ticket.wait().expect("service answers");
+    svc.submit(extra).expect("queue drained, admission reopens").wait().expect("service answers");
     let m = svc.shutdown();
     assert_eq!(m.completed, 2);
     assert_eq!(m.rejected, 1);
@@ -187,11 +188,11 @@ fn deadline_and_drain_interact_cleanly() {
     assert_eq!(m.completed, 2);
     assert_eq!(m.queue_depth, 0);
 
-    match expired.wait().outcome {
+    match expired.wait().expect("service answers").outcome {
         Outcome::DeadlineExceeded { dropped } => assert!(dropped > 0),
         other => panic!("a deadline of now cannot complete 12 seeds: {other:?}"),
     }
-    let resp = healthy.wait();
+    let resp = healthy.wait().expect("service answers");
     assert_eq!(resp.outcome, Outcome::Completed);
     assert_eq!(resp.streamlines.len(), 12);
 }

@@ -74,6 +74,34 @@ impl ChaCha8Rng {
         self.index += 1;
         w
     }
+
+    /// The 32-byte seed this generator was constructed from (the real
+    /// crate's `get_seed`).
+    pub fn get_seed(&self) -> [u8; 32] {
+        let mut seed = [0u8; 32];
+        for (chunk, word) in seed.chunks_exact_mut(4).zip(self.key) {
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        seed
+    }
+
+    /// Absolute stream position in 32-bit words consumed so far. Together
+    /// with [`Self::get_seed`] this fully describes the generator state, so
+    /// checkpoints can persist and bit-identically restore it.
+    pub fn get_word_pos(&self) -> u64 {
+        // `counter` already points past the buffered block; back out the
+        // unread words. A fresh generator (index 16, counter 0) is at 0.
+        self.counter.wrapping_mul(16).wrapping_sub(16 - self.index as u64)
+    }
+
+    /// Seek to an absolute word position (inverse of [`Self::get_word_pos`]).
+    pub fn set_word_pos(&mut self, pos: u64) {
+        self.counter = pos / 16;
+        self.index = 16;
+        for _ in 0..pos % 16 {
+            self.next_word();
+        }
+    }
 }
 
 impl RngCore for ChaCha8Rng {
@@ -143,6 +171,43 @@ mod tests {
             assert!((0.0..1.0).contains(&x));
         }
         let _: u64 = rng.gen();
+    }
+
+    #[test]
+    fn word_pos_tracks_consumption() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        assert_eq!(rng.get_word_pos(), 0);
+        for i in 0..100 {
+            assert_eq!(rng.get_word_pos(), i);
+            rng.next_u32();
+        }
+        rng.next_u64();
+        assert_eq!(rng.get_word_pos(), 102);
+    }
+
+    #[test]
+    fn seed_and_word_pos_restore_the_stream() {
+        // Restoring from (seed, word_pos) must continue bit-identically,
+        // including positions inside and exactly on block boundaries.
+        for consumed in [0usize, 1, 5, 15, 16, 17, 31, 32, 97] {
+            let mut a = ChaCha8Rng::seed_from_u64(23);
+            for _ in 0..consumed {
+                a.next_u32();
+            }
+            let mut b = ChaCha8Rng::from_seed(a.get_seed());
+            b.set_word_pos(a.get_word_pos());
+            assert_eq!(b.get_word_pos(), a.get_word_pos(), "after {consumed} words");
+            for _ in 0..64 {
+                assert_eq!(a.next_u32(), b.next_u32(), "after {consumed} words");
+            }
+        }
+    }
+
+    #[test]
+    fn get_seed_roundtrips_from_seed() {
+        let seed: [u8; 32] = std::array::from_fn(|i| i as u8 ^ 0xA5);
+        let rng = ChaCha8Rng::from_seed(seed);
+        assert_eq!(rng.get_seed(), seed);
     }
 
     #[test]
