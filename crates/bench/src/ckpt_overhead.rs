@@ -188,7 +188,7 @@ mod tests {
     #[test]
     fn smoke_harness_resumes_bit_identically_on_every_driver() {
         let report = run_ckpt_overhead(&CkptOverheadConfig { smoke: true });
-        assert_eq!(report.cases.len(), 3);
+        assert_eq!(report.cases.len(), 4);
         assert!(report.all_resumes_bit_identical, "{}", report.summary());
         for c in &report.cases {
             assert!(c.checkpoints > 0, "{}: no snapshots written", c.algorithm);

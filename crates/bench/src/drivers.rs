@@ -1,0 +1,209 @@
+//! Scheduling-driver comparison harness (`bench-drivers` / `BENCH_6.json`).
+//!
+//! One virtual-time run per (workload, seeding, rank count, driver) cell:
+//! all four scheduling drivers on each of the three application problems,
+//! sparse and dense seeding, across the paper's 64–512 simulated ranks.
+//! Each cell reports the scheduling diagnostics the observability layer
+//! exposes — mean participation, communication-overhead share, ping-ponged
+//! streamline count, load-balance message traffic — so the trade-off
+//! between the centralized (hybrid) and decentralized (steal) balancers is
+//! one JSON file.
+//!
+//! Correctness gates the numbers: on these closed fault-free workloads all
+//! drivers that complete a cell must terminate the same streamline count
+//! with the same total step count. A timing table for drivers that disagree
+//! on the science would be meaningless. (Thermal/dense static allocation is
+//! the paper's sanctioned out-of-memory failure; incomplete cells are
+//! excluded from the agreement check, never silently dropped from the
+//! report.)
+//!
+//! Full scale uses an eighth of the paper seed counts: the relative driver
+//! behaviour is stable under the reduction and the full 96-cell matrix
+//! stays re-runnable in minutes.
+
+use crate::experiments::{case_config, dataset_for, SweepScale, Workload};
+use serde::Serialize;
+use std::sync::Arc;
+use streamline_core::{run_simulated_with_store, Algorithm};
+use streamline_field::dataset::Seeding;
+use streamline_iosim::{BlockStore, MemoryStore};
+
+/// Schema tag of the emitted JSON.
+pub const DRIVERS_SCHEMA: &str = "bench-drivers-v1";
+
+/// Shape of one harness invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct DriversConfig {
+    /// Seconds-scale iteration counts for CI; full counts otherwise.
+    pub smoke: bool,
+}
+
+/// One (workload, seeding, rank count, driver) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct DriverCell {
+    pub workload: String,
+    pub seeding: String,
+    pub algorithm: String,
+    pub n_procs: usize,
+    pub n_seeds: usize,
+    pub completed: bool,
+    pub terminated: u64,
+    pub total_steps: u64,
+    /// Virtual seconds.
+    pub wall: f64,
+    pub io_time: f64,
+    pub comm_time: f64,
+    pub idle_time: f64,
+    /// Mean fraction of the wall each rank spent integrating.
+    pub participation: f64,
+    /// Fraction of total rank-time spent communicating.
+    pub comm_overhead_share: f64,
+    /// Streamlines that re-entered some rank's working set.
+    pub pingpong_streamlines: u64,
+    /// Load-report / steal-protocol messages and bytes.
+    pub balance_msgs: u64,
+    pub balance_bytes: u64,
+    /// All messages (hand-offs included), for the overhead denominator.
+    pub msgs: u64,
+    pub bytes_sent: u64,
+}
+
+/// Everything one harness run measured.
+#[derive(Debug, Clone, Serialize)]
+pub struct DriversReport {
+    pub schema: String,
+    pub smoke: bool,
+    pub proc_counts: Vec<usize>,
+    pub cells: Vec<DriverCell>,
+    /// Every completed driver in every cell group agreed on terminated
+    /// streamlines and total integration steps.
+    pub all_drivers_agree: bool,
+}
+
+impl DriversReport {
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let mut group = String::new();
+        for c in &self.cells {
+            let head = format!("{}/{} @ {} ranks", c.workload, c.seeding, c.n_procs);
+            if head != group {
+                out.push_str(&format!("{head} ({} seeds)\n", c.n_seeds));
+                group = head;
+            }
+            out.push_str(&format!(
+                "  {:<16} wall {:>9.3}s  part {:>5.3}  comm-share {:>5.3}  \
+                 pingpong {:>5}  balance {:>7} msgs  {}\n",
+                c.algorithm,
+                c.wall,
+                c.participation,
+                c.comm_overhead_share,
+                c.pingpong_streamlines,
+                c.balance_msgs,
+                if c.completed { "ok" } else { "INCOMPLETE" },
+            ));
+        }
+        out.push_str(&format!("all drivers agree: {}", self.all_drivers_agree));
+        out
+    }
+}
+
+/// Run the harness: the full driver × workload × seeding × ranks matrix.
+pub fn run_drivers(cfg: &DriversConfig) -> DriversReport {
+    let (scale, proc_counts) = if cfg.smoke {
+        (SweepScale::Quick, vec![4, 8])
+    } else {
+        (SweepScale::Full, vec![64, 128, 256, 512])
+    };
+    let mut cells = Vec::new();
+    let mut all_drivers_agree = true;
+    for workload in Workload::ALL {
+        for seeding in [Seeding::Sparse, Seeding::Dense] {
+            let dataset = dataset_for(workload, scale);
+            let n_seeds =
+                if cfg.smoke { 48 } else { (dataset.paper_seed_count(seeding) / 8).max(64) };
+            let seeds = dataset.seeds_with_count(seeding, n_seeds);
+            // The sampled field data is identical across drivers; each run
+            // still *charges* its own I/O.
+            let store: Arc<dyn BlockStore> = Arc::new(MemoryStore::build(&dataset));
+            for &p in &proc_counts {
+                eprintln!(
+                    "[bench-drivers] {}/{} @ {p} ranks ...",
+                    workload.label(),
+                    seeding.label()
+                );
+                let group_start = cells.len();
+                for algorithm in Algorithm::ALL {
+                    let run_cfg = case_config(workload, seeding, algorithm, p);
+                    let report =
+                        run_simulated_with_store(&dataset, &seeds, &run_cfg, Arc::clone(&store));
+                    cells.push(DriverCell {
+                        workload: workload.label().to_string(),
+                        seeding: seeding.label().to_string(),
+                        algorithm: algorithm.label().to_string(),
+                        n_procs: p,
+                        n_seeds,
+                        completed: report.outcome.completed(),
+                        terminated: report.terminated,
+                        total_steps: report.total_steps,
+                        wall: report.wall,
+                        io_time: report.io_time,
+                        comm_time: report.comm_time,
+                        idle_time: report.idle_time,
+                        participation: report.participation(),
+                        comm_overhead_share: report.comm_overhead_share(),
+                        pingpong_streamlines: report.pingpong_streamlines,
+                        balance_msgs: report.balance_msgs,
+                        balance_bytes: report.balance_bytes,
+                        msgs: report.msgs,
+                        bytes_sent: report.bytes_sent,
+                    });
+                }
+                let done: Vec<&DriverCell> =
+                    cells[group_start..].iter().filter(|c| c.completed).collect();
+                if let Some(first) = done.first() {
+                    if !done.iter().all(|c| {
+                        c.terminated == first.terminated && c.total_steps == first.total_steps
+                    }) {
+                        all_drivers_agree = false;
+                    }
+                }
+            }
+        }
+    }
+    DriversReport {
+        schema: DRIVERS_SCHEMA.to_string(),
+        smoke: cfg.smoke,
+        proc_counts,
+        cells,
+        all_drivers_agree,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_matrix_covers_all_drivers_and_agrees() {
+        let report = run_drivers(&DriversConfig { smoke: true });
+        // 3 workloads x 2 seedings x 2 rank counts x 4 drivers.
+        assert_eq!(report.cells.len(), 3 * 2 * 2 * 4);
+        assert!(report.all_drivers_agree, "{}", report.summary());
+        for algo in Algorithm::ALL {
+            assert!(
+                report.cells.iter().any(|c| c.algorithm == algo.label()),
+                "{algo:?} missing from the matrix"
+            );
+        }
+        // The steal driver actually balanced: its protocol traffic is
+        // nonzero somewhere in the matrix, and the shares are shares.
+        let steal: Vec<_> = report.cells.iter().filter(|c| c.algorithm == "steal").collect();
+        assert!(steal.iter().any(|c| c.balance_msgs > 0), "steal never balanced");
+        for c in &report.cells {
+            assert!((0.0..=1.0).contains(&c.participation), "{}", c.algorithm);
+            assert!((0.0..=1.0).contains(&c.comm_overhead_share), "{}", c.algorithm);
+        }
+        // The report is what `bench-drivers --json` writes; it must serialize.
+        serde_json::to_string(&report).expect("report serializes");
+    }
+}

@@ -170,7 +170,7 @@ mod tests {
     fn quick_sweep_completes_for_every_workload() {
         for w in Workload::ALL {
             let results = run_sweep(w, Seeding::Sparse, SweepScale::Quick, &[4], Some(40));
-            assert_eq!(results.len(), 3, "{w:?}");
+            assert_eq!(results.len(), 4, "{w:?}");
             for r in &results {
                 // Thermal-dense static OOM is the only sanctioned failure;
                 // sparse quick cases must complete.

@@ -3,6 +3,7 @@
 //! Figures 5–16), plus the §4.3 parameter ablation.
 
 pub mod ckpt_overhead;
+pub mod drivers;
 pub mod experiments;
 pub mod harness;
 pub mod kernels;
@@ -10,6 +11,7 @@ pub mod loadgen;
 pub mod tables;
 
 pub use ckpt_overhead::{run_ckpt_overhead, CkptOverheadConfig, CkptOverheadReport};
+pub use drivers::{run_drivers, DriverCell, DriversConfig, DriversReport, DRIVERS_SCHEMA};
 pub use experiments::{
     case_config, dataset_for, limits_for, run_sweep, CaseResult, SweepScale, Workload,
 };

@@ -30,8 +30,8 @@ pub fn figure_block(title: &str, results: &[CaseResult], which: &str) -> String 
     procs.dedup();
     let mut out = String::new();
     out.push_str(&format!("### {title}\n\n"));
-    out.push_str("| procs | static | load-on-demand | hybrid |\n");
-    out.push_str("|------:|-------:|---------------:|-------:|\n");
+    out.push_str("| procs | static | load-on-demand | hybrid | steal |\n");
+    out.push_str("|------:|-------:|---------------:|-------:|------:|\n");
     for p in procs {
         let cell = |algo: Algorithm| {
             results
@@ -41,10 +41,11 @@ pub fn figure_block(title: &str, results: &[CaseResult], which: &str) -> String 
                 .unwrap_or_else(|| "—".to_string())
         };
         out.push_str(&format!(
-            "| {p} | {} | {} | {} |\n",
+            "| {p} | {} | {} | {} | {} |\n",
             cell(Algorithm::StaticAllocation),
             cell(Algorithm::LoadOnDemand),
             cell(Algorithm::HybridMasterSlave),
+            cell(Algorithm::WorkStealing),
         ));
     }
     out.push('\n');
@@ -112,6 +113,9 @@ mod tests {
                 load_retries: 0,
                 load_failures: 0,
                 unavailable_terminations: 0,
+                pingpong_streamlines: 0,
+                balance_msgs: 0,
+                balance_bytes: 0,
                 events: 1,
                 per_rank: vec![],
             },

@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (no external CLI dependency).
 
 use std::collections::BTreeMap;
-use streamline_core::Algorithm;
+use streamline_core::{Algorithm, StealParams};
 use streamline_field::dataset::Seeding;
 
 /// Which dataset a command targets.
@@ -36,8 +36,9 @@ impl AlgoChoice {
             "static" => Ok(AlgoChoice::Fixed(Algorithm::StaticAllocation)),
             "lod" | "load-on-demand" => Ok(AlgoChoice::Fixed(Algorithm::LoadOnDemand)),
             "hybrid" => Ok(AlgoChoice::Fixed(Algorithm::HybridMasterSlave)),
+            "steal" | "work-stealing" => Ok(AlgoChoice::Fixed(Algorithm::WorkStealing)),
             "auto" => Ok(AlgoChoice::Auto),
-            other => Err(format!("unknown algorithm '{other}' (static|lod|hybrid|auto)")),
+            other => Err(format!("unknown algorithm '{other}' (static|lod|hybrid|steal|auto)")),
         }
     }
 }
@@ -52,6 +53,13 @@ pub enum Command {
         procs: usize,
         seeds: Option<usize>,
         cache: usize,
+        /// Tuning knobs of the work-stealing driver (`--neighbors`,
+        /// `--diffusion-period`, `--steal-batch`); defaults elsewhere.
+        steal: StealParams,
+        /// Inject store faults from a seeded plan (degraded-mode run).
+        chaos: bool,
+        /// Seed for the chaos fault plan.
+        chaos_seed: u64,
         json: Option<String>,
         /// Write a virtual-time phase timeline (idle/io/compute/comm per
         /// rank) as trace JSON to this path.
@@ -135,6 +143,14 @@ pub enum Command {
         smoke: bool,
         json: Option<String>,
     },
+    /// Scheduling-driver comparison harness: all four drivers on every
+    /// (workload, seeding) problem at 64–512 simulated ranks, written as the
+    /// `BENCH_6.json` trajectory.
+    BenchDrivers {
+        /// Seconds-scale iteration counts (CI smoke mode).
+        smoke: bool,
+        json: Option<String>,
+    },
     /// Validate an emitted trace JSON, Prometheus snapshot and/or checkpoint
     /// file — the CI smoke gate behind `run --trace` and `run --checkpoint`.
     ObsCheck {
@@ -197,8 +213,16 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let rest = &args[1..];
     let command = match cmd.as_str() {
         "run" => {
+            // `--chaos` is a bare flag; peel it off before the key-value pass.
+            let mut kv: Vec<String> = rest.to_vec();
+            let chaos = if let Some(i) = kv.iter().position(|a| a == "--chaos") {
+                kv.remove(i);
+                true
+            } else {
+                false
+            };
             let o = options(
-                rest,
+                &kv,
                 &[
                     "dataset",
                     "seeding",
@@ -206,6 +230,10 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     "procs",
                     "seeds",
                     "cache",
+                    "neighbors",
+                    "diffusion-period",
+                    "steal-batch",
+                    "chaos-seed",
                     "json",
                     "trace",
                     "trace-bucket",
@@ -216,20 +244,45 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     "resume",
                 ],
             )?;
+            let algorithm =
+                AlgoChoice::parse(o.get("algorithm").map(|s| s.as_str()).unwrap_or("auto"))?;
+            // Steal knobs only make sense on the work-stealing driver; reject
+            // the combination up front rather than silently ignoring it.
+            if algorithm != AlgoChoice::Fixed(Algorithm::WorkStealing) {
+                for knob in ["neighbors", "diffusion-period", "steal-batch"] {
+                    if o.contains_key(knob) {
+                        let got = match algorithm {
+                            AlgoChoice::Fixed(a) => a.label(),
+                            AlgoChoice::Auto => "auto",
+                        };
+                        return Err(format!(
+                            "--{knob} only applies to --algorithm steal (got {got})"
+                        ));
+                    }
+                }
+            }
+            let defaults = StealParams::default();
+            let steal = StealParams {
+                neighbor_degree: get_parse(&o, "neighbors", defaults.neighbor_degree)?,
+                diffusion_period: get_parse(&o, "diffusion-period", defaults.diffusion_period)?,
+                steal_batch: get_parse(&o, "steal-batch", defaults.steal_batch)?,
+            };
+            steal.validate().map_err(|e| e.to_string())?;
             Command::Run {
                 dataset: DatasetKind::parse(
                     o.get("dataset").map(|s| s.as_str()).unwrap_or("thermal"),
                 )?,
                 seeding: parse_seeding(o.get("seeding").map(|s| s.as_str()).unwrap_or("sparse"))?,
-                algorithm: AlgoChoice::parse(
-                    o.get("algorithm").map(|s| s.as_str()).unwrap_or("auto"),
-                )?,
+                algorithm,
                 procs: get_parse(&o, "procs", 64)?,
                 seeds: o
                     .get("seeds")
                     .map(|v| v.parse().map_err(|_| "--seeds: bad integer".to_string()))
                     .transpose()?,
                 cache: get_parse(&o, "cache", 64)?,
+                steal,
+                chaos,
+                chaos_seed: get_parse(&o, "chaos-seed", 0x5EED)?,
                 json: o.get("json").cloned(),
                 trace: o.get("trace").cloned(),
                 trace_bucket: get_parse(&o, "trace-bucket", 0.05)?,
@@ -358,6 +411,18 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             let o = options(&kv, &["json"])?;
             Command::BenchCkpt { smoke, json: o.get("json").cloned() }
         }
+        "bench-drivers" => {
+            // `--smoke` is a bare flag; peel it off before the key-value pass.
+            let mut kv: Vec<String> = rest.to_vec();
+            let smoke = if let Some(i) = kv.iter().position(|a| a == "--smoke") {
+                kv.remove(i);
+                true
+            } else {
+                false
+            };
+            let o = options(&kv, &["json"])?;
+            Command::BenchDrivers { smoke, json: o.get("json").cloned() }
+        }
         "obs-check" => {
             let o = options(rest, &["trace", "metrics", "ckpt"])?;
             if o.is_empty() {
@@ -374,7 +439,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         other => {
             return Err(format!(
                 "unknown command '{other}' \
-                 (run|classify|trace|ftle|serve-bench|bench-kernels|bench-ckpt|obs-check|info|help)"
+                 (run|classify|trace|ftle|serve-bench|bench-kernels|bench-ckpt|bench-drivers|\
+                 obs-check|info|help)"
             ))
         }
     };
@@ -386,8 +452,10 @@ slrepro — parallel streamline computation (Pugmire et al., SC 2009)
 
 USAGE:
   slrepro run      [--dataset astro|fusion|thermal] [--seeding sparse|dense]
-                   [--algorithm static|lod|hybrid|auto] [--procs N] [--seeds N]
-                   [--cache BLOCKS] [--json FILE] [--trace FILE.json]
+                   [--algorithm static|lod|hybrid|steal|auto] [--procs N] [--seeds N]
+                   [--cache BLOCKS] [--neighbors N] [--diffusion-period SECS]
+                   [--steal-batch N] [--chaos] [--chaos-seed N]
+                   [--json FILE] [--trace FILE.json]
                    [--trace-bucket SECS] [--metrics FILE.prom]
                    [--checkpoint DIR] [--checkpoint-interval SECS]
                    [--kill-after-checkpoints N] [--resume FILE|DIR]
@@ -401,6 +469,7 @@ USAGE:
                    [--metrics FILE.prom] [--warm-start FILE.ckpt]
   slrepro bench-kernels [--smoke] [--json FILE]
   slrepro bench-ckpt [--smoke] [--json FILE]
+  slrepro bench-drivers [--smoke] [--json FILE]
   slrepro obs-check [--trace FILE.json] [--metrics FILE.prom] [--ckpt FILE.ckpt]
   slrepro info
 ";
@@ -424,6 +493,9 @@ mod tests {
                 procs,
                 seeds,
                 cache,
+                steal,
+                chaos,
+                chaos_seed,
                 json,
                 trace,
                 trace_bucket,
@@ -439,6 +511,9 @@ mod tests {
                 assert_eq!(procs, 64);
                 assert_eq!(seeds, None);
                 assert_eq!(cache, 64);
+                assert_eq!(steal, StealParams::default());
+                assert!(!chaos);
+                assert_eq!(chaos_seed, 0x5EED);
                 assert_eq!(json, None);
                 assert_eq!(trace, None);
                 assert_eq!(trace_bucket, 0.05);
@@ -466,6 +541,9 @@ mod tests {
                 procs,
                 seeds,
                 cache,
+                steal,
+                chaos,
+                chaos_seed,
                 json,
                 trace,
                 trace_bucket,
@@ -481,6 +559,9 @@ mod tests {
                 assert_eq!(procs, 128);
                 assert_eq!(seeds, Some(5000));
                 assert_eq!(cache, 32);
+                assert_eq!(steal, StealParams::default());
+                assert!(!chaos);
+                assert_eq!(chaos_seed, 0x5EED);
                 assert_eq!(json.as_deref(), Some("r.json"));
                 assert_eq!(trace.as_deref(), Some("t.json"));
                 assert_eq!(trace_bucket, 0.01);
@@ -624,6 +705,86 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn steal_algorithm_and_knobs_round_trip() {
+        let cli = parse(&argv(
+            "run --algorithm steal --neighbors 3 --diffusion-period 0.002 --steal-batch 4",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Run { algorithm, steal, .. } => {
+                assert_eq!(algorithm, AlgoChoice::Fixed(Algorithm::WorkStealing));
+                assert_eq!(steal.neighbor_degree, 3);
+                assert_eq!(steal.diffusion_period, 0.002);
+                assert_eq!(steal.steal_batch, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Alias and defaults.
+        match parse(&argv("run --algorithm work-stealing")).unwrap().command {
+            Command::Run { algorithm, steal, .. } => {
+                assert_eq!(algorithm, AlgoChoice::Fixed(Algorithm::WorkStealing));
+                assert_eq!(steal, StealParams::default());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn steal_knobs_without_steal_algorithm_rejected() {
+        // With a different fixed algorithm, and with the default (auto).
+        let e = parse(&argv("run --algorithm lod --steal-batch 4")).unwrap_err();
+        assert!(e.contains("only applies to --algorithm steal"), "{e}");
+        let e = parse(&argv("run --neighbors 3")).unwrap_err();
+        assert!(e.contains("only applies to --algorithm steal"), "{e}");
+    }
+
+    #[test]
+    fn invalid_steal_knob_values_are_typed_errors_not_panics() {
+        let e = parse(&argv("run --algorithm steal --neighbors 0")).unwrap_err();
+        assert!(e.contains("neighbor degree"), "{e}");
+        let e = parse(&argv("run --algorithm steal --steal-batch 0")).unwrap_err();
+        assert!(e.contains("steal batch"), "{e}");
+        let e = parse(&argv("run --algorithm steal --diffusion-period -1")).unwrap_err();
+        assert!(e.contains("diffusion period"), "{e}");
+        let e = parse(&argv("run --algorithm steal --diffusion-period nan")).unwrap_err();
+        assert!(e.contains("diffusion period"), "{e}");
+        // Unparseable values fail in the generic option parser.
+        let e = parse(&argv("run --algorithm steal --neighbors many")).unwrap_err();
+        assert!(e.contains("cannot parse"), "{e}");
+    }
+
+    #[test]
+    fn run_chaos_flags() {
+        match parse(&argv("run --algorithm steal --chaos --chaos-seed 7")).unwrap().command {
+            Command::Run { chaos, chaos_seed, .. } => {
+                assert!(chaos);
+                assert_eq!(chaos_seed, 7);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Flag position must not matter relative to key-value options.
+        match parse(&argv("run --chaos --algorithm lod")).unwrap().command {
+            Command::Run { chaos, algorithm, .. } => {
+                assert!(chaos);
+                assert_eq!(algorithm, AlgoChoice::Fixed(Algorithm::LoadOnDemand));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bench_drivers_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("bench-drivers")).unwrap().command,
+            Command::BenchDrivers { smoke: false, json: None }
+        );
+        assert_eq!(
+            parse(&argv("bench-drivers --smoke --json d.json")).unwrap().command,
+            Command::BenchDrivers { smoke: true, json: Some("d.json".into()) }
+        );
     }
 
     #[test]

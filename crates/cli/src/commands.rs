@@ -68,7 +68,10 @@ pub fn execute(cmd: Command) -> i32 {
                     ds.paper_seed_count(Seeding::Dense),
                 );
             }
-            println!("\nalgorithms: static (§4.1), lod (§4.2), hybrid (§4.3), auto (§6 advisor)");
+            println!(
+                "\nalgorithms: static (§4.1), lod (§4.2), hybrid (§4.3), \
+                 steal (decentralized work stealing), auto (§6 advisor)"
+            );
             0
         }
         Command::Classify { dataset, seeding, seeds } => {
@@ -101,6 +104,9 @@ pub fn execute(cmd: Command) -> i32 {
             procs,
             seeds,
             cache,
+            steal,
+            chaos,
+            chaos_seed,
             json,
             trace,
             trace_bucket,
@@ -113,9 +119,10 @@ pub fn execute(cmd: Command) -> i32 {
             use std::sync::Arc;
             use streamline_core::{
                 latest_checkpoint, resume_simulated_detailed_with_store,
-                run_simulated_checkpointed_with_store, CheckpointOptions,
+                run_simulated_checkpointed_with_store, run_simulated_detailed_with_store,
+                CheckpointOptions,
             };
-            use streamline_iosim::FieldStore;
+            use streamline_iosim::{BlockStore, ChaosParams, FaultPlan, FaultStore, FieldStore};
             if trace.is_some() && (checkpoint.is_some() || resume.is_some()) {
                 eprintln!("error: --trace cannot be combined with --checkpoint/--resume");
                 return 64;
@@ -124,12 +131,24 @@ pub fn execute(cmd: Command) -> i32 {
                 eprintln!("error: --resume and --checkpoint are mutually exclusive");
                 return 64;
             }
+            if chaos && (trace.is_some() || checkpoint.is_some() || resume.is_some()) {
+                eprintln!("error: --chaos cannot be combined with --trace/--checkpoint/--resume");
+                return 64;
+            }
+            // Parsing already validates the knobs; re-check here so
+            // programmatic construction cannot smuggle bad values past the
+            // typed error into a driver panic.
+            if let Err(e) = steal.validate() {
+                eprintln!("error: {e}");
+                return 64;
+            }
             let ds = build_dataset(dataset);
             let n = seeds.unwrap_or_else(|| ds.paper_seed_count(seeding));
             let set = ds.seeds_with_count(seeding, n);
             let mut cfg = RunConfig::new(Algorithm::HybridMasterSlave, procs);
             cfg.limits = limits_for(dataset, seeding);
             cfg.cache_blocks = cache;
+            cfg.steal = steal;
             cfg.algorithm = match algorithm {
                 AlgoChoice::Fixed(a) => a,
                 AlgoChoice::Auto => {
@@ -214,9 +233,30 @@ pub fn execute(cmd: Command) -> i32 {
                         return 1;
                     }
                 }
+            } else if chaos {
+                let plan =
+                    FaultPlan::random(chaos_seed, ds.decomp.num_blocks(), &ChaosParams::default());
+                eprintln!(
+                    "chaos: {} faulty blocks from seed {chaos_seed:#x} ({} permanently lost)",
+                    plan.len(),
+                    plan.unavailable_blocks().len(),
+                );
+                let inner: Arc<dyn BlockStore> = Arc::new(FieldStore::new(ds.clone()));
+                let fs = Arc::new(FaultStore::new(inner, plan));
+                let (r, f) = run_simulated_detailed_with_store(&ds, &set, &cfg, fs.clone());
+                let c = fs.counters();
+                eprintln!(
+                    "chaos: injected {} faults; {} retries, {} load failures, {} streamlines \
+                     terminated unavailable",
+                    c.faults_injected(),
+                    r.load_retries,
+                    r.load_failures,
+                    r.unavailable_terminations,
+                );
+                (r, f, None)
             } else if trace.is_some() {
-                let (r, f, t) = run_simulated_traced(&ds, &set, &cfg, trace_bucket);
-                (r, f, Some(t))
+                let (r, f, t, pingpong) = run_simulated_traced(&ds, &set, &cfg, trace_bucket);
+                (r, f, Some((t, pingpong)))
             } else {
                 let (r, f) = run_simulated_detailed(&ds, &set, &cfg);
                 (r, f, None)
@@ -248,8 +288,10 @@ pub fn execute(cmd: Command) -> i32 {
                     }
                 }
             }
-            if let (Some(path), Some(timeline)) = (trace, timeline) {
-                let tf = timeline.to_trace("virtual");
+            if let (Some(path), Some((timeline, pingpong))) = (trace, timeline) {
+                let mut tf = timeline.to_trace("virtual");
+                tf.schedule =
+                    Some(streamline_obs::ScheduleTrace::from_timeline(&timeline, &pingpong));
                 if let Err(e) = tf.validate() {
                     eprintln!("internal error: emitted trace is invalid: {e}");
                     return 1;
@@ -579,6 +621,31 @@ pub fn execute(cmd: Command) -> i32 {
                 2
             }
         }
+        Command::BenchDrivers { smoke, json } => {
+            use streamline_bench::{run_drivers, DriversConfig};
+            let report = run_drivers(&DriversConfig { smoke });
+            println!("{}", report.summary());
+            if let Some(path) = json {
+                match serde_json::to_string_pretty(&report) {
+                    Ok(s) => {
+                        if let Err(e) = std::fs::write(&path, s + "\n") {
+                            eprintln!("error writing {path}: {e}");
+                            return 1;
+                        }
+                        eprintln!("wrote {path}");
+                    }
+                    Err(e) => {
+                        eprintln!("serialization error: {e}");
+                        return 1;
+                    }
+                }
+            }
+            if report.all_drivers_agree {
+                0
+            } else {
+                2
+            }
+        }
         Command::Trace { dataset, seeds, out, formats } => {
             let ds = build_dataset(dataset);
             let set = ds.seeds_with_count(Seeding::Sparse, seeds);
@@ -678,6 +745,7 @@ pub fn execute(cmd: Command) -> i32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use streamline_core::StealParams;
 
     #[test]
     fn limits_vary_by_dataset() {
@@ -710,6 +778,9 @@ mod tests {
             procs: 4,
             seeds: Some(32),
             cache: 16,
+            steal: StealParams::default(),
+            chaos: false,
+            chaos_seed: 0,
             json: None,
             trace: None,
             trace_bucket: 0.05,
@@ -734,6 +805,9 @@ mod tests {
             procs: 4,
             seeds: Some(32),
             cache: 16,
+            steal: StealParams::default(),
+            chaos: false,
+            chaos_seed: 0,
             json: None,
             trace: None,
             trace_bucket: 0.05,
@@ -780,6 +854,9 @@ mod tests {
             procs: 4,
             seeds: Some(32),
             cache: 16,
+            steal: StealParams::default(),
+            chaos: false,
+            chaos_seed: 0,
             json: None,
             trace: Some(trace_path.clone()),
             trace_bucket: 0.05,

@@ -181,6 +181,7 @@ pub enum RankSnapshot {
     Lod(crate::load_on_demand::LodSnapshot),
     Master(crate::hybrid::MasterSnapshot),
     Slave(crate::hybrid::SlaveSnapshot),
+    Steal(crate::steal::StealSnapshot),
 }
 
 fn snapshot_rank(p: &AnyProc) -> RankSnapshot {
@@ -189,6 +190,7 @@ fn snapshot_rank(p: &AnyProc) -> RankSnapshot {
         AnyProc::Lod(p) => RankSnapshot::Lod(p.snapshot()),
         AnyProc::Master(p) => RankSnapshot::Master(p.snapshot()),
         AnyProc::Slave(p) => RankSnapshot::Slave(p.snapshot()),
+        AnyProc::Steal(p) => RankSnapshot::Steal(p.snapshot()),
     }
 }
 
@@ -203,6 +205,7 @@ fn restore_rank(rank: usize, p: &mut AnyProc, snap: &RankSnapshot) -> Result<(),
             Ok(())
         }
         (AnyProc::Slave(p), RankSnapshot::Slave(s)) => p.restore(s).map_err(store_err),
+        (AnyProc::Steal(p), RankSnapshot::Steal(s)) => p.restore(s).map_err(store_err),
         _ => Err(CkptError::Mismatch(format!(
             "rank {rank}: snapshot kind does not match the rebuilt rank — \
              the checkpoint belongs to a different configuration"

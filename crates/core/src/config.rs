@@ -6,7 +6,8 @@ use streamline_desim::NetModel;
 use streamline_integrate::StepLimits;
 use streamline_iosim::DiskModel;
 
-/// The three parallelization strategies of §4.
+/// The three parallelization strategies of §4, plus the decentralized
+/// work-stealing driver from the follow-up load-balancing literature.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Algorithm {
     /// §4.1 — parallelize over blocks, communicate streamlines.
@@ -15,17 +16,26 @@ pub enum Algorithm {
     LoadOnDemand,
     /// §4.3 — the paper's contribution: masters dynamically assign both.
     HybridMasterSlave,
+    /// Masterless peer-to-peer balancing: idle ranks steal seed batches from
+    /// lifeline neighbors, busy ranks advertise load diffusively, and a
+    /// Safra-style termination token replaces the master's global count.
+    WorkStealing,
 }
 
 impl Algorithm {
-    pub const ALL: [Algorithm; 3] =
-        [Algorithm::StaticAllocation, Algorithm::LoadOnDemand, Algorithm::HybridMasterSlave];
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::StaticAllocation,
+        Algorithm::LoadOnDemand,
+        Algorithm::HybridMasterSlave,
+        Algorithm::WorkStealing,
+    ];
 
     pub fn label(self) -> &'static str {
         match self {
             Algorithm::StaticAllocation => "static",
             Algorithm::LoadOnDemand => "load-on-demand",
             Algorithm::HybridMasterSlave => "hybrid",
+            Algorithm::WorkStealing => "steal",
         }
     }
 }
@@ -67,6 +77,75 @@ impl HybridParams {
         assert!(n_procs >= 2, "hybrid needs at least one master and one slave");
         let m = n_procs.div_ceil(self.slaves_per_master + 1);
         m.min(n_procs - 1).max(1)
+    }
+}
+
+/// A steal/diffusion knob combination the driver cannot run with. Surfaced
+/// as a typed error (not a panic) so the CLI can reject bad invocations
+/// with a usage message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StealConfigError {
+    /// `neighbor_degree` must be at least 1 — a rank with no lifeline
+    /// neighbors can neither steal nor pass the termination token.
+    ZeroNeighborDegree,
+    /// `diffusion_period` must be a positive, finite virtual-seconds value;
+    /// zero would busy-spin the event simulation.
+    BadDiffusionPeriod,
+    /// `steal_batch` must be at least 1 — otherwise every steal request is
+    /// a refusal and idle ranks can never acquire work.
+    ZeroStealBatch,
+}
+
+impl std::fmt::Display for StealConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StealConfigError::ZeroNeighborDegree => {
+                write!(f, "steal neighbor degree must be >= 1")
+            }
+            StealConfigError::BadDiffusionPeriod => {
+                write!(f, "steal diffusion period must be a positive, finite number of seconds")
+            }
+            StealConfigError::ZeroStealBatch => write!(f, "steal batch size must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for StealConfigError {}
+
+/// Tuning parameters of the decentralized work-stealing driver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StealParams {
+    /// Lifeline out-degree: rank `r` is linked to `(r + 2^j) mod n` for
+    /// `j in 0..neighbor_degree` (a hypercube-style lifeline graph whose
+    /// `j = 0` edges form the ring the termination token travels).
+    pub neighbor_degree: usize,
+    /// Virtual seconds between diffusion ticks: busy ranks report their
+    /// load to neighbors and rank 0 paces termination-token retries.
+    pub diffusion_period: f64,
+    /// Maximum streamlines per steal grant or diffusion transfer.
+    pub steal_batch: usize,
+}
+
+impl Default for StealParams {
+    fn default() -> Self {
+        StealParams { neighbor_degree: 2, diffusion_period: 5e-3, steal_batch: 8 }
+    }
+}
+
+impl StealParams {
+    /// Check the knobs are runnable; the CLI surfaces the error as a usage
+    /// message instead of letting the driver panic mid-run.
+    pub fn validate(&self) -> Result<(), StealConfigError> {
+        if self.neighbor_degree == 0 {
+            return Err(StealConfigError::ZeroNeighborDegree);
+        }
+        if !(self.diffusion_period.is_finite() && self.diffusion_period > 0.0) {
+            return Err(StealConfigError::BadDiffusionPeriod);
+        }
+        if self.steal_batch == 0 {
+            return Err(StealConfigError::ZeroStealBatch);
+        }
+        Ok(())
     }
 }
 
@@ -135,6 +214,8 @@ pub struct RunConfig {
     pub cache_blocks: usize,
     pub memory: MemoryBudget,
     pub hybrid: HybridParams,
+    #[serde(default)]
+    pub steal: StealParams,
     /// Communicate full streamline geometry (the measured configuration;
     /// §8 discusses the compact solver-state alternative).
     pub comm_geometry: bool,
@@ -152,6 +233,7 @@ impl RunConfig {
             cache_blocks: 32,
             memory: MemoryBudget::paper_scale(),
             hybrid: HybridParams::default(),
+            steal: StealParams::default(),
             comm_geometry: true,
             static_partition: crate::static_alloc::StaticPartition::Contiguous,
         }
@@ -195,6 +277,21 @@ mod tests {
     fn algorithm_labels_unique() {
         let labels: std::collections::HashSet<_> =
             Algorithm::ALL.iter().map(|a| a.label()).collect();
-        assert_eq!(labels.len(), 3);
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn steal_params_validate() {
+        assert_eq!(StealParams::default().validate(), Ok(()));
+        let p = StealParams { neighbor_degree: 0, ..StealParams::default() };
+        assert_eq!(p.validate(), Err(StealConfigError::ZeroNeighborDegree));
+        let p = StealParams { diffusion_period: 0.0, ..StealParams::default() };
+        assert_eq!(p.validate(), Err(StealConfigError::BadDiffusionPeriod));
+        let p = StealParams { diffusion_period: f64::NAN, ..StealParams::default() };
+        assert_eq!(p.validate(), Err(StealConfigError::BadDiffusionPeriod));
+        let p = StealParams { steal_batch: 0, ..StealParams::default() };
+        assert_eq!(p.validate(), Err(StealConfigError::ZeroStealBatch));
+        // The errors render as usage text, not Debug noise.
+        assert!(StealConfigError::ZeroStealBatch.to_string().contains("batch"));
     }
 }

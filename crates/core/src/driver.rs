@@ -7,6 +7,7 @@ use crate::load_on_demand::LodProc;
 use crate::msg::Msg;
 use crate::report::{RunOutcome, RunReport};
 use crate::static_alloc::StaticProc;
+use crate::steal::StealProc;
 use crate::workspace::Workspace;
 use std::sync::Arc;
 use streamline_desim::{Context, Event, Process, Simulation, ThreadRuntime};
@@ -16,13 +17,14 @@ use streamline_integrate::StreamlineId;
 use streamline_iosim::{BlockStore, CacheStats, FieldStore};
 use streamline_math::Vec3;
 
-/// A rank of any of the three algorithms (the simulation is monomorphic in
+/// A rank of any of the four algorithms (the simulation is monomorphic in
 /// its process type).
 pub enum AnyProc {
     Static(StaticProc),
     Lod(LodProc),
     Master(MasterProc),
     Slave(SlaveProc),
+    Steal(StealProc),
 }
 
 impl Process<Msg> for AnyProc {
@@ -32,6 +34,7 @@ impl Process<Msg> for AnyProc {
             AnyProc::Lod(p) => p.on_event(ev, ctx),
             AnyProc::Master(p) => p.on_event(ev, ctx),
             AnyProc::Slave(p) => p.on_event(ev, ctx),
+            AnyProc::Steal(p) => p.on_event(ev, ctx),
         }
     }
 }
@@ -42,6 +45,7 @@ impl AnyProc {
             AnyProc::Static(p) => Some(p.workspace().cache_stats()),
             AnyProc::Lod(p) => Some(p.workspace().cache_stats()),
             AnyProc::Slave(p) => Some(p.workspace().cache_stats()),
+            AnyProc::Steal(p) => Some(p.workspace().cache_stats()),
             AnyProc::Master(_) => None,
         }
     }
@@ -51,6 +55,7 @@ impl AnyProc {
             AnyProc::Static(p) => p.workspace().terminated,
             AnyProc::Lod(p) => p.workspace().terminated,
             AnyProc::Slave(p) => p.workspace().terminated,
+            AnyProc::Steal(p) => p.workspace().terminated,
             AnyProc::Master(_) => 0,
         }
     }
@@ -60,6 +65,7 @@ impl AnyProc {
             AnyProc::Static(p) => p.workspace().total_steps,
             AnyProc::Lod(p) => p.workspace().total_steps,
             AnyProc::Slave(p) => p.workspace().total_steps,
+            AnyProc::Steal(p) => p.workspace().total_steps,
             AnyProc::Master(_) => 0,
         }
     }
@@ -70,6 +76,7 @@ impl AnyProc {
             AnyProc::Static(p) => (p.workspace().sampler_hits, p.workspace().sampler_misses),
             AnyProc::Lod(p) => (p.workspace().sampler_hits, p.workspace().sampler_misses),
             AnyProc::Slave(p) => (p.workspace().sampler_hits, p.workspace().sampler_misses),
+            AnyProc::Steal(p) => (p.workspace().sampler_hits, p.workspace().sampler_misses),
             AnyProc::Master(_) => (0, 0),
         }
     }
@@ -91,6 +98,10 @@ impl AnyProc {
                 let ws = p.workspace();
                 (ws.load_retries, ws.load_failures, ws.unavailable)
             }
+            AnyProc::Steal(p) => {
+                let ws = p.workspace();
+                (ws.load_retries, ws.load_failures, ws.unavailable)
+            }
             AnyProc::Master(p) => (0, 0, p.unavailable_seeds()),
         }
     }
@@ -100,15 +111,17 @@ impl AnyProc {
             AnyProc::Static(p) => p.failed_oom,
             AnyProc::Lod(p) => p.failed_oom,
             AnyProc::Slave(p) => p.failed_oom,
+            AnyProc::Steal(p) => p.failed_oom,
             AnyProc::Master(_) => false,
         }
     }
 
-    /// Thread-runtime retirement: only Load On Demand ranks finish on their
-    /// own; the other algorithms end via `stop_all`.
+    /// Thread-runtime retirement: Load On Demand and Work Stealing ranks
+    /// know when they are finished; the other algorithms end via `stop_all`.
     fn retired(&self) -> bool {
         match self {
             AnyProc::Lod(p) => p.done,
+            AnyProc::Steal(p) => p.done,
             _ => false,
         }
     }
@@ -119,6 +132,7 @@ impl AnyProc {
             AnyProc::Static(p) => std::mem::take(&mut p.finished),
             AnyProc::Lod(p) => std::mem::take(&mut p.finished),
             AnyProc::Slave(p) => std::mem::take(&mut p.finished),
+            AnyProc::Steal(p) => std::mem::take(&mut p.finished),
             AnyProc::Master(_) => Vec::new(),
         }
     }
@@ -266,6 +280,26 @@ pub fn build_procs(
                 })
                 .collect()
         }
+        Algorithm::WorkStealing => {
+            // Same locality-grouped initial split as Load On Demand; the
+            // steal/diffusion protocol redistributes from there.
+            let mut chunks = chunk_seeds_by_block(dataset, seeds, n);
+            (0..n)
+                .map(|rank| {
+                    let ws = make_workspace(dataset, &store, cfg, cfg.cache_blocks);
+                    AnyProc::Steal(StealProc::new(
+                        rank,
+                        n,
+                        ws,
+                        std::mem::take(&mut chunks[rank]),
+                        cfg.memory,
+                        cfg.comm_geometry,
+                        h0,
+                        cfg.steal,
+                    ))
+                })
+                .collect()
+        }
     }
 }
 
@@ -284,6 +318,12 @@ pub(crate) fn collect_report(
     let mut load_retries = 0;
     let mut load_failures = 0;
     let mut unavailable_terminations = 0;
+    let mut balance_msgs = 0;
+    let mut balance_bytes = 0;
+    // Ping-pong is a property of a streamline, not of a rank: union the
+    // per-rank sets so a streamline bouncing across several ranks counts
+    // once.
+    let mut pingponged: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
     let mut outcome = RunOutcome::Completed;
     for (rank, p) in procs.iter().enumerate() {
         if let Some(s) = p.cache_stats() {
@@ -300,6 +340,16 @@ pub(crate) fn collect_report(
         unavailable_terminations += unavailable;
         if p.failed_oom() && outcome == RunOutcome::Completed {
             outcome = RunOutcome::OutOfMemory { rank };
+        }
+        match p {
+            AnyProc::Static(p) => pingponged.extend(p.pingponged().iter().copied()),
+            AnyProc::Slave(p) => pingponged.extend(p.pingponged().iter().copied()),
+            AnyProc::Steal(p) => {
+                pingponged.extend(p.pingponged().iter().copied());
+                balance_msgs += p.balance_msgs;
+                balance_bytes += p.balance_bytes;
+            }
+            AnyProc::Lod(_) | AnyProc::Master(_) => {}
         }
     }
     let (io, comm, compute) = report.totals();
@@ -326,9 +376,28 @@ pub(crate) fn collect_report(
         load_retries,
         load_failures,
         unavailable_terminations,
+        pingpong_streamlines: pingponged.len() as u64,
+        balance_msgs,
+        balance_bytes,
         events: report.events,
         per_rank: report.ranks,
     }
+}
+
+/// Virtual times at which ping-pongs were first detected, over all ranks,
+/// sorted — the series behind the trace file's cumulative ping-pong curve.
+pub(crate) fn collect_pingpong_times(procs: &[AnyProc]) -> Vec<f64> {
+    let mut times: Vec<f64> = procs
+        .iter()
+        .flat_map(|p| match p {
+            AnyProc::Static(p) => p.pingpong_times().to_vec(),
+            AnyProc::Slave(p) => p.pingpong_times().to_vec(),
+            AnyProc::Steal(p) => p.pingpong_times().to_vec(),
+            AnyProc::Lod(_) | AnyProc::Master(_) => Vec::new(),
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times
 }
 
 /// Run one configuration on the deterministic simulated cluster.
@@ -384,22 +453,24 @@ pub fn run_simulated_with_store(
 
 /// [`run_simulated_detailed`] with a virtual-time phase timeline recorded
 /// at `bucket_width` virtual-second resolution — the engine behind
-/// `streamline run --trace`.
+/// `streamline run --trace`. The fourth element is the sorted virtual
+/// times of ping-pong arrivals, feeding the trace's scheduling series.
 pub fn run_simulated_traced(
     dataset: &Dataset,
     seeds: &SeedSet,
     cfg: &RunConfig,
     bucket_width: f64,
-) -> (RunReport, Vec<streamline_integrate::Streamline>, streamline_desim::Timeline) {
+) -> (RunReport, Vec<streamline_integrate::Streamline>, streamline_desim::Timeline, Vec<f64>) {
     let store: Arc<dyn BlockStore> = Arc::new(FieldStore::new(dataset.clone()));
     let procs = build_procs(dataset, seeds, cfg, store);
     let sim = Simulation::new(cfg.cost.net, procs);
     let (report, mut procs, timeline) = sim.run_traced(bucket_width);
     let run_report = collect_report(dataset, seeds, cfg, report, &procs);
+    let pingpong_times = collect_pingpong_times(&procs);
     let mut finished: Vec<streamline_integrate::Streamline> =
         procs.iter_mut().flat_map(|p| p.take_finished()).collect();
     finished.sort_by_key(|s| s.id);
-    (run_report, finished, timeline)
+    (run_report, finished, timeline, pingpong_times)
 }
 
 /// Run one configuration on real OS threads (wall time is measured, not
@@ -497,11 +568,37 @@ mod tests {
 
     #[test]
     fn single_rank_runs_work() {
-        // Degenerate but legal for static and LOD.
-        for algo in [Algorithm::StaticAllocation, Algorithm::LoadOnDemand] {
+        // Degenerate but legal for every masterless algorithm.
+        for algo in [Algorithm::StaticAllocation, Algorithm::LoadOnDemand, Algorithm::WorkStealing]
+        {
             let r = tiny_run(algo, 1, 8);
             assert_eq!(r.terminated, 8, "{algo:?}");
         }
+    }
+
+    #[test]
+    fn steal_run_reports_balancing_diagnostics() {
+        // Sparse seeds grouped by block leave some ranks under-loaded, so
+        // the protocol must actually move work: probes, transfers, and a
+        // termination-token circulation all cost messages.
+        let r = tiny_run(Algorithm::WorkStealing, 4, 27);
+        assert!(r.outcome.completed());
+        assert_eq!(r.terminated, 27);
+        assert!(r.balance_msgs > 0, "lifeline sweep + token must send messages");
+        assert!(r.balance_bytes > 0);
+        assert!(r.msgs >= r.balance_msgs, "balance traffic is part of total traffic");
+        let part = r.participation();
+        assert!((0.0..=1.0).contains(&part), "participation {part}");
+        let share = r.comm_overhead_share();
+        assert!((0.0..=1.0).contains(&share), "overhead share {share}");
+    }
+
+    #[test]
+    fn lod_reports_no_balancing_traffic() {
+        let r = tiny_run(Algorithm::LoadOnDemand, 4, 27);
+        assert_eq!(r.balance_msgs, 0);
+        assert_eq!(r.balance_bytes, 0);
+        assert_eq!(r.pingpong_streamlines, 0, "LOD never migrates streamlines");
     }
 
     #[test]

@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use streamline_desim::{Context, Event, Process};
 use streamline_field::block::BlockId;
-use streamline_integrate::{Streamline, Termination};
+use streamline_integrate::{Streamline, StreamlineId, Termination};
 use streamline_iosim::StoreError;
 
 /// Serializable image of a [`SlaveProc`] mid-run.
@@ -33,6 +33,12 @@ pub struct SlaveSnapshot {
     pub load_cmd_misses: u64,
     pub cmds_processed: u64,
     pub failed_blocks: Vec<BlockId>,
+    #[serde(default)]
+    pub seen: Vec<u32>,
+    #[serde(default)]
+    pub pingponged: Vec<u32>,
+    #[serde(default)]
+    pub pingpong_times: Vec<f64>,
 }
 
 /// One Hybrid slave rank.
@@ -64,6 +70,12 @@ pub struct SlaveProc {
     /// Blocks whose load exhausted the retry budget (cumulative; reported
     /// in every status so the master can quarantine them).
     failed_blocks: BTreeSet<BlockId>,
+    /// Streamline ids this rank has ever owned (assigned or handed in).
+    seen: BTreeSet<u32>,
+    /// Ids that returned after leaving — ping-pong streamlines.
+    pingponged: BTreeSet<u32>,
+    /// Virtual times at which each ping-pong was first detected.
+    pingpong_times: Vec<f64>,
 }
 
 impl SlaveProc {
@@ -94,11 +106,32 @@ impl SlaveProc {
             load_cmd_misses: 0,
             cmds_processed: 0,
             failed_blocks: BTreeSet::new(),
+            seen: BTreeSet::new(),
+            pingponged: BTreeSet::new(),
+            pingpong_times: Vec::new(),
         }
     }
 
     pub fn workspace(&self) -> &Workspace {
         &self.ws
+    }
+
+    /// Ids that returned to this rank after leaving it.
+    pub fn pingponged(&self) -> &BTreeSet<u32> {
+        &self.pingponged
+    }
+
+    /// Virtual times of first ping-pong detection, in arrival order.
+    pub fn pingpong_times(&self) -> &[f64] {
+        &self.pingpong_times
+    }
+
+    /// First ownership or return of a streamline id on this rank; a return
+    /// is a ping-pong, recorded once per id.
+    fn note_arrival(&mut self, id: StreamlineId, now: f64) {
+        if !self.seen.insert(id.0) && self.pingponged.insert(id.0) {
+            self.pingpong_times.push(now);
+        }
     }
 
     pub fn rank(&self) -> usize {
@@ -121,6 +154,9 @@ impl SlaveProc {
             load_cmd_misses: self.load_cmd_misses,
             cmds_processed: self.cmds_processed,
             failed_blocks: self.failed_blocks.iter().copied().collect(),
+            seen: self.seen.iter().copied().collect(),
+            pingponged: self.pingponged.iter().copied().collect(),
+            pingpong_times: self.pingpong_times.clone(),
         }
     }
 
@@ -139,6 +175,9 @@ impl SlaveProc {
         self.load_cmd_misses = snap.load_cmd_misses;
         self.cmds_processed = snap.cmds_processed;
         self.failed_blocks = snap.failed_blocks.iter().copied().collect();
+        self.seen = snap.seen.iter().copied().collect();
+        self.pingponged = snap.pingponged.iter().copied().collect();
+        self.pingpong_times = snap.pingpong_times.clone();
         Ok(())
     }
 
@@ -272,7 +311,9 @@ impl SlaveProc {
                         return;
                     }
                 }
+                let now = ctx.now();
                 for (id, seed) in seeds {
+                    self.note_arrival(id, now);
                     let sl = Streamline::new_lean(id, seed, self.h0);
                     self.ws.admit(&sl);
                     // Seeds are grouped by block by the master; trust but
@@ -343,6 +384,7 @@ impl Process<Msg> for SlaveProc {
             Event::Message { msg: Msg::Command(cmd), .. } => self.handle_command(cmd, ctx),
             Event::Message { msg: Msg::Handoff { sl }, .. } => {
                 self.sent_idle_status = false;
+                self.note_arrival(sl.id, ctx.now());
                 self.ws.admit(&sl);
                 match self.ws.locate(sl.state.position) {
                     Some(b) if self.ws.is_resident(b) => {

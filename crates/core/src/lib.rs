@@ -11,6 +11,9 @@
 //! * [`hybrid`] — **Hybrid Master/Slave** (§4.3, the paper's contribution):
 //!   masters dynamically assign both streamlines and blocks through five
 //!   rules, balancing computation, I/O and communication.
+//! * [`steal`] — **Work Stealing** (beyond the paper): masterless peer-to-peer
+//!   balancing over a lifeline graph with diffusive load reports and a
+//!   Safra-style termination token.
 //!
 //! [`driver`] runs any of them on the deterministic simulated cluster (or
 //! real threads) and produces a [`report::RunReport`] carrying the paper's
@@ -43,6 +46,7 @@ pub mod msg;
 pub mod report;
 pub mod runstats;
 pub mod static_alloc;
+pub mod steal;
 mod testutil;
 pub mod workspace;
 
@@ -52,7 +56,9 @@ pub use checkpoint::{
     CheckpointOptions, CheckpointedOutcome,
 };
 pub use classify::{classify, ProblemProfile};
-pub use config::{Algorithm, CostModel, HybridParams, MemoryBudget, RunConfig};
+pub use config::{
+    Algorithm, CostModel, HybridParams, MemoryBudget, RunConfig, StealConfigError, StealParams,
+};
 pub use driver::{
     build_procs, run_simulated, run_simulated_detailed, run_simulated_detailed_with_store,
     run_simulated_traced, run_simulated_with_store, run_threaded, AnyProc,
@@ -61,4 +67,5 @@ pub use msg::{Command, Msg, SlaveStatus};
 pub use report::{RunOutcome, RunReport};
 pub use runstats::{summarize, StreamlineStats};
 pub use static_alloc::StaticPartition;
+pub use steal::{lifeline_neighbors, StealProc, StealSnapshot};
 pub use workspace::{BlockExit, Workspace};

@@ -99,6 +99,18 @@ pub enum Msg {
     WorkGrant { seeds: Vec<(StreamlineId, Vec3)> },
     /// A rank exceeded its memory budget; the run is aborted.
     OutOfMemory { rank: usize },
+    /// Work stealing: diffusive load report to a lifeline neighbor (parked
+    /// streamline count at the sender).
+    LoadReport { load: u32 },
+    /// Work stealing: an idle rank asks a neighbor for a batch of work.
+    StealRequest,
+    /// Work stealing: granted streamlines, each tagged with the block it is
+    /// parked on (empty = refusal). Like `Handoff`, the modelled cost is
+    /// dominated by the accumulated geometry of the migrated curves.
+    WorkTransfer { sls: Vec<(BlockId, Streamline)> },
+    /// Work stealing: the Safra termination token circulating the ring of
+    /// `j = 0` lifeline edges (in-flight message balance + dirty bit).
+    TermToken { count: i64, black: bool },
 }
 
 impl Msg {
@@ -121,6 +133,19 @@ impl Msg {
             Msg::WorkRequest => 8,
             Msg::WorkGrant { seeds } => 8 + seeds.len() * 28,
             Msg::OutOfMemory { .. } => 12,
+            Msg::LoadReport { .. } => 12,
+            Msg::StealRequest => 8,
+            Msg::WorkTransfer { sls } => {
+                let per_sl = |sl: &Streamline| {
+                    if comm_geometry {
+                        sl.comm_bytes_full()
+                    } else {
+                        Streamline::COMM_BYTES_STATE
+                    }
+                };
+                8 + sls.iter().map(|(_, sl)| 4 + per_sl(sl)).sum::<usize>()
+            }
+            Msg::TermToken { .. } => 24,
         }
     }
 }
@@ -167,6 +192,23 @@ mod tests {
         let mut with_failure = small.clone();
         with_failure.failed_blocks = vec![BlockId(3)];
         assert_eq!(with_failure.wire_bytes(), small.wire_bytes() + 4);
+    }
+
+    #[test]
+    fn steal_message_sizes() {
+        assert_eq!(Msg::StealRequest.wire_bytes(true), 8);
+        assert_eq!(Msg::LoadReport { load: 9 }.wire_bytes(true), 12);
+        assert_eq!(Msg::TermToken { count: -3, black: true }.wire_bytes(true), 24);
+        // A transfer is a refusal when empty, and costs geometry otherwise.
+        assert_eq!(Msg::WorkTransfer { sls: vec![] }.wire_bytes(true), 8);
+        let mut sl = Streamline::new(StreamlineId(1), Vec3::ZERO, 0.01);
+        for i in 0..50 {
+            sl.push_step(Vec3::splat(i as f64), 0.01);
+        }
+        let full = sl.comm_bytes_full();
+        let m = Msg::WorkTransfer { sls: vec![(BlockId(3), sl)] };
+        assert_eq!(m.wire_bytes(true), 8 + 4 + full);
+        assert_eq!(m.wire_bytes(false), 8 + 4 + Streamline::COMM_BYTES_STATE);
     }
 
     #[test]

@@ -66,6 +66,18 @@ pub struct RunReport {
     /// seeds discarded by block quarantine).
     #[serde(default)]
     pub unavailable_terminations: u64,
+    /// Distinct streamlines that returned to a rank that had owned them
+    /// before — the "ping pong particles" diagnostic of the follow-up
+    /// load-balancing literature. Zero for Load On Demand (no migration).
+    #[serde(default)]
+    pub pingpong_streamlines: u64,
+    /// Load-balancing protocol messages (steal probes, diffusion reports,
+    /// work transfers, termination tokens), over all ranks.
+    #[serde(default)]
+    pub balance_msgs: u64,
+    /// Bytes in load-balancing protocol messages, over all ranks.
+    #[serde(default)]
+    pub balance_bytes: u64,
     /// Runtime events processed.
     pub events: u64,
     pub per_rank: Vec<ProcMetrics>,
@@ -115,6 +127,33 @@ impl RunReport {
         busy.iter().cloned().fold(0.0, f64::max) / mean
     }
 
+    /// Mean participation: the fraction of the run each rank spent actually
+    /// integrating, averaged over ranks (1.0 = every rank computed for the
+    /// whole run). The follow-up literature's headline scheduling metric.
+    pub fn participation(&self) -> f64 {
+        if self.wall <= 0.0 || self.per_rank.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .per_rank
+            .iter()
+            .map(|m| (m.compute / self.wall).clamp(0.0, 1.0))
+            .filter(|v| v.is_finite())
+            .sum();
+        sum / self.per_rank.len() as f64
+    }
+
+    /// Share of total rank-time spent communicating (0.0 when idle ranks
+    /// dominate this stays small; a master-bottlenecked or steal-happy run
+    /// pushes it up).
+    pub fn comm_overhead_share(&self) -> f64 {
+        let denom = self.n_procs as f64 * self.wall;
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        (self.comm_time / denom).clamp(0.0, 1.0)
+    }
+
     /// Mirror the report into `registry` under the stable
     /// `streamline_run_*` names (the paper's §5 quantities).
     pub fn export_into(&self, registry: &streamline_obs::MetricsRegistry) {
@@ -140,6 +179,11 @@ impl RunReport {
             .set_counter(names::RUN_UNAVAILABLE_TERMINATIONS_TOTAL, self.unavailable_terminations);
         registry.set_gauge(names::RUN_BLOCK_EFFICIENCY, self.block_efficiency());
         registry.set_gauge(names::RUN_LOAD_IMBALANCE, self.load_imbalance());
+        registry.set_counter(names::RUN_PINGPONG_STREAMLINES_TOTAL, self.pingpong_streamlines);
+        registry.set_counter(names::RUN_BALANCE_MSGS_TOTAL, self.balance_msgs);
+        registry.set_counter(names::RUN_BALANCE_BYTES_TOTAL, self.balance_bytes);
+        registry.set_gauge(names::RUN_PARTICIPATION_RATIO, self.participation());
+        registry.set_gauge(names::RUN_COMM_OVERHEAD_SHARE, self.comm_overhead_share());
     }
 
     /// [`Self::export_into`] a fresh registry.
@@ -199,6 +243,9 @@ mod tests {
             load_retries: 0,
             load_failures: 0,
             unavailable_terminations: 0,
+            pingpong_streamlines: 2,
+            balance_msgs: 5,
+            balance_bytes: 400,
             events: 12,
             per_rank: vec![
                 ProcMetrics { compute: 1.0, ..Default::default() },
@@ -253,6 +300,37 @@ mod tests {
         assert_eq!(back.load_retries, 0);
         assert_eq!(back.load_failures, 0);
         assert_eq!(back.unavailable_terminations, 0);
+    }
+
+    #[test]
+    fn deserializes_reports_without_scheduling_diagnostics() {
+        let json = serde_json::to_string(&report()).unwrap();
+        let stripped = json
+            .replace("\"pingpong_streamlines\":2,", "")
+            .replace("\"balance_msgs\":5,", "")
+            .replace("\"balance_bytes\":400,", "");
+        assert_ne!(json, stripped, "test must actually remove the fields");
+        let back: RunReport = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.pingpong_streamlines, 0);
+        assert_eq!(back.balance_msgs, 0);
+        assert_eq!(back.balance_bytes, 0);
+    }
+
+    #[test]
+    fn participation_and_overhead_shares() {
+        let r = report();
+        // Ranks computed 1.0s and 3.0s of a 1.0s wall → (1.0 + 1.0)/2
+        // after clamping the over-busy rank.
+        assert!((r.participation() - 1.0).abs() < 1e-12);
+        // comm 0.1s over 4 ranks × 1.0s wall.
+        assert!((r.comm_overhead_share() - 0.025).abs() < 1e-12);
+        let mut dead = r.clone();
+        dead.wall = 0.0;
+        assert_eq!(dead.participation(), 0.0);
+        assert_eq!(dead.comm_overhead_share(), 0.0);
+        let mut empty = r;
+        empty.per_rank.clear();
+        assert_eq!(empty.participation(), 0.0);
     }
 
     #[test]

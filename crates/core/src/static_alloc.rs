@@ -16,6 +16,7 @@ use crate::config::MemoryBudget;
 use crate::msg::Msg;
 use crate::workspace::{BlockExit, Workspace, WorkspaceSnapshot};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use streamline_desim::{Context, Event, Process};
 use streamline_field::block::BlockId;
 use streamline_integrate::{Streamline, StreamlineId};
@@ -62,6 +63,12 @@ pub struct StaticSnapshot {
     pub finished: Vec<Streamline>,
     pub remaining: u64,
     pub failed_oom: bool,
+    #[serde(default)]
+    pub seen: Vec<u32>,
+    #[serde(default)]
+    pub pingponged: Vec<u32>,
+    #[serde(default)]
+    pub pingpong_times: Vec<f64>,
 }
 
 /// One Static Allocation rank.
@@ -82,6 +89,12 @@ pub struct StaticProc {
     remaining: u64,
     /// Set when this rank exceeded its memory budget.
     pub failed_oom: bool,
+    /// Streamline ids this rank has ever owned (seeded here or handed in).
+    seen: BTreeSet<u32>,
+    /// Ids that were handed back after leaving — ping-pong streamlines.
+    pingponged: BTreeSet<u32>,
+    /// Virtual times at which each ping-pong was first detected.
+    pingpong_times: Vec<f64>,
 }
 
 impl StaticProc {
@@ -109,11 +122,32 @@ impl StaticProc {
             partition,
             remaining: if rank == COUNT_RANK { total_streamlines } else { 0 },
             failed_oom: false,
+            seen: BTreeSet::new(),
+            pingponged: BTreeSet::new(),
+            pingpong_times: Vec::new(),
         }
     }
 
     pub fn workspace(&self) -> &Workspace {
         &self.ws
+    }
+
+    /// Ids that returned to this rank after leaving it.
+    pub fn pingponged(&self) -> &BTreeSet<u32> {
+        &self.pingponged
+    }
+
+    /// Virtual times of first ping-pong detection, in arrival order.
+    pub fn pingpong_times(&self) -> &[f64] {
+        &self.pingpong_times
+    }
+
+    /// First ownership or return of a streamline id on this rank; a return
+    /// is a ping-pong, recorded once per id.
+    fn note_arrival(&mut self, id: StreamlineId, now: f64) {
+        if !self.seen.insert(id.0) && self.pingponged.insert(id.0) {
+            self.pingpong_times.push(now);
+        }
     }
 
     /// Capture this rank's mid-run state for a checkpoint.
@@ -124,6 +158,9 @@ impl StaticProc {
             finished: self.finished.clone(),
             remaining: self.remaining,
             failed_oom: self.failed_oom,
+            seen: self.seen.iter().copied().collect(),
+            pingponged: self.pingponged.iter().copied().collect(),
+            pingpong_times: self.pingpong_times.clone(),
         }
     }
 
@@ -134,6 +171,9 @@ impl StaticProc {
         self.finished = snap.finished.clone();
         self.remaining = snap.remaining;
         self.failed_oom = snap.failed_oom;
+        self.seen = snap.seen.iter().copied().collect();
+        self.pingponged = snap.pingponged.iter().copied().collect();
+        self.pingpong_times = snap.pingpong_times.clone();
         Ok(())
     }
 
@@ -234,7 +274,9 @@ impl Process<Msg> for StaticProc {
                 // single processor").
                 let seeds = std::mem::take(&mut self.seeds);
                 let mut created: Vec<Streamline> = Vec::with_capacity(seeds.len());
+                let now = ctx.now();
                 for (id, seed) in seeds {
+                    self.note_arrival(id, now);
                     let sl = Streamline::new_lean(id, seed, self.h0);
                     self.ws.admit(&sl);
                     created.push(sl);
@@ -252,6 +294,7 @@ impl Process<Msg> for StaticProc {
                 self.flush_terminations(done, ctx);
             }
             Event::Message { msg: Msg::Handoff { sl }, .. } => {
+                self.note_arrival(sl.id, ctx.now());
                 self.ws.admit(&sl);
                 let done = self.process(*sl, ctx);
                 if self.failed_oom {

@@ -27,5 +27,6 @@ pub mod timeline;
 
 pub use registry::{Counter, Gauge, Histogram, MetricValue, MetricsRegistry, HIST_BUCKETS};
 pub use timeline::{
-    Phase, PhaseTimeline, PhaseTotals, RankTrace, TraceFile, WallTimeline, TRACE_SCHEMA,
+    Phase, PhaseTimeline, PhaseTotals, RankTrace, ScheduleTrace, TraceFile, WallTimeline,
+    TRACE_SCHEMA,
 };

@@ -40,6 +40,14 @@ pub const RUN_UNAVAILABLE_TERMINATIONS_TOTAL: &str =
     "streamline_run_unavailable_terminations_total";
 pub const RUN_BLOCK_EFFICIENCY: &str = "streamline_run_block_efficiency";
 pub const RUN_LOAD_IMBALANCE: &str = "streamline_run_load_imbalance";
+// Scheduling diagnostics (the follow-up load-balancing literature):
+// ping-pong streamlines, balancing-protocol traffic, participation and
+// communication-overhead share.
+pub const RUN_PINGPONG_STREAMLINES_TOTAL: &str = "streamline_run_pingpong_streamlines_total";
+pub const RUN_BALANCE_MSGS_TOTAL: &str = "streamline_run_balance_messages_total";
+pub const RUN_BALANCE_BYTES_TOTAL: &str = "streamline_run_balance_bytes_total";
+pub const RUN_PARTICIPATION_RATIO: &str = "streamline_run_participation_ratio";
+pub const RUN_COMM_OVERHEAD_SHARE: &str = "streamline_run_comm_overhead_share";
 
 // Block cache (CacheStats).
 pub const CACHE_LOADED_TOTAL: &str = "streamline_cache_loaded_total";

@@ -212,7 +212,77 @@ impl PhaseTimeline {
             phases: Phase::ALL.iter().map(|p| p.name().to_string()).collect(),
             totals: self.totals(),
             ranks,
+            schedule: None,
         }
+    }
+}
+
+/// Scheduling-diagnostics series (the follow-up load-balancing papers'
+/// quantities), derived from a [`PhaseTimeline`] plus the run's ping-pong
+/// arrival times. Rides inside a [`TraceFile`] as an optional section so
+/// pre-existing traces still parse.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleTrace {
+    /// Per-bucket participation: mean over ranks of the fraction of the
+    /// bucket spent computing, in `[0, 1]`. The follow-up literature's
+    /// headline scheduling curve ("what fraction of the machine is actually
+    /// integrating right now").
+    pub participation: Vec<f64>,
+    /// Cumulative ping-pong arrivals at the end of each bucket (monotone
+    /// nondecreasing; last value = total ping-pong events).
+    pub pingpong_cumulative: Vec<u64>,
+    /// Each phase's share of the total `ranks × buckets × width` area;
+    /// the four shares sum to at most 1 (uncharged time is unattributed).
+    pub shares: PhaseTotals,
+}
+
+impl ScheduleTrace {
+    /// Derive the series from a recorded timeline and the sorted virtual
+    /// times of ping-pong arrivals. Arrivals past the last bucket are
+    /// counted in the last bucket (they happened by end of run).
+    pub fn from_timeline(timeline: &PhaseTimeline, pingpong_times: &[f64]) -> Self {
+        let nb = timeline.n_buckets();
+        let w = timeline.bucket_width;
+        let participation: Vec<f64> = (0..nb)
+            .map(|b| {
+                let sum: f64 = (0..timeline.n_ranks)
+                    .map(|r| {
+                        timeline.buckets[r]
+                            .get(b)
+                            .map(|cell| (cell[Phase::Compute.index()] / w).clamp(0.0, 1.0))
+                            .unwrap_or(0.0)
+                    })
+                    .sum();
+                if timeline.n_ranks == 0 {
+                    0.0
+                } else {
+                    sum / timeline.n_ranks as f64
+                }
+            })
+            .collect();
+        let mut pingpong_cumulative = vec![0u64; nb];
+        if nb > 0 {
+            for &t in pingpong_times {
+                let b = ((t / w) as usize).min(nb - 1);
+                pingpong_cumulative[b] += 1;
+            }
+            for b in 1..nb {
+                pingpong_cumulative[b] += pingpong_cumulative[b - 1];
+            }
+        }
+        let area = (timeline.n_ranks * nb) as f64 * w;
+        let totals = timeline.totals();
+        let shares = if area > 0.0 {
+            PhaseTotals {
+                compute: totals.compute / area,
+                io: totals.io / area,
+                comm: totals.comm / area,
+                idle: totals.idle / area,
+            }
+        } else {
+            PhaseTotals::default()
+        };
+        ScheduleTrace { participation, pingpong_cumulative, shares }
     }
 }
 
@@ -257,6 +327,10 @@ pub struct TraceFile {
     pub phases: Vec<String>,
     pub totals: PhaseTotals,
     pub ranks: Vec<RankTrace>,
+    /// Scheduling-diagnostics series; absent in traces written before the
+    /// section existed.
+    #[serde(default)]
+    pub schedule: Option<ScheduleTrace>,
 }
 
 impl TraceFile {
@@ -320,6 +394,38 @@ impl TraceFile {
         ] {
             if (got - stated).abs() > 1e-9 * (1.0 + stated.abs()) {
                 return Err(format!("global {name}: ranks sum {got}, totals {stated}"));
+            }
+        }
+        if let Some(s) = &self.schedule {
+            if s.participation.len() != nb {
+                return Err(format!(
+                    "schedule participation has {} buckets, trace has {nb}",
+                    s.participation.len()
+                ));
+            }
+            if s.pingpong_cumulative.len() != nb {
+                return Err(format!(
+                    "schedule ping-pong series has {} buckets, trace has {nb}",
+                    s.pingpong_cumulative.len()
+                ));
+            }
+            for (b, &p) in s.participation.iter().enumerate() {
+                if !p.is_finite() || !(0.0..=1.0 + 1e-9).contains(&p) {
+                    return Err(format!("participation[{b}] = {p} outside [0, 1]"));
+                }
+            }
+            for w in s.pingpong_cumulative.windows(2) {
+                if w[1] < w[0] {
+                    return Err(format!("ping-pong series not monotone: {} then {}", w[0], w[1]));
+                }
+            }
+            let shares = [s.shares.compute, s.shares.io, s.shares.comm, s.shares.idle];
+            if shares.iter().any(|v| !v.is_finite() || *v < 0.0) {
+                return Err("schedule shares must be finite and non-negative".into());
+            }
+            let sum: f64 = shares.iter().sum();
+            if sum > 1.0 + 1e-6 {
+                return Err(format!("schedule shares sum to {sum} > 1"));
             }
         }
         Ok(())
@@ -502,6 +608,80 @@ mod tests {
 
         let mut bad = good;
         bad.n_ranks = 2;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn schedule_trace_series_from_timeline() {
+        let mut t = PhaseTimeline::new(2, 1.0);
+        // Rank 0 computes the whole first bucket; rank 1 half of it.
+        t.add(0, Phase::Compute, 0.0, 1.0);
+        t.add(1, Phase::Compute, 0.0, 0.5);
+        t.add(1, Phase::Comm, 0.5, 0.5);
+        t.add(0, Phase::Idle, 1.0, 1.0);
+        let s = ScheduleTrace::from_timeline(&t, &[0.25, 0.75, 5.0]);
+        assert_eq!(s.participation.len(), 2);
+        assert!((s.participation[0] - 0.75).abs() < 1e-12);
+        assert_eq!(s.participation[1], 0.0);
+        // Two ping-pongs in bucket 0; the arrival past the end clamps into
+        // the final bucket.
+        assert_eq!(s.pingpong_cumulative, vec![2, 3]);
+        // Area = 2 ranks × 2 buckets × 1s.
+        assert!((s.shares.compute - 1.5 / 4.0).abs() < 1e-12);
+        assert!((s.shares.comm - 0.5 / 4.0).abs() < 1e-12);
+        assert!((s.shares.idle - 1.0 / 4.0).abs() < 1e-12);
+        let total = s.shares.compute + s.shares.io + s.shares.comm + s.shares.idle;
+        assert!(total <= 1.0 + 1e-9, "shares sum {total}");
+    }
+
+    #[test]
+    fn trace_with_schedule_validates_and_old_traces_still_parse() {
+        let mut t = PhaseTimeline::new(2, 0.5);
+        t.add(0, Phase::Compute, 0.0, 1.2);
+        t.add(1, Phase::Io, 0.25, 0.5);
+        let mut trace = t.to_trace("virtual");
+        assert!(trace.schedule.is_none(), "schedule is opt-in");
+        trace.schedule = Some(ScheduleTrace::from_timeline(&t, &[0.3]));
+        trace.validate().expect("schedule section validates");
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: TraceFile = serde_json::from_str(&json).unwrap();
+        back.validate().expect("roundtrip validates");
+        assert_eq!(back.schedule, trace.schedule);
+        // A trace written before the section existed parses to None.
+        let sched_json = serde_json::to_string(&trace.schedule).unwrap();
+        let stripped = json.replace(&format!(",\"schedule\":{sched_json}"), "");
+        assert_ne!(json, stripped, "test must actually remove the section");
+        let old: TraceFile = serde_json::from_str(&stripped).unwrap();
+        assert!(old.schedule.is_none());
+        old.validate().expect("schedule-less trace validates");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_schedule_series() {
+        let mut t = PhaseTimeline::new(1, 1.0);
+        t.add(0, Phase::Compute, 0.0, 2.0);
+        let mut trace = t.to_trace("virtual");
+        trace.schedule = Some(ScheduleTrace::from_timeline(&t, &[]));
+        trace.validate().expect("good schedule");
+
+        let mut bad = trace.clone();
+        bad.schedule.as_mut().unwrap().participation = vec![0.5]; // wrong length
+        assert!(bad.validate().is_err());
+
+        let mut bad = trace.clone();
+        bad.schedule.as_mut().unwrap().participation[0] = 1.5;
+        assert!(bad.validate().is_err(), "participation above 1 rejected");
+
+        let mut bad = trace.clone();
+        bad.schedule.as_mut().unwrap().pingpong_cumulative = vec![3, 1];
+        assert!(bad.validate().is_err(), "non-monotone ping-pong rejected");
+
+        let mut bad = trace.clone();
+        bad.schedule.as_mut().unwrap().shares.comm = 0.9; // pushes sum past 1
+        assert!(bad.validate().is_err(), "shares summing past 1 rejected");
+
+        let mut bad = trace;
+        bad.schedule.as_mut().unwrap().shares.io = f64::NAN;
         assert!(bad.validate().is_err());
     }
 

@@ -1,4 +1,5 @@
-//! Acceptance: the three paper drivers degrade gracefully under injected
+//! Acceptance: all four scheduling drivers (the paper's three plus the
+//! decentralized work-stealing driver) degrade gracefully under injected
 //! block faults. A transient-only plan must be invisible in the results
 //! (retries absorb it); permanent faults must terminate the affected
 //! streamlines with a typed `BlockUnavailable` while every untouched
@@ -101,6 +102,11 @@ fn permanent_faults_yield_typed_terminations_in_every_driver() {
         let master_pruned = report.unavailable_terminations - finished_unavailable;
         assert_eq!(faulted_sl.len() as u64, report.terminated, "{algo:?}");
         assert_eq!(report.terminated + master_pruned, n_seeds, "{algo:?}: lost seeds");
+        // The masterless driver has no pool to prune from: every toll the
+        // plan takes lands on a finished streamline on some rank.
+        if algo == Algorithm::WorkStealing {
+            assert_eq!(master_pruned, 0, "steal driver pruned from a master it does not have");
+        }
 
         // Untouched streamlines are bit-identical to the fault-free run.
         let mut compared = 0;

@@ -59,3 +59,85 @@ fn bad_input_is_rejected_not_panicking() {
     assert!(parse(&argv("trace --seeds -3")).is_err());
     assert!(parse(&argv("nonsense")).is_err());
 }
+
+#[test]
+fn steal_run_round_trips_through_json_report() {
+    let dir = TempDir::new("slrepro-steal");
+    let path = dir.join("report.json");
+    let cli = parse(&argv(&format!(
+        "run --dataset thermal --algorithm steal --procs 4 --seeds 24 --cache 8 \
+         --neighbors 2 --diffusion-period 0.005 --steal-batch 4 --json {}",
+        path.display()
+    )))
+    .unwrap();
+    assert_eq!(execute(cli.command), 0);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(v["terminated"], 24);
+    assert_eq!(v["algorithm"], "WorkStealing");
+    // The scheduling diagnostics made it into the report JSON.
+    assert!(v["pingpong_streamlines"].as_u64().is_some(), "{text}");
+    assert!(v["balance_msgs"].as_u64().unwrap() > 0, "{text}");
+    assert!(v["balance_bytes"].as_u64().unwrap() > 0, "{text}");
+}
+
+#[test]
+fn steal_knob_misuse_is_a_parse_error_not_a_panic() {
+    // Knobs without the steal driver.
+    assert!(parse(&argv("run --algorithm static --neighbors 2")).is_err());
+    assert!(parse(&argv("run --algorithm hybrid --diffusion-period 0.01")).is_err());
+    assert!(parse(&argv("run --steal-batch 8")).is_err());
+    // Invalid knob values with the right driver.
+    assert!(parse(&argv("run --algorithm steal --neighbors 0")).is_err());
+    assert!(parse(&argv("run --algorithm steal --steal-batch 0")).is_err());
+    assert!(parse(&argv("run --algorithm steal --diffusion-period 0")).is_err());
+    assert!(parse(&argv("run --algorithm steal --diffusion-period inf")).is_err());
+}
+
+#[test]
+fn steal_chaos_run_completes_with_exact_accounting() {
+    let dir = TempDir::new("slrepro-steal-chaos");
+    let path = dir.join("report.json");
+    let cli = parse(&argv(&format!(
+        "run --dataset thermal --algorithm steal --procs 4 --seeds 24 --cache 8 \
+         --chaos --chaos-seed 7 --json {}",
+        path.display()
+    )))
+    .unwrap();
+    assert_eq!(execute(cli.command), 0);
+    let v: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    // Masterless: every seed retires on some rank even when the plan bites.
+    assert_eq!(v["terminated"], 24);
+}
+
+#[test]
+fn steal_trace_emits_schedule_series_that_obs_check_accepts() {
+    let dir = TempDir::new("slrepro-steal-trace");
+    let path = dir.join("trace.json");
+    let cli = parse(&argv(&format!(
+        "run --dataset thermal --algorithm steal --procs 4 --seeds 24 --cache 8 --trace {}",
+        path.display()
+    )))
+    .unwrap();
+    assert_eq!(execute(cli.command), 0);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let sched = &v["schedule"];
+    assert!(sched["participation"].as_array().is_some(), "{text}");
+    assert!(sched["pingpong_cumulative"].as_array().is_some(), "{text}");
+    assert!(sched["shares"]["comm"].as_f64().is_some(), "{text}");
+    // The emitted file passes the observability gate.
+    assert_eq!(
+        execute(parse(&argv(&format!("obs-check --trace {}", path.display()))).unwrap().command),
+        0
+    );
+}
+
+#[test]
+fn chaos_conflicts_are_usage_errors() {
+    let run = |s: &str| execute(parse(&argv(s)).unwrap().command);
+    assert_eq!(run("run --chaos --trace t.json"), 64);
+    assert_eq!(run("run --chaos --checkpoint ck"), 64);
+    assert_eq!(run("run --chaos --resume ck"), 64);
+}

@@ -1,6 +1,7 @@
 //! Cross-algorithm result equivalence.
 //!
-//! All three parallelization strategies advance streamlines block-by-block
+//! All four parallelization strategies — the paper's three plus the
+//! decentralized work-stealing driver — advance streamlines block-by-block
 //! with the same tracer, so for a given problem every algorithm must produce
 //! *bit-identical* final solver states for every streamline — parallelization
 //! strategy may change scheduling, I/O and communication, never the science.
@@ -37,8 +38,10 @@ fn all_algorithms_agree_on_thermal() {
     let reference = run(Algorithm::LoadOnDemand, 4, &ds, 60);
     let static_run = run(Algorithm::StaticAllocation, 4, &ds, 60);
     let hybrid_run = run(Algorithm::HybridMasterSlave, 4, &ds, 60);
+    let steal_run = run(Algorithm::WorkStealing, 4, &ds, 60);
     assert_same_states(&reference, &static_run, "LOD vs static");
     assert_same_states(&reference, &hybrid_run, "LOD vs hybrid");
+    assert_same_states(&reference, &steal_run, "LOD vs steal");
 }
 
 #[test]
@@ -47,8 +50,10 @@ fn all_algorithms_agree_on_fusion() {
     let reference = run(Algorithm::LoadOnDemand, 3, &ds, 40);
     let static_run = run(Algorithm::StaticAllocation, 3, &ds, 40);
     let hybrid_run = run(Algorithm::HybridMasterSlave, 3, &ds, 40);
+    let steal_run = run(Algorithm::WorkStealing, 3, &ds, 40);
     assert_same_states(&reference, &static_run, "LOD vs static");
     assert_same_states(&reference, &hybrid_run, "LOD vs hybrid");
+    assert_same_states(&reference, &steal_run, "LOD vs steal");
 }
 
 #[test]
@@ -57,8 +62,10 @@ fn all_algorithms_agree_on_astrophysics() {
     let reference = run(Algorithm::LoadOnDemand, 4, &ds, 40);
     let static_run = run(Algorithm::StaticAllocation, 4, &ds, 40);
     let hybrid_run = run(Algorithm::HybridMasterSlave, 4, &ds, 40);
+    let steal_run = run(Algorithm::WorkStealing, 4, &ds, 40);
     assert_same_states(&reference, &static_run, "LOD vs static");
     assert_same_states(&reference, &hybrid_run, "LOD vs hybrid");
+    assert_same_states(&reference, &steal_run, "LOD vs steal");
 }
 
 #[test]
@@ -88,4 +95,5 @@ fn dense_seeding_also_agrees() {
     }
     assert_same_states(&results[0], &results[1], "static vs LOD dense");
     assert_same_states(&results[0], &results[2], "static vs hybrid dense");
+    assert_same_states(&results[0], &results[3], "static vs steal dense");
 }

@@ -87,7 +87,8 @@ fn traced_run_reconciles_with_untraced_report() {
     let (dataset, cfg) = tiny_run_config();
     let seeds = dataset.seeds_with_count(Seeding::Sparse, 24);
     let (plain, plain_lines) = run_simulated_detailed(&dataset, &seeds, &cfg);
-    let (traced, traced_lines, timeline) = run_simulated_traced(&dataset, &seeds, &cfg, 0.05);
+    let (traced, traced_lines, timeline, _pingpong) =
+        run_simulated_traced(&dataset, &seeds, &cfg, 0.05);
 
     // Tracing must not perturb the virtual run at all.
     assert_eq!(plain.wall.to_bits(), traced.wall.to_bits());

@@ -3,12 +3,17 @@
 
 use proptest::prelude::*;
 use std::sync::Arc;
-use streamline_repro::core::{run_simulated_detailed, Algorithm, MemoryBudget, RunConfig};
+use streamline_repro::core::{
+    run_simulated_detailed, run_simulated_detailed_with_store, Algorithm, MemoryBudget, RunConfig,
+    StealParams,
+};
 use streamline_repro::field::analytic::{AbcFlow, Uniform, VectorField};
 use streamline_repro::field::dataset::{Dataset, DatasetConfig};
 use streamline_repro::field::decomp::BlockDecomposition;
 use streamline_repro::field::sample::SamplingMode;
 use streamline_repro::field::seeds::SeedSet;
+use streamline_repro::integrate::StreamlineStatus;
+use streamline_repro::iosim::{BlockStore, ChaosParams, FaultPlan, FaultStore, MemoryStore};
 use streamline_repro::math::{Aabb, Vec3};
 
 /// A throwaway dataset over the unit cube with an arbitrary constant field
@@ -65,7 +70,7 @@ proptest! {
         dz in -1.0f64..1.0,
         raw in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 1..40),
         procs in 1usize..6,
-        algo_idx in 0usize..3,
+        algo_idx in 0usize..4,
     ) {
         let dir = Vec3::new(dx, dy, dz);
         prop_assume!(dir.norm() > 1e-3);
@@ -113,7 +118,7 @@ proptest! {
     #[test]
     fn simulation_is_deterministic(
         raw in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 1..24),
-        algo_idx in 0usize..3,
+        algo_idx in 0usize..4,
     ) {
         let algo = Algorithm::ALL[algo_idx];
         let ds = abc_dataset();
@@ -145,6 +150,54 @@ proptest! {
         }
         prop_assert_eq!(totals[0], totals[1]);
         prop_assert_eq!(totals[0], totals[2]);
+        prop_assert_eq!(totals[0], totals[3]);
+    }
+
+    /// The decentralized work-stealing driver never deadlocks and conserves
+    /// work exactly: for any seed placement, lifeline/diffusion/batch knobs
+    /// and injected fault plan, the simulation drains with every streamline
+    /// terminal — work created equals work retired, nothing lost to an
+    /// un-passed termination token or a streamline parked forever.
+    #[test]
+    fn steal_driver_never_deadlocks_and_conserves_work(
+        raw in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 1..32),
+        procs in 1usize..9,
+        neighbor_degree in 1usize..5,
+        diffusion_period in 1e-4f64..1e-1,
+        steal_batch in 1usize..12,
+        fault_seed in 0u64..1024,
+        inject in prop::bool::ANY,
+    ) {
+        let ds = abc_dataset();
+        let seeds = seed_set(&ds, &raw);
+        let mut cfg = base_cfg(Algorithm::WorkStealing, procs);
+        cfg.steal = StealParams { neighbor_degree, diffusion_period, steal_batch };
+        prop_assert!(cfg.steal.validate().is_ok());
+        let store: Arc<dyn BlockStore> = if inject {
+            let plan = FaultPlan::random(fault_seed, ds.decomp.num_blocks(), &ChaosParams::default());
+            Arc::new(FaultStore::new(Arc::new(MemoryStore::build(&ds)), plan))
+        } else {
+            Arc::new(MemoryStore::build(&ds))
+        };
+        let (report, finished) = run_simulated_detailed_with_store(&ds, &seeds, &cfg, store);
+        // The event queue drained and the Safra wave fired — a deadlocked
+        // ring would instead trip the simulator's livelock guard.
+        prop_assert!(report.outcome.completed(), "{}", report.summary());
+        // Work conservation: every created streamline retired exactly once,
+        // even the ones a fault plan cost (they retire as BlockUnavailable
+        // on whichever rank held them — there is no master pool to prune).
+        prop_assert_eq!(report.terminated as usize, raw.len());
+        prop_assert_eq!(finished.len(), raw.len());
+        let mut ids: Vec<u32> = finished.iter().map(|s| s.id.0).collect();
+        ids.sort();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), raw.len());
+        for s in &finished {
+            prop_assert!(
+                matches!(s.status, StreamlineStatus::Terminated(_)),
+                "{:?} not terminal: {:?}", s.id, s.status
+            );
+        }
     }
 }
 
