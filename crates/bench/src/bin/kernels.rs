@@ -1,22 +1,30 @@
 //! Kernel perf-regression harness: times the integration hot path
-//! (sampling / DOPRI5 step / whole streamline, fast vs reference) plus an
-//! end-to-end serve run, and writes the machine-readable trajectory file.
+//! (sampling / DOPRI5 step / whole streamline, fast vs reference), the
+//! batch-vs-scalar advection curve and an end-to-end serve run, and writes
+//! the machine-readable trajectory file.
 //!
 //! * `--smoke`     — seconds-scale iteration counts (CI)
-//! * `--out PATH`  — where to write the JSON report (default `BENCH_2.json`)
+//! * `--out PATH`  — where to write the JSON report (default `BENCH_7.json`)
+//! * `--force`     — overwrite an existing report file (refused otherwise)
 
 use streamline_bench::kernels::{run_kernels, KernelsConfig};
 
 fn main() {
     let mut smoke = false;
-    let mut out = std::path::PathBuf::from("BENCH_2.json");
+    let mut force = false;
+    let mut out = std::path::PathBuf::from("BENCH_7.json");
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--force" => force = true,
             "--out" => out = it.next().expect("--out needs a path").into(),
-            other => panic!("unknown argument {other}; supported: --smoke --out"),
+            other => panic!("unknown argument {other}; supported: --smoke --out --force"),
         }
+    }
+    if !force && out.exists() {
+        eprintln!("error: {} already exists; pass --force to overwrite", out.display());
+        std::process::exit(64);
     }
 
     let report = run_kernels(&KernelsConfig { smoke });

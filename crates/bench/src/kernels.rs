@@ -2,10 +2,11 @@
 //!
 //! Times the integration hot path at three granularities — one trilinear
 //! sample, one DOPRI5 step, one whole streamline — each as a fast-path vs
-//! reference-path pair, plus an end-to-end astro run through the
-//! `streamline-serve` load generator. Results are machine-readable
-//! ([`KernelsReport`] serializes to `BENCH_2.json`) so future PRs have a
-//! trajectory to compare against.
+//! reference-path pair, plus the batch-vs-scalar advection curve, a
+//! dense-seeding seed-to-termination throughput pair, and an end-to-end
+//! astro run through the `streamline-serve` load generator. Results are
+//! machine-readable ([`KernelsReport`] serializes to `BENCH_7.json`) so
+//! future PRs have a trajectory to compare against.
 //!
 //! The fast path must be *exact*: the whole-streamline benchmark refuses to
 //! report a speedup unless the fast trajectory is bit-identical to the
@@ -14,13 +15,19 @@
 use crate::experiments::{dataset_for, SweepScale, Workload};
 use crate::loadgen::{run_load, LoadGenConfig};
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::time::Instant;
+use streamline_core::advance::{
+    advance_batch_in_block, advance_batch_in_block_rounds, advance_in_block, StreamlineBatch,
+};
+use streamline_core::BlockExit;
+use streamline_field::dataset::{Dataset, Seeding};
 use streamline_field::interp::trilinear;
 use streamline_field::{Block, BlockId, CellSampler};
 use streamline_integrate::tracer::{advect, StepLimits};
 use streamline_integrate::{
-    Dopri5, Dopri5NoReuse, FsalCache, Stepper, Streamline, StreamlineId, Tolerances,
+    Dopri5, Dopri5NoReuse, FsalCache, Stepper, Streamline, StreamlineId, Termination, Tolerances,
 };
 use streamline_math::{rng, Vec3};
 
@@ -46,6 +53,44 @@ impl KernelPair {
     fn new(reference_ns: f64, fast_ns: f64) -> Self {
         KernelPair { reference_ns, fast_ns, speedup: reference_ns / fast_ns }
     }
+}
+
+/// One point of the batch-vs-scalar advection curve: the same streamline
+/// group advanced through one block by the scalar fast path
+/// (`advance_in_block` per streamline) and by the batched kernel at this
+/// width, nanoseconds per streamline each.
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchCurvePoint {
+    /// Lanes per `advance_batch_in_block` call.
+    pub batch: usize,
+    /// Scalar fast path, ns per streamline (same baseline for every width).
+    pub scalar_ns: f64,
+    /// Batched kernel at this width, ns per streamline.
+    pub batch_ns: f64,
+    /// `scalar_ns / batch_ns` (> 1.0 means batching won).
+    pub speedup: f64,
+    /// Every lane's trajectory matched the scalar one bit-for-bit.
+    pub bit_identical: bool,
+}
+
+/// Dense-seeding end-to-end throughput: every streamline advanced from its
+/// seed to termination through the multi-block chase, scalar fast path vs
+/// the batched kernel. This is the tentpole number — whole streamlines per
+/// second, block crossings included.
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchEndToEnd {
+    /// Dense seeds advanced to termination.
+    pub seeds: usize,
+    /// Lanes per batched advance call.
+    pub batch: usize,
+    /// Scalar fast path, completed streamlines per second.
+    pub scalar_streamlines_per_sec: f64,
+    /// Batched kernel, completed streamlines per second.
+    pub batched_streamlines_per_sec: f64,
+    /// `batched_streamlines_per_sec / scalar_streamlines_per_sec`.
+    pub speedup: f64,
+    /// Every streamline matched the scalar chase bit-for-bit.
+    pub bit_identical: bool,
 }
 
 /// End-to-end serve-path numbers from the closed-loop load generator.
@@ -79,17 +124,21 @@ pub struct KernelsReport {
     pub streamline_steps: u64,
     /// The fast trajectory matched the reference bit-for-bit.
     pub bit_identical: bool,
+    /// Batched advection at widths 1/4/16/64 vs the scalar fast path, on
+    /// the circulating tokamak block.
+    pub batch_curve: Vec<BatchCurvePoint>,
+    /// Dense-seeding seed-to-termination throughput, scalar vs batched.
+    pub batch_end_to_end: BatchEndToEnd,
     pub end_to_end: EndToEnd,
 }
 
 impl KernelsReport {
     /// Human-readable summary, one line per benchmark.
     pub fn summary(&self) -> String {
-        format!(
+        let mut out = format!(
             "sampling:         {:>8.1} ns -> {:>8.1} ns  ({:.2}x, hit rate {:.3})\n\
              dopri5 step:      {:>8.1} ns -> {:>8.1} ns  ({:.2}x)\n\
-             whole streamline: {:>8.0} ns -> {:>8.0} ns  ({:.2}x, {} steps, bit-identical: {})\n\
-             end-to-end:       {:.1} streamlines/s over {:.2}s (sampler hit rate {:.3})",
+             whole streamline: {:>8.0} ns -> {:>8.0} ns  ({:.2}x, {} steps, bit-identical: {})",
             self.sampling.reference_ns,
             self.sampling.fast_ns,
             self.sampling.speedup,
@@ -102,10 +151,29 @@ impl KernelsReport {
             self.whole_streamline.speedup,
             self.streamline_steps,
             self.bit_identical,
+        );
+        for p in &self.batch_curve {
+            out.push_str(&format!(
+                "\nbatch {:>3}:        {:>8.0} ns -> {:>8.0} ns  ({:.2}x, bit-identical: {})",
+                p.batch, p.scalar_ns, p.batch_ns, p.speedup, p.bit_identical
+            ));
+        }
+        let b = &self.batch_end_to_end;
+        out.push_str(&format!(
+            "\nbatch end-to-end: {:>8.0} /s -> {:>8.0} /s  ({:.2}x, {} dense seeds, batch {}, \
+             bit-identical: {})\nend-to-end:       {:.1} streamlines/s over {:.2}s (sampler hit \
+             rate {:.3})",
+            b.scalar_streamlines_per_sec,
+            b.batched_streamlines_per_sec,
+            b.speedup,
+            b.seeds,
+            b.batch,
+            b.bit_identical,
             self.end_to_end.streamlines_per_sec,
             self.end_to_end.wall_secs,
             self.end_to_end.sampler_hit_rate,
-        )
+        ));
+        out
     }
 }
 
@@ -274,6 +342,277 @@ fn bench_whole_streamline(block: &Block, cfg: &KernelsConfig) -> (KernelPair, u6
     (KernelPair::new(reference_ns, fast_ns), steps, bit_identical)
 }
 
+/// `n` seeds scattered in a ball around the block center, like real dense
+/// seeding concentrates streamlines in a region of interest.
+fn ball_seeds(block: &Block, n: usize) -> Vec<Vec3> {
+    let bounds = block.bounds;
+    let radius = bounds.size().x.min(bounds.size().y).min(bounds.size().z) * 0.25;
+    let mut r = rng::stream(11, "bench-kernels-batch-seeds");
+    (0..n).map(|_| rng::point_in_ball(&mut r, bounds.center(), radius)).collect()
+}
+
+/// Every seed advanced through `block` by the scalar fast path, one
+/// `advance_in_block` per streamline.
+fn advance_group_scalar(
+    seeds: &[Vec3],
+    block: &Block,
+    decomp: &streamline_field::decomp::BlockDecomposition,
+    limits: &StepLimits,
+) -> Vec<Streamline> {
+    seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let mut sl = Streamline::new(StreamlineId(i as u32), s, limits.h0);
+            advance_in_block(&mut sl, block, decomp, limits, &Dopri5);
+            sl
+        })
+        .collect()
+}
+
+/// Every seed advanced through `block` by the batched kernel at `width`
+/// lanes per call.
+fn advance_group_batched(
+    seeds: &[Vec3],
+    block: &Block,
+    decomp: &streamline_field::decomp::BlockDecomposition,
+    limits: &StepLimits,
+    width: usize,
+    scratch: &mut StreamlineBatch,
+) -> Vec<Streamline> {
+    let mut sls: Vec<Streamline> = seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| Streamline::new(StreamlineId(i as u32), s, limits.h0))
+        .collect();
+    for chunk in sls.chunks_mut(width) {
+        advance_batch_in_block(chunk, block, decomp, limits, scratch);
+    }
+    sls
+}
+
+/// The batch-vs-scalar curve on one block: the same seed group advanced by
+/// `advance_in_block` per streamline and by `advance_batch_in_block` at
+/// widths 1/4/16/64, bit-identity checked per width before timing.
+fn bench_batch_curve(
+    block: &Block,
+    decomp: &streamline_field::decomp::BlockDecomposition,
+    cfg: &KernelsConfig,
+) -> Vec<BatchCurvePoint> {
+    let n = 64;
+    let seeds = ball_seeds(block, n);
+    let limits = StepLimits {
+        h0: 1e-2,
+        h_max: 0.05,
+        max_steps: if cfg.smoke { 500 } else { 5_000 },
+        ..Default::default()
+    };
+    let repeats = if cfg.smoke { 5 } else { 15 };
+    let reference = advance_group_scalar(&seeds, block, decomp, &limits);
+    let scalar_ns = time_ns(repeats, 1, || {
+        black_box(advance_group_scalar(&seeds, block, decomp, &limits));
+    }) / n as f64;
+    [1usize, 4, 16, 64]
+        .iter()
+        .map(|&width| {
+            let mut scratch = StreamlineBatch::new();
+            let got = advance_group_batched(&seeds, block, decomp, &limits, width, &mut scratch);
+            let bit_identical = got == reference;
+            let batch_ns = time_ns(repeats, 1, || {
+                black_box(advance_group_batched(
+                    &seeds,
+                    block,
+                    decomp,
+                    &limits,
+                    width,
+                    &mut scratch,
+                ));
+            }) / n as f64;
+            BatchCurvePoint {
+                batch: width,
+                scalar_ns,
+                batch_ns,
+                speedup: scalar_ns / batch_ns,
+                bit_identical,
+            }
+        })
+        .collect()
+}
+
+fn build_all_blocks(ds: &Dataset) -> BTreeMap<BlockId, Block> {
+    (0..ds.decomp.num_blocks() as u32).map(|i| (BlockId(i), ds.build_block(BlockId(i)))).collect()
+}
+
+/// Chase every seed from its block to termination with the scalar fast
+/// path, hopping blocks on `MovedTo` exactly like the drivers do.
+fn chase_scalar(
+    ds: &Dataset,
+    blocks: &BTreeMap<BlockId, Block>,
+    seeds: &[Vec3],
+    limits: &StepLimits,
+) -> Vec<Streamline> {
+    seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let mut sl = Streamline::new(StreamlineId(i as u32), s, limits.h0);
+            let Some(mut cur) = ds.decomp.locate(s) else {
+                sl.terminate(Termination::ExitedDomain);
+                return sl;
+            };
+            loop {
+                let (exit, _) =
+                    advance_in_block(&mut sl, &blocks[&cur], &ds.decomp, limits, &Dopri5);
+                match exit {
+                    BlockExit::MovedTo(next) => cur = next,
+                    BlockExit::Done(_) => break,
+                }
+            }
+            sl
+        })
+        .collect()
+}
+
+/// The batched counterpart of [`chase_scalar`]: a block-keyed worklist
+/// drained `width` lanes at a time, movers re-queued under their next
+/// block. The fullest group is drained first — streamlines are independent,
+/// so the order cannot change any result, but draining big groups lets the
+/// small ones accumulate movers and keeps batch occupancy high (the same
+/// policy the drivers' batch scheduling uses).
+/// Accepted steps per lane before a batched call returns its survivors for
+/// re-bundling (see the comment at the call site).
+const ROUND_CAP: u64 = 32;
+
+fn chase_batched(
+    ds: &Dataset,
+    blocks: &BTreeMap<BlockId, Block>,
+    seeds: &[Vec3],
+    limits: &StepLimits,
+    width: usize,
+    scratch: &mut StreamlineBatch,
+) -> Vec<Streamline> {
+    let mut done: Vec<Option<Streamline>> = (0..seeds.len()).map(|_| None).collect();
+    let mut worklist: BTreeMap<BlockId, Vec<Streamline>> = BTreeMap::new();
+    for (i, &s) in seeds.iter().enumerate() {
+        let mut sl = Streamline::new(StreamlineId(i as u32), s, limits.h0);
+        match ds.decomp.locate(s) {
+            Some(b) => worklist.entry(b).or_default().push(sl),
+            None => {
+                sl.terminate(Termination::ExitedDomain);
+                done[i] = Some(sl);
+            }
+        }
+    }
+    // Below a few live lanes the batched kernel's fixed per-row cost loses
+    // to the scalar fast path (the batch-1 curve point runs at ~0.7x), so
+    // ragged tail groups drain through the scalar kernel instead. Either
+    // kernel produces the same bits per streamline, so the policy only
+    // moves time, never results.
+    let scalar_cutoff = width.min(4);
+    while let Some(&id) = worklist.iter().max_by_key(|(id, g)| (g.len(), *id)).map(|(id, _)| id) {
+        let group = worklist.get_mut(&id).unwrap();
+        if group.len() < scalar_cutoff {
+            let tail = std::mem::take(group);
+            worklist.remove(&id);
+            for mut sl in tail {
+                let (exit, _) =
+                    advance_in_block(&mut sl, &blocks[&id], &ds.decomp, limits, &Dopri5);
+                match exit {
+                    BlockExit::MovedTo(next) => worklist.entry(next).or_default().push(sl),
+                    BlockExit::Done(_) => {
+                        let i = sl.id.0 as usize;
+                        done[i] = Some(sl);
+                    }
+                }
+            }
+            continue;
+        }
+        let take = width.min(group.len());
+        let mut chunk = group.split_off(group.len() - take);
+        if group.is_empty() {
+            worklist.remove(&id);
+        }
+        // Round-capped advance: a batch's occupancy decays as its quickest
+        // lanes leave the block, so rather than draining it to the last
+        // straggler, stop after ROUND_CAP accepted steps per lane and merge
+        // the survivors back into the worklist, where they re-bundle into
+        // full batches with newly arrived movers. The cap lands on accepted
+        // step boundaries, so per-streamline results are unchanged.
+        let (exits, _) = advance_batch_in_block_rounds(
+            &mut chunk,
+            &blocks[&id],
+            &ds.decomp,
+            limits,
+            scratch,
+            ROUND_CAP,
+        );
+        for (sl, exit) in chunk.into_iter().zip(exits) {
+            match exit {
+                Some(BlockExit::MovedTo(next)) => worklist.entry(next).or_default().push(sl),
+                Some(BlockExit::Done(_)) => {
+                    let i = sl.id.0 as usize;
+                    done[i] = Some(sl);
+                }
+                None => worklist.entry(id).or_default().push(sl),
+            }
+        }
+    }
+    done.into_iter().map(|sl| sl.expect("every seed resolves")).collect()
+}
+
+/// Dense-seeding seed-to-termination throughput on the tokamak field at
+/// fine integration resolution (the compute-bound dense regime of §5.3):
+/// scalar chase vs batched chase at 64 lanes, bit-identity checked first.
+fn bench_batch_end_to_end(cfg: &KernelsConfig) -> BatchEndToEnd {
+    let ds = dataset_for(Workload::Fusion, SweepScale::Quick);
+    let blocks = build_all_blocks(&ds);
+    let n = if cfg.smoke { 96 } else { 512 };
+    let seeds = ds.seeds_with_count(Seeding::Dense, n).points;
+    let limits = StepLimits {
+        h0: 1e-2,
+        h_max: 0.01,
+        max_steps: if cfg.smoke { 300 } else { 2_000 },
+        ..Default::default()
+    };
+    let batch = 64;
+    let reference = chase_scalar(&ds, &blocks, &seeds, &limits);
+    let mut scratch = StreamlineBatch::new();
+    let got = chase_batched(&ds, &blocks, &seeds, &limits, batch, &mut scratch);
+    let bit_identical = got == reference;
+
+    // The two chases are timed in interleaved pairs (scalar, batched,
+    // scalar, batched, ...) so a slow scheduler episode inflates both sides
+    // of a pair instead of skewing whichever path it happened to land on;
+    // each side reports its median.
+    let repeats = if cfg.smoke { 3 } else { 9 };
+    let mut scalar_samples = Vec::with_capacity(repeats);
+    let mut batch_samples = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let t = Instant::now();
+        black_box(chase_scalar(&ds, &blocks, &seeds, &limits));
+        scalar_samples.push(t.elapsed().as_nanos() as f64);
+        let t = Instant::now();
+        black_box(chase_batched(&ds, &blocks, &seeds, &limits, batch, &mut scratch));
+        batch_samples.push(t.elapsed().as_nanos() as f64);
+    }
+    let median = |mut v: Vec<f64>| {
+        v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        v[v.len() / 2]
+    };
+    let scalar_ns = median(scalar_samples);
+    let batch_ns = median(batch_samples);
+    let scalar_streamlines_per_sec = seeds.len() as f64 * 1e9 / scalar_ns;
+    let batched_streamlines_per_sec = seeds.len() as f64 * 1e9 / batch_ns;
+    BatchEndToEnd {
+        seeds: seeds.len(),
+        batch,
+        scalar_streamlines_per_sec,
+        batched_streamlines_per_sec,
+        speedup: batched_streamlines_per_sec / scalar_streamlines_per_sec,
+        bit_identical,
+    }
+}
+
 fn bench_end_to_end(cfg: &KernelsConfig) -> EndToEnd {
     let load = LoadGenConfig {
         workload: Workload::Astro,
@@ -304,6 +643,10 @@ pub fn run_kernels(cfg: &KernelsConfig) -> KernelsReport {
     // astro block's streamlines exit after a few dozen.
     let fusion = dataset_for(Workload::Fusion, SweepScale::Quick);
     let fusion_block = fusion.build_block(BlockId(21));
+    // The batch curve wants the dense-seeding regime the kernel targets:
+    // a core block whose field circulates in place, so grouped streamlines
+    // stay resident for many steps with a hot stencil cache.
+    let core_block = fusion.build_block(BlockId(35));
 
     eprintln!("[kernels] sampling ...");
     let (sampling, sampling_hit_rate) = bench_sampling(&block, cfg);
@@ -312,9 +655,16 @@ pub fn run_kernels(cfg: &KernelsConfig) -> KernelsReport {
     eprintln!("[kernels] whole streamline ...");
     let (whole_streamline, streamline_steps, bit_identical) =
         bench_whole_streamline(&fusion_block, cfg);
+    eprintln!("[kernels] batch curve ...");
+    let batch_curve = bench_batch_curve(&core_block, &fusion.decomp, cfg);
+    eprintln!("[kernels] batch end-to-end ...");
+    let batch_end_to_end = bench_batch_end_to_end(cfg);
     eprintln!("[kernels] end-to-end loadgen ...");
     let end_to_end = bench_end_to_end(cfg);
 
+    let bit_identical = bit_identical
+        && batch_curve.iter().all(|p| p.bit_identical)
+        && batch_end_to_end.bit_identical;
     KernelsReport {
         smoke: cfg.smoke,
         sampling,
@@ -323,6 +673,8 @@ pub fn run_kernels(cfg: &KernelsConfig) -> KernelsReport {
         whole_streamline,
         streamline_steps,
         bit_identical,
+        batch_curve,
+        batch_end_to_end,
         end_to_end,
     }
 }
@@ -347,8 +699,23 @@ mod tests {
         );
         assert!(report.end_to_end.streamlines > 0);
         assert!(report.end_to_end.sampler_hit_rate > 0.0);
+        // The batch curve covers the four widths, bit-identical at each.
+        assert_eq!(
+            report.batch_curve.iter().map(|p| p.batch).collect::<Vec<_>>(),
+            vec![1, 4, 16, 64]
+        );
+        for p in &report.batch_curve {
+            assert!(p.bit_identical, "batch {} diverged from the scalar path", p.batch);
+            assert!(p.scalar_ns > 0.0 && p.batch_ns > 0.0);
+        }
+        let b = &report.batch_end_to_end;
+        assert!(b.bit_identical, "batched chase diverged from the scalar chase");
+        assert!(b.seeds > 0 && b.batch >= 16);
+        assert!(b.scalar_streamlines_per_sec > 0.0 && b.batched_streamlines_per_sec > 0.0);
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("whole_streamline"));
+        assert!(json.contains("batch_curve"));
+        assert!(json.contains("batch_end_to_end"));
     }
 
     #[test]

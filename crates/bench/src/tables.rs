@@ -110,6 +110,8 @@ mod tests {
                 total_steps: 100,
                 sampler_hits: 0,
                 sampler_misses: 0,
+                batched_lanes: 0,
+                batch_occupancy: 0.0,
                 load_retries: 0,
                 load_failures: 0,
                 unavailable_terminations: 0,

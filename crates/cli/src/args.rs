@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (no external CLI dependency).
 
 use std::collections::BTreeMap;
-use streamline_core::{Algorithm, StealParams};
+use streamline_core::{Algorithm, BatchParams, StealParams};
 use streamline_field::dataset::Seeding;
 
 /// Which dataset a command targets.
@@ -56,6 +56,9 @@ pub enum Command {
         /// Tuning knobs of the work-stealing driver (`--neighbors`,
         /// `--diffusion-period`, `--steal-batch`); defaults elsewhere.
         steal: StealParams,
+        /// Batch-kernel width (`--batch auto|N`); results are identical at
+        /// any width, this only tunes throughput.
+        batch: BatchParams,
         /// Inject store faults from a seeded plan (degraded-mode run).
         chaos: bool,
         /// Seed for the chaos fault plan.
@@ -109,6 +112,8 @@ pub enum Command {
         shards: usize,
         /// Admission-control seed queue capacity.
         queue: usize,
+        /// Batch-kernel width for the worker pool (`--batch auto|N`).
+        batch: BatchParams,
         deadline_ms: Option<u64>,
         /// Inject store faults from a seeded plan and assert the
         /// resilience contract (every ticket answered, untouched
@@ -129,11 +134,15 @@ pub enum Command {
         warm_start: Option<String>,
     },
     /// Kernel perf-regression harness: fast-vs-reference timings of the
-    /// integration hot path, written as the `BENCH_2.json` trajectory.
+    /// integration hot path plus the batch-vs-scalar curve, written as the
+    /// `BENCH_7.json` trajectory.
     BenchKernels {
         /// Seconds-scale iteration counts (CI smoke mode).
         smoke: bool,
-        json: Option<String>,
+        /// Where the JSON report lands (`--out`).
+        out: String,
+        /// Overwrite an existing report file (`--force`); refused otherwise.
+        force: bool,
     },
     /// Checkpoint-overhead harness: plain vs checkpointed wall-clock on the
     /// astrophysics/sparse workload, written as the `BENCH_5.json`
@@ -205,6 +214,21 @@ fn get_parse<T: std::str::FromStr>(
     }
 }
 
+/// `--batch auto|N` → [`BatchParams`], with the typed width validation.
+fn parse_batch(opts: &BTreeMap<String, String>) -> Result<BatchParams, String> {
+    let batch = match opts.get("batch").map(|s| s.as_str()) {
+        None | Some("auto") => BatchParams { lanes: None },
+        Some(v) => BatchParams {
+            lanes: Some(
+                v.parse()
+                    .map_err(|_| format!("--batch: cannot parse '{v}' (auto or an integer)"))?,
+            ),
+        },
+    };
+    batch.validate().map_err(|e| e.to_string())?;
+    Ok(batch)
+}
+
 /// Parse an argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Cli, String> {
     let Some(cmd) = args.first() else {
@@ -230,6 +254,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     "procs",
                     "seeds",
                     "cache",
+                    "batch",
                     "neighbors",
                     "diffusion-period",
                     "steal-batch",
@@ -281,6 +306,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     .transpose()?,
                 cache: get_parse(&o, "cache", 64)?,
                 steal,
+                batch: parse_batch(&o)?,
                 chaos,
                 chaos_seed: get_parse(&o, "chaos-seed", 0x5EED)?,
                 json: o.get("json").cloned(),
@@ -354,6 +380,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     "cache",
                     "shards",
                     "queue",
+                    "batch",
                     "deadline-ms",
                     "chaos-seed",
                     "json",
@@ -374,6 +401,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 cache: get_parse(&o, "cache", 64)?,
                 shards: get_parse(&o, "shards", 8)?,
                 queue: get_parse(&o, "queue", 4096)?,
+                batch: parse_batch(&o)?,
                 deadline_ms: o
                     .get("deadline-ms")
                     .map(|v| v.parse().map_err(|_| "--deadline-ms: bad integer".to_string()))
@@ -388,7 +416,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             }
         }
         "bench-kernels" => {
-            // `--smoke` is a bare flag; peel it off before the key-value pass.
+            // `--smoke` and `--force` are bare flags; peel them off before
+            // the key-value pass.
             let mut kv: Vec<String> = rest.to_vec();
             let smoke = if let Some(i) = kv.iter().position(|a| a == "--smoke") {
                 kv.remove(i);
@@ -396,8 +425,18 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             } else {
                 false
             };
-            let o = options(&kv, &["json"])?;
-            Command::BenchKernels { smoke, json: o.get("json").cloned() }
+            let force = if let Some(i) = kv.iter().position(|a| a == "--force") {
+                kv.remove(i);
+                true
+            } else {
+                false
+            };
+            let o = options(&kv, &["out"])?;
+            Command::BenchKernels {
+                smoke,
+                out: o.get("out").cloned().unwrap_or_else(|| "BENCH_7.json".into()),
+                force,
+            }
         }
         "bench-ckpt" => {
             // `--smoke` is a bare flag; peel it off before the key-value pass.
@@ -453,7 +492,8 @@ slrepro — parallel streamline computation (Pugmire et al., SC 2009)
 USAGE:
   slrepro run      [--dataset astro|fusion|thermal] [--seeding sparse|dense]
                    [--algorithm static|lod|hybrid|steal|auto] [--procs N] [--seeds N]
-                   [--cache BLOCKS] [--neighbors N] [--diffusion-period SECS]
+                   [--cache BLOCKS] [--batch N|auto] [--neighbors N]
+                   [--diffusion-period SECS]
                    [--steal-batch N] [--chaos] [--chaos-seed N]
                    [--json FILE] [--trace FILE.json]
                    [--trace-bucket SECS] [--metrics FILE.prom]
@@ -464,10 +504,11 @@ USAGE:
   slrepro ftle     [--out FILE.ppm] [--nx N] [--ny N] [--horizon T]
   slrepro serve-bench [--dataset astro|fusion|thermal] [--clients N] [--requests N]
                    [--seeds N] [--workers N] [--cache BLOCKS] [--shards N]
-                   [--queue SEEDS] [--deadline-ms MS] [--chaos] [--chaos-seed N]
+                   [--queue SEEDS] [--batch N|auto] [--deadline-ms MS]
+                   [--chaos] [--chaos-seed N]
                    [--json FILE] [--trace FILE.json] [--trace-bucket-ms MS]
                    [--metrics FILE.prom] [--warm-start FILE.ckpt]
-  slrepro bench-kernels [--smoke] [--json FILE]
+  slrepro bench-kernels [--smoke] [--out FILE] [--force]
   slrepro bench-ckpt [--smoke] [--json FILE]
   slrepro bench-drivers [--smoke] [--json FILE]
   slrepro obs-check [--trace FILE.json] [--metrics FILE.prom] [--ckpt FILE.ckpt]
@@ -494,6 +535,7 @@ mod tests {
                 seeds,
                 cache,
                 steal,
+                batch,
                 chaos,
                 chaos_seed,
                 json,
@@ -512,6 +554,7 @@ mod tests {
                 assert_eq!(seeds, None);
                 assert_eq!(cache, 64);
                 assert_eq!(steal, StealParams::default());
+                assert_eq!(batch, BatchParams::default());
                 assert!(!chaos);
                 assert_eq!(chaos_seed, 0x5EED);
                 assert_eq!(json, None);
@@ -530,7 +573,7 @@ mod tests {
     #[test]
     fn run_full_options() {
         let cli = parse(&argv(
-            "run --dataset astro --seeding dense --algorithm hybrid --procs 128 --seeds 5000 --cache 32 --json r.json --trace t.json --trace-bucket 0.01 --metrics m.prom --checkpoint ck --checkpoint-interval 0.02 --kill-after-checkpoints 3 --resume ck/ckpt-000003.ckpt",
+            "run --dataset astro --seeding dense --algorithm hybrid --procs 128 --seeds 5000 --cache 32 --batch 8 --json r.json --trace t.json --trace-bucket 0.01 --metrics m.prom --checkpoint ck --checkpoint-interval 0.02 --kill-after-checkpoints 3 --resume ck/ckpt-000003.ckpt",
         ))
         .unwrap();
         match cli.command {
@@ -542,6 +585,7 @@ mod tests {
                 seeds,
                 cache,
                 steal,
+                batch,
                 chaos,
                 chaos_seed,
                 json,
@@ -560,6 +604,7 @@ mod tests {
                 assert_eq!(seeds, Some(5000));
                 assert_eq!(cache, 32);
                 assert_eq!(steal, StealParams::default());
+                assert_eq!(batch, BatchParams { lanes: Some(8) });
                 assert!(!chaos);
                 assert_eq!(chaos_seed, 0x5EED);
                 assert_eq!(json.as_deref(), Some("r.json"));
@@ -608,19 +653,49 @@ mod tests {
     fn bench_kernels_defaults_and_flags() {
         assert_eq!(
             parse(&argv("bench-kernels")).unwrap().command,
-            Command::BenchKernels { smoke: false, json: None }
+            Command::BenchKernels { smoke: false, out: "BENCH_7.json".into(), force: false }
         );
         assert_eq!(
-            parse(&argv("bench-kernels --smoke --json k.json")).unwrap().command,
-            Command::BenchKernels { smoke: true, json: Some("k.json".into()) }
+            parse(&argv("bench-kernels --smoke --out k.json --force")).unwrap().command,
+            Command::BenchKernels { smoke: true, out: "k.json".into(), force: true }
         );
         // Flag position must not matter relative to key-value options.
         assert_eq!(
-            parse(&argv("bench-kernels --json k.json --smoke")).unwrap().command,
-            Command::BenchKernels { smoke: true, json: Some("k.json".into()) }
+            parse(&argv("bench-kernels --force --out k.json --smoke")).unwrap().command,
+            Command::BenchKernels { smoke: true, out: "k.json".into(), force: true }
         );
         let e = parse(&argv("bench-kernels --bogus 1")).unwrap_err();
         assert!(e.contains("unknown option"), "{e}");
+    }
+
+    #[test]
+    fn batch_knob_round_trips_on_run_and_serve_bench() {
+        match parse(&argv("run --batch 16")).unwrap().command {
+            Command::Run { batch, .. } => assert_eq!(batch, BatchParams { lanes: Some(16) }),
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("run --batch auto")).unwrap().command {
+            Command::Run { batch, .. } => assert_eq!(batch, BatchParams { lanes: None }),
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("serve-bench --batch 4")).unwrap().command {
+            Command::ServeBench { batch, .. } => assert_eq!(batch, BatchParams { lanes: Some(4) }),
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("serve-bench")).unwrap().command {
+            Command::ServeBench { batch, .. } => assert_eq!(batch, BatchParams::default()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_batch_values_are_typed_errors_not_panics() {
+        let e = parse(&argv("run --batch 0")).unwrap_err();
+        assert!(e.contains("batch size must be >= 1"), "{e}");
+        let e = parse(&argv("serve-bench --batch 0")).unwrap_err();
+        assert!(e.contains("batch size must be >= 1"), "{e}");
+        let e = parse(&argv("run --batch lots")).unwrap_err();
+        assert!(e.contains("cannot parse"), "{e}");
     }
 
     #[test]

@@ -105,6 +105,7 @@ pub fn execute(cmd: Command) -> i32 {
             seeds,
             cache,
             steal,
+            batch,
             chaos,
             chaos_seed,
             json,
@@ -142,6 +143,10 @@ pub fn execute(cmd: Command) -> i32 {
                 eprintln!("error: {e}");
                 return 64;
             }
+            if let Err(e) = batch.validate() {
+                eprintln!("error: {e}");
+                return 64;
+            }
             let ds = build_dataset(dataset);
             let n = seeds.unwrap_or_else(|| ds.paper_seed_count(seeding));
             let set = ds.seeds_with_count(seeding, n);
@@ -149,6 +154,7 @@ pub fn execute(cmd: Command) -> i32 {
             cfg.limits = limits_for(dataset, seeding);
             cfg.cache_blocks = cache;
             cfg.steal = steal;
+            cfg.batch = batch;
             cfg.algorithm = match algorithm {
                 AlgoChoice::Fixed(a) => a,
                 AlgoChoice::Auto => {
@@ -337,6 +343,7 @@ pub fn execute(cmd: Command) -> i32 {
             cache,
             shards,
             queue,
+            batch,
             deadline_ms,
             chaos,
             chaos_seed,
@@ -373,6 +380,7 @@ pub fn execute(cmd: Command) -> i32 {
                     cache_blocks: cache,
                     cache_shards: shards,
                     queue_capacity: queue,
+                    batch: batch.resolve(),
                     trace_bucket: trace
                         .is_some()
                         .then(|| std::time::Duration::from_millis(trace_bucket_ms.max(1))),
@@ -568,23 +576,28 @@ pub fn execute(cmd: Command) -> i32 {
                 1
             }
         }
-        Command::BenchKernels { smoke, json } => {
+        Command::BenchKernels { smoke, out, force } => {
             use streamline_bench::{run_kernels, KernelsConfig};
+            // Refuse to clobber an earlier report unless asked: benchmark
+            // trajectories are the artifact, losing one silently is worse
+            // than failing fast.
+            if !force && std::path::Path::new(&out).exists() {
+                eprintln!("error: {out} already exists; pass --force to overwrite");
+                return 64;
+            }
             let report = run_kernels(&KernelsConfig { smoke });
             println!("{}", report.summary());
-            if let Some(path) = json {
-                match serde_json::to_string_pretty(&report) {
-                    Ok(s) => {
-                        if let Err(e) = std::fs::write(&path, s + "\n") {
-                            eprintln!("error writing {path}: {e}");
-                            return 1;
-                        }
-                        eprintln!("wrote {path}");
-                    }
-                    Err(e) => {
-                        eprintln!("serialization error: {e}");
+            match serde_json::to_string_pretty(&report) {
+                Ok(s) => {
+                    if let Err(e) = std::fs::write(&out, s + "\n") {
+                        eprintln!("error writing {out}: {e}");
                         return 1;
                     }
+                    eprintln!("wrote {out}");
+                }
+                Err(e) => {
+                    eprintln!("serialization error: {e}");
+                    return 1;
                 }
             }
             if report.bit_identical {
@@ -745,7 +758,7 @@ pub fn execute(cmd: Command) -> i32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use streamline_core::StealParams;
+    use streamline_core::{BatchParams, StealParams};
 
     #[test]
     fn limits_vary_by_dataset() {
@@ -779,6 +792,7 @@ mod tests {
             seeds: Some(32),
             cache: 16,
             steal: StealParams::default(),
+            batch: BatchParams::default(),
             chaos: false,
             chaos_seed: 0,
             json: None,
@@ -806,6 +820,7 @@ mod tests {
             seeds: Some(32),
             cache: 16,
             steal: StealParams::default(),
+            batch: BatchParams::default(),
             chaos: false,
             chaos_seed: 0,
             json: None,
@@ -855,6 +870,7 @@ mod tests {
             seeds: Some(32),
             cache: 16,
             steal: StealParams::default(),
+            batch: BatchParams::default(),
             chaos: false,
             chaos_seed: 0,
             json: None,

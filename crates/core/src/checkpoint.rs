@@ -600,6 +600,70 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// Killing a run between batched advance calls and resuming must be
+    /// bit-identical for every driver when the batch kernel is on with an
+    /// odd lane count (partial chunks in flight at snapshot time). The
+    /// snapshot captures per-streamline state only — the batch scratch is
+    /// rebuilt on resume — so the answer must not depend on where in the
+    /// batch drain the kill landed.
+    #[test]
+    fn kill_and_resume_mid_batch_is_bit_identical() {
+        for algo in Algorithm::ALL {
+            let (ds, seeds, mut cfg) = fixture(algo);
+            cfg.batch.lanes = Some(5);
+            let (ref_report, ref_lines) =
+                run_simulated_detailed_with_store(&ds, &seeds, &cfg, field_store(&ds));
+
+            let dir = tempdir(&format!("midbatch-{}", cfg.algorithm.label()));
+            let mut opts = CheckpointOptions::new(&dir, 2.0e-4);
+            opts.kill_after = Some(2);
+            let out =
+                run_simulated_checkpointed_with_store(&ds, &seeds, &cfg, field_store(&ds), &opts)
+                    .expect("checkpointed run");
+            assert!(out.result.is_none(), "{algo:?}: kill_after must abandon the run");
+
+            let latest = latest_checkpoint(&dir).unwrap().expect("snapshots on disk");
+            let (res_report, res_lines) =
+                resume_simulated_detailed_with_store(&ds, &seeds, &cfg, field_store(&ds), &latest)
+                    .expect("resume");
+            assert_eq!(res_lines, ref_lines, "{algo:?}: streamlines diverged after resume");
+            assert_eq!(report_json(&res_report), report_json(&ref_report), "{algo:?}");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    /// The batch knob is part of the run spec: resuming a checkpoint under a
+    /// different batch size is a typed [`CkptError::Mismatch`], exactly like
+    /// a changed algorithm or step limit. (Batch size never changes results,
+    /// but a resume that silently reinterprets the knob would hide operator
+    /// error — the spec comparison is deliberately strict.)
+    #[test]
+    fn resume_rejects_a_mismatched_batch_knob() {
+        let (ds, seeds, mut cfg) = fixture(Algorithm::HybridMasterSlave);
+        cfg.batch.lanes = Some(16);
+        let dir = tempdir("batch-mismatch");
+        let mut opts = CheckpointOptions::new(&dir, 2.0e-4);
+        opts.kill_after = Some(1);
+        run_simulated_checkpointed_with_store(&ds, &seeds, &cfg, field_store(&ds), &opts)
+            .expect("checkpointed run");
+        let latest = latest_checkpoint(&dir).unwrap().expect("snapshot on disk");
+
+        let mut other = cfg;
+        other.batch.lanes = Some(8);
+        let err =
+            resume_simulated_detailed_with_store(&ds, &seeds, &other, field_store(&ds), &latest)
+                .expect_err("mismatched batch size must be rejected");
+        assert!(matches!(err, CkptError::Mismatch(_)), "{err:?}");
+
+        let mut other = cfg;
+        other.batch.lanes = None;
+        let err =
+            resume_simulated_detailed_with_store(&ds, &seeds, &other, field_store(&ds), &latest)
+                .expect_err("explicit-vs-auto batch must be rejected");
+        assert!(matches!(err, CkptError::Mismatch(_)), "{err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     /// Snapshots taken at different points of the same run must all resume
     /// to the same final answer (any checkpoint is a valid restart point).
     #[test]

@@ -149,6 +149,58 @@ impl StealParams {
     }
 }
 
+/// A batch-kernel knob combination the drivers cannot run with, surfaced
+/// as a typed error so the CLI can reject bad invocations with a usage
+/// message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchConfigError {
+    /// `lanes` must be at least 1 — a zero-lane batch advances nothing and
+    /// every driver drain loop would spin forever.
+    ZeroBatchLanes,
+}
+
+impl std::fmt::Display for BatchConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchConfigError::ZeroBatchLanes => write!(f, "batch size must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for BatchConfigError {}
+
+/// Tuning of the SoA batch advection kernel every driver and the serve
+/// worker pool advance streamlines with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct BatchParams {
+    /// Maximum streamlines advanced per batch-kernel call. `None` (the
+    /// default) resolves to [`BatchParams::AUTO_LANES`]. Batch size never
+    /// changes results — every lane is bit-identical to the scalar path —
+    /// only how much independent work the kernel overlaps.
+    pub lanes: Option<usize>,
+}
+
+impl BatchParams {
+    /// The `lanes` value `None` resolves to: wide enough to amortize the
+    /// dispatch and fill the pipeline, small enough that a partially-filled
+    /// last batch stays cheap on the paper's workloads.
+    pub const AUTO_LANES: usize = 16;
+
+    /// Check the knobs are runnable; the CLI surfaces the error as a usage
+    /// message instead of letting a driver spin.
+    pub fn validate(&self) -> Result<(), BatchConfigError> {
+        match self.lanes {
+            Some(0) => Err(BatchConfigError::ZeroBatchLanes),
+            _ => Ok(()),
+        }
+    }
+
+    /// The effective lane count (auto resolved).
+    pub fn resolve(&self) -> usize {
+        self.lanes.unwrap_or(Self::AUTO_LANES)
+    }
+}
+
 /// Per-rank memory budget (logical bytes: resident blocks at paper scale
 /// plus streamline geometry). `None` disables the check.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -216,6 +268,10 @@ pub struct RunConfig {
     pub hybrid: HybridParams,
     #[serde(default)]
     pub steal: StealParams,
+    /// Batch advection kernel tuning (resolved lane count feeds every
+    /// driver's workspace and is part of the checkpoint SPEC).
+    #[serde(default)]
+    pub batch: BatchParams,
     /// Communicate full streamline geometry (the measured configuration;
     /// §8 discusses the compact solver-state alternative).
     pub comm_geometry: bool,
@@ -234,6 +290,7 @@ impl RunConfig {
             memory: MemoryBudget::paper_scale(),
             hybrid: HybridParams::default(),
             steal: StealParams::default(),
+            batch: BatchParams::default(),
             comm_geometry: true,
             static_partition: crate::static_alloc::StaticPartition::Contiguous,
         }
@@ -293,5 +350,17 @@ mod tests {
         assert_eq!(p.validate(), Err(StealConfigError::ZeroStealBatch));
         // The errors render as usage text, not Debug noise.
         assert!(StealConfigError::ZeroStealBatch.to_string().contains("batch"));
+    }
+
+    #[test]
+    fn batch_params_validate() {
+        assert_eq!(BatchParams::default().validate(), Ok(()));
+        assert_eq!(BatchParams::default().resolve(), BatchParams::AUTO_LANES);
+        let p = BatchParams { lanes: Some(4) };
+        assert_eq!(p.validate(), Ok(()));
+        assert_eq!(p.resolve(), 4);
+        let p = BatchParams { lanes: Some(0) };
+        assert_eq!(p.validate(), Err(BatchConfigError::ZeroBatchLanes));
+        assert!(BatchConfigError::ZeroBatchLanes.to_string().contains(">= 1"));
     }
 }

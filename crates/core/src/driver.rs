@@ -81,6 +81,18 @@ impl AnyProc {
         }
     }
 
+    /// Batch-kernel counters `(batched_lanes, batch_calls)` accumulated by
+    /// this rank's workspace.
+    fn batch_counters(&self) -> (u64, u64) {
+        match self {
+            AnyProc::Static(p) => (p.workspace().batched_lanes, p.workspace().batch_calls),
+            AnyProc::Lod(p) => (p.workspace().batched_lanes, p.workspace().batch_calls),
+            AnyProc::Slave(p) => (p.workspace().batched_lanes, p.workspace().batch_calls),
+            AnyProc::Steal(p) => (p.workspace().batched_lanes, p.workspace().batch_calls),
+            AnyProc::Master(_) => (0, 0),
+        }
+    }
+
     /// Resilience counters `(load_retries, load_failures, unavailable)` from
     /// this rank's workspace; masters contribute their quarantined pool
     /// seeds as unavailable terminations.
@@ -154,6 +166,7 @@ fn make_workspace(
     );
     ws.set_vertex_bytes(cfg.memory.vertex_bytes);
     ws.set_stream_bytes(cfg.memory.stream_bytes);
+    ws.set_batch_lanes(cfg.batch.resolve());
     ws
 }
 
@@ -315,6 +328,8 @@ pub(crate) fn collect_report(
     let mut steps = 0;
     let mut sampler_hits = 0;
     let mut sampler_misses = 0;
+    let mut batched_lanes = 0;
+    let mut batch_calls = 0;
     let mut load_retries = 0;
     let mut load_failures = 0;
     let mut unavailable_terminations = 0;
@@ -334,6 +349,9 @@ pub(crate) fn collect_report(
         let (hits, misses) = p.sampler_counters();
         sampler_hits += hits;
         sampler_misses += misses;
+        let (lanes, calls) = p.batch_counters();
+        batched_lanes += lanes;
+        batch_calls += calls;
         let (retries, failures, unavailable) = p.resilience_counters();
         load_retries += retries;
         load_failures += failures;
@@ -353,6 +371,13 @@ pub(crate) fn collect_report(
         }
     }
     let (io, comm, compute) = report.totals();
+    // Occupancy: mean filled fraction of the configured batch width over
+    // every batched block-advance (1.0 = every call ran a full batch).
+    let batch_occupancy = if batch_calls > 0 {
+        batched_lanes as f64 / (batch_calls * cfg.batch.resolve() as u64) as f64
+    } else {
+        0.0
+    };
     RunReport {
         algorithm: cfg.algorithm,
         n_procs: cfg.n_procs,
@@ -373,6 +398,8 @@ pub(crate) fn collect_report(
         total_steps: steps,
         sampler_hits,
         sampler_misses,
+        batched_lanes,
+        batch_occupancy,
         load_retries,
         load_failures,
         unavailable_terminations,
@@ -625,6 +652,43 @@ mod tests {
         let r = run_simulated(&ds, &seeds, &cfg);
         assert!(r.outcome.completed(), "{}", r.summary());
         assert_eq!(r.terminated, 300);
+    }
+
+    #[test]
+    fn batch_width_never_changes_results() {
+        // Per-streamline bit-identity of the batch kernel means the batch
+        // knob must be invisible in the results of every driver.
+        let mut dcfg = DatasetConfig::tiny();
+        dcfg.blocks_per_axis = [2, 2, 2];
+        dcfg.cells_per_block = [6, 6, 6];
+        let ds = Dataset::thermal_hydraulics(dcfg);
+        let seeds = ds.seeds_with_count(Seeding::Dense, 60);
+        for algo in Algorithm::ALL {
+            let mut runs = Vec::new();
+            for lanes in [1usize, 4, 64] {
+                let mut cfg = RunConfig::new(algo, 4);
+                cfg.limits.max_steps = 300;
+                cfg.memory = MemoryBudget::unlimited();
+                cfg.batch.lanes = Some(lanes);
+                runs.push(run_simulated_detailed(&ds, &seeds, &cfg));
+            }
+            let (r1, f1) = &runs[0];
+            assert!(r1.outcome.completed(), "{algo:?}");
+            for (rn, fn_) in &runs[1..] {
+                assert_eq!(f1, fn_, "{algo:?}: batch width changed streamlines");
+                assert_eq!(r1.total_steps, rn.total_steps, "{algo:?}");
+                assert_eq!(r1.terminated, rn.terminated, "{algo:?}");
+                assert_eq!(
+                    (r1.sampler_hits, r1.sampler_misses),
+                    (rn.sampler_hits, rn.sampler_misses),
+                    "{algo:?}"
+                );
+            }
+            // Master ranks aside, every advance goes through the batch
+            // kernel now, so lanes are counted on all algorithms.
+            assert!(r1.batched_lanes > 0, "{algo:?} reported no batched lanes");
+            assert!(r1.batch_occupancy > 0.0 && r1.batch_occupancy <= 1.0, "{algo:?}");
+        }
     }
 
     #[test]

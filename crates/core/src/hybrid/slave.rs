@@ -241,26 +241,22 @@ impl SlaveProc {
         }
     }
 
-    /// Advance everything possible, then report to the master.
+    /// Advance everything possible (batched through the workspace batch
+    /// kernel; movers re-park and the outer sweep picks resident ones back
+    /// up), then report to the master.
     fn pump(&mut self, ctx: &mut dyn Context<Msg>) {
+        let lanes = self.ws.batch_lanes();
         while let Some(block) = self.parked.keys().copied().find(|&b| self.ws.is_resident(b)) {
             let mut list = self.parked.remove(&block).expect("key just found");
-            while let Some(mut sl) = list.pop() {
-                let mut cur = block;
-                loop {
-                    match self.ws.advance_in(&mut sl, cur, ctx) {
-                        BlockExit::MovedTo(next) => {
-                            if self.ws.is_resident(next) {
-                                cur = next;
-                            } else {
-                                self.park(sl, next);
-                                break;
-                            }
-                        }
-                        BlockExit::Done(_) => {
-                            self.finished.push(sl);
-                            break;
-                        }
+            while !list.is_empty() {
+                let take = lanes.min(list.len());
+                let mut group = list.split_off(list.len() - take);
+                group.reverse();
+                let exits = self.ws.advance_batch_in(&mut group, block, ctx);
+                for (sl, exit) in group.into_iter().zip(exits) {
+                    match exit {
+                        BlockExit::MovedTo(next) => self.park(sl, next),
+                        BlockExit::Done(_) => self.finished.push(sl),
                     }
                 }
                 if self.check_memory(ctx) {

@@ -110,25 +110,27 @@ impl LodProc {
     /// Advance everything whose block is resident ("integrate all
     /// streamlines to the edge of the loaded blocks"). Returns false when
     /// the run must abort (memory budget exceeded).
+    ///
+    /// Each resident block's queue is drained through the batch kernel in
+    /// chunks of the workspace's batch width; lanes that cross into another
+    /// block are re-parked and picked up by the next sweep of the outer
+    /// loop, so a lane still traverses every resident block before any
+    /// load happens — exactly the scalar chase, in batched order.
     fn drain_resident(&mut self, ctx: &mut dyn Context<Msg>) -> bool {
+        let lanes = self.ws.batch_lanes();
         while let Some(block) = self.parked.keys().copied().find(|&b| self.ws.is_resident(b)) {
             let mut list = self.parked.remove(&block).expect("key just found");
-            while let Some(mut sl) = list.pop() {
-                let mut cur = block;
-                loop {
-                    match self.ws.advance_in(&mut sl, cur, ctx) {
-                        BlockExit::MovedTo(next) => {
-                            if self.ws.is_resident(next) {
-                                cur = next;
-                            } else {
-                                self.parked.entry(next).or_default().push(sl);
-                                break;
-                            }
-                        }
-                        BlockExit::Done(_) => {
-                            self.finished.push(sl);
-                            break;
-                        }
+            while !list.is_empty() {
+                let take = lanes.min(list.len());
+                let mut group = list.split_off(list.len() - take);
+                // Scalar drained by popping from the end; keep that order
+                // within the batch.
+                group.reverse();
+                let exits = self.ws.advance_batch_in(&mut group, block, ctx);
+                for (sl, exit) in group.into_iter().zip(exits) {
+                    match exit {
+                        BlockExit::MovedTo(next) => self.parked.entry(next).or_default().push(sl),
+                        BlockExit::Done(_) => self.finished.push(sl),
                     }
                 }
                 if self.check_memory(ctx) {

@@ -56,6 +56,16 @@ pub struct RunReport {
     /// Cell-sampler stencil gathers over all ranks.
     #[serde(default)]
     pub sampler_misses: u64,
+    /// Streamlines advanced through the batch kernel
+    /// ([`crate::advance::advance_batch_in_block`]), counted once per
+    /// batched block-advance each lane participated in. Zero on scalar runs.
+    #[serde(default)]
+    pub batched_lanes: u64,
+    /// Mean filled fraction of the configured batch width over every
+    /// batched block-advance (1.0 = every batch ran full; 0.0 = no batch
+    /// kernel calls).
+    #[serde(default)]
+    pub batch_occupancy: f64,
     /// Block loads retried after transient store errors, over all ranks.
     #[serde(default)]
     pub load_retries: u64,
@@ -173,6 +183,8 @@ impl RunReport {
         registry.set_counter(names::RUN_STREAMLINES_TERMINATED_TOTAL, self.terminated);
         registry.set_counter(names::RUN_SAMPLER_HITS_TOTAL, self.sampler_hits);
         registry.set_counter(names::RUN_SAMPLER_MISSES_TOTAL, self.sampler_misses);
+        registry.set_counter(names::RUN_BATCHED_LANES_TOTAL, self.batched_lanes);
+        registry.set_gauge(names::RUN_BATCH_OCCUPANCY, self.batch_occupancy);
         registry.set_counter(names::RUN_LOAD_RETRIES_TOTAL, self.load_retries);
         registry.set_counter(names::RUN_LOAD_FAILURES_TOTAL, self.load_failures);
         registry
@@ -240,6 +252,8 @@ mod tests {
             total_steps: 100,
             sampler_hits: 75,
             sampler_misses: 25,
+            batched_lanes: 40,
+            batch_occupancy: 0.625,
             load_retries: 0,
             load_failures: 0,
             unavailable_terminations: 0,
@@ -300,6 +314,19 @@ mod tests {
         assert_eq!(back.load_retries, 0);
         assert_eq!(back.load_failures, 0);
         assert_eq!(back.unavailable_terminations, 0);
+    }
+
+    #[test]
+    fn deserializes_reports_without_batch_counters() {
+        // Reports written before the batch kernel existed must still load.
+        let json = serde_json::to_string(&report()).unwrap();
+        let stripped =
+            json.replace("\"batched_lanes\":40,", "").replace("\"batch_occupancy\":0.625,", "");
+        assert_ne!(json, stripped, "test must actually remove the fields");
+        let back: RunReport = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.batched_lanes, 0);
+        assert_eq!(back.batch_occupancy, 0.0);
+        assert_eq!(back.total_steps, 100);
     }
 
     #[test]
@@ -395,6 +422,14 @@ mod tests {
             panic!("efficiency is a gauge")
         };
         assert_eq!(e.to_bits(), r.block_efficiency().to_bits());
+        assert_eq!(
+            reg.get(names::RUN_BATCHED_LANES_TOTAL),
+            Some(MetricValue::Counter(r.batched_lanes))
+        );
+        let MetricValue::Gauge(occ) = reg.get(names::RUN_BATCH_OCCUPANCY).unwrap() else {
+            panic!("occupancy is a gauge")
+        };
+        assert_eq!(occ.to_bits(), r.batch_occupancy.to_bits());
     }
 
     #[test]

@@ -240,6 +240,72 @@ impl StaticProc {
         }
     }
 
+    /// Integrate a whole locally-seeded group through this rank's blocks via
+    /// the batch kernel: lanes are grouped by current block (lowest id
+    /// first), each block's queue is advanced in chunks of the workspace
+    /// batch width, and lanes that cross into another owned block rejoin the
+    /// worklist. Lanes crossing into foreign blocks hand off; lanes in
+    /// unloadable blocks terminate typed. Returns the number of streamlines
+    /// that terminated here.
+    fn process_group(&mut self, group: Vec<Streamline>, ctx: &mut dyn Context<Msg>) -> u64 {
+        let lanes = self.ws.batch_lanes();
+        let mut done = 0;
+        let mut worklist: std::collections::BTreeMap<BlockId, Vec<Streamline>> =
+            std::collections::BTreeMap::new();
+        for mut sl in group {
+            match self.ws.locate(sl.state.position) {
+                Some(b) => worklist.entry(b).or_default().push(sl),
+                None => {
+                    sl.terminate(streamline_integrate::Termination::ExitedDomain);
+                    self.ws.terminated += 1;
+                    self.ws.retire_object();
+                    self.finished.push(sl);
+                    done += 1;
+                }
+            }
+        }
+        while let Some((&block, _)) = worklist.iter().next() {
+            let mut list = worklist.remove(&block).expect("key just found");
+            if !self.owns(block) {
+                let to = self.partition.owner_of(block, self.ws.decomp.num_blocks(), self.n_procs);
+                for sl in list {
+                    self.ws.release(&sl);
+                    let m = Msg::Handoff { sl: Box::new(sl) };
+                    let bytes = m.wire_bytes(self.comm_geometry);
+                    ctx.send(to, m, bytes);
+                }
+                continue;
+            }
+            if self.ws.try_acquire(block, ctx).is_err() {
+                for mut sl in list {
+                    self.ws.terminate_unavailable(&mut sl);
+                    self.finished.push(sl);
+                    done += 1;
+                }
+                continue;
+            }
+            while !list.is_empty() {
+                let take = lanes.min(list.len());
+                let mut chunk = list.split_off(list.len() - take);
+                chunk.reverse();
+                let exits = self.ws.advance_batch_in(&mut chunk, block, ctx);
+                for (sl, exit) in chunk.into_iter().zip(exits) {
+                    match exit {
+                        BlockExit::MovedTo(next) => worklist.entry(next).or_default().push(sl),
+                        BlockExit::Done(_) => {
+                            self.finished.push(sl);
+                            done += 1;
+                        }
+                    }
+                }
+                if self.check_memory(ctx) {
+                    return done;
+                }
+            }
+        }
+        done
+    }
+
     /// Report `count` local terminations toward the global count.
     fn flush_terminations(&mut self, count: u64, ctx: &mut dyn Context<Msg>) {
         if count == 0 {
@@ -284,12 +350,9 @@ impl Process<Msg> for StaticProc {
                 if self.check_memory(ctx) {
                     return;
                 }
-                let mut done = 0;
-                for sl in created {
-                    done += self.process(sl, ctx);
-                    if self.failed_oom {
-                        return;
-                    }
+                let done = self.process_group(created, ctx);
+                if self.failed_oom {
+                    return;
                 }
                 self.flush_terminations(done, ctx);
             }

@@ -300,26 +300,22 @@ impl StealProc {
     }
 
     /// Advance everything whose block is resident (same rule as Load On
-    /// Demand). Returns false when the run must abort.
+    /// Demand, batched the same way: chunks of the workspace batch width,
+    /// movers re-parked for the next sweep). Returns false when the run
+    /// must abort.
     fn drain_resident(&mut self, ctx: &mut dyn Context<Msg>) -> bool {
+        let lanes = self.ws.batch_lanes();
         while let Some(block) = self.parked.keys().copied().find(|&b| self.ws.is_resident(b)) {
             let mut list = self.parked.remove(&block).expect("key just found");
-            while let Some(mut sl) = list.pop() {
-                let mut cur = block;
-                loop {
-                    match self.ws.advance_in(&mut sl, cur, ctx) {
-                        BlockExit::MovedTo(next) => {
-                            if self.ws.is_resident(next) {
-                                cur = next;
-                            } else {
-                                self.parked.entry(next).or_default().push(sl);
-                                break;
-                            }
-                        }
-                        BlockExit::Done(_) => {
-                            self.finished.push(sl);
-                            break;
-                        }
+            while !list.is_empty() {
+                let take = lanes.min(list.len());
+                let mut group = list.split_off(list.len() - take);
+                group.reverse();
+                let exits = self.ws.advance_batch_in(&mut group, block, ctx);
+                for (sl, exit) in group.into_iter().zip(exits) {
+                    match exit {
+                        BlockExit::MovedTo(next) => self.parked.entry(next).or_default().push(sl),
+                        BlockExit::Done(_) => self.finished.push(sl),
                     }
                 }
                 if self.check_memory(ctx) {

@@ -16,6 +16,11 @@ pub(crate) struct CellCoords {
     pub t: [f64; 3],
 }
 
+/// Tolerance keeping points on the outer lattice faces valid; shared with
+/// the lane-group sampler so its in-lattice decisions are the same
+/// comparisons on the same values.
+pub(crate) const EDGE_TOL: f64 = 1e-9;
+
 /// Map `p` to its lattice cell and intra-cell fractions, or `None` outside
 /// the ghost-extended lattice.
 ///
@@ -30,8 +35,6 @@ pub(crate) fn locate_cell(block: &Block, p: Vec3) -> Option<CellCoords> {
     let fx = (p.x - block.origin.x) * block.inv_spacing.x;
     let fy = (p.y - block.origin.y) * block.inv_spacing.y;
     let fz = (p.z - block.origin.z) * block.inv_spacing.z;
-    // A small tolerance keeps points on the outer lattice faces valid.
-    const EDGE_TOL: f64 = 1e-9;
     if fx < -EDGE_TOL
         || fy < -EDGE_TOL
         || fz < -EDGE_TOL

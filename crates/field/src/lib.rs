@@ -14,6 +14,7 @@ pub mod block;
 pub mod dataset;
 pub mod decomp;
 pub mod grid;
+pub mod group;
 pub mod interp;
 pub mod rectilinear;
 pub mod sample;
@@ -30,5 +31,6 @@ pub use block::{Block, BlockId, BlockShapeError};
 pub use dataset::{Dataset, DatasetConfig};
 pub use decomp::BlockDecomposition;
 pub use grid::RegularGrid;
+pub use group::{simd_isa, GroupSampler, GROUP_WIDTH};
 pub use sampler::{CellSampler, SamplerStats};
 pub use seeds::SeedSet;

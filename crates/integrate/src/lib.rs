@@ -10,6 +10,7 @@
 //! (so the owning algorithm can hand it to another block/processor) or
 //! terminates for good.
 
+pub mod batch;
 pub mod dopri5;
 pub mod euler;
 pub mod ode;
@@ -19,6 +20,9 @@ pub mod streamline;
 pub mod tracer;
 pub mod unsteady;
 
+pub use batch::{
+    advect_batch, advect_batch_rounds, BatchAdvected, BatchPartial, BatchSampler, StreamlineBatch,
+};
 pub use dopri5::{Dopri5, Dopri5NoReuse};
 pub use ode::{FsalCache, StageFail, StepResult, Stepper, Tolerances};
 pub use streamline::{SolverState, Streamline, StreamlineId, StreamlineStatus, Termination};

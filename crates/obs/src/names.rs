@@ -34,6 +34,10 @@ pub const RUN_STEPS_TOTAL: &str = "streamline_run_steps_total";
 pub const RUN_STREAMLINES_TERMINATED_TOTAL: &str = "streamline_run_streamlines_terminated_total";
 pub const RUN_SAMPLER_HITS_TOTAL: &str = "streamline_run_sampler_hits_total";
 pub const RUN_SAMPLER_MISSES_TOTAL: &str = "streamline_run_sampler_misses_total";
+// Batch advection kernel: lanes advanced batched, and the mean filled
+// fraction of the configured batch width.
+pub const RUN_BATCHED_LANES_TOTAL: &str = "streamline_run_batched_lanes_total";
+pub const RUN_BATCH_OCCUPANCY: &str = "streamline_run_batch_occupancy";
 pub const RUN_LOAD_RETRIES_TOTAL: &str = "streamline_run_load_retries_total";
 pub const RUN_LOAD_FAILURES_TOTAL: &str = "streamline_run_load_failures_total";
 pub const RUN_UNAVAILABLE_TERMINATIONS_TOTAL: &str =
@@ -81,6 +85,7 @@ pub const SERVE_STREAMLINES_UNAVAILABLE_TOTAL: &str =
 pub const SERVE_STEPS_TOTAL: &str = "streamline_serve_steps_total";
 pub const SERVE_SAMPLER_HITS_TOTAL: &str = "streamline_serve_sampler_hits_total";
 pub const SERVE_SAMPLER_MISSES_TOTAL: &str = "streamline_serve_sampler_misses_total";
+pub const SERVE_BATCHED_LANES_TOTAL: &str = "streamline_serve_batched_lanes_total";
 pub const SERVE_QUEUE_DEPTH: &str = "streamline_serve_queue_depth";
 pub const SERVE_QUEUE_CAPACITY: &str = "streamline_serve_queue_capacity";
 pub const SERVE_CACHE_RESIDENT_BLOCKS: &str = "streamline_serve_cache_resident_blocks";

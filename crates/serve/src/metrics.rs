@@ -105,6 +105,9 @@ pub struct ServiceMetrics {
     /// sampler_hits / (sampler_hits + sampler_misses); 0.0 before any
     /// sampling.
     pub sampler_hit_rate: f64,
+    /// Streamlines advanced through the batch advection kernel, counted
+    /// once per batch-kernel call each lane participated in.
+    pub batched_lanes: u64,
     /// Seeds admitted but not yet resolved (queued + in flight).
     pub queue_depth: usize,
     /// Admission-control bound on `queue_depth`.

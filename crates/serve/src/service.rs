@@ -32,11 +32,11 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use streamline_core::advance::advance_in_block;
+use streamline_core::advance::advance_batch_in_block;
 use streamline_core::workspace::BlockExit;
 use streamline_field::block::{Block, BlockId};
 use streamline_field::decomp::BlockDecomposition;
-use streamline_integrate::{Dopri5, StepLimits, Streamline, StreamlineId, Termination};
+use streamline_integrate::{StepLimits, Streamline, StreamlineBatch, StreamlineId, Termination};
 use streamline_iosim::BlockStore;
 use streamline_math::Vec3;
 use streamline_obs::{names, Counter, MetricsRegistry, Phase, TraceFile, WallTimeline};
@@ -60,6 +60,10 @@ pub struct ServiceConfig {
     /// per worker) at this bucket resolution, exposed via
     /// [`Service::timeline`]. `None` (the default) costs nothing.
     pub trace_bucket: Option<Duration>,
+    /// Batch width for the advection kernel: a worker drains a claimed
+    /// block queue in chunks of up to this many streamlines per batch-kernel
+    /// call. Results are bit-identical at any width; 1 is the scalar path.
+    pub batch: usize,
 }
 
 impl Default for ServiceConfig {
@@ -72,6 +76,7 @@ impl Default for ServiceConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
             trace_bucket: None,
+            batch: 16,
         }
     }
 }
@@ -291,6 +296,9 @@ struct ServiceInner {
     total_steps: Counter,
     sampler_hits: Counter,
     sampler_misses: Counter,
+    batched_lanes: Counter,
+    /// Batch width for the advection kernel (≥ 1).
+    batch: usize,
     latency: LatencyHistogram,
     /// Wall-clock phase timeline, present only when
     /// [`ServiceConfig::trace_bucket`] was set.
@@ -339,6 +347,8 @@ impl Service {
             total_steps: registry.counter(names::SERVE_STEPS_TOTAL),
             sampler_hits: registry.counter(names::SERVE_SAMPLER_HITS_TOTAL),
             sampler_misses: registry.counter(names::SERVE_SAMPLER_MISSES_TOTAL),
+            batched_lanes: registry.counter(names::SERVE_BATCHED_LANES_TOTAL),
+            batch: cfg.batch.max(1),
             latency: LatencyHistogram::in_registry(&registry, names::SERVE_LATENCY_NANOSECONDS),
             trace: cfg.trace_bucket.map(|w| WallTimeline::new(n_workers, w)),
             registry,
@@ -557,6 +567,7 @@ fn snapshot(inner: &ServiceInner, workers: usize) -> ServiceMetrics {
         sampler_hits,
         sampler_misses,
         sampler_hit_rate: if samples == 0 { 0.0 } else { sampler_hits as f64 / samples as f64 },
+        batched_lanes: inner.batched_lanes.get(),
         queue_depth: inner.pending_seeds.load(Ordering::Acquire),
         queue_capacity: inner.queue_capacity,
         throughput_rps: completed as f64 / uptime,
@@ -637,7 +648,9 @@ fn claim_batch(inner: &ServiceInner) -> Option<(BlockId, Vec<WorkItem>)> {
 }
 
 fn worker_loop(inner: &ServiceInner, rank: usize) {
-    let stepper = Dopri5;
+    // One reusable batch-kernel scratch per worker: the SoA arrays are
+    // allocated once and recycled across every batch this worker drains.
+    let mut scratch = StreamlineBatch::new();
     loop {
         // Time spent inside claim_batch is overwhelmingly condvar waiting:
         // the worker is starved for parked work — the serving analogue of
@@ -648,7 +661,7 @@ fn worker_loop(inner: &ServiceInner, rank: usize) {
             tl.record(rank, Phase::Idle, ws, ws.elapsed());
         }
         let Some((block_id, items)) = claimed else { break };
-        process_batch(inner, rank, block_id, items, &stepper);
+        process_batch(inner, rank, block_id, items, &mut scratch);
     }
 }
 
@@ -675,7 +688,7 @@ fn process_batch(
     rank: usize,
     block_id: BlockId,
     items: Vec<WorkItem>,
-    stepper: &Dopri5,
+    scratch: &mut StreamlineBatch,
 ) {
     let trace = inner.trace.as_ref();
     let n_claimed = items.len();
@@ -733,8 +746,10 @@ fn process_batch(
     let mut finished: Vec<(Arc<RequestState>, Option<Streamline>)> = Vec::new();
     let compute_start = trace.map(|_| Instant::now());
     let now = Instant::now();
-    for mut item in items {
-        // Deadline check: an expired request stops consuming compute.
+    // Deadline check first: expired requests stop consuming compute before
+    // any batch forms.
+    let mut live: Vec<WorkItem> = Vec::with_capacity(items.len());
+    for item in items {
         let expired = item.req.expired.load(Ordering::Relaxed)
             || item.req.deadline.is_some_and(|d| {
                 let hit = now >= d;
@@ -745,17 +760,39 @@ fn process_batch(
             });
         if expired {
             finished.push((item.req, None));
-            continue;
+        } else {
+            live.push(item);
         }
-        let (exit, stats) =
-            advance_in_block(&mut item.sl, &block, &inner.decomp, &item.req.limits, stepper);
-        inner.total_steps.add(stats.steps);
-        inner.sampler_hits.add(stats.sampler_hits);
-        inner.sampler_misses.add(stats.sampler_misses);
-        match exit {
-            BlockExit::MovedTo(next) => moved.entry(next).or_default().push(item),
-            BlockExit::Done(_) => finished.push((item.req, Some(item.sl))),
+    }
+    // Batched advance: runs of items sharing the same limits coalesce into
+    // batch-kernel calls chunked to the configured width. Per-streamline
+    // results are bit-identical to the scalar path at any width.
+    let mut rest = live;
+    while !rest.is_empty() {
+        let limits = rest[0].req.limits;
+        let run_len = rest.iter().take_while(|it| it.req.limits == limits).count();
+        let tail = rest.split_off(run_len);
+        let (mut sls, reqs): (Vec<Streamline>, Vec<Arc<RequestState>>) =
+            rest.into_iter().map(|it| (it.sl, it.req)).unzip();
+        let mut exits = Vec::with_capacity(sls.len());
+        for chunk in sls.chunks_mut(inner.batch) {
+            let (ex, stats) =
+                advance_batch_in_block(chunk, &block, &inner.decomp, &limits, scratch);
+            inner.total_steps.add(stats.steps);
+            inner.sampler_hits.add(stats.sampler_hits);
+            inner.sampler_misses.add(stats.sampler_misses);
+            inner.batched_lanes.add(stats.batched_lanes);
+            exits.extend(ex);
         }
+        for ((sl, req), exit) in sls.into_iter().zip(reqs).zip(exits) {
+            match exit {
+                BlockExit::MovedTo(next) => {
+                    moved.entry(next).or_default().push(WorkItem { sl, req })
+                }
+                BlockExit::Done(_) => finished.push((req, Some(sl))),
+            }
+        }
+        rest = tail;
     }
     if let (Some(tl), Some(t0)) = (trace, compute_start) {
         tl.record(rank, Phase::Compute, t0, t0.elapsed());
@@ -993,6 +1030,55 @@ mod tests {
         assert_eq!(m.streamlines_unavailable, 0);
         assert_eq!(m.blocks_quarantined, 0);
         clean.shutdown();
+    }
+
+    #[test]
+    fn batched_workers_are_bit_identical_under_chaos() {
+        // Batch 16 through chaos faults vs batch 1 (the scalar path) on a
+        // clean store: per-streamline results must match bit for bit —
+        // the batch knob and the fault injection are both invisible in
+        // the answers.
+        let mut plan = FaultPlan::new();
+        for b in 0..8 {
+            plan = plan.transient(BlockId(b), 2);
+        }
+        let (faulted, dataset) = faulted_service(plan, 3);
+        assert_eq!(faulted.inner.batch, 16, "default width drives the batched path");
+        let (scalar, _) = tiny_service(ServiceConfig { batch: 1, ..ServiceConfig::default() });
+        let seeds = dataset.seeds_with_count(Seeding::Dense, 48);
+
+        let got = faulted
+            .submit(Request::new(seeds.points.clone()).with_limits(limits()))
+            .expect("admitted")
+            .wait()
+            .expect("service answers");
+        let want = scalar
+            .submit(Request::new(seeds.points.clone()).with_limits(limits()))
+            .expect("admitted")
+            .wait()
+            .expect("service answers");
+        assert_eq!(got.outcome, Outcome::Completed);
+        assert_eq!(got.streamlines.len(), want.streamlines.len());
+        for (a, b) in got.streamlines.iter().zip(&want.streamlines) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.status, b.status);
+            assert_eq!(
+                a.state.position.to_array().map(f64::to_bits),
+                b.state.position.to_array().map(f64::to_bits),
+                "streamline {:?} position diverged",
+                a.id
+            );
+            assert_eq!(a.state.h.to_bits(), b.state.h.to_bits());
+            assert_eq!(a.geometry, b.geometry, "streamline {:?} geometry diverged", a.id);
+        }
+        let mb = faulted.shutdown();
+        let ms = scalar.shutdown();
+        assert_eq!(mb.total_steps, ms.total_steps, "same steps either way");
+        assert!(mb.batched_lanes > 0, "batched path must be exercised");
+        assert!(
+            mb.batched_lanes >= mb.streamlines_completed,
+            "every lane passes through the kernel at least once"
+        );
     }
 
     #[test]
