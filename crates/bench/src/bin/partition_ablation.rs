@@ -52,6 +52,9 @@ fn main() {
                 RunOutcome::OutOfMemory { rank } => {
                     println!("| {label} | OOM@r{rank} | — | — | — | — |")
                 }
+                RunOutcome::MasterLost { rank } => {
+                    println!("| {label} | master lost@r{rank} | — | — | — | — |")
+                }
             }
         }
         println!();

@@ -24,7 +24,7 @@
 use crate::experiments::{case_config, dataset_for, SweepScale, Workload};
 use serde::Serialize;
 use std::sync::Arc;
-use streamline_core::{run_simulated_with_store, Algorithm};
+use streamline_core::{run_simulated_with_store, Algorithm, RankChaos};
 use streamline_field::dataset::Seeding;
 use streamline_iosim::{BlockStore, MemoryStore};
 
@@ -68,6 +68,30 @@ pub struct DriverCell {
     pub bytes_sent: u64,
 }
 
+/// One rank-chaos measurement: a driver surviving a seeded fail-stop
+/// death schedule on the thermal/sparse problem.
+#[derive(Debug, Clone, Serialize)]
+pub struct RankChaosCell {
+    pub algorithm: String,
+    pub n_procs: usize,
+    pub n_seeds: usize,
+    pub completed: bool,
+    /// Deaths the schedule actually applied.
+    pub rank_deaths: usize,
+    /// Streamlines terminated `RankLost` (work that died with its rank).
+    pub rank_lost: u64,
+    /// Streamlines re-queued onto survivors by the recovery protocols.
+    pub reassigned: u64,
+    /// Virtual seconds from a kill to its first suspicion.
+    pub detection_latency_mean: f64,
+    pub detection_latency_max: f64,
+    /// Virtual seconds.
+    pub wall: f64,
+    /// Exact accounting held: completed + unavailable + rank-lost covers
+    /// every seed exactly once.
+    pub conserved: bool,
+}
+
 /// Everything one harness run measured.
 #[derive(Debug, Clone, Serialize)]
 pub struct DriversReport {
@@ -78,6 +102,10 @@ pub struct DriversReport {
     /// Every completed driver in every cell group agreed on terminated
     /// streamlines and total integration steps.
     pub all_drivers_agree: bool,
+    /// One cell per driver under a seeded rank-death schedule.
+    pub rank_chaos: Vec<RankChaosCell>,
+    /// Every rank-chaos cell kept the work-conservation invariant.
+    pub rank_chaos_conserved: bool,
 }
 
 impl DriversReport {
@@ -101,6 +129,20 @@ impl DriversReport {
                 c.balance_msgs,
                 if c.completed { "ok" } else { "INCOMPLETE" },
             ));
+        }
+        if !self.rank_chaos.is_empty() {
+            out.push_str("rank-chaos (thermal/sparse):\n");
+            for c in &self.rank_chaos {
+                out.push_str(&format!(
+                    "  {:<16} deaths {:>2}  lost {:>3}  reassigned {:>3}  detect {:>7.4}s  {}\n",
+                    c.algorithm,
+                    c.rank_deaths,
+                    c.rank_lost,
+                    c.reassigned,
+                    c.detection_latency_mean,
+                    if c.conserved { "conserved" } else { "NOT CONSERVED" },
+                ));
+            }
         }
         out.push_str(&format!("all drivers agree: {}", self.all_drivers_agree));
         out
@@ -170,12 +212,60 @@ pub fn run_drivers(cfg: &DriversConfig) -> DriversReport {
             }
         }
     }
+    // Rank-chaos cells: the same thermal/sparse problem with a seeded
+    // fail-stop death schedule, one cell per driver at the smallest rank
+    // count. Gated on exact accounting, not on timing: every seed must come
+    // back as completed, unavailable, or lost-with-its-rank.
+    let mut rank_chaos = Vec::new();
+    let mut rank_chaos_conserved = true;
+    {
+        let workload = Workload::Thermal;
+        let seeding = Seeding::Sparse;
+        let dataset = dataset_for(workload, scale);
+        let n_seeds = if cfg.smoke { 48 } else { (dataset.paper_seed_count(seeding) / 8).max(64) };
+        let seeds = dataset.seeds_with_count(seeding, n_seeds);
+        let store: Arc<dyn BlockStore> = Arc::new(MemoryStore::build(&dataset));
+        let p = proc_counts[0];
+        // Kills land early in the run so every schedule actually fires;
+        // the detector knobs stay at their defaults.
+        let mut chaos = RankChaos::seeded(0xBE9);
+        chaos.kill_prob = 0.25;
+        chaos.window = (0.0, 5e-3);
+        if chaos.plan(p).is_empty() {
+            // The seeded draw spared every rank; pin one death so the cell
+            // always exercises detection and recovery.
+            chaos.kill = Some((p - 1, 1e-3));
+        }
+        eprintln!("[bench-drivers] rank-chaos thermal/sparse @ {p} ranks ...");
+        for algorithm in Algorithm::ALL {
+            let mut run_cfg = case_config(workload, seeding, algorithm, p);
+            run_cfg.rank_chaos = Some(chaos);
+            let report = run_simulated_with_store(&dataset, &seeds, &run_cfg, Arc::clone(&store));
+            let conserved = report.terminated == n_seeds as u64;
+            rank_chaos_conserved &= conserved;
+            rank_chaos.push(RankChaosCell {
+                algorithm: algorithm.label().to_string(),
+                n_procs: p,
+                n_seeds,
+                completed: report.outcome.completed(),
+                rank_deaths: report.rank_deaths.len(),
+                rank_lost: report.rank_lost_streamlines,
+                reassigned: report.reassigned_streamlines,
+                detection_latency_mean: report.detection_latency_mean,
+                detection_latency_max: report.detection_latency_max,
+                wall: report.wall,
+                conserved,
+            });
+        }
+    }
     DriversReport {
         schema: DRIVERS_SCHEMA.to_string(),
         smoke: cfg.smoke,
         proc_counts,
         cells,
         all_drivers_agree,
+        rank_chaos,
+        rank_chaos_conserved,
     }
 }
 
@@ -203,6 +293,14 @@ mod tests {
             assert!((0.0..=1.0).contains(&c.participation), "{}", c.algorithm);
             assert!((0.0..=1.0).contains(&c.comm_overhead_share), "{}", c.algorithm);
         }
+        // The rank-chaos cells cover every driver and keep exact accounting.
+        assert_eq!(report.rank_chaos.len(), Algorithm::ALL.len());
+        assert!(report.rank_chaos_conserved, "{}", report.summary());
+        assert!(
+            report.rank_chaos.iter().any(|c| c.rank_deaths > 0),
+            "the seeded schedule never killed a rank: {}",
+            report.summary()
+        );
         // The report is what `bench-drivers --json` writes; it must serialize.
         serde_json::to_string(&report).expect("report serializes");
     }

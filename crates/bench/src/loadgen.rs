@@ -150,7 +150,8 @@ pub fn run_load(cfg: &LoadGenConfig) -> LoadGenReport {
     // streamlines.
     let (store, fault_store, references) = match &cfg.chaos {
         Some(chaos) => {
-            let plan = FaultPlan::random(chaos.seed, dataset.decomp.num_blocks(), &chaos.params);
+            let plan = FaultPlan::random(chaos.seed, dataset.decomp.num_blocks(), &chaos.params)
+                .expect("chaos params validated at config time");
             let ref_cfg = ServiceConfig { trace_bucket: None, ..cfg.service.clone() };
             let reference = Service::start(dataset.decomp, Arc::clone(&base), ref_cfg);
             let refs: Vec<Arc<Vec<Streamline>>> = (0..cfg.clients)

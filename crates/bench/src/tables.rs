@@ -118,6 +118,12 @@ mod tests {
                 pingpong_streamlines: 0,
                 balance_msgs: 0,
                 balance_bytes: 0,
+                rank_deaths: vec![],
+                rank_lost_streamlines: 0,
+                reassigned_streamlines: 0,
+                detection_latency_mean: 0.0,
+                detection_latency_max: 0.0,
+                dropped_events: 0,
                 events: 1,
                 per_rank: vec![],
             },

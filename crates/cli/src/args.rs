@@ -1,8 +1,9 @@
 //! Hand-rolled argument parsing (no external CLI dependency).
 
 use std::collections::BTreeMap;
-use streamline_core::{Algorithm, BatchParams, StealParams};
+use streamline_core::{Algorithm, BatchParams, RankChaos, StealParams};
 use streamline_field::dataset::Seeding;
+use streamline_iosim::ChaosParams;
 
 /// Which dataset a command targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +64,12 @@ pub enum Command {
         chaos: bool,
         /// Seed for the chaos fault plan.
         chaos_seed: u64,
+        /// Block-fault plan knobs (`--chaos-fault-prob` and friends),
+        /// validated at parse so a driver never sees an illegal probability.
+        chaos_params: ChaosParams,
+        /// Kill simulated ranks from a seeded schedule and run every driver
+        /// in resilient mode (`--rank-chaos` plus the `--rank-*` knobs).
+        rank_chaos: Option<RankChaos>,
         json: Option<String>,
         /// Write a virtual-time phase timeline (idle/io/compute/comm per
         /// rank) as trace JSON to this path.
@@ -229,6 +236,60 @@ fn parse_batch(opts: &BTreeMap<String, String>) -> Result<BatchParams, String> {
     Ok(batch)
 }
 
+/// `--chaos-*` knobs → [`ChaosParams`], rejected with the typed
+/// [`ChaosConfigError`](streamline_iosim::ChaosConfigError) messages before
+/// a fault plan can panic on them.
+fn parse_chaos_params(opts: &BTreeMap<String, String>) -> Result<ChaosParams, String> {
+    let d = ChaosParams::default();
+    let params = ChaosParams {
+        fault_prob: get_parse(opts, "chaos-fault-prob", d.fault_prob)?,
+        transient_prob: get_parse(opts, "chaos-transient-prob", d.transient_prob)?,
+        corrupt_prob: get_parse(opts, "chaos-corrupt-prob", d.corrupt_prob)?,
+        max_clears: get_parse(opts, "chaos-max-clears", d.max_clears)?,
+        latency_prob: get_parse(opts, "chaos-latency-prob", d.latency_prob)?,
+        max_latency_us: get_parse(opts, "chaos-max-latency-us", d.max_latency_us)?,
+    };
+    params.validate().map_err(|e| e.to_string())?;
+    Ok(params)
+}
+
+/// `--rank-*` knobs → [`RankChaos`]: `--rank-window START,END` bounds the
+/// random kill times and `--rank-kill RANK@TIME` pins exactly one death.
+/// Validated with the same typed errors as the block-fault chaos config.
+fn parse_rank_chaos(opts: &BTreeMap<String, String>) -> Result<RankChaos, String> {
+    let mut rc = RankChaos::seeded(get_parse(opts, "rank-chaos-seed", 0x5EED)?);
+    rc.kill_prob = get_parse(opts, "rank-kill-prob", rc.kill_prob)?;
+    rc.heartbeat_period = get_parse(opts, "rank-heartbeat", rc.heartbeat_period)?;
+    rc.suspect_timeout = get_parse(opts, "rank-suspect-timeout", rc.suspect_timeout)?;
+    if let Some(v) = opts.get("rank-window") {
+        let (a, b) = v
+            .split_once(',')
+            .ok_or_else(|| format!("--rank-window: expected START,END, got '{v}'"))?;
+        let num = |s: &str| {
+            s.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("--rank-window: cannot parse '{}'", s.trim()))
+        };
+        rc.window = (num(a)?, num(b)?);
+    }
+    if let Some(v) = opts.get("rank-kill") {
+        let (r, t) = v
+            .split_once('@')
+            .ok_or_else(|| format!("--rank-kill: expected RANK@TIME, got '{v}'"))?;
+        let rank = r
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| format!("--rank-kill: cannot parse rank '{}'", r.trim()))?;
+        let time = t
+            .trim()
+            .parse::<f64>()
+            .map_err(|_| format!("--rank-kill: cannot parse time '{}'", t.trim()))?;
+        rc.kill = Some((rank, time));
+    }
+    rc.validate().map_err(|e| e.to_string())?;
+    Ok(rc)
+}
+
 /// Parse an argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Cli, String> {
     let Some(cmd) = args.first() else {
@@ -237,9 +298,16 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let rest = &args[1..];
     let command = match cmd.as_str() {
         "run" => {
-            // `--chaos` is a bare flag; peel it off before the key-value pass.
+            // `--chaos` and `--rank-chaos` are bare flags; peel them off
+            // before the key-value pass.
             let mut kv: Vec<String> = rest.to_vec();
             let chaos = if let Some(i) = kv.iter().position(|a| a == "--chaos") {
+                kv.remove(i);
+                true
+            } else {
+                false
+            };
+            let rank_chaos_on = if let Some(i) = kv.iter().position(|a| a == "--rank-chaos") {
                 kv.remove(i);
                 true
             } else {
@@ -259,6 +327,18 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     "diffusion-period",
                     "steal-batch",
                     "chaos-seed",
+                    "chaos-fault-prob",
+                    "chaos-transient-prob",
+                    "chaos-corrupt-prob",
+                    "chaos-max-clears",
+                    "chaos-latency-prob",
+                    "chaos-max-latency-us",
+                    "rank-chaos-seed",
+                    "rank-kill-prob",
+                    "rank-window",
+                    "rank-kill",
+                    "rank-heartbeat",
+                    "rank-suspect-timeout",
                     "json",
                     "trace",
                     "trace-bucket",
@@ -269,6 +349,36 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     "resume",
                 ],
             )?;
+            // Chaos knobs without the matching mode flag are a silent no-op
+            // waiting to happen; reject them up front like the steal knobs.
+            if !chaos {
+                for knob in [
+                    "chaos-fault-prob",
+                    "chaos-transient-prob",
+                    "chaos-corrupt-prob",
+                    "chaos-max-clears",
+                    "chaos-latency-prob",
+                    "chaos-max-latency-us",
+                ] {
+                    if o.contains_key(knob) {
+                        return Err(format!("--{knob} only applies with --chaos"));
+                    }
+                }
+            }
+            if !rank_chaos_on {
+                for knob in [
+                    "rank-chaos-seed",
+                    "rank-kill-prob",
+                    "rank-window",
+                    "rank-kill",
+                    "rank-heartbeat",
+                    "rank-suspect-timeout",
+                ] {
+                    if o.contains_key(knob) {
+                        return Err(format!("--{knob} only applies with --rank-chaos"));
+                    }
+                }
+            }
             let algorithm =
                 AlgoChoice::parse(o.get("algorithm").map(|s| s.as_str()).unwrap_or("auto"))?;
             // Steal knobs only make sense on the work-stealing driver; reject
@@ -309,6 +419,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 batch: parse_batch(&o)?,
                 chaos,
                 chaos_seed: get_parse(&o, "chaos-seed", 0x5EED)?,
+                chaos_params: parse_chaos_params(&o)?,
+                rank_chaos: if rank_chaos_on { Some(parse_rank_chaos(&o)?) } else { None },
                 json: o.get("json").cloned(),
                 trace: o.get("trace").cloned(),
                 trace_bucket: get_parse(&o, "trace-bucket", 0.05)?,
@@ -495,6 +607,12 @@ USAGE:
                    [--cache BLOCKS] [--batch N|auto] [--neighbors N]
                    [--diffusion-period SECS]
                    [--steal-batch N] [--chaos] [--chaos-seed N]
+                   [--chaos-fault-prob P] [--chaos-transient-prob P]
+                   [--chaos-corrupt-prob P] [--chaos-max-clears N]
+                   [--chaos-latency-prob P] [--chaos-max-latency-us US]
+                   [--rank-chaos] [--rank-chaos-seed N] [--rank-kill-prob P]
+                   [--rank-window START,END] [--rank-kill RANK@TIME]
+                   [--rank-heartbeat SECS] [--rank-suspect-timeout SECS]
                    [--json FILE] [--trace FILE.json]
                    [--trace-bucket SECS] [--metrics FILE.prom]
                    [--checkpoint DIR] [--checkpoint-interval SECS]
@@ -538,6 +656,8 @@ mod tests {
                 batch,
                 chaos,
                 chaos_seed,
+                chaos_params,
+                rank_chaos,
                 json,
                 trace,
                 trace_bucket,
@@ -557,6 +677,8 @@ mod tests {
                 assert_eq!(batch, BatchParams::default());
                 assert!(!chaos);
                 assert_eq!(chaos_seed, 0x5EED);
+                assert_eq!(chaos_params, ChaosParams::default());
+                assert_eq!(rank_chaos, None);
                 assert_eq!(json, None);
                 assert_eq!(trace, None);
                 assert_eq!(trace_bucket, 0.05);
@@ -588,6 +710,8 @@ mod tests {
                 batch,
                 chaos,
                 chaos_seed,
+                chaos_params,
+                rank_chaos,
                 json,
                 trace,
                 trace_bucket,
@@ -607,6 +731,8 @@ mod tests {
                 assert_eq!(batch, BatchParams { lanes: Some(8) });
                 assert!(!chaos);
                 assert_eq!(chaos_seed, 0x5EED);
+                assert_eq!(chaos_params, ChaosParams::default());
+                assert_eq!(rank_chaos, None);
                 assert_eq!(json.as_deref(), Some("r.json"));
                 assert_eq!(trace.as_deref(), Some("t.json"));
                 assert_eq!(trace_bucket, 0.01);
@@ -848,6 +974,88 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn chaos_param_knobs_round_trip_and_validate() {
+        match parse(&argv("run --chaos --chaos-fault-prob 0.9 --chaos-max-clears 7"))
+            .unwrap()
+            .command
+        {
+            Command::Run { chaos, chaos_params, .. } => {
+                assert!(chaos);
+                assert_eq!(chaos_params.fault_prob, 0.9);
+                assert_eq!(chaos_params.max_clears, 7);
+                // Untouched knobs keep their defaults.
+                assert_eq!(chaos_params.latency_prob, ChaosParams::default().latency_prob);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Out-of-range values are typed errors naming the knob, not panics.
+        let e = parse(&argv("run --chaos --chaos-fault-prob 1.5")).unwrap_err();
+        assert!(e.contains("fault_prob"), "{e}");
+        let e = parse(&argv("run --chaos --chaos-transient-prob -0.1")).unwrap_err();
+        assert!(e.contains("transient_prob"), "{e}");
+        let e = parse(&argv("run --chaos --chaos-max-clears 0")).unwrap_err();
+        assert!(e.contains("max_clears"), "{e}");
+        // Knobs without --chaos are rejected, not silently ignored.
+        let e = parse(&argv("run --chaos-fault-prob 0.5")).unwrap_err();
+        assert!(e.contains("only applies with --chaos"), "{e}");
+    }
+
+    #[test]
+    fn rank_chaos_flags_round_trip() {
+        match parse(&argv("run --rank-chaos")).unwrap().command {
+            Command::Run { rank_chaos, .. } => {
+                let rc = rank_chaos.expect("flag turns rank chaos on");
+                assert_eq!(rc.seed, 0x5EED);
+                assert_eq!(rc.kill, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv(
+            "run --rank-chaos --rank-chaos-seed 9 --rank-kill-prob 0.25 --rank-window 0.1,0.4 \
+             --rank-heartbeat 0.05 --rank-suspect-timeout 0.5",
+        ))
+        .unwrap()
+        .command
+        {
+            Command::Run { rank_chaos, .. } => {
+                let rc = rank_chaos.unwrap();
+                assert_eq!(rc.seed, 9);
+                assert_eq!(rc.kill_prob, 0.25);
+                assert_eq!(rc.window, (0.1, 0.4));
+                assert_eq!(rc.heartbeat_period, 0.05);
+                assert_eq!(rc.suspect_timeout, 0.5);
+            }
+            other => panic!("{other:?}"),
+        }
+        // A pinned kill; flag position free relative to key-value options.
+        match parse(&argv("run --rank-kill 3@0.002 --rank-chaos")).unwrap().command {
+            Command::Run { rank_chaos, .. } => {
+                assert_eq!(rank_chaos.unwrap().kill, Some((3, 0.002)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_rank_chaos_values_are_typed_errors_not_panics() {
+        let e = parse(&argv("run --rank-chaos --rank-kill-prob 2")).unwrap_err();
+        assert!(e.contains("kill_prob"), "{e}");
+        let e = parse(&argv("run --rank-chaos --rank-window 0.5,0.1")).unwrap_err();
+        assert!(e.contains("window"), "{e}");
+        let e = parse(&argv("run --rank-chaos --rank-window 0.5")).unwrap_err();
+        assert!(e.contains("START,END"), "{e}");
+        let e = parse(&argv("run --rank-chaos --rank-kill 3")).unwrap_err();
+        assert!(e.contains("RANK@TIME"), "{e}");
+        let e = parse(&argv("run --rank-chaos --rank-kill 3@-1")).unwrap_err();
+        assert!(e.contains("window"), "{e}");
+        let e = parse(&argv("run --rank-chaos --rank-heartbeat 0")).unwrap_err();
+        assert!(e.contains("heartbeat"), "{e}");
+        // Knobs without the mode flag are rejected, not silently ignored.
+        let e = parse(&argv("run --rank-kill 1@0.5")).unwrap_err();
+        assert!(e.contains("only applies with --rank-chaos"), "{e}");
     }
 
     #[test]

@@ -108,6 +108,8 @@ pub fn execute(cmd: Command) -> i32 {
             batch,
             chaos,
             chaos_seed,
+            chaos_params,
+            rank_chaos,
             json,
             trace,
             trace_bucket,
@@ -123,7 +125,7 @@ pub fn execute(cmd: Command) -> i32 {
                 run_simulated_checkpointed_with_store, run_simulated_detailed_with_store,
                 CheckpointOptions,
             };
-            use streamline_iosim::{BlockStore, ChaosParams, FaultPlan, FaultStore, FieldStore};
+            use streamline_iosim::{BlockStore, FaultPlan, FaultStore, FieldStore};
             if trace.is_some() && (checkpoint.is_some() || resume.is_some()) {
                 eprintln!("error: --trace cannot be combined with --checkpoint/--resume");
                 return 64;
@@ -147,6 +149,16 @@ pub fn execute(cmd: Command) -> i32 {
                 eprintln!("error: {e}");
                 return 64;
             }
+            if let Err(e) = chaos_params.validate() {
+                eprintln!("error: {e}");
+                return 64;
+            }
+            if let Some(rc) = &rank_chaos {
+                if let Err(e) = rc.validate() {
+                    eprintln!("error: {e}");
+                    return 64;
+                }
+            }
             let ds = build_dataset(dataset);
             let n = seeds.unwrap_or_else(|| ds.paper_seed_count(seeding));
             let set = ds.seeds_with_count(seeding, n);
@@ -155,6 +167,7 @@ pub fn execute(cmd: Command) -> i32 {
             cfg.cache_blocks = cache;
             cfg.steal = steal;
             cfg.batch = batch;
+            cfg.rank_chaos = rank_chaos;
             cfg.algorithm = match algorithm {
                 AlgoChoice::Fixed(a) => a,
                 AlgoChoice::Auto => {
@@ -171,6 +184,17 @@ pub fn execute(cmd: Command) -> i32 {
                 n,
                 procs
             );
+            if let Some(rc) = &cfg.rank_chaos {
+                match rc.kill {
+                    Some((rank, time)) => {
+                        eprintln!("rank-chaos: pinned kill of rank {rank} at t={time}s")
+                    }
+                    None => eprintln!(
+                        "rank-chaos: seed {:#x}, kill prob {}, window [{}, {}]s",
+                        rc.seed, rc.kill_prob, rc.window.0, rc.window.1
+                    ),
+                }
+            }
             let mut ckpt_snapshots = 0u64;
             let mut ckpt_bytes = 0u64;
             let mut ckpt_restores = 0u64;
@@ -240,8 +264,8 @@ pub fn execute(cmd: Command) -> i32 {
                     }
                 }
             } else if chaos {
-                let plan =
-                    FaultPlan::random(chaos_seed, ds.decomp.num_blocks(), &ChaosParams::default());
+                let plan = FaultPlan::random(chaos_seed, ds.decomp.num_blocks(), &chaos_params)
+                    .expect("chaos params validated at the CLI boundary");
                 eprintln!(
                     "chaos: {} faulty blocks from seed {chaos_seed:#x} ({} permanently lost)",
                     plan.len(),
@@ -279,6 +303,18 @@ pub fn execute(cmd: Command) -> i32 {
                 report.total_steps,
                 report.events,
             );
+            if !report.rank_deaths.is_empty() {
+                println!(
+                    "  rank-chaos  deaths {:?}  lost {}  reassigned {}  detection mean {:.4}s \
+                     max {:.4}s  dropped events {}",
+                    report.rank_deaths,
+                    report.rank_lost_streamlines,
+                    report.reassigned_streamlines,
+                    report.detection_latency_mean,
+                    report.detection_latency_max,
+                    report.dropped_events,
+                );
+            }
             if let Some(path) = json {
                 match serde_json::to_string_pretty(&report) {
                     Ok(s) => {
@@ -296,8 +332,10 @@ pub fn execute(cmd: Command) -> i32 {
             }
             if let (Some(path), Some((timeline, pingpong))) = (trace, timeline) {
                 let mut tf = timeline.to_trace("virtual");
-                tf.schedule =
-                    Some(streamline_obs::ScheduleTrace::from_timeline(&timeline, &pingpong));
+                tf.schedule = Some(
+                    streamline_obs::ScheduleTrace::from_timeline(&timeline, &pingpong)
+                        .with_rank_deaths(&timeline, &report.rank_deaths),
+                );
                 if let Err(e) = tf.validate() {
                     eprintln!("internal error: emitted trace is invalid: {e}");
                     return 1;
@@ -653,7 +691,7 @@ pub fn execute(cmd: Command) -> i32 {
                     }
                 }
             }
-            if report.all_drivers_agree {
+            if report.all_drivers_agree && report.rank_chaos_conserved {
                 0
             } else {
                 2
@@ -795,6 +833,8 @@ mod tests {
             batch: BatchParams::default(),
             chaos: false,
             chaos_seed: 0,
+            chaos_params: streamline_iosim::ChaosParams::default(),
+            rank_chaos: None,
             json: None,
             trace: None,
             trace_bucket: 0.05,
@@ -823,6 +863,8 @@ mod tests {
             batch: BatchParams::default(),
             chaos: false,
             chaos_seed: 0,
+            chaos_params: streamline_iosim::ChaosParams::default(),
+            rank_chaos: None,
             json: None,
             trace: None,
             trace_bucket: 0.05,
@@ -873,6 +915,8 @@ mod tests {
             batch: BatchParams::default(),
             chaos: false,
             chaos_seed: 0,
+            chaos_params: streamline_iosim::ChaosParams::default(),
+            rank_chaos: None,
             json: None,
             trace: Some(trace_path.clone()),
             trace_bucket: 0.05,
@@ -889,6 +933,50 @@ mod tests {
             ckpt: None,
         });
         assert_eq!(check, 0, "obs-check must accept what run emits");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_with_rank_chaos_reports_faults_and_validates_obs() {
+        let dir = std::env::temp_dir().join(format!("slrepro-rankchaos-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.json").to_string_lossy().into_owned();
+        let metrics_path = dir.join("metrics.prom").to_string_lossy().into_owned();
+        let code = execute(Command::Run {
+            dataset: DatasetKind::Thermal,
+            seeding: Seeding::Sparse,
+            algorithm: AlgoChoice::Fixed(Algorithm::LoadOnDemand),
+            procs: 4,
+            seeds: Some(32),
+            cache: 16,
+            steal: StealParams::default(),
+            batch: BatchParams::default(),
+            chaos: false,
+            chaos_seed: 0,
+            chaos_params: streamline_iosim::ChaosParams::default(),
+            rank_chaos: Some(streamline_core::RankChaos::one_kill(3, 1.0e-4)),
+            json: None,
+            trace: Some(trace_path.clone()),
+            trace_bucket: 0.05,
+            metrics: Some(metrics_path.clone()),
+            checkpoint: None,
+            checkpoint_interval: 0.1,
+            kill_after_checkpoints: None,
+            resume: None,
+        });
+        assert_eq!(code, 0, "a killed slave rank must not fail the run");
+        // The death shows up in the Prometheus export and the trace still
+        // passes obs-check.
+        let prom = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(prom.contains("streamline_faults_rank_deaths_total 1"), "{prom}");
+        let trace_text = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace_text.contains("rank_deaths"), "trace carries the death series");
+        let check = execute(Command::ObsCheck {
+            trace: Some(trace_path),
+            metrics: Some(metrics_path),
+            ckpt: None,
+        });
+        assert_eq!(check, 0, "obs-check must accept what a rank-chaos run emits");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

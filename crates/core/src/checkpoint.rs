@@ -14,14 +14,14 @@
 //! entry points.
 
 use crate::config::RunConfig;
-use crate::driver::{build_procs, collect_report, AnyProc};
+use crate::driver::{build_procs, collect_report, drain_finished, make_sim, AnyProc};
 use crate::msg::Msg;
 use crate::report::RunReport;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use streamline_ckpt::{write_atomic, CkptError, CkptFile, CkptWriter, Meta, KIND_RUN};
-use streamline_desim::{CheckpointControl, Event, PendingEvent, ProcMetrics, SimState, Simulation};
+use streamline_desim::{CheckpointControl, Event, PendingEvent, ProcMetrics, SimState};
 use streamline_field::dataset::Dataset;
 use streamline_field::seeds::SeedSet;
 use streamline_integrate::{StepLimits, Streamline};
@@ -127,6 +127,13 @@ pub struct SimStateDto {
     pub metrics: Vec<ProcMetrics>,
     pub next_seq: u64,
     pub events: u64,
+    /// Rank deaths applied before the cut, `(rank, virtual time)` in
+    /// application order. Absent in pre-rank-fault snapshots.
+    #[serde(default)]
+    pub dead: Vec<(usize, f64)>,
+    /// Events dropped (dead target or dead sender) before the cut.
+    #[serde(default)]
+    pub dropped_events: u64,
     pub pending: Vec<PendingDto>,
 }
 
@@ -137,6 +144,8 @@ impl SimStateDto {
             metrics: state.metrics.clone(),
             next_seq: state.next_seq,
             events: state.events,
+            dead: state.dead.clone(),
+            dropped_events: state.dropped_events,
             pending: state
                 .pending
                 .iter()
@@ -158,6 +167,8 @@ impl SimStateDto {
             metrics: self.metrics,
             next_seq: self.next_seq,
             events: self.events,
+            dead: self.dead,
+            dropped_events: self.dropped_events,
             pending: self
                 .pending
                 .into_iter()
@@ -292,7 +303,7 @@ pub fn run_simulated_checkpointed_with_store(
 ) -> Result<CheckpointedOutcome, CkptError> {
     std::fs::create_dir_all(&opts.dir)?;
     let procs = build_procs(dataset, seeds, cfg, Arc::clone(&store));
-    let sim = Simulation::new(cfg.cost.net, procs);
+    let sim = make_sim(cfg, procs);
 
     let mut checkpoints: Vec<PathBuf> = Vec::new();
     let mut bytes_written = 0u64;
@@ -325,9 +336,7 @@ pub fn run_simulated_checkpointed_with_store(
     }
     let result = report.map(|report| {
         let run_report = collect_report(dataset, seeds, cfg, report, &procs);
-        let mut finished: Vec<Streamline> =
-            procs.iter_mut().flat_map(|p| p.take_finished()).collect();
-        finished.sort_by_key(|s| s.id);
+        let finished = drain_finished(seeds, cfg, &run_report.rank_deaths, &mut procs);
         (run_report, finished)
     });
     Ok(CheckpointedOutcome { result, checkpoints, bytes_written })
@@ -422,11 +431,13 @@ pub fn resume_simulated_detailed_with_store(
             cfg.n_procs
         )));
     }
-    let sim = Simulation::new(cfg.cost.net, procs);
+    // Re-attach the full death schedule: deaths the snapshot already applied
+    // are restored from the cut (and skipped idempotently by the scheduler),
+    // deaths scheduled past the cut still fire at their original times.
+    let sim = make_sim(cfg, procs);
     let (report, mut procs) = sim.resume(state);
     let run_report = collect_report(dataset, seeds, cfg, report, &procs);
-    let mut finished: Vec<Streamline> = procs.iter_mut().flat_map(|p| p.take_finished()).collect();
-    finished.sort_by_key(|s| s.id);
+    let finished = drain_finished(seeds, cfg, &run_report.rank_deaths, &mut procs);
     Ok((run_report, finished))
 }
 
@@ -662,6 +673,43 @@ mod tests {
                 .expect_err("explicit-vs-auto batch must be rejected");
         assert!(matches!(err, CkptError::Mismatch(_)), "{err:?}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Crash/restart under rank fail-stop faults: the snapshot records the
+    /// dead-rank set, and resuming completes byte-identically to the
+    /// uninterrupted faulty run — same survivors, same `RankLost` set, same
+    /// report — for every driver.
+    #[test]
+    fn kill_and_resume_is_bit_identical_under_rank_chaos() {
+        for algo in Algorithm::ALL {
+            let (ds, seeds, mut cfg) = fixture(algo);
+            // Rank 3 (a worker under every algorithm) dies at t = 1e-4, well
+            // before the second snapshot — the cut must carry the death.
+            cfg.rank_chaos = Some(crate::config::RankChaos::one_kill(3, 1.0e-4));
+            let (ref_report, ref_lines) =
+                run_simulated_detailed_with_store(&ds, &seeds, &cfg, field_store(&ds));
+            assert_eq!(ref_report.rank_deaths, vec![(3, 1.0e-4)], "{algo:?}");
+
+            let dir = tempdir(&format!("rankchaos-{}", cfg.algorithm.label()));
+            let mut opts = CheckpointOptions::new(&dir, 2.0e-4);
+            opts.kill_after = Some(2);
+            let out =
+                run_simulated_checkpointed_with_store(&ds, &seeds, &cfg, field_store(&ds), &opts)
+                    .expect("checkpointed run");
+            assert!(out.result.is_none(), "{algo:?}: kill_after must abandon the run");
+
+            let latest = latest_checkpoint(&dir).unwrap().expect("snapshots on disk");
+            let file = CkptFile::read(&latest).expect("readable snapshot");
+            let state: SimStateDto = file.value(SIM_TAG).expect("SIMS section");
+            assert_eq!(state.dead, vec![(3, 1.0e-4)], "{algo:?}: snapshot must record the death");
+
+            let (res_report, res_lines) =
+                resume_simulated_detailed_with_store(&ds, &seeds, &cfg, field_store(&ds), &latest)
+                    .expect("resume under rank chaos");
+            assert_eq!(res_lines, ref_lines, "{algo:?}: streamlines diverged after resume");
+            assert_eq!(report_json(&res_report), report_json(&ref_report), "{algo:?}");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 
     /// Snapshots taken at different points of the same run must all resume

@@ -201,6 +201,108 @@ impl BatchParams {
     }
 }
 
+/// Rank fail-stop chaos: a seeded death schedule plus the failure-detector
+/// cadence the drivers use to suspect dead peers. `Some(..)` switches every
+/// driver into resilient mode (heartbeats, adoption, membership-aware
+/// termination); `None` (the default) leaves the protocols untouched so
+/// fault-free runs stay bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankChaos {
+    /// Seed for the random death schedule ([`RankFaultPlan`] stream).
+    pub seed: u64,
+    /// Probability each rank is killed at all.
+    pub kill_prob: f64,
+    /// Kill times are uniform in `[window.0, window.1]` virtual seconds.
+    pub window: (f64, f64),
+    /// Overrides the random schedule with exactly one `(rank, time)` kill.
+    #[serde(default)]
+    pub kill: Option<(usize, f64)>,
+    /// Virtual seconds between liveness heartbeats.
+    pub heartbeat_period: f64,
+    /// Virtual seconds of silence before a watched peer is suspected dead.
+    pub suspect_timeout: f64,
+}
+
+impl RankChaos {
+    /// Random schedule from `seed` with the default knobs.
+    pub fn seeded(seed: u64) -> Self {
+        // A busy rank defers beat processing for as long as one handler
+        // charges — block loads are ~28 ms and a drain sweep can charge
+        // many of them — so the timeout is generous to keep false suspicion
+        // rare (a false suspicion is safe, merely wasteful).
+        RankChaos {
+            seed,
+            kill_prob: 0.5,
+            window: (0.0, 1.0),
+            kill: None,
+            heartbeat_period: 0.1,
+            suspect_timeout: 1.0,
+        }
+    }
+
+    /// Exactly one kill, for targeted tests and the CI smoke.
+    pub fn one_kill(rank: usize, time: f64) -> Self {
+        RankChaos { kill: Some((rank, time)), ..RankChaos::seeded(0) }
+    }
+
+    /// Check the knobs are runnable; surfaces the same typed errors as the
+    /// block-fault chaos config.
+    pub fn validate(&self) -> Result<(), streamline_iosim::ChaosConfigError> {
+        if let Some((_, time)) = self.kill {
+            if !(time.is_finite() && time >= 0.0) {
+                return Err(streamline_iosim::ChaosConfigError::Window { start: time, end: time });
+            }
+        }
+        streamline_iosim::RankChaosParams { kill_prob: self.kill_prob, window: self.window }
+            .validate()?;
+        let ok = |v: f64| v.is_finite() && v > 0.0;
+        if !ok(self.heartbeat_period) {
+            return Err(streamline_iosim::ChaosConfigError::Probability {
+                name: "heartbeat_period",
+                value: self.heartbeat_period,
+            });
+        }
+        if !ok(self.suspect_timeout) {
+            return Err(streamline_iosim::ChaosConfigError::Probability {
+                name: "suspect_timeout",
+                value: self.suspect_timeout,
+            });
+        }
+        Ok(())
+    }
+
+    /// The death schedule for `n_ranks` ranks: either the explicit kill or
+    /// the seeded random plan. Panics on invalid knobs — call
+    /// [`RankChaos::validate`] at the config boundary first.
+    pub fn plan(&self, n_ranks: usize) -> Vec<(usize, f64)> {
+        match self.kill {
+            Some((rank, time)) if rank < n_ranks => vec![(rank, time)],
+            Some(_) => Vec::new(),
+            None => {
+                let params = streamline_iosim::RankChaosParams {
+                    kill_prob: self.kill_prob,
+                    window: self.window,
+                };
+                streamline_iosim::RankFaultPlan::random(self.seed, n_ranks, &params)
+                    .expect("rank-chaos knobs validated at the config boundary")
+                    .deaths
+            }
+        }
+    }
+
+    /// Virtual time past which resilience heartbeats stop re-arming: late
+    /// enough that any chain of suspicions triggered by deaths inside the
+    /// window can unwind (one timeout per hop), yet finite, so no death
+    /// schedule can keep the event queue alive forever.
+    pub fn beat_deadline(&self, n_ranks: usize) -> f64 {
+        let window_end = match self.kill {
+            Some((_, time)) => self.window.1.max(time),
+            None => self.window.1,
+        };
+        window_end + (n_ranks as f64 + 2.0) * (self.suspect_timeout + 2.0 * self.heartbeat_period)
+    }
+}
+
 /// Per-rank memory budget (logical bytes: resident blocks at paper scale
 /// plus streamline geometry). `None` disables the check.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -277,6 +379,10 @@ pub struct RunConfig {
     pub comm_geometry: bool,
     /// Block-to-rank mapping for Static Allocation (§4.1 uses contiguous).
     pub static_partition: crate::static_alloc::StaticPartition,
+    /// Fail-stop rank chaos. `None` (the default) runs every driver
+    /// bit-identically to the pre-resilience code paths.
+    #[serde(default)]
+    pub rank_chaos: Option<RankChaos>,
 }
 
 impl RunConfig {
@@ -293,6 +399,7 @@ impl RunConfig {
             batch: BatchParams::default(),
             comm_geometry: true,
             static_partition: crate::static_alloc::StaticPartition::Contiguous,
+            rank_chaos: None,
         }
     }
 }
@@ -350,6 +457,29 @@ mod tests {
         assert_eq!(p.validate(), Err(StealConfigError::ZeroStealBatch));
         // The errors render as usage text, not Debug noise.
         assert!(StealConfigError::ZeroStealBatch.to_string().contains("batch"));
+    }
+
+    #[test]
+    fn rank_chaos_validate_and_plan() {
+        assert_eq!(RankChaos::seeded(7).validate(), Ok(()));
+        let bad = RankChaos { kill_prob: 1.5, ..RankChaos::seeded(0) };
+        assert!(bad.validate().is_err());
+        let bad = RankChaos { window: (3.0, 1.0), ..RankChaos::seeded(0) };
+        assert!(bad.validate().is_err());
+        let bad = RankChaos { heartbeat_period: 0.0, ..RankChaos::seeded(0) };
+        assert!(bad.validate().is_err());
+        let bad = RankChaos { suspect_timeout: f64::NAN, ..RankChaos::seeded(0) };
+        assert!(bad.validate().is_err());
+        // Deterministic plan; explicit kill overrides it.
+        let rc = RankChaos::seeded(7);
+        assert_eq!(rc.plan(64), rc.plan(64));
+        let one = RankChaos::one_kill(3, 2e-3);
+        assert_eq!(one.plan(8), vec![(3, 2e-3)]);
+        assert!(one.plan(2).is_empty(), "kill of an absent rank is dropped");
+        // The beat deadline is finite and past the kill window.
+        assert!(rc.beat_deadline(64).is_finite());
+        assert!(rc.beat_deadline(64) > rc.window.1);
+        assert!(one.beat_deadline(8) > 2e-3);
     }
 
     #[test]

@@ -148,6 +148,41 @@ impl AnyProc {
             AnyProc::Master(_) => Vec::new(),
         }
     }
+
+    /// Borrow the finished streamlines this rank holds (dead ranks keep
+    /// theirs to the end of the run — fail-stop loses in-flight state, not
+    /// durable completions).
+    fn finished_ref(&self) -> &[streamline_integrate::Streamline] {
+        match self {
+            AnyProc::Static(p) => &p.finished,
+            AnyProc::Lod(p) => &p.finished,
+            AnyProc::Slave(p) => &p.finished,
+            AnyProc::Steal(p) => &p.finished,
+            AnyProc::Master(_) => &[],
+        }
+    }
+
+    /// `(rank, virtual time)` of deaths this rank's own failure detector
+    /// observed.
+    fn suspected_at(&self) -> &[(usize, f64)] {
+        match self {
+            AnyProc::Static(p) => p.suspected_at(),
+            AnyProc::Lod(p) => p.suspected_at(),
+            AnyProc::Slave(p) => p.suspected_at(),
+            AnyProc::Steal(p) => p.suspected_at(),
+            AnyProc::Master(p) => p.suspected_at(),
+        }
+    }
+
+    /// Streamlines this rank re-queued/re-seeded on behalf of dead ranks.
+    fn reassigned(&self) -> u64 {
+        match self {
+            AnyProc::Static(p) => p.reassigned(),
+            AnyProc::Lod(p) => p.reassigned(),
+            AnyProc::Master(p) => p.reassigned(),
+            AnyProc::Slave(_) | AnyProc::Steal(_) => 0,
+        }
+    }
 }
 
 fn make_workspace(
@@ -208,6 +243,12 @@ pub fn build_procs(
     assert!(n >= 1, "need at least one rank");
     let n_blocks = dataset.decomp.num_blocks();
     let h0 = cfg.limits.h0;
+    // Rank-fault protocol machinery only exists on resilient runs (and only
+    // when there is a survivor to recover onto); fault-free runs stay
+    // bit-identical to a build without it. A single-rank run under chaos is
+    // still legal — the simulator drops its events and collection accounts
+    // every unfinished seed as `RankLost`.
+    let rc = if n > 1 { cfg.rank_chaos } else { None };
     match cfg.algorithm {
         Algorithm::StaticAllocation => {
             // Seeds go to the rank owning their block; out-of-domain seeds
@@ -221,6 +262,9 @@ pub fn build_procs(
                     .unwrap_or(0);
                 per_rank[rank].push((StreamlineId(i as u32), p));
             }
+            // Resilient ranks share the full initial assignment so an
+            // adopter can re-seed a dead rank's slice from its own copy.
+            let all_seeds = rc.map(|_| Arc::new(per_rank.clone()));
             (0..n)
                 .map(|rank| {
                     // A static rank caches every block it owns — capacity is
@@ -235,7 +279,7 @@ pub fn build_procs(
                         })
                         .count();
                     let ws = make_workspace(dataset, &store, cfg, owned.max(1));
-                    AnyProc::Static(StaticProc::new(
+                    let mut proc = StaticProc::new(
                         rank,
                         n,
                         ws,
@@ -245,21 +289,38 @@ pub fn build_procs(
                         h0,
                         seeds.len() as u64,
                         cfg.static_partition,
-                    ))
+                    );
+                    if let (Some(rc), Some(all)) = (&rc, &all_seeds) {
+                        proc = proc.with_resilience(
+                            Arc::clone(all),
+                            rc.heartbeat_period,
+                            rc.suspect_timeout,
+                            rc.beat_deadline(n),
+                        );
+                    }
+                    AnyProc::Static(proc)
                 })
                 .collect()
         }
         Algorithm::LoadOnDemand => {
             let mut chunks = chunk_seeds_by_block(dataset, seeds, n);
+            let all_seeds = rc.map(|_| Arc::new(chunks.clone()));
             (0..n)
                 .map(|rank| {
                     let ws = make_workspace(dataset, &store, cfg, cfg.cache_blocks);
-                    AnyProc::Lod(LodProc::new(
-                        ws,
-                        std::mem::take(&mut chunks[rank]),
-                        cfg.memory,
-                        h0,
-                    ))
+                    let mut proc =
+                        LodProc::new(ws, std::mem::take(&mut chunks[rank]), cfg.memory, h0);
+                    if let (Some(rc), Some(all)) = (&rc, &all_seeds) {
+                        proc = proc.with_resilience(
+                            rank,
+                            n,
+                            Arc::clone(all),
+                            rc.heartbeat_period,
+                            rc.suspect_timeout,
+                            rc.beat_deadline(n),
+                        );
+                    }
+                    AnyProc::Lod(proc)
                 })
                 .collect()
         }
@@ -269,7 +330,7 @@ pub fn build_procs(
             (0..n)
                 .map(|rank| {
                     if layout.is_master(rank) {
-                        AnyProc::Master(MasterProc::new(
+                        let mut proc = MasterProc::new(
                             rank,
                             dataset.decomp,
                             cfg.hybrid,
@@ -278,17 +339,33 @@ pub fn build_procs(
                             layout.master_ranks(),
                             std::mem::take(&mut chunks[rank]),
                             0xC0FFEE ^ rank as u64,
-                        ))
+                        );
+                        if let Some(rc) = &rc {
+                            proc = proc.with_resilience(
+                                rc.heartbeat_period,
+                                rc.suspect_timeout,
+                                rc.beat_deadline(n),
+                            );
+                        }
+                        AnyProc::Master(proc)
                     } else {
                         let ws = make_workspace(dataset, &store, cfg, cfg.cache_blocks);
-                        AnyProc::Slave(SlaveProc::new(
+                        let mut proc = SlaveProc::new(
                             rank,
                             layout.master_of(rank),
                             ws,
                             cfg.memory,
                             cfg.comm_geometry,
                             h0,
-                        ))
+                        );
+                        if let Some(rc) = &rc {
+                            proc = proc.with_resilience(
+                                rc.heartbeat_period,
+                                rc.suspect_timeout,
+                                rc.beat_deadline(n),
+                            );
+                        }
+                        AnyProc::Slave(proc)
                     }
                 })
                 .collect()
@@ -300,7 +377,7 @@ pub fn build_procs(
             (0..n)
                 .map(|rank| {
                     let ws = make_workspace(dataset, &store, cfg, cfg.cache_blocks);
-                    AnyProc::Steal(StealProc::new(
+                    let mut proc = StealProc::new(
                         rank,
                         n,
                         ws,
@@ -309,10 +386,44 @@ pub fn build_procs(
                         cfg.comm_geometry,
                         h0,
                         cfg.steal,
-                    ))
+                    );
+                    if let Some(rc) = &rc {
+                        proc = proc.with_resilience(
+                            rc.heartbeat_period,
+                            rc.suspect_timeout,
+                            rc.beat_deadline(n),
+                        );
+                    }
+                    AnyProc::Steal(proc)
                 })
                 .collect()
         }
+    }
+}
+
+/// Build the simulation for one run, attaching the seeded rank-death
+/// schedule when rank chaos is configured. Simulated drivers only: the
+/// thread runtime does not inject rank faults.
+pub(crate) fn make_sim(cfg: &RunConfig, procs: Vec<AnyProc>) -> Simulation<Msg, AnyProc> {
+    let mut sim = Simulation::new(cfg.cost.net, procs);
+    if let Some(rc) = cfg.rank_chaos {
+        sim = sim.with_rank_deaths(rc.plan(cfg.n_procs));
+    }
+    sim
+}
+
+/// Recovery strength of a termination: a normal completion beats a
+/// block-fault abort beats a rank-lost placeholder. When recovery re-runs a
+/// streamline a dead rank had already finished, collection keeps the
+/// strongest record per id.
+fn termination_rank(s: &streamline_integrate::Streamline) -> u8 {
+    use streamline_integrate::{StreamlineStatus, Termination};
+    match s.status {
+        StreamlineStatus::Terminated(Termination::RankLost) => 1,
+        StreamlineStatus::Terminated(Termination::BlockUnavailable) => 2,
+        StreamlineStatus::Terminated(_) => 3,
+        // In-flight state that never terminated — only possible mid-fault.
+        StreamlineStatus::Active => 0,
     }
 }
 
@@ -370,6 +481,64 @@ pub(crate) fn collect_report(
             AnyProc::Lod(_) | AnyProc::Master(_) => {}
         }
     }
+    // --- Rank fail-stop accounting -------------------------------------
+    let rank_deaths = report.rank_deaths.clone();
+    let dropped_events = report.dropped_events;
+    let mut rank_lost_streamlines = 0;
+    let mut reassigned_streamlines = 0;
+    let mut detection_latency_mean = 0.0;
+    let mut detection_latency_max = 0.0;
+    if !rank_deaths.is_empty() {
+        reassigned_streamlines = procs.iter().map(|p| p.reassigned()).sum();
+        // Detection latency: per death, virtual time from the kill to the
+        // first survivor suspecting that rank (deaths the run ended before
+        // detecting are skipped).
+        let mut latencies: Vec<f64> = Vec::new();
+        for &(dead_rank, kill_t) in &rank_deaths {
+            let first = procs
+                .iter()
+                .flat_map(|p| p.suspected_at().iter())
+                .filter(|&&(r, _)| r == dead_rank)
+                .map(|&(_, t)| t)
+                .fold(f64::INFINITY, f64::min);
+            if first.is_finite() {
+                latencies.push((first - kill_t).max(0.0));
+            }
+        }
+        if !latencies.is_empty() {
+            detection_latency_mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+            detection_latency_max = latencies.iter().cloned().fold(0.0, f64::max);
+        }
+        // Exact conservation under faults: recovery can re-run work a dead
+        // rank had already finished (per-rank `terminated` counters then
+        // overcount) and quarantined pool seeds never materialize at all.
+        // Re-derive the buckets from the deduplicated union of finished
+        // streamlines — strongest record wins per id, and an id with no
+        // record anywhere is a rank-lost seed. By construction
+        // `completed + unavailable + rank_lost == n_seeds`.
+        let mut best: Vec<u8> = vec![0; seeds.len()];
+        for p in procs {
+            for s in p.finished_ref() {
+                let i = s.id.0 as usize;
+                if i < best.len() {
+                    best[i] = best[i].max(termination_rank(s));
+                }
+            }
+        }
+        unavailable_terminations = best.iter().filter(|&&b| b == 2).count() as u64;
+        rank_lost_streamlines = best.iter().filter(|&&b| b <= 1).count() as u64;
+        terminated = seeds.len() as u64;
+        // A dead hybrid master takes its whole group down: surface that as
+        // a typed outcome instead of silently reporting partial results
+        // (out-of-memory keeps precedence).
+        if matches!(cfg.algorithm, Algorithm::HybridMasterSlave) && outcome == RunOutcome::Completed
+        {
+            let n_masters = cfg.hybrid.n_masters(cfg.n_procs);
+            if let Some(&(rank, _)) = rank_deaths.iter().find(|&&(r, _)| r < n_masters) {
+                outcome = RunOutcome::MasterLost { rank };
+            }
+        }
+    }
     let (io, comm, compute) = report.totals();
     // Occupancy: mean filled fraction of the configured batch width over
     // every batched block-advance (1.0 = every call ran a full batch).
@@ -406,9 +575,63 @@ pub(crate) fn collect_report(
         pingpong_streamlines: pingponged.len() as u64,
         balance_msgs,
         balance_bytes,
+        rank_deaths,
+        rank_lost_streamlines,
+        reassigned_streamlines,
+        detection_latency_mean,
+        detection_latency_max,
+        dropped_events,
         events: report.events,
         per_rank: report.ranks,
     }
+}
+
+/// Drain, deduplicate and complete the finished streamlines of a run.
+/// Fault-free runs just concatenate and sort — bit-identical to the
+/// pre-fault collector. After rank deaths the union can hold duplicates
+/// (recovery re-ran work a dead rank had already finished) and holes
+/// (seeds whose in-flight state died with a rank): keep the strongest
+/// record per id and synthesize a `RankLost` placeholder for every missing
+/// seed, so the result always has exactly one entry per seed.
+pub(crate) fn drain_finished(
+    seeds: &SeedSet,
+    cfg: &RunConfig,
+    rank_deaths: &[(usize, f64)],
+    procs: &mut [AnyProc],
+) -> Vec<streamline_integrate::Streamline> {
+    let mut finished: Vec<streamline_integrate::Streamline> =
+        procs.iter_mut().flat_map(|p| p.take_finished()).collect();
+    if !rank_deaths.is_empty() {
+        use streamline_integrate::{Streamline, Termination};
+        let mut best: Vec<Option<Streamline>> = (0..seeds.len()).map(|_| None).collect();
+        for s in finished.drain(..) {
+            let i = s.id.0 as usize;
+            if i >= best.len() {
+                continue;
+            }
+            match &best[i] {
+                Some(held) if termination_rank(held) >= termination_rank(&s) => {}
+                _ => best[i] = Some(s),
+            }
+        }
+        finished = best
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.filter(|s| termination_rank(s) > 0).unwrap_or_else(|| {
+                    let mut s = Streamline::new_lean(
+                        StreamlineId(i as u32),
+                        seeds.points[i],
+                        cfg.limits.h0,
+                    );
+                    s.terminate(Termination::RankLost);
+                    s
+                })
+            })
+            .collect();
+    }
+    finished.sort_by_key(|s| s.id);
+    finished
 }
 
 /// Virtual times at which ping-pongs were first detected, over all ranks,
@@ -455,12 +678,10 @@ pub fn run_simulated_detailed_with_store(
     store: Arc<dyn BlockStore>,
 ) -> (RunReport, Vec<streamline_integrate::Streamline>) {
     let procs = build_procs(dataset, seeds, cfg, store);
-    let sim = Simulation::new(cfg.cost.net, procs);
+    let sim = make_sim(cfg, procs);
     let (report, mut procs) = sim.run();
     let run_report = collect_report(dataset, seeds, cfg, report, &procs);
-    let mut finished: Vec<streamline_integrate::Streamline> =
-        procs.iter_mut().flat_map(|p| p.take_finished()).collect();
-    finished.sort_by_key(|s| s.id);
+    let finished = drain_finished(seeds, cfg, &run_report.rank_deaths, &mut procs);
     (run_report, finished)
 }
 
@@ -473,7 +694,7 @@ pub fn run_simulated_with_store(
     store: Arc<dyn BlockStore>,
 ) -> RunReport {
     let procs = build_procs(dataset, seeds, cfg, store);
-    let sim = Simulation::new(cfg.cost.net, procs);
+    let sim = make_sim(cfg, procs);
     let (report, procs) = sim.run();
     collect_report(dataset, seeds, cfg, report, &procs)
 }
@@ -490,13 +711,11 @@ pub fn run_simulated_traced(
 ) -> (RunReport, Vec<streamline_integrate::Streamline>, streamline_desim::Timeline, Vec<f64>) {
     let store: Arc<dyn BlockStore> = Arc::new(FieldStore::new(dataset.clone()));
     let procs = build_procs(dataset, seeds, cfg, store);
-    let sim = Simulation::new(cfg.cost.net, procs);
+    let sim = make_sim(cfg, procs);
     let (report, mut procs, timeline) = sim.run_traced(bucket_width);
     let run_report = collect_report(dataset, seeds, cfg, report, &procs);
     let pingpong_times = collect_pingpong_times(&procs);
-    let mut finished: Vec<streamline_integrate::Streamline> =
-        procs.iter_mut().flat_map(|p| p.take_finished()).collect();
-    finished.sort_by_key(|s| s.id);
+    let finished = drain_finished(seeds, cfg, &run_report.rank_deaths, &mut procs);
     (run_report, finished, timeline, pingpong_times)
 }
 
@@ -689,6 +908,142 @@ mod tests {
             assert!(r1.batched_lanes > 0, "{algo:?} reported no batched lanes");
             assert!(r1.batch_occupancy > 0.0 && r1.batch_occupancy <= 1.0, "{algo:?}");
         }
+    }
+
+    fn fault_dataset() -> (Dataset, SeedSet) {
+        let mut dcfg = DatasetConfig::tiny();
+        dcfg.blocks_per_axis = [2, 2, 2];
+        dcfg.cells_per_block = [6, 6, 6];
+        let ds = Dataset::thermal_hydraulics(dcfg);
+        let seeds = ds.seeds_with_count(Seeding::Sparse, 27);
+        (ds, seeds)
+    }
+
+    /// `(completed, unavailable, rank_lost)` as classified in the detailed
+    /// streamline list itself.
+    fn classify(finished: &[streamline_integrate::Streamline]) -> (u64, u64, u64) {
+        use streamline_integrate::{StreamlineStatus, Termination};
+        let mut buckets = (0, 0, 0);
+        for s in finished {
+            match s.status {
+                StreamlineStatus::Terminated(Termination::RankLost) => buckets.2 += 1,
+                StreamlineStatus::Terminated(Termination::BlockUnavailable) => buckets.1 += 1,
+                StreamlineStatus::Terminated(_) => buckets.0 += 1,
+                StreamlineStatus::Active => panic!("active streamline in finished list"),
+            }
+        }
+        buckets
+    }
+
+    #[test]
+    fn one_kill_conserves_every_seed_on_all_drivers() {
+        let (ds, seeds) = fault_dataset();
+        for algo in Algorithm::ALL {
+            let mut cfg = RunConfig::new(algo, 4);
+            cfg.limits.max_steps = 300;
+            cfg.memory = MemoryBudget::unlimited();
+            // Rank 3 is a worker under every algorithm (hybrid's master is
+            // rank 0), killed while work is still in flight.
+            cfg.rank_chaos = Some(crate::config::RankChaos::one_kill(3, 5e-3));
+            let (r, finished) = run_simulated_detailed(&ds, &seeds, &cfg);
+            assert_eq!(r.rank_deaths, vec![(3, 5e-3)], "{algo:?}");
+            assert_eq!(r.terminated, 27, "{algo:?}: {}", r.summary());
+            assert_eq!(finished.len(), 27, "{algo:?}: one record per seed");
+            let (completed, unavailable, lost) = classify(&finished);
+            assert_eq!(completed + unavailable + lost, 27, "{algo:?}");
+            assert_eq!(lost, r.rank_lost_streamlines, "{algo:?}");
+            assert_eq!(unavailable, r.unavailable_terminations, "{algo:?}");
+            assert!(r.outcome.completed(), "{algo:?}: worker death must not fail the run");
+            assert!(
+                r.detection_latency_max >= r.detection_latency_mean,
+                "{algo:?}: {} < {}",
+                r.detection_latency_max,
+                r.detection_latency_mean
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_reassigns_initially_assigned_work() {
+        // Static and Load On Demand adopt the dead rank's whole initial
+        // slice; the hybrid master requeues its assignment ledger.
+        let (ds, seeds) = fault_dataset();
+        for algo in
+            [Algorithm::StaticAllocation, Algorithm::LoadOnDemand, Algorithm::HybridMasterSlave]
+        {
+            let mut cfg = RunConfig::new(algo, 4);
+            cfg.limits.max_steps = 300;
+            cfg.memory = MemoryBudget::unlimited();
+            cfg.rank_chaos = Some(crate::config::RankChaos::one_kill(3, 5e-3));
+            let r = run_simulated(&ds, &seeds, &cfg);
+            assert!(r.reassigned_streamlines > 0, "{algo:?}: nothing reassigned\n{r:?}");
+        }
+    }
+
+    #[test]
+    fn master_death_is_a_typed_failure_not_a_hang() {
+        let (ds, seeds) = fault_dataset();
+        let mut cfg = RunConfig::new(Algorithm::HybridMasterSlave, 4);
+        cfg.limits.max_steps = 300;
+        cfg.memory = MemoryBudget::unlimited();
+        cfg.rank_chaos = Some(crate::config::RankChaos::one_kill(0, 5e-3));
+        let (r, finished) = run_simulated_detailed(&ds, &seeds, &cfg);
+        assert_eq!(r.outcome, RunOutcome::MasterLost { rank: 0 }, "{}", r.summary());
+        assert_eq!(finished.len(), 27, "every seed still accounted");
+        let (completed, unavailable, lost) = classify(&finished);
+        assert_eq!(completed + unavailable + lost, 27);
+        assert_eq!(lost, r.rank_lost_streamlines);
+        assert!(r.summary().contains("MASTER LOST"));
+    }
+
+    #[test]
+    fn random_death_schedules_terminate_on_all_drivers() {
+        let (ds, seeds) = fault_dataset();
+        for algo in Algorithm::ALL {
+            for seed in 0..3u64 {
+                let mut cfg = RunConfig::new(algo, 4);
+                cfg.limits.max_steps = 300;
+                cfg.memory = MemoryBudget::unlimited();
+                cfg.rank_chaos = Some(crate::config::RankChaos::seeded(seed));
+                let (r, finished) = run_simulated_detailed(&ds, &seeds, &cfg);
+                assert_eq!(finished.len(), 27, "{algo:?} seed {seed}");
+                let (completed, unavailable, lost) = classify(&finished);
+                assert_eq!(completed + unavailable + lost, 27, "{algo:?} seed {seed}");
+                assert_eq!(r.terminated, 27, "{algo:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_mode_without_deaths_reports_clean_counters() {
+        // kill_prob 0 arms the heartbeat machinery but kills nobody: the
+        // run must complete everything with empty fault accounting.
+        let (ds, seeds) = fault_dataset();
+        for algo in Algorithm::ALL {
+            let mut cfg = RunConfig::new(algo, 4);
+            cfg.limits.max_steps = 300;
+            cfg.memory = MemoryBudget::unlimited();
+            let mut rc = crate::config::RankChaos::seeded(1);
+            rc.kill_prob = 0.0;
+            cfg.rank_chaos = Some(rc);
+            let r = run_simulated(&ds, &seeds, &cfg);
+            assert!(r.outcome.completed(), "{algo:?}");
+            assert!(r.rank_deaths.is_empty(), "{algo:?}");
+            assert_eq!(r.rank_lost_streamlines, 0, "{algo:?}");
+            assert_eq!(r.reassigned_streamlines, 0, "{algo:?}");
+            assert_eq!(r.dropped_events, 0, "{algo:?}");
+            assert_eq!(r.terminated, 27, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn chaos_off_keeps_fault_fields_empty() {
+        let r = tiny_run(Algorithm::WorkStealing, 4, 27);
+        assert!(r.rank_deaths.is_empty());
+        assert_eq!(r.rank_lost_streamlines, 0);
+        assert_eq!(r.reassigned_streamlines, 0);
+        assert_eq!(r.detection_latency_mean, 0.0);
+        assert_eq!(r.dropped_events, 0);
     }
 
     #[test]

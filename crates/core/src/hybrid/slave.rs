@@ -12,10 +12,51 @@ use crate::msg::{Command, Msg, SlaveStatus};
 use crate::workspace::{BlockExit, Workspace, WorkspaceSnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
-use streamline_desim::{Context, Event, Process};
+use streamline_desim::{Context, Event, HeartbeatMonitor, Process};
 use streamline_field::block::BlockId;
 use streamline_integrate::{Streamline, StreamlineId, Termination};
 use streamline_iosim::StoreError;
+
+/// Resilient mode only: periodic heartbeat-and-sweep tick.
+const WAKE_BEAT: u64 = 10;
+
+/// Per-rank fail-stop resilience state for a Hybrid slave: a failure
+/// detector over its master (MasterBeat and every command are proof of
+/// life) and Beat traffic back so the master's detector sees this slave
+/// between statuses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlaveResil {
+    /// Virtual seconds between heartbeat ticks.
+    pub heartbeat_period: f64,
+    /// Ticks stop re-arming past this virtual time, bounding the event
+    /// count of any death schedule.
+    pub beat_deadline: f64,
+    /// Failure detector over the master.
+    pub monitor: HeartbeatMonitor,
+    /// A heartbeat tick is armed.
+    pub beat_armed: bool,
+    /// The master went silent past the timeout: the group is headless. The
+    /// slave keeps integrating what it holds (completions stay durable) but
+    /// no new work can arrive; the run ends by natural drain and the driver
+    /// reports a typed `MasterLost` outcome instead of hanging.
+    pub master_lost: bool,
+    /// `(rank, virtual time)` of the master death if this slave's monitor
+    /// detected it.
+    pub suspected_at: Vec<(usize, f64)>,
+}
+
+impl SlaveResil {
+    fn new(heartbeat_period: f64, suspect_timeout: f64, beat_deadline: f64) -> Self {
+        SlaveResil {
+            heartbeat_period,
+            beat_deadline,
+            monitor: HeartbeatMonitor::new(suspect_timeout),
+            beat_armed: false,
+            master_lost: false,
+            suspected_at: Vec::new(),
+        }
+    }
+}
 
 /// Serializable image of a [`SlaveProc`] mid-run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,6 +80,9 @@ pub struct SlaveSnapshot {
     pub pingponged: Vec<u32>,
     #[serde(default)]
     pub pingpong_times: Vec<f64>,
+    /// Absent in pre-resilience snapshots.
+    #[serde(default)]
+    pub resil: Option<SlaveResil>,
 }
 
 /// One Hybrid slave rank.
@@ -76,6 +120,9 @@ pub struct SlaveProc {
     pingponged: BTreeSet<u32>,
     /// Virtual times at which each ping-pong was first detected.
     pingpong_times: Vec<f64>,
+    /// Fail-stop resilience machinery; `None` outside rank-chaos runs so
+    /// fault-free schedules are untouched.
+    resil: Option<SlaveResil>,
 }
 
 impl SlaveProc {
@@ -109,7 +156,30 @@ impl SlaveProc {
             seen: BTreeSet::new(),
             pingponged: BTreeSet::new(),
             pingpong_times: Vec::new(),
+            resil: None,
         }
+    }
+
+    /// Switch this slave into resilient mode (rank-chaos runs only).
+    pub fn with_resilience(
+        mut self,
+        heartbeat_period: f64,
+        suspect_timeout: f64,
+        beat_deadline: f64,
+    ) -> Self {
+        self.resil = Some(SlaveResil::new(heartbeat_period, suspect_timeout, beat_deadline));
+        self
+    }
+
+    /// The master went silent past the suspicion timeout.
+    pub fn master_lost(&self) -> bool {
+        self.resil.as_ref().is_some_and(|r| r.master_lost)
+    }
+
+    /// Deaths this slave's own failure detector observed, as
+    /// `(rank, virtual suspicion time)`.
+    pub fn suspected_at(&self) -> &[(usize, f64)] {
+        self.resil.as_ref().map_or(&[], |r| r.suspected_at.as_slice())
     }
 
     pub fn workspace(&self) -> &Workspace {
@@ -157,6 +227,7 @@ impl SlaveProc {
             seen: self.seen.iter().copied().collect(),
             pingponged: self.pingponged.iter().copied().collect(),
             pingpong_times: self.pingpong_times.clone(),
+            resil: self.resil.clone(),
         }
     }
 
@@ -178,7 +249,45 @@ impl SlaveProc {
         self.seen = snap.seen.iter().copied().collect();
         self.pingponged = snap.pingponged.iter().copied().collect();
         self.pingpong_times = snap.pingpong_times.clone();
+        self.resil = snap.resil.clone();
         Ok(())
+    }
+
+    fn arm_beat(&mut self, ctx: &mut dyn Context<Msg>) {
+        if let Some(r) = self.resil.as_mut() {
+            if !r.beat_armed && !r.master_lost {
+                r.beat_armed = true;
+                ctx.wake_after(r.heartbeat_period, WAKE_BEAT);
+            }
+        }
+    }
+
+    /// Heartbeat tick: sweep the master watchdog, beat back so the master's
+    /// detector sees this slave between statuses, re-arm until the
+    /// deadline (or until the master is known dead — then there is nobody
+    /// to talk to and the rank goes silent).
+    fn on_beat_tick(&mut self, ctx: &mut dyn Context<Msg>) {
+        let now = ctx.now();
+        let master = self.master;
+        let newly = {
+            let Some(r) = self.resil.as_mut() else { return };
+            r.beat_armed = false;
+            r.monitor.sweep(now)
+        };
+        if newly.contains(&master) {
+            if let Some(r) = self.resil.as_mut() {
+                r.master_lost = true;
+                r.suspected_at.push((master, now));
+            }
+            return;
+        }
+        let beating = self.resil.as_ref().is_some_and(|r| now <= r.beat_deadline);
+        if beating {
+            let m = Msg::Beat { done: self.advanceable() == 0 };
+            let bytes = m.wire_bytes(self.comm_geometry);
+            ctx.send(master, m, bytes);
+            self.arm_beat(ctx);
+        }
     }
 
     fn check_memory(&mut self, ctx: &mut dyn Context<Msg>) -> bool {
@@ -372,11 +481,25 @@ impl SlaveProc {
 
 impl Process<Msg> for SlaveProc {
     fn on_event(&mut self, ev: Event<Msg>, ctx: &mut dyn Context<Msg>) {
+        if let (Event::Message { from, .. }, Some(r)) = (&ev, self.resil.as_mut()) {
+            // Any message is proof of life from its sender (the master's
+            // commands and MasterBeats both feed the watchdog).
+            r.monitor.beat(*from, ctx.now());
+        }
         match ev {
             Event::Start => {
+                if self.resil.is_some() {
+                    let now = ctx.now();
+                    let master = self.master;
+                    if let Some(r) = self.resil.as_mut() {
+                        r.monitor.watch(master, now);
+                    }
+                    self.arm_beat(ctx);
+                }
                 // Work arrives from the master; announce readiness.
                 self.send_status(ctx, true);
             }
+            Event::Wake(WAKE_BEAT) => self.on_beat_tick(ctx),
             Event::Message { msg: Msg::Command(cmd), .. } => self.handle_command(cmd, ctx),
             Event::Message { msg: Msg::Handoff { sl }, .. } => {
                 self.sent_idle_status = false;

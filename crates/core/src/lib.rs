@@ -57,8 +57,8 @@ pub use checkpoint::{
 };
 pub use classify::{classify, ProblemProfile};
 pub use config::{
-    Algorithm, BatchConfigError, BatchParams, CostModel, HybridParams, MemoryBudget, RunConfig,
-    StealConfigError, StealParams,
+    Algorithm, BatchConfigError, BatchParams, CostModel, HybridParams, MemoryBudget, RankChaos,
+    RunConfig, StealConfigError, StealParams,
 };
 pub use driver::{
     build_procs, run_simulated, run_simulated_detailed, run_simulated_detailed_with_store,

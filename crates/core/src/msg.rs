@@ -110,7 +110,23 @@ pub enum Msg {
     WorkTransfer { sls: Vec<(BlockId, Streamline)> },
     /// Work stealing: the Safra termination token circulating the ring of
     /// `j = 0` lifeline edges (in-flight message balance + dirty bit).
-    TermToken { count: i64, black: bool },
+    /// `dead` gossips the sender's view of failed ranks so every survivor
+    /// folds the same membership into its balance; empty (and free on the
+    /// wire) in fault-free runs — `#[serde(default)]` keeps old checkpoints
+    /// loadable.
+    TermToken {
+        count: i64,
+        black: bool,
+        #[serde(default)]
+        dead: Vec<u32>,
+    },
+    /// Liveness heartbeat (resilient mode only). `done` rides along so a
+    /// finished rank's beats also advertise that it holds no work — used by
+    /// static allocation's drain accounting.
+    Beat { done: bool },
+    /// Hybrid: master → slave liveness heartbeat (any command also counts
+    /// as proof of life; this fills the gaps between commands).
+    MasterBeat,
 }
 
 impl Msg {
@@ -145,7 +161,11 @@ impl Msg {
                 };
                 8 + sls.iter().map(|(_, sl)| 4 + per_sl(sl)).sum::<usize>()
             }
-            Msg::TermToken { .. } => 24,
+            // 24 bytes exactly when `dead` is empty, so fault-free token
+            // traffic costs what it always did.
+            Msg::TermToken { dead, .. } => 24 + dead.len() * 4,
+            Msg::Beat { .. } => 9,
+            Msg::MasterBeat => 8,
         }
     }
 }
@@ -198,7 +218,17 @@ mod tests {
     fn steal_message_sizes() {
         assert_eq!(Msg::StealRequest.wire_bytes(true), 8);
         assert_eq!(Msg::LoadReport { load: 9 }.wire_bytes(true), 12);
-        assert_eq!(Msg::TermToken { count: -3, black: true }.wire_bytes(true), 24);
+        assert_eq!(
+            Msg::TermToken { count: -3, black: true, dead: vec![] }.wire_bytes(true),
+            24,
+            "fault-free tokens must cost what they always did"
+        );
+        assert_eq!(
+            Msg::TermToken { count: 0, black: false, dead: vec![1, 5] }.wire_bytes(true),
+            32
+        );
+        assert_eq!(Msg::Beat { done: false }.wire_bytes(true), 9);
+        assert_eq!(Msg::MasterBeat.wire_bytes(true), 8);
         // A transfer is a refusal when empty, and costs geometry otherwise.
         assert_eq!(Msg::WorkTransfer { sls: vec![] }.wire_bytes(true), 8);
         let mut sl = Streamline::new(StreamlineId(1), Vec3::ZERO, 0.01);

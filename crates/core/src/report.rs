@@ -11,7 +11,15 @@ use streamline_desim::ProcMetrics;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RunOutcome {
     Completed,
-    OutOfMemory { rank: usize },
+    OutOfMemory {
+        rank: usize,
+    },
+    /// A hybrid master rank died mid-run: its group cannot complete, so the
+    /// run ends with a typed failure instead of a hang. `rank` is the first
+    /// master to die.
+    MasterLost {
+        rank: usize,
+    },
 }
 
 impl RunOutcome {
@@ -88,6 +96,31 @@ pub struct RunReport {
     /// Bytes in load-balancing protocol messages, over all ranks.
     #[serde(default)]
     pub balance_bytes: u64,
+    /// `(rank, virtual kill time)` of every fail-stop rank death actually
+    /// applied during the run, in kill order.
+    #[serde(default)]
+    pub rank_deaths: Vec<(usize, f64)>,
+    /// Streamlines terminated `RankLost`: their in-flight state died with a
+    /// rank and only the seed is known. On any run,
+    /// `terminated == n_seeds` still holds — completed, unavailable and
+    /// rank-lost buckets partition the seed set.
+    #[serde(default)]
+    pub rank_lost_streamlines: u64,
+    /// Streamlines re-queued/re-seeded on survivors after a rank death
+    /// (recovery work, not additional seeds).
+    #[serde(default)]
+    pub reassigned_streamlines: u64,
+    /// Mean virtual seconds from a rank's death to the first survivor
+    /// suspecting it (0.0 when no death was detected).
+    #[serde(default)]
+    pub detection_latency_mean: f64,
+    /// Max virtual seconds from a rank's death to first suspicion.
+    #[serde(default)]
+    pub detection_latency_max: f64,
+    /// Simulator events silently dropped because their target or sender
+    /// rank was dead.
+    #[serde(default)]
+    pub dropped_events: u64,
     /// Runtime events processed.
     pub events: u64,
     pub per_rank: Vec<ProcMetrics>,
@@ -196,6 +229,21 @@ impl RunReport {
         registry.set_counter(names::RUN_BALANCE_BYTES_TOTAL, self.balance_bytes);
         registry.set_gauge(names::RUN_PARTICIPATION_RATIO, self.participation());
         registry.set_gauge(names::RUN_COMM_OVERHEAD_SHARE, self.comm_overhead_share());
+        registry.set_counter(names::FAULTS_RANK_DEATHS_TOTAL, self.rank_deaths.len() as u64);
+        registry.set_counter(names::FAULTS_RANK_LOST_STREAMLINES_TOTAL, self.rank_lost_streamlines);
+        registry.set_counter(
+            names::FAULTS_RANK_REASSIGNED_STREAMLINES_TOTAL,
+            self.reassigned_streamlines,
+        );
+        registry.set_counter(names::FAULTS_RANK_DROPPED_EVENTS_TOTAL, self.dropped_events);
+        registry.set_gauge(
+            names::FAULTS_RANK_DETECTION_LATENCY_MEAN_SECONDS,
+            self.detection_latency_mean,
+        );
+        registry.set_gauge(
+            names::FAULTS_RANK_DETECTION_LATENCY_MAX_SECONDS,
+            self.detection_latency_max,
+        );
     }
 
     /// [`Self::export_into`] a fresh registry.
@@ -222,6 +270,13 @@ impl RunReport {
                 "{:<16} p={:<4} OUT OF MEMORY (rank {rank})",
                 self.algorithm.label(),
                 self.n_procs,
+            ),
+            RunOutcome::MasterLost { rank } => format!(
+                "{:<16} p={:<4} MASTER LOST (rank {rank}) deaths={} rank_lost={}",
+                self.algorithm.label(),
+                self.n_procs,
+                self.rank_deaths.len(),
+                self.rank_lost_streamlines,
             ),
         }
     }
@@ -260,6 +315,12 @@ mod tests {
             pingpong_streamlines: 2,
             balance_msgs: 5,
             balance_bytes: 400,
+            rank_deaths: vec![(1, 0.5)],
+            rank_lost_streamlines: 1,
+            reassigned_streamlines: 3,
+            detection_latency_mean: 0.9,
+            detection_latency_max: 1.2,
+            dropped_events: 6,
             events: 12,
             per_rank: vec![
                 ProcMetrics { compute: 1.0, ..Default::default() },
@@ -341,6 +402,63 @@ mod tests {
         assert_eq!(back.pingpong_streamlines, 0);
         assert_eq!(back.balance_msgs, 0);
         assert_eq!(back.balance_bytes, 0);
+    }
+
+    #[test]
+    fn deserializes_reports_without_rank_fault_fields() {
+        // Reports written before rank fail-stop faults existed must load.
+        let json = serde_json::to_string(&report()).unwrap();
+        let stripped = json
+            .replace("\"rank_deaths\":[[1,0.5]],", "")
+            .replace("\"rank_lost_streamlines\":1,", "")
+            .replace("\"reassigned_streamlines\":3,", "")
+            .replace("\"detection_latency_mean\":0.9,", "")
+            .replace("\"detection_latency_max\":1.2,", "")
+            .replace("\"dropped_events\":6,", "");
+        assert_ne!(json, stripped, "test must actually remove the fields");
+        let back: RunReport = serde_json::from_str(&stripped).unwrap();
+        assert!(back.rank_deaths.is_empty());
+        assert_eq!(back.rank_lost_streamlines, 0);
+        assert_eq!(back.reassigned_streamlines, 0);
+        assert_eq!(back.detection_latency_mean, 0.0);
+        assert_eq!(back.detection_latency_max, 0.0);
+        assert_eq!(back.dropped_events, 0);
+    }
+
+    #[test]
+    fn summary_mentions_master_lost() {
+        let mut r = report();
+        r.outcome = RunOutcome::MasterLost { rank: 0 };
+        assert!(!r.outcome.completed());
+        let s = r.summary();
+        assert!(s.contains("MASTER LOST"), "{s}");
+        assert!(s.contains("rank 0"), "{s}");
+    }
+
+    #[test]
+    fn registry_mirrors_rank_fault_counters() {
+        use streamline_obs::{names, MetricValue};
+        let r = report();
+        let reg = r.to_registry();
+        assert_eq!(reg.get(names::FAULTS_RANK_DEATHS_TOTAL), Some(MetricValue::Counter(1)));
+        assert_eq!(
+            reg.get(names::FAULTS_RANK_LOST_STREAMLINES_TOTAL),
+            Some(MetricValue::Counter(r.rank_lost_streamlines))
+        );
+        assert_eq!(
+            reg.get(names::FAULTS_RANK_REASSIGNED_STREAMLINES_TOTAL),
+            Some(MetricValue::Counter(r.reassigned_streamlines))
+        );
+        assert_eq!(
+            reg.get(names::FAULTS_RANK_DROPPED_EVENTS_TOTAL),
+            Some(MetricValue::Counter(r.dropped_events))
+        );
+        let MetricValue::Gauge(lat) =
+            reg.get(names::FAULTS_RANK_DETECTION_LATENCY_MAX_SECONDS).unwrap()
+        else {
+            panic!("latency is a gauge")
+        };
+        assert_eq!(lat.to_bits(), r.detection_latency_max.to_bits());
     }
 
     #[test]

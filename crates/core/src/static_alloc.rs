@@ -17,7 +17,8 @@ use crate::msg::Msg;
 use crate::workspace::{BlockExit, Workspace, WorkspaceSnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
-use streamline_desim::{Context, Event, Process};
+use std::sync::Arc;
+use streamline_desim::{Context, Event, HeartbeatMonitor, Process};
 use streamline_field::block::BlockId;
 use streamline_integrate::{Streamline, StreamlineId};
 use streamline_iosim::StoreError;
@@ -25,6 +26,9 @@ use streamline_math::Vec3;
 
 /// Rank that maintains the global active-streamline count.
 pub const COUNT_RANK: usize = 0;
+
+/// Resilient mode only: periodic heartbeat-and-sweep tick.
+const WAKE_BEAT: u64 = 10;
 
 /// How blocks map to ranks. The paper's scheme is [`Self::Contiguous`]
 /// ("the first of n processors is assigned the first 1/n of the blocks");
@@ -69,6 +73,55 @@ pub struct StaticSnapshot {
     pub pingponged: Vec<u32>,
     #[serde(default)]
     pub pingpong_times: Vec<f64>,
+    /// Absent in pre-resilience snapshots.
+    #[serde(default)]
+    pub resil: Option<StaticResil>,
+}
+
+/// Per-rank fail-stop resilience state for Static Allocation. Every rank
+/// beats every peer each heartbeat period and watches all of them, so each
+/// survivor detects each death independently (no gossip channel is needed)
+/// and all survivors converge on the same ownership rerouting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaticResil {
+    /// Virtual seconds between heartbeat ticks.
+    pub heartbeat_period: f64,
+    /// Ticks stop re-arming past this virtual time, bounding the event
+    /// count of any death schedule.
+    pub beat_deadline: f64,
+    /// Failure detector over all peers.
+    pub monitor: HeartbeatMonitor,
+    /// A heartbeat tick is armed.
+    pub beat_armed: bool,
+    /// This rank's view of dead ranks, sorted.
+    pub dead: Vec<u32>,
+    /// Dead ranks whose initial seeds this rank has already re-seeded
+    /// (adoption happens once, surviving checkpoint/resume).
+    pub adopted: Vec<u32>,
+    /// `(rank, virtual time)` of each death this rank's monitor detected.
+    pub suspected_at: Vec<(usize, f64)>,
+    /// Streamlines this rank re-seeded on behalf of dead ranks.
+    #[serde(default)]
+    pub reassigned: u64,
+}
+
+impl StaticResil {
+    fn new(heartbeat_period: f64, suspect_timeout: f64, beat_deadline: f64) -> Self {
+        StaticResil {
+            heartbeat_period,
+            beat_deadline,
+            monitor: HeartbeatMonitor::new(suspect_timeout),
+            beat_armed: false,
+            dead: Vec::new(),
+            adopted: Vec::new(),
+            suspected_at: Vec::new(),
+            reassigned: 0,
+        }
+    }
+
+    fn is_dead(&self, rank: usize) -> bool {
+        self.dead.binary_search(&(rank as u32)).is_ok()
+    }
 }
 
 /// One Static Allocation rank.
@@ -95,6 +148,13 @@ pub struct StaticProc {
     pingponged: BTreeSet<u32>,
     /// Virtual times at which each ping-pong was first detected.
     pingpong_times: Vec<f64>,
+    /// Fail-stop resilience machinery; `None` outside rank-chaos runs so
+    /// fault-free schedules are untouched.
+    resil: Option<StaticResil>,
+    /// Every rank's initial seed assignment (shared, read-only): the live
+    /// successor of a dead rank re-seeds its slice. Rebuilt from the run
+    /// config, never snapshotted.
+    all_seeds: Arc<Vec<Vec<(StreamlineId, Vec3)>>>,
 }
 
 impl StaticProc {
@@ -125,7 +185,36 @@ impl StaticProc {
             seen: BTreeSet::new(),
             pingponged: BTreeSet::new(),
             pingpong_times: Vec::new(),
+            resil: None,
+            all_seeds: Arc::new(Vec::new()),
         }
+    }
+
+    /// Switch this rank into resilient mode (rank-chaos runs only):
+    /// all-peer heartbeats until `beat_deadline`, a `suspect_timeout`
+    /// failure detector, handoff rerouting around dead owners, and seed
+    /// adoption by the dead rank's first live successor.
+    pub fn with_resilience(
+        mut self,
+        all_seeds: Arc<Vec<Vec<(StreamlineId, Vec3)>>>,
+        heartbeat_period: f64,
+        suspect_timeout: f64,
+        beat_deadline: f64,
+    ) -> Self {
+        self.resil = Some(StaticResil::new(heartbeat_period, suspect_timeout, beat_deadline));
+        self.all_seeds = all_seeds;
+        self
+    }
+
+    /// Deaths this rank's own failure detector observed, as
+    /// `(rank, virtual suspicion time)`.
+    pub fn suspected_at(&self) -> &[(usize, f64)] {
+        self.resil.as_ref().map_or(&[], |r| r.suspected_at.as_slice())
+    }
+
+    /// Streamlines this rank re-seeded on behalf of dead ranks.
+    pub fn reassigned(&self) -> u64 {
+        self.resil.as_ref().map_or(0, |r| r.reassigned)
     }
 
     pub fn workspace(&self) -> &Workspace {
@@ -161,6 +250,7 @@ impl StaticProc {
             seen: self.seen.iter().copied().collect(),
             pingponged: self.pingponged.iter().copied().collect(),
             pingpong_times: self.pingpong_times.clone(),
+            resil: self.resil.clone(),
         }
     }
 
@@ -174,11 +264,26 @@ impl StaticProc {
         self.seen = snap.seen.iter().copied().collect();
         self.pingponged = snap.pingponged.iter().copied().collect();
         self.pingpong_times = snap.pingpong_times.clone();
+        self.resil = snap.resil.clone();
         Ok(())
     }
 
+    /// The rank a block's work is routed to: the partition owner, or — once
+    /// that owner is known dead — its first live successor (cyclic by rank
+    /// id). All survivors with converged views route identically.
+    fn effective_owner(&self, block: BlockId) -> usize {
+        let owner = self.partition.owner_of(block, self.ws.decomp.num_blocks(), self.n_procs);
+        match &self.resil {
+            Some(r) if r.is_dead(owner) => (1..self.n_procs)
+                .map(|k| (owner + k) % self.n_procs)
+                .find(|&p| p == self.rank || !r.is_dead(p))
+                .unwrap_or(self.rank),
+            _ => owner,
+        }
+    }
+
     fn owns(&self, block: BlockId) -> bool {
-        self.partition.owner_of(block, self.ws.decomp.num_blocks(), self.n_procs) == self.rank
+        self.effective_owner(block) == self.rank
     }
 
     fn check_memory(&mut self, ctx: &mut dyn Context<Msg>) -> bool {
@@ -214,7 +319,7 @@ impl StaticProc {
                 self.ws.release(&sl);
                 let m = Msg::Handoff { sl: Box::new(sl) };
                 let bytes = m.wire_bytes(self.comm_geometry);
-                let to = self.partition.owner_of(cur, self.ws.decomp.num_blocks(), self.n_procs);
+                let to = self.effective_owner(cur);
                 ctx.send(to, m, bytes);
                 return 0;
             }
@@ -267,7 +372,7 @@ impl StaticProc {
         while let Some((&block, _)) = worklist.iter().next() {
             let mut list = worklist.remove(&block).expect("key just found");
             if !self.owns(block) {
-                let to = self.partition.owner_of(block, self.ws.decomp.num_blocks(), self.n_procs);
+                let to = self.effective_owner(block);
                 for sl in list {
                     self.ws.release(&sl);
                     let m = Msg::Handoff { sl: Box::new(sl) };
@@ -322,18 +427,119 @@ impl StaticProc {
 
     fn apply_count(&mut self, count: u64, ctx: &mut dyn Context<Msg>) {
         debug_assert_eq!(self.rank, COUNT_RANK);
-        debug_assert!(self.remaining >= count, "count underflow");
+        // Re-seeded work after a death can legitimately over-count; outside
+        // resilient mode an underflow is still a protocol bug.
+        debug_assert!(self.resil.is_some() || self.remaining >= count, "count underflow");
         self.remaining = self.remaining.saturating_sub(count);
         if self.remaining == 0 {
             ctx.stop_all();
+        }
+    }
+
+    fn arm_beat(&mut self, ctx: &mut dyn Context<Msg>) {
+        if let Some(r) = self.resil.as_mut() {
+            if !r.beat_armed {
+                r.beat_armed = true;
+                ctx.wake_after(r.heartbeat_period, WAKE_BEAT);
+            }
+        }
+    }
+
+    /// Heartbeat tick: sweep the failure detector (adopting the work of any
+    /// newly dead rank), beat every live peer, re-arm until the deadline.
+    fn on_beat_tick(&mut self, ctx: &mut dyn Context<Msg>) {
+        let now = ctx.now();
+        let newly = {
+            let Some(r) = self.resil.as_mut() else { return };
+            r.beat_armed = false;
+            r.monitor.sweep(now)
+        };
+        for rank in newly {
+            self.apply_death(rank, now, ctx);
+            if self.failed_oom {
+                return;
+            }
+        }
+        let beating = self.resil.as_ref().is_some_and(|r| now <= r.beat_deadline);
+        if beating && self.n_procs > 1 {
+            let peers: Vec<usize> = (0..self.n_procs)
+                .filter(|&p| p != self.rank && !self.resil.as_ref().is_some_and(|r| r.is_dead(p)))
+                .collect();
+            for p in peers {
+                let m = Msg::Beat { done: false };
+                let bytes = m.wire_bytes(self.comm_geometry);
+                ctx.send(p, m, bytes);
+            }
+            self.arm_beat(ctx);
+        }
+    }
+
+    /// A peer is now known dead: record it, and — if this rank is the dead
+    /// rank's first live successor — adopt its initial seed assignment.
+    /// Streamlines the dead rank held mid-flight are unrecoverable and are
+    /// synthesized as [`streamline_integrate::Termination::RankLost`] when
+    /// the run is collected; ids the adopter re-integrates are deduplicated
+    /// there by id.
+    fn apply_death(&mut self, rank: usize, now: f64, ctx: &mut dyn Context<Msg>) {
+        {
+            let Some(r) = self.resil.as_mut() else { return };
+            let Err(i) = r.dead.binary_search(&(rank as u32)) else { return };
+            r.dead.insert(i, rank as u32);
+            r.suspected_at.push((rank, now));
+        }
+        let r = self.resil.as_ref().expect("resilient mode");
+        let adopter = (1..self.n_procs)
+            .map(|k| (rank + k) % self.n_procs)
+            .find(|&p| p == self.rank || !r.is_dead(p));
+        let already = r.adopted.binary_search(&(rank as u32));
+        if adopter != Some(self.rank) || already.is_ok() {
+            return;
+        }
+        if let Err(i) = already {
+            self.resil.as_mut().expect("resilient mode").adopted.insert(i, rank as u32);
+        }
+        let orphan_seeds = self.all_seeds.get(rank).cloned().unwrap_or_default();
+        if orphan_seeds.is_empty() {
+            return;
+        }
+        if let Some(r) = self.resil.as_mut() {
+            r.reassigned += orphan_seeds.len() as u64;
+        }
+        let mut created: Vec<Streamline> = Vec::with_capacity(orphan_seeds.len());
+        for (id, seed) in orphan_seeds {
+            self.note_arrival(id, now);
+            let sl = Streamline::new_lean(id, seed, self.h0);
+            self.ws.admit(&sl);
+            created.push(sl);
+        }
+        if self.check_memory(ctx) {
+            return;
+        }
+        let done = self.process_group(created, ctx);
+        if !self.failed_oom {
+            self.flush_terminations(done, ctx);
         }
     }
 }
 
 impl Process<Msg> for StaticProc {
     fn on_event(&mut self, ev: Event<Msg>, ctx: &mut dyn Context<Msg>) {
+        if let (Event::Message { from, .. }, Some(r)) = (&ev, self.resil.as_mut()) {
+            // Any message is proof of life from its sender.
+            r.monitor.beat(*from, ctx.now());
+        }
         match ev {
             Event::Start => {
+                if self.resil.is_some() && self.n_procs > 1 {
+                    let now = ctx.now();
+                    let peers: Vec<usize> = (0..self.n_procs).filter(|&p| p != self.rank).collect();
+                    if let Some(r) = self.resil.as_mut() {
+                        for p in peers {
+                            r.monitor.watch(p, now);
+                        }
+                    }
+                    self.arm_beat(ctx);
+                }
                 // Instantiate the entire local seed set before integrating —
                 // the initialization pattern that makes dense seeding fatal
                 // in §5.3 ("all 22,000 seed points were being processed on a
@@ -371,6 +577,7 @@ impl Process<Msg> for StaticProc {
             Event::Message { msg: Msg::OutOfMemory { .. }, .. } => {
                 // Another rank died; the world is already stopping.
             }
+            Event::Wake(WAKE_BEAT) => self.on_beat_tick(ctx),
             Event::Message { .. } | Event::Wake(_) => {}
         }
     }

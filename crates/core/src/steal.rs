@@ -35,7 +35,7 @@ use crate::msg::Msg;
 use crate::workspace::{BlockExit, Workspace, WorkspaceSnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
-use streamline_desim::{Context, Event, Process};
+use streamline_desim::{Context, Event, HeartbeatMonitor, Process};
 use streamline_field::block::BlockId;
 use streamline_integrate::{Streamline, StreamlineId, Termination};
 use streamline_iosim::StoreError;
@@ -47,6 +47,8 @@ const WAKE_ROUND: u64 = 0;
 const WAKE_TICK: u64 = 1;
 /// Rank 0 re-arms the termination token after a failed circulation.
 const WAKE_TOKEN_RETRY: u64 = 2;
+/// Resilient mode only: periodic heartbeat-and-sweep tick.
+const WAKE_RESIL: u64 = 3;
 
 /// Lifeline out-neighbors of `rank`: `(rank + 2^j) mod n` for
 /// `j in 0..degree`, deduplicated, never including `rank` itself. The
@@ -113,6 +115,76 @@ pub struct StealProc {
     /// Balancing-protocol traffic (reports, probes, transfers, tokens).
     pub balance_msgs: u64,
     pub balance_bytes: u64,
+    /// Fail-stop resilience machinery; `None` outside rank-chaos runs so
+    /// fault-free schedules are untouched.
+    resil: Option<StealResil>,
+}
+
+/// Per-rank fail-stop resilience state for the steal driver: ring
+/// heartbeats, a failure detector, per-peer Safra balances (so lost
+/// messages to/from dead ranks can be excluded exactly), and the membership
+/// view the token gossips.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StealResil {
+    /// Virtual seconds between heartbeat ticks.
+    pub heartbeat_period: f64,
+    /// Ticks stop re-arming past this virtual time, bounding the event
+    /// count of any death schedule (set from [`crate::RankChaos::beat_deadline`]).
+    pub beat_deadline: f64,
+    /// Failure detector over this rank's current watch target.
+    pub monitor: HeartbeatMonitor,
+    /// The live ring predecessor this rank watches for beats.
+    pub watch_target: Option<usize>,
+    /// A heartbeat tick is armed.
+    pub beat_armed: bool,
+    /// This rank's view of dead ranks, sorted.
+    pub dead: Vec<u32>,
+    /// Safra per-peer balance: basic messages sent to / received from each
+    /// rank, so the balance can be restricted to live peers exactly.
+    pub sent_to: Vec<i64>,
+    pub recv_from: Vec<i64>,
+    /// Rank the outstanding steal probe went to (for repair when it dies).
+    pub probe_target: Option<usize>,
+    /// Dead set carried by the held token (empty when none held).
+    pub held_dead: Vec<u32>,
+    /// `(rank, virtual time)` of each death this rank's own monitor
+    /// detected — the raw material for detection-latency accounting.
+    pub suspected_at: Vec<(usize, f64)>,
+}
+
+impl StealResil {
+    fn new(
+        n_ranks: usize,
+        heartbeat_period: f64,
+        suspect_timeout: f64,
+        beat_deadline: f64,
+    ) -> Self {
+        StealResil {
+            heartbeat_period,
+            beat_deadline,
+            monitor: HeartbeatMonitor::new(suspect_timeout),
+            watch_target: None,
+            beat_armed: false,
+            dead: Vec::new(),
+            sent_to: vec![0; n_ranks],
+            recv_from: vec![0; n_ranks],
+            probe_target: None,
+            held_dead: Vec::new(),
+            suspected_at: Vec::new(),
+        }
+    }
+
+    fn is_dead(&self, rank: usize) -> bool {
+        self.dead.binary_search(&(rank as u32)).is_ok()
+    }
+
+    /// Basic-message balance restricted to peers this rank believes alive.
+    fn live_balance(&self) -> i64 {
+        (0..self.sent_to.len())
+            .filter(|&p| !self.is_dead(p))
+            .map(|p| self.sent_to[p] - self.recv_from[p])
+            .sum()
+    }
 }
 
 /// Serializable image of a [`StealProc`] mid-run.
@@ -138,6 +210,9 @@ pub struct StealSnapshot {
     pub pingpong_times: Vec<f64>,
     pub balance_msgs: u64,
     pub balance_bytes: u64,
+    /// Absent in pre-resilience snapshots.
+    #[serde(default)]
+    pub resil: Option<StealResil>,
 }
 
 impl StealProc {
@@ -180,7 +255,28 @@ impl StealProc {
             pingpong_times: Vec::new(),
             balance_msgs: 0,
             balance_bytes: 0,
+            resil: None,
         }
+    }
+
+    /// Switch this rank into resilient mode (rank-chaos runs only): ring
+    /// heartbeats until `beat_deadline`, a `suspect_timeout` failure
+    /// detector, per-peer Safra balances and membership-aware termination.
+    pub fn with_resilience(
+        mut self,
+        heartbeat_period: f64,
+        suspect_timeout: f64,
+        beat_deadline: f64,
+    ) -> Self {
+        self.resil =
+            Some(StealResil::new(self.n_ranks, heartbeat_period, suspect_timeout, beat_deadline));
+        self
+    }
+
+    /// Deaths this rank's own failure detector observed, as
+    /// `(rank, virtual suspicion time)`.
+    pub fn suspected_at(&self) -> &[(usize, f64)] {
+        self.resil.as_ref().map_or(&[], |r| r.suspected_at.as_slice())
     }
 
     pub fn workspace(&self) -> &Workspace {
@@ -220,6 +316,7 @@ impl StealProc {
             pingpong_times: self.pingpong_times.clone(),
             balance_msgs: self.balance_msgs,
             balance_bytes: self.balance_bytes,
+            resil: self.resil.clone(),
         }
     }
 
@@ -245,11 +342,192 @@ impl StealProc {
         self.pingpong_times = snap.pingpong_times.clone();
         self.balance_msgs = snap.balance_msgs;
         self.balance_bytes = snap.balance_bytes;
+        self.resil = snap.resil.clone();
+        if self.resil.is_some() {
+            self.recompute_neighbors();
+        }
         Ok(())
     }
 
     fn my_load(&self) -> usize {
         self.parked.values().map(|v| v.len()).sum()
+    }
+
+    /// Ranks this rank believes alive, ascending. Always contains `rank`.
+    fn live_ranks(&self) -> Vec<usize> {
+        match &self.resil {
+            Some(r) => (0..self.n_ranks).filter(|&p| p == self.rank || !r.is_dead(p)).collect(),
+            None => (0..self.n_ranks).collect(),
+        }
+    }
+
+    /// Rebuild the lifeline graph over the live membership: lifelines are
+    /// computed in live-index space and mapped back to rank space, so the
+    /// `j = 0` edges always form a ring over exactly the live ranks.
+    fn recompute_neighbors(&mut self) {
+        let live = self.live_ranks();
+        let i = live.iter().position(|&r| r == self.rank).expect("self is alive");
+        self.neighbors = lifeline_neighbors(i, live.len(), self.params.neighbor_degree)
+            .into_iter()
+            .map(|j| live[j])
+            .collect();
+    }
+
+    /// Next live rank along the token ring.
+    fn ring_successor(&self) -> usize {
+        match &self.resil {
+            Some(_) => {
+                let live = self.live_ranks();
+                let i = live.iter().position(|&r| r == self.rank).expect("self is alive");
+                live[(i + 1) % live.len()]
+            }
+            None => (self.rank + 1) % self.n_ranks,
+        }
+    }
+
+    /// Watch the live ring predecessor (the rank whose beats we receive).
+    fn rewatch(&mut self, now: f64) {
+        let live = self.live_ranks();
+        let m = live.len();
+        let i = live.iter().position(|&r| r == self.rank).expect("self is alive");
+        let pred = if m >= 2 { Some(live[(i + m - 1) % m]) } else { None };
+        let Some(r) = self.resil.as_mut() else { return };
+        if r.watch_target != pred {
+            if let Some(old) = r.watch_target.take() {
+                r.monitor.unwatch(old);
+            }
+            if let Some(p) = pred {
+                r.watch_target = Some(p);
+                r.monitor.watch(p, now);
+            }
+        }
+    }
+
+    /// The token initiator: rank 0 normally; after its death, the lowest
+    /// rank this rank believes alive (views may briefly disagree — duplicate
+    /// tokens are tolerated, termination is declared by whoever sees a clean
+    /// wave).
+    fn is_initiator(&self) -> bool {
+        match &self.resil {
+            Some(r) => (0..self.rank).all(|p| r.is_dead(p)),
+            None => self.rank == 0,
+        }
+    }
+
+    /// The Safra balance this rank folds into the token: restricted to live
+    /// peers in resilient mode (messages to/from the dead are lost, not in
+    /// flight), the plain cumulative balance otherwise.
+    fn current_balance(&self) -> i64 {
+        match &self.resil {
+            Some(r) => r.live_balance(),
+            None => self.msg_balance,
+        }
+    }
+
+    /// A steal probe is outgoing: remember (and watch) the victim so its
+    /// death cannot strand this rank hunting forever.
+    fn note_probe(&mut self, to: usize, now: f64) {
+        if let Some(r) = self.resil.as_mut() {
+            r.probe_target = Some(to);
+            if r.watch_target != Some(to) {
+                r.monitor.watch(to, now);
+            }
+        }
+    }
+
+    /// The outstanding probe resolved (answer arrived or sweep moved on).
+    fn clear_probe(&mut self) {
+        if let Some(r) = self.resil.as_mut() {
+            if let Some(t) = r.probe_target.take() {
+                if r.watch_target != Some(t) {
+                    r.monitor.unwatch(t);
+                }
+            }
+        }
+    }
+
+    /// Fold a peer's (or the token's) view of the dead into our own.
+    fn merge_dead(&mut self, dead: &[u32], now: f64, ctx: &mut dyn Context<Msg>) {
+        for &d in dead {
+            self.apply_death(d as usize, now, false, ctx);
+        }
+    }
+
+    /// A rank is now known dead: update membership, repair the lifeline
+    /// graph, the watch chain, any stranded probe, and let the initiator
+    /// relaunch a token that may have died with the rank.
+    fn apply_death(
+        &mut self,
+        rank: usize,
+        now: f64,
+        own_detection: bool,
+        ctx: &mut dyn Context<Msg>,
+    ) {
+        if rank == self.rank {
+            return; // a false suspicion of ourselves, gossiped back
+        }
+        {
+            let Some(r) = self.resil.as_mut() else { return };
+            let Err(i) = r.dead.binary_search(&(rank as u32)) else { return };
+            r.dead.insert(i, rank as u32);
+            if own_detection {
+                r.suspected_at.push((rank, now));
+            }
+            r.monitor.unwatch(rank);
+        }
+        self.recompute_neighbors();
+        self.rewatch(now);
+        // Probe repair: the victim died before answering — treat it as a
+        // refusal and restart the idle sweep over the repaired lifelines.
+        let stranded =
+            self.hunting && self.resil.as_ref().is_some_and(|r| r.probe_target == Some(rank));
+        if stranded {
+            self.clear_probe();
+            self.hunting = false;
+            self.hunted_since_idle = false;
+            if !self.done && self.parked.is_empty() {
+                self.enter_idle(ctx);
+            }
+        }
+        // A token in flight to (or held by) the dead rank is lost; clearing
+        // `token_out` lets the initiator launch a fresh wave. A surviving
+        // duplicate token is tolerated — it just circulates dirty.
+        if self.is_initiator() {
+            self.token_out = false;
+        }
+    }
+
+    fn arm_resil(&mut self, ctx: &mut dyn Context<Msg>) {
+        if let Some(r) = self.resil.as_mut() {
+            if !r.beat_armed {
+                r.beat_armed = true;
+                ctx.wake_after(r.heartbeat_period, WAKE_RESIL);
+            }
+        }
+    }
+
+    /// Heartbeat tick: sweep the failure detector, beat the ring successor,
+    /// re-arm until the beat deadline (which bounds the event count of any
+    /// death schedule).
+    fn on_resil_tick(&mut self, ctx: &mut dyn Context<Msg>) {
+        let now = ctx.now();
+        let newly = {
+            let Some(r) = self.resil.as_mut() else { return };
+            r.beat_armed = false;
+            r.monitor.sweep(now)
+        };
+        for rank in newly {
+            self.apply_death(rank, now, true, ctx);
+        }
+        let beating = self.resil.as_ref().is_some_and(|r| now <= r.beat_deadline);
+        if beating && self.n_ranks > 1 {
+            let msg = Msg::Beat { done: self.done };
+            let bytes = msg.wire_bytes(self.comm_geometry);
+            self.balance_msgs += 1;
+            self.balance_bytes += bytes as u64;
+            ctx.send(self.ring_successor(), msg, bytes);
+            self.arm_resil(ctx);
+        }
     }
 
     /// Passive in Safra's sense: no local work and no probe in flight. A
@@ -263,23 +541,30 @@ impl StealProc {
     fn send_basic(&mut self, to: usize, msg: Msg, ctx: &mut dyn Context<Msg>) {
         let bytes = msg.wire_bytes(self.comm_geometry);
         self.msg_balance += 1;
+        if let Some(r) = self.resil.as_mut() {
+            r.sent_to[to] += 1;
+        }
         self.balance_msgs += 1;
         self.balance_bytes += bytes as u64;
         ctx.send(to, msg, bytes);
     }
 
     /// Account a basic message arriving (Safra receive rule).
-    fn recv_basic(&mut self) {
+    fn recv_basic(&mut self, from: usize) {
         self.msg_balance -= 1;
+        if let Some(r) = self.resil.as_mut() {
+            r.recv_from[from] += 1;
+        }
         self.black = true;
     }
 
     fn send_token(&mut self, count: i64, black: bool, ctx: &mut dyn Context<Msg>) {
-        let msg = Msg::TermToken { count, black };
+        let dead = self.resil.as_ref().map_or_else(Vec::new, |r| r.dead.clone());
+        let msg = Msg::TermToken { count, black, dead };
         let bytes = msg.wire_bytes(self.comm_geometry);
         self.balance_msgs += 1;
         self.balance_bytes += bytes as u64;
-        ctx.send((self.rank + 1) % self.n_ranks, msg, bytes);
+        ctx.send(self.ring_successor(), msg, bytes);
     }
 
     /// First ownership or return of a streamline id on this rank; a return
@@ -371,6 +656,7 @@ impl StealProc {
             self.hunting = true;
             self.hunt_cursor = 0;
             let to = self.neighbors[0];
+            self.note_probe(to, ctx.now());
             self.send_basic(to, Msg::StealRequest, ctx);
         }
     }
@@ -380,6 +666,7 @@ impl StealProc {
         self.hunt_cursor += 1;
         if self.hunt_cursor < self.neighbors.len() {
             let to = self.neighbors[self.hunt_cursor];
+            self.note_probe(to, ctx.now());
             self.send_basic(to, Msg::StealRequest, ctx);
         } else {
             self.hunting = false;
@@ -413,13 +700,14 @@ impl StealProc {
     /// least a batch, pull with a single-victim probe (this is also how a
     /// quiescent rank is re-activated after a failed sweep).
     fn on_load_report(&mut self, from: usize, load: u32, ctx: &mut dyn Context<Msg>) {
-        self.recv_basic();
+        self.recv_basic(from);
         if self.done || self.hunting {
             return;
         }
         if self.my_load() + self.params.steal_batch <= load as usize {
             self.hunting = true;
             self.hunt_cursor = self.neighbors.len();
+            self.note_probe(from, ctx.now());
             self.send_basic(from, Msg::StealRequest, ctx);
         }
     }
@@ -457,13 +745,21 @@ impl StealProc {
     }
 
     fn on_steal_request(&mut self, from: usize, ctx: &mut dyn Context<Msg>) {
-        self.recv_basic();
+        self.recv_basic(from);
         let sls = self.grant_batch();
         self.send_basic(from, Msg::WorkTransfer { sls }, ctx);
     }
 
-    fn on_work_transfer(&mut self, sls: Vec<(BlockId, Streamline)>, ctx: &mut dyn Context<Msg>) {
-        self.recv_basic();
+    fn on_work_transfer(
+        &mut self,
+        from: usize,
+        sls: Vec<(BlockId, Streamline)>,
+        ctx: &mut dyn Context<Msg>,
+    ) {
+        self.recv_basic(from);
+        if self.resil.as_ref().is_some_and(|r| r.probe_target == Some(from)) {
+            self.clear_probe();
+        }
         if sls.is_empty() {
             // A refusal: continue the sweep (or give up).
             if self.hunting {
@@ -487,17 +783,32 @@ impl StealProc {
     }
 
     /// Safra token rules, applied after every event. A held token moves the
-    /// moment this rank is passive; rank 0 additionally launches fresh
-    /// tokens and evaluates returning ones.
+    /// moment this rank is passive; the initiator (rank 0, or after its
+    /// death the lowest live rank) additionally launches fresh tokens and
+    /// evaluates returning ones.
     fn maybe_advance_token(&mut self, ctx: &mut dyn Context<Msg>) {
         if self.done || self.failed_oom || self.n_ranks < 2 || !self.passive() {
             return;
         }
-        if self.rank == 0 {
+        // Sole survivor: nobody left to count with — local quiescence is
+        // global quiescence.
+        if self.resil.as_ref().is_some_and(|r| r.dead.len() + 1 >= self.n_ranks) {
+            self.done = true;
+            ctx.stop_all();
+            return;
+        }
+        let held_dead = |s: &mut Self| {
+            s.resil.as_mut().map_or_else(Vec::new, |r| std::mem::take(&mut r.held_dead))
+        };
+        if self.is_initiator() {
             if let Some((count, black)) = self.held_token.take() {
-                if !black && !self.black && count + self.msg_balance == 0 {
+                let tdead = held_dead(self);
+                // The circulation only counts if every rank folded the same
+                // membership we hold now; a view change mid-hold dirties it.
+                let consistent = self.resil.as_ref().is_none_or(|r| r.dead == tdead);
+                if !black && !self.black && consistent && count + self.current_balance() == 0 {
                     // White token, clean initiator, zero global balance: no
-                    // work and no messages exist anywhere.
+                    // work and no messages exist anywhere among the living.
                     self.done = true;
                     ctx.stop_all();
                 } else {
@@ -515,7 +826,8 @@ impl StealProc {
                 self.send_token(0, false, ctx);
             }
         } else if let Some((count, black)) = self.held_token.take() {
-            let fwd = count + self.msg_balance;
+            let _ = held_dead(self);
+            let fwd = count + self.current_balance();
             let dirty = black || self.black;
             self.black = false;
             self.send_token(fwd, dirty, ctx);
@@ -542,21 +854,46 @@ impl Process<Msg> for StealProc {
                         }
                     }
                 }
+                if self.resil.is_some() && self.n_ranks > 1 {
+                    self.rewatch(ctx.now());
+                    self.arm_resil(ctx);
+                }
                 self.round(ctx);
             }
             Event::Wake(WAKE_ROUND) => self.round(ctx),
             Event::Wake(WAKE_TICK) => self.on_tick(ctx),
             Event::Wake(WAKE_TOKEN_RETRY) => self.retry_armed = false,
+            Event::Wake(WAKE_RESIL) => self.on_resil_tick(ctx),
             Event::Wake(_) => {}
-            Event::Message { from, msg } => match msg {
-                Msg::LoadReport { load } => self.on_load_report(from, load, ctx),
-                Msg::StealRequest => self.on_steal_request(from, ctx),
-                Msg::WorkTransfer { sls } => self.on_work_transfer(sls, ctx),
-                Msg::TermToken { count, black } => self.held_token = Some((count, black)),
-                // Protocol messages of the other drivers never reach a
-                // steal rank.
-                _ => {}
-            },
+            Event::Message { from, msg } => {
+                // Any message is proof of life from its sender.
+                if let Some(r) = self.resil.as_mut() {
+                    r.monitor.beat(from, ctx.now());
+                }
+                match msg {
+                    Msg::LoadReport { load } => self.on_load_report(from, load, ctx),
+                    Msg::StealRequest => self.on_steal_request(from, ctx),
+                    Msg::WorkTransfer { sls } => self.on_work_transfer(from, sls, ctx),
+                    Msg::TermToken { count, black, dead } => {
+                        // A token carrying a different membership view than
+                        // ours dirties this circulation (either side may be
+                        // ahead) before the views merge.
+                        if self.resil.as_ref().is_some_and(|r| r.dead != dead) {
+                            self.black = true;
+                        }
+                        self.merge_dead(&dead, ctx.now(), ctx);
+                        let merged = self.resil.as_ref().map_or_else(Vec::new, |r| r.dead.clone());
+                        self.held_token = Some((count, black));
+                        if let Some(r) = self.resil.as_mut() {
+                            r.held_dead = merged;
+                        }
+                    }
+                    Msg::Beat { .. } => {}
+                    // Protocol messages of the other drivers never reach a
+                    // steal rank.
+                    _ => {}
+                }
+            }
         }
         self.maybe_advance_token(ctx);
     }

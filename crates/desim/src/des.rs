@@ -69,6 +69,13 @@ pub struct SimState<M> {
     pub events: u64,
     /// Undelivered events, sorted by `(time, seq)` — the pop order.
     pub pending: Vec<PendingEvent<M>>,
+    /// Rank deaths applied so far, as `(rank, virtual time)` in application
+    /// order. A resumed simulation skips these when replaying its death
+    /// schedule, so a cut taken after a fail-stop restores exactly.
+    pub dead: Vec<(usize, f64)>,
+    /// Events silently dropped so far because their target or sender was
+    /// dead.
+    pub dropped_events: u64,
 }
 
 /// What a checkpoint hook tells the simulation to do next.
@@ -184,6 +191,9 @@ impl<M> Context<M> for DesCtx<'_, M> {
 pub struct Simulation<M, P> {
     net: NetModel,
     procs: Vec<P>,
+    /// Fail-stop schedule: `(rank, virtual time)` kills, applied in time
+    /// order just before the first event at or past each kill time.
+    deaths: Vec<(usize, f64)>,
     _marker: std::marker::PhantomData<M>,
 }
 
@@ -193,7 +203,25 @@ pub const DEFAULT_MAX_EVENTS: u64 = 50_000_000;
 impl<M: Clone, P: Process<M>> Simulation<M, P> {
     pub fn new(net: NetModel, procs: Vec<P>) -> Self {
         assert!(!procs.is_empty(), "simulation needs at least one rank");
-        Simulation { net, procs, _marker: std::marker::PhantomData }
+        Simulation { net, procs, deaths: Vec::new(), _marker: std::marker::PhantomData }
+    }
+
+    /// Schedule fail-stop rank deaths: at each `(rank, time)` the rank is
+    /// killed just before the first event at or past `time` is delivered.
+    /// From then on every event addressed to it is silently dropped, and so
+    /// is every in-flight message it sent — no notification of any kind is
+    /// generated. Survivors can only learn of the death by timeout.
+    ///
+    /// An empty schedule leaves the run bit-identical to [`Simulation::new`]
+    /// alone. Duplicate entries for a rank are idempotent (first time wins).
+    pub fn with_rank_deaths(mut self, mut deaths: Vec<(usize, f64)>) -> Self {
+        for &(rank, time) in &deaths {
+            assert!(rank < self.procs.len(), "death scheduled for unknown rank {rank}");
+            assert!(time.is_finite() && time >= 0.0, "death time must be finite and non-negative");
+        }
+        deaths.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        self.deaths = deaths;
+        self
     }
 
     /// Run to completion (event queue empty or a process called
@@ -257,6 +285,8 @@ impl<M: Clone, P: Process<M>> Simulation<M, P> {
         metrics: &[ProcMetrics],
         next_seq: u64,
         events: u64,
+        dead: &[(usize, f64)],
+        dropped_events: u64,
     ) -> SimState<M> {
         let mut pending: Vec<PendingEvent<M>> = queue
             .iter()
@@ -270,7 +300,15 @@ impl<M: Clone, P: Process<M>> Simulation<M, P> {
             })
             .collect();
         pending.sort_by(|a, b| a.time.total_cmp(&b.time).then_with(|| a.seq.cmp(&b.seq)));
-        SimState { clocks: clocks.to_vec(), metrics: metrics.to_vec(), next_seq, events, pending }
+        SimState {
+            clocks: clocks.to_vec(),
+            metrics: metrics.to_vec(),
+            next_seq,
+            events,
+            pending,
+            dead: dead.to_vec(),
+            dropped_events,
+        }
     }
 
     fn run_inner(
@@ -287,6 +325,11 @@ impl<M: Clone, P: Process<M>> Simulation<M, P> {
         let mut seq = 0u64;
         let mut stop = false;
         let mut events = 0u64;
+        // Fail-stop bookkeeping: which ranks are dead, the applied deaths in
+        // order, and how many events were silently dropped on their account.
+        let mut dead = vec![false; n];
+        let mut applied: Vec<(usize, f64)> = Vec::new();
+        let mut dropped = 0u64;
 
         match init {
             Some(state) => {
@@ -296,6 +339,12 @@ impl<M: Clone, P: Process<M>> Simulation<M, P> {
                 metrics = state.metrics;
                 seq = state.next_seq;
                 events = state.events;
+                dropped = state.dropped_events;
+                for &(rank, time) in &state.dead {
+                    assert!(rank < n, "dead rank {rank} out of range");
+                    dead[rank] = true;
+                    applied.push((rank, time));
+                }
                 for p in state.pending {
                     assert!(p.seq < seq, "pending event from the future");
                     assert!(p.to < n, "pending event for unknown rank {}", p.to);
@@ -332,6 +381,8 @@ impl<M: Clone, P: Process<M>> Simulation<M, P> {
             *interval
         });
 
+        let mut death_idx = 0usize;
+
         loop {
             if stop {
                 break;
@@ -339,6 +390,18 @@ impl<M: Clone, P: Process<M>> Simulation<M, P> {
             let Some(top_time) = queue.peek().map(|s| s.time) else {
                 break;
             };
+            // Apply scheduled deaths due at or before the next event: the
+            // rank is gone before that event can be delivered. Entries for
+            // already-dead ranks (duplicates, or deaths restored from a
+            // resume cut) are skipped idempotently.
+            while death_idx < self.deaths.len() && self.deaths[death_idx].1 <= top_time {
+                let (rank, time) = self.deaths[death_idx];
+                death_idx += 1;
+                if !dead[rank] {
+                    dead[rank] = true;
+                    applied.push((rank, time));
+                }
+            }
             // Checkpoint on boundary crossings: the cut is taken between
             // events, so the event about to execute is still in `pending`.
             if let (Some((interval, hook)), Some(boundary)) =
@@ -348,13 +411,22 @@ impl<M: Clone, P: Process<M>> Simulation<M, P> {
                     while *boundary <= top_time {
                         *boundary += *interval;
                     }
-                    let state = Self::cut(&queue, &clocks, &metrics, seq, events);
+                    let state =
+                        Self::cut(&queue, &clocks, &metrics, seq, events, &applied, dropped);
                     if hook(&state, &self.procs) == CheckpointControl::Stop {
                         return (None, self.procs);
                     }
                 }
             }
             let sch = queue.pop().expect("peeked above");
+            // Fail-stop semantics: events to a dead rank vanish, and so do
+            // in-flight messages *from* a dead rank (its sends die with it).
+            // Nothing is generated in their place — survivors only notice
+            // via their own timeouts.
+            if dead[sch.to] || matches!(&sch.ev, Event::Message { from, .. } if dead[*from]) {
+                dropped += 1;
+                continue;
+            }
             events += 1;
             assert!(
                 events <= max_events,
@@ -429,7 +501,14 @@ impl<M: Clone, P: Process<M>> Simulation<M, P> {
         }
 
         let wall = clocks.iter().copied().fold(0.0f64, f64::max);
-        (Some(SimReport { wall, events, ranks: metrics }), self.procs)
+        let report = SimReport {
+            wall,
+            events,
+            ranks: metrics,
+            rank_deaths: applied,
+            dropped_events: dropped,
+        };
+        (Some(report), self.procs)
     }
 }
 
@@ -704,6 +783,100 @@ mod tests {
         let procs = vec![Charger];
         let _ = Simulation::new(NetModel::free(), procs)
             .run_checkpointed(0.0, &mut |_, _| CheckpointControl::Continue);
+    }
+
+    #[test]
+    fn killed_rank_drops_pending_and_future_events() {
+        // Kill rank 1 before the first message can be delivered: the
+        // ping-pong dies silently after rank 0's one send.
+        let procs = (0..2).map(|_| PingPong { rounds: 6, log: Vec::new() }).collect::<Vec<_>>();
+        let (report, procs) =
+            Simulation::new(NetModel::paper_scale(), procs).with_rank_deaths(vec![(1, 0.0)]).run();
+        assert_eq!(report.rank_deaths, vec![(1, 0.0)]);
+        assert!(procs[1].log.is_empty(), "dead rank must execute nothing");
+        assert!(procs[0].log.is_empty(), "no reply can come back from a dead rank");
+        // Rank 1's Start and the in-flight message both vanished.
+        assert_eq!(report.dropped_events, 2, "dropped = {}", report.dropped_events);
+        assert_eq!(report.ranks[1].events, 0);
+        assert_eq!(report.ranks[1].msgs_recv, 0);
+    }
+
+    #[test]
+    fn in_flight_message_from_dead_sender_is_lost() {
+        // Rank 0 posts its send at t=1e-3 and is killed at that same instant,
+        // while the message is still in transit; fail-stop means the send
+        // dies with it (deaths apply before the next event is delivered).
+        let procs = (0..2).map(|_| PingPong { rounds: 6, log: Vec::new() }).collect::<Vec<_>>();
+        let (report, procs) =
+            Simulation::new(NetModel::paper_scale(), procs).with_rank_deaths(vec![(0, 1e-3)]).run();
+        assert!(procs[1].log.is_empty(), "message from a dead sender must be dropped");
+        assert!(report.dropped_events >= 1);
+        assert_eq!(report.ranks[1].msgs_recv, 0);
+    }
+
+    #[test]
+    fn empty_death_schedule_is_bit_identical() {
+        let (plain, plain_procs) = run_pingpong(10);
+        let procs = (0..2).map(|_| PingPong { rounds: 10, log: Vec::new() }).collect::<Vec<_>>();
+        let (fault, fault_procs) =
+            Simulation::new(NetModel::paper_scale(), procs).with_rank_deaths(Vec::new()).run();
+        assert_eq!(plain.wall.to_bits(), fault.wall.to_bits());
+        assert_eq!(plain.events, fault.events);
+        assert_eq!(plain.ranks, fault.ranks);
+        assert_eq!(fault.dropped_events, 0);
+        assert!(fault.rank_deaths.is_empty());
+        assert_eq!(plain_procs[0].log, fault_procs[0].log);
+    }
+
+    #[test]
+    fn death_after_the_run_ends_changes_nothing() {
+        let (plain, _) = run_pingpong(10);
+        let procs = (0..2).map(|_| PingPong { rounds: 10, log: Vec::new() }).collect::<Vec<_>>();
+        let (fault, _) =
+            Simulation::new(NetModel::paper_scale(), procs).with_rank_deaths(vec![(1, 1e9)]).run();
+        // The death time is past the last event, so it is never applied.
+        assert_eq!(plain.events, fault.events);
+        assert_eq!(plain.ranks, fault.ranks);
+        assert!(fault.rank_deaths.is_empty());
+    }
+
+    #[test]
+    fn resume_after_death_is_bit_identical_and_death_not_reapplied() {
+        // Reference: uninterrupted faulty run (kill rank 1 mid-stream).
+        let deaths = vec![(1usize, 2.5e-3)];
+        let procs = (0..2).map(|_| PingPong { rounds: 12, log: Vec::new() }).collect::<Vec<_>>();
+        let (reference, ref_procs) =
+            Simulation::new(NetModel::paper_scale(), procs).with_rank_deaths(deaths.clone()).run();
+        assert_eq!(reference.rank_deaths, vec![(1, 2.5e-3)]);
+        // Checkpointed variant: stop at a cut past the death, then resume.
+        let procs = (0..2).map(|_| PingPong { rounds: 12, log: Vec::new() }).collect::<Vec<_>>();
+        let mut captured: Option<SimState<u32>> = None;
+        let (stopped, killed_procs) = Simulation::new(NetModel::paper_scale(), procs)
+            .with_rank_deaths(deaths.clone())
+            .run_checkpointed(3e-3, &mut |state, _procs: &[PingPong]| {
+                captured = Some(state.clone());
+                CheckpointControl::Stop
+            });
+        assert!(stopped.is_none());
+        let state = captured.expect("a cut fired");
+        assert_eq!(state.dead, vec![(1, 2.5e-3)], "cut must record the applied death");
+        let (resumed, resumed_procs) = Simulation::new(NetModel::paper_scale(), killed_procs)
+            .with_rank_deaths(deaths)
+            .resume(state);
+        assert_eq!(resumed.wall.to_bits(), reference.wall.to_bits());
+        assert_eq!(resumed.events, reference.events);
+        assert_eq!(resumed.ranks, reference.ranks);
+        assert_eq!(resumed.rank_deaths, reference.rank_deaths);
+        assert_eq!(resumed.dropped_events, reference.dropped_events);
+        assert_eq!(resumed_procs[0].log, ref_procs[0].log);
+        assert_eq!(resumed_procs[1].log, ref_procs[1].log);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown rank")]
+    fn death_for_unknown_rank_rejected() {
+        let procs = vec![Charger];
+        let _ = Simulation::new(NetModel::free(), procs).with_rank_deaths(vec![(7, 0.0)]);
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod event;
 pub mod metrics;
 pub mod net;
 pub mod process;
+pub mod suspect;
 pub mod threads;
 pub mod trace;
 
@@ -31,5 +32,6 @@ pub use event::Event;
 pub use metrics::{ProcMetrics, SimReport};
 pub use net::NetModel;
 pub use process::{Context, Process};
+pub use suspect::HeartbeatMonitor;
 pub use threads::ThreadRuntime;
 pub use trace::{ChargeKind, Timeline};

@@ -52,6 +52,14 @@ pub struct SimReport {
     pub events: u64,
     /// Per-rank metrics, indexed by rank.
     pub ranks: Vec<ProcMetrics>,
+    /// Fail-stop rank deaths applied during the run, as `(rank, virtual
+    /// time)` in application order. Empty for fault-free runs.
+    #[serde(default)]
+    pub rank_deaths: Vec<(usize, f64)>,
+    /// Events silently discarded because their target rank was dead or their
+    /// sender died before delivery. Never counted in `events`.
+    #[serde(default)]
+    pub dropped_events: u64,
 }
 
 impl SimReport {
@@ -94,6 +102,8 @@ mod tests {
                 ProcMetrics { io: 1.0, comm: 0.25, compute: 3.0, ..Default::default() },
                 ProcMetrics { io: 2.0, comm: 0.75, compute: 1.0, ..Default::default() },
             ],
+            rank_deaths: Vec::new(),
+            dropped_events: 0,
         };
         assert_eq!(r.totals(), (3.0, 1.0, 4.0));
     }

@@ -1,0 +1,169 @@
+//! Heartbeat-based failure suspicion.
+//!
+//! Fail-stop deaths are silent in this simulator — a dead rank's pending
+//! events and in-flight messages simply vanish — so survivors can only
+//! *suspect* a peer by noticing that its heartbeats stopped arriving. This
+//! module keeps the bookkeeping: each watched peer has a last-heard virtual
+//! time, and a sweep at `now` declares every peer silent for longer than
+//! `timeout` suspected. Suspicion is monotone (a suspected peer is never
+//! un-suspected) and can be wrong: a merely slow peer is indistinguishable
+//! from a dead one, so recovery protocols must tolerate duplicate adoption
+//! of a live peer's work.
+
+use serde::{Deserialize, Serialize};
+
+/// Tracks heartbeat recency for a set of watched peers and flags the ones
+/// that have gone silent past a timeout. Deterministic: all state is driven
+/// by explicit virtual times, and iteration order is rank order. Both lists
+/// are kept sorted by rank (watch sets are small — O(n) scans beat a map).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeartbeatMonitor {
+    /// Virtual seconds of silence after which a watched peer is suspected.
+    pub timeout: f64,
+    /// `(rank, last heard)` for each watched peer, sorted by rank (the watch
+    /// start counts as a hearing, so a fresh watch cannot be instantly
+    /// suspected).
+    last: Vec<(usize, f64)>,
+    /// Ranks declared dead so far, sorted. Monotone.
+    suspected: Vec<usize>,
+}
+
+impl HeartbeatMonitor {
+    pub fn new(timeout: f64) -> Self {
+        assert!(timeout.is_finite() && timeout > 0.0, "suspect timeout must be positive");
+        Self { timeout, last: Vec::new(), suspected: Vec::new() }
+    }
+
+    /// Start (or restart) watching `rank`, treating `now` as the moment it
+    /// was last heard. Restarting an already-suspected rank is a no-op:
+    /// suspicion is permanent under fail-stop.
+    pub fn watch(&mut self, rank: usize, now: f64) {
+        if self.is_suspected(rank) {
+            return;
+        }
+        match self.last.binary_search_by_key(&rank, |&(r, _)| r) {
+            Ok(i) => self.last[i].1 = now,
+            Err(i) => self.last.insert(i, (rank, now)),
+        }
+    }
+
+    /// Stop watching `rank` (e.g. the watch target moved along a ring).
+    pub fn unwatch(&mut self, rank: usize) {
+        if let Ok(i) = self.last.binary_search_by_key(&rank, |&(r, _)| r) {
+            self.last.remove(i);
+        }
+    }
+
+    /// Record a heartbeat (or any message — traffic proves liveness) from
+    /// `rank` at virtual time `now`. Ignored for unwatched peers.
+    pub fn beat(&mut self, rank: usize, now: f64) {
+        if let Ok(i) = self.last.binary_search_by_key(&rank, |&(r, _)| r) {
+            if now > self.last[i].1 {
+                self.last[i].1 = now;
+            }
+        }
+    }
+
+    /// Declare every watched peer silent for more than `timeout` suspected,
+    /// returning the *newly* suspected ranks in ascending order. Suspected
+    /// peers leave the watch list.
+    pub fn sweep(&mut self, now: f64) -> Vec<usize> {
+        let timeout = self.timeout;
+        let newly: Vec<usize> = self
+            .last
+            .iter()
+            .filter(|&&(_, heard)| now - heard > timeout)
+            .map(|&(r, _)| r)
+            .collect();
+        for &rank in &newly {
+            self.unwatch(rank);
+            if let Err(i) = self.suspected.binary_search(&rank) {
+                self.suspected.insert(i, rank);
+            }
+        }
+        newly
+    }
+
+    /// Has `rank` been declared dead?
+    pub fn is_suspected(&self, rank: usize) -> bool {
+        self.suspected.binary_search(&rank).is_ok()
+    }
+
+    /// All ranks declared dead so far, ascending.
+    pub fn suspected(&self) -> impl Iterator<Item = usize> + '_ {
+        self.suspected.iter().copied()
+    }
+
+    /// Number of ranks declared dead so far.
+    pub fn suspected_count(&self) -> usize {
+        self.suspected.len()
+    }
+
+    /// Currently watched (not yet suspected) peers, ascending.
+    pub fn watched(&self) -> impl Iterator<Item = usize> + '_ {
+        self.last.iter().map(|&(r, _)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silence_past_timeout_is_suspected_once() {
+        let mut m = HeartbeatMonitor::new(1.0);
+        m.watch(3, 0.0);
+        m.watch(5, 0.0);
+        assert!(m.sweep(0.9).is_empty());
+        m.beat(5, 0.8);
+        assert_eq!(m.sweep(1.5), vec![3]);
+        assert!(m.is_suspected(3));
+        assert!(!m.is_suspected(5));
+        // A second sweep does not re-report rank 3.
+        assert!(m.sweep(1.6).is_empty());
+        assert_eq!(m.sweep(2.0), vec![5]);
+        assert_eq!(m.suspected_count(), 2);
+    }
+
+    #[test]
+    fn beats_keep_a_peer_alive_and_stale_beats_are_ignored() {
+        let mut m = HeartbeatMonitor::new(1.0);
+        m.watch(1, 0.0);
+        m.beat(1, 0.9);
+        m.beat(1, 0.5); // stale: must not move last-heard backwards
+        assert!(m.sweep(1.8).is_empty());
+        assert_eq!(m.sweep(2.0), vec![1]);
+    }
+
+    #[test]
+    fn suspicion_is_permanent_across_rewatch() {
+        let mut m = HeartbeatMonitor::new(1.0);
+        m.watch(2, 0.0);
+        assert_eq!(m.sweep(5.0), vec![2]);
+        m.watch(2, 5.0);
+        m.beat(2, 6.0);
+        assert!(m.is_suspected(2));
+        assert!(m.sweep(10.0).is_empty());
+    }
+
+    #[test]
+    fn unwatch_removes_without_suspecting() {
+        let mut m = HeartbeatMonitor::new(1.0);
+        m.watch(7, 0.0);
+        m.unwatch(7);
+        assert!(m.sweep(100.0).is_empty());
+        assert!(!m.is_suspected(7));
+    }
+
+    #[test]
+    fn serializes_round_trip() {
+        let mut m = HeartbeatMonitor::new(0.5);
+        m.watch(1, 0.0);
+        m.watch(2, 0.0);
+        m.sweep(3.0);
+        m.watch(4, 3.0);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: HeartbeatMonitor = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -261,7 +261,7 @@ impl<M: Send, P: Process<M> + Send> ThreadRuntime<M, P> {
             procs.push(p);
             ranks.push(m);
         }
-        (SimReport { wall, events, ranks }, procs)
+        (SimReport { wall, events, ranks, rank_deaths: Vec::new(), dropped_events: 0 }, procs)
     }
 
     /// Run until some process calls `stop_all` (5-minute safety timeout).

@@ -41,6 +41,9 @@ pub enum Termination {
     /// (permanent store fault after retries). The curve up to the failure
     /// point is kept; integration cannot continue without the data.
     BlockUnavailable,
+    /// The rank carrying the streamline's in-flight state died (fail-stop)
+    /// and no survivor could recover the work. Only the seed is known.
+    RankLost,
 }
 
 /// Lifecycle state of a streamline.

@@ -100,7 +100,64 @@ impl ChaosParams {
     pub fn transient_only() -> Self {
         ChaosParams { fault_prob: 0.4, transient_prob: 1.0, ..ChaosParams::default() }
     }
+
+    /// Reject parameters the RNG would panic on (probabilities outside
+    /// [0, 1], non-finite values, a zero `max_clears` that would make the
+    /// transient range `1..=0` empty).
+    pub fn validate(&self) -> Result<(), ChaosConfigError> {
+        prob("fault_prob", self.fault_prob)?;
+        prob("transient_prob", self.transient_prob)?;
+        prob("corrupt_prob", self.corrupt_prob)?;
+        prob("latency_prob", self.latency_prob)?;
+        if self.max_clears == 0 {
+            return Err(ChaosConfigError::ZeroMaxClears);
+        }
+        Ok(())
+    }
 }
+
+fn prob(name: &'static str, value: f64) -> Result<(), ChaosConfigError> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(ChaosConfigError::Probability { name, value })
+    }
+}
+
+/// A chaos knob that would panic or misbehave inside the plan generator,
+/// rejected up front instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosConfigError {
+    /// A probability knob outside [0, 1] (or NaN/infinite).
+    Probability { name: &'static str, value: f64 },
+    /// `max_clears == 0` would make the transient clearing range empty.
+    ZeroMaxClears,
+    /// A rank-fault time window with `end < start`, or a non-finite or
+    /// negative bound.
+    Window { start: f64, end: f64 },
+}
+
+impl std::fmt::Display for ChaosConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaosConfigError::Probability { name, value } => {
+                write!(f, "chaos probability `{name}` must be in [0, 1], got {value}")
+            }
+            ChaosConfigError::ZeroMaxClears => {
+                write!(f, "chaos `max_clears` must be at least 1")
+            }
+            ChaosConfigError::Window { start, end } => {
+                write!(
+                    f,
+                    "rank-chaos window must satisfy 0 <= start <= end and be finite, \
+                     got [{start}, {end}]"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaosConfigError {}
 
 /// A seeded, per-block fault schedule.
 ///
@@ -146,7 +203,14 @@ impl FaultPlan {
     }
 
     /// Draw a random plan over `num_blocks` blocks from a seeded stream.
-    pub fn random(seed: u64, num_blocks: usize, params: &ChaosParams) -> Self {
+    /// Rejects invalid `params` as a typed error instead of panicking inside
+    /// the RNG.
+    pub fn random(
+        seed: u64,
+        num_blocks: usize,
+        params: &ChaosParams,
+    ) -> Result<Self, ChaosConfigError> {
+        params.validate()?;
         let mut rng = streamline_math::rng::stream(seed, "fault-plan");
         let mut blocks = BTreeMap::new();
         for i in 0..num_blocks {
@@ -167,7 +231,7 @@ impl FaultPlan {
                 blocks.insert(BlockId(i as u32), bf);
             }
         }
-        FaultPlan { blocks }
+        Ok(FaultPlan { blocks })
     }
 
     /// Faults scheduled for `id` (default = none).
@@ -211,6 +275,83 @@ impl FaultPlan {
     /// Iterate over `(id, faults)` in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = (BlockId, BlockFaults)> + '_ {
         self.blocks.iter().map(|(&id, &bf)| (id, bf))
+    }
+}
+
+/// Knobs for [`RankFaultPlan::random`]: seeded fail-stop rank kills.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankChaosParams {
+    /// Probability each rank is killed at all.
+    pub kill_prob: f64,
+    /// Kill times are uniform in `[window.0, window.1]` virtual seconds.
+    pub window: (f64, f64),
+}
+
+impl Default for RankChaosParams {
+    fn default() -> Self {
+        RankChaosParams { kill_prob: 0.25, window: (0.0, 1e-2) }
+    }
+}
+
+impl RankChaosParams {
+    pub fn validate(&self) -> Result<(), ChaosConfigError> {
+        prob("kill_prob", self.kill_prob)?;
+        let (start, end) = self.window;
+        if !(start.is_finite() && end.is_finite() && 0.0 <= start && start <= end) {
+            return Err(ChaosConfigError::Window { start, end });
+        }
+        Ok(())
+    }
+}
+
+/// A seeded schedule of fail-stop rank deaths, sorted by `(time, rank)`.
+/// Pure data — it does nothing until a simulation executes it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankFaultPlan {
+    /// `(rank, virtual kill time)`, sorted by time then rank.
+    pub deaths: Vec<(usize, f64)>,
+}
+
+impl RankFaultPlan {
+    /// An empty plan (kills nobody).
+    pub fn none() -> Self {
+        RankFaultPlan::default()
+    }
+
+    /// Kill exactly one rank at one time.
+    pub fn one(rank: usize, time: f64) -> Self {
+        RankFaultPlan { deaths: vec![(rank, time)] }
+    }
+
+    /// Draw a random death schedule over `n_ranks` ranks from a seeded
+    /// stream: each rank independently dies with `kill_prob` at a uniform
+    /// time inside the window. A `(seed, n_ranks, params)` triple always
+    /// yields the same plan.
+    pub fn random(
+        seed: u64,
+        n_ranks: usize,
+        params: &RankChaosParams,
+    ) -> Result<Self, ChaosConfigError> {
+        params.validate()?;
+        let mut rng = streamline_math::rng::stream(seed, "rank-fault-plan");
+        let (start, end) = params.window;
+        let mut deaths = Vec::new();
+        for rank in 0..n_ranks {
+            if rng.gen_bool(params.kill_prob) {
+                let t = if end > start { start + rng.gen::<f64>() * (end - start) } else { start };
+                deaths.push((rank, t));
+            }
+        }
+        deaths.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        Ok(RankFaultPlan { deaths })
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.deaths.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.deaths.len()
     }
 }
 
@@ -455,10 +596,10 @@ mod tests {
     #[test]
     fn random_plan_is_deterministic_and_classified() {
         let params = ChaosParams::default();
-        let a = FaultPlan::random(7, 512, &params);
-        let b = FaultPlan::random(7, 512, &params);
+        let a = FaultPlan::random(7, 512, &params).unwrap();
+        let b = FaultPlan::random(7, 512, &params).unwrap();
         assert_eq!(a, b, "same seed must give the same plan");
-        let c = FaultPlan::random(8, 512, &params);
+        let c = FaultPlan::random(8, 512, &params).unwrap();
         assert_ne!(a, c, "different seeds should differ");
         assert!(!a.is_empty());
         // Every scheduled failure is classified exactly once.
@@ -502,8 +643,70 @@ mod tests {
 
     #[test]
     fn transient_only_plans_have_no_permanent_faults() {
-        let plan = FaultPlan::random(3, 256, &ChaosParams::transient_only());
+        let plan = FaultPlan::random(3, 256, &ChaosParams::transient_only()).unwrap();
         assert!(!plan.has_permanent_faults());
         assert!(!plan.transient_blocks().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_probabilities_are_typed_errors_not_panics() {
+        for (params, name) in [
+            (ChaosParams { fault_prob: 1.5, ..ChaosParams::default() }, "fault_prob"),
+            (ChaosParams { transient_prob: -0.1, ..ChaosParams::default() }, "transient_prob"),
+            (ChaosParams { corrupt_prob: f64::NAN, ..ChaosParams::default() }, "corrupt_prob"),
+            (ChaosParams { latency_prob: 2.0, ..ChaosParams::default() }, "latency_prob"),
+        ] {
+            match FaultPlan::random(1, 16, &params) {
+                Err(ChaosConfigError::Probability { name: got, .. }) => assert_eq!(got, name),
+                other => panic!("expected Probability error for {name}, got {other:?}"),
+            }
+        }
+        assert_eq!(
+            FaultPlan::random(1, 16, &ChaosParams { max_clears: 0, ..ChaosParams::default() }),
+            Err(ChaosConfigError::ZeroMaxClears)
+        );
+    }
+
+    #[test]
+    fn rank_plan_is_deterministic_sorted_and_in_window() {
+        let params = RankChaosParams { kill_prob: 0.5, window: (1e-3, 5e-3) };
+        let a = RankFaultPlan::random(11, 64, &params).unwrap();
+        let b = RankFaultPlan::random(11, 64, &params).unwrap();
+        assert_eq!(a, b, "same seed must give the same schedule");
+        assert!(!a.is_empty());
+        for &(rank, t) in &a.deaths {
+            assert!(rank < 64);
+            assert!((1e-3..=5e-3).contains(&t), "kill time {t} outside window");
+        }
+        for w in a.deaths.windows(2) {
+            assert!((w[0].1, w[0].0) < (w[1].1, w[1].0), "deaths not sorted");
+        }
+        assert_ne!(a, RankFaultPlan::random(12, 64, &params).unwrap());
+    }
+
+    #[test]
+    fn rank_plan_rejects_bad_knobs() {
+        assert!(matches!(
+            RankFaultPlan::random(
+                1,
+                8,
+                &RankChaosParams { kill_prob: 1.1, ..RankChaosParams::default() }
+            ),
+            Err(ChaosConfigError::Probability { name: "kill_prob", .. })
+        ));
+        assert!(matches!(
+            RankFaultPlan::random(1, 8, &RankChaosParams { kill_prob: 0.5, window: (2.0, 1.0) }),
+            Err(ChaosConfigError::Window { .. })
+        ));
+        assert!(matches!(
+            RankFaultPlan::random(1, 8, &RankChaosParams { kill_prob: 0.5, window: (-1.0, 1.0) }),
+            Err(ChaosConfigError::Window { .. })
+        ));
+        // A degenerate (point) window is fine: every death lands on it.
+        let plan =
+            RankFaultPlan::random(1, 8, &RankChaosParams { kill_prob: 1.0, window: (2.0, 2.0) })
+                .unwrap();
+        assert_eq!(plan.len(), 8);
+        assert!(plan.deaths.iter().all(|&(_, t)| t == 2.0));
     }
 }

@@ -27,8 +27,8 @@ pub mod store;
 pub mod testutil;
 
 pub use fault::{
-    BlockFaults, ChaosParams, FaultCounters, FaultKind, FaultPlan, FaultState, FaultStore,
-    INJECTED_BAD_MAGIC,
+    BlockFaults, ChaosConfigError, ChaosParams, FaultCounters, FaultKind, FaultPlan, FaultState,
+    FaultStore, RankChaosParams, RankFaultPlan, INJECTED_BAD_MAGIC,
 };
 pub use lru::{CacheStats, LruCache};
 pub use model::DiskModel;

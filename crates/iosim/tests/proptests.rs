@@ -124,7 +124,7 @@ proptest! {
             latency_prob: 0.0,
             max_latency_us: 0,
         };
-        let plan = FaultPlan::random(seed, N, &params);
+        let plan = FaultPlan::random(seed, N, &params).expect("generated params are valid");
         let reference: Vec<Block> =
             (0..N).map(|i| block_with(i as u32, [3, 2, 2], i as f32)).collect();
         let inner = Arc::new(MemoryStore::from_blocks(reference.clone()));

@@ -66,6 +66,18 @@ pub const FAULTS_IO_INJECTED_TOTAL: &str = "streamline_faults_io_injected_total"
 pub const FAULTS_DECODE_INJECTED_TOTAL: &str = "streamline_faults_decode_injected_total";
 pub const FAULTS_LATENCY_INJECTED_TOTAL: &str = "streamline_faults_latency_injected_total";
 
+// Rank fail-stop faults (RunReport resilience accounting).
+pub const FAULTS_RANK_DEATHS_TOTAL: &str = "streamline_faults_rank_deaths_total";
+pub const FAULTS_RANK_LOST_STREAMLINES_TOTAL: &str =
+    "streamline_faults_rank_lost_streamlines_total";
+pub const FAULTS_RANK_REASSIGNED_STREAMLINES_TOTAL: &str =
+    "streamline_faults_rank_reassigned_streamlines_total";
+pub const FAULTS_RANK_DROPPED_EVENTS_TOTAL: &str = "streamline_faults_rank_dropped_events_total";
+pub const FAULTS_RANK_DETECTION_LATENCY_MEAN_SECONDS: &str =
+    "streamline_faults_rank_detection_latency_mean_seconds";
+pub const FAULTS_RANK_DETECTION_LATENCY_MAX_SECONDS: &str =
+    "streamline_faults_rank_detection_latency_max_seconds";
+
 // The live query service.
 pub const SERVE_WORKERS: &str = "streamline_serve_workers";
 pub const SERVE_UPTIME_SECONDS: &str = "streamline_serve_uptime_seconds";

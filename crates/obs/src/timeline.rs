@@ -234,6 +234,15 @@ pub struct ScheduleTrace {
     /// Each phase's share of the total `ranks × buckets × width` area;
     /// the four shares sum to at most 1 (uncharged time is unattributed).
     pub shares: PhaseTotals,
+    /// Rank fail-stop deaths applied during the run, as raw
+    /// `(rank, virtual time)` events. Empty on fault-free runs;
+    /// `#[serde(default)]` keeps pre-existing traces parsing.
+    #[serde(default)]
+    pub rank_deaths: Vec<(usize, f64)>,
+    /// Cumulative applied rank deaths at the end of each bucket, aligned
+    /// with the other series. Empty unless deaths were recorded.
+    #[serde(default)]
+    pub rank_deaths_cumulative: Vec<u64>,
 }
 
 impl ScheduleTrace {
@@ -282,7 +291,39 @@ impl ScheduleTrace {
         } else {
             PhaseTotals::default()
         };
-        ScheduleTrace { participation, pingpong_cumulative, shares }
+        ScheduleTrace {
+            participation,
+            pingpong_cumulative,
+            shares,
+            rank_deaths: Vec::new(),
+            rank_deaths_cumulative: Vec::new(),
+        }
+    }
+
+    /// Attach a run's applied rank-death schedule: the raw `(rank, time)`
+    /// events plus a cumulative per-bucket series aligned with the other
+    /// curves. A death past the last bucket counts in the last bucket (it
+    /// happened by end of run). No-op when `deaths` is empty, so fault-free
+    /// traces stay byte-identical.
+    pub fn with_rank_deaths(mut self, timeline: &PhaseTimeline, deaths: &[(usize, f64)]) -> Self {
+        if deaths.is_empty() {
+            return self;
+        }
+        let nb = timeline.n_buckets();
+        let w = timeline.bucket_width;
+        let mut cumulative = vec![0u64; nb];
+        if nb > 0 {
+            for &(_, t) in deaths {
+                let b = ((t / w) as usize).min(nb - 1);
+                cumulative[b] += 1;
+            }
+            for b in 1..nb {
+                cumulative[b] += cumulative[b - 1];
+            }
+        }
+        self.rank_deaths = deaths.to_vec();
+        self.rank_deaths_cumulative = cumulative;
+        self
     }
 }
 
@@ -426,6 +467,34 @@ impl TraceFile {
             let sum: f64 = shares.iter().sum();
             if sum > 1.0 + 1e-6 {
                 return Err(format!("schedule shares sum to {sum} > 1"));
+            }
+            if !s.rank_deaths.is_empty() || !s.rank_deaths_cumulative.is_empty() {
+                if s.rank_deaths_cumulative.len() != nb {
+                    return Err(format!(
+                        "schedule rank-death series has {} buckets, trace has {nb}",
+                        s.rank_deaths_cumulative.len()
+                    ));
+                }
+                for w in s.rank_deaths_cumulative.windows(2) {
+                    if w[1] < w[0] {
+                        return Err(format!(
+                            "rank-death series not monotone: {} then {}",
+                            w[0], w[1]
+                        ));
+                    }
+                }
+                let total = s.rank_deaths_cumulative.last().copied().unwrap_or(0);
+                if total != s.rank_deaths.len() as u64 {
+                    return Err(format!(
+                        "rank-death series totals {total}, but {} deaths listed",
+                        s.rank_deaths.len()
+                    ));
+                }
+                for &(_, t) in &s.rank_deaths {
+                    if !t.is_finite() || t < 0.0 {
+                        return Err(format!("rank death at non-finite or negative time {t}"));
+                    }
+                }
             }
         }
         Ok(())
@@ -683,6 +752,31 @@ mod tests {
         let mut bad = trace;
         bad.schedule.as_mut().unwrap().shares.io = f64::NAN;
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn rank_death_series_accumulates_and_validates() {
+        let mut t = PhaseTimeline::new(2, 1.0);
+        t.add(0, Phase::Compute, 0.0, 1.0);
+        t.add(1, Phase::Compute, 1.0, 1.0);
+        // Two deaths in bucket 0, one past the end (clamped to the last).
+        let deaths = vec![(0, 0.2), (1, 0.7), (3, 9.0)];
+        let s = ScheduleTrace::from_timeline(&t, &[]).with_rank_deaths(&t, &deaths);
+        assert_eq!(s.rank_deaths_cumulative, vec![2, 3]);
+        assert_eq!(s.rank_deaths, deaths);
+        let mut trace = t.to_trace("virtual");
+        trace.schedule = Some(s);
+        trace.validate().expect("rank-death series validates");
+        // No deaths → the series stays empty and the trace byte-identical.
+        let empty = ScheduleTrace::from_timeline(&t, &[]).with_rank_deaths(&t, &[]);
+        assert_eq!(empty, ScheduleTrace::from_timeline(&t, &[]));
+        // Corruption is rejected: non-monotone series, count mismatch.
+        let mut bad = trace.clone();
+        bad.schedule.as_mut().unwrap().rank_deaths_cumulative = vec![3, 2];
+        assert!(bad.validate().is_err(), "non-monotone rank-death series rejected");
+        let mut bad = trace;
+        bad.schedule.as_mut().unwrap().rank_deaths.pop();
+        assert!(bad.validate().is_err(), "death-count mismatch rejected");
     }
 
     #[test]

@@ -59,6 +59,13 @@ fn main() {
                 "—",
                 "—"
             ),
+            RunOutcome::MasterLost { rank } => println!(
+                "{:<16} {:>12} {:>10} {:>10}",
+                algo.label(),
+                format!("master lost@r{rank}"),
+                "—",
+                "—"
+            ),
         }
     }
 

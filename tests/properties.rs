@@ -174,7 +174,8 @@ proptest! {
         cfg.steal = StealParams { neighbor_degree, diffusion_period, steal_batch };
         prop_assert!(cfg.steal.validate().is_ok());
         let store: Arc<dyn BlockStore> = if inject {
-            let plan = FaultPlan::random(fault_seed, ds.decomp.num_blocks(), &ChaosParams::default());
+            let plan = FaultPlan::random(fault_seed, ds.decomp.num_blocks(), &ChaosParams::default())
+                .expect("default chaos params are valid");
             Arc::new(FaultStore::new(Arc::new(MemoryStore::build(&ds)), plan))
         } else {
             Arc::new(MemoryStore::build(&ds))
