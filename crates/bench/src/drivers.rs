@@ -24,8 +24,12 @@
 use crate::experiments::{case_config, dataset_for, SweepScale, Workload};
 use serde::Serialize;
 use std::sync::Arc;
-use streamline_core::{run_simulated_with_store, Algorithm, RankChaos};
+use streamline_core::{
+    run_simulated_open_detailed_with_store, run_simulated_with_store, Algorithm, DetectorKind,
+    RankChaos, SeedSource,
+};
 use streamline_field::dataset::Seeding;
+use streamline_field::seeds::SeedSet;
 use streamline_iosim::{BlockStore, MemoryStore};
 
 /// Schema tag of the emitted JSON.
@@ -92,6 +96,47 @@ pub struct RankChaosCell {
     pub conserved: bool,
 }
 
+/// One open-loop measurement: a driver integrating a Poisson seed stream
+/// (half at start, the rest in exponential-gap epochs) with the frontier
+/// termination protocol, on the thermal/sparse problem.
+#[derive(Debug, Clone, Serialize)]
+pub struct OpenLoopCell {
+    pub algorithm: String,
+    pub n_procs: usize,
+    /// Seeds across the whole arrival schedule (base epoch included).
+    pub ingested: u64,
+    /// Epochs in the schedule (base epoch included).
+    pub n_epochs: u32,
+    /// `true` when a seeded fail-stop death schedule ran underneath.
+    pub chaos: bool,
+    pub completed: bool,
+    /// Streamlines integrated to a normal termination.
+    pub completed_streamlines: u64,
+    /// Streamlines cut short by unavailable blocks.
+    pub unavailable: u64,
+    /// Streamlines lost with a dead rank.
+    pub rank_lost: u64,
+    /// The exact conservation gate:
+    /// `completed + unavailable + rank_lost == ingested`.
+    pub conserved: bool,
+    /// Epochs the folded frontier confirmed fully retired.
+    pub frontier_epochs: u32,
+    /// Mean/max virtual seconds from an epoch's arrival to its
+    /// frontier-confirmed completion.
+    pub ingest_lag_mean: f64,
+    pub ingest_lag_max: f64,
+    /// Virtual seconds.
+    pub wall: f64,
+    /// Mean fraction of the wall each rank spent integrating.
+    pub participation: f64,
+    /// The same driver and rank count on the identical seed set delivered
+    /// closed (everything at t = 0) — the baseline the paper assumes.
+    pub closed_participation: f64,
+    /// `participation - closed_participation`: what streaming the seeds in
+    /// buys (or costs) in rank utilization.
+    pub participation_uplift: f64,
+}
+
 /// Everything one harness run measured.
 #[derive(Debug, Clone, Serialize)]
 pub struct DriversReport {
@@ -106,6 +151,11 @@ pub struct DriversReport {
     pub rank_chaos: Vec<RankChaosCell>,
     /// Every rank-chaos cell kept the work-conservation invariant.
     pub rank_chaos_conserved: bool,
+    /// Open-loop Poisson-arrival cells: every driver at every rank count,
+    /// plus one chaos overlay per driver at the smallest rank count.
+    pub open_loop: Vec<OpenLoopCell>,
+    /// Every open-loop cell passed the exact conservation gate.
+    pub open_loop_conserved: bool,
 }
 
 impl DriversReport {
@@ -140,6 +190,23 @@ impl DriversReport {
                     c.rank_lost,
                     c.reassigned,
                     c.detection_latency_mean,
+                    if c.conserved { "conserved" } else { "NOT CONSERVED" },
+                ));
+            }
+        }
+        if !self.open_loop.is_empty() {
+            out.push_str("open-loop (thermal/sparse, Poisson arrivals):\n");
+            for c in &self.open_loop {
+                out.push_str(&format!(
+                    "  {:<16} @ {:>3} ranks{}  part {:>5.3} (closed {:>5.3}, uplift {:>+6.3})  \
+                     lag mean {:>7.4}s  {}\n",
+                    c.algorithm,
+                    c.n_procs,
+                    if c.chaos { " +chaos" } else { "       " },
+                    c.participation,
+                    c.closed_participation,
+                    c.participation_uplift,
+                    c.ingest_lag_mean,
                     if c.conserved { "conserved" } else { "NOT CONSERVED" },
                 ));
             }
@@ -258,6 +325,85 @@ pub fn run_drivers(cfg: &DriversConfig) -> DriversReport {
             });
         }
     }
+    // Open-loop cells: the thermal/sparse problem again, but with the seeds
+    // streamed in as a deterministic Poisson arrival schedule (half at
+    // start, the rest in exponential-gap epochs) under the frontier
+    // termination protocol. Each cell is gated on the exact conservation
+    // invariant and reports its participation uplift against the matching
+    // closed-loop cell from the matrix above. One chaos overlay per driver
+    // at the smallest rank count shows the invariant surviving rank deaths.
+    let mut open_loop = Vec::new();
+    let mut open_loop_conserved = true;
+    {
+        let workload = Workload::Thermal;
+        let seeding = Seeding::Sparse;
+        let dataset = dataset_for(workload, scale);
+        let n_seeds = if cfg.smoke { 48 } else { (dataset.paper_seed_count(seeding) / 8).max(64) };
+        let seeds = dataset.seeds_with_count(seeding, n_seeds);
+        let n_epochs = if cfg.smoke { 3 } else { 6 };
+        let source = poisson_source(&seeds, n_epochs, 2.0e-4, 0x9E2_0A51);
+        let store: Arc<dyn BlockStore> = Arc::new(MemoryStore::build(&dataset));
+        let chaos_p = proc_counts[0];
+        for &p in &proc_counts {
+            eprintln!("[bench-drivers] open-loop thermal/sparse @ {p} ranks ...");
+            for algorithm in Algorithm::ALL {
+                for chaos in [false, true] {
+                    if chaos && p != chaos_p {
+                        continue;
+                    }
+                    let mut run_cfg = case_config(workload, seeding, algorithm, p);
+                    run_cfg.detector = DetectorKind::Frontier;
+                    if chaos {
+                        run_cfg.rank_chaos = Some(RankChaos::one_kill(p - 1, 3e-4));
+                    }
+                    let (report, _) = run_simulated_open_detailed_with_store(
+                        &dataset,
+                        &source,
+                        &run_cfg,
+                        Arc::clone(&store),
+                    );
+                    let ingested = source.total_seeds() as u64;
+                    let unavailable = report.unavailable_terminations;
+                    let rank_lost = report.rank_lost_streamlines;
+                    let completed_streamlines =
+                        report.terminated.saturating_sub(unavailable + rank_lost);
+                    let conserved = completed_streamlines + unavailable + rank_lost == ingested
+                        && report.terminated == ingested;
+                    open_loop_conserved &= conserved;
+                    let closed_participation = cells
+                        .iter()
+                        .find(|c| {
+                            c.workload == workload.label()
+                                && c.seeding == seeding.label()
+                                && c.algorithm == algorithm.label()
+                                && c.n_procs == p
+                        })
+                        .map(|c| c.participation)
+                        .unwrap_or(f64::NAN);
+                    let participation = report.participation();
+                    open_loop.push(OpenLoopCell {
+                        algorithm: algorithm.label().to_string(),
+                        n_procs: p,
+                        ingested,
+                        n_epochs: report.ingest_epochs,
+                        chaos,
+                        completed: report.outcome.completed(),
+                        completed_streamlines,
+                        unavailable,
+                        rank_lost,
+                        conserved,
+                        frontier_epochs: report.ingest_frontier_epochs,
+                        ingest_lag_mean: report.ingest_lag_mean,
+                        ingest_lag_max: report.ingest_lag_max,
+                        wall: report.wall,
+                        participation,
+                        closed_participation,
+                        participation_uplift: participation - closed_participation,
+                    });
+                }
+            }
+        }
+    }
     DriversReport {
         schema: DRIVERS_SCHEMA.to_string(),
         smoke: cfg.smoke,
@@ -266,7 +412,41 @@ pub fn run_drivers(cfg: &DriversConfig) -> DriversReport {
         all_drivers_agree,
         rank_chaos,
         rank_chaos_conserved,
+        open_loop,
+        open_loop_conserved,
     }
+}
+
+/// splitmix64 advanced in place, mapped to a unit-interval sample — the
+/// same deterministic schedule on every host and run.
+fn unit(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A deterministic Poisson arrival schedule over `seeds`: the first half
+/// forms the base epoch at t = 0, the rest stream in as `n_epochs` batches
+/// whose inter-arrival gaps are exponential with mean `mean_gap` virtual
+/// seconds, drawn from a splitmix64 stream salted with `salt`.
+fn poisson_source(seeds: &SeedSet, n_epochs: usize, mean_gap: f64, salt: u64) -> SeedSource {
+    let half = seeds.points.len() / 2;
+    let base = SeedSet { label: seeds.label.clone(), points: seeds.points[..half].to_vec() };
+    let rest = &seeds.points[half..];
+    let per = rest.len().div_ceil(n_epochs.max(1)).max(1);
+    let mut state = salt;
+    let mut t = 0.0;
+    let arrivals = rest
+        .chunks(per)
+        .map(|chunk| {
+            t += -mean_gap * (1.0 - unit(&mut state)).ln();
+            (t, chunk.to_vec())
+        })
+        .collect();
+    SeedSource::new(&base, arrivals).expect("gaps are positive, so arrivals are monotone")
 }
 
 #[cfg(test)]
@@ -300,6 +480,28 @@ mod tests {
             report.rank_chaos.iter().any(|c| c.rank_deaths > 0),
             "the seeded schedule never killed a rank: {}",
             report.summary()
+        );
+        // Open-loop cells: every driver at every rank count, plus one
+        // chaos overlay per driver at the smallest rank count — all gated
+        // on exact conservation.
+        assert_eq!(
+            report.open_loop.len(),
+            report.proc_counts.len() * Algorithm::ALL.len() + Algorithm::ALL.len()
+        );
+        assert!(report.open_loop_conserved, "{}", report.summary());
+        for c in &report.open_loop {
+            assert!(c.conserved, "{} @ {} ranks leaked work", c.algorithm, c.n_procs);
+            assert!(c.n_epochs > 1, "schedule must actually stream");
+            if !c.chaos {
+                assert_eq!(c.frontier_epochs, c.n_epochs, "frontier confirmed every epoch");
+            }
+            assert!(c.ingest_lag_mean >= 0.0 && c.ingest_lag_mean.is_finite());
+            assert!((0.0..=1.0).contains(&c.participation), "{}", c.algorithm);
+            assert!(c.participation_uplift.is_finite(), "closed baseline cell missing");
+        }
+        assert!(
+            report.open_loop.iter().any(|c| c.chaos && c.rank_lost + c.completed_streamlines > 0),
+            "chaos overlay cells must still account for every seed"
         );
         // The report is what `bench-drivers --json` writes; it must serialize.
         serde_json::to_string(&report).expect("report serializes");

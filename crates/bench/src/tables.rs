@@ -124,6 +124,12 @@ mod tests {
                 detection_latency_mean: 0.0,
                 detection_latency_max: 0.0,
                 dropped_events: 0,
+                ingest_epochs: 0,
+                ingest_frontier_epochs: 0,
+                ingest_epoch_arrivals: vec![],
+                ingest_epoch_completions: vec![],
+                ingest_lag_mean: 0.0,
+                ingest_lag_max: 0.0,
                 events: 1,
                 per_rank: vec![],
             },

@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (no external CLI dependency).
 
 use std::collections::BTreeMap;
-use streamline_core::{Algorithm, BatchParams, RankChaos, StealParams};
+use streamline_core::{Algorithm, BatchParams, DetectorKind, RankChaos, StealParams};
 use streamline_field::dataset::Seeding;
 use streamline_iosim::ChaosParams;
 
@@ -70,6 +70,15 @@ pub enum Command {
         /// Kill simulated ranks from a seeded schedule and run every driver
         /// in resilient mode (`--rank-chaos` plus the `--rank-*` knobs).
         rank_chaos: Option<RankChaos>,
+        /// Open-loop streaming ingestion: number of arrival epochs past the
+        /// start-time base set (`--ingest-epochs`; 0 = closed run).
+        ingest_epochs: usize,
+        /// Virtual seconds between arrival epochs (`--ingest-interval`).
+        ingest_interval: f64,
+        /// Seeds delivered per arrival epoch (`--ingest-batch`).
+        ingest_batch: usize,
+        /// Termination detector (`--detector closed-set|frontier`).
+        detector: DetectorKind,
         json: Option<String>,
         /// Write a virtual-time phase timeline (idle/io/compute/comm per
         /// rank) as trace JSON to this path.
@@ -190,6 +199,14 @@ fn parse_seeding(s: &str) -> Result<Seeding, String> {
         "sparse" => Ok(Seeding::Sparse),
         "dense" => Ok(Seeding::Dense),
         other => Err(format!("unknown seeding '{other}' (sparse|dense)")),
+    }
+}
+
+fn parse_detector(s: &str) -> Result<DetectorKind, String> {
+    match s {
+        "closed-set" | "closed" => Ok(DetectorKind::ClosedSet),
+        "frontier" => Ok(DetectorKind::Frontier),
+        other => Err(format!("unknown detector '{other}' (closed-set|frontier)")),
     }
 }
 
@@ -339,6 +356,10 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     "rank-kill",
                     "rank-heartbeat",
                     "rank-suspect-timeout",
+                    "ingest-epochs",
+                    "ingest-interval",
+                    "ingest-batch",
+                    "detector",
                     "json",
                     "trace",
                     "trace-bucket",
@@ -396,6 +417,30 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     }
                 }
             }
+            let ingest_epochs: usize = get_parse(&o, "ingest-epochs", 0)?;
+            // Ingest knobs without any arrival epochs would be a silent
+            // no-op; reject like the chaos and steal knobs.
+            if ingest_epochs == 0 {
+                for knob in ["ingest-interval", "ingest-batch"] {
+                    if o.contains_key(knob) {
+                        return Err(format!(
+                            "--{knob} only applies with --ingest-epochs N (N > 0)"
+                        ));
+                    }
+                }
+            }
+            let ingest_interval: f64 = get_parse(&o, "ingest-interval", 2.0e-4)?;
+            if !(ingest_interval > 0.0 && ingest_interval.is_finite()) {
+                return Err(format!(
+                    "--ingest-interval must be positive and finite, got {ingest_interval}"
+                ));
+            }
+            let ingest_batch: usize = get_parse(&o, "ingest-batch", 32)?;
+            if ingest_epochs > 0 && ingest_batch == 0 {
+                return Err("--ingest-batch must be >= 1".into());
+            }
+            let detector =
+                parse_detector(o.get("detector").map(|s| s.as_str()).unwrap_or("closed-set"))?;
             let defaults = StealParams::default();
             let steal = StealParams {
                 neighbor_degree: get_parse(&o, "neighbors", defaults.neighbor_degree)?,
@@ -421,6 +466,10 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 chaos_seed: get_parse(&o, "chaos-seed", 0x5EED)?,
                 chaos_params: parse_chaos_params(&o)?,
                 rank_chaos: if rank_chaos_on { Some(parse_rank_chaos(&o)?) } else { None },
+                ingest_epochs,
+                ingest_interval,
+                ingest_batch,
+                detector,
                 json: o.get("json").cloned(),
                 trace: o.get("trace").cloned(),
                 trace_bucket: get_parse(&o, "trace-bucket", 0.05)?,
@@ -613,6 +662,8 @@ USAGE:
                    [--rank-chaos] [--rank-chaos-seed N] [--rank-kill-prob P]
                    [--rank-window START,END] [--rank-kill RANK@TIME]
                    [--rank-heartbeat SECS] [--rank-suspect-timeout SECS]
+                   [--ingest-epochs N] [--ingest-interval SECS] [--ingest-batch N]
+                   [--detector closed-set|frontier]
                    [--json FILE] [--trace FILE.json]
                    [--trace-bucket SECS] [--metrics FILE.prom]
                    [--checkpoint DIR] [--checkpoint-interval SECS]
@@ -658,6 +709,10 @@ mod tests {
                 chaos_seed,
                 chaos_params,
                 rank_chaos,
+                ingest_epochs,
+                ingest_interval,
+                ingest_batch,
+                detector,
                 json,
                 trace,
                 trace_bucket,
@@ -667,6 +722,10 @@ mod tests {
                 kill_after_checkpoints,
                 resume,
             } => {
+                assert_eq!(ingest_epochs, 0);
+                assert_eq!(ingest_interval, 2.0e-4);
+                assert_eq!(ingest_batch, 32);
+                assert_eq!(detector, DetectorKind::ClosedSet);
                 assert_eq!(dataset, DatasetKind::Thermal);
                 assert_eq!(seeding, Seeding::Sparse);
                 assert_eq!(algorithm, AlgoChoice::Auto);
@@ -712,6 +771,10 @@ mod tests {
                 chaos_seed,
                 chaos_params,
                 rank_chaos,
+                ingest_epochs,
+                ingest_interval,
+                ingest_batch,
+                detector,
                 json,
                 trace,
                 trace_bucket,
@@ -721,6 +784,10 @@ mod tests {
                 kill_after_checkpoints,
                 resume,
             } => {
+                assert_eq!(ingest_epochs, 0);
+                assert_eq!(ingest_interval, 2.0e-4);
+                assert_eq!(ingest_batch, 32);
+                assert_eq!(detector, DetectorKind::ClosedSet);
                 assert_eq!(dataset, DatasetKind::Astro);
                 assert_eq!(seeding, Seeding::Dense);
                 assert_eq!(algorithm, AlgoChoice::Fixed(Algorithm::HybridMasterSlave));
@@ -1068,6 +1135,50 @@ mod tests {
             parse(&argv("bench-drivers --smoke --json d.json")).unwrap().command,
             Command::BenchDrivers { smoke: true, json: Some("d.json".into()) }
         );
+    }
+
+    #[test]
+    fn ingest_flags_round_trip_and_validate() {
+        match parse(&argv("run")).unwrap().command {
+            Command::Run { ingest_epochs, ingest_interval, ingest_batch, detector, .. } => {
+                assert_eq!(ingest_epochs, 0);
+                assert_eq!(ingest_interval, 2.0e-4);
+                assert_eq!(ingest_batch, 32);
+                assert_eq!(detector, DetectorKind::ClosedSet);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv(
+            "run --ingest-epochs 3 --ingest-interval 0.001 --ingest-batch 8 --detector frontier",
+        ))
+        .unwrap()
+        .command
+        {
+            Command::Run { ingest_epochs, ingest_interval, ingest_batch, detector, .. } => {
+                assert_eq!(ingest_epochs, 3);
+                assert_eq!(ingest_interval, 0.001);
+                assert_eq!(ingest_batch, 8);
+                assert_eq!(detector, DetectorKind::Frontier);
+            }
+            other => panic!("{other:?}"),
+        }
+        // The detector knob stands alone (it is invisible on closed runs).
+        match parse(&argv("run --detector closed")).unwrap().command {
+            Command::Run { detector, .. } => assert_eq!(detector, DetectorKind::ClosedSet),
+            other => panic!("{other:?}"),
+        }
+        // Ingest knobs without epochs are rejected, not silently ignored.
+        let e = parse(&argv("run --ingest-interval 0.1")).unwrap_err();
+        assert!(e.contains("only applies with --ingest-epochs"), "{e}");
+        let e = parse(&argv("run --ingest-batch 8")).unwrap_err();
+        assert!(e.contains("only applies with --ingest-epochs"), "{e}");
+        // Degenerate values are typed errors.
+        let e = parse(&argv("run --ingest-epochs 2 --ingest-interval 0")).unwrap_err();
+        assert!(e.contains("positive and finite"), "{e}");
+        let e = parse(&argv("run --ingest-epochs 2 --ingest-batch 0")).unwrap_err();
+        assert!(e.contains("--ingest-batch"), "{e}");
+        let e = parse(&argv("run --detector bogus")).unwrap_err();
+        assert!(e.contains("unknown detector"), "{e}");
     }
 
     #[test]

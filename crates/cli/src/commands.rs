@@ -110,6 +110,10 @@ pub fn execute(cmd: Command) -> i32 {
             chaos_seed,
             chaos_params,
             rank_chaos,
+            ingest_epochs,
+            ingest_interval,
+            ingest_batch,
+            detector,
             json,
             trace,
             trace_bucket,
@@ -122,8 +126,10 @@ pub fn execute(cmd: Command) -> i32 {
             use std::sync::Arc;
             use streamline_core::{
                 latest_checkpoint, resume_simulated_detailed_with_store,
-                run_simulated_checkpointed_with_store, run_simulated_detailed_with_store,
-                CheckpointOptions,
+                resume_simulated_open_detailed_with_store, run_simulated_checkpointed_with_store,
+                run_simulated_detailed_with_store, run_simulated_open_checkpointed_with_store,
+                run_simulated_open_detailed, run_simulated_open_traced, CheckpointOptions,
+                SeedSource,
             };
             use streamline_iosim::{BlockStore, FaultPlan, FaultStore, FieldStore};
             if trace.is_some() && (checkpoint.is_some() || resume.is_some()) {
@@ -136,6 +142,10 @@ pub fn execute(cmd: Command) -> i32 {
             }
             if chaos && (trace.is_some() || checkpoint.is_some() || resume.is_some()) {
                 eprintln!("error: --chaos cannot be combined with --trace/--checkpoint/--resume");
+                return 64;
+            }
+            if chaos && ingest_epochs > 0 {
+                eprintln!("error: --chaos cannot be combined with --ingest-epochs");
                 return 64;
             }
             // Parsing already validates the knobs; re-check here so
@@ -162,12 +172,28 @@ pub fn execute(cmd: Command) -> i32 {
             let ds = build_dataset(dataset);
             let n = seeds.unwrap_or_else(|| ds.paper_seed_count(seeding));
             let set = ds.seeds_with_count(seeding, n);
+            // Open-loop schedule: `--ingest-epochs` batches of dense-layout
+            // seeds arriving every `--ingest-interval` virtual seconds. The
+            // schedule is a pure function of the flags, so a resume under
+            // the same flags rebuilds it bit-exactly.
+            let source = (ingest_epochs > 0).then(|| {
+                let extra = ds.seeds_with_count(Seeding::Dense, ingest_epochs * ingest_batch);
+                let epochs: Vec<(f64, Vec<Vec3>)> = (0..ingest_epochs)
+                    .map(|e| {
+                        let at = (e + 1) as f64 * ingest_interval;
+                        (at, extra.points[e * ingest_batch..(e + 1) * ingest_batch].to_vec())
+                    })
+                    .collect();
+                SeedSource::new(&set, epochs)
+                    .expect("flag validation guarantees a well-formed schedule")
+            });
             let mut cfg = RunConfig::new(Algorithm::HybridMasterSlave, procs);
             cfg.limits = limits_for(dataset, seeding);
             cfg.cache_blocks = cache;
             cfg.steal = steal;
             cfg.batch = batch;
             cfg.rank_chaos = rank_chaos;
+            cfg.detector = detector;
             cfg.algorithm = match algorithm {
                 AlgoChoice::Fixed(a) => a,
                 AlgoChoice::Auto => {
@@ -184,6 +210,15 @@ pub fn execute(cmd: Command) -> i32 {
                 n,
                 procs
             );
+            if let Some(src) = &source {
+                eprintln!(
+                    "open-loop: {} arrival epochs of {ingest_batch} seeds every \
+                     {ingest_interval}s ({} seeds total), {:?} detector",
+                    ingest_epochs,
+                    src.total_seeds(),
+                    cfg.detector,
+                );
+            }
             if let Some(rc) = &cfg.rank_chaos {
                 match rc.kill {
                     Some((rank, time)) => {
@@ -217,7 +252,13 @@ pub fn execute(cmd: Command) -> i32 {
                 };
                 eprintln!("resuming from {} ...", path.display());
                 let store = Arc::new(FieldStore::new(ds.clone()));
-                match resume_simulated_detailed_with_store(&ds, &set, &cfg, store, &path) {
+                let resumed = match &source {
+                    Some(src) => {
+                        resume_simulated_open_detailed_with_store(&ds, src, &cfg, store, &path)
+                    }
+                    None => resume_simulated_detailed_with_store(&ds, &set, &cfg, store, &path),
+                };
+                match resumed {
                     Ok((r, f)) => {
                         ckpt_restores = 1;
                         (r, f, None)
@@ -233,7 +274,13 @@ pub fn execute(cmd: Command) -> i32 {
                     ..CheckpointOptions::new(&dir, checkpoint_interval)
                 };
                 let store = Arc::new(FieldStore::new(ds.clone()));
-                match run_simulated_checkpointed_with_store(&ds, &set, &cfg, store, &opts) {
+                let outcome = match &source {
+                    Some(src) => {
+                        run_simulated_open_checkpointed_with_store(&ds, src, &cfg, store, &opts)
+                    }
+                    None => run_simulated_checkpointed_with_store(&ds, &set, &cfg, store, &opts),
+                };
+                match outcome {
                     Ok(out) => {
                         ckpt_snapshots = out.checkpoints.len() as u64;
                         ckpt_bytes = out.bytes_written;
@@ -285,8 +332,14 @@ pub fn execute(cmd: Command) -> i32 {
                 );
                 (r, f, None)
             } else if trace.is_some() {
-                let (r, f, t, pingpong) = run_simulated_traced(&ds, &set, &cfg, trace_bucket);
+                let (r, f, t, pingpong) = match &source {
+                    Some(src) => run_simulated_open_traced(&ds, src, &cfg, trace_bucket),
+                    None => run_simulated_traced(&ds, &set, &cfg, trace_bucket),
+                };
                 (r, f, Some((t, pingpong)))
+            } else if let Some(src) = &source {
+                let (r, f) = run_simulated_open_detailed(&ds, src, &cfg);
+                (r, f, None)
             } else {
                 let (r, f) = run_simulated_detailed(&ds, &set, &cfg);
                 (r, f, None)
@@ -303,6 +356,15 @@ pub fn execute(cmd: Command) -> i32 {
                 report.total_steps,
                 report.events,
             );
+            if report.ingest_epochs > 1 {
+                println!(
+                    "  ingest    epochs {}  frontier-confirmed {}  lag mean {:.4}s  max {:.4}s",
+                    report.ingest_epochs,
+                    report.ingest_frontier_epochs,
+                    report.ingest_lag_mean,
+                    report.ingest_lag_max,
+                );
+            }
             if !report.rank_deaths.is_empty() {
                 println!(
                     "  rank-chaos  deaths {:?}  lost {}  reassigned {}  detection mean {:.4}s \
@@ -334,7 +396,12 @@ pub fn execute(cmd: Command) -> i32 {
                 let mut tf = timeline.to_trace("virtual");
                 tf.schedule = Some(
                     streamline_obs::ScheduleTrace::from_timeline(&timeline, &pingpong)
-                        .with_rank_deaths(&timeline, &report.rank_deaths),
+                        .with_rank_deaths(&timeline, &report.rank_deaths)
+                        .with_ingest(
+                            &timeline,
+                            &report.ingest_epoch_arrivals,
+                            &report.ingest_epoch_completions,
+                        ),
                 );
                 if let Err(e) = tf.validate() {
                     eprintln!("internal error: emitted trace is invalid: {e}");
@@ -835,6 +902,10 @@ mod tests {
             chaos_seed: 0,
             chaos_params: streamline_iosim::ChaosParams::default(),
             rank_chaos: None,
+            ingest_epochs: 0,
+            ingest_interval: 2.0e-4,
+            ingest_batch: 32,
+            detector: streamline_core::DetectorKind::ClosedSet,
             json: None,
             trace: None,
             trace_bucket: 0.05,
@@ -865,6 +936,10 @@ mod tests {
             chaos_seed: 0,
             chaos_params: streamline_iosim::ChaosParams::default(),
             rank_chaos: None,
+            ingest_epochs: 0,
+            ingest_interval: 2.0e-4,
+            ingest_batch: 32,
+            detector: streamline_core::DetectorKind::ClosedSet,
             json: None,
             trace: None,
             trace_bucket: 0.05,
@@ -917,6 +992,10 @@ mod tests {
             chaos_seed: 0,
             chaos_params: streamline_iosim::ChaosParams::default(),
             rank_chaos: None,
+            ingest_epochs: 0,
+            ingest_interval: 2.0e-4,
+            ingest_batch: 32,
+            detector: streamline_core::DetectorKind::ClosedSet,
             json: None,
             trace: Some(trace_path.clone()),
             trace_bucket: 0.05,
@@ -955,6 +1034,10 @@ mod tests {
             chaos_seed: 0,
             chaos_params: streamline_iosim::ChaosParams::default(),
             rank_chaos: Some(streamline_core::RankChaos::one_kill(3, 1.0e-4)),
+            ingest_epochs: 0,
+            ingest_interval: 2.0e-4,
+            ingest_batch: 32,
+            detector: streamline_core::DetectorKind::ClosedSet,
             json: None,
             trace: Some(trace_path.clone()),
             trace_bucket: 0.05,
@@ -977,6 +1060,96 @@ mod tests {
             ckpt: None,
         });
         assert_eq!(check, 0, "obs-check must accept what a rank-chaos run emits");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn open_run_cmd(
+        trace: Option<String>,
+        metrics: Option<String>,
+        checkpoint: Option<String>,
+        kill_after_checkpoints: Option<u64>,
+        resume: Option<String>,
+    ) -> Command {
+        Command::Run {
+            dataset: DatasetKind::Thermal,
+            seeding: Seeding::Sparse,
+            algorithm: AlgoChoice::Fixed(Algorithm::LoadOnDemand),
+            procs: 4,
+            seeds: Some(32),
+            cache: 16,
+            steal: StealParams::default(),
+            batch: BatchParams::default(),
+            chaos: false,
+            chaos_seed: 0,
+            chaos_params: streamline_iosim::ChaosParams::default(),
+            rank_chaos: None,
+            ingest_epochs: 2,
+            ingest_interval: 2.0e-4,
+            ingest_batch: 8,
+            detector: streamline_core::DetectorKind::Frontier,
+            json: None,
+            trace,
+            trace_bucket: 0.05,
+            metrics,
+            checkpoint,
+            checkpoint_interval: 2.0e-4,
+            kill_after_checkpoints,
+            resume,
+        }
+    }
+
+    #[test]
+    fn open_loop_run_emits_frontier_obs_that_obs_check_accepts() {
+        let dir = std::env::temp_dir().join(format!("slrepro-open-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.json").to_string_lossy().into_owned();
+        let metrics_path = dir.join("metrics.prom").to_string_lossy().into_owned();
+        let code = execute(open_run_cmd(
+            Some(trace_path.clone()),
+            Some(metrics_path.clone()),
+            None,
+            None,
+            None,
+        ));
+        assert_eq!(code, 0, "an open-loop run must complete");
+        let prom = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(prom.contains("streamline_run_ingest_epochs 3"), "{prom}");
+        assert!(prom.contains("streamline_run_frontier_epochs 3"), "{prom}");
+        assert!(prom.contains("streamline_run_frontier_lag_mean_seconds"), "{prom}");
+        let trace_text = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(
+            trace_text.contains("ingest_epochs_cumulative"),
+            "trace carries the ingest staircase"
+        );
+        assert!(
+            trace_text.contains("frontier_epochs_cumulative"),
+            "trace carries the frontier staircase"
+        );
+        let check = execute(Command::ObsCheck {
+            trace: Some(trace_path),
+            metrics: Some(metrics_path),
+            ckpt: None,
+        });
+        assert_eq!(check, 0, "obs-check must accept what an open-loop run emits");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_loop_kill_and_resume_round_trips_through_the_cli() {
+        let dir = std::env::temp_dir().join(format!("slrepro-openckpt-{}", std::process::id()));
+        let ckpt_dir = dir.join("ckpts").to_string_lossy().into_owned();
+        assert_eq!(execute(open_run_cmd(None, None, Some(ckpt_dir.clone()), Some(2), None)), 0);
+        let latest = streamline_core::latest_checkpoint(std::path::Path::new(&ckpt_dir))
+            .unwrap()
+            .expect("kill wrote snapshots");
+        let check = execute(Command::ObsCheck {
+            trace: None,
+            metrics: None,
+            ckpt: Some(latest.to_string_lossy().into_owned()),
+        });
+        assert_eq!(check, 0, "obs-check must accept an open-loop snapshot");
+        // Resume with the same ingest flags and complete.
+        assert_eq!(execute(open_run_cmd(None, None, None, None, Some(ckpt_dir))), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

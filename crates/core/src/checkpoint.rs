@@ -14,7 +14,11 @@
 //! entry points.
 
 use crate::config::RunConfig;
-use crate::driver::{build_procs, collect_report, drain_finished, make_sim, AnyProc};
+use crate::driver::{
+    apply_ingest_stats, build_arrivals, build_procs, build_procs_planned, collect_report,
+    drain_finished, make_sim, AnyProc, IngestPlan,
+};
+use crate::ingest::SeedSource;
 use crate::msg::Msg;
 use crate::report::RunReport;
 use serde::{Deserialize, Serialize};
@@ -68,18 +72,53 @@ impl LimitsBits {
     }
 }
 
+/// The ingest schedule of an open-loop run, encoded bit-exactly: each
+/// epoch's arrival time as IEEE-754 bits plus its seed count. A resume must
+/// rebuild the identical [`SeedSource`] schedule or it is rejected — the
+/// undelivered arrival events ride the SIMS cut and replaying them against
+/// a different schedule would silently diverge.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestSpec {
+    /// Arrival time of each epoch as `f64::to_bits` (epoch 0 is t = 0).
+    pub arrival_bits: Vec<u64>,
+    /// Seeds per epoch.
+    pub epoch_totals: Vec<u64>,
+}
+
+impl IngestSpec {
+    pub fn of(source: &SeedSource) -> Self {
+        IngestSpec {
+            arrival_bits: source.epoch_arrivals().iter().map(|t| t.to_bits()).collect(),
+            epoch_totals: source.epoch_totals(),
+        }
+    }
+}
+
 /// The SPEC section: everything a resume must agree on. `RunConfig`'s serde
 /// representation skips `limits` (non-finite defaults), so the bit-encoded
-/// [`LimitsBits`] rides alongside.
+/// [`LimitsBits`] rides alongside. Open-loop runs also record their ingest
+/// schedule; the field is skipped entirely on closed runs so closed SPEC
+/// sections stay byte-identical to pre-ingestion snapshots.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SpecSection {
     pub config: RunConfig,
     pub limits: LimitsBits,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub ingest: Option<IngestSpec>,
 }
 
 impl SpecSection {
     pub fn of(cfg: &RunConfig) -> Self {
-        SpecSection { config: *cfg, limits: LimitsBits::of(&cfg.limits) }
+        SpecSection { config: *cfg, limits: LimitsBits::of(&cfg.limits), ingest: None }
+    }
+
+    /// The SPEC of an open-loop run over `source`.
+    pub fn open(cfg: &RunConfig, source: &SeedSource) -> Self {
+        SpecSection {
+            config: *cfg,
+            limits: LimitsBits::of(&cfg.limits),
+            ingest: Some(IngestSpec::of(source)),
+        }
     }
 }
 
@@ -230,6 +269,7 @@ pub fn encode_run_checkpoint(
     dataset: &Dataset,
     seeds: &SeedSet,
     cfg: &RunConfig,
+    source: Option<&SeedSource>,
     state: &SimState<Msg>,
     procs: &[AnyProc],
     store: &Arc<dyn BlockStore>,
@@ -249,7 +289,11 @@ pub fn encode_run_checkpoint(
 
     let mut w = CkptWriter::new();
     w.section_value(streamline_ckpt::META_TAG, &meta);
-    w.section_value(SPEC_TAG, &SpecSection::of(cfg));
+    let spec = match source {
+        Some(s) => SpecSection::open(cfg, s),
+        None => SpecSection::of(cfg),
+    };
+    w.section_value(SPEC_TAG, &spec);
     w.section_value(SIM_TAG, &SimStateDto::of(state));
     let ranks: Vec<RankSnapshot> = procs.iter().map(snapshot_rank).collect();
     w.section_value(RANK_TAG, &ranks);
@@ -311,8 +355,17 @@ pub fn run_simulated_checkpointed_with_store(
     let mut seq = 0u64;
     let mut hook = |state: &SimState<Msg>, procs: &[AnyProc]| {
         seq += 1;
-        let bytes =
-            encode_run_checkpoint(dataset, seeds, cfg, state, procs, &store, seq, opts.interval);
+        let bytes = encode_run_checkpoint(
+            dataset,
+            seeds,
+            cfg,
+            None,
+            state,
+            procs,
+            &store,
+            seq,
+            opts.interval,
+        );
         let path = opts.dir.join(format!("ckpt-{seq:06}.ckpt"));
         match write_atomic(&path, &bytes) {
             Ok(()) => {
@@ -349,6 +402,7 @@ fn verify_spec(
     dataset: &Dataset,
     seeds: &SeedSet,
     cfg: &RunConfig,
+    expected: &SpecSection,
 ) -> Result<Meta, CkptError> {
     let meta = file.meta()?;
     if meta.kind != KIND_RUN {
@@ -373,11 +427,12 @@ fn verify_spec(
     }
     let stored: SpecSection = file.value(SPEC_TAG)?;
     let stored_json = serde_json::to_string(&stored).expect("vendored serde_json is infallible");
-    let current_json =
-        serde_json::to_string(&SpecSection::of(cfg)).expect("vendored serde_json is infallible");
+    let current_json = serde_json::to_string(expected).expect("vendored serde_json is infallible");
     if stored_json != current_json {
         return Err(CkptError::Mismatch(
-            "run configuration differs from the checkpointed SPEC section".into(),
+            "run configuration differs from the checkpointed SPEC section \
+             (config, limits or ingest schedule)"
+                .into(),
         ));
     }
     Ok(meta)
@@ -395,7 +450,7 @@ pub fn resume_simulated_detailed_with_store(
     path: &Path,
 ) -> Result<(RunReport, Vec<Streamline>), CkptError> {
     let file = CkptFile::read(path)?;
-    verify_spec(&file, dataset, seeds, cfg)?;
+    verify_spec(&file, dataset, seeds, cfg, &SpecSection::of(cfg))?;
     let fault: Option<FaultState> = match file.section(FAULT_TAG) {
         Some(_) => Some(file.value(FAULT_TAG)?),
         None => None,
@@ -438,6 +493,128 @@ pub fn resume_simulated_detailed_with_store(
     let (report, mut procs) = sim.resume(state);
     let run_report = collect_report(dataset, seeds, cfg, report, &procs);
     let finished = drain_finished(seeds, cfg, &run_report.rank_deaths, &mut procs);
+    Ok((run_report, finished))
+}
+
+/// [`crate::driver::run_simulated_open_detailed_with_store`] with periodic
+/// checkpoints. The arrival schedule is seeded into the event queue up
+/// front, so a cut taken mid-stream carries every undelivered ingest event
+/// in its SIMS section; the SPEC section records the schedule bit-exactly
+/// so a resume under a different schedule is rejected.
+pub fn run_simulated_open_checkpointed_with_store(
+    dataset: &Dataset,
+    source: &SeedSource,
+    cfg: &RunConfig,
+    store: Arc<dyn BlockStore>,
+    opts: &CheckpointOptions,
+) -> Result<CheckpointedOutcome, CkptError> {
+    std::fs::create_dir_all(&opts.dir)?;
+    let all = source.all_seeds();
+    let base = source.base();
+    let plan = IngestPlan::of(source);
+    let procs = build_procs_planned(dataset, &base, cfg, Arc::clone(&store), &plan);
+    let arrivals = build_arrivals(dataset, source, cfg);
+    let sim = make_sim(cfg, procs).with_arrivals(arrivals);
+
+    let mut checkpoints: Vec<PathBuf> = Vec::new();
+    let mut bytes_written = 0u64;
+    let mut io_err: Option<CkptError> = None;
+    let mut seq = 0u64;
+    let mut hook = |state: &SimState<Msg>, procs: &[AnyProc]| {
+        seq += 1;
+        let bytes = encode_run_checkpoint(
+            dataset,
+            &all,
+            cfg,
+            Some(source),
+            state,
+            procs,
+            &store,
+            seq,
+            opts.interval,
+        );
+        let path = opts.dir.join(format!("ckpt-{seq:06}.ckpt"));
+        match write_atomic(&path, &bytes) {
+            Ok(()) => {
+                bytes_written += bytes.len() as u64;
+                checkpoints.push(path);
+            }
+            Err(e) => {
+                io_err = Some(e);
+                return CheckpointControl::Stop;
+            }
+        }
+        if opts.kill_after.is_some_and(|n| seq >= n) {
+            CheckpointControl::Stop
+        } else {
+            CheckpointControl::Continue
+        }
+    };
+    let (report, mut procs) = sim.run_checkpointed(opts.interval, &mut hook);
+    if let Some(e) = io_err {
+        return Err(e);
+    }
+    let result = report.map(|report| {
+        let mut run_report = collect_report(dataset, &all, cfg, report, &procs);
+        apply_ingest_stats(&mut run_report, source, &procs);
+        let finished = drain_finished(&all, cfg, &run_report.rank_deaths, &mut procs);
+        (run_report, finished)
+    });
+    Ok(CheckpointedOutcome { result, checkpoints, bytes_written })
+}
+
+/// Resume an open-loop run from `path` and drive it to completion. The
+/// identical [`SeedSource`] must be rebuilt (the SPEC section verifies the
+/// arrival schedule bit-exactly). Arrival events are **not** re-injected —
+/// the undelivered ones ride the snapshotted event queue, so a mid-stream
+/// resume delivers exactly the epochs the original run had not yet seen.
+pub fn resume_simulated_open_detailed_with_store(
+    dataset: &Dataset,
+    source: &SeedSource,
+    cfg: &RunConfig,
+    store: Arc<dyn BlockStore>,
+    path: &Path,
+) -> Result<(RunReport, Vec<Streamline>), CkptError> {
+    let file = CkptFile::read(path)?;
+    let all = source.all_seeds();
+    verify_spec(&file, dataset, &all, cfg, &SpecSection::open(cfg, source))?;
+    let fault: Option<FaultState> = match file.section(FAULT_TAG) {
+        Some(_) => Some(file.value(FAULT_TAG)?),
+        None => None,
+    };
+    if let Some(fs) = &fault {
+        store.restore_fault_state(fs);
+    }
+    let base = source.base();
+    let plan = IngestPlan::of(source);
+    let mut procs = build_procs_planned(dataset, &base, cfg, Arc::clone(&store), &plan);
+    let ranks: Vec<RankSnapshot> = file.value(RANK_TAG)?;
+    if ranks.len() != procs.len() {
+        return Err(CkptError::Mismatch(format!(
+            "checkpoint has {} rank snapshots, run builds {} ranks",
+            ranks.len(),
+            procs.len()
+        )));
+    }
+    for (rank, (p, snap)) in procs.iter_mut().zip(&ranks).enumerate() {
+        restore_rank(rank, p, snap)?;
+    }
+    if let Some(fs) = &fault {
+        store.restore_fault_state(fs);
+    }
+    let state = file.value::<SimStateDto>(SIM_TAG)?.into_state();
+    if state.clocks.len() != cfg.n_procs {
+        return Err(CkptError::Mismatch(format!(
+            "scheduler cut covers {} ranks, run has {}",
+            state.clocks.len(),
+            cfg.n_procs
+        )));
+    }
+    let sim = make_sim(cfg, procs);
+    let (report, mut procs) = sim.resume(state);
+    let mut run_report = collect_report(dataset, &all, cfg, report, &procs);
+    apply_ingest_stats(&mut run_report, source, &procs);
+    let finished = drain_finished(&all, cfg, &run_report.rank_deaths, &mut procs);
     Ok((run_report, finished))
 }
 
@@ -710,6 +887,120 @@ mod tests {
             assert_eq!(report_json(&res_report), report_json(&ref_report), "{algo:?}");
             let _ = std::fs::remove_dir_all(&dir);
         }
+    }
+
+    fn open_fixture(algorithm: Algorithm) -> (Dataset, SeedSource, RunConfig) {
+        let (ds, _, cfg) = fixture(algorithm);
+        // Two arrival epochs: the first lands before the earliest snapshot,
+        // the second is still undelivered at a kill_after=2 cut (interval
+        // 2e-4 ⇒ cut near t = 4e-4) — a genuinely mid-stream crash.
+        let more = ds.seeds_with_count(Seeding::Dense, 10);
+        let source = SeedSource::new(
+            &ds.seeds_with_count(Seeding::Sparse, 17),
+            vec![(1.0e-4, more.points[..5].to_vec()), (5.0e-4, more.points[5..].to_vec())],
+        )
+        .unwrap();
+        (ds, source, cfg)
+    }
+
+    /// Mid-stream crash/restart of an open-loop run: kill each algorithm
+    /// with an arrival epoch still undelivered, resume, and demand
+    /// byte-equal streamlines and report vs. the uninterrupted open run.
+    #[test]
+    fn open_loop_kill_and_resume_is_bit_identical_for_every_algorithm() {
+        use crate::driver::run_simulated_open_detailed_with_store;
+        use crate::termination::DetectorKind;
+        for algo in Algorithm::ALL {
+            for kind in [DetectorKind::ClosedSet, DetectorKind::Frontier] {
+                let (ds, source, mut cfg) = open_fixture(algo);
+                cfg.detector = kind;
+                let (ref_report, ref_lines) =
+                    run_simulated_open_detailed_with_store(&ds, &source, &cfg, field_store(&ds));
+                assert_eq!(ref_report.terminated, source.total_seeds() as u64, "{algo:?}");
+
+                let dir = tempdir(&format!("open-{}-{kind:?}", cfg.algorithm.label()));
+                let mut opts = CheckpointOptions::new(&dir, 2.0e-4);
+                opts.kill_after = Some(2);
+                let out = run_simulated_open_checkpointed_with_store(
+                    &ds,
+                    &source,
+                    &cfg,
+                    field_store(&ds),
+                    &opts,
+                )
+                .expect("open checkpointed run");
+                assert!(out.result.is_none(), "{algo:?}: kill_after must abandon the run");
+
+                // Resume from every snapshot; at least one cut must be
+                // genuinely mid-stream (an arrival epoch still undelivered
+                // in the snapshotted event queue).
+                let mut mid_stream_cuts = 0usize;
+                for snap in &out.checkpoints {
+                    let file = CkptFile::read(snap).expect("readable snapshot");
+                    let state: SimStateDto = file.value(SIM_TAG).expect("SIMS section");
+                    mid_stream_cuts += usize::from(state.pending.iter().any(|p| {
+                        matches!(&p.ev, EventDto::Message { msg: Msg::Ingest { .. }, .. })
+                    }));
+                    let (res_report, res_lines) = resume_simulated_open_detailed_with_store(
+                        &ds,
+                        &source,
+                        &cfg,
+                        field_store(&ds),
+                        snap,
+                    )
+                    .expect("open resume");
+                    assert_eq!(res_lines, ref_lines, "{algo:?}/{kind:?}: streamlines diverged");
+                    assert_eq!(
+                        report_json(&res_report),
+                        report_json(&ref_report),
+                        "{algo:?}/{kind:?}: report not reconciled bit-identically"
+                    );
+                }
+                assert!(
+                    mid_stream_cuts > 0,
+                    "{algo:?}: some cut must carry undelivered arrival events"
+                );
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+
+    /// Resuming an open checkpoint under a different arrival schedule (or
+    /// through the closed entry point) is a typed mismatch, never a
+    /// silently diverging run.
+    #[test]
+    fn open_resume_rejects_a_mismatched_ingest_schedule() {
+        let (ds, source, cfg) = open_fixture(Algorithm::LoadOnDemand);
+        let dir = tempdir("open-mismatch");
+        let mut opts = CheckpointOptions::new(&dir, 2.0e-4);
+        opts.kill_after = Some(1);
+        run_simulated_open_checkpointed_with_store(&ds, &source, &cfg, field_store(&ds), &opts)
+            .expect("open checkpointed run");
+        let latest = latest_checkpoint(&dir).unwrap().expect("snapshot on disk");
+
+        // Same seeds, one arrival nudged: bit-exact schedule check fires.
+        let more = ds.seeds_with_count(Seeding::Dense, 10);
+        let shifted = SeedSource::new(
+            &ds.seeds_with_count(Seeding::Sparse, 17),
+            vec![(1.0e-4, more.points[..5].to_vec()), (6.0e-4, more.points[5..].to_vec())],
+        )
+        .unwrap();
+        let err = resume_simulated_open_detailed_with_store(
+            &ds,
+            &shifted,
+            &cfg,
+            field_store(&ds),
+            &latest,
+        )
+        .expect_err("shifted arrival schedule must be rejected");
+        assert!(matches!(err, CkptError::Mismatch(_)), "{err:?}");
+
+        // The closed resume path must reject an open snapshot outright.
+        let all = source.all_seeds();
+        let err = resume_simulated_detailed_with_store(&ds, &all, &cfg, field_store(&ds), &latest)
+            .expect_err("closed resume of an open snapshot must be rejected");
+        assert!(matches!(err, CkptError::Mismatch(_)), "{err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Snapshots taken at different points of the same run must all resume

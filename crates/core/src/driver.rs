@@ -3,11 +3,13 @@
 
 use crate::config::{Algorithm, RunConfig};
 use crate::hybrid::{HybridLayout, MasterProc, SlaveProc};
+use crate::ingest::{EpochMap, SeedSource};
 use crate::load_on_demand::LodProc;
 use crate::msg::Msg;
 use crate::report::{RunOutcome, RunReport};
 use crate::static_alloc::StaticProc;
 use crate::steal::StealProc;
+use crate::termination::FrontierDetector;
 use crate::workspace::Workspace;
 use std::sync::Arc;
 use streamline_desim::{Context, Event, Process, Simulation, ThreadRuntime};
@@ -174,6 +176,20 @@ impl AnyProc {
         }
     }
 
+    /// This rank's per-epoch frontier ledger, when the run uses the
+    /// frontier detector. Masters hold no ledger (slaves do the
+    /// integration); on Static Allocation only the count rank's ledger is
+    /// ever written, so summing over all ranks stays correct.
+    fn frontier_ledgers(&self) -> Option<&FrontierDetector> {
+        match self {
+            AnyProc::Static(p) => p.detector().frontier_detector(),
+            AnyProc::Lod(p) => p.detector().frontier_detector(),
+            AnyProc::Slave(p) => p.detector().frontier_detector(),
+            AnyProc::Steal(p) => p.detector().frontier_detector(),
+            AnyProc::Master(_) => None,
+        }
+    }
+
     /// Streamlines this rank re-queued/re-seeded on behalf of dead ranks.
     fn reassigned(&self) -> u64 {
         match self {
@@ -212,13 +228,24 @@ fn chunk_seeds_by_block(
     seeds: &SeedSet,
     n: usize,
 ) -> Vec<Vec<(StreamlineId, Vec3)>> {
+    let tagged =
+        seeds.points.iter().enumerate().map(|(i, &p)| (StreamlineId(i as u32), p)).collect();
+    chunk_tagged_by_block(dataset, tagged, n)
+}
+
+/// [`chunk_seeds_by_block`] for seeds that already carry their global ids —
+/// the shape of a later ingest epoch, whose ids start past every earlier
+/// epoch's.
+fn chunk_tagged_by_block(
+    dataset: &Dataset,
+    seeds: Vec<(StreamlineId, Vec3)>,
+    n: usize,
+) -> Vec<Vec<(StreamlineId, Vec3)>> {
     let mut tagged: Vec<(u32, StreamlineId, Vec3)> = seeds
-        .points
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| {
+        .into_iter()
+        .map(|(id, p)| {
             let block = dataset.decomp.locate(p).map(|b| b.0).unwrap_or(u32::MAX);
-            (block, StreamlineId(i as u32), p)
+            (block, id, p)
         })
         .collect();
     tagged.sort_by_key(|&(b, id, _)| (b, id));
@@ -232,12 +259,47 @@ fn chunk_seeds_by_block(
     out
 }
 
-/// Build the rank processes for one run.
+/// The ingest plan a run's detectors are built over: per-epoch seed counts
+/// and the id → epoch map. Closed runs are the one-epoch special case.
+pub(crate) struct IngestPlan {
+    totals: Vec<u64>,
+    emap: EpochMap,
+}
+
+impl IngestPlan {
+    pub(crate) fn closed(n_seeds: usize) -> Self {
+        IngestPlan { totals: vec![n_seeds as u64], emap: EpochMap::closed(n_seeds as u32) }
+    }
+
+    pub(crate) fn of(source: &SeedSource) -> Self {
+        IngestPlan { totals: source.epoch_totals(), emap: EpochMap::of(source) }
+    }
+
+    fn n_epochs(&self) -> u32 {
+        self.totals.len().max(1) as u32
+    }
+}
+
+/// Build the rank processes for one run (closed workload: every seed in
+/// `seeds` is handed out at start).
 pub fn build_procs(
     dataset: &Dataset,
     seeds: &SeedSet,
     cfg: &RunConfig,
     store: Arc<dyn BlockStore>,
+) -> Vec<AnyProc> {
+    build_procs_planned(dataset, seeds, cfg, store, &IngestPlan::closed(seeds.len()))
+}
+
+/// [`build_procs`] over an explicit ingest plan: `seeds` is the epoch-0
+/// base set distributed at start; detectors are sealed over the whole
+/// plan. With a closed plan this is exactly the closed build.
+pub(crate) fn build_procs_planned(
+    dataset: &Dataset,
+    seeds: &SeedSet,
+    cfg: &RunConfig,
+    store: Arc<dyn BlockStore>,
+    plan: &IngestPlan,
 ) -> Vec<AnyProc> {
     let n = cfg.n_procs;
     assert!(n >= 1, "need at least one rank");
@@ -289,7 +351,8 @@ pub fn build_procs(
                         h0,
                         seeds.len() as u64,
                         cfg.static_partition,
-                    );
+                    )
+                    .with_ingest(cfg.detector, &plan.totals, plan.emap.clone());
                     if let (Some(rc), Some(all)) = (&rc, &all_seeds) {
                         proc = proc.with_resilience(
                             Arc::clone(all),
@@ -309,7 +372,8 @@ pub fn build_procs(
                 .map(|rank| {
                     let ws = make_workspace(dataset, &store, cfg, cfg.cache_blocks);
                     let mut proc =
-                        LodProc::new(ws, std::mem::take(&mut chunks[rank]), cfg.memory, h0);
+                        LodProc::new(ws, std::mem::take(&mut chunks[rank]), cfg.memory, h0)
+                            .with_ingest(cfg.detector, plan.n_epochs(), plan.emap.clone());
                     if let (Some(rc), Some(all)) = (&rc, &all_seeds) {
                         proc = proc.with_resilience(
                             rank,
@@ -339,7 +403,8 @@ pub fn build_procs(
                             layout.master_ranks(),
                             std::mem::take(&mut chunks[rank]),
                             0xC0FFEE ^ rank as u64,
-                        );
+                        )
+                        .with_ingest(plan.n_epochs());
                         if let Some(rc) = &rc {
                             proc = proc.with_resilience(
                                 rc.heartbeat_period,
@@ -357,7 +422,8 @@ pub fn build_procs(
                             cfg.memory,
                             cfg.comm_geometry,
                             h0,
-                        );
+                        )
+                        .with_ingest(cfg.detector, plan.emap.clone());
                         if let Some(rc) = &rc {
                             proc = proc.with_resilience(
                                 rc.heartbeat_period,
@@ -386,6 +452,11 @@ pub fn build_procs(
                         cfg.comm_geometry,
                         h0,
                         cfg.steal,
+                    )
+                    .with_ingest(
+                        cfg.detector,
+                        plan.n_epochs(),
+                        plan.emap.clone(),
                     );
                     if let Some(rc) = &rc {
                         proc = proc.with_resilience(
@@ -410,6 +481,136 @@ pub(crate) fn make_sim(cfg: &RunConfig, procs: Vec<AnyProc>) -> Simulation<Msg, 
         sim = sim.with_rank_deaths(rc.plan(cfg.n_procs));
     }
     sim
+}
+
+/// The scheduled-arrival event list for an open run: one [`Msg::Ingest`]
+/// per (epoch ≥ 1, receiving rank), at the epoch's virtual arrival time.
+///
+/// Every integrating rank (and, for hybrid, every master) receives an
+/// ingest for every epoch — empty batches included — because termination
+/// protocols gate on having *observed* each epoch, not just on drained
+/// work. Static Allocation is the exception: its count rank knows the full
+/// plan up front, so only ranks that actually receive seeds get an event
+/// (out-of-domain seeds fall to rank 0, which retires them on arrival).
+pub(crate) fn build_arrivals(
+    dataset: &Dataset,
+    source: &SeedSource,
+    cfg: &RunConfig,
+) -> Vec<(f64, usize, Msg)> {
+    let n = cfg.n_procs;
+    let n_blocks = dataset.decomp.num_blocks();
+    let starts = source.epoch_starts();
+    let mut out: Vec<(f64, usize, Msg)> = Vec::new();
+    for (e, epoch) in source.epochs().iter().enumerate().skip(1) {
+        let tagged: Vec<(StreamlineId, Vec3)> = epoch
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (StreamlineId(starts[e] + i as u32), p))
+            .collect();
+        let per_rank: Vec<Vec<(StreamlineId, Vec3)>> = match cfg.algorithm {
+            Algorithm::StaticAllocation => {
+                let mut per_rank: Vec<Vec<(StreamlineId, Vec3)>> = vec![Vec::new(); n];
+                for (id, p) in tagged {
+                    let rank = dataset
+                        .decomp
+                        .locate(p)
+                        .map(|b| cfg.static_partition.owner_of(b, n_blocks, n))
+                        .unwrap_or(0);
+                    per_rank[rank].push((id, p));
+                }
+                per_rank
+            }
+            Algorithm::LoadOnDemand | Algorithm::WorkStealing => {
+                chunk_tagged_by_block(dataset, tagged, n)
+            }
+            Algorithm::HybridMasterSlave => {
+                let layout = HybridLayout::new(n, cfg.hybrid.n_masters(n));
+                let mut chunks = chunk_tagged_by_block(dataset, tagged, layout.n_masters);
+                let mut per_rank: Vec<Vec<(StreamlineId, Vec3)>> = vec![Vec::new(); n];
+                for (m, rank) in layout.master_ranks().into_iter().enumerate() {
+                    per_rank[rank] = std::mem::take(&mut chunks[m]);
+                }
+                per_rank
+            }
+        };
+        for (rank, seeds) in per_rank.into_iter().enumerate() {
+            let deliver = match cfg.algorithm {
+                Algorithm::StaticAllocation => !seeds.is_empty(),
+                Algorithm::LoadOnDemand | Algorithm::WorkStealing => true,
+                Algorithm::HybridMasterSlave => {
+                    let layout = HybridLayout::new(n, cfg.hybrid.n_masters(n));
+                    layout.is_master(rank)
+                }
+            };
+            if deliver {
+                out.push((epoch.at, rank, Msg::Ingest { epoch: e as u32, seeds }));
+            }
+        }
+    }
+    out
+}
+
+/// What the per-rank frontier ledgers say about ingest progress, folded
+/// over the whole run.
+pub(crate) struct IngestStats {
+    /// Epochs the folded frontier has confirmed fully retired, in order.
+    pub frontier_epochs: u32,
+    /// Virtual completion time of each confirmed epoch (monotone — an
+    /// epoch is not complete until every earlier one is).
+    pub completed_at: Vec<f64>,
+}
+
+/// Fold every rank's per-epoch retirement ledger against the plan totals.
+/// `None` when the run used the closed-set detector (no per-epoch data).
+pub(crate) fn fold_frontier(procs: &[AnyProc], totals: &[u64]) -> Option<IngestStats> {
+    let mut any = false;
+    let mut retired = vec![0u64; totals.len()];
+    let mut last_retire = vec![0.0f64; totals.len()];
+    for p in procs {
+        let Some(f) = p.frontier_ledgers() else { continue };
+        any = true;
+        for (e, l) in f.ledgers().iter().enumerate() {
+            if e < totals.len() {
+                retired[e] += l.retired;
+                last_retire[e] = last_retire[e].max(l.last_retire);
+            }
+        }
+    }
+    if !any {
+        return None;
+    }
+    let mut completed_at = Vec::new();
+    let mut t = 0.0f64;
+    for e in 0..totals.len() {
+        if retired[e] < totals[e] {
+            break;
+        }
+        t = t.max(last_retire[e]);
+        completed_at.push(t);
+    }
+    Some(IngestStats { frontier_epochs: completed_at.len() as u32, completed_at })
+}
+
+/// Stamp the open-loop ingest fields onto a collected report: the epoch
+/// schedule, the folded frontier, and the arrival→completion lag series.
+pub(crate) fn apply_ingest_stats(r: &mut RunReport, source: &SeedSource, procs: &[AnyProc]) {
+    r.ingest_epochs = source.n_epochs();
+    r.ingest_epoch_arrivals = source.epoch_arrivals();
+    if let Some(stats) = fold_frontier(procs, &source.epoch_totals()) {
+        r.ingest_frontier_epochs = stats.frontier_epochs;
+        let lags: Vec<f64> = stats
+            .completed_at
+            .iter()
+            .zip(&r.ingest_epoch_arrivals)
+            .map(|(&done, &at)| (done - at).max(0.0))
+            .collect();
+        r.ingest_epoch_completions = stats.completed_at;
+        if !lags.is_empty() {
+            r.ingest_lag_mean = lags.iter().sum::<f64>() / lags.len() as f64;
+            r.ingest_lag_max = lags.iter().cloned().fold(0.0, f64::max);
+        }
+    }
 }
 
 /// Recovery strength of a termination: a normal completion beats a
@@ -581,6 +782,15 @@ pub(crate) fn collect_report(
         detection_latency_mean,
         detection_latency_max,
         dropped_events,
+        // Ingest fields are stamped by the open entry points
+        // ([`apply_ingest_stats`]); the closed collector leaves the
+        // defaults so closed reports stay byte-identical.
+        ingest_epochs: 0,
+        ingest_frontier_epochs: 0,
+        ingest_epoch_arrivals: Vec::new(),
+        ingest_epoch_completions: Vec::new(),
+        ingest_lag_mean: 0.0,
+        ingest_lag_max: 0.0,
         events: report.events,
         per_rank: report.ranks,
     }
@@ -697,6 +907,72 @@ pub fn run_simulated_with_store(
     let sim = make_sim(cfg, procs);
     let (report, procs) = sim.run();
     collect_report(dataset, seeds, cfg, report, &procs)
+}
+
+/// Run an open workload — a [`SeedSource`] whose later epochs arrive as
+/// scheduled virtual-time events while earlier work is integrating — on
+/// the deterministic simulated cluster. With a closed source this is
+/// exactly [`run_simulated`].
+pub fn run_simulated_open(dataset: &Dataset, source: &SeedSource, cfg: &RunConfig) -> RunReport {
+    let store: Arc<dyn BlockStore> = Arc::new(FieldStore::new(dataset.clone()));
+    let (report, _) = run_simulated_open_detailed_with_store(dataset, source, cfg, store);
+    report
+}
+
+/// [`run_simulated_open`] returning every finished streamline, sorted by
+/// id — one record per ingested seed.
+pub fn run_simulated_open_detailed(
+    dataset: &Dataset,
+    source: &SeedSource,
+    cfg: &RunConfig,
+) -> (RunReport, Vec<streamline_integrate::Streamline>) {
+    let store: Arc<dyn BlockStore> = Arc::new(FieldStore::new(dataset.clone()));
+    run_simulated_open_detailed_with_store(dataset, source, cfg, store)
+}
+
+/// [`run_simulated_open_detailed`] with an explicit store — the hook the
+/// open-loop chaos tests use to combine ingest with block faults.
+pub fn run_simulated_open_detailed_with_store(
+    dataset: &Dataset,
+    source: &SeedSource,
+    cfg: &RunConfig,
+    store: Arc<dyn BlockStore>,
+) -> (RunReport, Vec<streamline_integrate::Streamline>) {
+    let all = source.all_seeds();
+    let base = source.base();
+    let plan = IngestPlan::of(source);
+    let procs = build_procs_planned(dataset, &base, cfg, store, &plan);
+    let arrivals = build_arrivals(dataset, source, cfg);
+    let sim = make_sim(cfg, procs).with_arrivals(arrivals);
+    let (report, mut procs) = sim.run();
+    let mut run_report = collect_report(dataset, &all, cfg, report, &procs);
+    apply_ingest_stats(&mut run_report, source, &procs);
+    let finished = drain_finished(&all, cfg, &run_report.rank_deaths, &mut procs);
+    (run_report, finished)
+}
+
+/// [`run_simulated_open_detailed`] with a virtual-time phase timeline —
+/// the open-loop counterpart of [`run_simulated_traced`], feeding the
+/// trace's open-vs-closed scheduling series.
+pub fn run_simulated_open_traced(
+    dataset: &Dataset,
+    source: &SeedSource,
+    cfg: &RunConfig,
+    bucket_width: f64,
+) -> (RunReport, Vec<streamline_integrate::Streamline>, streamline_desim::Timeline, Vec<f64>) {
+    let store: Arc<dyn BlockStore> = Arc::new(FieldStore::new(dataset.clone()));
+    let all = source.all_seeds();
+    let base = source.base();
+    let plan = IngestPlan::of(source);
+    let procs = build_procs_planned(dataset, &base, cfg, store, &plan);
+    let arrivals = build_arrivals(dataset, source, cfg);
+    let sim = make_sim(cfg, procs).with_arrivals(arrivals);
+    let (report, mut procs, timeline) = sim.run_traced(bucket_width);
+    let mut run_report = collect_report(dataset, &all, cfg, report, &procs);
+    apply_ingest_stats(&mut run_report, source, &procs);
+    let pingpong_times = collect_pingpong_times(&procs);
+    let finished = drain_finished(&all, cfg, &run_report.rank_deaths, &mut procs);
+    (run_report, finished, timeline, pingpong_times)
 }
 
 /// [`run_simulated_detailed`] with a virtual-time phase timeline recorded
@@ -1044,6 +1320,148 @@ mod tests {
         assert_eq!(r.reassigned_streamlines, 0);
         assert_eq!(r.detection_latency_mean, 0.0);
         assert_eq!(r.dropped_events, 0);
+    }
+
+    fn open_source(ds: &Dataset, base: usize, extra: usize) -> crate::ingest::SeedSource {
+        // Two arrival epochs carved from a disjoint seed set, landing while
+        // the base work is still integrating (virtual times well inside a
+        // tiny run's wall clock).
+        let more = ds.seeds_with_count(Seeding::Dense, extra);
+        let split = extra / 2;
+        crate::ingest::SeedSource::new(
+            &ds.seeds_with_count(Seeding::Sparse, base),
+            vec![(1e-4, more.points[..split].to_vec()), (5e-4, more.points[split..].to_vec())],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn open_loop_conserves_every_ingested_seed_on_all_drivers() {
+        let mut dcfg = DatasetConfig::tiny();
+        dcfg.blocks_per_axis = [2, 2, 2];
+        dcfg.cells_per_block = [6, 6, 6];
+        let ds = Dataset::thermal_hydraulics(dcfg);
+        let source = open_source(&ds, 12, 10);
+        assert_eq!(source.n_epochs(), 3);
+        let total = source.total_seeds() as u64;
+        for algo in Algorithm::ALL {
+            for kind in [
+                crate::termination::DetectorKind::ClosedSet,
+                crate::termination::DetectorKind::Frontier,
+            ] {
+                let mut cfg = RunConfig::new(algo, 4);
+                cfg.limits.max_steps = 300;
+                cfg.memory = MemoryBudget::unlimited();
+                cfg.detector = kind;
+                let (r, finished) = run_simulated_open_detailed(&ds, &source, &cfg);
+                assert!(r.outcome.completed(), "{algo:?} {kind:?}");
+                assert_eq!(r.terminated, total, "{algo:?} {kind:?}: {}", r.summary());
+                assert_eq!(finished.len(), total as usize, "{algo:?} {kind:?}");
+                assert_eq!(r.ingest_epochs, 3, "{algo:?} {kind:?}");
+                assert_eq!(r.ingest_epoch_arrivals, vec![0.0, 1e-4, 5e-4]);
+                match kind {
+                    crate::termination::DetectorKind::Frontier => {
+                        assert_eq!(r.ingest_frontier_epochs, 3, "{algo:?}: frontier incomplete");
+                        assert_eq!(r.ingest_epoch_completions.len(), 3);
+                        let mono = r.ingest_epoch_completions.windows(2).all(|w| w[0] <= w[1]);
+                        assert!(mono, "{algo:?}: {:?}", r.ingest_epoch_completions);
+                        assert!(r.ingest_lag_max >= r.ingest_lag_mean, "{algo:?}");
+                        assert!(r.ingest_lag_mean > 0.0, "{algo:?}");
+                    }
+                    crate::termination::DetectorKind::ClosedSet => {
+                        assert_eq!(r.ingest_frontier_epochs, 0, "{algo:?}: no ledger expected");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_source_through_open_entry_is_bit_identical() {
+        let mut dcfg = DatasetConfig::tiny();
+        dcfg.blocks_per_axis = [2, 2, 2];
+        dcfg.cells_per_block = [6, 6, 6];
+        let ds = Dataset::thermal_hydraulics(dcfg);
+        let seeds = ds.seeds_with_count(Seeding::Sparse, 27);
+        let source = crate::ingest::SeedSource::closed(&seeds);
+        for algo in Algorithm::ALL {
+            let mut cfg = RunConfig::new(algo, 4);
+            cfg.limits.max_steps = 300;
+            cfg.memory = MemoryBudget::unlimited();
+            let (rc, fc) = run_simulated_detailed(&ds, &seeds, &cfg);
+            let (ro, fo) = run_simulated_open_detailed(&ds, &source, &cfg);
+            assert_eq!(fc, fo, "{algo:?}: open entry changed streamlines");
+            assert_eq!(rc.wall, ro.wall, "{algo:?}");
+            assert_eq!(rc.msgs, ro.msgs, "{algo:?}");
+            assert_eq!(rc.total_steps, ro.total_steps, "{algo:?}");
+            assert_eq!(ro.ingest_epochs, 1, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn detector_kind_is_invisible_on_closed_runs() {
+        // The frontier protocol must be a drop-in: same virtual schedule,
+        // same traffic, same trajectories as the closed-set count.
+        let mut dcfg = DatasetConfig::tiny();
+        dcfg.blocks_per_axis = [2, 2, 2];
+        dcfg.cells_per_block = [6, 6, 6];
+        let ds = Dataset::thermal_hydraulics(dcfg);
+        let seeds = ds.seeds_with_count(Seeding::Sparse, 27);
+        for algo in Algorithm::ALL {
+            let mut cfg = RunConfig::new(algo, 4);
+            cfg.limits.max_steps = 300;
+            cfg.memory = MemoryBudget::unlimited();
+            let (rc, fc) = run_simulated_detailed(&ds, &seeds, &cfg);
+            cfg.detector = crate::termination::DetectorKind::Frontier;
+            let (rf, ff) = run_simulated_detailed(&ds, &seeds, &cfg);
+            assert_eq!(fc, ff, "{algo:?}: detector changed streamlines");
+            assert_eq!(rc.wall, rf.wall, "{algo:?}");
+            assert_eq!(rc.msgs, rf.msgs, "{algo:?}");
+            assert_eq!(rc.bytes_sent, rf.bytes_sent, "{algo:?}");
+            assert_eq!(rc.events, rf.events, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn open_loop_under_rank_chaos_still_conserves() {
+        let mut dcfg = DatasetConfig::tiny();
+        dcfg.blocks_per_axis = [2, 2, 2];
+        dcfg.cells_per_block = [6, 6, 6];
+        let ds = Dataset::thermal_hydraulics(dcfg);
+        let source = open_source(&ds, 12, 10);
+        let total = source.total_seeds();
+        for algo in Algorithm::ALL {
+            let mut cfg = RunConfig::new(algo, 4);
+            cfg.limits.max_steps = 300;
+            cfg.memory = MemoryBudget::unlimited();
+            cfg.detector = crate::termination::DetectorKind::Frontier;
+            cfg.rank_chaos = Some(crate::config::RankChaos::one_kill(3, 2e-4));
+            let (r, finished) = run_simulated_open_detailed(&ds, &source, &cfg);
+            assert_eq!(finished.len(), total, "{algo:?}: one record per ingested seed");
+            let (completed, unavailable, lost) = classify(&finished);
+            assert_eq!(
+                completed + unavailable + lost,
+                total as u64,
+                "{algo:?}: conservation broke"
+            );
+            assert_eq!(r.terminated, total as u64, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn zero_seed_runs_terminate_immediately_on_all_drivers() {
+        // Degenerate but legal: no seeds at all. Every driver must still
+        // produce a valid report instead of hanging or dividing by zero.
+        for algo in Algorithm::ALL {
+            let r = tiny_run(algo, 4, 0);
+            assert!(r.outcome.completed(), "{algo:?}");
+            assert_eq!(r.terminated, 0, "{algo:?}");
+            assert_eq!(r.n_seeds, 0, "{algo:?}");
+            assert!(r.participation().is_finite(), "{algo:?}");
+            assert!(r.comm_overhead_share().is_finite(), "{algo:?}");
+            assert!(r.load_imbalance().is_finite(), "{algo:?}");
+            assert!(r.batch_occupancy.is_finite(), "{algo:?}");
+        }
     }
 
     #[test]

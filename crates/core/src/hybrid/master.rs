@@ -136,6 +136,14 @@ pub struct MasterSnapshot {
     /// Absent in pre-resilience snapshots.
     #[serde(default)]
     pub resil: Option<MasterResil>,
+    /// Absent in pre-ingestion snapshots; 0 is exactly the closed-run value.
+    #[serde(default)]
+    pub epochs_ingested: u32,
+    #[serde(default)]
+    pub last_reported_extra: u32,
+    /// Root master only: per-master reported ingest progress.
+    #[serde(default)]
+    pub reported_extra: Vec<(usize, u32)>,
 }
 
 /// One Hybrid master rank.
@@ -172,8 +180,18 @@ pub struct MasterProc {
     /// Per-slave earliest status count at which another hint may be issued
     /// on its behalf (prevents hint storms for starving slaves).
     hint_after: BTreeMap<usize, u64>,
+    /// Highest ingest epoch observed at this master (0 for closed runs).
+    epochs_ingested: u32,
+    /// Total epochs of the run's ingest plan (1 for closed runs).
+    n_epochs: u32,
+    /// The `epochs_ingested` value last reported to the root (memo, like
+    /// `last_reported_remaining` — an empty epoch changes no count but must
+    /// still be reported or the root would never see the plan complete).
+    last_reported_extra: u32,
     // Root master only:
     reported: BTreeMap<usize, u64>,
+    /// Root master only: each master's reported `epochs_ingested`.
+    reported_extra: BTreeMap<usize, u32>,
     pub done: bool,
     /// Diagnostics: commands issued, indexed as
     /// [assign, send-force, send-hint, load, terminate].
@@ -224,11 +242,22 @@ impl MasterProc {
             next_steal: 0,
             status_counter: 0,
             hint_after: BTreeMap::new(),
+            epochs_ingested: 0,
+            n_epochs: 1,
+            last_reported_extra: 0,
             reported: BTreeMap::new(),
+            reported_extra: BTreeMap::new(),
             done: false,
             cmd_counts: [0; 5],
             resil: None,
         }
+    }
+
+    /// Switch this master into open-loop mode: termination additionally
+    /// requires every master to have observed all `n_epochs` ingest epochs.
+    pub fn with_ingest(mut self, n_epochs: u32) -> Self {
+        self.n_epochs = n_epochs.max(1);
+        self
     }
 
     /// Switch this master into resilient mode (rank-chaos runs only):
@@ -296,6 +325,9 @@ impl MasterProc {
             done: self.done,
             cmd_counts: self.cmd_counts,
             resil: self.resil.clone(),
+            epochs_ingested: self.epochs_ingested,
+            last_reported_extra: self.last_reported_extra,
+            reported_extra: self.reported_extra.iter().map(|(&s, &c)| (s, c)).collect(),
         }
     }
 
@@ -336,6 +368,9 @@ impl MasterProc {
         self.done = snap.done;
         self.cmd_counts = snap.cmd_counts;
         self.resil = snap.resil.clone();
+        self.epochs_ingested = snap.epochs_ingested;
+        self.last_reported_extra = snap.last_reported_extra;
+        self.reported_extra = snap.reported_extra.iter().copied().collect();
     }
 
     fn send_cmd(&mut self, to: usize, cmd: Command, ctx: &mut dyn Context<Msg>) {
@@ -391,15 +426,23 @@ impl MasterProc {
     /// Report remaining to the root (or record it locally if we are root).
     fn report_remaining(&mut self, ctx: &mut dyn Context<Msg>) {
         let remaining = self.remaining();
-        if self.last_reported_remaining == Some(remaining) {
+        if self.last_reported_remaining == Some(remaining)
+            && self.last_reported_extra == self.epochs_ingested
+        {
             return;
         }
         self.last_reported_remaining = Some(remaining);
+        self.last_reported_extra = self.epochs_ingested;
         if self.rank == ROOT_MASTER {
             self.reported.insert(self.rank, remaining);
+            self.reported_extra.insert(self.rank, self.epochs_ingested);
             self.check_done(ctx);
         } else {
-            let m = Msg::GroupRemaining { remaining };
+            let m = Msg::GroupRemaining {
+                remaining,
+                extra_ingested: self.epochs_ingested,
+                by_epoch: Vec::new(),
+            };
             let bytes = m.wire_bytes(self.comm_geometry);
             ctx.send(ROOT_MASTER, m, bytes);
         }
@@ -408,7 +451,14 @@ impl MasterProc {
     fn check_done(&mut self, ctx: &mut dyn Context<Msg>) {
         debug_assert_eq!(self.rank, ROOT_MASTER);
         let all_reported = self.masters.iter().all(|m| self.reported.contains_key(m));
-        if all_reported && self.reported.values().sum::<u64>() == 0 {
+        // Open-loop: no group may be declared drained while ingest epochs it
+        // has not observed are still due (closed runs have n_epochs == 1, so
+        // the gate is vacuous there).
+        let all_ingested = self
+            .masters
+            .iter()
+            .all(|m| self.reported_extra.get(m).copied().unwrap_or(0) + 1 >= self.n_epochs);
+        if all_reported && all_ingested && self.reported.values().sum::<u64>() == 0 {
             self.done = true;
             // Tell every slave to wind down, then stop the world.
             let slaves: Vec<usize> = self.records.keys().copied().collect();
@@ -793,10 +843,26 @@ impl Process<Msg> for MasterProc {
             }
             Event::Message { from, msg } => match msg {
                 Msg::Status(st) => self.on_status(from, st, ctx),
-                Msg::GroupRemaining { remaining } => {
+                Msg::GroupRemaining { remaining, extra_ingested, .. } => {
                     debug_assert_eq!(self.rank, ROOT_MASTER);
                     self.reported.insert(from, remaining);
+                    self.reported_extra.insert(from, extra_ingested);
                     self.check_done(ctx);
+                }
+                Msg::Ingest { epoch, seeds } => {
+                    // An open-loop batch for this master's group (possibly
+                    // empty — the epoch is still observed and reported).
+                    self.epochs_ingested = self.epochs_ingested.max(epoch);
+                    self.group_total += seeds.len() as u64;
+                    for (id, p) in seeds {
+                        match self.decomp.locate(p) {
+                            Some(b) if self.quarantined.contains(&b) => self.group_unavailable += 1,
+                            Some(b) => self.pool.entry(b).or_default().push((id, p)),
+                            None => self.group_pre_terminated += 1,
+                        }
+                    }
+                    self.report_remaining(ctx);
+                    self.assign_idle(ctx);
                 }
                 Msg::WorkRequest => {
                     // Grant up to W·N seeds.

@@ -8,7 +8,9 @@
 //! the slave's own autonomy is limited to honouring Send-hints.
 
 use crate::config::MemoryBudget;
+use crate::ingest::EpochMap;
 use crate::msg::{Command, Msg, SlaveStatus};
+use crate::termination::{AnyDetector, DetectorKind, TerminationDetector};
 use crate::workspace::{BlockExit, Workspace, WorkspaceSnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -83,6 +85,9 @@ pub struct SlaveSnapshot {
     /// Absent in pre-resilience snapshots.
     #[serde(default)]
     pub resil: Option<SlaveResil>,
+    /// Absent in pre-ingestion snapshots (reconstructed on restore).
+    #[serde(default)]
+    pub detector: Option<AnyDetector>,
 }
 
 /// One Hybrid slave rank.
@@ -123,6 +128,14 @@ pub struct SlaveProc {
     /// Fail-stop resilience machinery; `None` outside rank-chaos runs so
     /// fault-free schedules are untouched.
     resil: Option<SlaveResil>,
+    /// Per-epoch retirement ledger — slaves do the integration in this
+    /// driver, so frontier folding reads slave ledgers (the masters only
+    /// gate termination on ingest progress).
+    detector: AnyDetector,
+    /// Streamline id → ingest epoch (identity for closed runs).
+    emap: EpochMap,
+    /// `finished` entries already retired into the ledger.
+    retired_seen: usize,
 }
 
 impl SlaveProc {
@@ -157,6 +170,37 @@ impl SlaveProc {
             pingponged: BTreeSet::new(),
             pingpong_times: Vec::new(),
             resil: None,
+            detector: AnyDetector::new(DetectorKind::ClosedSet),
+            emap: EpochMap::default(),
+            retired_seen: 0,
+        }
+    }
+
+    /// Switch this slave into open-loop mode: retirements are charged to
+    /// ingest epochs recovered from streamline ids via `emap`.
+    pub fn with_ingest(mut self, kind: DetectorKind, emap: EpochMap) -> Self {
+        self.detector = AnyDetector::new(kind);
+        self.emap = emap;
+        self
+    }
+
+    /// The per-rank retirement ledger (for driver-level frontier folding).
+    pub fn detector(&self) -> &AnyDetector {
+        &self.detector
+    }
+
+    /// Charge terminations since the last call to the epoch ledger.
+    fn note_retirements(&mut self, now: f64) {
+        if self.retired_seen == self.finished.len() {
+            return;
+        }
+        let mut by_epoch: BTreeMap<u32, u64> = BTreeMap::new();
+        for sl in &self.finished[self.retired_seen..] {
+            *by_epoch.entry(self.emap.epoch_of(sl.id)).or_default() += 1;
+        }
+        self.retired_seen = self.finished.len();
+        for (epoch, n) in by_epoch {
+            self.detector.retire(epoch, n, now);
         }
     }
 
@@ -228,6 +272,7 @@ impl SlaveProc {
             pingponged: self.pingponged.iter().copied().collect(),
             pingpong_times: self.pingpong_times.clone(),
             resil: self.resil.clone(),
+            detector: Some(self.detector.clone()),
         }
     }
 
@@ -250,6 +295,17 @@ impl SlaveProc {
         self.pingponged = snap.pingponged.iter().copied().collect();
         self.pingpong_times = snap.pingpong_times.clone();
         self.resil = snap.resil.clone();
+        match &snap.detector {
+            Some(d) => self.detector = d.clone(),
+            None => {
+                // Pre-ingestion snapshot: rebuild the closed-run ledger
+                // from what this rank has finished.
+                let mut d = AnyDetector::new(DetectorKind::ClosedSet);
+                d.retire(0, snap.finished.len() as u64, 0.0);
+                self.detector = d;
+            }
+        }
+        self.retired_seen = self.finished.len();
         Ok(())
     }
 
@@ -522,6 +578,7 @@ impl Process<Msg> for SlaveProc {
             }
             Event::Message { .. } | Event::Wake(_) => {}
         }
+        self.note_retirements(ctx.now());
     }
 }
 

@@ -41,19 +41,22 @@ pub mod classify;
 pub mod config;
 pub mod driver;
 pub mod hybrid;
+pub mod ingest;
 pub mod load_on_demand;
 pub mod msg;
 pub mod report;
 pub mod runstats;
 pub mod static_alloc;
 pub mod steal;
+pub mod termination;
 mod testutil;
 pub mod workspace;
 
 pub use advisor::{recommend, FlowKnowledge, Recommendation};
 pub use checkpoint::{
-    latest_checkpoint, resume_simulated_detailed_with_store, run_simulated_checkpointed_with_store,
-    CheckpointOptions, CheckpointedOutcome,
+    latest_checkpoint, resume_simulated_detailed_with_store,
+    resume_simulated_open_detailed_with_store, run_simulated_checkpointed_with_store,
+    run_simulated_open_checkpointed_with_store, CheckpointOptions, CheckpointedOutcome,
 };
 pub use classify::{classify, ProblemProfile};
 pub use config::{
@@ -62,11 +65,17 @@ pub use config::{
 };
 pub use driver::{
     build_procs, run_simulated, run_simulated_detailed, run_simulated_detailed_with_store,
-    run_simulated_traced, run_simulated_with_store, run_threaded, AnyProc,
+    run_simulated_open, run_simulated_open_detailed, run_simulated_open_detailed_with_store,
+    run_simulated_open_traced, run_simulated_traced, run_simulated_with_store, run_threaded,
+    AnyProc,
 };
+pub use ingest::{EpochMap, IngestEpoch, IngestError, SeedSource};
 pub use msg::{Command, Msg, SlaveStatus};
 pub use report::{RunOutcome, RunReport};
 pub use runstats::{summarize, StreamlineStats};
 pub use static_alloc::StaticPartition;
 pub use steal::{lifeline_neighbors, StealProc, StealSnapshot};
+pub use termination::{
+    AnyDetector, ClosedSetDetector, DetectorKind, FrontierDetector, TerminationDetector,
+};
 pub use workspace::{BlockExit, Workspace};

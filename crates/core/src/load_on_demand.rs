@@ -11,7 +11,9 @@
 //! its streamlines have terminated." No communication at all.
 
 use crate::config::MemoryBudget;
+use crate::ingest::EpochMap;
 use crate::msg::Msg;
+use crate::termination::{AnyDetector, DetectorKind, TerminationDetector};
 use crate::workspace::{BlockExit, Workspace, WorkspaceSnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -45,6 +47,15 @@ pub struct LodProc {
     h0: f64,
     pub done: bool,
     pub failed_oom: bool,
+    /// Local termination detector: work opens as it is admitted (start
+    /// seeds, ingest batches, adopted chunks) and retires as it finishes.
+    /// LOD ranks are independent, so local completion *is* global
+    /// completion for this rank's share.
+    detector: AnyDetector,
+    /// Streamline id → ingest epoch (identity for closed runs).
+    emap: EpochMap,
+    /// `finished` entries already retired into the detector.
+    retired_seen: usize,
     /// This rank's identity — only meaningful in resilient mode (LOD ranks
     /// are otherwise fully independent and never address each other).
     rank: usize,
@@ -121,6 +132,10 @@ pub struct LodSnapshot {
     /// Absent in pre-resilience snapshots.
     #[serde(default)]
     pub resil: Option<LodResil>,
+    /// Absent in pre-detector snapshots — reconstructed from the parked /
+    /// finished counts.
+    #[serde(default)]
+    pub detector: Option<AnyDetector>,
 }
 
 impl LodProc {
@@ -130,6 +145,9 @@ impl LodProc {
         memory: MemoryBudget,
         h0: f64,
     ) -> Self {
+        let n = seeds.len() as u32;
+        let mut detector = AnyDetector::new(DetectorKind::ClosedSet);
+        detector.seal(1);
         LodProc {
             ws,
             seeds,
@@ -139,10 +157,46 @@ impl LodProc {
             h0,
             done: false,
             failed_oom: false,
+            detector,
+            emap: EpochMap::closed(n),
+            retired_seen: 0,
             rank: 0,
             n_ranks: 1,
             resil: None,
             all_seeds: Arc::new(Vec::new()),
+        }
+    }
+
+    /// Select the termination detector and ingest plan: `n_epochs` total
+    /// ingest epochs will be observed (epoch 0 at start, the rest as
+    /// [`Msg::Ingest`] events — one per epoch, even when this rank's share
+    /// is empty). Work opens as it is admitted.
+    pub fn with_ingest(mut self, kind: DetectorKind, n_epochs: u32, emap: EpochMap) -> Self {
+        self.emap = emap;
+        self.detector = AnyDetector::new(kind);
+        self.detector.seal(n_epochs.max(1));
+        self
+    }
+
+    /// This rank's termination detector (its own share of the plan).
+    pub fn detector(&self) -> &AnyDetector {
+        &self.detector
+    }
+
+    /// Retire newly finished streamlines into the detector. Called at
+    /// every point where `finished` may have grown, so snapshots never
+    /// carry unaccounted terminations.
+    fn note_retirements(&mut self, now: f64) {
+        if self.retired_seen == self.finished.len() {
+            return;
+        }
+        let mut by_epoch: BTreeMap<u32, u64> = BTreeMap::new();
+        for sl in &self.finished[self.retired_seen..] {
+            *by_epoch.entry(self.emap.epoch_of(sl.id)).or_default() += 1;
+        }
+        self.retired_seen = self.finished.len();
+        for (epoch, n) in by_epoch {
+            self.detector.retire(epoch, n, now);
         }
     }
 
@@ -191,6 +245,7 @@ impl LodProc {
             done: self.done,
             failed_oom: self.failed_oom,
             resil: self.resil.clone(),
+            detector: Some(self.detector.clone()),
         }
     }
 
@@ -203,6 +258,20 @@ impl LodProc {
         self.done = snap.done;
         self.failed_oom = snap.failed_oom;
         self.resil = snap.resil.clone();
+        self.detector = match &snap.detector {
+            Some(d) => d.clone(),
+            // Pre-detector snapshot (closed run): everything admitted is
+            // either parked or finished.
+            None => {
+                let mut d = AnyDetector::new(DetectorKind::ClosedSet);
+                let parked: u64 = self.parked.values().map(|v| v.len() as u64).sum();
+                d.open(0, parked + self.finished.len() as u64);
+                d.retire(0, self.finished.len() as u64, 0.0);
+                d.seal(1);
+                d
+            }
+        };
+        self.retired_seen = self.finished.len();
         Ok(())
     }
 
@@ -301,6 +370,9 @@ impl LodProc {
         if let Some(r) = self.resil.as_mut() {
             r.reassigned += orphan_seeds.len() as u64;
         }
+        // Adopted work joins this rank's base-epoch ledger so the replayed
+        // retirements stay balanced against what was opened here.
+        self.detector.open(0, orphan_seeds.len() as u64);
         for (id, seed) in orphan_seeds {
             let mut sl = Streamline::new_lean(id, seed, self.h0);
             self.ws.admit(&sl);
@@ -372,8 +444,13 @@ impl LodProc {
         if self.done || !self.drain_resident(ctx) {
             return;
         }
+        self.note_retirements(ctx.now());
         if self.parked.is_empty() {
-            self.done = true;
+            // Done only when no future ingest epoch can deliver more work;
+            // otherwise stay idle — the next `Ingest` restarts the rounds.
+            if self.detector.is_done() {
+                self.done = true;
+            }
             return;
         }
         // Load the block with the most waiting streamlines (ties to the
@@ -407,7 +484,11 @@ impl Process<Msg> for LodProc {
                     self.rewatch(ctx.now());
                     self.arm_beat(ctx);
                 }
-                for (id, seed) in std::mem::take(&mut self.seeds) {
+                let seeds = std::mem::take(&mut self.seeds);
+                // Open the base epoch even when this rank's share is empty
+                // — the frontier cannot pass an unobserved epoch.
+                self.detector.open(0, seeds.len() as u64);
+                for (id, seed) in seeds {
                     let mut sl = Streamline::new_lean(id, seed, self.h0);
                     self.ws.admit(&sl);
                     match self.ws.locate(seed) {
@@ -421,9 +502,38 @@ impl Process<Msg> for LodProc {
                     }
                 }
                 self.round(ctx);
+                self.note_retirements(ctx.now());
             }
             Event::Wake(WAKE_BEAT) => self.on_beat_tick(ctx),
-            Event::Wake(_) => self.round(ctx),
+            Event::Wake(_) => {
+                self.round(ctx);
+                self.note_retirements(ctx.now());
+            }
+            Event::Message { msg: Msg::Ingest { epoch, seeds }, .. } => {
+                // An open-loop batch for this rank (possibly empty — the
+                // epoch is still observed). Admitted work re-opens a rank
+                // that had gone idle.
+                self.detector.open(epoch, seeds.len() as u64);
+                for (id, seed) in seeds {
+                    let mut sl = Streamline::new_lean(id, seed, self.h0);
+                    self.ws.admit(&sl);
+                    match self.ws.locate(seed) {
+                        Some(b) => self.parked.entry(b).or_default().push(sl),
+                        None => {
+                            sl.terminate(Termination::ExitedDomain);
+                            self.ws.terminated += 1;
+                            self.ws.retire_object();
+                            self.finished.push(sl);
+                        }
+                    }
+                }
+                if self.check_memory(ctx) {
+                    return;
+                }
+                self.done = false;
+                self.round(ctx);
+                self.note_retirements(ctx.now());
+            }
             // Load On Demand exchanges no work messages; beats are proof of
             // life for the failure detector.
             Event::Message { from, .. } => {

@@ -84,15 +84,32 @@ pub enum Msg {
     Handoff { sl: Box<Streamline> },
     /// Static Allocation: `count` more streamlines terminated (sent to the
     /// count rank, which maintains the "globally communicated streamline
-    /// count" of §4.1).
-    CountDelta { count: u32 },
+    /// count" of §4.1). `by_epoch` splits the same count per ingest epoch
+    /// for the frontier detector; empty (and free on the wire) means
+    /// "all in epoch 0" — exactly what every closed run sends, so closed
+    /// traffic costs what it always did and old checkpoints still load.
+    CountDelta {
+        count: u32,
+        #[serde(default)]
+        by_epoch: Vec<(u32, u32)>,
+    },
     /// Hybrid: slave → master status.
     Status(SlaveStatus),
     /// Hybrid: master → slave instruction.
     Command(Command),
     /// Hybrid: master → master, this master's group has `remaining`
-    /// unfinished streamlines.
-    GroupRemaining { remaining: u64 },
+    /// unfinished streamlines. `extra_ingested` counts ingest epochs this
+    /// master has observed beyond the base set (0 for closed runs — the
+    /// serde default, keeping old checkpoints loadable), and `by_epoch`
+    /// carries cumulative per-epoch terminated counts for the frontier
+    /// detector (empty, and free on the wire, for closed runs).
+    GroupRemaining {
+        remaining: u64,
+        #[serde(default)]
+        extra_ingested: u32,
+        #[serde(default)]
+        by_epoch: Vec<(u32, u64)>,
+    },
     /// Hybrid: master → master work stealing request.
     WorkRequest,
     /// Hybrid: master → master granted seeds (empty = nothing to give).
@@ -119,6 +136,14 @@ pub enum Msg {
         black: bool,
         #[serde(default)]
         dead: Vec<u32>,
+        /// Folded minimum, over the ranks the token has visited this round,
+        /// of ingest epochs observed beyond the base set. The initiator may
+        /// declare global termination only when this reaches the plan's
+        /// epoch count minus one — the frontier generalization of the Safra
+        /// condition. 0 for closed runs (the serde default), so old
+        /// checkpoints still load and closed tokens are unchanged.
+        #[serde(default)]
+        extra_ingested: u32,
     },
     /// Liveness heartbeat (resilient mode only). `done` rides along so a
     /// finished rank's beats also advertise that it holds no work — used by
@@ -127,6 +152,13 @@ pub enum Msg {
     /// Hybrid: master → slave liveness heartbeat (any command also counts
     /// as proof of life; this fills the gaps between commands).
     MasterBeat,
+    /// Open-loop seed ingestion: a batch of seeds of ingest epoch `epoch`
+    /// arriving from outside the cluster at a scheduled virtual time
+    /// (delivered self-addressed by the simulation's arrival queue, so it
+    /// carries no modelled inter-rank wire cost). An empty batch still
+    /// advances the receiver's ingest epoch count — the frontier cannot
+    /// pass an epoch a rank has not observed.
+    Ingest { epoch: u32, seeds: Vec<(StreamlineId, Vec3)> },
 }
 
 impl Msg {
@@ -142,10 +174,14 @@ impl Msg {
                     Streamline::COMM_BYTES_STATE
                 }
             }
-            Msg::CountDelta { .. } => 12,
+            // 12 bytes exactly when `by_epoch` is empty (closed runs);
+            // open runs pay 8 bytes per epoch entry.
+            Msg::CountDelta { by_epoch, .. } => 12 + by_epoch.len() * 8,
             Msg::Status(s) => s.wire_bytes(),
             Msg::Command(c) => c.wire_bytes(),
-            Msg::GroupRemaining { .. } => 16,
+            // 16 bytes exactly for closed runs (empty `by_epoch`); the
+            // `extra_ingested` word rides in the existing header padding.
+            Msg::GroupRemaining { by_epoch, .. } => 16 + by_epoch.len() * 12,
             Msg::WorkRequest => 8,
             Msg::WorkGrant { seeds } => 8 + seeds.len() * 28,
             Msg::OutOfMemory { .. } => 12,
@@ -162,10 +198,12 @@ impl Msg {
                 8 + sls.iter().map(|(_, sl)| 4 + per_sl(sl)).sum::<usize>()
             }
             // 24 bytes exactly when `dead` is empty, so fault-free token
-            // traffic costs what it always did.
+            // traffic costs what it always did; `extra_ingested` rides in
+            // the existing padding (it is 0 on every closed run anyway).
             Msg::TermToken { dead, .. } => 24 + dead.len() * 4,
             Msg::Beat { .. } => 9,
             Msg::MasterBeat => 8,
+            Msg::Ingest { seeds, .. } => 12 + seeds.len() * 28,
         }
     }
 }
@@ -219,12 +257,14 @@ mod tests {
         assert_eq!(Msg::StealRequest.wire_bytes(true), 8);
         assert_eq!(Msg::LoadReport { load: 9 }.wire_bytes(true), 12);
         assert_eq!(
-            Msg::TermToken { count: -3, black: true, dead: vec![] }.wire_bytes(true),
+            Msg::TermToken { count: -3, black: true, dead: vec![], extra_ingested: 0 }
+                .wire_bytes(true),
             24,
             "fault-free tokens must cost what they always did"
         );
         assert_eq!(
-            Msg::TermToken { count: 0, black: false, dead: vec![1, 5] }.wire_bytes(true),
+            Msg::TermToken { count: 0, black: false, dead: vec![1, 5], extra_ingested: 0 }
+                .wire_bytes(true),
             32
         );
         assert_eq!(Msg::Beat { done: false }.wire_bytes(true), 9);
@@ -239,6 +279,43 @@ mod tests {
         let m = Msg::WorkTransfer { sls: vec![(BlockId(3), sl)] };
         assert_eq!(m.wire_bytes(true), 8 + 4 + full);
         assert_eq!(m.wire_bytes(false), 8 + 4 + Streamline::COMM_BYTES_STATE);
+    }
+
+    #[test]
+    fn closed_run_messages_cost_what_they_always_did() {
+        // The open-loop fields default to their closed-run values and add
+        // zero wire bytes there — the invariant that keeps closed schedules
+        // bit-identical across detector kinds.
+        assert_eq!(Msg::CountDelta { count: 5, by_epoch: vec![] }.wire_bytes(true), 12);
+        assert_eq!(
+            Msg::CountDelta { count: 5, by_epoch: vec![(0, 2), (1, 3)] }.wire_bytes(true),
+            12 + 16
+        );
+        let closed = Msg::GroupRemaining { remaining: 9, extra_ingested: 0, by_epoch: vec![] };
+        assert_eq!(closed.wire_bytes(true), 16);
+        let open = Msg::GroupRemaining { remaining: 9, extra_ingested: 2, by_epoch: vec![(1, 4)] };
+        assert_eq!(open.wire_bytes(true), 28);
+        // Old-format messages (without the new fields) still deserialize.
+        let legacy: Msg = serde_json::from_str(r#"{"CountDelta":{"count":3}}"#).unwrap();
+        assert_eq!(legacy, Msg::CountDelta { count: 3, by_epoch: vec![] });
+        let legacy: Msg =
+            serde_json::from_str(r#"{"TermToken":{"count":-1,"black":false}}"#).unwrap();
+        assert_eq!(
+            legacy,
+            Msg::TermToken { count: -1, black: false, dead: vec![], extra_ingested: 0 }
+        );
+        let legacy: Msg = serde_json::from_str(r#"{"GroupRemaining":{"remaining":7}}"#).unwrap();
+        assert_eq!(
+            legacy,
+            Msg::GroupRemaining { remaining: 7, extra_ingested: 0, by_epoch: vec![] }
+        );
+    }
+
+    #[test]
+    fn ingest_size_scales_with_batch() {
+        assert_eq!(Msg::Ingest { epoch: 1, seeds: vec![] }.wire_bytes(true), 12);
+        let seeds = (0..4).map(|i| (StreamlineId(i), Vec3::ZERO)).collect();
+        assert_eq!(Msg::Ingest { epoch: 1, seeds }.wire_bytes(true), 12 + 4 * 28);
     }
 
     #[test]

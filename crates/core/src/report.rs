@@ -121,6 +121,29 @@ pub struct RunReport {
     /// rank was dead.
     #[serde(default)]
     pub dropped_events: u64,
+    /// Ingest epochs in the run's seed schedule (0 on reports from the
+    /// closed entry points, which predate streaming ingestion; 1 for a
+    /// closed source run through the open entry points).
+    #[serde(default)]
+    pub ingest_epochs: u32,
+    /// Epochs the folded per-rank frontier ledgers confirmed fully retired
+    /// — equals `ingest_epochs` on a completed frontier-detector run, 0
+    /// under the closed-set detector (no per-epoch ledger).
+    #[serde(default)]
+    pub ingest_frontier_epochs: u32,
+    /// Virtual arrival time of each ingest epoch.
+    #[serde(default)]
+    pub ingest_epoch_arrivals: Vec<f64>,
+    /// Virtual time each confirmed epoch completed (frontier order, so
+    /// monotone non-decreasing; length `ingest_frontier_epochs`).
+    #[serde(default)]
+    pub ingest_epoch_completions: Vec<f64>,
+    /// Mean arrival→completion lag over confirmed epochs (virtual seconds).
+    #[serde(default)]
+    pub ingest_lag_mean: f64,
+    /// Max arrival→completion lag over confirmed epochs.
+    #[serde(default)]
+    pub ingest_lag_max: f64,
     /// Runtime events processed.
     pub events: u64,
     pub per_rank: Vec<ProcMetrics>,
@@ -229,6 +252,10 @@ impl RunReport {
         registry.set_counter(names::RUN_BALANCE_BYTES_TOTAL, self.balance_bytes);
         registry.set_gauge(names::RUN_PARTICIPATION_RATIO, self.participation());
         registry.set_gauge(names::RUN_COMM_OVERHEAD_SHARE, self.comm_overhead_share());
+        registry.set_counter(names::RUN_INGEST_EPOCHS, self.ingest_epochs as u64);
+        registry.set_counter(names::RUN_FRONTIER_EPOCHS, self.ingest_frontier_epochs as u64);
+        registry.set_gauge(names::RUN_FRONTIER_LAG_MEAN_SECONDS, self.ingest_lag_mean);
+        registry.set_gauge(names::RUN_FRONTIER_LAG_MAX_SECONDS, self.ingest_lag_max);
         registry.set_counter(names::FAULTS_RANK_DEATHS_TOTAL, self.rank_deaths.len() as u64);
         registry.set_counter(names::FAULTS_RANK_LOST_STREAMLINES_TOTAL, self.rank_lost_streamlines);
         registry.set_counter(
@@ -321,6 +348,12 @@ mod tests {
             detection_latency_mean: 0.9,
             detection_latency_max: 1.2,
             dropped_events: 6,
+            ingest_epochs: 2,
+            ingest_frontier_epochs: 2,
+            ingest_epoch_arrivals: vec![0.0, 0.3],
+            ingest_epoch_completions: vec![0.4, 0.8],
+            ingest_lag_mean: 0.45,
+            ingest_lag_max: 0.5,
             events: 12,
             per_rank: vec![
                 ProcMetrics { compute: 1.0, ..Default::default() },

@@ -13,7 +13,9 @@
 //! block efficiency is the paper's ideal of 1.0.
 
 use crate::config::MemoryBudget;
+use crate::ingest::EpochMap;
 use crate::msg::Msg;
+use crate::termination::{AnyDetector, DetectorKind, TerminationDetector};
 use crate::workspace::{BlockExit, Workspace, WorkspaceSnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -65,8 +67,15 @@ pub struct StaticSnapshot {
     pub ws: WorkspaceSnapshot,
     pub seeds: Vec<(StreamlineId, Vec3)>,
     pub finished: Vec<Streamline>,
+    /// Legacy mirror of the detector's outstanding count, kept so
+    /// pre-detector snapshots restore (and new snapshots stay readable by
+    /// eye).
     pub remaining: u64,
     pub failed_oom: bool,
+    /// The termination detector (count rank only holds real state). Absent
+    /// in pre-detector snapshots — reconstructed from `remaining`.
+    #[serde(default)]
+    pub detector: Option<AnyDetector>,
     #[serde(default)]
     pub seen: Vec<u32>,
     #[serde(default)]
@@ -138,8 +147,13 @@ pub struct StaticProc {
     comm_geometry: bool,
     h0: f64,
     partition: StaticPartition,
-    /// Remaining global count — only meaningful on [`COUNT_RANK`].
-    remaining: u64,
+    /// Global termination detector — only meaningful on [`COUNT_RANK`],
+    /// where it holds the "globally communicated streamline count" of §4.1
+    /// (closed-set) or the per-epoch frontier ledger (open-loop).
+    detector: AnyDetector,
+    /// Streamline id → ingest epoch (identity for closed runs). Rebuilt
+    /// from the run config, never snapshotted.
+    emap: EpochMap,
     /// Set when this rank exceeded its memory budget.
     pub failed_oom: bool,
     /// Streamline ids this rank has ever owned (seeded here or handed in).
@@ -180,7 +194,12 @@ impl StaticProc {
             comm_geometry,
             h0,
             partition,
-            remaining: if rank == COUNT_RANK { total_streamlines } else { 0 },
+            detector: if rank == COUNT_RANK {
+                AnyDetector::sealed_over(DetectorKind::ClosedSet, &[total_streamlines])
+            } else {
+                AnyDetector::new(DetectorKind::ClosedSet)
+            },
+            emap: EpochMap::closed(total_streamlines as u32),
             failed_oom: false,
             seen: BTreeSet::new(),
             pingponged: BTreeSet::new(),
@@ -188,6 +207,26 @@ impl StaticProc {
             resil: None,
             all_seeds: Arc::new(Vec::new()),
         }
+    }
+
+    /// Select the termination detector and ingest plan for this rank. The
+    /// count rank's detector is pre-opened and sealed over the whole plan
+    /// (`epoch_totals[e]` seeds in epoch `e`); with the default
+    /// `ClosedSet` kind and a single epoch this is exactly the legacy
+    /// `remaining` counter.
+    pub fn with_ingest(mut self, kind: DetectorKind, epoch_totals: &[u64], emap: EpochMap) -> Self {
+        self.emap = emap;
+        self.detector = if self.rank == COUNT_RANK {
+            AnyDetector::sealed_over(kind, epoch_totals)
+        } else {
+            AnyDetector::new(kind)
+        };
+        self
+    }
+
+    /// This rank's termination detector (real state on [`COUNT_RANK`]).
+    pub fn detector(&self) -> &AnyDetector {
+        &self.detector
     }
 
     /// Switch this rank into resilient mode (rank-chaos runs only):
@@ -245,8 +284,9 @@ impl StaticProc {
             ws: self.ws.snapshot(),
             seeds: self.seeds.clone(),
             finished: self.finished.clone(),
-            remaining: self.remaining,
+            remaining: self.detector.outstanding(),
             failed_oom: self.failed_oom,
+            detector: Some(self.detector.clone()),
             seen: self.seen.iter().copied().collect(),
             pingponged: self.pingponged.iter().copied().collect(),
             pingpong_times: self.pingpong_times.clone(),
@@ -259,7 +299,14 @@ impl StaticProc {
         self.ws.restore(&snap.ws)?;
         self.seeds = snap.seeds.clone();
         self.finished = snap.finished.clone();
-        self.remaining = snap.remaining;
+        self.detector = match &snap.detector {
+            Some(d) => d.clone(),
+            // Pre-detector snapshot: reconstruct the legacy counter.
+            None if self.rank == COUNT_RANK => {
+                AnyDetector::sealed_over(DetectorKind::ClosedSet, &[snap.remaining])
+            }
+            None => AnyDetector::new(DetectorKind::ClosedSet),
+        };
         self.failed_oom = snap.failed_oom;
         self.seen = snap.seen.iter().copied().collect();
         self.pingponged = snap.pingponged.iter().copied().collect();
@@ -411,27 +458,53 @@ impl StaticProc {
         done
     }
 
+    /// Per-epoch split of the last `n` entries of `finished` (exactly the
+    /// streamlines terminated by the call that is about to flush them).
+    /// Empty for single-epoch runs — the closed wire format.
+    fn epoch_split(&self, n: usize) -> Vec<(u32, u32)> {
+        if self.emap.n_epochs() <= 1 || n == 0 {
+            return Vec::new();
+        }
+        let mut m: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+        for sl in &self.finished[self.finished.len() - n..] {
+            *m.entry(self.emap.epoch_of(sl.id)).or_default() += 1;
+        }
+        m.into_iter().collect()
+    }
+
     /// Report `count` local terminations toward the global count.
     fn flush_terminations(&mut self, count: u64, ctx: &mut dyn Context<Msg>) {
         if count == 0 {
             return;
         }
+        let by_epoch = self.epoch_split(count as usize);
         if self.rank == COUNT_RANK {
-            self.apply_count(count, ctx);
+            self.apply_count(count, &by_epoch, ctx);
         } else {
-            let m = Msg::CountDelta { count: count as u32 };
+            let m = Msg::CountDelta { count: count as u32, by_epoch };
             let bytes = m.wire_bytes(self.comm_geometry);
             ctx.send(COUNT_RANK, m, bytes);
         }
     }
 
-    fn apply_count(&mut self, count: u64, ctx: &mut dyn Context<Msg>) {
+    fn apply_count(&mut self, count: u64, by_epoch: &[(u32, u32)], ctx: &mut dyn Context<Msg>) {
         debug_assert_eq!(self.rank, COUNT_RANK);
         // Re-seeded work after a death can legitimately over-count; outside
         // resilient mode an underflow is still a protocol bug.
-        debug_assert!(self.resil.is_some() || self.remaining >= count, "count underflow");
-        self.remaining = self.remaining.saturating_sub(count);
-        if self.remaining == 0 {
+        debug_assert!(
+            self.resil.is_some() || self.detector.outstanding() >= count,
+            "count underflow"
+        );
+        let now = ctx.now();
+        if by_epoch.is_empty() {
+            self.detector.retire(0, count, now);
+        } else {
+            debug_assert_eq!(by_epoch.iter().map(|&(_, c)| c as u64).sum::<u64>(), count);
+            for &(epoch, c) in by_epoch {
+                self.detector.retire(epoch, c as u64, now);
+            }
+        }
+        if self.detector.is_done() {
             ctx.stop_all();
         }
     }
@@ -561,6 +634,33 @@ impl Process<Msg> for StaticProc {
                     return;
                 }
                 self.flush_terminations(done, ctx);
+                // A degenerate (zero-seed) plan is already complete: the
+                // count rank must stop the world now — no termination will
+                // ever arrive to trigger it.
+                if self.rank == COUNT_RANK && self.detector.is_done() {
+                    ctx.stop_all();
+                }
+            }
+            Event::Message { msg: Msg::Ingest { seeds, .. }, .. } => {
+                // An open-loop batch, pre-routed to this rank by block
+                // owner: instantiate and integrate exactly like start-time
+                // seeds (epoch recovery is by id, not by tag).
+                let now = ctx.now();
+                let mut created: Vec<Streamline> = Vec::with_capacity(seeds.len());
+                for (id, seed) in seeds {
+                    self.note_arrival(id, now);
+                    let sl = Streamline::new_lean(id, seed, self.h0);
+                    self.ws.admit(&sl);
+                    created.push(sl);
+                }
+                if self.check_memory(ctx) {
+                    return;
+                }
+                let done = self.process_group(created, ctx);
+                if self.failed_oom {
+                    return;
+                }
+                self.flush_terminations(done, ctx);
             }
             Event::Message { msg: Msg::Handoff { sl }, .. } => {
                 self.note_arrival(sl.id, ctx.now());
@@ -571,8 +671,8 @@ impl Process<Msg> for StaticProc {
                 }
                 self.flush_terminations(done, ctx);
             }
-            Event::Message { msg: Msg::CountDelta { count }, .. } => {
-                self.apply_count(count as u64, ctx);
+            Event::Message { msg: Msg::CountDelta { count, by_epoch }, .. } => {
+                self.apply_count(count as u64, &by_epoch, ctx);
             }
             Event::Message { msg: Msg::OutOfMemory { .. }, .. } => {
                 // Another rank died; the world is already stopping.

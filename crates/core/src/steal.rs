@@ -31,7 +31,9 @@
 //! are bit-identical to every other driver.
 
 use crate::config::{MemoryBudget, StealParams};
+use crate::ingest::EpochMap;
 use crate::msg::Msg;
+use crate::termination::{AnyDetector, DetectorKind, TerminationDetector};
 use crate::workspace::{BlockExit, Workspace, WorkspaceSnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -102,6 +104,9 @@ pub struct StealProc {
     black: bool,
     /// Safra: token held until this rank is passive.
     held_token: Option<(i64, bool)>,
+    /// Ingest-epoch fold carried by the held token (separate field so the
+    /// snapshot's `held_token` keeps its pre-ingestion shape on disk).
+    held_extra: u32,
     /// Rank 0 only: a token is circulating.
     token_out: bool,
     /// Rank 0 only: a retry wake is pending after a failed circulation.
@@ -118,6 +123,21 @@ pub struct StealProc {
     /// Fail-stop resilience machinery; `None` outside rank-chaos runs so
     /// fault-free schedules are untouched.
     resil: Option<StealResil>,
+    /// Per-epoch retirement ledger. Work migrates freely between steal
+    /// ranks, so the `opened` side is meaningless here — only retirements
+    /// are recorded, for driver-level frontier folding.
+    detector: AnyDetector,
+    /// Streamline id → ingest epoch (identity for closed runs).
+    emap: EpochMap,
+    /// `finished` entries already retired into the ledger.
+    retired_seen: usize,
+    /// Highest ingest epoch observed at this rank (0 for closed runs). The
+    /// termination token folds the minimum across ranks: a wave can only
+    /// succeed once every live rank has seen every epoch, which is what
+    /// makes Safra's invariant hold under external seed arrival.
+    extra_ingested: u32,
+    /// Total epochs of the run's ingest plan (1 for closed runs).
+    n_epochs: u32,
 }
 
 /// Per-rank fail-stop resilience state for the steal driver: ring
@@ -213,6 +233,15 @@ pub struct StealSnapshot {
     /// Absent in pre-resilience snapshots.
     #[serde(default)]
     pub resil: Option<StealResil>,
+    /// Absent in pre-ingestion snapshots (reconstructed on restore).
+    #[serde(default)]
+    pub detector: Option<AnyDetector>,
+    /// Absent in pre-ingestion snapshots; 0 is exactly the closed-run value.
+    #[serde(default)]
+    pub extra_ingested: u32,
+    /// Epoch fold of the held token, if any; 0 matches closed runs.
+    #[serde(default)]
+    pub held_extra: u32,
 }
 
 impl StealProc {
@@ -248,6 +277,7 @@ impl StealProc {
             msg_balance: 0,
             black: false,
             held_token: None,
+            held_extra: 0,
             token_out: false,
             retry_armed: false,
             seen: BTreeSet::new(),
@@ -256,6 +286,41 @@ impl StealProc {
             balance_msgs: 0,
             balance_bytes: 0,
             resil: None,
+            detector: AnyDetector::new(DetectorKind::ClosedSet),
+            emap: EpochMap::default(),
+            retired_seen: 0,
+            extra_ingested: 0,
+            n_epochs: 1,
+        }
+    }
+
+    /// Switch this rank into open-loop mode: `n_epochs` ingest epochs will
+    /// be observed (epoch 0 at start, the rest as [`Msg::Ingest`] events),
+    /// with `emap` recovering any streamline's epoch from its id.
+    pub fn with_ingest(mut self, kind: DetectorKind, n_epochs: u32, emap: EpochMap) -> Self {
+        self.detector = AnyDetector::new(kind);
+        self.emap = emap;
+        self.n_epochs = n_epochs.max(1);
+        self
+    }
+
+    /// The per-rank retirement ledger (for driver-level frontier folding).
+    pub fn detector(&self) -> &AnyDetector {
+        &self.detector
+    }
+
+    /// Charge terminations since the last call to the epoch ledger.
+    fn note_retirements(&mut self, now: f64) {
+        if self.retired_seen == self.finished.len() {
+            return;
+        }
+        let mut by_epoch: BTreeMap<u32, u64> = BTreeMap::new();
+        for sl in &self.finished[self.retired_seen..] {
+            *by_epoch.entry(self.emap.epoch_of(sl.id)).or_default() += 1;
+        }
+        self.retired_seen = self.finished.len();
+        for (epoch, n) in by_epoch {
+            self.detector.retire(epoch, n, now);
         }
     }
 
@@ -317,6 +382,9 @@ impl StealProc {
             balance_msgs: self.balance_msgs,
             balance_bytes: self.balance_bytes,
             resil: self.resil.clone(),
+            detector: Some(self.detector.clone()),
+            extra_ingested: self.extra_ingested,
+            held_extra: self.held_extra,
         }
     }
 
@@ -343,6 +411,19 @@ impl StealProc {
         self.balance_msgs = snap.balance_msgs;
         self.balance_bytes = snap.balance_bytes;
         self.resil = snap.resil.clone();
+        match &snap.detector {
+            Some(d) => self.detector = d.clone(),
+            None => {
+                // Pre-ingestion snapshot: rebuild the closed-run ledger
+                // from what this rank has finished.
+                let mut d = AnyDetector::new(DetectorKind::ClosedSet);
+                d.retire(0, snap.finished.len() as u64, 0.0);
+                self.detector = d;
+            }
+        }
+        self.retired_seen = self.finished.len();
+        self.extra_ingested = snap.extra_ingested;
+        self.held_extra = snap.held_extra;
         if self.resil.is_some() {
             self.recompute_neighbors();
         }
@@ -558,9 +639,9 @@ impl StealProc {
         self.black = true;
     }
 
-    fn send_token(&mut self, count: i64, black: bool, ctx: &mut dyn Context<Msg>) {
+    fn send_token(&mut self, count: i64, black: bool, extra: u32, ctx: &mut dyn Context<Msg>) {
         let dead = self.resil.as_ref().map_or_else(Vec::new, |r| r.dead.clone());
-        let msg = Msg::TermToken { count, black, dead };
+        let msg = Msg::TermToken { count, black, dead, extra_ingested: extra };
         let bytes = msg.wire_bytes(self.comm_geometry);
         self.balance_msgs += 1;
         self.balance_bytes += bytes as u64;
@@ -648,7 +729,11 @@ impl StealProc {
     /// or a transfer re-activates this rank.
     fn enter_idle(&mut self, ctx: &mut dyn Context<Msg>) {
         if self.n_ranks == 1 {
-            self.done = true;
+            // A lone rank is done only once every ingest epoch has been
+            // observed; otherwise it idles until the next `Ingest` event.
+            if self.extra_ingested + 1 >= self.n_epochs {
+                self.done = true;
+            }
             return;
         }
         if !self.hunting && !self.hunted_since_idle && !self.neighbors.is_empty() {
@@ -791,8 +876,10 @@ impl StealProc {
             return;
         }
         // Sole survivor: nobody left to count with — local quiescence is
-        // global quiescence.
-        if self.resil.as_ref().is_some_and(|r| r.dead.len() + 1 >= self.n_ranks) {
+        // global quiescence (once every ingest epoch has been delivered).
+        if self.resil.as_ref().is_some_and(|r| r.dead.len() + 1 >= self.n_ranks)
+            && self.extra_ingested + 1 >= self.n_epochs
+        {
             self.done = true;
             ctx.stop_all();
             return;
@@ -806,7 +893,16 @@ impl StealProc {
                 // The circulation only counts if every rank folded the same
                 // membership we hold now; a view change mid-hold dirties it.
                 let consistent = self.resil.as_ref().is_none_or(|r| r.dead == tdead);
-                if !black && !self.black && consistent && count + self.current_balance() == 0 {
+                // Every live rank must have observed every ingest epoch —
+                // the token carries the minimum fold, so a wave that beat an
+                // arrival to any rank cannot declare termination.
+                let all_ingested = self.held_extra.min(self.extra_ingested) + 1 >= self.n_epochs;
+                if !black
+                    && !self.black
+                    && consistent
+                    && all_ingested
+                    && count + self.current_balance() == 0
+                {
                     // White token, clean initiator, zero global balance: no
                     // work and no messages exist anywhere among the living.
                     self.done = true;
@@ -823,14 +919,16 @@ impl StealProc {
             } else if !self.token_out && !self.retry_armed {
                 self.token_out = true;
                 self.black = false;
-                self.send_token(0, false, ctx);
+                let extra = self.extra_ingested;
+                self.send_token(0, false, extra, ctx);
             }
         } else if let Some((count, black)) = self.held_token.take() {
             let _ = held_dead(self);
             let fwd = count + self.current_balance();
             let dirty = black || self.black;
+            let fold = self.held_extra.min(self.extra_ingested);
             self.black = false;
-            self.send_token(fwd, dirty, ctx);
+            self.send_token(fwd, dirty, fold, ctx);
         }
     }
 }
@@ -874,7 +972,42 @@ impl Process<Msg> for StealProc {
                     Msg::LoadReport { load } => self.on_load_report(from, load, ctx),
                     Msg::StealRequest => self.on_steal_request(from, ctx),
                     Msg::WorkTransfer { sls } => self.on_work_transfer(from, sls, ctx),
-                    Msg::TermToken { count, black, dead } => {
+                    Msg::Ingest { epoch, seeds } => {
+                        // External arrival — not a basic message, so it never
+                        // touches the Safra balance; it does blacken the rank
+                        // so a token that beat the arrival circulates dirty.
+                        self.extra_ingested = self.extra_ingested.max(epoch);
+                        self.black = true;
+                        let now = ctx.now();
+                        let had_seeds = !seeds.is_empty();
+                        for (id, seed) in seeds {
+                            self.note_arrival(id, now);
+                            let mut sl = Streamline::new_lean(id, seed, self.h0);
+                            self.ws.admit(&sl);
+                            match self.ws.locate(seed) {
+                                Some(b) => self.parked.entry(b).or_default().push(sl),
+                                None => {
+                                    sl.terminate(Termination::ExitedDomain);
+                                    self.ws.terminated += 1;
+                                    self.ws.retire_object();
+                                    self.finished.push(sl);
+                                }
+                            }
+                        }
+                        if self.check_memory(ctx) {
+                            return;
+                        }
+                        if had_seeds {
+                            self.hunted_since_idle = false;
+                            self.arm_tick(ctx);
+                            ctx.wake_after(0.0, WAKE_ROUND);
+                        } else if self.n_ranks == 1 && self.parked.is_empty() {
+                            // A lone rank may have been waiting on this
+                            // (empty) final epoch to declare itself done.
+                            self.enter_idle(ctx);
+                        }
+                    }
+                    Msg::TermToken { count, black, dead, extra_ingested } => {
                         // A token carrying a different membership view than
                         // ours dirties this circulation (either side may be
                         // ahead) before the views merge.
@@ -884,6 +1017,7 @@ impl Process<Msg> for StealProc {
                         self.merge_dead(&dead, ctx.now(), ctx);
                         let merged = self.resil.as_ref().map_or_else(Vec::new, |r| r.dead.clone());
                         self.held_token = Some((count, black));
+                        self.held_extra = extra_ingested;
                         if let Some(r) = self.resil.as_mut() {
                             r.held_dead = merged;
                         }
@@ -895,6 +1029,7 @@ impl Process<Msg> for StealProc {
                 }
             }
         }
+        self.note_retirements(ctx.now());
         self.maybe_advance_token(ctx);
     }
 }

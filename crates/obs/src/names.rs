@@ -52,6 +52,13 @@ pub const RUN_BALANCE_MSGS_TOTAL: &str = "streamline_run_balance_messages_total"
 pub const RUN_BALANCE_BYTES_TOTAL: &str = "streamline_run_balance_bytes_total";
 pub const RUN_PARTICIPATION_RATIO: &str = "streamline_run_participation_ratio";
 pub const RUN_COMM_OVERHEAD_SHARE: &str = "streamline_run_comm_overhead_share";
+// Streaming ingestion: epochs in the run's seed schedule, epochs the
+// folded termination frontier confirmed complete, and the
+// arrival→completion lag over confirmed epochs.
+pub const RUN_INGEST_EPOCHS: &str = "streamline_run_ingest_epochs";
+pub const RUN_FRONTIER_EPOCHS: &str = "streamline_run_frontier_epochs";
+pub const RUN_FRONTIER_LAG_MEAN_SECONDS: &str = "streamline_run_frontier_lag_mean_seconds";
+pub const RUN_FRONTIER_LAG_MAX_SECONDS: &str = "streamline_run_frontier_lag_max_seconds";
 
 // Block cache (CacheStats).
 pub const CACHE_LOADED_TOTAL: &str = "streamline_cache_loaded_total";
@@ -108,6 +115,8 @@ pub const SERVE_CACHE_HITS_TOTAL: &str = "streamline_serve_cache_hits_total";
 pub const SERVE_CACHE_FAILED_LOADS_TOTAL: &str = "streamline_serve_cache_failed_loads_total";
 pub const SERVE_BLOCK_EFFICIENCY: &str = "streamline_serve_block_efficiency";
 pub const SERVE_LATENCY_NANOSECONDS: &str = "streamline_serve_request_latency_nanoseconds";
+pub const SERVE_WORKER_PANICS_TOTAL: &str = "streamline_serve_worker_panics_total";
+pub const SERVE_REQUESTS_GONE_TOTAL: &str = "streamline_serve_requests_gone_total";
 
 // Checkpoint/restart.
 pub const CKPT_SNAPSHOTS_TOTAL: &str = "streamline_ckpt_snapshots_total";

@@ -243,6 +243,19 @@ pub struct ScheduleTrace {
     /// with the other series. Empty unless deaths were recorded.
     #[serde(default)]
     pub rank_deaths_cumulative: Vec<u64>,
+    /// Cumulative ingest epochs that have *arrived* by the end of each
+    /// bucket — the open-vs-closed signature series: a closed run never
+    /// records it (empty), an open run shows a staircase climbing while
+    /// work is already draining. `#[serde(default)]` keeps older traces
+    /// parsing.
+    #[serde(default)]
+    pub ingest_epochs_cumulative: Vec<u64>,
+    /// Cumulative ingest epochs the termination frontier has *confirmed
+    /// complete* by the end of each bucket, aligned with the arrival
+    /// staircase (always at or below it — an epoch cannot complete before
+    /// it arrives). Empty on closed runs and under the closed-set detector.
+    #[serde(default)]
+    pub frontier_epochs_cumulative: Vec<u64>,
 }
 
 impl ScheduleTrace {
@@ -297,6 +310,8 @@ impl ScheduleTrace {
             shares,
             rank_deaths: Vec::new(),
             rank_deaths_cumulative: Vec::new(),
+            ingest_epochs_cumulative: Vec::new(),
+            frontier_epochs_cumulative: Vec::new(),
         }
     }
 
@@ -323,6 +338,39 @@ impl ScheduleTrace {
         }
         self.rank_deaths = deaths.to_vec();
         self.rank_deaths_cumulative = cumulative;
+        self
+    }
+
+    /// Attach a run's ingest schedule: cumulative arrived epochs and
+    /// cumulative frontier-confirmed epochs per bucket. An event past the
+    /// last bucket counts in the last bucket. No-op on closed schedules
+    /// (one epoch or fewer), so closed traces stay byte-identical.
+    pub fn with_ingest(
+        mut self,
+        timeline: &PhaseTimeline,
+        arrivals: &[f64],
+        completions: &[f64],
+    ) -> Self {
+        if arrivals.len() <= 1 {
+            return self;
+        }
+        let nb = timeline.n_buckets();
+        let w = timeline.bucket_width;
+        let staircase = |times: &[f64]| -> Vec<u64> {
+            let mut c = vec![0u64; nb];
+            if nb > 0 {
+                for &t in times {
+                    let b = ((t / w) as usize).min(nb - 1);
+                    c[b] += 1;
+                }
+                for b in 1..nb {
+                    c[b] += c[b - 1];
+                }
+            }
+            c
+        };
+        self.ingest_epochs_cumulative = staircase(arrivals);
+        self.frontier_epochs_cumulative = staircase(completions);
         self
     }
 }
@@ -493,6 +541,44 @@ impl TraceFile {
                 for &(_, t) in &s.rank_deaths {
                     if !t.is_finite() || t < 0.0 {
                         return Err(format!("rank death at non-finite or negative time {t}"));
+                    }
+                }
+            }
+            if !s.ingest_epochs_cumulative.is_empty() || !s.frontier_epochs_cumulative.is_empty() {
+                if s.ingest_epochs_cumulative.len() != nb {
+                    return Err(format!(
+                        "ingest series has {} buckets, trace has {nb}",
+                        s.ingest_epochs_cumulative.len()
+                    ));
+                }
+                if !s.frontier_epochs_cumulative.is_empty()
+                    && s.frontier_epochs_cumulative.len() != nb
+                {
+                    return Err(format!(
+                        "frontier series has {} buckets, trace has {nb}",
+                        s.frontier_epochs_cumulative.len()
+                    ));
+                }
+                for (name, series) in [
+                    ("ingest", &s.ingest_epochs_cumulative),
+                    ("frontier", &s.frontier_epochs_cumulative),
+                ] {
+                    for w in series.windows(2) {
+                        if w[1] < w[0] {
+                            return Err(format!(
+                                "{name} series not monotone: {} then {}",
+                                w[0], w[1]
+                            ));
+                        }
+                    }
+                }
+                for (b, (&f, &i)) in
+                    s.frontier_epochs_cumulative.iter().zip(&s.ingest_epochs_cumulative).enumerate()
+                {
+                    if f > i {
+                        return Err(format!(
+                            "bucket {b}: {f} epochs complete but only {i} arrived"
+                        ));
                     }
                 }
             }
@@ -777,6 +863,33 @@ mod tests {
         let mut bad = trace;
         bad.schedule.as_mut().unwrap().rank_deaths.pop();
         assert!(bad.validate().is_err(), "death-count mismatch rejected");
+    }
+
+    #[test]
+    fn ingest_series_accumulates_and_validates() {
+        let mut t = PhaseTimeline::new(2, 1.0);
+        t.add(0, Phase::Compute, 0.0, 2.0);
+        t.add(1, Phase::Compute, 0.0, 2.0);
+        // Three epochs: base at 0, arrivals in buckets 0 and 1; the last
+        // completion lands past the end and clamps to the final bucket.
+        let arrivals = [0.0, 0.4, 1.2];
+        let completions = [0.9, 1.5, 7.0];
+        let s = ScheduleTrace::from_timeline(&t, &[]).with_ingest(&t, &arrivals, &completions);
+        assert_eq!(s.ingest_epochs_cumulative, vec![2, 3]);
+        assert_eq!(s.frontier_epochs_cumulative, vec![1, 3]);
+        let mut trace = t.to_trace("virtual");
+        trace.schedule = Some(s);
+        trace.validate().expect("ingest series validates");
+        // A closed schedule records nothing, keeping the trace byte-identical.
+        let closed = ScheduleTrace::from_timeline(&t, &[]).with_ingest(&t, &[0.0], &[2.0]);
+        assert_eq!(closed, ScheduleTrace::from_timeline(&t, &[]));
+        // Corruption is rejected: completions outrunning arrivals.
+        let mut bad = trace.clone();
+        bad.schedule.as_mut().unwrap().frontier_epochs_cumulative = vec![3, 3];
+        assert!(bad.validate().is_err(), "frontier past ingest rejected");
+        let mut bad = trace;
+        bad.schedule.as_mut().unwrap().ingest_epochs_cumulative = vec![3, 2];
+        assert!(bad.validate().is_err(), "non-monotone ingest series rejected");
     }
 
     #[test]

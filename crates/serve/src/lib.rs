@@ -30,6 +30,15 @@
 //!   [`Outcome::Partial`] (terminated `BlockUnavailable`, carrying the
 //!   curve computed so far) instead of wedging their tickets — faults can
 //!   deny results, never corrupt them.
+//!   A panicking worker batch is contained the same way: accounting is
+//!   repaired, the affected requests resolve as the typed
+//!   [`ServiceGone`], and the worker goes back to claiming work — one
+//!   panic never cascades into hung or panicking clients.
+//! * **Resident sessions** — [`ResidentSession`] feeds a whole query
+//!   stream into *one* long-running open-loop driver run: each query is
+//!   an ingest epoch of a `streamline_core::SeedSource`, and the frontier
+//!   termination protocol resolves each [`resident::QueryTicket`] the
+//!   moment its epoch completes.
 //! * **Deadlines and drain** — each request may carry a deadline; expired
 //!   requests stop consuming compute and complete with
 //!   [`Outcome::DeadlineExceeded`]. [`Service::shutdown`] drains all
@@ -49,6 +58,7 @@
 pub mod breaker;
 pub mod cache;
 pub mod metrics;
+pub mod resident;
 pub mod service;
 pub mod warm;
 
@@ -57,6 +67,7 @@ pub use breaker::{
 };
 pub use cache::SharedBlockCache;
 pub use metrics::{LatencyHistogram, ServiceMetrics};
+pub use resident::{QueryResult, QueryTicket, ResidentSession};
 pub use service::{
     Outcome, Request, Response, Service, ServiceConfig, ServiceGone, SubmitError, Ticket, TryWait,
 };

@@ -90,6 +90,13 @@ pub struct ServiceMetrics {
     pub breaker_trips: u64,
     /// Blocks whose breaker is open or half-open right now.
     pub blocks_quarantined: usize,
+    /// Worker batches that panicked mid-advance and were contained: the
+    /// worker recovered, accounting was repaired, and the affected
+    /// requests resolved as the typed `ServiceGone` instead of wedging.
+    pub worker_panics: u64,
+    /// Requests whose ticket resolved `ServiceGone` because a worker
+    /// panic destroyed part of their state.
+    pub requests_gone: u64,
     /// Streamlines terminated `BlockUnavailable` (degraded, counted in
     /// `streamlines_completed` too — they do resolve, with a typed
     /// termination and the curve computed so far).

@@ -1,0 +1,267 @@
+//! A long-running *resident* driver session: queries stream into one
+//! open-loop run instead of each paying for a one-shot run of its own.
+//!
+//! [`Service`](crate::service::Service) amortizes block I/O across
+//! requests but still integrates each request independently. A
+//! [`ResidentSession`] goes further down the ISSUE-9 path: every query
+//! becomes one *ingest epoch* of a single
+//! [`streamline_core::SeedSource`], the whole stream runs through one
+//! driver session on the simulated cluster, and the frontier termination
+//! protocol proves per-epoch completion — the moment a query's epoch
+//! falls behind the global frontier, its [`QueryTicket`] resolves with
+//! exactly that query's streamlines and the virtual completion time.
+//!
+//! Streamline ids are assigned contiguously in enqueue order (the
+//! [`SeedSource`] id space), so each ticket's results are recovered from
+//! the flat output by id range alone — no per-seed bookkeeping on the
+//! hot path, and the driver's conservation accounting
+//! (`completed + unavailable + rank_lost == ingested`) covers every query
+//! in the session as one invariant.
+
+use crate::service::ServiceGone;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use streamline_core::{
+    run_simulated_open_detailed, EpochMap, IngestError, RunConfig, RunReport, SeedSource,
+};
+use streamline_field::dataset::Dataset;
+use streamline_field::seeds::SeedSet;
+use streamline_integrate::Streamline;
+use streamline_math::Vec3;
+
+/// One query's resolved results: the streamlines seeded by that query,
+/// with the virtual times bracketing its life in the session.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// The ingest epoch this query became (1-based; epoch 0 is the empty
+    /// base the session starts from).
+    pub epoch: u32,
+    /// Virtual time the query's seeds arrived.
+    pub arrived_at: f64,
+    /// Virtual time the frontier confirmed the epoch complete — every
+    /// streamline of this query (and all earlier epochs) terminated.
+    pub completed_at: f64,
+    /// This query's terminated streamlines, in seed order.
+    pub streamlines: Vec<Streamline>,
+}
+
+/// Handle to one enqueued query; resolves when [`ResidentSession::run`]
+/// drains the session and the query's epoch completes.
+pub struct QueryTicket {
+    /// The ingest epoch assigned to this query.
+    pub epoch: u32,
+    rx: Receiver<QueryResult>,
+}
+
+impl QueryTicket {
+    /// Redeem the ticket. Typed [`ServiceGone`] if the session was dropped
+    /// (or a query ahead of this one destroyed the run) without answering.
+    pub fn wait(self) -> Result<QueryResult, ServiceGone> {
+        self.rx.recv().map_err(|_| ServiceGone { request_id: u64::from(self.epoch) })
+    }
+}
+
+struct PendingQuery {
+    at: f64,
+    points: Vec<Vec3>,
+    tx: Sender<QueryResult>,
+}
+
+/// Accumulates queries as ingest epochs, then runs them all as one
+/// open-loop driver session. See the [module docs](self).
+pub struct ResidentSession {
+    label: String,
+    cfg: RunConfig,
+    queries: Vec<PendingQuery>,
+    prev_at: f64,
+}
+
+impl ResidentSession {
+    /// A new session integrating with `cfg` (algorithm, rank count,
+    /// limits, and the termination detector kind all honored as-is).
+    pub fn new(label: &str, cfg: RunConfig) -> Self {
+        ResidentSession { label: label.to_string(), cfg, queries: Vec::new(), prev_at: 0.0 }
+    }
+
+    /// Enqueue one query: `points` arrive together at virtual time `at`.
+    /// Arrival times must be finite, non-negative, and non-decreasing in
+    /// enqueue order — violations are typed [`IngestError`]s here, at
+    /// ingestion, exactly like a malformed [`SeedSource`].
+    pub fn enqueue(&mut self, at: f64, points: Vec<Vec3>) -> Result<QueryTicket, IngestError> {
+        let epoch = (self.queries.len() + 1) as u32;
+        if !at.is_finite() || at < 0.0 {
+            return Err(IngestError::BadArrivalTime { epoch, at });
+        }
+        if at < self.prev_at {
+            return Err(IngestError::NonMonotoneArrival { epoch, at, previous: self.prev_at });
+        }
+        self.prev_at = at;
+        let (tx, rx) = bounded(1);
+        self.queries.push(PendingQuery { at, points, tx });
+        Ok(QueryTicket { epoch, rx })
+    }
+
+    /// Seeds enqueued so far, across every pending query.
+    pub fn pending_seeds(&self) -> usize {
+        self.queries.iter().map(|q| q.points.len()).sum()
+    }
+
+    /// Run every enqueued query as one open-loop driver session and
+    /// resolve each ticket with its epoch's results as the frontier
+    /// confirms them. Returns the session-wide [`RunReport`] — its
+    /// conservation invariant covers all queries at once.
+    pub fn run(self, dataset: &Dataset) -> RunReport {
+        let base = SeedSet { label: self.label.clone(), points: Vec::new() };
+        let arrivals = self.queries.iter().map(|q| (q.at, q.points.clone())).collect();
+        let source = SeedSource::new(&base, arrivals).expect("enqueue validated the schedule");
+        let emap = EpochMap::of(&source);
+        let (report, streamlines) = run_simulated_open_detailed(dataset, &source, &self.cfg);
+
+        // Partition the flat output by ingest epoch: ids are contiguous in
+        // epoch order, so each streamline maps to its query by id alone.
+        let mut per_epoch: Vec<Vec<Streamline>> =
+            (0..source.n_epochs()).map(|_| Vec::new()).collect();
+        for sl in streamlines {
+            per_epoch[emap.epoch_of(sl.id) as usize].push(sl);
+        }
+        let mut epochs = per_epoch.into_iter();
+        let _empty_base = epochs.next();
+        for (i, (q, sls)) in self.queries.into_iter().zip(epochs).enumerate() {
+            let epoch = (i + 1) as u32;
+            // A client that dropped its ticket just doesn't hear back.
+            let _ = q.tx.send(QueryResult {
+                epoch,
+                arrived_at: q.at,
+                completed_at: report
+                    .ingest_epoch_completions
+                    .get(epoch as usize)
+                    .copied()
+                    .unwrap_or(f64::NAN),
+                streamlines: sls,
+            });
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamline_core::{run_simulated_detailed, Algorithm, DetectorKind};
+    use streamline_field::dataset::{DatasetConfig, Seeding};
+
+    fn dataset() -> Dataset {
+        let mut dcfg = DatasetConfig::tiny();
+        dcfg.blocks_per_axis = [2, 2, 2];
+        Dataset::thermal_hydraulics(dcfg)
+    }
+
+    fn cfg(detector: DetectorKind) -> RunConfig {
+        let mut cfg = RunConfig::new(Algorithm::LoadOnDemand, 4);
+        cfg.limits.max_steps = 200;
+        cfg.detector = detector;
+        cfg
+    }
+
+    #[test]
+    fn queries_resolve_per_epoch_with_exact_conservation() {
+        let ds = dataset();
+        let seeds = ds.seeds_with_count(Seeding::Dense, 24);
+        let mut session = ResidentSession::new("resident", cfg(DetectorKind::Frontier));
+        let t1 = session.enqueue(0.0, seeds.points[..10].to_vec()).expect("well-formed");
+        let t2 = session.enqueue(2.0e-4, seeds.points[10..18].to_vec()).expect("well-formed");
+        let t3 = session.enqueue(5.0e-4, seeds.points[18..].to_vec()).expect("well-formed");
+        assert_eq!(session.pending_seeds(), 24);
+
+        let report = session.run(&ds);
+        assert_eq!(report.terminated, 24, "session-wide conservation");
+        assert_eq!(report.ingest_epochs, 4, "empty base + three query epochs");
+        assert_eq!(report.ingest_frontier_epochs, 4, "frontier confirmed every epoch");
+
+        let (r1, r2, r3) = (
+            t1.wait().expect("answered"),
+            t2.wait().expect("answered"),
+            t3.wait().expect("answered"),
+        );
+        assert_eq!(r1.streamlines.len(), 10);
+        assert_eq!(r2.streamlines.len(), 8);
+        assert_eq!(r3.streamlines.len(), 6);
+        // Contiguous, disjoint id ranges in enqueue order.
+        for (r, range) in [(&r1, 0u32..10), (&r2, 10..18), (&r3, 18..24)] {
+            let mut ids: Vec<u32> = r.streamlines.iter().map(|sl| sl.id.0).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, range.collect::<Vec<_>>());
+        }
+        // Frontier-confirmed completion times are real and causal.
+        for r in [&r1, &r2, &r3] {
+            assert!(r.completed_at.is_finite());
+            assert!(r.completed_at >= r.arrived_at, "epoch {} completed before arriving", r.epoch);
+        }
+    }
+
+    #[test]
+    fn single_query_session_matches_a_closed_run_bit_for_bit() {
+        // One query at t=0 through the resident session (frontier
+        // detector) vs. the same seeds as a one-shot closed run
+        // (closed-set detector): the streamlines must agree exactly.
+        let ds = dataset();
+        let seeds = ds.seeds_with_count(Seeding::Sparse, 16);
+        let mut session = ResidentSession::new("resident", cfg(DetectorKind::Frontier));
+        let ticket = session.enqueue(0.0, seeds.points.clone()).expect("well-formed");
+        session.run(&ds);
+        let got = ticket.wait().expect("answered");
+
+        let (_, want) = run_simulated_detailed(&ds, &seeds, &cfg(DetectorKind::ClosedSet));
+        assert_eq!(got.streamlines.len(), want.len());
+        let mut got_sls = got.streamlines;
+        got_sls.sort_by_key(|sl| sl.id);
+        for (a, b) in got_sls.iter().zip(&want) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.status, b.status);
+            assert_eq!(a.geometry, b.geometry, "streamline {:?} diverged", a.id);
+        }
+    }
+
+    #[test]
+    fn malformed_schedules_are_typed_errors_at_enqueue() {
+        let mut session = ResidentSession::new("resident", cfg(DetectorKind::Frontier));
+        session.enqueue(1.0, vec![Vec3::ZERO]).expect("well-formed");
+        assert!(matches!(
+            session.enqueue(0.5, vec![Vec3::ZERO]),
+            Err(IngestError::NonMonotoneArrival { epoch: 2, .. })
+        ));
+        assert!(matches!(
+            session.enqueue(f64::NAN, vec![Vec3::ZERO]),
+            Err(IngestError::BadArrivalTime { epoch: 2, .. })
+        ));
+        assert!(matches!(
+            session.enqueue(-1.0, vec![Vec3::ZERO]),
+            Err(IngestError::BadArrivalTime { .. })
+        ));
+    }
+
+    #[test]
+    fn dropped_session_resolves_tickets_as_gone() {
+        let mut session = ResidentSession::new("resident", cfg(DetectorKind::Frontier));
+        let ticket = session.enqueue(0.0, vec![Vec3::ZERO]).expect("well-formed");
+        drop(session);
+        let err = ticket.wait().expect_err("dropped session must surface as ServiceGone");
+        assert_eq!(err, ServiceGone { request_id: 1 });
+    }
+
+    #[test]
+    fn empty_query_epochs_still_resolve() {
+        // A query with zero seeds is a legal epoch: it resolves with an
+        // empty result instead of wedging the frontier.
+        let ds = dataset();
+        let seeds = ds.seeds_with_count(Seeding::Sparse, 4);
+        let mut session = ResidentSession::new("resident", cfg(DetectorKind::Frontier));
+        let t1 = session.enqueue(0.0, seeds.points.clone()).expect("well-formed");
+        let t2 = session.enqueue(1.0e-4, Vec::new()).expect("well-formed");
+        let report = session.run(&ds);
+        assert_eq!(report.terminated, 4);
+        assert_eq!(t1.wait().expect("answered").streamlines.len(), 4);
+        let empty = t2.wait().expect("answered");
+        assert_eq!(empty.epoch, 2);
+        assert!(empty.streamlines.is_empty());
+    }
+}

@@ -64,6 +64,10 @@ pub struct ServiceConfig {
     /// block queue in chunks of up to this many streamlines per batch-kernel
     /// call. Results are bit-identical at any width; 1 is the scalar path.
     pub batch: usize,
+    /// Fault injection for tests: panic the first worker batch that claims
+    /// this block, exercising the panic-containment path. Fires once.
+    #[doc(hidden)]
+    pub panic_on_block: Option<BlockId>,
 }
 
 impl Default for ServiceConfig {
@@ -77,6 +81,7 @@ impl Default for ServiceConfig {
             breaker: BreakerConfig::default(),
             trace_bucket: None,
             batch: 16,
+            panic_on_block: None,
         }
     }
 }
@@ -240,6 +245,10 @@ struct RequestState {
     submitted: Instant,
     /// Set once the deadline is observed expired; later items short-circuit.
     expired: AtomicBool,
+    /// Set when a worker panic destroyed part of this request's state.
+    /// Completion then resolves the ticket as [`ServiceGone`] (the sender
+    /// is dropped without an answer) instead of sending a partial lie.
+    poisoned: AtomicBool,
     /// Seeds not yet resolved; the item that drops this to zero completes
     /// the request.
     remaining: AtomicUsize,
@@ -297,8 +306,13 @@ struct ServiceInner {
     sampler_hits: Counter,
     sampler_misses: Counter,
     batched_lanes: Counter,
+    worker_panics: Counter,
+    requests_gone: Counter,
     /// Batch width for the advection kernel (≥ 1).
     batch: usize,
+    /// Test-only fault injection (see [`ServiceConfig::panic_on_block`]).
+    panic_on_block: Option<BlockId>,
+    panic_fired: AtomicBool,
     latency: LatencyHistogram,
     /// Wall-clock phase timeline, present only when
     /// [`ServiceConfig::trace_bucket`] was set.
@@ -348,7 +362,11 @@ impl Service {
             sampler_hits: registry.counter(names::SERVE_SAMPLER_HITS_TOTAL),
             sampler_misses: registry.counter(names::SERVE_SAMPLER_MISSES_TOTAL),
             batched_lanes: registry.counter(names::SERVE_BATCHED_LANES_TOTAL),
+            worker_panics: registry.counter(names::SERVE_WORKER_PANICS_TOTAL),
+            requests_gone: registry.counter(names::SERVE_REQUESTS_GONE_TOTAL),
             batch: cfg.batch.max(1),
+            panic_on_block: cfg.panic_on_block,
+            panic_fired: AtomicBool::new(false),
             latency: LatencyHistogram::in_registry(&registry, names::SERVE_LATENCY_NANOSECONDS),
             trace: cfg.trace_bucket.map(|w| WallTimeline::new(n_workers, w)),
             registry,
@@ -393,6 +411,7 @@ impl Service {
             deadline: req.deadline,
             submitted: Instant::now(),
             expired: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
             remaining: AtomicUsize::new(n),
             dropped: AtomicUsize::new(0),
             unavailable: AtomicUsize::new(0),
@@ -561,6 +580,8 @@ fn snapshot(inner: &ServiceInner, workers: usize) -> ServiceMetrics {
         fast_fails: inner.breakers.fast_fails(),
         breaker_trips: inner.breakers.trips(),
         blocks_quarantined: inner.breakers.quarantined(),
+        worker_panics: inner.worker_panics.get(),
+        requests_gone: inner.requests_gone.get(),
         streamlines_unavailable: inner.streamlines_unavailable.get(),
         streamlines_completed: streamlines,
         total_steps: inner.total_steps.get(),
@@ -602,7 +623,28 @@ fn finish_item(inner: &ServiceInner, req: &Arc<RequestState>, sl: Option<Streaml
     }
 }
 
+/// Resolve one seed whose streamline was destroyed by a worker panic:
+/// poison the request so its eventual completion resolves the ticket as
+/// [`ServiceGone`], release the admission seat, and complete if last. The
+/// conservation accounting stays exact — every admitted seed releases its
+/// seat exactly once, panic or not.
+fn abandon_item(inner: &ServiceInner, req: &Arc<RequestState>) {
+    req.poisoned.store(true, Ordering::Release);
+    inner.pending_seeds.fetch_sub(1, Ordering::AcqRel);
+    if req.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        complete_request(inner, req);
+    }
+}
+
 fn complete_request(inner: &ServiceInner, req: &Arc<RequestState>) {
+    if req.poisoned.load(Ordering::Acquire) {
+        // Part of this request's state was destroyed by a worker panic;
+        // there is no honest answer to send. Dropping the sender (with the
+        // last `Arc<RequestState>`) resolves the ticket as the typed
+        // `ServiceGone` — never a hang, never a partial lie.
+        inner.requests_gone.inc();
+        return;
+    }
     let latency = req.submitted.elapsed();
     let dropped = req.dropped.load(Ordering::Relaxed);
     let unavailable = req.unavailable.load(Ordering::Relaxed);
@@ -644,6 +686,15 @@ fn claim_batch(inner: &ServiceInner) -> Option<(BlockId, Vec<WorkItem>)> {
             return None;
         }
         inner.sched.work_ready.wait(&mut st);
+    }
+}
+
+/// Test-only fault injection: panic the first batch claiming the
+/// configured block (see [`ServiceConfig::panic_on_block`]). Fires once,
+/// so recovery — not the injection — dominates everything after.
+fn maybe_inject_panic(inner: &ServiceInner, block_id: BlockId) {
+    if inner.panic_on_block == Some(block_id) && !inner.panic_fired.swap(true, Ordering::AcqRel) {
+        panic!("injected worker panic on {block_id:?}");
     }
 }
 
@@ -742,7 +793,6 @@ fn process_batch(
         return;
     };
 
-    let mut moved: BTreeMap<BlockId, Vec<WorkItem>> = BTreeMap::new();
     let mut finished: Vec<(Arc<RequestState>, Option<Streamline>)> = Vec::new();
     let compute_start = trace.map(|_| Instant::now());
     let now = Instant::now();
@@ -766,37 +816,73 @@ fn process_batch(
     }
     // Batched advance: runs of items sharing the same limits coalesce into
     // batch-kernel calls chunked to the configured width. Per-streamline
-    // results are bit-identical to the scalar path at any width.
-    let mut rest = live;
-    while !rest.is_empty() {
-        let limits = rest[0].req.limits;
-        let run_len = rest.iter().take_while(|it| it.req.limits == limits).count();
-        let tail = rest.split_off(run_len);
-        let (mut sls, reqs): (Vec<Streamline>, Vec<Arc<RequestState>>) =
-            rest.into_iter().map(|it| (it.sl, it.req)).unzip();
-        let mut exits = Vec::with_capacity(sls.len());
-        for chunk in sls.chunks_mut(inner.batch) {
-            let (ex, stats) =
-                advance_batch_in_block(chunk, &block, &inner.decomp, &limits, scratch);
-            inner.total_steps.add(stats.steps);
-            inner.sampler_hits.add(stats.sampler_hits);
-            inner.sampler_misses.add(stats.sampler_misses);
-            inner.batched_lanes.add(stats.batched_lanes);
-            exits.extend(ex);
-        }
-        for ((sl, req), exit) in sls.into_iter().zip(reqs).zip(exits) {
-            match exit {
-                BlockExit::MovedTo(next) => {
-                    moved.entry(next).or_default().push(WorkItem { sl, req })
-                }
-                BlockExit::Done(_) => finished.push((req, Some(sl))),
+    // results are bit-identical to the scalar path at any width. The whole
+    // phase runs under `catch_unwind`: a panicking kernel (or the test
+    // injection hook) must not take the worker thread — and with it the
+    // scheduler's `in_flight` accounting and every admission seat this
+    // batch holds — down with it.
+    let req_refs: Vec<Arc<RequestState>> = live.iter().map(|it| Arc::clone(&it.req)).collect();
+    let advanced = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        maybe_inject_panic(inner, block_id);
+        let mut cmoved: BTreeMap<BlockId, Vec<WorkItem>> = BTreeMap::new();
+        let mut cdone: Vec<(Arc<RequestState>, Option<Streamline>)> = Vec::new();
+        let mut rest = live;
+        while !rest.is_empty() {
+            let limits = rest[0].req.limits;
+            let run_len = rest.iter().take_while(|it| it.req.limits == limits).count();
+            let tail = rest.split_off(run_len);
+            let (mut sls, reqs): (Vec<Streamline>, Vec<Arc<RequestState>>) =
+                rest.into_iter().map(|it| (it.sl, it.req)).unzip();
+            let mut exits = Vec::with_capacity(sls.len());
+            for chunk in sls.chunks_mut(inner.batch) {
+                let (ex, stats) =
+                    advance_batch_in_block(chunk, &block, &inner.decomp, &limits, scratch);
+                inner.total_steps.add(stats.steps);
+                inner.sampler_hits.add(stats.sampler_hits);
+                inner.sampler_misses.add(stats.sampler_misses);
+                inner.batched_lanes.add(stats.batched_lanes);
+                exits.extend(ex);
             }
+            for ((sl, req), exit) in sls.into_iter().zip(reqs).zip(exits) {
+                match exit {
+                    BlockExit::MovedTo(next) => {
+                        cmoved.entry(next).or_default().push(WorkItem { sl, req })
+                    }
+                    BlockExit::Done(_) => cdone.push((req, Some(sl))),
+                }
+            }
+            rest = tail;
         }
-        rest = tail;
-    }
+        (cmoved, cdone)
+    }));
     if let (Some(tl), Some(t0)) = (trace, compute_start) {
         tl.record(rank, Phase::Compute, t0, t0.elapsed());
     }
+    let Ok((cmoved, mut cdone)) = advanced else {
+        // Contain the panic: the unwind destroyed this batch's live
+        // streamlines, so repair the scheduler accounting, resolve the
+        // expired items collected before the advance as usual, and abandon
+        // the rest — their requests resolve `ServiceGone`, their admission
+        // seats are released, and the worker goes back to claiming work.
+        inner.worker_panics.inc();
+        *scratch = StreamlineBatch::new();
+        {
+            let mut st = inner.sched.state.lock();
+            st.in_flight -= n_claimed;
+            if st.shutting_down && st.in_flight == 0 && st.queues.is_empty() {
+                inner.sched.work_ready.notify_all();
+            }
+        }
+        for (req, sl) in finished {
+            finish_item(inner, &req, sl);
+        }
+        for req in req_refs {
+            abandon_item(inner, &req);
+        }
+        return;
+    };
+    let moved = cmoved;
+    finished.append(&mut cdone);
 
     // Re-parking moved streamlines and completing responses is this
     // design's communication: handing work and results to other parties.
@@ -1281,6 +1367,43 @@ mod tests {
         );
         assert_eq!(m.cache.loaded, drained.cache.loaded, "same working set as the first instance");
         assert!(m.cache.hits > 0);
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_resolves_tickets_as_gone() {
+        let mut dcfg = DatasetConfig::tiny();
+        dcfg.blocks_per_axis = [2, 2, 2];
+        let dataset = Dataset::thermal_hydraulics(dcfg);
+        let seeds = dataset.seeds_with_count(Seeding::Sparse, 16);
+        let target = dataset.decomp.locate(seeds.points[0]).expect("seed in domain");
+        let store = Arc::new(MemoryStore::build(&dataset));
+        let svc = Service::start(
+            dataset.decomp,
+            store,
+            ServiceConfig { workers: 2, panic_on_block: Some(target), ..ServiceConfig::default() },
+        );
+        // The batch claiming `target` panics mid-advance. The caller must
+        // see the typed ServiceGone — not a hang, not a panic of its own.
+        let err = svc
+            .submit(Request::new(seeds.points.clone()).with_limits(limits()))
+            .expect("admitted")
+            .wait()
+            .expect_err("a panicked batch must resolve the ticket as ServiceGone");
+        assert_eq!(err.request_id, 0);
+        // The panic was contained: the very same workload now completes.
+        let resp = svc
+            .submit(Request::new(seeds.points.clone()).with_limits(limits()))
+            .expect("admitted")
+            .wait()
+            .expect("service answers after the panic");
+        assert_eq!(resp.outcome, Outcome::Completed);
+        assert_eq!(resp.streamlines.len(), 16);
+        // Shutdown drains instead of deadlocking on lost in-flight work.
+        let m = svc.shutdown();
+        assert_eq!(m.worker_panics, 1);
+        assert_eq!(m.requests_gone, 1);
+        assert_eq!(m.completed, 1, "only the healthy request counts as completed");
+        assert_eq!(m.queue_depth, 0, "panic recovery released every admission seat");
     }
 
     #[test]
