@@ -1,0 +1,523 @@
+//! The `bench-cluster` harness: max sustainable QPS of the sharded serve
+//! cluster under trace-shaped open-loop traffic (`BENCH_10.json`).
+//!
+//! For each replica count the harness replays the same Zipf/diurnal/burst
+//! trace ([`crate::traceload`]) at a geometric QPS ladder — fresh cluster
+//! per rung, caches warm-started from the ring shards — and records the
+//! highest rate the cluster sustains with zero typed rejections, zero lost
+//! requests, and p99 under the budget. Block loads go through a
+//! [`SlowStore`] with a fixed per-load wall delay, so serving is I/O-bound
+//! the way the paper's datasets are disk-bound: aggregate cache residency
+//! (each replica caches only its shard) is what capacity scales with,
+//! which keeps the sweep meaningful on a single core.
+//!
+//! Two gates ride along and land in the report:
+//! - **bit-identity** — the cluster's answers for the whole seed pool are
+//!   digest-compared against a plain [`Service`] run;
+//! - **kill conservation** — one cell kills a replica mid-trace and checks
+//!   every ticket resolved typed with `answered + gone == submitted`.
+
+use crate::experiments::{dataset_for, limits_for, SweepScale, Workload};
+use crate::traceload::TraceWorkloadConfig;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use streamline_cluster::{ClusterConfig, ClusterService};
+use streamline_field::block::Block;
+use streamline_field::dataset::Seeding;
+use streamline_integrate::{StepLimits, Streamline};
+use streamline_iosim::{BlockStore, MemoryStore, StoreError};
+use streamline_math::Vec3;
+use streamline_serve::{Request, Service, ServiceConfig, SubmitError};
+
+pub const CLUSTER_BENCH_SCHEMA: &str = "bench-cluster-v1";
+
+/// A [`BlockStore`] that charges a fixed wall-clock delay per load,
+/// making block I/O the bottleneck the cluster's caches exist to hide.
+pub struct SlowStore {
+    inner: Arc<dyn BlockStore>,
+    delay: Duration,
+}
+
+impl SlowStore {
+    pub fn new(inner: Arc<dyn BlockStore>, delay: Duration) -> SlowStore {
+        SlowStore { inner, delay }
+    }
+}
+
+impl BlockStore for SlowStore {
+    fn try_load(&self, id: streamline_field::block::BlockId) -> Result<Arc<Block>, StoreError> {
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        self.inner.try_load(id)
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.inner.num_blocks()
+    }
+}
+
+/// Shape of one `bench-cluster` run.
+#[derive(Debug, Clone)]
+pub struct ClusterBenchConfig {
+    pub workload: Workload,
+    pub scale: SweepScale,
+    /// Replica counts to sweep.
+    pub replicas: Vec<usize>,
+    /// Hot-block replication factor applied to every cell.
+    pub replication: usize,
+    /// The trace shape; its `base_qps` seeds the bottom of the ladder.
+    pub trace: TraceWorkloadConfig,
+    /// p99 latency budget defining "sustainable".
+    pub p99_budget_ms: f64,
+    /// Wall delay charged per block load.
+    pub load_delay: Duration,
+    /// Per-replica cache capacity in blocks. Keep this well under the
+    /// block count so aggregate residency grows with the replica count.
+    pub cache_blocks: usize,
+    /// Per-replica admission queue capacity.
+    pub queue_capacity: usize,
+    /// Ladder rungs: rung i runs at `base_qps × 2^i`.
+    pub max_rungs: usize,
+    /// Kill cell: `(replica, trace_time_s)`.
+    pub replica_kill: (usize, f64),
+    /// Smoke mode: 2-replica single-rung pass with the Prometheus dump
+    /// embedded in the report, for CI grepping.
+    pub smoke: bool,
+}
+
+impl Default for ClusterBenchConfig {
+    fn default() -> Self {
+        ClusterBenchConfig {
+            workload: Workload::Thermal,
+            scale: SweepScale::Quick,
+            replicas: vec![1, 2, 4, 8],
+            replication: 1,
+            trace: TraceWorkloadConfig { duration_s: 1.5, base_qps: 20.0, ..Default::default() },
+            p99_budget_ms: 25.0,
+            load_delay: Duration::from_millis(2),
+            cache_blocks: 16,
+            queue_capacity: 512,
+            max_rungs: 7,
+            replica_kill: (1, 0.4),
+            smoke: false,
+        }
+    }
+}
+
+impl ClusterBenchConfig {
+    pub fn smoke() -> Self {
+        ClusterBenchConfig {
+            replicas: vec![2],
+            trace: TraceWorkloadConfig { duration_s: 0.5, base_qps: 20.0, ..Default::default() },
+            load_delay: Duration::from_millis(1),
+            max_rungs: 1,
+            smoke: true,
+            ..ClusterBenchConfig::default()
+        }
+    }
+}
+
+/// One rung of the QPS ladder.
+#[derive(Debug, Clone, Serialize)]
+pub struct Rung {
+    pub offered_qps: f64,
+    pub arrivals: usize,
+    pub submitted: u64,
+    pub rejected: u64,
+    pub answered: u64,
+    pub gone: u64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub cache_hit_rate: f64,
+    pub handoffs: u64,
+    pub handoff_bytes: u64,
+    pub hot_local_hits: u64,
+    pub sustainable: bool,
+}
+
+/// One replica-count cell: the ladder and its highest sustainable rate.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterCell {
+    pub replicas: usize,
+    pub replication: usize,
+    pub max_sustainable_qps: f64,
+    pub rungs: Vec<Rung>,
+}
+
+/// The replica-kill cell: typed resolution and exact conservation.
+#[derive(Debug, Clone, Serialize)]
+pub struct KillCell {
+    pub replicas: usize,
+    pub killed_replica: usize,
+    pub kill_at_s: f64,
+    pub submitted: u64,
+    pub answered: u64,
+    pub gone: u64,
+    pub replica_deaths: u64,
+    pub redispatches: u64,
+    pub conservation_holds: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterBenchReport {
+    pub schema: String,
+    pub smoke: bool,
+    pub workload: String,
+    pub replication: usize,
+    pub p99_budget_ms: f64,
+    pub load_delay_us: u64,
+    pub cache_blocks: usize,
+    pub trace: TraceWorkloadConfig,
+    pub cells: Vec<ClusterCell>,
+    pub kill: KillCell,
+    /// Cluster answers for the full seed pool digest-match a plain
+    /// single-service run.
+    pub bit_identical: bool,
+    /// Max sustainable QPS grows with the replica count (last swept count
+    /// vs the first).
+    pub scaling_ok: bool,
+    /// Prometheus text dump of the final smoke cluster (smoke mode only).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub prometheus: Option<String>,
+}
+
+impl ClusterBenchReport {
+    /// The exit-code gate `bench-cluster` enforces.
+    pub fn healthy(&self) -> bool {
+        self.bit_identical && self.kill.conservation_holds && (self.smoke || self.scaling_ok)
+    }
+}
+
+fn cluster_config(cfg: &ClusterBenchConfig, replicas: usize) -> ClusterConfig {
+    ClusterConfig {
+        replicas,
+        replication: cfg.replication,
+        cache_blocks: cfg.cache_blocks,
+        queue_capacity: cfg.queue_capacity,
+        ..ClusterConfig::default()
+    }
+}
+
+/// One open-loop trace replay against a fresh cluster — the unit both the
+/// QPS ladder and `serve-bench --replicas N` are built from.
+#[derive(Debug, Clone)]
+pub struct ClusterTraceConfig {
+    pub workload: Workload,
+    pub scale: SweepScale,
+    pub cluster: ClusterConfig,
+    pub trace: TraceWorkloadConfig,
+    /// Fail-stop injection: `(replica, trace_time_s)`.
+    pub replica_kill: Option<(usize, f64)>,
+    /// Wall delay charged per block load (zero disables [`SlowStore`]).
+    pub load_delay: Duration,
+    /// Step-count cap per streamline (keeps open-loop episodes bounded).
+    pub max_steps: u64,
+    /// Capture the Prometheus text export in the report.
+    pub emit_prometheus: bool,
+}
+
+impl Default for ClusterTraceConfig {
+    fn default() -> Self {
+        ClusterTraceConfig {
+            workload: Workload::Thermal,
+            scale: SweepScale::Quick,
+            cluster: ClusterConfig::default(),
+            trace: TraceWorkloadConfig::default(),
+            replica_kill: None,
+            load_delay: Duration::ZERO,
+            max_steps: 200,
+            emit_prometheus: false,
+        }
+    }
+}
+
+/// What one trace replay resolved to. `answered + gone == submitted` by
+/// construction (every ticket is drained); [`Self::conservation_holds`]
+/// additionally checks the cluster's own ledger.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterTraceReport {
+    pub arrivals: usize,
+    pub submitted: u64,
+    pub rejected: u64,
+    pub answered: u64,
+    pub gone: u64,
+    pub wall_secs: f64,
+    pub metrics: streamline_cluster::ClusterMetrics,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub trace: Option<streamline_obs::TraceFile>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub prometheus: Option<String>,
+}
+
+impl ClusterTraceReport {
+    pub fn conservation_holds(&self) -> bool {
+        self.metrics.conservation_holds() && self.answered + self.gone == self.submitted
+    }
+}
+
+/// Replay the trace open-loop against a fresh warm-started cluster:
+/// dispatch on the trace clock whether or not the cluster keeps up, then
+/// drain every ticket to a typed resolution.
+pub fn run_cluster_trace(cfg: &ClusterTraceConfig) -> ClusterTraceReport {
+    let dataset = dataset_for(cfg.workload, cfg.scale);
+    let limits =
+        StepLimits { max_steps: cfg.max_steps, ..limits_for(cfg.workload, Seeding::Sparse) };
+    let pool = dataset.seeds_with_count(Seeding::Dense, cfg.trace.pool).points;
+    let mem: Arc<dyn BlockStore> = Arc::new(MemoryStore::build(&dataset));
+    let store: Arc<dyn BlockStore> = Arc::new(SlowStore::new(mem, cfg.load_delay));
+    let cluster = ClusterService::start(dataset.decomp, store, cfg.cluster.clone());
+    cluster.bootstrap();
+    let arrivals = cfg.trace.generate();
+    let n_arrivals = arrivals.len();
+    let mut tickets = Vec::with_capacity(arrivals.len());
+    let mut submitted = 0u64;
+    let mut rejected = 0u64;
+    let mut kill = cfg.replica_kill;
+    let start = Instant::now();
+    for a in &arrivals {
+        if let Some((r, at)) = kill {
+            if a.t >= at {
+                cluster.kill_replica(r);
+                kill = None;
+            }
+        }
+        if let Some(wait) = Duration::from_secs_f64(a.t).checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let seeds: Vec<Vec3> = a.seed_indices.iter().map(|&i| pool[i % pool.len()]).collect();
+        match cluster.submit(Request::new(seeds).with_limits(limits)) {
+            Ok(t) => {
+                submitted += 1;
+                tickets.push(t);
+            }
+            Err(SubmitError::Overloaded { .. }) => rejected += 1,
+            Err(e) => panic!("unexpected submit error: {e:?}"),
+        }
+    }
+    if let Some((r, _)) = kill {
+        cluster.kill_replica(r);
+    }
+    let mut answered = 0u64;
+    let mut gone = 0u64;
+    for t in tickets {
+        match t.wait() {
+            Ok(_) => answered += 1,
+            Err(_) => gone += 1,
+        }
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    let trace = cluster.timeline();
+    let prometheus = cfg.emit_prometheus.then(|| cluster.dump_metrics());
+    let metrics = cluster.shutdown();
+    ClusterTraceReport {
+        arrivals: n_arrivals,
+        submitted,
+        rejected,
+        answered,
+        gone,
+        wall_secs,
+        metrics,
+        trace,
+        prometheus,
+    }
+}
+
+fn run_episode(
+    cfg: &ClusterBenchConfig,
+    replicas: usize,
+    trace: &TraceWorkloadConfig,
+    kill: Option<(usize, f64)>,
+) -> ClusterTraceReport {
+    run_cluster_trace(&ClusterTraceConfig {
+        workload: cfg.workload,
+        scale: cfg.scale,
+        cluster: cluster_config(cfg, replicas),
+        trace: trace.clone(),
+        replica_kill: kill,
+        load_delay: cfg.load_delay,
+        ..ClusterTraceConfig::default()
+    })
+}
+
+fn digest(streamlines: &[Streamline]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for sl in streamlines {
+        mix(sl.id.0 as u64);
+        mix(sl.geometry.len() as u64);
+        for p in sl.state.position.to_array() {
+            mix(p.to_bits());
+        }
+        mix(sl.state.h.to_bits());
+        for v in &sl.geometry {
+            for c in v.to_array() {
+                mix(c.to_bits());
+            }
+        }
+    }
+    h
+}
+
+/// Run the sweep and assemble `BENCH_10.json`'s contents.
+pub fn run_cluster_bench(cfg: &ClusterBenchConfig) -> ClusterBenchReport {
+    let dataset = dataset_for(cfg.workload, cfg.scale);
+    let limits = StepLimits { max_steps: 200, ..limits_for(cfg.workload, Seeding::Sparse) };
+    let pool = dataset.seeds_with_count(Seeding::Dense, cfg.trace.pool).points;
+    let mem: Arc<dyn BlockStore> = Arc::new(MemoryStore::build(&dataset));
+
+    // Gate 1: bit-identity of the cluster against the single service, on
+    // the whole pool, through the fast store (correctness, not capacity).
+    let bit_identical = {
+        let n = cfg.replicas.iter().copied().max().unwrap_or(2).max(2);
+        let cluster =
+            ClusterService::start(dataset.decomp, Arc::clone(&mem), cluster_config(cfg, n));
+        let service = Service::start(dataset.decomp, Arc::clone(&mem), ServiceConfig::default());
+        let got = cluster
+            .submit(Request::new(pool.clone()).with_limits(limits))
+            .expect("pool fits admission")
+            .wait()
+            .expect("cluster answers");
+        let want = service
+            .submit(Request::new(pool.clone()).with_limits(limits))
+            .expect("pool fits admission")
+            .wait()
+            .expect("service answers");
+        cluster.shutdown();
+        service.shutdown();
+        digest(&got.streamlines) == digest(&want.streamlines)
+    };
+
+    // The ladder, per replica count.
+    let mut cells = Vec::new();
+    for &replicas in &cfg.replicas {
+        let mut rungs = Vec::new();
+        let mut max_sustainable = 0.0f64;
+        for rung_i in 0..cfg.max_rungs.max(1) {
+            let qps = cfg.trace.base_qps * f64::powi(2.0, rung_i as i32);
+            let trace = cfg.trace.at_qps(qps);
+            let ep = run_episode(cfg, replicas, &trace, None);
+            let m = &ep.metrics;
+            let hit_rate = {
+                let (hits, loads): (u64, u64) = m
+                    .per_replica
+                    .iter()
+                    .fold((0, 0), |(h, l), r| (h + r.cache_hits, l + r.cache_loaded));
+                if hits + loads == 0 {
+                    0.0
+                } else {
+                    hits as f64 / (hits + loads) as f64
+                }
+            };
+            let sustainable =
+                ep.rejected == 0 && ep.gone == 0 && m.latency_p99_ms <= cfg.p99_budget_ms;
+            rungs.push(Rung {
+                offered_qps: qps,
+                arrivals: ep.arrivals,
+                submitted: ep.submitted,
+                rejected: ep.rejected,
+                answered: ep.answered,
+                gone: ep.gone,
+                p50_ms: m.latency_p50_ms,
+                p95_ms: m.latency_p95_ms,
+                p99_ms: m.latency_p99_ms,
+                cache_hit_rate: hit_rate,
+                handoffs: m.handoffs,
+                handoff_bytes: m.handoff_bytes,
+                hot_local_hits: m.hot_local_hits,
+                sustainable,
+            });
+            if sustainable {
+                max_sustainable = qps;
+            } else {
+                break;
+            }
+        }
+        cells.push(ClusterCell {
+            replicas,
+            replication: cfg.replication,
+            max_sustainable_qps: max_sustainable,
+            rungs,
+        });
+    }
+
+    // Gate 2: the kill cell — a mid-trace fail-stop must leave every
+    // ticket typed and the ledger exact.
+    let kill = {
+        let replicas = 3.min(cfg.replicas.iter().copied().max().unwrap_or(3)).max(2);
+        let (r, at) = cfg.replica_kill;
+        let r = r.min(replicas - 1);
+        let ep = run_episode(cfg, replicas, &cfg.trace, Some((r, at)));
+        KillCell {
+            replicas,
+            killed_replica: r,
+            kill_at_s: at,
+            submitted: ep.submitted,
+            answered: ep.answered,
+            gone: ep.gone,
+            replica_deaths: ep.metrics.replica_deaths,
+            redispatches: ep.metrics.redispatches,
+            conservation_holds: ep.conservation_holds(),
+        }
+    };
+
+    let scaling_ok = match (cells.first(), cells.last()) {
+        (Some(lo), Some(hi)) if hi.replicas > lo.replicas => {
+            hi.max_sustainable_qps > lo.max_sustainable_qps
+        }
+        _ => true,
+    };
+
+    // Smoke mode embeds a metrics dump so CI can grep the namespace.
+    let prometheus = cfg.smoke.then(|| {
+        let cluster =
+            ClusterService::start(dataset.decomp, Arc::clone(&mem), cluster_config(cfg, 2));
+        let _ = cluster
+            .submit(Request::new(pool[..8.min(pool.len())].to_vec()).with_limits(limits))
+            .expect("admitted")
+            .wait();
+        let text = cluster.dump_metrics();
+        cluster.shutdown();
+        text
+    });
+
+    ClusterBenchReport {
+        schema: CLUSTER_BENCH_SCHEMA.to_string(),
+        smoke: cfg.smoke,
+        workload: format!("{:?}", cfg.workload),
+        replication: cfg.replication,
+        p99_budget_ms: cfg.p99_budget_ms,
+        load_delay_us: cfg.load_delay.as_micros() as u64,
+        cache_blocks: cfg.cache_blocks,
+        trace: cfg.trace.clone(),
+        cells,
+        kill,
+        bit_identical,
+        scaling_ok,
+        prometheus,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_is_healthy_and_greppable() {
+        let report = run_cluster_bench(&ClusterBenchConfig::smoke());
+        assert!(report.bit_identical, "cluster answers diverged from the single service");
+        assert!(report.kill.conservation_holds);
+        assert_eq!(report.kill.replica_deaths, 1);
+        assert!(report.healthy());
+        let prom = report.prometheus.as_deref().expect("smoke embeds metrics");
+        assert!(prom.contains("streamline_cluster_requests_submitted_total"));
+        assert!(prom.contains("streamline_cluster_handoffs_total"));
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"schema\":\"bench-cluster-v1\""));
+    }
+}

@@ -1,0 +1,263 @@
+//! Trace-shaped open-loop workload generation.
+//!
+//! Unlike the closed loop in [`crate::loadgen`] — where offered load tracks
+//! service capacity — an open-loop trace fixes the arrival process up
+//! front: requests arrive when the trace says they arrive, whether or not
+//! the cluster has kept up. That is the regime where queueing theory bites
+//! and where "max sustainable QPS at a p99 budget" is a meaningful number.
+//!
+//! The arrival process is an inhomogeneous Poisson process sampled by
+//! thinning, with a rate curve
+//!
+//! ```text
+//! λ(t) = base_qps × diurnal(t) × burst(t)
+//! ```
+//!
+//! where `diurnal(t)` is a sinusoid over the trace duration (one "day":
+//! trough at the start and end, peak in the middle) and `burst(t)` is a
+//! square-wave multiplier modeling episodic flash crowds. Seed-point
+//! popularity is Zipfian over a fixed pool — a handful of seeds dominate,
+//! giving the hot-block machinery something to replicate — or uniform when
+//! the exponent is zero.
+//!
+//! Everything is drawn from [`streamline_math::rng::stream`] streams keyed
+//! by `(seed, purpose)`, so a trace is a pure function of its config:
+//! same config, same arrivals, bit for bit, on every platform.
+
+use rand::Rng;
+use serde::Serialize;
+
+/// Shape of one generated trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceWorkloadConfig {
+    /// Master seed for arrivals and popularity draws.
+    pub seed: u64,
+    /// Trace length in (virtual) seconds.
+    pub duration_s: f64,
+    /// Mean arrival rate before diurnal/burst shaping, requests per second.
+    pub base_qps: f64,
+    /// Zipf exponent for seed popularity; `0.0` means uniform.
+    pub zipf_s: f64,
+    /// Distinct seed points in the popularity pool.
+    pub pool: usize,
+    /// Seed points drawn per request.
+    pub seeds_per_request: usize,
+    /// Diurnal swing in `[0, 1)`: the rate varies between
+    /// `base × (1 − a)` and `base × (1 + a)` over the trace.
+    pub diurnal_amplitude: f64,
+    /// Rate multiplier during a burst episode (`1.0` disables bursts).
+    pub burst_multiplier: f64,
+    /// Burst period: an episode starts every this many seconds.
+    pub burst_every_s: f64,
+    /// Burst episode length in seconds.
+    pub burst_len_s: f64,
+}
+
+impl Default for TraceWorkloadConfig {
+    fn default() -> Self {
+        TraceWorkloadConfig {
+            seed: 0x7ace,
+            duration_s: 2.0,
+            base_qps: 40.0,
+            zipf_s: 1.1,
+            pool: 256,
+            seeds_per_request: 4,
+            diurnal_amplitude: 0.5,
+            burst_multiplier: 3.0,
+            burst_every_s: 0.8,
+            burst_len_s: 0.1,
+        }
+    }
+}
+
+/// One request arrival: a timestamp (seconds from trace start) and the
+/// indices into the seed pool this request asks for.
+#[derive(Debug, Clone, Serialize)]
+pub struct Arrival {
+    pub t: f64,
+    pub seed_indices: Vec<usize>,
+}
+
+impl TraceWorkloadConfig {
+    /// The shaped arrival rate at trace time `t`.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        let dur = self.duration_s.max(f64::MIN_POSITIVE);
+        // One full "day" per trace: trough at t=0, peak at mid-trace.
+        let phase = 2.0 * std::f64::consts::PI * (t / dur) - std::f64::consts::FRAC_PI_2;
+        let diurnal = 1.0 + self.diurnal_amplitude * phase.sin();
+        let burst = if self.burst_multiplier > 1.0 && self.burst_every_s > 0.0 {
+            let into = t.rem_euclid(self.burst_every_s);
+            if into < self.burst_len_s {
+                self.burst_multiplier
+            } else {
+                1.0
+            }
+        } else {
+            1.0
+        };
+        self.base_qps * diurnal * burst
+    }
+
+    /// The supremum of `rate_at` over the trace — the thinning envelope.
+    pub fn rate_max(&self) -> f64 {
+        self.base_qps * (1.0 + self.diurnal_amplitude) * self.burst_multiplier.max(1.0)
+    }
+
+    /// A copy of this trace re-based to a different mean rate; everything
+    /// else (seed, shape, popularity) is unchanged, so a QPS ladder sweeps
+    /// intensity without changing the workload's character.
+    pub fn at_qps(&self, base_qps: f64) -> TraceWorkloadConfig {
+        TraceWorkloadConfig { base_qps, ..self.clone() }
+    }
+
+    /// Generate the arrival sequence: inhomogeneous Poisson arrivals by
+    /// thinning against [`Self::rate_max`], each carrying
+    /// `seeds_per_request` Zipf-popular (or uniform) pool indices.
+    pub fn generate(&self) -> Vec<Arrival> {
+        let mut arr_rng = streamline_math::rng::stream(self.seed, "trace-arrivals");
+        let mut pop_rng = streamline_math::rng::stream(self.seed, "trace-popularity");
+        let zipf = ZipfCdf::new(self.pool.max(1), self.zipf_s);
+        let lambda_max = self.rate_max();
+        let mut out = Vec::new();
+        if lambda_max <= 0.0 {
+            return out;
+        }
+        let mut t = 0.0f64;
+        loop {
+            // Candidate exponential gap at the envelope rate …
+            let u: f64 = arr_rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            t += -u.ln() / lambda_max;
+            if t >= self.duration_s {
+                return out;
+            }
+            // … thinned down to the shaped rate.
+            if arr_rng.gen::<f64>() * lambda_max <= self.rate_at(t) {
+                let seed_indices =
+                    (0..self.seeds_per_request.max(1)).map(|_| zipf.draw(&mut pop_rng)).collect();
+                out.push(Arrival { t, seed_indices });
+            }
+        }
+    }
+}
+
+/// Zipf sampling via a precomputed CDF and binary search: index `i` has
+/// weight `1 / (i + 1)^s`. `s = 0` degenerates to uniform.
+struct ZipfCdf {
+    cdf: Vec<f64>,
+}
+
+impl ZipfCdf {
+    fn new(n: usize, s: f64) -> ZipfCdf {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += ((i + 1) as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfCdf { cdf }
+    }
+
+    fn draw(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_config_same_trace() {
+        let cfg = TraceWorkloadConfig::default();
+        let a = cfg.generate();
+        let b = cfg.generate();
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.t.to_bits(), y.t.to_bits());
+            assert_eq!(x.seed_indices, y.seed_indices);
+        }
+    }
+
+    #[test]
+    fn different_seed_different_trace() {
+        let a = TraceWorkloadConfig::default().generate();
+        let b = TraceWorkloadConfig { seed: 0xbeef, ..TraceWorkloadConfig::default() }.generate();
+        assert!(a.len() != b.len() || a.iter().zip(&b).any(|(x, y)| x.t != y.t));
+    }
+
+    #[test]
+    fn arrivals_are_ordered_and_in_range() {
+        let cfg = TraceWorkloadConfig::default();
+        let arrivals = cfg.generate();
+        let mut last = 0.0;
+        for a in &arrivals {
+            assert!(a.t >= last && a.t < cfg.duration_s);
+            last = a.t;
+            assert_eq!(a.seed_indices.len(), cfg.seeds_per_request);
+            assert!(a.seed_indices.iter().all(|&i| i < cfg.pool));
+        }
+    }
+
+    #[test]
+    fn mean_rate_tracks_base_qps() {
+        // Long flat trace: the thinned process should land near base_qps.
+        let cfg = TraceWorkloadConfig {
+            duration_s: 50.0,
+            base_qps: 100.0,
+            diurnal_amplitude: 0.0,
+            burst_multiplier: 1.0,
+            ..TraceWorkloadConfig::default()
+        };
+        let n = cfg.generate().len() as f64;
+        let mean = n / cfg.duration_s;
+        assert!((mean - 100.0).abs() < 10.0, "mean rate {mean} too far from 100");
+    }
+
+    #[test]
+    fn zipf_skews_and_uniform_does_not() {
+        let zipfy = TraceWorkloadConfig {
+            duration_s: 20.0,
+            zipf_s: 1.2,
+            pool: 64,
+            ..TraceWorkloadConfig::default()
+        };
+        let flat = TraceWorkloadConfig { zipf_s: 0.0, ..zipfy.clone() };
+        let head_share = |cfg: &TraceWorkloadConfig| {
+            let arrivals = cfg.generate();
+            let total: usize = arrivals.iter().map(|a| a.seed_indices.len()).sum();
+            let head = arrivals
+                .iter()
+                .flat_map(|a| &a.seed_indices)
+                .filter(|&&i| i < cfg.pool / 8)
+                .count();
+            head as f64 / total as f64
+        };
+        let z = head_share(&zipfy);
+        let f = head_share(&flat);
+        assert!(z > 0.5, "zipf head share {z} should dominate");
+        assert!(f < 0.25, "uniform head share {f} should be ~1/8");
+        assert!(z > 2.0 * f);
+    }
+
+    #[test]
+    fn bursts_and_diurnal_shape_the_rate_curve() {
+        let cfg = TraceWorkloadConfig::default();
+        // Mid-trace (diurnal peak) beats trace start (trough).
+        assert!(cfg.rate_at(0.45 * cfg.duration_s) > cfg.rate_at(0.75 * cfg.duration_s));
+        // Inside a burst beats right after it, at the same diurnal phase.
+        let in_burst = cfg.rate_at(cfg.burst_every_s + 0.5 * cfg.burst_len_s);
+        let after = cfg.rate_at(cfg.burst_every_s + 2.0 * cfg.burst_len_s);
+        assert!(in_burst > 2.0 * after);
+        // And nothing ever exceeds the thinning envelope.
+        for i in 0..1000 {
+            let t = cfg.duration_s * i as f64 / 1000.0;
+            assert!(cfg.rate_at(t) <= cfg.rate_max() + 1e-12);
+        }
+    }
+}

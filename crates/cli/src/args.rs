@@ -24,6 +24,23 @@ impl DatasetKind {
     }
 }
 
+/// Seed-popularity shape of the cluster's open-loop trace workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficShape {
+    Zipf,
+    Uniform,
+}
+
+impl TrafficShape {
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "zipf" => Ok(TrafficShape::Zipf),
+            "uniform" => Ok(TrafficShape::Uniform),
+            other => Err(format!("unknown workload '{other}' (zipf|uniform)")),
+        }
+    }
+}
+
 /// Algorithm selection, including advisor-driven `auto`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AlgoChoice {
@@ -148,6 +165,26 @@ pub enum Command {
         /// Warm-start manifest: prefetched on startup if present, rewritten
         /// from the shared cache's residency on drain.
         warm_start: Option<String>,
+        /// `> 1` switches to the sharded multi-replica cluster driven by an
+        /// open-loop trace; `1` (default) is the plain closed-loop service.
+        replicas: usize,
+        /// Hot-block replication factor across ring successors.
+        replication: usize,
+        /// Seed-popularity shape of the open-loop trace (`--workload`).
+        traffic: TrafficShape,
+        /// Zipf exponent of the trace's seed popularity.
+        zipf_s: f64,
+        /// Diurnal rate-swing amplitude in `[0, 1)`.
+        diurnal: f64,
+        /// Burst-episode rate multiplier (`1.0` disables bursts).
+        burst: f64,
+        /// Mean offered rate of the open-loop trace, requests per second.
+        qps: f64,
+        /// Trace length in seconds.
+        duration_s: f64,
+        /// Fail-stop injection: kill replica R at trace time T
+        /// (`--replica-kill R@TIME`).
+        replica_kill: Option<(usize, f64)>,
     },
     /// Kernel perf-regression harness: fast-vs-reference timings of the
     /// integration hot path plus the batch-vs-scalar curve, written as the
@@ -175,6 +212,18 @@ pub enum Command {
         /// Seconds-scale iteration counts (CI smoke mode).
         smoke: bool,
         json: Option<String>,
+    },
+    /// Cluster-serving capacity harness: max sustainable QPS under the
+    /// trace-shaped open-loop workload across replica counts, written as
+    /// the `BENCH_10.json` trajectory.
+    BenchCluster {
+        /// Seconds-scale single-cell pass (CI smoke mode).
+        smoke: bool,
+        /// Where the JSON report lands (`--out`).
+        out: String,
+        /// Write the smoke cluster's Prometheus text export to this path
+        /// (smoke mode only).
+        metrics: Option<String>,
     },
     /// Validate an emitted trace JSON, Prometheus snapshot and/or checkpoint
     /// file — the CI smoke gate behind `run --trace` and `run --checkpoint`.
@@ -549,8 +598,88 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     "trace-bucket-ms",
                     "metrics",
                     "warm-start",
+                    "replicas",
+                    "replication",
+                    "workload",
+                    "zipf-s",
+                    "diurnal",
+                    "burst",
+                    "qps",
+                    "duration-s",
+                    "replica-kill",
                 ],
             )?;
+            let replicas: usize = get_parse(&o, "replicas", 1)?;
+            if replicas == 0 {
+                return Err("--replicas must be at least 1".into());
+            }
+            // The open-loop cluster knobs mean nothing on the closed-loop
+            // single service; reject them instead of silently ignoring them.
+            if replicas <= 1 {
+                for knob in [
+                    "replication",
+                    "workload",
+                    "zipf-s",
+                    "diurnal",
+                    "burst",
+                    "qps",
+                    "duration-s",
+                    "replica-kill",
+                ] {
+                    if o.contains_key(knob) {
+                        return Err(format!("--{knob} only applies with --replicas > 1"));
+                    }
+                }
+            } else {
+                // Conversely, the closed-loop knobs have no cluster meaning.
+                for knob in ["clients", "requests", "workers", "deadline-ms", "warm-start"] {
+                    if o.contains_key(knob) {
+                        return Err(format!(
+                            "--{knob} only applies to the single service (--replicas 1)"
+                        ));
+                    }
+                }
+                if chaos || o.contains_key("chaos-seed") {
+                    return Err("--chaos only applies to the single service (--replicas 1)".into());
+                }
+            }
+            let replication: usize = get_parse(&o, "replication", 1)?;
+            if replication == 0 || replication > replicas {
+                return Err(format!("--replication must be in 1..={replicas} (got {replication})"));
+            }
+            let traffic =
+                TrafficShape::parse(o.get("workload").map(|s| s.as_str()).unwrap_or("zipf"))?;
+            if traffic == TrafficShape::Uniform && o.contains_key("zipf-s") {
+                return Err("--zipf-s only applies with --workload zipf".into());
+            }
+            let diurnal: f64 = get_parse(&o, "diurnal", 0.5)?;
+            if !(0.0..1.0).contains(&diurnal) {
+                return Err(format!("--diurnal must be in [0, 1) (got {diurnal})"));
+            }
+            let burst: f64 = get_parse(&o, "burst", 3.0)?;
+            if burst < 1.0 {
+                return Err(format!("--burst must be at least 1.0 (got {burst})"));
+            }
+            let replica_kill =
+                o.get("replica-kill")
+                    .map(|v| -> Result<(usize, f64), String> {
+                        let (r, t) = v.split_once('@').ok_or_else(|| {
+                            format!("--replica-kill: expected REPLICA@TIME, got '{v}'")
+                        })?;
+                        let replica = r.trim().parse::<usize>().map_err(|_| {
+                            format!("--replica-kill: cannot parse replica '{}'", r.trim())
+                        })?;
+                        if replica >= replicas {
+                            return Err(format!(
+                                "--replica-kill: replica {replica} out of range (0..{replicas})"
+                            ));
+                        }
+                        let time = t.trim().parse::<f64>().map_err(|_| {
+                            format!("--replica-kill: cannot parse time '{}'", t.trim())
+                        })?;
+                        Ok((replica, time))
+                    })
+                    .transpose()?;
             Command::ServeBench {
                 dataset: DatasetKind::parse(
                     o.get("dataset").map(|s| s.as_str()).unwrap_or("astro"),
@@ -574,6 +703,34 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 trace_bucket_ms: get_parse(&o, "trace-bucket-ms", 1)?,
                 metrics: o.get("metrics").cloned(),
                 warm_start: o.get("warm-start").cloned(),
+                replicas,
+                replication,
+                traffic,
+                zipf_s: get_parse(&o, "zipf-s", 1.1)?,
+                diurnal,
+                burst,
+                qps: get_parse(&o, "qps", 20.0)?,
+                duration_s: get_parse(&o, "duration-s", 1.0)?,
+                replica_kill,
+            }
+        }
+        "bench-cluster" => {
+            // `--smoke` is a bare flag; peel it off before the key-value pass.
+            let mut kv: Vec<String> = rest.to_vec();
+            let smoke = if let Some(i) = kv.iter().position(|a| a == "--smoke") {
+                kv.remove(i);
+                true
+            } else {
+                false
+            };
+            let o = options(&kv, &["out", "metrics"])?;
+            if o.contains_key("metrics") && !smoke {
+                return Err("--metrics only applies with --smoke".into());
+            }
+            Command::BenchCluster {
+                smoke,
+                out: o.get("out").cloned().unwrap_or_else(|| "BENCH_10.json".into()),
+                metrics: o.get("metrics").cloned(),
             }
         }
         "bench-kernels" => {
@@ -640,7 +797,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             return Err(format!(
                 "unknown command '{other}' \
                  (run|classify|trace|ftle|serve-bench|bench-kernels|bench-ckpt|bench-drivers|\
-                 obs-check|info|help)"
+                 bench-cluster|obs-check|info|help)"
             ))
         }
     };
@@ -677,7 +834,11 @@ USAGE:
                    [--chaos] [--chaos-seed N]
                    [--json FILE] [--trace FILE.json] [--trace-bucket-ms MS]
                    [--metrics FILE.prom] [--warm-start FILE.ckpt]
+                   [--replicas N] [--replication N] [--workload zipf|uniform]
+                   [--zipf-s S] [--diurnal A] [--burst M] [--qps RATE]
+                   [--duration-s SECS] [--replica-kill REPLICA@TIME]
   slrepro bench-kernels [--smoke] [--out FILE] [--force]
+  slrepro bench-cluster [--smoke] [--out FILE] [--metrics FILE.prom]
   slrepro bench-ckpt [--smoke] [--json FILE]
   slrepro bench-drivers [--smoke] [--json FILE]
   slrepro obs-check [--trace FILE.json] [--metrics FILE.prom] [--ckpt FILE.ckpt]
@@ -1197,5 +1358,127 @@ mod tests {
     #[test]
     fn unknown_command_rejected() {
         assert!(parse(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn serve_bench_cluster_flags_round_trip() {
+        let cli = parse(&argv(
+            "serve-bench --replicas 4 --replication 2 --workload zipf --zipf-s 1.3 \
+             --diurnal 0.4 --burst 2.5 --qps 50 --duration-s 1.5 --replica-kill 2@0.7",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::ServeBench {
+                replicas,
+                replication,
+                traffic,
+                zipf_s,
+                diurnal,
+                burst,
+                qps,
+                duration_s,
+                replica_kill,
+                ..
+            } => {
+                assert_eq!(replicas, 4);
+                assert_eq!(replication, 2);
+                assert_eq!(traffic, TrafficShape::Zipf);
+                assert_eq!(zipf_s, 1.3);
+                assert_eq!(diurnal, 0.4);
+                assert_eq!(burst, 2.5);
+                assert_eq!(qps, 50.0);
+                assert_eq!(duration_s, 1.5);
+                assert_eq!(replica_kill, Some((2, 0.7)));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: a plain serve-bench is the single service.
+        match parse(&argv("serve-bench")).unwrap().command {
+            Command::ServeBench { replicas, replication, traffic, replica_kill, .. } => {
+                assert_eq!(replicas, 1);
+                assert_eq!(replication, 1);
+                assert_eq!(traffic, TrafficShape::Zipf);
+                assert_eq!(replica_kill, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Uniform shape parses too.
+        match parse(&argv("serve-bench --replicas 2 --workload uniform")).unwrap().command {
+            Command::ServeBench { traffic, .. } => assert_eq!(traffic, TrafficShape::Uniform),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_bench_cluster_flags_are_typed_errors() {
+        // Cluster-only knobs without --replicas > 1 are rejected.
+        for bad in [
+            "serve-bench --replication 2",
+            "serve-bench --workload zipf",
+            "serve-bench --zipf-s 1.2",
+            "serve-bench --diurnal 0.3",
+            "serve-bench --burst 2.0",
+            "serve-bench --qps 10",
+            "serve-bench --duration-s 2",
+            "serve-bench --replica-kill 0@0.5",
+            "serve-bench --replicas 1 --qps 10",
+        ] {
+            let e = parse(&argv(bad)).unwrap_err();
+            assert!(e.contains("only applies with --replicas > 1"), "{bad}: {e}");
+        }
+        // Closed-loop knobs on the cluster path are rejected right back.
+        for bad in [
+            "serve-bench --replicas 2 --clients 4",
+            "serve-bench --replicas 2 --requests 10",
+            "serve-bench --replicas 2 --workers 2",
+            "serve-bench --replicas 2 --deadline-ms 100",
+            "serve-bench --replicas 2 --warm-start w.ckpt",
+            "serve-bench --replicas 2 --chaos",
+        ] {
+            let e = parse(&argv(bad)).unwrap_err();
+            assert!(e.contains("only applies to the single service"), "{bad}: {e}");
+        }
+        // Degenerate values are typed errors, not panics downstream.
+        let e = parse(&argv("serve-bench --replicas 0")).unwrap_err();
+        assert!(e.contains("--replicas must be at least 1"), "{e}");
+        let e = parse(&argv("serve-bench --replicas 2 --replication 3")).unwrap_err();
+        assert!(e.contains("--replication must be in 1..=2"), "{e}");
+        let e = parse(&argv("serve-bench --replicas 2 --workload bogus")).unwrap_err();
+        assert!(e.contains("unknown workload 'bogus'"), "{e}");
+        let e =
+            parse(&argv("serve-bench --replicas 2 --workload uniform --zipf-s 1.2")).unwrap_err();
+        assert!(e.contains("--zipf-s only applies with --workload zipf"), "{e}");
+        let e = parse(&argv("serve-bench --replicas 2 --diurnal 1.5")).unwrap_err();
+        assert!(e.contains("--diurnal must be in [0, 1)"), "{e}");
+        let e = parse(&argv("serve-bench --replicas 2 --burst 0.5")).unwrap_err();
+        assert!(e.contains("--burst must be at least 1.0"), "{e}");
+        let e = parse(&argv("serve-bench --replicas 2 --replica-kill 5@0.5")).unwrap_err();
+        assert!(e.contains("out of range"), "{e}");
+        let e = parse(&argv("serve-bench --replicas 2 --replica-kill nope")).unwrap_err();
+        assert!(e.contains("expected REPLICA@TIME"), "{e}");
+    }
+
+    #[test]
+    fn bench_cluster_round_trip() {
+        match parse(&argv("bench-cluster")).unwrap().command {
+            Command::BenchCluster { smoke, out, metrics } => {
+                assert!(!smoke);
+                assert_eq!(out, "BENCH_10.json");
+                assert_eq!(metrics, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("bench-cluster --smoke --out x.json --metrics x.prom")).unwrap().command {
+            Command::BenchCluster { smoke, out, metrics } => {
+                assert!(smoke);
+                assert_eq!(out, "x.json");
+                assert_eq!(metrics.as_deref(), Some("x.prom"));
+            }
+            other => panic!("{other:?}"),
+        }
+        let e = parse(&argv("bench-cluster --metrics x.prom")).unwrap_err();
+        assert!(e.contains("--metrics only applies with --smoke"), "{e}");
+        let e = parse(&argv("bench-cluster --bogus 1")).unwrap_err();
+        assert!(e.contains("unknown option"), "{e}");
     }
 }

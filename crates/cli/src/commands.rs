@@ -1,6 +1,6 @@
 //! Command implementations behind the `slrepro` binary.
 
-use crate::args::{AlgoChoice, Command, DatasetKind};
+use crate::args::{AlgoChoice, Command, DatasetKind, TrafficShape};
 use streamline_core::{
     classify, recommend, run_simulated_detailed, run_simulated_traced, summarize, Algorithm,
     FlowKnowledge, RunConfig,
@@ -47,6 +47,184 @@ fn limits_for(kind: DatasetKind, seeding: Seeding) -> StepLimits {
 }
 
 /// Execute a parsed command; returns the process exit code.
+/// The `serve-bench --replicas N` knob set, peeled off the flat
+/// [`Command::ServeBench`] variant.
+struct ServeBenchCluster {
+    dataset: DatasetKind,
+    seeds: usize,
+    cache: usize,
+    shards: usize,
+    queue: usize,
+    batch: streamline_core::BatchParams,
+    json: Option<String>,
+    trace: Option<String>,
+    trace_bucket_ms: u64,
+    metrics: Option<String>,
+    replicas: usize,
+    replication: usize,
+    traffic: TrafficShape,
+    zipf_s: f64,
+    diurnal: f64,
+    burst: f64,
+    qps: f64,
+    duration_s: f64,
+    replica_kill: Option<(usize, f64)>,
+}
+
+/// Open-loop trace replay against the sharded cluster — the
+/// `serve-bench --replicas > 1` path.
+fn serve_bench_cluster(a: ServeBenchCluster) -> i32 {
+    use streamline_bench::{
+        run_cluster_trace, ClusterTraceConfig, SweepScale, TraceWorkloadConfig, Workload,
+    };
+    use streamline_cluster::ClusterConfig;
+    let workload = match a.dataset {
+        DatasetKind::Astro => Workload::Astro,
+        DatasetKind::Fusion => Workload::Fusion,
+        DatasetKind::Thermal => Workload::Thermal,
+    };
+    let cfg = ClusterTraceConfig {
+        workload,
+        scale: SweepScale::Quick,
+        cluster: ClusterConfig {
+            replicas: a.replicas,
+            replication: a.replication,
+            cache_blocks: a.cache,
+            cache_shards: a.shards,
+            queue_capacity: a.queue,
+            batch: a.batch.resolve(),
+            trace_bucket: a
+                .trace
+                .is_some()
+                .then(|| std::time::Duration::from_millis(a.trace_bucket_ms.max(1))),
+            ..ClusterConfig::default()
+        },
+        trace: TraceWorkloadConfig {
+            base_qps: a.qps,
+            duration_s: a.duration_s,
+            zipf_s: match a.traffic {
+                TrafficShape::Zipf => a.zipf_s,
+                TrafficShape::Uniform => 0.0,
+            },
+            seeds_per_request: a.seeds,
+            diurnal_amplitude: a.diurnal,
+            burst_multiplier: a.burst,
+            ..TraceWorkloadConfig::default()
+        },
+        replica_kill: a.replica_kill,
+        emit_prometheus: a.metrics.is_some(),
+        ..ClusterTraceConfig::default()
+    };
+    eprintln!(
+        "serve-bench: {} workload, {} replicas (replication {}), open-loop {} trace, \
+         {:.0} req/s x {}s{} ...",
+        workload.label(),
+        a.replicas,
+        a.replication,
+        match a.traffic {
+            TrafficShape::Zipf => format!("zipf(s={})", a.zipf_s),
+            TrafficShape::Uniform => "uniform".into(),
+        },
+        a.qps,
+        a.duration_s,
+        match a.replica_kill {
+            Some((r, t)) => format!(", killing replica {r} at t={t}s"),
+            None => String::new(),
+        }
+    );
+    let report = run_cluster_trace(&cfg);
+    let m = &report.metrics;
+    println!(
+        "requests  answered {}  gone {}  rejected {}  (of {} arrivals)",
+        report.answered, report.gone, report.rejected, report.arrivals
+    );
+    println!(
+        "latency   p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms",
+        m.latency_p50_ms, m.latency_p95_ms, m.latency_p99_ms
+    );
+    println!(
+        "cluster   handoffs {} ({} B)  redispatches {} ({} B)  hot-local {}  deaths {}",
+        m.handoffs,
+        m.handoff_bytes,
+        m.redispatches,
+        m.redispatch_bytes,
+        m.hot_local_hits,
+        m.replica_deaths
+    );
+    for r in &m.per_replica {
+        println!(
+            "replica {} {}  done {:>6}  handoffs-out {:>5}  hit-rate {:.3}  \
+             p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms",
+            r.replica,
+            if r.alive { "up  " } else { "DEAD" },
+            r.streamlines_completed,
+            r.handoffs_out,
+            r.cache_hit_rate,
+            r.latency_p50_ms,
+            r.latency_p95_ms,
+            r.latency_p99_ms
+        );
+    }
+    println!(
+        "ledger    admitted {}  completed {}  gone {}  conservation {}",
+        m.submitted,
+        m.completed,
+        m.requests_gone,
+        if report.conservation_holds() { "exact" } else { "VIOLATED" }
+    );
+    if let Some(path) = a.json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(&path, s + "\n") {
+                    eprintln!("error writing {path}: {e}");
+                    return 1;
+                }
+                eprintln!("wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("serialization error: {e}");
+                return 1;
+            }
+        }
+    }
+    if let Some(path) = a.trace {
+        let tf = report.trace.as_ref().expect("trace_bucket was set");
+        if let Err(e) = tf.validate() {
+            eprintln!("internal error: emitted trace is invalid: {e}");
+            return 1;
+        }
+        match serde_json::to_string_pretty(tf) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(&path, s + "\n") {
+                    eprintln!("error writing {path}: {e}");
+                    return 1;
+                }
+                eprintln!("wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("serialization error: {e}");
+                return 1;
+            }
+        }
+    }
+    if let Some(path) = a.metrics {
+        let text = report.prometheus.as_ref().expect("emit_prometheus was set");
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("error writing {path}: {e}");
+            return 1;
+        }
+        eprintln!("wrote {path}");
+    }
+    // Without a kill every admitted request must be answered; with one,
+    // `ServiceGone` is legal and the exact ledger is the contract.
+    let healthy = report.conservation_holds() && (a.replica_kill.is_some() || report.gone == 0);
+    if healthy {
+        0
+    } else {
+        2
+    }
+}
+
 pub fn execute(cmd: Command) -> i32 {
     match cmd {
         Command::Help => {
@@ -457,10 +635,42 @@ pub fn execute(cmd: Command) -> i32 {
             trace_bucket_ms,
             metrics,
             warm_start,
+            replicas,
+            replication,
+            traffic,
+            zipf_s,
+            diurnal,
+            burst,
+            qps,
+            duration_s,
+            replica_kill,
         } => {
             use streamline_bench::{ChaosConfig, LoadGenConfig, SweepScale, Workload};
             use streamline_iosim::ChaosParams;
             use streamline_serve::ServiceConfig;
+            if replicas > 1 {
+                return serve_bench_cluster(ServeBenchCluster {
+                    dataset,
+                    seeds,
+                    cache,
+                    shards,
+                    queue,
+                    batch,
+                    json,
+                    trace,
+                    trace_bucket_ms,
+                    metrics,
+                    replicas,
+                    replication,
+                    traffic,
+                    zipf_s,
+                    diurnal,
+                    burst,
+                    qps,
+                    duration_s,
+                    replica_kill,
+                });
+            }
             if seeds > queue {
                 eprintln!(
                     "error: a request of {seeds} seeds can never be admitted to a {queue}-seed \
@@ -759,6 +969,64 @@ pub fn execute(cmd: Command) -> i32 {
                 }
             }
             if report.all_drivers_agree && report.rank_chaos_conserved {
+                0
+            } else {
+                2
+            }
+        }
+        Command::BenchCluster { smoke, out, metrics } => {
+            use streamline_bench::{run_cluster_bench, ClusterBenchConfig};
+            let cfg =
+                if smoke { ClusterBenchConfig::smoke() } else { ClusterBenchConfig::default() };
+            eprintln!(
+                "bench-cluster: {} mode, replica counts {:?}, p99 budget {:.0} ms ...",
+                if smoke { "smoke" } else { "full" },
+                cfg.replicas,
+                cfg.p99_budget_ms
+            );
+            let report = run_cluster_bench(&cfg);
+            for cell in &report.cells {
+                println!(
+                    "replicas {:>2}: max sustainable {:>6.0} req/s  ({} rungs swept)",
+                    cell.replicas,
+                    cell.max_sustainable_qps,
+                    cell.rungs.len()
+                );
+            }
+            println!(
+                "kill cell : {} answered, {} gone of {} submitted  conservation {}",
+                report.kill.answered,
+                report.kill.gone,
+                report.kill.submitted,
+                if report.kill.conservation_holds { "exact" } else { "VIOLATED" }
+            );
+            println!(
+                "gates     : bit-identical {}  scaling {}",
+                report.bit_identical,
+                if report.smoke { "n/a (smoke)".into() } else { format!("{}", report.scaling_ok) }
+            );
+            match serde_json::to_string_pretty(&report) {
+                Ok(s) => {
+                    if let Err(e) = std::fs::write(&out, s + "\n") {
+                        eprintln!("error writing {out}: {e}");
+                        return 1;
+                    }
+                    eprintln!("wrote {out}");
+                }
+                Err(e) => {
+                    eprintln!("serialization error: {e}");
+                    return 1;
+                }
+            }
+            if let Some(path) = metrics {
+                let text = report.prometheus.as_ref().expect("smoke embeds metrics");
+                if let Err(e) = std::fs::write(&path, text) {
+                    eprintln!("error writing {path}: {e}");
+                    return 1;
+                }
+                eprintln!("wrote {path}");
+            }
+            if report.healthy() {
                 0
             } else {
                 2

@@ -1,0 +1,36 @@
+//! Sharded multi-replica serving of streamline queries.
+//!
+//! The paper parallelizes over data: blocks are assigned to ranks and a
+//! streamline crossing a block boundary is handed to the rank owning the
+//! destination block. This crate applies the same design to the serving
+//! tier: N replicas of the [`streamline_serve`] stack sit behind a
+//! consistent-hash block router ([`ring::Ring`]); each replica caches and
+//! serves only its shard, and trajectories crossing shard boundaries move
+//! between replicas as typed [`streamline_core::msg::ReplicaMsg`] hand-offs
+//! whose wire cost is geometry-dominated, exactly like the rank hand-offs
+//! of the batch drivers.
+//!
+//! On top of the steady-state path the cluster adds:
+//! - **hot-block replication** — the top-k most-accessed blocks may be
+//!   advanced locally by up to `replication` ring successors, trading cache
+//!   residency for hand-off traffic;
+//! - **warm-start bootstrap** — [`ClusterService::bootstrap`] prefetches
+//!   each replica's shard through the serve crate's warm-start manifests;
+//! - **fail-stop replica recovery** — heartbeat staleness declares a
+//!   replica dead, the router skips it, and its parked streamlines are
+//!   re-dispatched intact to ring successors; in-flight tickets resolve
+//!   typed, and `completed + gone == admitted` stays exact.
+//!
+//! Requests, responses, tickets, and errors are the serve crate's own
+//! types, so a cluster of one is observationally identical to a single
+//! [`streamline_serve::Service`] — a property the integration tests pin
+//! down to the bit.
+
+pub mod cluster;
+pub mod ring;
+
+pub use cluster::{ClusterConfig, ClusterMetrics, ClusterService, ReplicaMetrics};
+pub use ring::Ring;
+
+// One-stop re-exports of the serve vocabulary the cluster speaks.
+pub use streamline_serve::{Outcome, Request, Response, ServiceGone, SubmitError, Ticket, TryWait};

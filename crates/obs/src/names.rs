@@ -126,3 +126,50 @@ pub const CKPT_RESTORE_BYTES_TOTAL: &str = "streamline_ckpt_restore_bytes_total"
 pub const CKPT_WRITE_SECONDS_TOTAL: &str = "streamline_ckpt_write_seconds_total";
 pub const CKPT_RESTORE_SECONDS_TOTAL: &str = "streamline_ckpt_restore_seconds_total";
 pub const CKPT_WARM_START_BLOCKS: &str = "streamline_ckpt_warm_start_blocks";
+
+// The sharded serve cluster: N replicas behind a consistent-hash block
+// router, trajectories handed off between them when they cross shard
+// boundaries. Aggregates first, then per-replica series produced by
+// suffixing the `CLUSTER_REPLICA_*` bases with [`per_replica`].
+pub const CLUSTER_REPLICAS: &str = "streamline_cluster_replicas";
+pub const CLUSTER_REPLICAS_ALIVE: &str = "streamline_cluster_replicas_alive";
+pub const CLUSTER_SUBMITTED_TOTAL: &str = "streamline_cluster_requests_submitted_total";
+pub const CLUSTER_COMPLETED_TOTAL: &str = "streamline_cluster_requests_completed_total";
+pub const CLUSTER_REJECTED_TOTAL: &str = "streamline_cluster_requests_rejected_total";
+pub const CLUSTER_REQUESTS_GONE_TOTAL: &str = "streamline_cluster_requests_gone_total";
+pub const CLUSTER_STREAMLINES_COMPLETED_TOTAL: &str =
+    "streamline_cluster_streamlines_completed_total";
+pub const CLUSTER_STREAMLINES_UNAVAILABLE_TOTAL: &str =
+    "streamline_cluster_streamlines_unavailable_total";
+pub const CLUSTER_STEPS_TOTAL: &str = "streamline_cluster_steps_total";
+pub const CLUSTER_HANDOFFS_TOTAL: &str = "streamline_cluster_handoffs_total";
+pub const CLUSTER_HANDOFF_BYTES_TOTAL: &str = "streamline_cluster_handoff_bytes_total";
+pub const CLUSTER_REDISPATCHES_TOTAL: &str = "streamline_cluster_redispatches_total";
+pub const CLUSTER_REDISPATCH_BYTES_TOTAL: &str = "streamline_cluster_redispatch_bytes_total";
+pub const CLUSTER_REPLICA_DEATHS_TOTAL: &str = "streamline_cluster_replica_deaths_total";
+pub const CLUSTER_HOT_LOCAL_HITS_TOTAL: &str = "streamline_cluster_hot_local_hits_total";
+pub const CLUSTER_HOT_BLOCKS: &str = "streamline_cluster_hot_blocks";
+pub const CLUSTER_WORKER_PANICS_TOTAL: &str = "streamline_cluster_worker_panics_total";
+pub const CLUSTER_LATENCY_NANOSECONDS: &str = "streamline_cluster_request_latency_nanoseconds";
+
+// Per-replica bases (suffix with [`per_replica`]).
+pub const CLUSTER_REPLICA_ALIVE: &str = "streamline_cluster_replica_alive";
+pub const CLUSTER_REPLICA_STREAMLINES_COMPLETED_TOTAL: &str =
+    "streamline_cluster_replica_streamlines_completed_total";
+pub const CLUSTER_REPLICA_HANDOFFS_OUT_TOTAL: &str =
+    "streamline_cluster_replica_handoffs_out_total";
+pub const CLUSTER_REPLICA_QUEUE_DEPTH: &str = "streamline_cluster_replica_queue_depth";
+pub const CLUSTER_REPLICA_CACHE_HIT_RATE: &str = "streamline_cluster_replica_cache_hit_rate";
+pub const CLUSTER_REPLICA_CACHE_RESIDENT_BLOCKS: &str =
+    "streamline_cluster_replica_cache_resident_blocks";
+pub const CLUSTER_REPLICA_BLOCKS_QUARANTINED: &str =
+    "streamline_cluster_replica_blocks_quarantined";
+pub const CLUSTER_REPLICA_LATENCY_NANOSECONDS: &str =
+    "streamline_cluster_replica_latency_nanoseconds";
+
+/// The registry has no label dimension, so per-replica series embed the
+/// replica index in the metric name: `per_replica(base, 3)` = `{base}_r3`.
+/// Dashboards match them with the `streamline_cluster_replica_*` prefix.
+pub fn per_replica(base: &str, replica: usize) -> String {
+    format!("{base}_r{replica}")
+}

@@ -213,6 +213,16 @@ impl fmt::Debug for Ticket {
 }
 
 impl Ticket {
+    /// Assemble a ticket from a request id and the response channel that
+    /// will eventually carry its answer. Intended for alternative front
+    /// ends (the replica cluster) that reuse the serve request/response
+    /// vocabulary but run their own scheduler; regular clients get tickets
+    /// from [`Service::submit`].
+    #[doc(hidden)]
+    pub fn from_parts(request_id: u64, rx: Receiver<Response>) -> Ticket {
+        Ticket { request_id, rx }
+    }
+
     /// Block until the service responds.
     pub fn wait(self) -> Result<Response, ServiceGone> {
         self.rx.recv().map_err(|_| ServiceGone { request_id: self.request_id })
